@@ -1,0 +1,75 @@
+// Ablation: central vs tree iteration barrier.
+//
+// The paper inserts a barrier at the end of every iteration (§4) and
+// identifies iteration-synchronisation switching as the main
+// synchronisation cost (§5, "It is our next goal to fine-tune mechanisms
+// for hardware thread scheduling and synchronization"). This bench
+// compares the shipped central coordinator against the binary-tree
+// combining variant across processor counts and thread counts.
+#include <cstdio>
+
+#include "common/cli.hpp"
+#include "common/table.hpp"
+#include "core/machine.hpp"
+
+using namespace emx;
+
+namespace {
+
+/// Pure barrier workout: `rounds` empty iterations.
+MachineReport run_barriers(std::uint32_t procs, std::uint32_t h, int rounds,
+                           BarrierTopology topo) {
+  MachineConfig cfg;
+  cfg.proc_count = procs;
+  cfg.barrier = topo;
+  Machine m(cfg);
+  const auto entry = m.register_entry([rounds](rt::ThreadApi api, Word) -> rt::ThreadBody {
+    for (int r = 0; r < rounds; ++r) {
+      co_await api.compute(20);
+      co_await api.iteration_barrier();
+    }
+  });
+  m.configure_barrier(h);
+  for (ProcId p = 0; p < procs; ++p)
+    for (std::uint32_t t = 0; t < h; ++t) m.spawn(p, entry, t);
+  m.run();
+  return m.report();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliFlags flags;
+  flags.define("rounds", "50", "barrier episodes to time")
+      .define("threads", "4", "threads per PE")
+      .define("procs", "2,4,8,16,32,64", "processor counts to sweep")
+      .define("csv", "false", "emit CSV");
+  flags.parse(argc, argv);
+  const int rounds = static_cast<int>(flags.integer("rounds"));
+  const auto h = static_cast<std::uint32_t>(flags.integer("threads"));
+
+  std::printf("Ablation: iteration barrier — central coordinator vs binary tree\n");
+  std::printf("%d rounds, h=%u threads per PE; cycles per barrier episode\n",
+              rounds, h);
+  Table table({"P", "central cyc/episode", "tree cyc/episode", "central/tree",
+               "central iter-sync/PE", "tree iter-sync/PE"});
+  for (auto p64 : flags.int_list("procs")) {
+    const auto procs = static_cast<std::uint32_t>(p64);
+    const MachineReport central =
+        run_barriers(procs, h, rounds, BarrierTopology::kCentral);
+    const MachineReport tree =
+        run_barriers(procs, h, rounds, BarrierTopology::kTree);
+    const double c = static_cast<double>(central.total_cycles) / rounds;
+    const double t = static_cast<double>(tree.total_cycles) / rounds;
+    table.add_row({std::to_string(procs), Table::cell(c), Table::cell(t),
+                   Table::cell(c / t),
+                   Table::cell(central.mean_iter_sync_switches()),
+                   Table::cell(tree.mean_iter_sync_switches())});
+  }
+  if (flags.boolean("csv")) {
+    std::fputs(table.to_csv().c_str(), stdout);
+  } else {
+    std::fputs(table.to_text().c_str(), stdout);
+  }
+  return 0;
+}

@@ -1,0 +1,109 @@
+// Ablation: element-wise split-phase reads (the paper's sorting loop)
+// vs the EMC-Y block-read send instruction (§2.2: "remote read request
+// for one data and for a block of data").
+//
+// A synthetic exchange kernel moves `n/P` words per PE from its mate
+// either one read at a time (one suspension per word) or in blocks
+// (one suspension per block, words streamed at wire rate).
+#include <cstdio>
+
+#include "common/cli.hpp"
+#include "common/table.hpp"
+#include "core/experiment.hpp"
+#include "core/machine.hpp"
+
+using namespace emx;
+
+namespace {
+
+struct ExchangeParams {
+  std::uint64_t words = 1024;
+  std::uint32_t block = 1;  ///< 1 = element-wise
+};
+
+Cycle run_exchange(std::uint32_t procs, const ExchangeParams& params) {
+  MachineConfig cfg;
+  cfg.proc_count = procs;
+  Machine m(cfg);
+  // Source data lives on the mate (pairwise exchange like one bitonic
+  // merge step).
+  const LocalAddr src_base = rt::kReservedWords;
+  const auto dst_base =
+      static_cast<LocalAddr>(rt::kReservedWords + params.words);
+  for (ProcId p = 0; p < procs; ++p) {
+    for (std::uint64_t i = 0; i < params.words; ++i) {
+      m.memory(p).write(src_base + static_cast<LocalAddr>(i),
+                        static_cast<Word>(p * 1000000 + i));
+    }
+  }
+  const ExchangeParams cap = params;
+  const auto entry = m.register_entry(
+      [cap, src_base, dst_base, procs](rt::ThreadApi api, Word) -> rt::ThreadBody {
+        const ProcId mate = api.proc() ^ (procs / 2);
+        if (cap.block <= 1) {
+          for (std::uint64_t i = 0; i < cap.words; ++i) {
+            co_await api.overhead(11);  // the paper's 12-clock loop body
+            const Word v = co_await api.remote_read(
+                rt::GlobalAddr{mate, src_base + static_cast<LocalAddr>(i)});
+            api.local_write(dst_base + static_cast<LocalAddr>(i), v);
+          }
+        } else {
+          for (std::uint64_t i = 0; i < cap.words; i += cap.block) {
+            const auto len = static_cast<std::uint32_t>(
+                std::min<std::uint64_t>(cap.block, cap.words - i));
+            co_await api.overhead(11);
+            co_await api.remote_read_block(
+                rt::GlobalAddr{mate, src_base + static_cast<LocalAddr>(i)},
+                dst_base + static_cast<LocalAddr>(i), len);
+          }
+        }
+        co_await api.iteration_barrier();
+      });
+  m.configure_barrier(1);
+  for (ProcId p = 0; p < procs; ++p) m.spawn(p, entry, 0);
+  m.run();
+  // Verify the exchange actually happened.
+  for (ProcId p = 0; p < procs; ++p) {
+    const ProcId mate = p ^ (procs / 2);
+    for (std::uint64_t i = 0; i < params.words; i += params.words / 4 + 1) {
+      EMX_CHECK(m.memory(p).read(dst_base + static_cast<LocalAddr>(i)) ==
+                    static_cast<Word>(mate * 1000000 + i),
+                "exchange data mismatch");
+    }
+  }
+  return m.end_cycle();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliFlags flags;
+  flags.define("procs", "16", "processor count")
+      .define("words", "2048", "words exchanged per PE")
+      .define("blocks", "1,4,16,64,256", "block sizes to sweep (1 = element reads)")
+      .define("csv", "false", "emit CSV");
+  flags.parse(argc, argv);
+  const auto procs = static_cast<std::uint32_t>(flags.integer("procs"));
+  const auto words = static_cast<std::uint64_t>(flags.integer("words"));
+
+  std::printf("Ablation: element-wise reads vs block reads (P=%u, %llu words/PE)\n",
+              procs, static_cast<unsigned long long>(words));
+  Table table({"block size", "cycles", "us @20MHz", "speedup vs element"});
+  double base = 0.0;
+  for (auto b : flags.int_list("blocks")) {
+    const Cycle cycles =
+        run_exchange(procs, {words, static_cast<std::uint32_t>(b)});
+    const double us = cycles_to_seconds(cycles, kDefaultClockHz) * 1e6;
+    if (base == 0.0) base = static_cast<double>(cycles);
+    char us_buf[32];
+    std::snprintf(us_buf, sizeof us_buf, "%.1f", us);
+    table.add_row({std::to_string(b), Table::cell(cycles), us_buf,
+                   Table::cell(base / static_cast<double>(cycles))});
+  }
+  if (flags.boolean("csv")) {
+    std::fputs(table.to_csv().c_str(), stdout);
+  } else {
+    std::fputs(table.to_text().c_str(), stdout);
+  }
+  return 0;
+}

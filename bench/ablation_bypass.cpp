@@ -1,0 +1,59 @@
+// Ablation: EM-X by-pass DMA vs EM-4-style EXU read servicing (§2.1).
+//
+// "the EM-4 ... treats a remote read as another 1-instruction thread
+//  which consumes processor cycles. This consumption adversely affects
+//  the performance." The by-pass DMA (IBU->MCU->OBU) is the EM-X fix;
+// this bench quantifies it on both applications.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "common/cli.hpp"
+#include "common/table.hpp"
+#include "core/experiment.hpp"
+
+using namespace emx;
+using namespace emx::bench;
+
+int main(int argc, char** argv) {
+  CliFlags flags;
+  flags.define("procs", "16", "processor count")
+      .define("size-per-proc", "1024", "elements per processor")
+      .define("threads", "1,2,4,8", "thread counts to sweep")
+      .define("csv", "false", "emit CSV");
+  flags.parse(argc, argv);
+
+  const auto procs = static_cast<std::uint32_t>(flags.integer("procs"));
+  const std::uint64_t n = procs * static_cast<std::uint64_t>(flags.integer("size-per-proc"));
+
+  std::printf("Ablation: read servicing — EM-X by-pass DMA vs EM-4 EXU threads\n");
+  std::printf("P=%u n=%s\n", procs, size_label(n).c_str());
+
+  MachineConfig emx_cfg;
+  emx_cfg.proc_count = procs;
+  emx_cfg.read_service = ReadServiceMode::kBypassDma;
+  MachineConfig em4_cfg = emx_cfg;
+  em4_cfg.read_service = ReadServiceMode::kExuThread;
+
+  for (const char* app : {"sorting", "fft"}) {
+    Table table({"threads", "EM-X cycles", "EM-4 cycles", "EM-4/EM-X",
+                 "EM-4 EXU-service%"});
+    for (auto h64 : flags.int_list("threads")) {
+      const auto h = static_cast<std::uint32_t>(h64);
+      const bool is_sort = std::string(app) == "sorting";
+      const MachineReport rx =
+          is_sort ? run_sort(emx_cfg, n, h) : run_fft(emx_cfg, n, h);
+      const MachineReport r4 =
+          is_sort ? run_sort(em4_cfg, n, h) : run_fft(em4_cfg, n, h);
+      const double ratio = static_cast<double>(r4.total_cycles) /
+                           static_cast<double>(rx.total_cycles);
+      const double svc_pct =
+          100.0 * r4.mean_read_service_cycles() /
+          static_cast<double>(r4.total_cycles);
+      table.add_row({std::to_string(h), Table::cell(rx.total_cycles),
+                     Table::cell(r4.total_cycles), Table::cell(ratio),
+                     Table::cell(svc_pct)});
+    }
+    print_panel(app, table, flags.boolean("csv"));
+  }
+  return 0;
+}

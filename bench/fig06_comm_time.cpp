@@ -1,0 +1,76 @@
+// Figure 6 — communication time (seconds) vs number of threads.
+//
+// Four panels, as in the paper:
+//   (a) bitonic sorting, P=16     (b) bitonic sorting, P=64
+//   (c) FFT,            P=16      (d) FFT,            P=64
+// Rows are thread counts h, one column per data size n. Communication
+// time is the mean exposed (idle) time per processor.
+//
+// Expected shape (paper §4): the time is minimal at h = 2..4 — two to
+// four threads suffice to mask the 20-40-clock remote read latency given
+// sorting's 12-clock run length — and larger h brings no further benefit
+// while synchronisation switches grow. FFT's valley is much deeper than
+// sorting's.
+#include <cstdio>
+#include <functional>
+
+#include "bench_util.hpp"
+#include "core/experiment.hpp"
+
+using namespace emx;
+using namespace emx::bench;
+
+namespace {
+
+void run_panel(const char* title, const FigureOptions& opt, std::uint32_t procs,
+               const std::function<MachineReport(const MachineConfig&,
+                                                 std::uint64_t, std::uint32_t)>& run) {
+  const auto sizes = opt.sizes_for(procs);
+  std::vector<std::string> header = {"threads"};
+  for (auto n : sizes) header.push_back("n=" + size_label(n));
+  Table table(header);
+  for (auto h : opt.threads) {
+    std::vector<std::string> row = {std::to_string(h)};
+    for (auto n : sizes) {
+      const MachineReport report = run(opt.base, n, h);
+      row.push_back(seconds_cell(comm_seconds(report, opt.metric)));
+    }
+    table.add_row(std::move(row));
+  }
+  print_panel(title, table, opt.csv);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliFlags flags;
+  define_figure_flags(flags);
+  flags.parse(argc, argv);
+  const FigureOptions opt = figure_options(flags);
+
+  std::printf("Figure 6: communication time in seconds (EM-X @ 20 MHz)\n");
+  std::printf("paper: minimum at 2-4 threads; FFT valleys far deeper than sorting\n");
+
+  MachineConfig p16 = opt.base;
+  p16.proc_count = 16;
+  MachineConfig p64 = opt.base;
+  p64.proc_count = 64;
+
+  run_panel("(a) B-sorting P=16", opt, 16,
+            [&](const MachineConfig&, std::uint64_t n, std::uint32_t h) {
+              return run_sort(p16, n, h);
+            });
+  run_panel("(b) B-sorting P=64", opt, 64,
+            [&](const MachineConfig&, std::uint64_t n, std::uint32_t h) {
+              return run_sort(p64, n, h);
+            });
+  run_panel("(c) FFT P=16", opt, 16,
+            [&](const MachineConfig&, std::uint64_t n, std::uint32_t h) {
+              return run_fft(p16, n, h);
+            });
+  run_panel("(d) FFT P=64", opt, 64,
+            [&](const MachineConfig&, std::uint64_t n, std::uint32_t h) {
+              return run_fft(p64, n, h);
+            });
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Figure 8 — distribution of execution time on 64 processors.
+//
+// Four panels: (a) sorting small n, (b) sorting large n, (c) FFT small n,
+// (d) FFT large n; stacked shares of computation / overhead /
+// communication / switching per thread count.
+//
+// Expected shape (§5): computation shares stay constant; the one-thread
+// column shows the largest communication share (no overlap); sorting is
+// communication-dominated while FFT is computation-dominated; switching
+// grows with the thread count (iteration-synchronisation polling).
+#include <cstdio>
+#include <functional>
+
+#include "bench_util.hpp"
+#include "core/experiment.hpp"
+
+using namespace emx;
+using namespace emx::bench;
+
+namespace {
+
+void run_panel(const char* title, const FigureOptions& opt,
+               const MachineConfig& cfg, std::uint64_t n,
+               const std::function<MachineReport(std::uint64_t, std::uint32_t)>& run) {
+  Table table({"threads", "compute%", "overhead%", "comm%", "switch%"});
+  for (auto h : opt.threads) {
+    const MachineReport report = run(n, h);
+    const auto s = report.shares();
+    table.add_row({std::to_string(h), Table::cell(s.compute),
+                   Table::cell(s.overhead), Table::cell(s.comm),
+                   Table::cell(s.switching)});
+  }
+  (void)cfg;
+  print_panel(title + (" n=" + size_label(n)), table, opt.csv);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliFlags flags;
+  define_figure_flags(flags);
+  flags.parse(argc, argv);
+  const FigureOptions opt = figure_options(flags);
+
+  std::printf("Figure 8: distribution of execution time on 64 processors\n");
+
+  MachineConfig p64 = opt.base;
+  p64.proc_count = 64;
+  const std::uint64_t small_n = opt.per_proc_sizes.front() * 64;
+  const std::uint64_t large_n = opt.per_proc_sizes.back() * 64;
+
+  auto sort = [&](std::uint64_t n, std::uint32_t h) { return run_sort(p64, n, h); };
+  auto fft = [&](std::uint64_t n, std::uint32_t h) { return run_fft(p64, n, h); };
+
+  run_panel("(a) B-sorting P=64,", opt, p64, small_n, sort);
+  run_panel("(b) B-sorting P=64,", opt, p64, large_n, sort);
+  run_panel("(c) FFT P=64,", opt, p64, small_n, fft);
+  run_panel("(d) FFT P=64,", opt, p64, large_n, fft);
+  return 0;
+}

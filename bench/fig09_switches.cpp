@@ -1,0 +1,59 @@
+// Figure 9 — average number of switches per processor, by type.
+//
+// Four panels: (a) sorting small n, (b) sorting large n, (c) FFT small n,
+// (d) FFT large n; three series per panel: remote-read switches,
+// iteration-synchronisation switches, thread-synchronisation switches.
+//
+// Expected shape (§5): remote-read switching is fixed w.r.t. the thread
+// count (reads are fixed, derivable from n, h, P) and dominates;
+// iteration-sync switching grows with the thread count and approaches the
+// remote-read curve for the small problem size; thread-sync switching
+// exists only for sorting (the ordered merge).
+#include <cstdio>
+#include <functional>
+
+#include "bench_util.hpp"
+#include "core/experiment.hpp"
+
+using namespace emx;
+using namespace emx::bench;
+
+namespace {
+
+void run_panel(const char* title, const FigureOptions& opt, std::uint64_t n,
+               const std::function<MachineReport(std::uint64_t, std::uint32_t)>& run) {
+  Table table({"threads", "remote-read", "iter-sync", "thread-sync"});
+  for (auto h : opt.threads) {
+    const MachineReport report = run(n, h);
+    table.add_row({std::to_string(h),
+                   Table::cell(report.mean_remote_read_switches()),
+                   Table::cell(report.mean_iter_sync_switches()),
+                   Table::cell(report.mean_thread_sync_switches())});
+  }
+  print_panel(title + (" n=" + size_label(n)), table, opt.csv);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliFlags flags;
+  define_figure_flags(flags);
+  flags.parse(argc, argv);
+  const FigureOptions opt = figure_options(flags);
+
+  std::printf("Figure 9: average number of switches per processor\n");
+
+  MachineConfig p64 = opt.base;
+  p64.proc_count = 64;
+  const std::uint64_t small_n = opt.per_proc_sizes.front() * 64;
+  const std::uint64_t large_n = opt.per_proc_sizes.back() * 64;
+
+  auto sort = [&](std::uint64_t n, std::uint32_t h) { return run_sort(p64, n, h); };
+  auto fft = [&](std::uint64_t n, std::uint32_t h) { return run_fft(p64, n, h); };
+
+  run_panel("(a) Sorting P=64,", opt, small_n, sort);
+  run_panel("(b) Sorting P=64,", opt, large_n, sort);
+  run_panel("(c) FFT P=64,", opt, small_n, fft);
+  run_panel("(d) FFT P=64,", opt, large_n, fft);
+  return 0;
+}

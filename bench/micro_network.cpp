@@ -1,0 +1,84 @@
+// Simulator microbenchmarks (google-benchmark): event queue throughput,
+// per-packet cost of the detailed vs fast network models, and end-to-end
+// simulated-cycles-per-wall-second on a small sorting workload. These
+// quantify the cost of the substrate itself, not EM-X behaviour.
+#include <benchmark/benchmark.h>
+
+#include "apps/bitonic.hpp"
+#include "core/machine.hpp"
+#include "network/fast_network.hpp"
+#include "network/omega_network.hpp"
+#include "sim/sim_context.hpp"
+
+using namespace emx;
+
+namespace {
+
+void noop_delivery(void*, const net::Packet&) {}
+
+template <typename Net>
+void bench_network(benchmark::State& state) {
+  const auto procs = static_cast<std::uint32_t>(state.range(0));
+  sim::SimContext sim;
+  Net network(sim, procs);
+  network.set_delivery(&noop_delivery, nullptr);
+  std::uint64_t injected = 0;
+  for (auto _ : state) {
+    net::Packet p;
+    p.kind = net::PacketKind::kRemoteWrite;
+    p.src = static_cast<ProcId>(injected % procs);
+    p.dst = static_cast<ProcId>((injected * 7 + 3) % procs);
+    network.inject(p);
+    ++injected;
+    if (injected % 1024 == 0) sim.run_until_idle();
+  }
+  sim.run_until_idle();
+  state.SetItemsProcessed(static_cast<std::int64_t>(injected));
+}
+
+void BM_OmegaDetailed(benchmark::State& state) {
+  bench_network<net::OmegaNetwork>(state);
+}
+void BM_OmegaFast(benchmark::State& state) {
+  bench_network<net::FastNetwork>(state);
+}
+BENCHMARK(BM_OmegaDetailed)->Arg(16)->Arg(64);
+BENCHMARK(BM_OmegaFast)->Arg(16)->Arg(64);
+
+void BM_EventQueue(benchmark::State& state) {
+  sim::EventQueue q;
+  std::uint64_t tick = 0;
+  static auto nop = [](void*, std::uint64_t, std::uint64_t) {};
+  for (auto _ : state) {
+    q.push(tick + (tick * 2654435761u) % 512, nop, nullptr, 0, 0);
+    ++tick;
+    if (q.size() > 4096) {
+      while (!q.empty()) benchmark::DoNotOptimize(q.pop());
+    }
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(tick));
+}
+BENCHMARK(BM_EventQueue);
+
+void BM_SimulatedSort(benchmark::State& state) {
+  // Whole-machine throughput: simulated cycles per wall second.
+  const auto threads = static_cast<std::uint32_t>(state.range(0));
+  std::uint64_t sim_cycles = 0;
+  for (auto _ : state) {
+    MachineConfig cfg;
+    cfg.proc_count = 16;
+    Machine m(cfg);
+    apps::BitonicSortApp app(m, apps::BitonicParams{.n = 16 * 256, .threads = threads});
+    app.setup();
+    m.run();
+    sim_cycles += m.end_cycle();
+    benchmark::DoNotOptimize(m.end_cycle());
+  }
+  state.counters["sim_cycles/s"] = benchmark::Counter(
+      static_cast<double>(sim_cycles), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_SimulatedSort)->Arg(1)->Arg(4);
+
+}  // namespace
+
+BENCHMARK_MAIN();

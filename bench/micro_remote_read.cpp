@@ -1,0 +1,100 @@
+// §2.3 anchor: "A typical remote read takes approximately 1 us."
+//
+// Measures the single remote read round trip — request generation, OBU,
+// Omega fabric, by-pass DMA service, reply fabric, MU dispatch — across
+// processor counts and hop distances, on the detailed network.
+#include <cstdio>
+
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "core/machine.hpp"
+#include "trace/analysis.hpp"
+#include "trace/trace.hpp"
+
+using namespace emx;
+
+namespace {
+
+/// RTT in cycles from issue to resumption, measured inside the thread.
+Cycle measure_rtt(std::uint32_t procs, ProcId target) {
+  MachineConfig cfg;
+  cfg.proc_count = procs;
+  cfg.network = NetworkModel::kDetailed;
+  Machine m(cfg);
+  m.memory(target).write(rt::kReservedWords, 42);
+
+  // Host-side timestamping around the split-phase read (observation, not
+  // simulated instructions).
+  static Cycle issue_cycle, return_cycle;
+  const auto entry = m.register_entry(
+      [&m, target](rt::ThreadApi api, Word) -> rt::ThreadBody {
+        issue_cycle = m.sim().now();
+        (void)co_await api.remote_read(rt::GlobalAddr{target, rt::kReservedWords});
+        return_cycle = m.sim().now();
+      });
+  m.spawn(0, entry, 0);
+  m.run();
+  return return_cycle - issue_cycle;
+}
+
+/// Distribution of read round trips under load: every PE runs the
+/// paper's 12-clock read loop against its mate with h threads; per-read
+/// latencies are recovered from the trace (issue -> return per thread).
+Histogram loaded_latency_histogram(std::uint32_t procs, std::uint32_t h) {
+  MachineConfig cfg;
+  cfg.proc_count = procs;
+  cfg.network = NetworkModel::kDetailed;
+  trace::VectorTraceSink sink;
+  Machine m(cfg, &sink);
+  const auto entry = m.register_entry([procs](rt::ThreadApi api, Word) -> rt::ThreadBody {
+    const ProcId mate = api.proc() ^ (procs / 2);
+    for (int i = 0; i < 128; ++i) {
+      co_await api.overhead(11);
+      (void)co_await api.remote_read(
+          rt::GlobalAddr{mate, rt::kReservedWords + i % 16});
+    }
+  });
+  for (ProcId p = 0; p < procs; ++p)
+    for (std::uint32_t t = 0; t < h; ++t) m.spawn(p, entry, t);
+  m.run();
+
+  return analyze_read_latency(sink.events()).histogram;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Single remote read round-trip time (detailed Omega network)\n");
+  std::printf("paper (section 2.3): ~1 us; section 4: 20-40 clocks under normal load\n\n");
+  Table table({"P", "target", "hops", "RTT cycles", "RTT us @20MHz"});
+  for (std::uint32_t procs : {2u, 4u, 8u, 16u, 32u, 64u}) {
+    for (ProcId target : {static_cast<ProcId>(procs / 2),
+                          static_cast<ProcId>(procs - 1)}) {
+      if (target == 0) continue;
+      const Cycle rtt = measure_rtt(procs, target);
+      MachineConfig cfg;
+      cfg.proc_count = procs;
+      cfg.network = NetworkModel::kDetailed;
+      Machine probe(cfg);
+      const unsigned hops = probe.network().hop_count(0, target);
+      char us[32];
+      std::snprintf(us, sizeof us, "%.2f", cycles_to_seconds(rtt, cfg.clock_hz) * 1e6);
+      table.add_row({std::to_string(procs), std::to_string(target),
+                     std::to_string(hops), std::to_string(rtt), us});
+    }
+  }
+  std::fputs(table.to_text().c_str(), stdout);
+
+  for (std::uint32_t h : {1u, 4u}) {
+    const Histogram hist = loaded_latency_histogram(16, h);
+    std::printf(
+        "\nloaded read latency distribution, P=16, h=%u (12-clock read "
+        "loop against the mate; cycles):\n",
+        h);
+    std::printf("p50=%.0f  p95=%.0f  samples=%llu\n%s", hist.percentile(50),
+                hist.percentile(95),
+                static_cast<unsigned long long>(hist.total()),
+                hist.ascii(48).c_str());
+  }
+  return 0;
+}

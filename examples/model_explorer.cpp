@@ -1,0 +1,50 @@
+// Explores the Saavedra-Barrera multithreading model (paper ref. [16])
+// the paper uses to frame its results: linear, transition and saturation
+// regions of processor efficiency as threads are added.
+//
+//   $ ./model_explorer --run-length=12 --latency=30 --switch-cost=7
+#include <cstdio>
+
+#include "common/cli.hpp"
+#include "model/saavedra.hpp"
+
+using namespace emx;
+
+int main(int argc, char** argv) {
+  CliFlags flags;
+  flags.define("run-length", "12", "R: cycles between remote references")
+      .define("latency", "30", "L: remote reference latency, cycles")
+      .define("switch-cost", "7", "C: context switch cost, cycles")
+      .define("max-threads", "16", "sweep 1..max threads");
+  flags.parse(argc, argv);
+
+  model::MultithreadingModel m{
+      .run_length = flags.real("run-length"),
+      .latency = flags.real("latency"),
+      .switch_cost = flags.real("switch-cost")};
+
+  std::printf("Saavedra-Barrera model: R=%.0f L=%.0f C=%.0f\n", m.run_length,
+              m.latency, m.switch_cost);
+  std::printf("saturation point: h = 1 + L/(R+C) = %.2f threads\n",
+              m.saturation_threads());
+  std::printf("saturated efficiency: R/(R+C) = %.3f\n\n",
+              m.run_length / (m.run_length + m.switch_cost));
+
+  std::printf("%7s  %10s  %14s  %-10s  %s\n", "threads", "efficiency",
+              "exposed lat", "region", "bar");
+  const auto max_h = static_cast<int>(flags.integer("max-threads"));
+  for (int h = 1; h <= max_h; ++h) {
+    const double e = m.efficiency(h);
+    std::printf("%7d  %10.3f  %14.1f  %-10s  ", h, e, m.exposed_latency(h),
+                model::MultithreadingModel::region_name(m.region(h)));
+    const int bar = static_cast<int>(e * 50);
+    for (int i = 0; i < bar; ++i) std::putchar('#');
+    std::putchar('\n');
+  }
+  std::printf(
+      "\nThe paper's sorting (R=12, L=20-40, C~7) saturates at 2-4 threads —\n"
+      "exactly its observation that \"the best communication performance\n"
+      "occurs when the number of threads is two to four\". FFT's R of\n"
+      "hundreds of cycles saturates immediately at h=2.\n");
+  return 0;
+}

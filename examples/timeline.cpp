@@ -1,0 +1,71 @@
+// Reproduces the paper's Figure 4 and Figure 5 execution timelines as
+// ASCII Gantt charts.
+//
+//   $ ./timeline            # both figures
+//   $ ./timeline --figure=4 # multithreaded bitonic sorting, 2 PEs x 2 thr
+//   $ ./timeline --figure=5 # multithreaded FFT, P=4 n=16 h=2, iteration 0
+#include <cstdio>
+
+#include "apps/bitonic.hpp"
+#include "apps/fft.hpp"
+#include "common/cli.hpp"
+#include "core/machine.hpp"
+#include "trace/gantt.hpp"
+
+using namespace emx;
+
+namespace {
+
+void figure4() {
+  std::printf("Figure 4 — multithreaded bitonic sorting: Px=(2,5,6,7), "
+              "Py=(1,3,4,8), two threads each, ascending merge\n");
+  MachineConfig cfg;
+  cfg.proc_count = 2;
+  cfg.network = NetworkModel::kDetailed;
+  trace::VectorTraceSink sink;
+  Machine machine(cfg, &sink);
+  apps::BitonicSortApp app(machine, apps::BitonicParams{.n = 8, .threads = 2});
+  app.setup();
+  const Word x[4] = {2, 5, 6, 7};
+  const Word y[4] = {1, 3, 4, 8};
+  for (int k = 0; k < 4; ++k) {
+    machine.memory(0).write(app.buf_addr(0, k), x[k]);
+    machine.memory(1).write(app.buf_addr(0, k), y[k]);
+  }
+  machine.run();
+  std::printf("%s", trace::render_gantt(sink.events(), {.width = 110}).c_str());
+  std::printf("result Px: ");
+  for (int k = 0; k < 4; ++k)
+    std::printf("%u ", machine.memory(0).read(app.buf_addr(1, k)));
+  std::printf("  Py: ");
+  for (int k = 0; k < 4; ++k)
+    std::printf("%u ", machine.memory(1).read(app.buf_addr(1, k)));
+  std::printf("\n\nevent log (first 40):\n%s",
+              trace::render_event_log(sink.events(), 40).c_str());
+}
+
+void figure5() {
+  std::printf("\nFigure 5 — multithreaded FFT, P=4, n=16, h=2, showing "
+              "iteration 0 (reads go to the mate at distance P/2)\n");
+  MachineConfig cfg;
+  cfg.proc_count = 4;
+  cfg.network = NetworkModel::kDetailed;
+  trace::VectorTraceSink sink;
+  Machine machine(cfg, &sink);
+  apps::FftApp app(machine, apps::FftParams{.n = 16, .threads = 2});
+  app.setup();
+  machine.run();
+  std::printf("%s", trace::render_gantt(sink.events(), {.width = 110}).c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliFlags flags;
+  flags.define("figure", "both", "which figure: 4 | 5 | both");
+  flags.parse(argc, argv);
+  const std::string which = flags.str("figure");
+  if (which == "4" || which == "both") figure4();
+  if (which == "5" || which == "both") figure5();
+  return 0;
+}

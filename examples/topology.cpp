@@ -1,0 +1,76 @@
+// Prints the circular Omega (shuffle) network topology and routing — the
+// paper's Figure 2 structure — plus per-switch traffic for a sample
+// all-to-all exchange.
+//
+//   $ ./topology --procs=16
+#include <cstdio>
+
+#include "common/cli.hpp"
+#include "common/table.hpp"
+#include "network/omega_network.hpp"
+#include "sim/sim_context.hpp"
+
+using namespace emx;
+using namespace emx::net;
+
+namespace {
+void drop(void*, const Packet&) {}
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliFlags flags;
+  flags.define("procs", "16", "processor count (power of two)")
+      .define("route-from", "1", "print the route from this PE")
+      .define("route-to", "6", "...to this PE");
+  flags.parse(argc, argv);
+  const auto procs = static_cast<std::uint32_t>(flags.integer("procs"));
+
+  std::printf("EM-X circular Omega network, P=%u switch boxes\n", procs);
+  std::printf("each switch: 2 network in/out ports + processor port, 3x3 crossbar\n");
+  std::printf("shuffle edges: switch i -> (2i) mod P and (2i+1) mod P\n\n");
+
+  ShuffleRouting routing(procs);
+  for (ProcId i = 0; i < std::min(procs, 16u); ++i) {
+    std::printf("  switch %2u -> %2u, %2u\n", i, (2 * i) % procs,
+                (2 * i + 1) % procs);
+  }
+  if (procs > 16) std::printf("  ... (%u more)\n", procs - 16);
+
+  const auto from = static_cast<ProcId>(flags.integer("route-from"));
+  const auto to = static_cast<ProcId>(flags.integer("route-to"));
+  std::printf("\nroute %u -> %u (%u hops, %u+1 cycles uncontended): ", from, to,
+              routing.hop_count(from, to), routing.hop_count(from, to));
+  for (ProcId node : routing.route(from, to)) std::printf("%u ", node);
+  std::printf("\n");
+
+  // Sample all-to-all exchange; show the busiest switches.
+  sim::SimContext sim;
+  OmegaNetwork network(sim, procs);
+  network.set_delivery(&drop, nullptr);
+  for (ProcId s = 0; s < procs; ++s) {
+    for (ProcId d = 0; d < procs; ++d) {
+      if (s == d) continue;
+      Packet p;
+      p.kind = PacketKind::kRemoteWrite;
+      p.src = s;
+      p.dst = d;
+      network.inject(p);
+    }
+  }
+  sim.run_until_idle();
+  std::printf("\nall-to-all exchange (%u packets): finished at cycle %llu, "
+              "mean latency %.1f cycles, port wait total %llu cycles\n",
+              procs * (procs - 1),
+              static_cast<unsigned long long>(sim.now()),
+              network.stats().latency.mean(),
+              static_cast<unsigned long long>(network.total_port_wait()));
+  Table table({"switch", "net0 fwd", "net1 fwd", "eject fwd", "wait cyc"});
+  for (ProcId i = 0; i < std::min(procs, 8u); ++i) {
+    const auto& sw = network.switch_box(i);
+    table.add_row({std::to_string(i), Table::cell(sw.forwarded(0)),
+                   Table::cell(sw.forwarded(1)), Table::cell(sw.forwarded(2)),
+                   Table::cell(sw.total_wait())});
+  }
+  std::fputs(table.to_text().c_str(), stdout);
+  return 0;
+}

@@ -1,0 +1,101 @@
+// Multithreaded bitonic sorting on the simulated EM-X (paper §3.1).
+//
+// Structure (exactly the paper's algorithm):
+//  * local sort: each PE sorts its n/P block ascending;
+//  * log P (log P + 1)/2 merge steps; at step (i, j) PE r pairs with
+//    r XOR 2^j and keeps the low or high half per Batcher's network;
+//  * each PE's n/P remote reads per step are split across h threads
+//    (thread communication parallelism): the read loop body is 12 clocks
+//    including the 1-clock send (run length 12, §4);
+//  * threads merge strictly in thread order through an OrderGate (thread
+//    computation is sequential — the paper's "sorting lacks computation
+//    parallelism across threads"); the merge may finish before consuming
+//    every mate element (irregular computation, §3.1), but all reads are
+//    issued regardless (Fig. 9: remote-read switch count is fixed);
+//  * an iteration barrier ends every merge step (§4).
+//
+// Buffers ping-pong between steps so a PE never overwrites data its mate
+// is still reading.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/machine.hpp"
+#include "runtime/order_gate.hpp"
+
+namespace emx::apps {
+
+struct BitonicParams {
+  std::uint64_t n = 1024;          ///< total elements (P | n required)
+  std::uint32_t threads = 1;       ///< h, threads per PE
+  std::uint64_t seed = 0x5EED0001; ///< workload RNG seed
+
+  // Instruction budgets (cycles), from the paper's §4 measurements.
+  Cycle read_loop_cycles = 11;     ///< + 1-cycle send = 12-clock loop body
+  Cycle merge_cycles_per_element = 10;
+  Cycle local_sort_cycles_per_key = 4;  ///< x log2(m) per key
+
+  /// Replace the paper's element-wise read loop with one EMC-Y block
+  /// read per thread chunk (one suspension, words streamed at wire
+  /// rate). An optimisation the paper's code leaves on the table;
+  /// exercised by bench/ablation_block_read and tests.
+  bool use_block_reads = false;
+};
+
+/// Owns the per-PE shared state and registers the worker entry; the app
+/// object must outlive Machine::run().
+class BitonicSortApp {
+ public:
+  BitonicSortApp(Machine& machine, BitonicParams params);
+
+  /// Generates the input, loads PE memories, spawns h workers per PE and
+  /// configures the barrier. Call once, before machine.run().
+  void setup();
+
+  const BitonicParams& params() const { return params_; }
+  const std::vector<Word>& input() const { return input_; }
+
+  /// Gathers the sorted result across PEs (valid after machine.run()).
+  std::vector<Word> gather() const;
+
+  /// Sorted ascending and a permutation of the input?
+  bool verify() const;
+
+  /// Word address of element `k` in the step-`parity` buffer.
+  LocalAddr buf_addr(std::uint32_t parity, std::uint64_t k) const;
+
+ private:
+  friend rt::ThreadBody bitonic_worker(BitonicSortApp* app, rt::ThreadApi api,
+                                       Word thread_index);
+
+  /// Shared per-PE merge state (host-side mirror of what the EM-X keeps
+  /// in the activation frames / operand segments).
+  struct PerProc {
+    rt::OrderGate gate;
+    std::uint64_t own_taken = 0;   ///< elements consumed from own list
+    std::uint64_t mate_taken = 0;  ///< elements consumed from mate list
+    std::uint64_t produced = 0;    ///< outputs written this step
+  };
+
+  /// Merges mate elements up to `mate_limit` consumed; returns how many
+  /// outputs this call produced. `final_thread` drains the own list.
+  std::uint64_t merge_chunk(ProcId me, bool keep_low, std::uint32_t cur,
+                            std::uint64_t mate_limit, bool final_thread);
+
+  std::uint64_t per_proc_elems() const;
+
+  Machine& machine_;
+  BitonicParams params_;
+  std::vector<PerProc> state_;
+  std::vector<Word> input_;
+  std::uint32_t worker_entry_ = 0;
+  std::uint32_t final_parity_ = 0;
+  bool setup_done_ = false;
+};
+
+/// The worker thread coroutine (one per (PE, thread index)).
+rt::ThreadBody bitonic_worker(BitonicSortApp* app, rt::ThreadApi api,
+                              Word thread_index);
+
+}  // namespace emx::apps

@@ -1,0 +1,3 @@
+#include "apps/distribution.hpp"
+
+// Header-only helpers; TU anchors the module in the library.

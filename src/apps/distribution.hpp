@@ -1,0 +1,73 @@
+// Blocked data and workload distribution (paper §3: "Both problems have
+// been implemented on EM-X with blocked data and workload distribution
+// strategies"): n elements over P processors in contiguous blocks of
+// m = n/P, and each PE's block over h threads in contiguous chunks.
+#pragma once
+
+#include <cstdint>
+
+#include "common/assert.hpp"
+#include "common/types.hpp"
+
+namespace emx::apps {
+
+/// Block distribution of n elements over P processors.
+struct BlockDist {
+  std::uint64_t n = 0;
+  std::uint32_t procs = 1;
+
+  BlockDist(std::uint64_t n_, std::uint32_t procs_) : n(n_), procs(procs_) {
+    EMX_CHECK(procs_ >= 1, "need at least one processor");
+    EMX_CHECK(n_ % procs_ == 0, "blocked distribution requires P | n");
+  }
+
+  std::uint64_t per_proc() const { return n / procs; }
+  ProcId owner(std::uint64_t global_index) const {
+    return static_cast<ProcId>(global_index / per_proc());
+  }
+  std::uint64_t local_index(std::uint64_t global_index) const {
+    return global_index % per_proc();
+  }
+  std::uint64_t global_index(ProcId proc, std::uint64_t local) const {
+    return static_cast<std::uint64_t>(proc) * per_proc() + local;
+  }
+};
+
+/// Balanced contiguous chunk [lo, hi) of `m` items for thread t of h.
+/// Chunks differ in size by at most one item; empty chunks are legal
+/// (h > m), the thread still participates in gates and barriers.
+struct ThreadChunk {
+  std::uint64_t lo = 0;
+  std::uint64_t hi = 0;
+  std::uint64_t size() const { return hi - lo; }
+};
+
+inline ThreadChunk thread_chunk(std::uint64_t m, std::uint32_t h, std::uint32_t t) {
+  EMX_CHECK(h >= 1 && t < h, "bad thread index");
+  return ThreadChunk{m * t / h, m * (t + 1) / h};
+}
+
+// ----- bitonic network direction helpers (Batcher's network on blocks) --
+
+/// True if, at merge stage i, processor `rank`'s pair sorts ascending
+/// (the paper's shaded circles in Figure 3).
+inline bool bitonic_ascending(ProcId rank, unsigned stage) {
+  return ((rank >> (stage + 1)) & 1u) == 0;
+}
+
+/// True if `rank` keeps the low half of the pairwise merge at (stage i,
+/// distance step j): the ascending member with a 0 bit at position j, or
+/// the descending member with a 1 bit.
+inline bool bitonic_keep_low(ProcId rank, unsigned stage, unsigned step) {
+  const bool ascending = bitonic_ascending(rank, stage);
+  const bool low_bit_clear = ((rank >> step) & 1u) == 0;
+  return ascending == low_bit_clear;
+}
+
+/// Number of merge steps in the whole sort: log P (log P + 1) / 2.
+inline unsigned bitonic_merge_steps(std::uint32_t procs) {
+  const unsigned lp = ilog2(procs);
+  return lp * (lp + 1) / 2;
+}
+
+}  // namespace emx::apps

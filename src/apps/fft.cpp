@@ -1,0 +1,196 @@
+#include "apps/fft.hpp"
+
+#include <bit>
+#include <cmath>
+#include <numbers>
+
+#include "apps/distribution.hpp"
+#include "apps/host_reference.hpp"
+#include "apps/verify.hpp"
+#include "common/rng.hpp"
+#include "runtime/barrier.hpp"
+
+namespace emx::apps {
+
+namespace {
+// Per-PE layout: ping-pong real/imaginary planes.
+constexpr LocalAddr plane_base(std::uint64_t m, std::uint32_t plane) {
+  return rt::kReservedWords + static_cast<LocalAddr>(plane * m);
+}
+
+std::complex<float> twiddle(std::uint64_t k, std::uint64_t size) {
+  const double angle = -2.0 * std::numbers::pi * static_cast<double>(k) /
+                       static_cast<double>(size);
+  return {static_cast<float>(std::cos(angle)),
+          static_cast<float>(std::sin(angle))};
+}
+}  // namespace
+
+FftApp::FftApp(Machine& machine, FftParams params)
+    : machine_(machine), params_(params) {
+  EMX_CHECK(params_.threads >= 1, "need at least one thread per PE");
+  const std::uint32_t P = machine_.config().proc_count;
+  EMX_CHECK(is_power_of_two(P), "FFT distribution requires power-of-two P");
+  EMX_CHECK(is_power_of_two(params_.n), "FFT size must be a power of two");
+  EMX_CHECK(params_.n >= P, "need at least one point per PE");
+  const std::uint64_t m = per_proc_points();
+  EMX_CHECK(plane_base(m, 3) + m <= machine_.config().memory_words,
+            "point block does not fit in per-PE memory");
+  worker_entry_ = machine_.register_entry(
+      [this](rt::ThreadApi api, Word arg) -> rt::ThreadBody {
+        return fft_worker(this, api, arg);
+      });
+}
+
+std::uint64_t FftApp::per_proc_points() const {
+  return params_.n / machine_.config().proc_count;
+}
+
+std::uint32_t FftApp::final_parity() const {
+  return ilog2(machine_.config().proc_count) % 2;
+}
+
+LocalAddr FftApp::re_addr(std::uint32_t parity, std::uint64_t k) const {
+  return plane_base(per_proc_points(), 2 * parity) + static_cast<LocalAddr>(k);
+}
+
+LocalAddr FftApp::im_addr(std::uint32_t parity, std::uint64_t k) const {
+  return plane_base(per_proc_points(), 2 * parity + 1) + static_cast<LocalAddr>(k);
+}
+
+void FftApp::setup() {
+  EMX_CHECK(!setup_done_, "setup() called twice");
+  setup_done_ = true;
+  const std::uint32_t P = machine_.config().proc_count;
+  const std::uint64_t m = per_proc_points();
+
+  Rng rng(params_.seed);
+  input_.resize(params_.n);
+  for (auto& c : input_) {
+    c = {static_cast<float>(rng.next_double() * 2.0 - 1.0),
+         static_cast<float>(rng.next_double() * 2.0 - 1.0)};
+  }
+
+  const BlockDist dist(params_.n, P);
+  for (ProcId p = 0; p < P; ++p) {
+    auto& mem = machine_.memory(p);
+    for (std::uint64_t k = 0; k < m; ++k) {
+      const auto& c = input_[dist.global_index(p, k)];
+      mem.write_f32(re_addr(0, k), c.real());
+      mem.write_f32(im_addr(0, k), c.imag());
+    }
+  }
+
+  machine_.configure_barrier(params_.threads);
+  for (ProcId p = 0; p < P; ++p) {
+    for (std::uint32_t t = 0; t < params_.threads; ++t) {
+      machine_.spawn(p, worker_entry_, t);
+    }
+  }
+}
+
+rt::ThreadBody fft_worker(FftApp* app, rt::ThreadApi api, Word thread_index) {
+  const auto t = static_cast<std::uint32_t>(thread_index);
+  const std::uint32_t h = app->params_.threads;
+  const ProcId me = api.proc();
+  const std::uint32_t P = api.config().proc_count;
+  const std::uint64_t m = app->per_proc_points();
+  const std::uint64_t n = app->params_.n;
+  const ThreadChunk chunk = thread_chunk(m, h, t);
+  auto& mem = api.memory();
+
+  // ---- first log P iterations: every point needs the mate PE's copy ----
+  std::uint32_t cur = 0;
+  const unsigned logp = ilog2(P);
+  for (unsigned it = 0; it < logp; ++it) {
+    const std::uint64_t size = n >> it;
+    const std::uint64_t half = size / 2;
+    const ProcId partner = me ^ (P >> (it + 1));
+    for (std::uint64_t k = chunk.lo; k < chunk.hi; ++k) {
+      // "compute real_address and img_address;"
+      co_await api.overhead(app->params_.addr_cycles);
+      // "mate_real = remote_read(real_address++);
+      //  mate_img  = remote_read(img_address++);"
+      // Both requests go out back to back; the MU's two-operand direct
+      // matching resumes the thread once both words have arrived.
+      const auto [wre, wim] = co_await api.remote_read_pair(
+          rt::GlobalAddr{partner, app->re_addr(cur, k)},
+          rt::GlobalAddr{partner, app->im_addr(cur, k)});
+      // "a lot of instructions with two reals and two imaginaries" —
+      // butterfly plus the trigonometric twiddle computation.
+      co_await api.compute(app->params_.point_cycles);
+
+      const std::complex<float> mate(std::bit_cast<float>(wre),
+                                     std::bit_cast<float>(wim));
+      const std::complex<float> own(mem.read_f32(app->re_addr(cur, k)),
+                                    mem.read_f32(app->im_addr(cur, k)));
+      const std::uint64_t g = static_cast<std::uint64_t>(me) * m + k;
+      std::complex<float> out;
+      if ((g & half) == 0) {
+        out = own + mate;  // first element of the DIF butterfly
+      } else {
+        out = (mate - own) * twiddle(g & (half - 1), size);
+      }
+      mem.write_f32(app->re_addr(cur ^ 1u, k), out.real());
+      mem.write_f32(app->im_addr(cur ^ 1u, k), out.imag());
+    }
+    cur ^= 1u;
+    co_await api.iteration_barrier();
+  }
+
+  // ---- remaining log(n/P) iterations are purely local (paper §3.2) ----
+  if (app->params_.include_local_phase) {
+    if (t == 0 && m >= 2) {
+      // Thread 0 runs the local butterflies in place; the twiddle index
+      // within a block equals the global one because blocks are aligned
+      // to every remaining transform size.
+      for (std::uint64_t size = m; size >= 2; size /= 2) {
+        const std::uint64_t half = size / 2;
+        for (std::uint64_t start = 0; start < m; start += size) {
+          for (std::uint64_t k = 0; k < half; ++k) {
+            const std::complex<float> a(mem.read_f32(app->re_addr(cur, start + k)),
+                                        mem.read_f32(app->im_addr(cur, start + k)));
+            const std::complex<float> b(
+                mem.read_f32(app->re_addr(cur, start + k + half)),
+                mem.read_f32(app->im_addr(cur, start + k + half)));
+            const std::complex<float> lo = a + b;
+            const std::complex<float> hi = (a - b) * twiddle(k, size);
+            mem.write_f32(app->re_addr(cur, start + k), lo.real());
+            mem.write_f32(app->im_addr(cur, start + k), lo.imag());
+            mem.write_f32(app->re_addr(cur, start + k + half), hi.real());
+            mem.write_f32(app->im_addr(cur, start + k + half), hi.imag());
+          }
+        }
+      }
+      const unsigned local_iters = ilog2(m);
+      co_await api.compute(app->params_.local_point_cycles * (m / 2) * local_iters);
+    }
+    co_await api.iteration_barrier();
+  }
+  co_return;
+}
+
+std::vector<std::complex<float>> FftApp::gather() const {
+  const std::uint32_t P = machine_.config().proc_count;
+  const std::uint64_t m = per_proc_points();
+  const std::uint32_t parity = final_parity();
+  std::vector<std::complex<float>> out;
+  out.reserve(params_.n);
+  auto& machine = const_cast<Machine&>(machine_);
+  for (ProcId p = 0; p < P; ++p) {
+    auto& mem = machine.memory(p);
+    for (std::uint64_t k = 0; k < m; ++k) {
+      out.emplace_back(mem.read_f32(re_addr(parity, k)),
+                       mem.read_f32(im_addr(parity, k)));
+    }
+  }
+  return out;
+}
+
+double FftApp::verify_error() const {
+  std::vector<std::complex<float>> expect = input_;
+  host_fft_dif(expect);
+  return max_relative_error(gather(), expect);
+}
+
+}  // namespace emx::apps

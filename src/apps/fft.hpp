@@ -1,0 +1,74 @@
+// Multithreaded FFT on the simulated EM-X (paper §3.2).
+//
+// Single-precision complex DIF FFT with blocked distribution: PE p owns
+// points [p·m, (p+1)·m), m = n/P. The first log P iterations pair each PE
+// with a mate at halving distance; every point needs the mate's real and
+// imaginary words (two split-phase remote reads) followed by a large
+// butterfly + twiddle computation ("hundreds of clocks due to
+// trigonometric function computations"). There is no dependence between
+// points within an iteration, so threads compute the moment their data
+// returns — no thread synchronisation, only the per-iteration barrier.
+//
+// As in the paper, benches time only the first log P (communication)
+// iterations; `include_local_phase` additionally runs the remaining
+// log(n) - log(P) local iterations so tests can verify the transform
+// end-to-end against a host FFT.
+#pragma once
+
+#include <complex>
+#include <cstdint>
+#include <vector>
+
+#include "core/machine.hpp"
+
+namespace emx::apps {
+
+struct FftParams {
+  std::uint64_t n = 1024;          ///< points; power of two, P | n
+  std::uint32_t threads = 1;       ///< h, threads per PE
+  std::uint64_t seed = 0x5EED0002;
+  bool include_local_phase = false;
+
+  // Instruction budgets (cycles).
+  Cycle addr_cycles = 2;           ///< "compute real_address and img_address"
+  Cycle point_cycles = 250;        ///< butterfly + twiddle trig loop
+  Cycle local_point_cycles = 60;   ///< local-phase butterfly (table twiddles)
+};
+
+class FftApp {
+ public:
+  FftApp(Machine& machine, FftParams params);
+
+  /// Generates the input signal, loads PE memories, spawns workers.
+  void setup();
+
+  const FftParams& params() const { return params_; }
+  const std::vector<std::complex<float>>& input() const { return input_; }
+
+  /// Gathers the (bit-reversed-order) transform output after run().
+  std::vector<std::complex<float>> gather() const;
+
+  /// Compares against the host reference; returns the max relative error.
+  /// Only meaningful when include_local_phase is true (full transform).
+  double verify_error() const;
+
+  LocalAddr re_addr(std::uint32_t parity, std::uint64_t k) const;
+  LocalAddr im_addr(std::uint32_t parity, std::uint64_t k) const;
+
+ private:
+  friend rt::ThreadBody fft_worker(FftApp* app, rt::ThreadApi api,
+                                   Word thread_index);
+
+  std::uint64_t per_proc_points() const;
+  std::uint32_t final_parity() const;
+
+  Machine& machine_;
+  FftParams params_;
+  std::vector<std::complex<float>> input_;
+  std::uint32_t worker_entry_ = 0;
+  bool setup_done_ = false;
+};
+
+rt::ThreadBody fft_worker(FftApp* app, rt::ThreadApi api, Word thread_index);
+
+}  // namespace emx::apps

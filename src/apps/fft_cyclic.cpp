@@ -1,0 +1,191 @@
+#include "apps/fft_cyclic.hpp"
+
+#include <bit>
+#include <cmath>
+#include <numbers>
+
+#include "apps/distribution.hpp"
+#include "apps/host_reference.hpp"
+#include "apps/verify.hpp"
+#include "common/rng.hpp"
+#include "runtime/barrier.hpp"
+
+namespace emx::apps {
+
+namespace {
+constexpr LocalAddr plane_base(std::uint64_t m, std::uint32_t plane) {
+  return rt::kReservedWords + static_cast<LocalAddr>(plane * m);
+}
+
+std::complex<float> twiddle(std::uint64_t k, std::uint64_t size) {
+  const double angle = -2.0 * std::numbers::pi * static_cast<double>(k) /
+                       static_cast<double>(size);
+  return {static_cast<float>(std::cos(angle)),
+          static_cast<float>(std::sin(angle))};
+}
+}  // namespace
+
+CyclicFftApp::CyclicFftApp(Machine& machine, CyclicFftParams params)
+    : machine_(machine), params_(params) {
+  EMX_CHECK(params_.threads >= 1, "need at least one thread per PE");
+  const std::uint32_t P = machine_.config().proc_count;
+  EMX_CHECK(is_power_of_two(P), "cyclic FFT requires power-of-two P");
+  EMX_CHECK(is_power_of_two(params_.n), "FFT size must be a power of two");
+  EMX_CHECK(params_.n >= P, "need at least one point per PE");
+  const std::uint64_t m = per_proc_points();
+  EMX_CHECK(plane_base(m, 3) + m <= machine_.config().memory_words,
+            "point block does not fit in per-PE memory");
+  worker_entry_ = machine_.register_entry(
+      [this](rt::ThreadApi api, Word arg) -> rt::ThreadBody {
+        return cyclic_fft_worker(this, api, arg);
+      });
+}
+
+std::uint64_t CyclicFftApp::per_proc_points() const {
+  return params_.n / machine_.config().proc_count;
+}
+
+std::uint32_t CyclicFftApp::final_parity() const {
+  return ilog2(machine_.config().proc_count) % 2;
+}
+
+LocalAddr CyclicFftApp::re_addr(std::uint32_t parity, std::uint64_t slot) const {
+  return plane_base(per_proc_points(), 2 * parity) + static_cast<LocalAddr>(slot);
+}
+
+LocalAddr CyclicFftApp::im_addr(std::uint32_t parity, std::uint64_t slot) const {
+  return plane_base(per_proc_points(), 2 * parity + 1) +
+         static_cast<LocalAddr>(slot);
+}
+
+void CyclicFftApp::setup() {
+  EMX_CHECK(!setup_done_, "setup() called twice");
+  setup_done_ = true;
+  const std::uint32_t P = machine_.config().proc_count;
+  const std::uint64_t m = per_proc_points();
+
+  Rng rng(params_.seed);
+  input_.resize(params_.n);
+  for (auto& c : input_) {
+    c = {static_cast<float>(rng.next_double() * 2.0 - 1.0),
+         static_cast<float>(rng.next_double() * 2.0 - 1.0)};
+  }
+
+  // Cyclic: global point q*P + r lives on PE r, slot q.
+  for (ProcId r = 0; r < P; ++r) {
+    auto& mem = machine_.memory(r);
+    for (std::uint64_t q = 0; q < m; ++q) {
+      const auto& c = input_[q * P + r];
+      mem.write_f32(re_addr(0, q), c.real());
+      mem.write_f32(im_addr(0, q), c.imag());
+    }
+  }
+
+  machine_.configure_barrier(params_.threads);
+  for (ProcId r = 0; r < P; ++r) {
+    for (std::uint32_t t = 0; t < params_.threads; ++t) {
+      machine_.spawn(r, worker_entry_, t);
+    }
+  }
+}
+
+rt::ThreadBody cyclic_fft_worker(CyclicFftApp* app, rt::ThreadApi api,
+                                 Word thread_index) {
+  const auto t = static_cast<std::uint32_t>(thread_index);
+  const std::uint32_t h = app->params_.threads;
+  const ProcId me = api.proc();
+  const std::uint32_t P = api.config().proc_count;
+  const std::uint64_t m = app->per_proc_points();
+  const std::uint64_t n = app->params_.n;
+  const ThreadChunk chunk = thread_chunk(m, h, t);
+  auto& mem = api.memory();
+
+  // ---- leading local iterations: every stride >= P pairs two slots on
+  // this PE (their global indices differ by a multiple of P) ----
+  std::uint32_t cur = 0;
+  if (app->params_.include_local_phase && m >= 2) {
+    if (t == 0) {
+      for (std::uint64_t size = n; size >= 2 * P; size /= 2) {
+        const std::uint64_t half_slots = (size / 2) / P;  // pair distance in slots
+        const std::uint64_t size_slots = size / P;
+        for (std::uint64_t start = 0; start < m; start += size_slots) {
+          for (std::uint64_t k = 0; k < half_slots; ++k) {
+            const std::uint64_t qa = start + k;
+            const std::uint64_t qb = qa + half_slots;
+            const std::complex<float> a(mem.read_f32(app->re_addr(cur, qa)),
+                                        mem.read_f32(app->im_addr(cur, qa)));
+            const std::complex<float> b(mem.read_f32(app->re_addr(cur, qb)),
+                                        mem.read_f32(app->im_addr(cur, qb)));
+            const std::complex<float> lo = a + b;
+            // Twiddle index of the second-half element: its global index
+            // modulo half the transform size.
+            const std::uint64_t g = qa * P + me;
+            const std::complex<float> hi = (a - b) * twiddle(g & (size / 2 - 1), size);
+            mem.write_f32(app->re_addr(cur, qa), lo.real());
+            mem.write_f32(app->im_addr(cur, qa), lo.imag());
+            mem.write_f32(app->re_addr(cur, qb), hi.real());
+            mem.write_f32(app->im_addr(cur, qb), hi.imag());
+          }
+        }
+      }
+      const unsigned local_iters = ilog2(m);
+      co_await api.compute(app->params_.local_point_cycles * (m / 2) * local_iters);
+    }
+    co_await api.iteration_barrier();
+  }
+
+  // ---- trailing log P iterations: stride < P pairs PE r with r^stride,
+  // same slot (communication phase comes LAST under the cyclic layout) ----
+  for (std::uint64_t half = P / 2; half >= 1; half /= 2) {
+    const std::uint64_t size = 2 * half;
+    const ProcId partner = me ^ static_cast<ProcId>(half);
+    for (std::uint64_t q = chunk.lo; q < chunk.hi; ++q) {
+      co_await api.overhead(app->params_.addr_cycles);
+      const auto [wre, wim] = co_await api.remote_read_pair(
+          rt::GlobalAddr{partner, app->re_addr(cur, q)},
+          rt::GlobalAddr{partner, app->im_addr(cur, q)});
+      co_await api.compute(app->params_.point_cycles);
+
+      const std::complex<float> mate(std::bit_cast<float>(wre),
+                                     std::bit_cast<float>(wim));
+      const std::complex<float> own(mem.read_f32(app->re_addr(cur, q)),
+                                    mem.read_f32(app->im_addr(cur, q)));
+      std::complex<float> out;
+      if ((me & half) == 0) {
+        out = own + mate;
+      } else {
+        // g & (half-1) == me & (half-1) because P | (q*P) and half <= P.
+        out = (mate - own) * twiddle(me & (half - 1), size);
+      }
+      mem.write_f32(app->re_addr(cur ^ 1u, q), out.real());
+      mem.write_f32(app->im_addr(cur ^ 1u, q), out.imag());
+    }
+    cur ^= 1u;
+    co_await api.iteration_barrier();
+  }
+  co_return;
+}
+
+std::vector<std::complex<float>> CyclicFftApp::gather() const {
+  const std::uint32_t P = machine_.config().proc_count;
+  const std::uint64_t m = per_proc_points();
+  const std::uint32_t parity = final_parity();
+  std::vector<std::complex<float>> out(params_.n);
+  auto& machine = const_cast<Machine&>(machine_);
+  for (ProcId r = 0; r < P; ++r) {
+    auto& mem = machine.memory(r);
+    for (std::uint64_t q = 0; q < m; ++q) {
+      out[q * P + r] = {mem.read_f32(re_addr(parity, q)),
+                        mem.read_f32(im_addr(parity, q))};
+    }
+  }
+  return out;
+}
+
+double CyclicFftApp::verify_error() const {
+  std::vector<std::complex<float>> expect = input_;
+  host_fft_dif(expect);
+  return max_relative_error(gather(), expect);
+}
+
+}  // namespace emx::apps

@@ -1,0 +1,72 @@
+// Cyclic-distribution multithreaded FFT — the data/workload distribution
+// counterpart the paper's companion study ([23], Sohn et al., JPDC 1997)
+// examines against hand-tuned blocked layouts.
+//
+// With point i on PE (i mod P), the DIF iteration structure inverts
+// relative to the blocked layout: every butterfly with stride >= P pairs
+// two points on the SAME PE (strides are multiples of P apart... every
+// stride s >= P satisfies (g and g+s) mod P equal only when P | s; DIF
+// strides are powers of two, so all strides >= P are local), while the
+// final log P iterations (stride < P) pair PE r with PE r XOR s.
+// Communication therefore happens at the END of the transform instead of
+// the beginning — same packet count, same per-point twiddle work,
+// different phase structure. bench/ablation_distribution compares the
+// two layouts.
+#pragma once
+
+#include <complex>
+#include <cstdint>
+#include <vector>
+
+#include "core/machine.hpp"
+
+namespace emx::apps {
+
+struct CyclicFftParams {
+  std::uint64_t n = 1024;     ///< points; power of two, >= P
+  std::uint32_t threads = 1;  ///< h, threads per PE
+  std::uint64_t seed = 0x5EED0003;
+  bool include_local_phase = true;  ///< run the leading local iterations
+
+  Cycle addr_cycles = 2;
+  Cycle point_cycles = 250;
+  Cycle local_point_cycles = 60;
+};
+
+class CyclicFftApp {
+ public:
+  CyclicFftApp(Machine& machine, CyclicFftParams params);
+
+  void setup();
+
+  const CyclicFftParams& params() const { return params_; }
+  const std::vector<std::complex<float>>& input() const { return input_; }
+
+  /// Gathers the (bit-reversed-order) output after run().
+  std::vector<std::complex<float>> gather() const;
+
+  /// Max relative error vs the host DIF reference (needs the local
+  /// phase to have run).
+  double verify_error() const;
+
+  LocalAddr re_addr(std::uint32_t parity, std::uint64_t slot) const;
+  LocalAddr im_addr(std::uint32_t parity, std::uint64_t slot) const;
+
+ private:
+  friend rt::ThreadBody cyclic_fft_worker(CyclicFftApp* app, rt::ThreadApi api,
+                                          Word thread_index);
+
+  std::uint64_t per_proc_points() const;
+  std::uint32_t final_parity() const;
+
+  Machine& machine_;
+  CyclicFftParams params_;
+  std::vector<std::complex<float>> input_;
+  std::uint32_t worker_entry_ = 0;
+  bool setup_done_ = false;
+};
+
+rt::ThreadBody cyclic_fft_worker(CyclicFftApp* app, rt::ThreadApi api,
+                                 Word thread_index);
+
+}  // namespace emx::apps

@@ -1,0 +1,77 @@
+#include "apps/host_reference.hpp"
+
+#include <algorithm>
+#include <numbers>
+
+#include "common/assert.hpp"
+#include "common/types.hpp"
+
+namespace emx::apps {
+
+void host_fft_dif(std::vector<std::complex<float>>& data) {
+  const std::size_t n = data.size();
+  EMX_CHECK(is_power_of_two(n), "FFT size must be a power of two");
+  for (std::size_t size = n; size >= 2; size /= 2) {
+    const std::size_t half = size / 2;
+    for (std::size_t start = 0; start < n; start += size) {
+      for (std::size_t k = 0; k < half; ++k) {
+        const double angle =
+            -2.0 * std::numbers::pi * static_cast<double>(k) /
+            static_cast<double>(size);
+        const std::complex<float> w(static_cast<float>(std::cos(angle)),
+                                    static_cast<float>(std::sin(angle)));
+        const std::complex<float> a = data[start + k];
+        const std::complex<float> b = data[start + k + half];
+        data[start + k] = a + b;
+        data[start + k + half] = (a - b) * w;
+      }
+    }
+  }
+}
+
+std::vector<std::complex<double>> host_dft(
+    const std::vector<std::complex<double>>& input) {
+  const std::size_t n = input.size();
+  std::vector<std::complex<double>> out(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    std::complex<double> acc{0.0, 0.0};
+    for (std::size_t j = 0; j < n; ++j) {
+      const double angle = -2.0 * std::numbers::pi *
+                           static_cast<double>(k * j) / static_cast<double>(n);
+      acc += input[j] * std::complex<double>(std::cos(angle), std::sin(angle));
+    }
+    out[k] = acc;
+  }
+  return out;
+}
+
+void bit_reverse_permute(std::vector<std::complex<float>>& data) {
+  const std::size_t n = data.size();
+  EMX_CHECK(is_power_of_two(n), "size must be a power of two");
+  const unsigned bits = ilog2(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    std::size_t r = 0;
+    for (unsigned b = 0; b < bits; ++b)
+      if (i & (std::size_t{1} << b)) r |= std::size_t{1} << (bits - 1 - b);
+    if (r > i) std::swap(data[i], data[r]);
+  }
+}
+
+void host_bitonic_sort(std::vector<std::uint32_t>& data) {
+  const std::size_t n = data.size();
+  EMX_CHECK(is_power_of_two(n), "bitonic network needs a power-of-two size");
+  for (std::size_t k = 2; k <= n; k *= 2) {
+    for (std::size_t j = k / 2; j > 0; j /= 2) {
+      for (std::size_t i = 0; i < n; ++i) {
+        const std::size_t partner = i ^ j;
+        if (partner <= i) continue;
+        const bool ascending = (i & k) == 0;
+        const bool out_of_order =
+            ascending ? data[i] > data[partner] : data[i] < data[partner];
+        if (out_of_order) std::swap(data[i], data[partner]);
+      }
+    }
+  }
+}
+
+}  // namespace emx::apps

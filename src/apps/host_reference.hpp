@@ -1,0 +1,26 @@
+// Host-side reference computations used to verify simulator results.
+#pragma once
+
+#include <complex>
+#include <cstdint>
+#include <vector>
+
+namespace emx::apps {
+
+/// Iterative decimation-in-frequency FFT, natural input order,
+/// bit-reversed output order — the exact operation order the simulated
+/// multithreaded FFT performs, so results match to float rounding.
+void host_fft_dif(std::vector<std::complex<float>>& data);
+
+/// O(n^2) double-precision DFT for small-n ground truth in tests.
+std::vector<std::complex<double>> host_dft(
+    const std::vector<std::complex<double>>& input);
+
+/// Bit-reversal permutation (undoes DIF output ordering), n a power of 2.
+void bit_reverse_permute(std::vector<std::complex<float>>& data);
+
+/// Batcher's bitonic sorting network run element-wise on the host —
+/// cross-checks the distributed compare-split direction pattern.
+void host_bitonic_sort(std::vector<std::uint32_t>& data);
+
+}  // namespace emx::apps

@@ -1,0 +1,166 @@
+#include "apps/jacobi.hpp"
+
+#include <bit>
+#include <cmath>
+
+#include "apps/distribution.hpp"
+#include "common/rng.hpp"
+#include "runtime/barrier.hpp"
+
+namespace emx::apps {
+
+namespace {
+constexpr LocalAddr buf_base(std::uint64_t m, std::uint32_t parity) {
+  return rt::kReservedWords + static_cast<LocalAddr>(parity * m);
+}
+}  // namespace
+
+JacobiApp::JacobiApp(Machine& machine, JacobiParams params)
+    : machine_(machine), params_(params) {
+  EMX_CHECK(params_.threads >= 1, "need at least one thread per PE");
+  const std::uint32_t P = machine_.config().proc_count;
+  EMX_CHECK(params_.n % P == 0, "blocked distribution requires P | n");
+  EMX_CHECK(params_.n / P >= 2, "need at least two cells per PE");
+  const std::uint64_t m = per_proc_cells();
+  EMX_CHECK(buf_base(m, 1) + m <= machine_.config().memory_words,
+            "grid block does not fit in per-PE memory");
+  worker_entry_ = machine_.register_entry(
+      [this](rt::ThreadApi api, Word arg) -> rt::ThreadBody {
+        return jacobi_worker(this, api, arg);
+      });
+}
+
+std::uint64_t JacobiApp::per_proc_cells() const {
+  return params_.n / machine_.config().proc_count;
+}
+
+LocalAddr JacobiApp::cell_addr(std::uint32_t parity, std::uint64_t k) const {
+  return buf_base(per_proc_cells(), parity) + static_cast<LocalAddr>(k);
+}
+
+void JacobiApp::setup() {
+  EMX_CHECK(!setup_done_, "setup() called twice");
+  setup_done_ = true;
+  const std::uint32_t P = machine_.config().proc_count;
+  const std::uint64_t m = per_proc_cells();
+
+  Rng rng(params_.seed);
+  input_.resize(params_.n);
+  for (auto& v : input_) v = static_cast<float>(rng.next_double());
+
+  const BlockDist dist(params_.n, P);
+  for (ProcId p = 0; p < P; ++p) {
+    auto& mem = machine_.memory(p);
+    for (std::uint64_t k = 0; k < m; ++k) {
+      mem.write_f32(cell_addr(0, k), input_[dist.global_index(p, k)]);
+    }
+  }
+
+  machine_.configure_barrier(params_.threads);
+  for (ProcId p = 0; p < P; ++p) {
+    for (std::uint32_t t = 0; t < params_.threads; ++t) {
+      machine_.spawn(p, worker_entry_, t);
+    }
+  }
+}
+
+rt::ThreadBody jacobi_worker(JacobiApp* app, rt::ThreadApi api,
+                             Word thread_index) {
+  const auto t = static_cast<std::uint32_t>(thread_index);
+  const std::uint32_t h = app->params_.threads;
+  const ProcId me = api.proc();
+  const std::uint32_t P = api.config().proc_count;
+  const std::uint64_t m = app->per_proc_cells();
+  const std::uint64_t n = app->params_.n;
+  const ThreadChunk chunk = thread_chunk(m, h, t);
+  auto& mem = api.memory();
+
+  // Halo responsibilities: the thread owning the block's first cell
+  // fetches the left halo, the one owning the last cell the right halo.
+  const bool needs_left = chunk.lo == 0 && chunk.size() > 0 && me > 0;
+  const bool needs_right = chunk.hi == m && chunk.size() > 0 && me + 1 < P;
+
+  std::uint32_t cur = 0;
+  for (std::uint32_t iter = 0; iter < app->params_.iterations; ++iter) {
+    float left_halo = 0.0f;
+    float right_halo = 0.0f;
+    if (needs_left && needs_right) {
+      // Both halos under one suspension via two-operand matching.
+      co_await api.overhead(app->params_.halo_addr_cycles);
+      const auto [wl, wr] = co_await api.remote_read_pair(
+          rt::GlobalAddr{me - 1, app->cell_addr(cur, m - 1)},
+          rt::GlobalAddr{me + 1, app->cell_addr(cur, 0)});
+      left_halo = std::bit_cast<float>(wl);
+      right_halo = std::bit_cast<float>(wr);
+    } else if (needs_left) {
+      co_await api.overhead(app->params_.halo_addr_cycles);
+      left_halo = std::bit_cast<float>(co_await api.remote_read(
+          rt::GlobalAddr{me - 1, app->cell_addr(cur, m - 1)}));
+    } else if (needs_right) {
+      co_await api.overhead(app->params_.halo_addr_cycles);
+      right_halo = std::bit_cast<float>(co_await api.remote_read(
+          rt::GlobalAddr{me + 1, app->cell_addr(cur, 0)}));
+    }
+
+    // Relax this thread's cells (host math; bulk cycle charge).
+    for (std::uint64_t k = chunk.lo; k < chunk.hi; ++k) {
+      const std::uint64_t g = static_cast<std::uint64_t>(me) * m + k;
+      float next;
+      if (g == 0 || g == n - 1) {
+        next = mem.read_f32(app->cell_addr(cur, k));  // fixed boundary
+      } else {
+        const float left = k == 0 ? left_halo
+                                  : mem.read_f32(app->cell_addr(cur, k - 1));
+        const float right = k == m - 1
+                                ? right_halo
+                                : mem.read_f32(app->cell_addr(cur, k + 1));
+        next = 0.5f * (left + right);
+      }
+      mem.write_f32(app->cell_addr(cur ^ 1u, k), next);
+    }
+    if (chunk.size() > 0) {
+      co_await api.compute(app->params_.cell_cycles * chunk.size());
+    }
+
+    cur ^= 1u;
+    co_await api.iteration_barrier();
+  }
+  co_return;
+}
+
+std::vector<float> JacobiApp::gather() const {
+  const std::uint32_t P = machine_.config().proc_count;
+  const std::uint64_t m = per_proc_cells();
+  const std::uint32_t parity = params_.iterations % 2;
+  std::vector<float> out;
+  out.reserve(params_.n);
+  auto& machine = const_cast<Machine&>(machine_);
+  for (ProcId p = 0; p < P; ++p) {
+    auto& mem = machine.memory(p);
+    for (std::uint64_t k = 0; k < m; ++k) {
+      out.push_back(mem.read_f32(cell_addr(parity, k)));
+    }
+  }
+  return out;
+}
+
+double JacobiApp::verify_error() const {
+  // Identical float sweeps on the host.
+  std::vector<float> u = input_;
+  std::vector<float> v(u.size());
+  for (std::uint32_t iter = 0; iter < params_.iterations; ++iter) {
+    for (std::size_t i = 0; i < u.size(); ++i) {
+      v[i] = (i == 0 || i + 1 == u.size()) ? u[i]
+                                           : 0.5f * (u[i - 1] + u[i + 1]);
+    }
+    u.swap(v);
+  }
+  const std::vector<float> got = gather();
+  double worst = 0.0;
+  for (std::size_t i = 0; i < u.size(); ++i) {
+    worst = std::max(worst, std::abs(static_cast<double>(got[i]) - u[i]));
+  }
+  return worst;
+}
+
+}  // namespace emx::apps

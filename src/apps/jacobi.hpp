@@ -1,0 +1,70 @@
+// Jacobi relaxation with halo exchange — a third workload completing the
+// paper's computation-to-communication spectrum.
+//
+// The paper picked its two problems by "the computation-to-communication
+// ratio and the amount of thread parallelism": bitonic sorting sits at
+// ~1:1 with no thread computation parallelism, FFT is compute-heavy with
+// full parallelism. A 1-D Jacobi sweep is the extreme point: per
+// iteration each PE remote-reads just the two halo cells from its
+// neighbours and then relaxes its whole block — communication is so
+// small that a single thread already overlaps it; extra threads only buy
+// intra-block parallelism. (The paper's intro motivates exactly such
+// stencil/CFD workloads whose behaviour shifts at runtime.)
+//
+// u'[i] = 0.5 * (u[i-1] + u[i+1]), fixed boundary cells, single
+// precision, blocked distribution, ping-pong buffers, one iteration
+// barrier per sweep.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/machine.hpp"
+
+namespace emx::apps {
+
+struct JacobiParams {
+  std::uint64_t n = 1024;       ///< grid cells (P | n, n/P >= 2)
+  std::uint32_t threads = 1;    ///< h, threads per PE
+  std::uint32_t iterations = 10;
+  std::uint64_t seed = 0x5EED0004;
+
+  Cycle cell_cycles = 6;        ///< load, add, multiply, store per cell
+  Cycle halo_addr_cycles = 4;   ///< neighbour address computation
+};
+
+class JacobiApp {
+ public:
+  JacobiApp(Machine& machine, JacobiParams params);
+
+  void setup();
+
+  const JacobiParams& params() const { return params_; }
+  const std::vector<float>& input() const { return input_; }
+
+  /// Gathers the relaxed grid after run().
+  std::vector<float> gather() const;
+
+  /// Host-side reference: the same sweeps in double precision; returns
+  /// the max absolute difference.
+  double verify_error() const;
+
+  LocalAddr cell_addr(std::uint32_t parity, std::uint64_t k) const;
+
+ private:
+  friend rt::ThreadBody jacobi_worker(JacobiApp* app, rt::ThreadApi api,
+                                      Word thread_index);
+
+  std::uint64_t per_proc_cells() const;
+
+  Machine& machine_;
+  JacobiParams params_;
+  std::vector<float> input_;
+  std::uint32_t worker_entry_ = 0;
+  bool setup_done_ = false;
+};
+
+rt::ThreadBody jacobi_worker(JacobiApp* app, rt::ThreadApi api,
+                             Word thread_index);
+
+}  // namespace emx::apps

@@ -1,0 +1,33 @@
+#include "apps/verify.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace emx::apps {
+
+bool is_sorted_ascending(const std::vector<std::uint32_t>& data) {
+  return std::is_sorted(data.begin(), data.end());
+}
+
+bool same_multiset(std::vector<std::uint32_t> a, std::vector<std::uint32_t> b) {
+  if (a.size() != b.size()) return false;
+  std::sort(a.begin(), a.end());
+  std::sort(b.begin(), b.end());
+  return a == b;
+}
+
+double max_relative_error(const std::vector<std::complex<float>>& a,
+                          const std::vector<std::complex<float>>& b) {
+  if (a.size() != b.size()) return 1.0e9;
+  double worst = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double err = std::abs(std::complex<double>(a[i]) -
+                                std::complex<double>(b[i]));
+    const double mag = std::max({1.0, std::abs(std::complex<double>(a[i])),
+                                 std::abs(std::complex<double>(b[i]))});
+    worst = std::max(worst, err / mag);
+  }
+  return worst;
+}
+
+}  // namespace emx::apps

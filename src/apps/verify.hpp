@@ -1,0 +1,22 @@
+// Result verification helpers: the simulator stores real data, so every
+// experiment checks its answer, not just its timing.
+#pragma once
+
+#include <complex>
+#include <cstdint>
+#include <vector>
+
+namespace emx::apps {
+
+/// True if `data` is non-decreasing.
+bool is_sorted_ascending(const std::vector<std::uint32_t>& data);
+
+/// True if `a` and `b` contain the same multiset of values.
+bool same_multiset(std::vector<std::uint32_t> a, std::vector<std::uint32_t> b);
+
+/// Relative/absolute mixed tolerance comparison of complex vectors.
+/// Returns the max elementwise error normalized by the larger magnitude.
+double max_relative_error(const std::vector<std::complex<float>>& a,
+                          const std::vector<std::complex<float>>& b);
+
+}  // namespace emx::apps

@@ -1,0 +1,14 @@
+#include "common/assert.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace emx {
+
+void panic(const char* file, int line, const std::string& message) {
+  std::fprintf(stderr, "[emx panic] %s:%d: %s\n", file, line, message.c_str());
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace emx

@@ -1,0 +1,35 @@
+// Always-on invariant checking for the simulator.
+//
+// Simulator correctness (packet conservation, FIFO ordering, cycle
+// monotonicity) is part of the deliverable, so EMX_CHECK stays enabled in
+// Release builds. EMX_DCHECK compiles out when EMX_DISABLE_DCHECK is set.
+#pragma once
+
+#include <string>
+
+namespace emx {
+
+/// Prints a diagnostic including file/line and aborts. Never returns.
+[[noreturn]] void panic(const char* file, int line, const std::string& message);
+
+}  // namespace emx
+
+#define EMX_CHECK(cond, msg)                              \
+  do {                                                    \
+    if (!(cond)) {                                        \
+      ::emx::panic(__FILE__, __LINE__,                    \
+                   std::string("EMX_CHECK failed: ") +    \
+                       #cond + " — " + (msg));            \
+    }                                                     \
+  } while (0)
+
+#define EMX_UNREACHABLE(msg) \
+  ::emx::panic(__FILE__, __LINE__, std::string("unreachable: ") + (msg))
+
+#ifdef EMX_DISABLE_DCHECK
+#define EMX_DCHECK(cond, msg) \
+  do {                        \
+  } while (0)
+#else
+#define EMX_DCHECK(cond, msg) EMX_CHECK(cond, msg)
+#endif

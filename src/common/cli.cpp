@@ -1,0 +1,124 @@
+#include "common/cli.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/assert.hpp"
+
+namespace emx {
+
+CliFlags& CliFlags::define(const std::string& name,
+                           const std::string& default_value,
+                           const std::string& help) {
+  EMX_CHECK(!flags_.count(name), "duplicate flag: " + name);
+  flags_[name] = Flag{default_value, default_value, help};
+  order_.push_back(name);
+  return *this;
+}
+
+const CliFlags::Flag& CliFlags::get(const std::string& name) const {
+  auto it = flags_.find(name);
+  EMX_CHECK(it != flags_.end(), "unknown flag queried: " + name);
+  return it->second;
+}
+
+void CliFlags::parse(int argc, const char* const* argv) {
+  auto fail = [&](const std::string& why) {
+    std::fprintf(stderr, "error: %s\n%s", why.c_str(),
+                 help_text(argv[0]).c_str());
+    std::exit(2);
+  };
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      std::printf("%s", help_text(argv[0]).c_str());
+      std::exit(0);
+    }
+    if (arg.rfind("--", 0) != 0) fail("positional arguments not supported: " + arg);
+    arg = arg.substr(2);
+    std::string name;
+    std::string value;
+    const auto eq = arg.find('=');
+    if (eq != std::string::npos) {
+      name = arg.substr(0, eq);
+      value = arg.substr(eq + 1);
+    } else if (arg.rfind("no-", 0) == 0 && flags_.count(arg.substr(3))) {
+      name = arg.substr(3);
+      value = "false";
+    } else if (flags_.count(arg) && (i + 1 >= argc ||
+                                     std::string(argv[i + 1]).rfind("--", 0) == 0)) {
+      name = arg;
+      value = "true";  // bare boolean flag
+    } else if (i + 1 < argc) {
+      name = arg;
+      value = argv[++i];
+    } else {
+      fail("flag needs a value: --" + arg);
+    }
+    auto it = flags_.find(name);
+    if (it == flags_.end()) fail("unknown flag: --" + name);
+    it->second.value = value;
+  }
+}
+
+std::string CliFlags::str(const std::string& name) const { return get(name).value; }
+
+std::int64_t CliFlags::integer(const std::string& name) const {
+  const auto& v = get(name).value;
+  char* end = nullptr;
+  const long long r = std::strtoll(v.c_str(), &end, 0);
+  EMX_CHECK(end && *end == '\0' && !v.empty(), "flag --" + name + " is not an integer: " + v);
+  return r;
+}
+
+double CliFlags::real(const std::string& name) const {
+  const auto& v = get(name).value;
+  char* end = nullptr;
+  const double r = std::strtod(v.c_str(), &end);
+  EMX_CHECK(end && *end == '\0' && !v.empty(), "flag --" + name + " is not a number: " + v);
+  return r;
+}
+
+bool CliFlags::boolean(const std::string& name) const {
+  const auto& v = get(name).value;
+  if (v == "true" || v == "1" || v == "yes" || v == "on") return true;
+  if (v == "false" || v == "0" || v == "no" || v == "off" || v.empty()) return false;
+  EMX_CHECK(false, "flag --" + name + " is not a boolean: " + v);
+  return false;
+}
+
+std::vector<std::int64_t> CliFlags::int_list(const std::string& name) const {
+  const auto& v = get(name).value;
+  std::vector<std::int64_t> out;
+  std::string cur;
+  auto flush = [&] {
+    if (cur.empty()) return;
+    char* end = nullptr;
+    const long long r = std::strtoll(cur.c_str(), &end, 0);
+    EMX_CHECK(end && *end == '\0', "flag --" + name + " has a bad list element: " + cur);
+    out.push_back(r);
+    cur.clear();
+  };
+  for (char ch : v) {
+    if (ch == ',') {
+      flush();
+    } else {
+      cur += ch;
+    }
+  }
+  flush();
+  return out;
+}
+
+std::string CliFlags::help_text(const std::string& program) const {
+  std::string out = "usage: " + program + " [--flag=value ...]\n";
+  for (const auto& name : order_) {
+    const auto& f = flags_.at(name);
+    out += "  --" + name + " (default: " +
+           (f.default_value.empty() ? "\"\"" : f.default_value) + ")\n      " +
+           f.help + "\n";
+  }
+  return out;
+}
+
+}  // namespace emx

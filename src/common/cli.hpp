@@ -1,0 +1,45 @@
+// Tiny command-line flag parser for bench/example binaries.
+//
+// Supports --name=value, --name value, and boolean --name / --no-name.
+// Unknown flags are an error (catches typos in sweep scripts).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace emx {
+
+class CliFlags {
+ public:
+  /// Registers a flag with its default and help text; returns *this.
+  CliFlags& define(const std::string& name, const std::string& default_value,
+                   const std::string& help);
+
+  /// Parses argv; calls std::exit(0) after printing help on --help,
+  /// and std::exit(2) on malformed/unknown flags.
+  void parse(int argc, const char* const* argv);
+
+  std::string str(const std::string& name) const;
+  std::int64_t integer(const std::string& name) const;
+  double real(const std::string& name) const;
+  bool boolean(const std::string& name) const;
+
+  /// Comma-separated integer list ("1,2,4,8").
+  std::vector<std::int64_t> int_list(const std::string& name) const;
+
+  std::string help_text(const std::string& program) const;
+
+ private:
+  struct Flag {
+    std::string value;
+    std::string default_value;
+    std::string help;
+  };
+  const Flag& get(const std::string& name) const;
+  std::map<std::string, Flag> flags_;
+  std::vector<std::string> order_;
+};
+
+}  // namespace emx

@@ -1,0 +1,44 @@
+// Minimal leveled logger. Single-writer per stream; the simulator itself is
+// single-threaded, host-side sweep workers each log whole lines.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace emx {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global log threshold; messages below it are discarded.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+namespace detail {
+void log_line(LogLevel level, const std::string& line);
+}
+
+/// Stream-style one-shot log statement: EMX_LOG(kInfo) << "x=" << x;
+class LogStatement {
+ public:
+  explicit LogStatement(LogLevel level) : level_(level) {}
+  ~LogStatement() { detail::log_line(level_, stream_.str()); }
+  LogStatement(const LogStatement&) = delete;
+  LogStatement& operator=(const LogStatement&) = delete;
+
+  template <typename T>
+  LogStatement& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace emx
+
+#define EMX_LOG(level)                                             \
+  if (::emx::LogLevel::level < ::emx::log_level()) {               \
+  } else                                                           \
+    ::emx::LogStatement(::emx::LogLevel::level)

@@ -1,0 +1,97 @@
+// Bounded and unbounded FIFO queues used for the hardware packet buffers
+// (IBU/OBU on-chip FIFOs are 8 packets deep; overflow spills to memory).
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <vector>
+
+#include "common/assert.hpp"
+
+namespace emx {
+
+/// Fixed-capacity circular FIFO. Models an on-chip hardware queue: pushes
+/// beyond capacity are a programming error (callers must check full()).
+template <typename T>
+class RingBuffer {
+ public:
+  explicit RingBuffer(std::size_t capacity)
+      : slots_(capacity) {
+    EMX_CHECK(capacity > 0, "ring buffer capacity must be positive");
+  }
+
+  bool empty() const { return size_ == 0; }
+  bool full() const { return size_ == slots_.size(); }
+  std::size_t size() const { return size_; }
+  std::size_t capacity() const { return slots_.size(); }
+
+  void push(T value) {
+    EMX_DCHECK(!full(), "push to full ring buffer");
+    slots_[tail_] = std::move(value);
+    tail_ = (tail_ + 1) % slots_.size();
+    ++size_;
+  }
+
+  T pop() {
+    EMX_DCHECK(!empty(), "pop from empty ring buffer");
+    T value = std::move(slots_[head_]);
+    head_ = (head_ + 1) % slots_.size();
+    --size_;
+    return value;
+  }
+
+  const T& front() const {
+    EMX_DCHECK(!empty(), "front of empty ring buffer");
+    return slots_[head_];
+  }
+
+ private:
+  std::vector<T> slots_;
+  std::size_t head_ = 0;
+  std::size_t tail_ = 0;
+  std::size_t size_ = 0;
+};
+
+/// On-chip FIFO with automatic spill to an unbounded "memory" backing
+/// store, mirroring the EMC-Y Input Buffer Unit behaviour: if the on-chip
+/// FIFO becomes full, packets are stored to the on-memory buffer and
+/// restored to the on-chip FIFO as space frees up (paper §2.2).
+template <typename T>
+class SpillingFifo {
+ public:
+  explicit SpillingFifo(std::size_t on_chip_capacity)
+      : on_chip_(on_chip_capacity) {}
+
+  bool empty() const { return on_chip_.empty() && spill_.empty(); }
+  std::size_t size() const { return on_chip_.size() + spill_.size(); }
+  std::size_t spilled() const { return spill_.size(); }
+  std::size_t peak_size() const { return peak_; }
+
+  void push(T value) {
+    if (!spill_.empty() || on_chip_.full()) {
+      spill_.push_back(std::move(value));  // preserve global FIFO order
+    } else {
+      on_chip_.push(std::move(value));
+    }
+    peak_ = std::max(peak_, size());
+  }
+
+  T pop() {
+    EMX_DCHECK(!empty(), "pop from empty spilling fifo");
+    T value = on_chip_.pop();
+    if (!spill_.empty()) {
+      on_chip_.push(std::move(spill_.front()));
+      spill_.pop_front();
+    }
+    return value;
+  }
+
+  const T& front() const { return on_chip_.front(); }
+
+ private:
+  RingBuffer<T> on_chip_;
+  std::deque<T> spill_;
+  std::size_t peak_ = 0;
+};
+
+}  // namespace emx

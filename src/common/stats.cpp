@@ -1,0 +1,93 @@
+#include "common/stats.hpp"
+
+#include <cstdio>
+
+#include "common/assert.hpp"
+
+namespace emx {
+
+void RunningStat::merge(const RunningStat& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(count_);
+  const double nb = static_cast<double>(other.count_);
+  const double delta = other.mean_ - mean_;
+  const double n = na + nb;
+  m2_ += other.m2_ + delta * delta * na * nb / n;
+  mean_ = (na * mean_ + nb * other.mean_) / n;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+  sum_ += other.sum_;
+  count_ += other.count_;
+}
+
+std::string RunningStat::summary() const {
+  char buf[160];
+  std::snprintf(buf, sizeof buf,
+                "n=%llu mean=%.4g stddev=%.4g min=%.4g max=%.4g",
+                static_cast<unsigned long long>(count_), mean(), stddev(),
+                min(), max());
+  return buf;
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t buckets)
+    : lo_(lo), hi_(hi), counts_(buckets, 0) {
+  EMX_CHECK(hi > lo && buckets > 0, "histogram range/bucket count invalid");
+}
+
+void Histogram::add(double x) {
+  const double span = hi_ - lo_;
+  double frac = (x - lo_) / span;
+  frac = std::clamp(frac, 0.0, 1.0);
+  auto idx = static_cast<std::size_t>(frac * static_cast<double>(counts_.size()));
+  if (idx >= counts_.size()) idx = counts_.size() - 1;
+  ++counts_[idx];
+  ++total_;
+}
+
+double Histogram::bucket_lo(std::size_t i) const {
+  return lo_ + (hi_ - lo_) * static_cast<double>(i) /
+                   static_cast<double>(counts_.size());
+}
+
+double Histogram::percentile(double p) const {
+  if (total_ == 0) return lo_;
+  const double target = p / 100.0 * static_cast<double>(total_);
+  double seen = 0.0;
+  const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const double next = seen + static_cast<double>(counts_[i]);
+    if (next >= target && counts_[i] > 0) {
+      const double within = (target - seen) / static_cast<double>(counts_[i]);
+      return bucket_lo(i) + within * width;
+    }
+    seen = next;
+  }
+  return hi_;
+}
+
+std::string Histogram::ascii(std::size_t width) const {
+  std::uint64_t peak = 1;
+  for (auto c : counts_) peak = std::max(peak, c);
+  std::string out;
+  const double bucket_width = (hi_ - lo_) / static_cast<double>(counts_.size());
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    char head[64];
+    std::snprintf(head, sizeof head, "%10.3g |", bucket_lo(i) + 0.5 * bucket_width);
+    out += head;
+    const auto bar = static_cast<std::size_t>(
+        static_cast<double>(counts_[i]) / static_cast<double>(peak) *
+        static_cast<double>(width));
+    out.append(bar, '#');
+    char tail[32];
+    std::snprintf(tail, sizeof tail, " %llu\n",
+                  static_cast<unsigned long long>(counts_[i]));
+    out += tail;
+  }
+  return out;
+}
+
+}  // namespace emx

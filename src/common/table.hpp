@@ -1,0 +1,41 @@
+// Plain-text and CSV table rendering for the benchmark harness. Every
+// figure-reproduction bench prints its series through this so the output
+// format is uniform and machine-readable.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace emx {
+
+/// A rectangular table: a header row plus data rows of equal width.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> row);
+
+  /// Convenience: formats doubles with %.6g, integers exactly.
+  static std::string cell(double v);
+  static std::string cell(std::uint64_t v);
+
+  std::size_t rows() const { return rows_.size(); }
+  std::size_t columns() const { return header_.size(); }
+  const std::vector<std::string>& header() const { return header_; }
+  const std::vector<std::string>& row(std::size_t i) const { return rows_[i]; }
+
+  /// Aligned plain-text rendering.
+  std::string to_text() const;
+  /// RFC-4180-ish CSV (quotes cells containing comma/quote/newline).
+  std::string to_csv() const;
+
+  void print(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace emx

@@ -1,0 +1,70 @@
+#include "common/thread_pool.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+
+namespace emx {
+
+ThreadPool::ThreadPool(std::size_t workers) {
+  if (workers == 0) {
+    workers = std::max(1u, std::thread::hardware_concurrency());
+  }
+  threads_.reserve(workers);
+  for (std::size_t i = 0; i < workers; ++i) {
+    threads_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    EMX_CHECK(!stop_, "submit after shutdown");
+    queue_.push_back(std::move(task));
+  }
+  work_cv_.notify_one();
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  idle_cv_.wait(lock, [this] { return queue_.empty() && in_flight_ == 0; });
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ and drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+      ++in_flight_;
+    }
+    task();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      --in_flight_;
+    }
+    idle_cv_.notify_all();
+  }
+}
+
+void parallel_for(ThreadPool& pool, std::size_t count,
+                  const std::function<void(std::size_t)>& fn) {
+  for (std::size_t i = 0; i < count; ++i) {
+    pool.submit([&fn, i] { fn(i); });
+  }
+  pool.wait_idle();
+}
+
+}  // namespace emx

@@ -1,0 +1,64 @@
+// Fundamental fixed-width types shared by every EM-X simulator module.
+//
+// The EMC-Y is a 32-bit machine: memory words, packet words and registers
+// are all 32 bits. Simulation time is counted in 20 MHz clock cycles.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace emx {
+
+/// One EMC-Y machine word (32 bits). Packets carry two of these.
+using Word = std::uint32_t;
+
+/// Simulated time in EMC-Y clock cycles (20 MHz -> 50 ns per cycle).
+using Cycle = std::uint64_t;
+
+/// Processor (processing element) index within the machine, 0..P-1.
+using ProcId = std::uint32_t;
+
+/// Word-granular address within one PE's local memory.
+using LocalAddr = std::uint32_t;
+
+/// Identifies a thread (activation) within one PE.
+using ThreadId = std::uint32_t;
+
+inline constexpr Cycle kNeverCycle = std::numeric_limits<Cycle>::max();
+inline constexpr ThreadId kInvalidThread = std::numeric_limits<ThreadId>::max();
+
+/// Default EMC-Y clock frequency in Hz (the prototype runs at 20 MHz).
+inline constexpr double kDefaultClockHz = 20.0e6;
+
+/// Converts a cycle count to seconds at a given clock frequency.
+constexpr double cycles_to_seconds(Cycle cycles, double clock_hz) {
+  return static_cast<double>(cycles) / clock_hz;
+}
+
+/// Converts seconds to (truncated) cycles at a given clock frequency.
+constexpr Cycle seconds_to_cycles(double seconds, double clock_hz) {
+  return static_cast<Cycle>(seconds * clock_hz);
+}
+
+/// True if `v` is a power of two (and nonzero).
+constexpr bool is_power_of_two(std::uint64_t v) {
+  return v != 0 && (v & (v - 1)) == 0;
+}
+
+/// Integer log2 for powers of two; e.g. ilog2(64) == 6.
+constexpr unsigned ilog2(std::uint64_t v) {
+  unsigned r = 0;
+  while (v > 1) {
+    v >>= 1;
+    ++r;
+  }
+  return r;
+}
+
+/// Ceil(log2(v)) for v >= 1.
+constexpr unsigned ceil_log2(std::uint64_t v) {
+  unsigned r = ilog2(v);
+  return (std::uint64_t{1} << r) == v ? r : r + 1;
+}
+
+}  // namespace emx

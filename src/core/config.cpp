@@ -1,0 +1,51 @@
+#include "core/config.hpp"
+
+#include <cstdio>
+
+#include "common/assert.hpp"
+
+namespace emx {
+
+void MachineConfig::validate() const {
+  EMX_CHECK(proc_count >= 1, "need at least one processor");
+  EMX_CHECK(network != NetworkModel::kDetailed || is_power_of_two(proc_count),
+            "detailed Omega network requires power-of-two proc_count");
+  EMX_CHECK(memory_words >= 1024, "per-PE memory unrealistically small");
+  EMX_CHECK(clock_hz > 0, "clock must be positive");
+  EMX_CHECK(ibu_fifo_depth > 0 && obu_fifo_depth > 0, "FIFO depth must be positive");
+  EMX_CHECK(packet_gen_cycles >= 1, "packet generation takes at least a cycle");
+  EMX_CHECK(barrier_poll_interval >= 1, "poll interval must be positive");
+}
+
+MachineConfig MachineConfig::paper_machine(std::uint32_t procs) {
+  MachineConfig cfg;
+  cfg.proc_count = procs;
+  cfg.network = NetworkModel::kDetailed;
+  cfg.validate();
+  return cfg;
+}
+
+MachineConfig MachineConfig::emx_prototype() {
+  MachineConfig cfg;
+  cfg.proc_count = 80;
+  cfg.network = NetworkModel::kFast;
+  cfg.validate();
+  return cfg;
+}
+
+std::string MachineConfig::summary() const {
+  char buf[512];
+  std::snprintf(
+      buf, sizeof buf,
+      "EM-X machine: P=%u, %.0f MHz, mem=%zu words/PE, net=%s, "
+      "read-service=%s, switch=%llu+%llu cycles, dma=%llu cycles",
+      proc_count, clock_hz / 1e6, memory_words,
+      network == NetworkModel::kDetailed ? "omega-detailed" : "omega-fast",
+      read_service == ReadServiceMode::kBypassDma ? "bypass-dma" : "exu-thread(EM-4)",
+      static_cast<unsigned long long>(switch_save_cycles),
+      static_cast<unsigned long long>(mu_dispatch_cycles),
+      static_cast<unsigned long long>(dma_service_cycles));
+  return buf;
+}
+
+}  // namespace emx

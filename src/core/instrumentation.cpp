@@ -1,0 +1,79 @@
+#include "core/instrumentation.hpp"
+
+#include <cstdio>
+
+namespace emx {
+
+namespace {
+template <typename Fn>
+double mean_over(const std::vector<ProcReport>& procs, Fn fn) {
+  if (procs.empty()) return 0.0;
+  double sum = 0.0;
+  for (const auto& p : procs) sum += static_cast<double>(fn(p));
+  return sum / static_cast<double>(procs.size());
+}
+}  // namespace
+
+double MachineReport::mean_comm_cycles() const {
+  return mean_over(procs, [](const ProcReport& p) { return p.comm; });
+}
+double MachineReport::mean_compute_cycles() const {
+  return mean_over(procs, [](const ProcReport& p) { return p.compute; });
+}
+double MachineReport::mean_overhead_cycles() const {
+  return mean_over(procs, [](const ProcReport& p) { return p.overhead; });
+}
+double MachineReport::mean_switching_cycles() const {
+  return mean_over(procs, [](const ProcReport& p) { return p.switching; });
+}
+double MachineReport::mean_read_service_cycles() const {
+  return mean_over(procs, [](const ProcReport& p) { return p.read_service; });
+}
+double MachineReport::mean_remote_read_switches() const {
+  return mean_over(procs, [](const ProcReport& p) { return p.switches.remote_read; });
+}
+double MachineReport::mean_thread_sync_switches() const {
+  return mean_over(procs, [](const ProcReport& p) { return p.switches.thread_sync; });
+}
+double MachineReport::mean_iter_sync_switches() const {
+  return mean_over(procs, [](const ProcReport& p) { return p.switches.iter_sync; });
+}
+
+MachineReport::Shares MachineReport::shares() const {
+  Shares s;
+  const double compute = mean_compute_cycles();
+  const double overhead = mean_overhead_cycles();
+  const double comm = mean_comm_cycles();
+  const double sw = mean_switching_cycles() + mean_read_service_cycles();
+  const double total = compute + overhead + comm + sw;
+  if (total <= 0) return s;
+  s.compute = 100.0 * compute / total;
+  s.overhead = 100.0 * overhead / total;
+  s.comm = 100.0 * comm / total;
+  s.switching = 100.0 * sw / total;
+  return s;
+}
+
+std::string MachineReport::summary_text() const {
+  const Shares s = shares();
+  char buf[512];
+  std::snprintf(
+      buf, sizeof buf,
+      "cycles=%llu (%.6f s @ %.0f MHz)  "
+      "compute=%.1f%% overhead=%.1f%% comm=%.1f%% switch=%.1f%%  "
+      "switches/PE: read=%.0f thread-sync=%.0f iter-sync=%.0f  "
+      "net: %llu pkts, mean latency %.1f cyc",
+      static_cast<unsigned long long>(total_cycles), seconds(), clock_hz / 1e6,
+      s.compute, s.overhead, s.comm, s.switching, mean_remote_read_switches(),
+      mean_thread_sync_switches(), mean_iter_sync_switches(),
+      static_cast<unsigned long long>(network.packets_delivered),
+      network.latency.mean());
+  return buf;
+}
+
+double overlap_efficiency_percent(double comm_1, double comm_h) {
+  if (comm_1 <= 0.0) return 0.0;
+  return 100.0 * (comm_1 - comm_h) / comm_1;
+}
+
+}  // namespace emx

@@ -1,0 +1,77 @@
+// Measurement structures mirroring the paper's evaluation:
+//   * Figure 6  — communication time (exposed idle cycles);
+//   * Figure 7  — overlap efficiency, derived from communication times;
+//   * Figure 8  — execution-time distribution (computation / overhead /
+//                 communication / switching);
+//   * Figure 9  — average number of switches per processor, by type.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "network/network_iface.hpp"
+#include "runtime/scheduler.hpp"
+
+namespace emx {
+
+/// Per-processor cycle decomposition. Idle cycles (no runnable thread)
+/// are the exposed communication time — what multithreading overlaps.
+struct ProcReport {
+  Cycle compute = 0;
+  Cycle overhead = 0;       ///< packet-generation instructions
+  Cycle switching = 0;      ///< register save + MU dispatch + barrier checks
+  Cycle read_service = 0;   ///< EM-4 mode only: reads serviced on the EXU
+  Cycle comm = 0;           ///< idle (exposed communication) cycles
+  rt::SwitchCounts switches;
+  std::uint64_t reads_issued = 0;
+  std::uint64_t packets_accepted = 0;
+  std::uint64_t dma_reads = 0;
+  std::uint64_t dma_block_reads = 0;
+  std::uint64_t dma_writes = 0;
+
+  Cycle busy_total() const { return compute + overhead + switching + read_service; }
+  Cycle total() const { return busy_total() + comm; }
+};
+
+struct MachineReport {
+  Cycle total_cycles = 0;
+  double clock_hz = kDefaultClockHz;
+  std::vector<ProcReport> procs;
+  net::NetworkStats network;
+  std::uint64_t events_processed = 0;
+
+  double seconds() const { return cycles_to_seconds(total_cycles, clock_hz); }
+
+  // --- aggregates over processors ---
+  double mean_comm_cycles() const;
+  double mean_comm_seconds() const {
+    return mean_comm_cycles() / clock_hz;
+  }
+  double mean_compute_cycles() const;
+  double mean_overhead_cycles() const;
+  double mean_switching_cycles() const;
+  double mean_read_service_cycles() const;
+
+  /// Average switch counts per processor (paper Fig. 9 y-axis).
+  double mean_remote_read_switches() const;
+  double mean_thread_sync_switches() const;
+  double mean_iter_sync_switches() const;
+
+  /// Figure-8 style percentage shares of total execution time
+  /// (computation, overhead, communication, switching; read service is
+  /// folded into switching for EM-4 runs).
+  struct Shares {
+    double compute = 0, overhead = 0, comm = 0, switching = 0;
+  };
+  Shares shares() const;
+
+  std::string summary_text() const;
+};
+
+/// Overlap efficiency E = (Tcomm,1 - Tcomm,h) / Tcomm,1, in percent
+/// (paper §4). `comm_1` is the single-thread communication time.
+double overlap_efficiency_percent(double comm_1, double comm_h);
+
+}  // namespace emx

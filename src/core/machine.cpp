@@ -1,0 +1,184 @@
+#include "core/machine.hpp"
+
+#include "common/assert.hpp"
+#include "network/fast_network.hpp"
+#include "network/omega_network.hpp"
+#include "runtime/barrier.hpp"
+#include "runtime/global_addr.hpp"
+
+namespace emx {
+
+namespace {
+
+ProcId tree_parent(ProcId p) { return (p - 1) / 2; }
+
+// --- iteration-barrier coordinator bodies -------------------------------
+// These run as real EM-X threads: join packets are thread invocations and
+// the coordinator's work consumes its EXU cycles, so central-coordinator
+// serialisation is modelled faithfully.
+
+rt::ThreadBody central_join_body(Machine* m, std::uint32_t* count,
+                                 rt::ThreadApi api, Word sense) {
+  co_await api.compute(2);  // counter load/increment/compare
+  if (++*count == m->config().proc_count) {
+    *count = 0;
+    // Release: one remote write per PE sets its sense flag; the writes
+    // are serviced by each PE's by-pass DMA.
+    for (ProcId p = 0; p < m->config().proc_count; ++p) {
+      co_await api.remote_write(
+          rt::GlobalAddr{p, rt::barrier_flag_addr(static_cast<std::uint8_t>(sense))},
+          1);
+    }
+  }
+}
+
+rt::ThreadBody tree_release_body(Machine* m, std::uint32_t release_entry,
+                                 rt::ThreadApi api, Word sense) {
+  co_await api.compute(1);
+  api.local_write(rt::barrier_flag_addr(static_cast<std::uint8_t>(sense)), 1);
+  const ProcId p = api.proc();
+  const ProcId left = 2 * p + 1;
+  const ProcId right = 2 * p + 2;
+  if (left < m->config().proc_count) co_await api.spawn(left, release_entry, sense);
+  if (right < m->config().proc_count) co_await api.spawn(right, release_entry, sense);
+}
+
+rt::ThreadBody tree_join_body(std::vector<rt::BarrierNode>* nodes,
+                              std::uint32_t join_entry, std::uint32_t release_entry,
+                              rt::ThreadApi api, Word sense) {
+  co_await api.compute(2);
+  const ProcId p = api.proc();
+  rt::BarrierNode& node = (*nodes)[p];
+  if (++node.count == node.expected) {
+    node.count = 0;
+    if (p == 0) {
+      // Root: begin the downward release wave on ourselves.
+      co_await api.spawn(0, release_entry, sense);
+    } else {
+      co_await api.spawn(tree_parent(p), join_entry, sense);
+    }
+  }
+}
+
+}  // namespace
+
+Machine::Machine(MachineConfig config, trace::TraceSink* sink)
+    : config_(config), sink_(sink) {
+  config_.validate();
+
+  switch (config_.network) {
+    case NetworkModel::kDetailed:
+      network_ = std::make_unique<net::OmegaNetwork>(
+          sim_, config_.proc_count, config_.self_loop_cycles,
+          config_.port_interval_cycles);
+      break;
+    case NetworkModel::kFast:
+      network_ = std::make_unique<net::FastNetwork>(
+          sim_, config_.proc_count, config_.self_loop_cycles,
+          config_.port_interval_cycles);
+      break;
+  }
+  network_->set_delivery(&Machine::delivery_thunk, this);
+
+  // Runtime-internal entries (ids are stable: registered before any app).
+  barrier_entry_central_ = registry_.add(
+      [this](rt::ThreadApi api, Word sense) -> rt::ThreadBody {
+        return central_join_body(this, &barrier_count_, api, sense);
+      });
+  const std::uint32_t release_entry = registry_.add(
+      [this](rt::ThreadApi api, Word sense) -> rt::ThreadBody {
+        // This lambda's own entry id is barrier_entry_tree_ - 1 (it is
+        // registered immediately before the tree join entry).
+        return tree_release_body(this, barrier_entry_tree_ - 1, api, sense);
+      });
+  barrier_entry_tree_ = registry_.add(
+      [this, release_entry](rt::ThreadApi api, Word sense) -> rt::ThreadBody {
+        return tree_join_body(&tree_nodes_, barrier_entry_tree_,
+                              release_entry, api, sense);
+      });
+  EMX_CHECK(barrier_entry_tree_ == release_entry + 1,
+            "entry id layout changed; fix tree_release_body's child entry");
+
+  pes_.reserve(config_.proc_count);
+  for (ProcId p = 0; p < config_.proc_count; ++p) {
+    pes_.push_back(std::make_unique<proc::Emcy>(sim_, config_, p, *network_,
+                                                registry_, sink_));
+  }
+}
+
+Machine::~Machine() = default;
+
+proc::Emcy& Machine::pe(ProcId p) {
+  EMX_CHECK(p < pes_.size(), "processor id out of range");
+  return *pes_[p];
+}
+
+void Machine::configure_barrier(std::uint32_t participants_per_pe) {
+  EMX_CHECK(participants_per_pe > 0, "barrier needs at least one participant");
+  if (config_.barrier == BarrierTopology::kCentral) {
+    for (auto& pe : pes_) {
+      pe->engine().set_barrier(0, barrier_entry_central_, participants_per_pe);
+    }
+    return;
+  }
+  tree_nodes_.assign(config_.proc_count, rt::BarrierNode{});
+  for (ProcId p = 0; p < config_.proc_count; ++p) {
+    std::uint32_t expected = 1;  // this PE's own local join
+    if (2 * p + 1 < config_.proc_count) ++expected;
+    if (2 * p + 2 < config_.proc_count) ++expected;
+    tree_nodes_[p].expected = expected;
+    pes_[p]->engine().set_barrier(p, barrier_entry_tree_, participants_per_pe);
+  }
+}
+
+void Machine::spawn(ProcId proc, std::uint32_t entry, Word arg, Cycle at) {
+  EMX_CHECK(!ran_, "spawn after run()");
+  pe(proc).engine().schedule_invocation(at, entry, arg);
+}
+
+void Machine::run() {
+  EMX_CHECK(!ran_, "Machine::run() called twice");
+  sim_.run_until_idle(config_.max_events);
+  end_cycle_ = sim_.now();
+  ran_ = true;
+  for (const auto& pe : pes_) {
+    EMX_CHECK(pe->engine().frames().live() == 0,
+              "simulation drained with live threads (deadlock or lost wake)");
+  }
+}
+
+void Machine::delivery_thunk(void* ctx, const net::Packet& packet) {
+  auto* self = static_cast<Machine*>(ctx);
+  EMX_DCHECK(packet.dst < self->pes_.size(), "packet to unknown PE");
+  self->pes_[packet.dst]->accept(packet);
+}
+
+MachineReport Machine::report() const {
+  EMX_CHECK(ran_, "report() before run()");
+  MachineReport r;
+  r.total_cycles = end_cycle_;
+  r.clock_hz = config_.clock_hz;
+  r.network = network_->stats();
+  r.events_processed = sim_.events_processed();
+  r.procs.reserve(pes_.size());
+  for (const auto& pe : pes_) {
+    const auto& eng = pe->engine();
+    const auto& exu = eng.exu();
+    ProcReport p;
+    p.compute = exu.bucket(proc::CycleBucket::kCompute);
+    p.overhead = exu.bucket(proc::CycleBucket::kOverhead);
+    p.switching = exu.bucket(proc::CycleBucket::kSwitch);
+    p.read_service = exu.bucket(proc::CycleBucket::kReadService);
+    p.comm = exu.idle_cycles(end_cycle_);
+    p.switches = eng.switches();
+    p.reads_issued = eng.reads_issued();
+    p.packets_accepted = pe->packets_accepted();
+    p.dma_reads = pe->dma().stats().reads_serviced;
+    p.dma_block_reads = pe->dma().stats().block_reads_serviced;
+    p.dma_writes = pe->dma().stats().writes_serviced;
+    r.procs.push_back(p);
+  }
+  return r;
+}
+
+}  // namespace emx

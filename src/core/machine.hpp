@@ -1,0 +1,85 @@
+// emx::Machine — the assembled EM-X multiprocessor.
+//
+// Owns the simulation context, the Omega network, and P EMC-Y processing
+// elements; provides the public API applications build on:
+//
+//   MachineConfig cfg;  cfg.proc_count = 16;
+//   Machine m(cfg);
+//   auto entry = m.register_entry([](rt::ThreadApi api, Word arg)
+//       -> rt::ThreadBody { co_await api.compute(10); });
+//   m.configure_barrier(/*threads per PE*/ 2);
+//   m.spawn(0, entry, 42);
+//   m.run();
+//   MachineReport r = m.report();
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/config.hpp"
+#include "core/instrumentation.hpp"
+#include "network/network_iface.hpp"
+#include "proc/emcy.hpp"
+#include "runtime/thread_api.hpp"
+#include "sim/sim_context.hpp"
+#include "trace/trace.hpp"
+
+namespace emx {
+
+class Machine {
+ public:
+  explicit Machine(MachineConfig config, trace::TraceSink* sink = nullptr);
+  ~Machine();
+
+  Machine(const Machine&) = delete;
+  Machine& operator=(const Machine&) = delete;
+
+  const MachineConfig& config() const { return config_; }
+  sim::SimContext& sim() { return sim_; }
+  net::Network& network() { return *network_; }
+  proc::Emcy& pe(ProcId p);
+  proc::Memory& memory(ProcId p) { return pe(p).memory(); }
+  rt::ThreadEngine& engine(ProcId p) { return pe(p).engine(); }
+
+  /// Registers a spawnable thread entry; returns its entry id.
+  std::uint32_t register_entry(rt::EntryFn fn) { return registry_.add(std::move(fn)); }
+
+  /// Sets the number of threads that join the iteration barrier on every
+  /// PE. Must be called before any thread reaches the barrier.
+  void configure_barrier(std::uint32_t participants_per_pe);
+
+  /// Schedules a thread invocation on `proc` at cycle `at` (host-side
+  /// seeding of the computation).
+  void spawn(ProcId proc, std::uint32_t entry, Word arg, Cycle at = 0);
+
+  /// Runs the simulation to completion (event queue drained). Panics if
+  /// threads remain suspended (deadlock / lost wake-up) or if the event
+  /// budget (config.max_events) is exceeded.
+  void run();
+
+  bool ran() const { return ran_; }
+  Cycle end_cycle() const { return end_cycle_; }
+
+  /// Builds the measurement report. Valid after run().
+  MachineReport report() const;
+
+ private:
+  static void delivery_thunk(void* ctx, const net::Packet& packet);
+
+  MachineConfig config_;
+  sim::SimContext sim_;
+  std::unique_ptr<net::Network> network_;
+  rt::EntryRegistry registry_;
+  std::vector<std::unique_ptr<proc::Emcy>> pes_;
+  trace::TraceSink* sink_;
+
+  std::uint32_t barrier_entry_central_ = 0;
+  std::uint32_t barrier_entry_tree_ = 0;
+  std::uint32_t barrier_count_ = 0;  ///< central coordinator join count
+  std::vector<rt::BarrierNode> tree_nodes_;
+
+  Cycle end_cycle_ = 0;
+  bool ran_ = false;
+};
+
+}  // namespace emx

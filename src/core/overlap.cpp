@@ -1,0 +1,45 @@
+#include "core/overlap.hpp"
+
+#include "common/assert.hpp"
+#include "core/instrumentation.hpp"
+
+namespace emx {
+
+void OverlapSeries::add(std::uint32_t threads, double comm_seconds) {
+  EMX_CHECK(threads >= 1, "thread count must be positive");
+  raw_.push_back(OverlapPoint{threads, comm_seconds, 0.0});
+}
+
+bool OverlapSeries::has_baseline() const {
+  for (const auto& p : raw_)
+    if (p.threads == 1) return true;
+  return false;
+}
+
+std::vector<OverlapPoint> OverlapSeries::points() const {
+  EMX_CHECK(has_baseline(), "overlap series needs an h=1 baseline");
+  double base = 0.0;
+  for (const auto& p : raw_)
+    if (p.threads == 1) base = p.comm_seconds;
+  std::vector<OverlapPoint> out = raw_;
+  for (auto& p : out)
+    p.efficiency_percent = overlap_efficiency_percent(base, p.comm_seconds);
+  return out;
+}
+
+std::uint32_t OverlapSeries::best_thread_count() const {
+  EMX_CHECK(!raw_.empty(), "empty overlap series");
+  const OverlapPoint* best = &raw_.front();
+  for (const auto& p : raw_)
+    if (p.comm_seconds < best->comm_seconds) best = &p;
+  return best->threads;
+}
+
+double OverlapSeries::best_efficiency_percent() const {
+  double best = 0.0;
+  for (const auto& p : points())
+    if (p.efficiency_percent > best) best = p.efficiency_percent;
+  return best;
+}
+
+}  // namespace emx

@@ -1,0 +1,42 @@
+// Overlap analysis (paper §4, Figure 7).
+//
+// "Let Tcomm,h be the communication time for h threads. We define the
+//  efficiency of overlapping as E = (Tcomm,1 - Tcomm,h) / Tcomm,1."
+// The single-thread run is the basis: with one thread there is no other
+// thread to switch to, so no overlap is possible.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace emx {
+
+struct OverlapPoint {
+  std::uint32_t threads = 1;
+  double comm_seconds = 0.0;
+  double efficiency_percent = 0.0;  ///< relative to the h=1 point
+};
+
+/// A communication-time series over thread counts, for one (app, P, n).
+class OverlapSeries {
+ public:
+  void add(std::uint32_t threads, double comm_seconds);
+
+  /// Computes efficiencies against the h==1 entry (which must exist).
+  std::vector<OverlapPoint> points() const;
+
+  /// The thread count with minimal communication time.
+  std::uint32_t best_thread_count() const;
+  double best_efficiency_percent() const;
+
+  bool has_baseline() const;
+  std::size_t size() const { return raw_.size(); }
+
+ private:
+  std::vector<OverlapPoint> raw_;  // efficiency filled lazily
+};
+
+}  // namespace emx

@@ -1,0 +1,30 @@
+// Umbrella header: the public API of the EM-X reproduction.
+//
+//   #include "emx.hpp"
+//
+// pulls in the machine, configuration, thread API, instrumentation,
+// the two paper applications, the analytic model, tracing and the ISA
+// toolchain. Individual headers remain includable for finer control.
+#pragma once
+
+#include "apps/bitonic.hpp"          // multithreaded bitonic sorting
+#include "apps/distribution.hpp"     // blocked distribution helpers
+#include "apps/fft.hpp"              // multithreaded FFT (blocked layout)
+#include "apps/fft_cyclic.hpp"       // multithreaded FFT (cyclic layout)
+#include "apps/host_reference.hpp"   // host-side ground truth
+#include "apps/jacobi.hpp"           // Jacobi relaxation (halo exchange)
+#include "apps/verify.hpp"           // result checking
+#include "common/cli.hpp"            // flag parsing for drivers
+#include "common/table.hpp"          // report rendering
+#include "core/config.hpp"           // MachineConfig + presets
+#include "core/experiment.hpp"       // sweep runner
+#include "core/instrumentation.hpp"  // MachineReport (Fig. 6-9 metrics)
+#include "core/machine.hpp"          // emx::Machine
+#include "core/overlap.hpp"          // overlap-efficiency analysis
+#include "isa/assembler.hpp"         // EMC-Y assembly
+#include "isa/builder.hpp"           // fluent code builder
+#include "isa/interpreter.hpp"       // ISA threads
+#include "model/saavedra.hpp"        // [16] analytic multithreading model
+#include "runtime/thread_api.hpp"    // coroutine thread bodies
+#include "trace/gantt.hpp"           // timeline rendering
+#include "trace/trace.hpp"           // event tracing

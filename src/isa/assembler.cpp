@@ -1,0 +1,236 @@
+#include "isa/assembler.hpp"
+
+#include <cctype>
+#include <cstdio>
+#include <map>
+
+#include "common/assert.hpp"
+
+namespace emx::isa {
+
+namespace {
+
+/// Operand shapes an opcode expects.
+enum class Shape {
+  kRdRaRb,    // add rd, ra, rb
+  kRdRaImm,   // addi rd, ra, imm  /  load rd, ra, imm
+  kRdImm,     // li rd, imm
+  kRaRbImm,   // store ra, rb, imm  /  readb ra, rb, imm / spawn ra, rb, imm
+  kRdRa,      // read rd, ra
+  kRaRb,      // write ra, rb
+  kRaRbLabel, // beq ra, rb, label
+  kLabel,     // jmp label
+  kRd,        // proc rd
+  kNone,      // halt / barrier
+};
+
+struct OpInfo {
+  Opcode op;
+  Shape shape;
+};
+
+const std::map<std::string, OpInfo>& op_table() {
+  static const std::map<std::string, OpInfo> table = {
+      {"add", {Opcode::kAdd, Shape::kRdRaRb}},
+      {"sub", {Opcode::kSub, Shape::kRdRaRb}},
+      {"mul", {Opcode::kMul, Shape::kRdRaRb}},
+      {"and", {Opcode::kAnd, Shape::kRdRaRb}},
+      {"or", {Opcode::kOr, Shape::kRdRaRb}},
+      {"xor", {Opcode::kXor, Shape::kRdRaRb}},
+      {"shl", {Opcode::kShl, Shape::kRdRaRb}},
+      {"shr", {Opcode::kShr, Shape::kRdRaRb}},
+      {"slt", {Opcode::kSlt, Shape::kRdRaRb}},
+      {"sltu", {Opcode::kSltu, Shape::kRdRaRb}},
+      {"fadd", {Opcode::kFadd, Shape::kRdRaRb}},
+      {"fsub", {Opcode::kFsub, Shape::kRdRaRb}},
+      {"fmul", {Opcode::kFmul, Shape::kRdRaRb}},
+      {"fdiv", {Opcode::kFdiv, Shape::kRdRaRb}},
+      {"gaddr", {Opcode::kGaddr, Shape::kRdRaRb}},
+      {"addi", {Opcode::kAddi, Shape::kRdRaImm}},
+      {"load", {Opcode::kLoad, Shape::kRdRaImm}},
+      {"li", {Opcode::kLi, Shape::kRdImm}},
+      {"store", {Opcode::kStore, Shape::kRaRbImm}},
+      {"readb", {Opcode::kReadB, Shape::kRaRbImm}},
+      {"spawn", {Opcode::kSpawn, Shape::kRaRbImm}},
+      {"read", {Opcode::kRead, Shape::kRdRa}},
+      {"write", {Opcode::kWrite, Shape::kRaRb}},
+      {"beq", {Opcode::kBeq, Shape::kRaRbLabel}},
+      {"bne", {Opcode::kBne, Shape::kRaRbLabel}},
+      {"blt", {Opcode::kBlt, Shape::kRaRbLabel}},
+      {"bge", {Opcode::kBge, Shape::kRaRbLabel}},
+      {"jmp", {Opcode::kJmp, Shape::kLabel}},
+      {"proc", {Opcode::kProc, Shape::kRd}},
+      {"barrier", {Opcode::kBarrier, Shape::kNone}},
+      {"yield", {Opcode::kYield, Shape::kNone}},
+      {"halt", {Opcode::kHalt, Shape::kNone}},
+  };
+  return table;
+}
+
+[[noreturn]] void syntax_error(int line, const std::string& message) {
+  EMX_CHECK(false, "asm line " + std::to_string(line) + ": " + message);
+  __builtin_unreachable();
+}
+
+std::vector<std::string> tokenize(const std::string& line) {
+  std::vector<std::string> tokens;
+  std::string cur;
+  for (char ch : line) {
+    if (ch == ';' || ch == '#') break;
+    if (std::isspace(static_cast<unsigned char>(ch)) || ch == ',') {
+      if (!cur.empty()) tokens.push_back(cur);
+      cur.clear();
+    } else {
+      cur += ch;
+    }
+  }
+  if (!cur.empty()) tokens.push_back(cur);
+  return tokens;
+}
+
+std::uint8_t parse_reg(const std::string& token, int line) {
+  if (token.size() < 2 || (token[0] != 'r' && token[0] != 'R'))
+    syntax_error(line, "expected register, got '" + token + "'");
+  char* end = nullptr;
+  const long v = std::strtol(token.c_str() + 1, &end, 10);
+  if (end == nullptr || *end != '\0' || v < 0 ||
+      v >= static_cast<long>(kRegisterCount))
+    syntax_error(line, "bad register '" + token + "'");
+  return static_cast<std::uint8_t>(v);
+}
+
+std::int32_t parse_imm(const std::string& token, int line) {
+  char* end = nullptr;
+  const long long v = std::strtoll(token.c_str(), &end, 0);
+  if (end == nullptr || *end != '\0' || token.empty())
+    syntax_error(line, "bad immediate '" + token + "'");
+  return static_cast<std::int32_t>(v);
+}
+
+}  // namespace
+
+Program assemble(const std::string& source) {
+  // Pass 1: collect labels; pass 2 resolves them. We do a single pass
+  // over pre-tokenized lines, then patch label references.
+  struct Pending {
+    std::size_t instr_index;
+    std::string label;
+    int line;
+  };
+  Program program;
+  std::map<std::string, std::int32_t> labels;
+  std::vector<Pending> fixups;
+
+  int line_no = 0;
+  std::size_t pos = 0;
+  while (pos <= source.size()) {
+    const std::size_t eol = source.find('\n', pos);
+    const std::string line =
+        source.substr(pos, eol == std::string::npos ? std::string::npos
+                                                    : eol - pos);
+    pos = eol == std::string::npos ? source.size() + 1 : eol + 1;
+    ++line_no;
+
+    auto tokens = tokenize(line);
+    // Leading labels (possibly several) on the line.
+    while (!tokens.empty() && tokens.front().back() == ':') {
+      std::string label = tokens.front().substr(0, tokens.front().size() - 1);
+      if (label.empty()) syntax_error(line_no, "empty label");
+      if (!labels.emplace(label, static_cast<std::int32_t>(program.code.size()))
+               .second) {
+        syntax_error(line_no, "duplicate label '" + label + "'");
+      }
+      tokens.erase(tokens.begin());
+    }
+    if (tokens.empty()) continue;
+
+    const auto it = op_table().find(tokens[0]);
+    if (it == op_table().end())
+      syntax_error(line_no, "unknown opcode '" + tokens[0] + "'");
+    const OpInfo& info = it->second;
+    Instruction instr;
+    instr.op = info.op;
+
+    auto need = [&](std::size_t count) {
+      if (tokens.size() != count + 1)
+        syntax_error(line_no, "'" + tokens[0] + "' expects " +
+                                  std::to_string(count) + " operands");
+    };
+    switch (info.shape) {
+      case Shape::kRdRaRb:
+        need(3);
+        instr.rd = parse_reg(tokens[1], line_no);
+        instr.ra = parse_reg(tokens[2], line_no);
+        instr.rb = parse_reg(tokens[3], line_no);
+        break;
+      case Shape::kRdRaImm:
+        need(3);
+        instr.rd = parse_reg(tokens[1], line_no);
+        instr.ra = parse_reg(tokens[2], line_no);
+        instr.imm = parse_imm(tokens[3], line_no);
+        break;
+      case Shape::kRdImm:
+        need(2);
+        instr.rd = parse_reg(tokens[1], line_no);
+        instr.imm = parse_imm(tokens[2], line_no);
+        break;
+      case Shape::kRaRbImm:
+        need(3);
+        instr.ra = parse_reg(tokens[1], line_no);
+        instr.rb = parse_reg(tokens[2], line_no);
+        instr.imm = parse_imm(tokens[3], line_no);
+        break;
+      case Shape::kRdRa:
+        need(2);
+        instr.rd = parse_reg(tokens[1], line_no);
+        instr.ra = parse_reg(tokens[2], line_no);
+        break;
+      case Shape::kRaRb:
+        need(2);
+        instr.ra = parse_reg(tokens[1], line_no);
+        instr.rb = parse_reg(tokens[2], line_no);
+        break;
+      case Shape::kRaRbLabel:
+        need(3);
+        instr.ra = parse_reg(tokens[1], line_no);
+        instr.rb = parse_reg(tokens[2], line_no);
+        fixups.push_back({program.code.size(), tokens[3], line_no});
+        break;
+      case Shape::kLabel:
+        need(1);
+        fixups.push_back({program.code.size(), tokens[1], line_no});
+        break;
+      case Shape::kRd:
+        need(1);
+        instr.rd = parse_reg(tokens[1], line_no);
+        break;
+      case Shape::kNone:
+        need(0);
+        break;
+    }
+    program.code.push_back(instr);
+  }
+
+  for (const auto& fix : fixups) {
+    const auto it = labels.find(fix.label);
+    if (it == labels.end())
+      syntax_error(fix.line, "undefined label '" + fix.label + "'");
+    program.code[fix.instr_index].imm = it->second;
+  }
+  EMX_CHECK(!program.code.empty(), "empty program");
+  return program;
+}
+
+std::string Program::listing() const {
+  std::string out;
+  for (std::size_t i = 0; i < code.size(); ++i) {
+    char head[32];
+    std::snprintf(head, sizeof head, "%4zu: ", i);
+    out += head;
+    out += code[i].describe();
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace emx::isa

@@ -1,0 +1,40 @@
+// A small two-pass assembler for the EMC-Y ISA.
+//
+// Syntax (one instruction per line; ';' or '#' start comments):
+//
+//   loop:                       ; labels end with ':'
+//     li    r1, 100             ; rd, imm
+//     addi  r2, r2, 1           ; rd, ra, imm
+//     add   r3, r1, r2          ; rd, ra, rb
+//     load  r4, r3, 16          ; rd = mem[ra + imm]
+//     store r3, r4, 0           ; mem[ra + imm] = rb  (written: ra, rb, imm)
+//     gaddr r5, r6, r7          ; rd = pack(pe=ra, addr=rb)
+//     read  r8, r5              ; rd = remote_read(ga in ra)   [suspends]
+//     readb r5, r9, 32          ; block read: ga ra -> local rb, imm words
+//     write r5, r8              ; remote_write(ga in ra, value rb)
+//     spawn r6, r8, 3           ; spawn entry imm on PE ra with arg rb
+//     beq   r2, r1, done        ; branch on condition to label
+//     jmp   loop
+//   done:
+//     barrier
+//     halt
+//
+// Registers are r0..r31; r0 reads as zero and ignores writes.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "isa/instruction.hpp"
+
+namespace emx::isa {
+
+struct Program {
+  std::vector<Instruction> code;
+  std::string listing() const;
+};
+
+/// Assembles source text; panics with file/line context on syntax errors.
+Program assemble(const std::string& source);
+
+}  // namespace emx::isa

@@ -1,0 +1,168 @@
+#include "isa/builder.hpp"
+
+#include "common/assert.hpp"
+
+namespace emx::isa {
+
+std::uint8_t CodeBuilder::reg(unsigned r) {
+  EMX_CHECK(r < kRegisterCount, "register out of range: r" + std::to_string(r));
+  return static_cast<std::uint8_t>(r);
+}
+
+CodeBuilder::Label CodeBuilder::label() {
+  label_pos_.push_back(-1);
+  return Label{static_cast<std::uint32_t>(label_pos_.size() - 1)};
+}
+
+CodeBuilder& CodeBuilder::bind(Label l) {
+  EMX_CHECK(l.id < label_pos_.size(), "unknown label");
+  EMX_CHECK(label_pos_[l.id] < 0, "label bound twice");
+  label_pos_[l.id] = static_cast<std::int32_t>(code_.size());
+  return *this;
+}
+
+CodeBuilder& CodeBuilder::emit3(Opcode op, unsigned rd, unsigned ra, unsigned rb) {
+  code_.push_back(Instruction{op, reg(rd), reg(ra), reg(rb), 0});
+  return *this;
+}
+
+CodeBuilder& CodeBuilder::emit_branch(Opcode op, unsigned ra, unsigned rb,
+                                      Label target) {
+  EMX_CHECK(target.id < label_pos_.size(), "unknown label");
+  fixups_.push_back({code_.size(), target.id});
+  code_.push_back(Instruction{op, 0, reg(ra), reg(rb), 0});
+  return *this;
+}
+
+CodeBuilder& CodeBuilder::add(unsigned rd, unsigned ra, unsigned rb) {
+  return emit3(Opcode::kAdd, rd, ra, rb);
+}
+CodeBuilder& CodeBuilder::sub(unsigned rd, unsigned ra, unsigned rb) {
+  return emit3(Opcode::kSub, rd, ra, rb);
+}
+CodeBuilder& CodeBuilder::mul(unsigned rd, unsigned ra, unsigned rb) {
+  return emit3(Opcode::kMul, rd, ra, rb);
+}
+CodeBuilder& CodeBuilder::and_(unsigned rd, unsigned ra, unsigned rb) {
+  return emit3(Opcode::kAnd, rd, ra, rb);
+}
+CodeBuilder& CodeBuilder::or_(unsigned rd, unsigned ra, unsigned rb) {
+  return emit3(Opcode::kOr, rd, ra, rb);
+}
+CodeBuilder& CodeBuilder::xor_(unsigned rd, unsigned ra, unsigned rb) {
+  return emit3(Opcode::kXor, rd, ra, rb);
+}
+CodeBuilder& CodeBuilder::shl(unsigned rd, unsigned ra, unsigned rb) {
+  return emit3(Opcode::kShl, rd, ra, rb);
+}
+CodeBuilder& CodeBuilder::shr(unsigned rd, unsigned ra, unsigned rb) {
+  return emit3(Opcode::kShr, rd, ra, rb);
+}
+CodeBuilder& CodeBuilder::slt(unsigned rd, unsigned ra, unsigned rb) {
+  return emit3(Opcode::kSlt, rd, ra, rb);
+}
+CodeBuilder& CodeBuilder::sltu(unsigned rd, unsigned ra, unsigned rb) {
+  return emit3(Opcode::kSltu, rd, ra, rb);
+}
+CodeBuilder& CodeBuilder::fadd(unsigned rd, unsigned ra, unsigned rb) {
+  return emit3(Opcode::kFadd, rd, ra, rb);
+}
+CodeBuilder& CodeBuilder::fsub(unsigned rd, unsigned ra, unsigned rb) {
+  return emit3(Opcode::kFsub, rd, ra, rb);
+}
+CodeBuilder& CodeBuilder::fmul(unsigned rd, unsigned ra, unsigned rb) {
+  return emit3(Opcode::kFmul, rd, ra, rb);
+}
+CodeBuilder& CodeBuilder::fdiv(unsigned rd, unsigned ra, unsigned rb) {
+  return emit3(Opcode::kFdiv, rd, ra, rb);
+}
+CodeBuilder& CodeBuilder::gaddr(unsigned rd, unsigned ra, unsigned rb) {
+  return emit3(Opcode::kGaddr, rd, ra, rb);
+}
+
+CodeBuilder& CodeBuilder::addi(unsigned rd, unsigned ra, std::int32_t imm) {
+  code_.push_back(Instruction{Opcode::kAddi, reg(rd), reg(ra), 0, imm});
+  return *this;
+}
+CodeBuilder& CodeBuilder::li(unsigned rd, std::int32_t imm) {
+  code_.push_back(Instruction{Opcode::kLi, reg(rd), 0, 0, imm});
+  return *this;
+}
+CodeBuilder& CodeBuilder::load(unsigned rd, unsigned ra, std::int32_t imm) {
+  code_.push_back(Instruction{Opcode::kLoad, reg(rd), reg(ra), 0, imm});
+  return *this;
+}
+CodeBuilder& CodeBuilder::store(unsigned ra, unsigned rb, std::int32_t imm) {
+  code_.push_back(Instruction{Opcode::kStore, 0, reg(ra), reg(rb), imm});
+  return *this;
+}
+
+CodeBuilder& CodeBuilder::beq(unsigned ra, unsigned rb, Label t) {
+  return emit_branch(Opcode::kBeq, ra, rb, t);
+}
+CodeBuilder& CodeBuilder::bne(unsigned ra, unsigned rb, Label t) {
+  return emit_branch(Opcode::kBne, ra, rb, t);
+}
+CodeBuilder& CodeBuilder::blt(unsigned ra, unsigned rb, Label t) {
+  return emit_branch(Opcode::kBlt, ra, rb, t);
+}
+CodeBuilder& CodeBuilder::bge(unsigned ra, unsigned rb, Label t) {
+  return emit_branch(Opcode::kBge, ra, rb, t);
+}
+CodeBuilder& CodeBuilder::jmp(Label t) {
+  return emit_branch(Opcode::kJmp, 0, 0, t);
+}
+
+CodeBuilder& CodeBuilder::read(unsigned rd, unsigned ra) {
+  code_.push_back(Instruction{Opcode::kRead, reg(rd), reg(ra), 0, 0});
+  return *this;
+}
+CodeBuilder& CodeBuilder::readb(unsigned ra, unsigned rb, std::int32_t words) {
+  EMX_CHECK(words >= 1, "block read needs at least one word");
+  code_.push_back(Instruction{Opcode::kReadB, 0, reg(ra), reg(rb), words});
+  return *this;
+}
+CodeBuilder& CodeBuilder::write(unsigned ra, unsigned rb) {
+  code_.push_back(Instruction{Opcode::kWrite, 0, reg(ra), reg(rb), 0});
+  return *this;
+}
+CodeBuilder& CodeBuilder::spawn(unsigned ra, unsigned rb, std::uint32_t entry) {
+  code_.push_back(Instruction{Opcode::kSpawn, 0, reg(ra), reg(rb),
+                              static_cast<std::int32_t>(entry)});
+  return *this;
+}
+CodeBuilder& CodeBuilder::barrier() {
+  code_.push_back(Instruction{Opcode::kBarrier, 0, 0, 0, 0});
+  return *this;
+}
+CodeBuilder& CodeBuilder::yield() {
+  code_.push_back(Instruction{Opcode::kYield, 0, 0, 0, 0});
+  return *this;
+}
+CodeBuilder& CodeBuilder::proc(unsigned rd) {
+  code_.push_back(Instruction{Opcode::kProc, reg(rd), 0, 0, 0});
+  return *this;
+}
+CodeBuilder& CodeBuilder::halt() {
+  code_.push_back(Instruction{Opcode::kHalt, 0, 0, 0, 0});
+  return *this;
+}
+
+Program CodeBuilder::build() {
+  EMX_CHECK(!built_, "build() called twice");
+  built_ = true;
+  EMX_CHECK(!code_.empty(), "empty program");
+  const Opcode last = code_.back().op;
+  EMX_CHECK(last == Opcode::kHalt || last == Opcode::kJmp,
+            "program must end in halt or an unconditional jump");
+  for (const auto& fix : fixups_) {
+    EMX_CHECK(label_pos_[fix.label] >= 0,
+              "label referenced but never bound");
+    code_[fix.instr].imm = label_pos_[fix.label];
+  }
+  Program p;
+  p.code = std::move(code_);
+  return p;
+}
+
+}  // namespace emx::isa

@@ -1,0 +1,100 @@
+// CodeBuilder: programmatic construction of EMC-Y programs.
+//
+// The paper's applications were written in "C with a thread library" and
+// compiled to explicit-switch threads (§2.3). The assembler covers
+// hand-written sources; this builder is the layer a compiler backend
+// would target — a fluent emitter with labels, forward references and
+// register-allocation sanity checks.
+//
+//   isa::CodeBuilder b;
+//   auto loop = b.label();
+//   b.li(2, 0).li(3, 100)
+//    .bind(loop)
+//    .addi(2, 2, 1)
+//    .blt(2, 3, loop)
+//    .halt();
+//   isa::Program p = b.build();
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "isa/assembler.hpp"
+
+namespace emx::isa {
+
+class CodeBuilder {
+ public:
+  /// Opaque label handle; create, `bind` at a position, branch to it.
+  struct Label {
+    std::uint32_t id = 0;
+  };
+
+  Label label();
+  /// Binds `l` to the next emitted instruction. A label binds only once.
+  CodeBuilder& bind(Label l);
+
+  // --- arithmetic / logic ---
+  CodeBuilder& add(unsigned rd, unsigned ra, unsigned rb);
+  CodeBuilder& sub(unsigned rd, unsigned ra, unsigned rb);
+  CodeBuilder& mul(unsigned rd, unsigned ra, unsigned rb);
+  CodeBuilder& and_(unsigned rd, unsigned ra, unsigned rb);
+  CodeBuilder& or_(unsigned rd, unsigned ra, unsigned rb);
+  CodeBuilder& xor_(unsigned rd, unsigned ra, unsigned rb);
+  CodeBuilder& shl(unsigned rd, unsigned ra, unsigned rb);
+  CodeBuilder& shr(unsigned rd, unsigned ra, unsigned rb);
+  CodeBuilder& slt(unsigned rd, unsigned ra, unsigned rb);
+  CodeBuilder& sltu(unsigned rd, unsigned ra, unsigned rb);
+  CodeBuilder& addi(unsigned rd, unsigned ra, std::int32_t imm);
+  CodeBuilder& li(unsigned rd, std::int32_t imm);
+
+  // --- float ---
+  CodeBuilder& fadd(unsigned rd, unsigned ra, unsigned rb);
+  CodeBuilder& fsub(unsigned rd, unsigned ra, unsigned rb);
+  CodeBuilder& fmul(unsigned rd, unsigned ra, unsigned rb);
+  CodeBuilder& fdiv(unsigned rd, unsigned ra, unsigned rb);
+
+  // --- memory ---
+  CodeBuilder& load(unsigned rd, unsigned ra, std::int32_t imm);
+  CodeBuilder& store(unsigned ra, unsigned rb, std::int32_t imm);
+
+  // --- control flow ---
+  CodeBuilder& beq(unsigned ra, unsigned rb, Label target);
+  CodeBuilder& bne(unsigned ra, unsigned rb, Label target);
+  CodeBuilder& blt(unsigned ra, unsigned rb, Label target);
+  CodeBuilder& bge(unsigned ra, unsigned rb, Label target);
+  CodeBuilder& jmp(Label target);
+
+  // --- sends / runtime ---
+  CodeBuilder& gaddr(unsigned rd, unsigned ra, unsigned rb);
+  CodeBuilder& read(unsigned rd, unsigned ra);
+  CodeBuilder& readb(unsigned ra, unsigned rb, std::int32_t words);
+  CodeBuilder& write(unsigned ra, unsigned rb);
+  CodeBuilder& spawn(unsigned ra, unsigned rb, std::uint32_t entry);
+  CodeBuilder& barrier();
+  CodeBuilder& yield();
+  CodeBuilder& proc(unsigned rd);
+  CodeBuilder& halt();
+
+  std::size_t size() const { return code_.size(); }
+
+  /// Finalises the program; every referenced label must be bound and the
+  /// code must end in an unconditional control transfer or halt.
+  Program build();
+
+ private:
+  CodeBuilder& emit3(Opcode op, unsigned rd, unsigned ra, unsigned rb);
+  CodeBuilder& emit_branch(Opcode op, unsigned ra, unsigned rb, Label target);
+  static std::uint8_t reg(unsigned r);
+
+  std::vector<Instruction> code_;
+  std::vector<std::int32_t> label_pos_;  ///< -1 = unbound
+  struct Fixup {
+    std::size_t instr;
+    std::uint32_t label;
+  };
+  std::vector<Fixup> fixups_;
+  bool built_ = false;
+};
+
+}  // namespace emx::isa

@@ -1,0 +1,68 @@
+#include "isa/instruction.hpp"
+
+#include <cstdio>
+
+namespace emx::isa {
+
+const char* to_string(Opcode op) {
+  switch (op) {
+    case Opcode::kAdd: return "add";
+    case Opcode::kSub: return "sub";
+    case Opcode::kMul: return "mul";
+    case Opcode::kAnd: return "and";
+    case Opcode::kOr: return "or";
+    case Opcode::kXor: return "xor";
+    case Opcode::kShl: return "shl";
+    case Opcode::kShr: return "shr";
+    case Opcode::kAddi: return "addi";
+    case Opcode::kLi: return "li";
+    case Opcode::kSlt: return "slt";
+    case Opcode::kSltu: return "sltu";
+    case Opcode::kFadd: return "fadd";
+    case Opcode::kFsub: return "fsub";
+    case Opcode::kFmul: return "fmul";
+    case Opcode::kFdiv: return "fdiv";
+    case Opcode::kLoad: return "load";
+    case Opcode::kStore: return "store";
+    case Opcode::kBeq: return "beq";
+    case Opcode::kBne: return "bne";
+    case Opcode::kBlt: return "blt";
+    case Opcode::kBge: return "bge";
+    case Opcode::kJmp: return "jmp";
+    case Opcode::kRead: return "read";
+    case Opcode::kReadB: return "readb";
+    case Opcode::kWrite: return "write";
+    case Opcode::kSpawn: return "spawn";
+    case Opcode::kBarrier: return "barrier";
+    case Opcode::kYield: return "yield";
+    case Opcode::kProc: return "proc";
+    case Opcode::kGaddr: return "gaddr";
+    case Opcode::kHalt: return "halt";
+  }
+  return "?";
+}
+
+bool is_send(Opcode op) {
+  switch (op) {
+    case Opcode::kRead:
+    case Opcode::kReadB:
+    case Opcode::kWrite:
+    case Opcode::kSpawn:
+      return true;
+    default:
+      return false;
+  }
+}
+
+std::string Instruction::describe() const {
+  char buf[96];
+  std::snprintf(buf, sizeof buf, "%-7s rd=r%-2u ra=r%-2u rb=r%-2u imm=%d",
+                to_string(op), rd, ra, rb, imm);
+  return buf;
+}
+
+Cycle instruction_cycles(const Instruction& instr, Cycle fdiv_cycles) {
+  return instr.op == Opcode::kFdiv ? fdiv_cycles : 1;
+}
+
+}  // namespace emx::isa

@@ -1,0 +1,73 @@
+// A register-level EMC-Y instruction set.
+//
+// The paper's software stack is "C with a thread library" compiled to
+// explicit-switch threads (§2.3). We provide the layer underneath: a
+// RISC-style ISA whose timing matches the EMC-Y (§2.2 — all integer
+// instructions one clock, single-precision FP one clock, packet
+// generation one clock) plus the four send-class operations. Thread
+// bodies written in this ISA run on the simulated EXU through the same
+// split-phase machinery as the native coroutine API, so ISA programs are
+// first-class EM-X threads.
+//
+// 32 general registers r0..r31 (r0 is hardwired zero, as on many RISCs;
+// the real EMC-Y reserves five special-purpose registers — we reserve
+// one). Immediate forms carry a 32-bit immediate directly (the assembler
+// handles splitting on a real machine).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/types.hpp"
+
+namespace emx::isa {
+
+inline constexpr unsigned kRegisterCount = 32;
+
+enum class Opcode : std::uint8_t {
+  // arithmetic / logic (1 clock)
+  kAdd, kSub, kMul, kAnd, kOr, kXor, kShl, kShr,
+  kAddi, kLi,
+  kSlt,   ///< rd = (ra < rb) signed
+  kSltu,  ///< rd = (ra < rb) unsigned
+  // single-precision float (1 clock; bit patterns in registers)
+  kFadd, kFsub, kFmul,
+  kFdiv,  ///< multi-clock, the EMC-Y exception (§2.2)
+  // local memory (1 clock)
+  kLoad,   ///< rd = mem[ra + imm]
+  kStore,  ///< mem[ra + imm] = rb
+  // control flow (1 clock)
+  kBeq, kBne, kBlt, kBge,  ///< branch to label if cond(ra, rb)
+  kJmp,                    ///< unconditional branch to label
+  // sends (1 clock each, packet-generating — the four send classes §2.2)
+  kRead,    ///< rd = remote_read(global addr in ra)         [suspends]
+  kReadB,   ///< block read: src ga in ra, local dst in rb, len imm [suspends]
+  kWrite,   ///< remote_write(global addr in ra, value rb)
+  kSpawn,   ///< spawn(entry imm, arg rb) on PE ra
+  // runtime
+  kBarrier,  ///< join the iteration barrier                 [suspends]
+  kYield,    ///< explicit thread switch (requeue self)      [suspends]
+  kProc,     ///< rd = own processor id
+  kGaddr,    ///< rd = pack(global addr{ra /*pe*/, rb /*word addr*/})
+  kHalt,     ///< end the thread
+};
+
+const char* to_string(Opcode op);
+
+/// True for packet-generating opcodes (charged as overhead).
+bool is_send(Opcode op);
+
+struct Instruction {
+  Opcode op = Opcode::kHalt;
+  std::uint8_t rd = 0;
+  std::uint8_t ra = 0;
+  std::uint8_t rb = 0;
+  std::int32_t imm = 0;  ///< immediate / branch target (instruction index)
+
+  std::string describe() const;
+};
+
+/// Cycle cost of one instruction (EMC-Y: everything 1 clock except FDIV).
+Cycle instruction_cycles(const Instruction& instr, Cycle fdiv_cycles);
+
+}  // namespace emx::isa

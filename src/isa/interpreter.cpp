@@ -1,0 +1,170 @@
+#include "isa/interpreter.hpp"
+
+#include <bit>
+
+#include "common/assert.hpp"
+#include "runtime/global_addr.hpp"
+
+namespace emx::isa {
+
+namespace {
+
+float as_float(Word w) { return std::bit_cast<float>(w); }
+Word as_word(float f) { return std::bit_cast<Word>(f); }
+
+}  // namespace
+
+rt::ThreadBody interpret(const Program* program, InterpreterOptions options,
+                         rt::ThreadApi api, Word arg) {
+  const auto& code = program->code;
+  Word regs[kRegisterCount] = {};
+  regs[1] = arg;
+
+  std::uint64_t executed = 0;
+  Cycle pending = 0;  // accumulated 1-clock instructions not yet charged
+
+  // Charges the accumulated straight-line cycles before any suspending
+  // or packet-generating operation (and at thread end).
+  auto flush = [&]() -> rt::detail::ComputeAwaiter { return api.compute(pending); };
+
+  std::size_t pc = 0;
+  for (;;) {
+    EMX_CHECK(pc < code.size(), "program counter ran off the end (missing halt?)");
+    EMX_CHECK(++executed <= options.max_instructions,
+              "instruction budget exceeded (runaway ISA program)");
+    const Instruction& in = code[pc];
+    Word& rd = regs[in.rd];
+    const Word a = regs[in.ra];
+    const Word b = regs[in.rb];
+    std::size_t next = pc + 1;
+
+    switch (in.op) {
+      case Opcode::kAdd: rd = a + b; ++pending; break;
+      case Opcode::kSub: rd = a - b; ++pending; break;
+      case Opcode::kMul: rd = a * b; ++pending; break;
+      case Opcode::kAnd: rd = a & b; ++pending; break;
+      case Opcode::kOr: rd = a | b; ++pending; break;
+      case Opcode::kXor: rd = a ^ b; ++pending; break;
+      case Opcode::kShl: rd = (b >= 32) ? 0 : (a << b); ++pending; break;
+      case Opcode::kShr: rd = (b >= 32) ? 0 : (a >> b); ++pending; break;
+      case Opcode::kAddi: rd = a + static_cast<Word>(in.imm); ++pending; break;
+      case Opcode::kLi: rd = static_cast<Word>(in.imm); ++pending; break;
+      case Opcode::kSlt:
+        rd = static_cast<std::int32_t>(a) < static_cast<std::int32_t>(b);
+        ++pending;
+        break;
+      case Opcode::kSltu: rd = a < b; ++pending; break;
+      case Opcode::kFadd: rd = as_word(as_float(a) + as_float(b)); ++pending; break;
+      case Opcode::kFsub: rd = as_word(as_float(a) - as_float(b)); ++pending; break;
+      case Opcode::kFmul: rd = as_word(as_float(a) * as_float(b)); ++pending; break;
+      case Opcode::kFdiv:
+        rd = as_word(as_float(a) / as_float(b));
+        pending += options.fdiv_cycles;
+        break;
+      case Opcode::kLoad:
+        rd = api.local_read(a + static_cast<Word>(in.imm));
+        ++pending;
+        break;
+      case Opcode::kStore:
+        api.local_write(a + static_cast<Word>(in.imm), b);
+        ++pending;
+        break;
+      case Opcode::kBeq:
+        ++pending;
+        if (a == b) next = static_cast<std::size_t>(in.imm);
+        break;
+      case Opcode::kBne:
+        ++pending;
+        if (a != b) next = static_cast<std::size_t>(in.imm);
+        break;
+      case Opcode::kBlt:
+        ++pending;
+        if (static_cast<std::int32_t>(a) < static_cast<std::int32_t>(b))
+          next = static_cast<std::size_t>(in.imm);
+        break;
+      case Opcode::kBge:
+        ++pending;
+        if (static_cast<std::int32_t>(a) >= static_cast<std::int32_t>(b))
+          next = static_cast<std::size_t>(in.imm);
+        break;
+      case Opcode::kJmp:
+        ++pending;
+        next = static_cast<std::size_t>(in.imm);
+        break;
+      case Opcode::kProc: rd = api.proc(); ++pending; break;
+      case Opcode::kGaddr:
+        rd = rt::pack(rt::make_global(a, b));
+        ++pending;
+        break;
+
+      // ---- suspending / packet-generating operations ----
+      case Opcode::kRead: {
+        co_await flush();
+        pending = 0;
+        rd = co_await api.remote_read(rt::unpack(a));
+        break;
+      }
+      case Opcode::kReadB: {
+        co_await flush();
+        pending = 0;
+        co_await api.remote_read_block(rt::unpack(a), b,
+                                       static_cast<std::uint32_t>(in.imm));
+        break;
+      }
+      case Opcode::kWrite: {
+        co_await flush();
+        pending = 0;
+        co_await api.remote_write(rt::unpack(a), b);
+        break;
+      }
+      case Opcode::kSpawn: {
+        co_await flush();
+        pending = 0;
+        co_await api.spawn(static_cast<ProcId>(a),
+                           static_cast<std::uint32_t>(in.imm), b);
+        break;
+      }
+      case Opcode::kBarrier: {
+        co_await flush();
+        pending = 0;
+        co_await api.iteration_barrier();
+        break;
+      }
+      case Opcode::kYield: {
+        co_await flush();
+        pending = 0;
+        co_await api.yield();
+        break;
+      }
+      case Opcode::kHalt: {
+        co_await flush();
+        co_return;
+      }
+    }
+    regs[0] = 0;  // r0 is hardwired zero
+    pc = next;
+
+    // Keep simulated time flowing through long straight-line stretches so
+    // arriving packets (DMA writes, wakes) stay visible to polling code.
+    if (pending >= options.flush_quantum) {
+      co_await flush();
+      pending = 0;
+    }
+  }
+}
+
+std::uint32_t register_program(Machine& machine, Program program,
+                               InterpreterOptions options) {
+  auto shared = std::make_shared<Program>(std::move(program));
+  return machine.register_entry(
+      [shared, options](rt::ThreadApi api, Word arg) -> rt::ThreadBody {
+        return interpret(shared.get(), options, api, arg);
+      });
+}
+
+std::uint32_t register_source(Machine& machine, const std::string& source,
+                              InterpreterOptions options) {
+  return register_program(machine, assemble(source), options);
+}
+
+}  // namespace emx::isa

@@ -1,0 +1,44 @@
+// Executes an assembled EMC-Y program as an EM-X thread.
+//
+// The interpreter is a coroutine over ThreadApi: straight-line integer
+// and float instructions accumulate one clock each and are charged to
+// the EXU in batches (exactly the run-length semantics the paper
+// measures); send-class and barrier instructions go through the same
+// split-phase machinery as native threads, so ISA threads suspend,
+// FIFO-resume and count switches identically.
+//
+// Calling convention: r1 holds the spawn argument on entry; r0 is zero.
+#pragma once
+
+#include <memory>
+
+#include "core/machine.hpp"
+#include "isa/assembler.hpp"
+#include "runtime/thread_api.hpp"
+
+namespace emx::isa {
+
+struct InterpreterOptions {
+  Cycle fdiv_cycles = 9;  ///< the one multi-clock EMC-Y instruction
+  /// Executed-instruction budget per thread; exceeding it panics (guards
+  /// against runaway loops in user programs).
+  std::uint64_t max_instructions = 100'000'000;
+  /// Straight-line cycles charged in one batch before simulated time is
+  /// advanced (keeps arriving packets visible to polling code).
+  Cycle flush_quantum = 64;
+};
+
+/// Runs `program` on the calling thread's processor.
+rt::ThreadBody interpret(const Program* program, InterpreterOptions options,
+                         rt::ThreadApi api, Word arg);
+
+/// Registers an assembled program as a spawnable machine entry; the
+/// program is kept alive by the registry entry.
+std::uint32_t register_program(Machine& machine, Program program,
+                               InterpreterOptions options = {});
+
+/// Convenience: assemble + register in one call.
+std::uint32_t register_source(Machine& machine, const std::string& source,
+                              InterpreterOptions options = {});
+
+}  // namespace emx::isa

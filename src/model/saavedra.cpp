@@ -1,0 +1,48 @@
+#include "model/saavedra.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+
+namespace emx::model {
+
+double MultithreadingModel::saturation_threads() const {
+  EMX_CHECK(run_length > 0 && switch_cost >= 0 && latency >= 0,
+            "model parameters must be non-negative with positive run length");
+  return 1.0 + latency / (run_length + switch_cost);
+}
+
+double MultithreadingModel::efficiency(double threads) const {
+  EMX_CHECK(threads >= 1.0, "need at least one thread");
+  const double linear = threads * run_length / (run_length + switch_cost + latency);
+  const double saturated = run_length / (run_length + switch_cost);
+  return std::min(linear, saturated);
+}
+
+double MultithreadingModel::exposed_latency(double threads) const {
+  // Useful + switch cycles consumed by the other h-1 threads while this
+  // thread's reference is outstanding reduce the exposed latency.
+  const double hidden = (threads - 1.0) * (run_length + switch_cost);
+  return std::max(0.0, latency - hidden);
+}
+
+MultithreadingModel::Region MultithreadingModel::region(double threads) const {
+  const double h_sat = saturation_threads();
+  if (threads < 0.9 * h_sat) return Region::kLinear;
+  if (threads > 1.1 * h_sat) return Region::kSaturation;
+  return Region::kTransition;
+}
+
+const char* MultithreadingModel::region_name(Region region) {
+  switch (region) {
+    case Region::kLinear:
+      return "linear";
+    case Region::kTransition:
+      return "transition";
+    case Region::kSaturation:
+      return "saturation";
+  }
+  return "?";
+}
+
+}  // namespace emx::model

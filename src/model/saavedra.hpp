@@ -1,0 +1,47 @@
+// The Saavedra-Barrera analytic model of multithreaded processor
+// efficiency (paper reference [16]: Saavedra-Barrera, Culler, von Eicken,
+// SPAA 1990), which the EM-X paper invokes to frame its results:
+// "the performance of multithreading can be classified into three
+//  regions: linear, transition, and saturation."
+//
+// Model parameters per thread:
+//   R — run length: useful cycles between consecutive remote references,
+//   L — latency of a remote reference,
+//   C — context switch cost.
+//
+// With h threads, processor efficiency (fraction of cycles doing useful
+// work) is
+//   linear region     (h < 1 + L/(R+C)):  E(h) = h * R / (R + C + L)
+//   saturation region (h >= 1 + L/(R+C)): E(h) = R / (R + C)
+// The transition region straddles the crossover; following [16] we report
+// min(linear, saturation) as the deterministic envelope and expose the
+// crossover point.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace emx::model {
+
+struct MultithreadingModel {
+  double run_length = 12.0;     ///< R, cycles
+  double latency = 30.0;        ///< L, cycles
+  double switch_cost = 7.0;     ///< C, cycles
+
+  /// Threads needed to fully hide latency: h_sat = 1 + L / (R + C).
+  double saturation_threads() const;
+
+  /// Processor efficiency in [0, 1] with h threads (deterministic
+  /// envelope of the [16] model).
+  double efficiency(double threads) const;
+
+  /// Exposed (unoverlapped) latency per reference with h threads, cycles.
+  double exposed_latency(double threads) const;
+
+  /// Region classification for reporting.
+  enum class Region { kLinear, kTransition, kSaturation };
+  Region region(double threads) const;
+  static const char* region_name(Region region);
+};
+
+}  // namespace emx::model

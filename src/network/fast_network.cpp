@@ -1,0 +1,87 @@
+#include "network/fast_network.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/assert.hpp"
+
+namespace emx::net {
+
+namespace {
+constexpr std::uint32_t kNoFree = std::numeric_limits<std::uint32_t>::max();
+}
+
+FastNetwork::FastNetwork(sim::SimContext& sim, std::uint32_t proc_count,
+                         Cycle self_latency, Cycle port_interval)
+    : sim_(sim),
+      proc_count_(proc_count),
+      hops_(ceil_log2(proc_count)),
+      routing_(is_power_of_two(proc_count)
+                   ? std::optional<ShuffleRouting>(ShuffleRouting(proc_count))
+                   : std::nullopt),
+      self_latency_(self_latency),
+      port_interval_(port_interval),
+      inject_free_(proc_count, 0),
+      eject_free_(proc_count, 0),
+      free_head_(kNoFree) {
+  EMX_CHECK(proc_count > 0, "need at least one processor");
+}
+
+std::uint32_t FastNetwork::alloc(const Packet& packet) {
+  std::uint32_t idx;
+  if (free_head_ != kNoFree) {
+    idx = free_head_;
+    free_head_ = pool_[idx].next_free;
+  } else {
+    idx = static_cast<std::uint32_t>(pool_.size());
+    pool_.emplace_back();
+  }
+  pool_[idx].packet = packet;
+  pool_[idx].in_use = true;
+  return idx;
+}
+
+void FastNetwork::inject(const Packet& packet) {
+  ++stats_.packets_injected;
+  const Cycle now = sim_.now();
+  const std::uint32_t idx = alloc(packet);
+
+  if (packet.src == packet.dst) {
+    ++stats_.self_deliveries;
+    stats_.latency.add(static_cast<double>(self_latency_));
+    sim_.schedule(self_latency_, &FastNetwork::deliver_event, this, idx, 0);
+    return;
+  }
+
+  ++stats_.fabric_packets;
+  const unsigned hops = hop_count(packet.src, packet.dst);
+  // Injection port: one packet per port_interval cycles per source switch.
+  const Cycle depart = std::max(now, inject_free_[packet.src]);
+  inject_free_[packet.src] = depart + port_interval_;
+
+  // Uncontended fabric transit: k hops in k+1 cycles (virtual cut-through).
+  Cycle arrival = depart + hops + 1;
+
+  // Ejection port at the destination also takes one packet per
+  // port_interval cycles; later of fabric arrival and port availability.
+  arrival = std::max(arrival, eject_free_[packet.dst]);
+  eject_free_[packet.dst] = arrival + port_interval_;
+
+  stats_.contention_wait += (depart - now) + (arrival - (depart + hops + 1));
+  stats_.latency.add(static_cast<double>(arrival - now));
+  sim_.schedule_at(arrival, &FastNetwork::deliver_event, this, idx, 0);
+}
+
+void FastNetwork::deliver_event(void* ctx, std::uint64_t idx64, std::uint64_t) {
+  auto* self = static_cast<FastNetwork*>(ctx);
+  auto idx = static_cast<std::uint32_t>(idx64);
+  Pending& rec = self->pool_[idx];
+  EMX_DCHECK(rec.in_use, "delivery of freed packet record");
+  const Packet packet = rec.packet;
+  rec.in_use = false;
+  rec.next_free = self->free_head_;
+  self->free_head_ = idx;
+  self->deliver(packet);
+}
+
+}  // namespace emx::net

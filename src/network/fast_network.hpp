@@ -1,0 +1,56 @@
+// Fast analytic network: O(1) work per packet.
+//
+// Latency = (hops + 1) cycles of virtual cut-through plus queuing at the
+// source injection port and destination ejection port, each of which
+// accepts one packet per 2 cycles. Interior fabric contention is not
+// modelled (the endpoint ports dominate on the EM-X's lightly loaded
+// shuffle fabric); tests validate agreement with OmegaNetwork.
+// For power-of-two P the per-pair hop count matches the detailed
+// shortest-path shuffle routing exactly; for other counts (the 80-PE
+// prototype included) hops = ceil(log2 P).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "network/network_iface.hpp"
+#include "network/routing.hpp"
+
+namespace emx::net {
+
+class FastNetwork final : public Network {
+ public:
+  FastNetwork(sim::SimContext& sim, std::uint32_t proc_count,
+              Cycle self_latency = 2, Cycle port_interval = 2);
+
+  void inject(const Packet& packet) override;
+  unsigned hop_count(ProcId src, ProcId dst) const override {
+    if (src == dst) return 0;
+    return routing_ ? routing_->hop_count(src, dst) : hops_;
+  }
+  std::string name() const override { return "omega-fast"; }
+
+ private:
+  struct Pending {
+    Packet packet;
+    std::uint32_t next_free = 0;
+    bool in_use = false;
+  };
+
+  static void deliver_event(void* ctx, std::uint64_t idx, std::uint64_t);
+  std::uint32_t alloc(const Packet& packet);
+
+  sim::SimContext& sim_;
+  std::uint32_t proc_count_;
+  unsigned hops_;
+  std::optional<ShuffleRouting> routing_;
+  Cycle self_latency_;
+  Cycle port_interval_;
+  std::vector<Cycle> inject_free_;  ///< per-src injection port next-free
+  std::vector<Cycle> eject_free_;   ///< per-dst ejection port next-free
+  std::vector<Pending> pool_;
+  std::uint32_t free_head_;
+};
+
+}  // namespace emx::net

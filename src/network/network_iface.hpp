@@ -1,0 +1,69 @@
+// Abstract interface shared by the detailed and fast network models.
+//
+// A Network owns packet transit: the Machine injects a packet at the
+// current simulation time and the network invokes the delivery handler at
+// the (contention-adjusted) arrival cycle. Both implementations enforce
+// the message non-overtaking rule per (src, dst) pair.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/stats.hpp"
+#include "common/types.hpp"
+#include "network/packet.hpp"
+#include "sim/sim_context.hpp"
+
+namespace emx::net {
+
+struct NetworkStats {
+  std::uint64_t packets_injected = 0;
+  std::uint64_t packets_delivered = 0;
+  std::uint64_t self_deliveries = 0;   ///< OBU->IBU loopback, no fabric
+  std::uint64_t fabric_packets = 0;    ///< packets that crossed switches
+  Cycle contention_wait = 0;           ///< cycles spent queued at ports
+  /// Deepest queue observed behind any single port (packets): the
+  /// cut-through buffering a physical fabric would need to avoid
+  /// backpressure at this load.
+  std::uint64_t peak_port_backlog = 0;
+  RunningStat latency;                 ///< injection->delivery, cycles
+};
+
+/// Called when a packet reaches its destination switch's ejection port;
+/// sim.now() equals the arrival cycle during the call.
+using DeliveryFn = void (*)(void* ctx, const Packet& packet);
+
+class Network {
+ public:
+  virtual ~Network() = default;
+
+  void set_delivery(DeliveryFn fn, void* ctx) {
+    deliver_fn_ = fn;
+    deliver_ctx_ = ctx;
+  }
+
+  /// Hands a packet to the network at sim.now(). The packet is copied.
+  virtual void inject(const Packet& packet) = 0;
+
+  /// Uncontended switch-to-switch hop count for this topology.
+  virtual unsigned hop_count(ProcId src, ProcId dst) const = 0;
+
+  virtual std::string name() const = 0;
+
+  const NetworkStats& stats() const { return stats_; }
+
+ protected:
+  void deliver(const Packet& packet) {
+    EMX_CHECK(deliver_fn_ != nullptr, "network delivery handler unset");
+    ++stats_.packets_delivered;
+    deliver_fn_(deliver_ctx_, packet);
+  }
+
+  NetworkStats stats_;
+
+ private:
+  DeliveryFn deliver_fn_ = nullptr;
+  void* deliver_ctx_ = nullptr;
+};
+
+}  // namespace emx::net

@@ -1,0 +1,126 @@
+#include "network/omega_network.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/assert.hpp"
+
+namespace emx::net {
+
+namespace {
+constexpr std::uint32_t kNoFree = std::numeric_limits<std::uint32_t>::max();
+}
+
+OmegaNetwork::OmegaNetwork(sim::SimContext& sim, std::uint32_t proc_count,
+                           Cycle self_latency, Cycle port_interval)
+    : sim_(sim),
+      routing_(proc_count),
+      switches_(proc_count),
+      free_head_(kNoFree),
+      self_latency_(self_latency),
+      port_interval_(port_interval) {}
+
+std::uint32_t OmegaNetwork::alloc_transit(const Packet& packet) {
+  std::uint32_t idx;
+  if (free_head_ != kNoFree) {
+    idx = free_head_;
+    free_head_ = transits_[idx].next_free;
+  } else {
+    idx = static_cast<std::uint32_t>(transits_.size());
+    transits_.emplace_back();
+  }
+  Transit& t = transits_[idx];
+  t.packet = packet;
+  t.hop = 0;
+  t.injected_at = sim_.now();
+  t.in_use = true;
+  return idx;
+}
+
+void OmegaNetwork::free_transit(std::uint32_t idx) {
+  Transit& t = transits_[idx];
+  EMX_DCHECK(t.in_use, "double free of transit record");
+  t.in_use = false;
+  t.next_free = free_head_;
+  free_head_ = idx;
+}
+
+void OmegaNetwork::inject(const Packet& packet) {
+  ++stats_.packets_injected;
+  const std::uint32_t idx = alloc_transit(packet);
+  if (packet.src == packet.dst) {
+    // OBU -> IBU loopback: spawning threads on oneself never crosses the
+    // fabric (paper §2.3 allows spawning "on processors including itself").
+    sim_.schedule(self_latency_, &OmegaNetwork::self_deliver_event, this, idx, 0);
+    return;
+  }
+  ++stats_.fabric_packets;
+  sim_.schedule(0, &OmegaNetwork::hop_event, this, idx, 0);
+}
+
+void OmegaNetwork::hop_event(void* ctx, std::uint64_t transit_idx, std::uint64_t) {
+  static_cast<OmegaNetwork*>(ctx)->step(static_cast<std::uint32_t>(transit_idx));
+}
+
+void OmegaNetwork::step(std::uint32_t transit_idx) {
+  Transit& t = transits_[transit_idx];
+  const Packet& p = t.packet;
+  const unsigned hops = routing_.hop_count(p.src, p.dst);
+  const ProcId node = routing_.node_at_hop(p.src, p.dst, t.hop);
+  SwitchBox& sw = switches_[node];
+  if (t.hop == hops) {
+    // Final switch: leave through the processor ejection port.
+    const Cycle depart = sw.reserve(SwitchBox::kEjectPort, sim_.now(), port_interval_);
+    stats_.contention_wait += depart - sim_.now();
+    stats_.peak_port_backlog =
+        std::max(stats_.peak_port_backlog, sw.peak_backlog());
+    sim_.schedule_at(depart + 1, &OmegaNetwork::deliver_event, this, transit_idx, 0);
+    return;
+  }
+  const unsigned port = routing_.output_port(p.src, p.dst, t.hop);
+  const Cycle depart = sw.reserve(port, sim_.now(), port_interval_);
+  stats_.contention_wait += depart - sim_.now();
+  stats_.peak_port_backlog =
+      std::max(stats_.peak_port_backlog, sw.peak_backlog());
+  ++t.hop;
+  // One cycle of wire+crossbar per hop: virtual cut-through.
+  sim_.schedule_at(depart + 1, &OmegaNetwork::hop_event, this, transit_idx, 0);
+}
+
+void OmegaNetwork::deliver_event(void* ctx, std::uint64_t transit_idx, std::uint64_t) {
+  auto* self = static_cast<OmegaNetwork*>(ctx);
+  auto idx = static_cast<std::uint32_t>(transit_idx);
+  Transit& t = self->transits_[idx];
+  self->stats_.latency.add(static_cast<double>(self->sim_.now() - t.injected_at));
+  const Packet packet = t.packet;
+  self->free_transit(idx);
+  self->deliver(packet);
+}
+
+void OmegaNetwork::self_deliver_event(void* ctx, std::uint64_t transit_idx,
+                                      std::uint64_t) {
+  auto* self = static_cast<OmegaNetwork*>(ctx);
+  auto idx = static_cast<std::uint32_t>(transit_idx);
+  Transit& t = self->transits_[idx];
+  ++self->stats_.self_deliveries;
+  self->stats_.latency.add(static_cast<double>(self->sim_.now() - t.injected_at));
+  const Packet packet = t.packet;
+  self->free_transit(idx);
+  self->deliver(packet);
+}
+
+Cycle OmegaNetwork::total_port_wait() const {
+  Cycle total = 0;
+  for (const auto& sw : switches_) total += sw.total_wait();
+  return total;
+}
+
+std::uint64_t OmegaNetwork::peak_port_backlog() const {
+  std::uint64_t peak = 0;
+  for (const auto& sw : switches_) {
+    peak = std::max(peak, sw.peak_backlog());
+  }
+  return peak;
+}
+
+}  // namespace emx::net

@@ -1,0 +1,63 @@
+// Detailed circular Omega network: per-hop event simulation through the
+// switch boxes. Exact contention and ordering; O(hops) events per packet,
+// so it is the reference model — the FastNetwork is validated against it.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "network/network_iface.hpp"
+#include "network/routing.hpp"
+#include "network/switch_box.hpp"
+
+namespace emx::net {
+
+class OmegaNetwork final : public Network {
+ public:
+  /// `self_latency`: OBU->IBU loopback cycles for dst == src packets.
+  /// `port_interval`: cycles between successive packets on one port (2).
+  OmegaNetwork(sim::SimContext& sim, std::uint32_t proc_count,
+               Cycle self_latency = 2, Cycle port_interval = 2);
+
+  void inject(const Packet& packet) override;
+  unsigned hop_count(ProcId src, ProcId dst) const override {
+    return routing_.hop_count(src, dst);
+  }
+  std::string name() const override { return "omega-detailed"; }
+
+  const ShuffleRouting& routing() const { return routing_; }
+  const SwitchBox& switch_box(ProcId i) const { return switches_[i]; }
+
+  /// Total cycles packets spent queued at switch output ports.
+  Cycle total_port_wait() const;
+
+  /// Deepest per-port queue seen anywhere in the fabric (packets).
+  std::uint64_t peak_port_backlog() const;
+
+ private:
+  struct Transit {
+    Packet packet;
+    unsigned hop = 0;
+    Cycle injected_at = 0;
+    std::uint32_t next_free = 0;  ///< free-list link when unused
+    bool in_use = false;
+  };
+
+  static void hop_event(void* ctx, std::uint64_t transit_idx, std::uint64_t);
+  static void deliver_event(void* ctx, std::uint64_t transit_idx, std::uint64_t);
+  static void self_deliver_event(void* ctx, std::uint64_t transit_idx, std::uint64_t);
+
+  void step(std::uint32_t transit_idx);
+  std::uint32_t alloc_transit(const Packet& packet);
+  void free_transit(std::uint32_t idx);
+
+  sim::SimContext& sim_;
+  ShuffleRouting routing_;
+  std::vector<SwitchBox> switches_;
+  std::vector<Transit> transits_;
+  std::uint32_t free_head_;
+  Cycle self_latency_;
+  Cycle port_interval_;
+};
+
+}  // namespace emx::net

@@ -1,0 +1,34 @@
+#include "network/packet.hpp"
+
+#include <cstdio>
+
+namespace emx::net {
+
+const char* to_string(PacketKind kind) {
+  switch (kind) {
+    case PacketKind::kRemoteReadReq:
+      return "READ_REQ";
+    case PacketKind::kRemoteReadReply:
+      return "READ_REPLY";
+    case PacketKind::kRemoteWrite:
+      return "WRITE";
+    case PacketKind::kBlockReadReq:
+      return "BLOCK_READ_REQ";
+    case PacketKind::kBlockReadReply:
+      return "BLOCK_READ_REPLY";
+    case PacketKind::kInvoke:
+      return "INVOKE";
+    case PacketKind::kLocalWake:
+      return "LOCAL_WAKE";
+  }
+  return "?";
+}
+
+std::string Packet::describe() const {
+  char buf[160];
+  std::snprintf(buf, sizeof buf, "%s %u->%u addr=0x%08x data=0x%08x thr=%u tag=%u",
+                to_string(kind), src, dst, addr, data, cont_thread, cont_tag);
+  return buf;
+}
+
+}  // namespace emx::net

@@ -1,0 +1,62 @@
+// The EM-X communication packet.
+//
+// All EM-X communication uses 2-word fixed-size packets (paper §2.2): the
+// first 32-bit word is an address (a global address or a continuation),
+// the second a datum. The simulator keeps those two architectural words
+// and adds routing/bookkeeping metadata that real hardware encodes inside
+// them (processor number bits, packet-type tag bits).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/types.hpp"
+
+namespace emx::net {
+
+enum class PacketKind : std::uint8_t {
+  kRemoteReadReq,    ///< addr = target global address, data = continuation
+  kRemoteReadReply,  ///< addr = continuation, data = fetched value
+  kRemoteWrite,      ///< addr = target global address, data = value to store
+  kBlockReadReq,     ///< addr = base global address, block_len words follow
+  kBlockReadReply,   ///< final word of a block read; resumes the thread
+  kInvoke,           ///< thread invocation: addr = entry id, data = argument
+  kLocalWake,        ///< OBU->IBU loopback continuation (gate wake, poll)
+};
+
+const char* to_string(PacketKind kind);
+
+/// Two-level IBU priority (paper §2.2: "two levels of priority packet
+/// buffers for flexible thread scheduling").
+enum class PacketPriority : std::uint8_t { kNormal = 0, kHigh = 1 };
+
+struct Packet {
+  // --- the two architectural 32-bit words ---
+  Word addr = 0;
+  Word data = 0;
+
+  // --- fields real hardware packs into the words above ---
+  ProcId src = 0;
+  ProcId dst = 0;
+  PacketKind kind = PacketKind::kRemoteWrite;
+  PacketPriority priority = PacketPriority::kNormal;
+
+  /// Continuation: which thread/tag on `src` resumes when a reply returns.
+  ThreadId cont_thread = kInvalidThread;
+  std::uint32_t cont_tag = 0;
+  /// Operand slot for two-operand direct matching (paper §2.2: the MU
+  /// loads mate data from matching memory; a thread's first instruction
+  /// "operates on input tokens, which are loaded into two operand
+  /// registers").
+  std::uint8_t cont_slot = 0;
+
+  /// For kBlockReadReq: number of consecutive words requested (>= 1).
+  std::uint32_t block_len = 1;
+
+  // --- simulation bookkeeping ---
+  Cycle issue_cycle = 0;  ///< when the sender's OBU released it
+
+  std::string describe() const;
+};
+
+}  // namespace emx::net

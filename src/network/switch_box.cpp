@@ -1,0 +1,19 @@
+#include "network/switch_box.hpp"
+
+#include "common/assert.hpp"
+
+namespace emx::net {
+
+Cycle SwitchBox::reserve(unsigned port, Cycle ready, Cycle port_interval) {
+  EMX_DCHECK(port < kPortCount, "bad switch port");
+  const Cycle depart = ready > next_free_[port] ? ready : next_free_[port];
+  const Cycle wait = depart - ready;
+  total_wait_ += wait;
+  const std::uint64_t backlog = wait / port_interval;
+  peak_backlog_ = backlog > peak_backlog_ ? backlog : peak_backlog_;
+  next_free_[port] = depart + port_interval;
+  ++forwarded_[port];
+  return depart;
+}
+
+}  // namespace emx::net

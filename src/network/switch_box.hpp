@@ -1,0 +1,48 @@
+// One EM-X switch box: a 3x3 crossbar with two network input/output port
+// pairs plus the processor injection/ejection port (paper §2.2).
+//
+// Timing model: virtual cut-through — a packet spends 1 cycle crossing a
+// switch, and each output port can start a new packet only every 2 cycles
+// ("each port can transfer a packet ... at every second cycle"). Packets
+// competing for an output port queue in FIFO order; the queue is the
+// switch's cut-through buffer and we track its peak depth.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common/types.hpp"
+
+namespace emx::net {
+
+class SwitchBox {
+ public:
+  /// Port indices within a switch box.
+  enum : unsigned { kNetPort0 = 0, kNetPort1 = 1, kEjectPort = 2, kPortCount = 3 };
+
+  /// Reserves the given output port for one packet: returns the cycle at
+  /// which the packet actually departs (>= `ready`), honouring the
+  /// 1-packet-per-2-cycles port bandwidth.
+  Cycle reserve(unsigned port, Cycle ready, Cycle port_interval);
+
+  /// Cycles packets have spent waiting for this switch's ports.
+  Cycle total_wait() const { return total_wait_; }
+  std::uint64_t forwarded(unsigned port) const { return forwarded_[port]; }
+  std::uint64_t total_forwarded() const {
+    return forwarded_[0] + forwarded_[1] + forwarded_[2];
+  }
+  Cycle busy_until(unsigned port) const { return next_free_[port]; }
+
+  /// Peak cut-through buffer depth observed on any port: how many
+  /// packets were queued behind a port at once (in units of the port
+  /// interval). Sizes the on-switch buffering a real fabric would need.
+  std::uint64_t peak_backlog() const { return peak_backlog_; }
+
+ private:
+  std::array<Cycle, kPortCount> next_free_ = {0, 0, 0};
+  std::array<std::uint64_t, kPortCount> forwarded_ = {0, 0, 0};
+  Cycle total_wait_ = 0;
+  std::uint64_t peak_backlog_ = 0;
+};
+
+}  // namespace emx::net

@@ -1,0 +1,73 @@
+// The by-passing direct memory access path — the key EM-X feature.
+//
+// Remote read/write request packets arriving at the IBU are serviced over
+// the IBU -> MCU -> OBU path without consuming Execution Unit cycles
+// (paper §2.2). The DMA engine has its own timeline: one request occupies
+// it for dma_interval cycles and a serviced read's reply leaves for the
+// OBU dma_service cycles after service starts.
+//
+// A block read request (one of the four EMC-Y send instruction types)
+// produces block_len fixed-size reply packets; the first block_len-1 are
+// plain remote writes into the requester's buffer and the final one is the
+// thread-resuming read reply.
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.hpp"
+#include "network/packet.hpp"
+#include "proc/memory.hpp"
+#include "proc/output_buffer_unit.hpp"
+#include "sim/sim_context.hpp"
+
+namespace emx::proc {
+
+struct BypassDmaStats {
+  std::uint64_t reads_serviced = 0;
+  std::uint64_t writes_serviced = 0;
+  std::uint64_t block_reads_serviced = 0;
+  std::uint64_t reply_packets = 0;
+  Cycle busy_cycles = 0;  ///< cycles the DMA engine was occupied
+};
+
+class BypassDma {
+ public:
+  BypassDma(sim::SimContext& sim, Memory& memory, OutputBufferUnit& obu,
+            Cycle service_cycles, Cycle interval_cycles,
+            Cycle block_word_cycles = 2)
+      : sim_(sim),
+        memory_(memory),
+        obu_(obu),
+        service_cycles_(service_cycles),
+        interval_cycles_(interval_cycles),
+        block_word_cycles_(block_word_cycles) {}
+
+  /// Accepts a service packet (read request / write / block read request)
+  /// at sim.now(). Never touches the EXU.
+  void service(const net::Packet& packet);
+
+  const BypassDmaStats& stats() const { return stats_; }
+
+ private:
+  struct Job {
+    net::Packet packet;
+    std::uint32_t next_free = 0;
+    bool in_use = false;
+  };
+  static void service_event(void* ctx, std::uint64_t idx, std::uint64_t);
+  void schedule_reply(const net::Packet& reply, Cycle when);
+  Cycle reserve_engine(Cycle occupancy);
+
+  sim::SimContext& sim_;
+  Memory& memory_;
+  OutputBufferUnit& obu_;
+  Cycle service_cycles_;
+  Cycle interval_cycles_;
+  Cycle block_word_cycles_;
+  Cycle engine_free_ = 0;
+  std::vector<Job> pool_;
+  std::uint32_t free_head_ = 0xFFFFFFFFu;
+  BypassDmaStats stats_;
+};
+
+}  // namespace emx::proc

@@ -1,0 +1,41 @@
+#include "proc/emcy.hpp"
+
+namespace emx::proc {
+
+Emcy::Emcy(sim::SimContext& sim, const MachineConfig& config, ProcId proc,
+           net::Network& network, rt::EntryRegistry& registry,
+           trace::TraceSink* sink)
+    : config_(config),
+      proc_(proc),
+      memory_(config.memory_words),
+      obu_(sim, network, config.obu_cycles),
+      dma_(sim, memory_, obu_, config.dma_service_cycles,
+           config.dma_interval_cycles, config.dma_block_word_cycles),
+      engine_(sim, config, proc, memory_, obu_, registry, sink) {}
+
+void Emcy::accept(const net::Packet& packet) {
+  ++accepted_;
+  using net::PacketKind;
+  switch (packet.kind) {
+    case PacketKind::kRemoteWrite:
+      // Writes are always serviced by the IBU->MCU path.
+      dma_.service(packet);
+      return;
+    case PacketKind::kRemoteReadReq:
+    case PacketKind::kBlockReadReq:
+      if (config_.read_service == ReadServiceMode::kBypassDma) {
+        dma_.service(packet);
+      } else {
+        engine_.enqueue_packet(packet);  // EM-4: consumes EXU cycles
+      }
+      return;
+    case PacketKind::kRemoteReadReply:
+    case PacketKind::kBlockReadReply:
+    case PacketKind::kInvoke:
+    case PacketKind::kLocalWake:
+      engine_.enqueue_packet(packet);
+      return;
+  }
+}
+
+}  // namespace emx::proc

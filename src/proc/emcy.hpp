@@ -1,0 +1,57 @@
+// The EMC-Y processing element: a single-chip pipelined RISC-style
+// processor for fine-grain parallel computing (paper §2.2). Aggregates
+// the memory, Output Buffer Unit, by-pass DMA and the thread engine
+// (IBU + MU + EXU), and routes arriving packets:
+//
+//   remote read/write service packets -> by-pass DMA   (no EXU cycles)
+//   thread packets (invoke/reply/wake) -> IBU thread FIFO -> MU -> EXU
+//
+// In EM-4 compatibility mode, read requests are demoted to the thread
+// FIFO and serviced on the EXU instead.
+#pragma once
+
+#include <memory>
+
+#include "core/config.hpp"
+#include "network/network_iface.hpp"
+#include "proc/bypass_dma.hpp"
+#include "proc/memory.hpp"
+#include "proc/output_buffer_unit.hpp"
+#include "runtime/scheduler.hpp"
+#include "trace/trace.hpp"
+
+namespace emx::proc {
+
+class Emcy {
+ public:
+  Emcy(sim::SimContext& sim, const MachineConfig& config, ProcId proc,
+       net::Network& network, rt::EntryRegistry& registry,
+       trace::TraceSink* sink);
+
+  Emcy(const Emcy&) = delete;
+  Emcy& operator=(const Emcy&) = delete;
+
+  ProcId proc() const { return proc_; }
+  Memory& memory() { return memory_; }
+  const Memory& memory() const { return memory_; }
+  OutputBufferUnit& obu() { return obu_; }
+  BypassDma& dma() { return dma_; }
+  rt::ThreadEngine& engine() { return engine_; }
+  const rt::ThreadEngine& engine() const { return engine_; }
+
+  /// Delivery point from the network (called at arrival time).
+  void accept(const net::Packet& packet);
+
+  std::uint64_t packets_accepted() const { return accepted_; }
+
+ private:
+  const MachineConfig& config_;
+  ProcId proc_;
+  Memory memory_;
+  OutputBufferUnit obu_;
+  BypassDma dma_;
+  rt::ThreadEngine engine_;
+  std::uint64_t accepted_ = 0;
+};
+
+}  // namespace emx::proc

@@ -1,0 +1,3 @@
+#include "proc/execution_unit.hpp"
+
+// Accounting-only unit; TU anchors the module in the library.

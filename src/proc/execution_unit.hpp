@@ -1,0 +1,80 @@
+// Execution Unit (EXU) cycle accounting.
+//
+// The EXU is a register-based RISC pipeline executing one thread at a
+// time, non-preemptively. The simulator does not interpret individual
+// instructions; it charges cycle spans to buckets that mirror the paper's
+// Figure-8 decomposition:
+//   computation — application instructions (1 clock each),
+//   overhead    — packet-generation instructions (the paper measured this
+//                 with a null loop),
+//   switching   — register saving + Matching-Unit dispatch + barrier
+//                 re-check instructions,
+//   read service— EM-4 compatibility mode only: servicing remote reads on
+//                 the EXU as 1-instruction threads.
+// Cycles in no bucket while the machine still runs are idle = exposed
+// communication time.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common/assert.hpp"
+#include "common/types.hpp"
+
+namespace emx::proc {
+
+enum class CycleBucket : std::uint8_t {
+  kCompute = 0,
+  kOverhead = 1,
+  kSwitch = 2,
+  kReadService = 3,
+};
+inline constexpr std::size_t kBucketCount = 4;
+
+class ExecutionUnit {
+ public:
+  bool busy() const { return busy_; }
+
+  /// Marks the EXU busy; closes the current idle span.
+  void begin_busy(Cycle now) {
+    EMX_DCHECK(!busy_, "begin_busy while busy");
+    busy_ = true;
+    EMX_DCHECK(now >= idle_since_, "time went backwards");
+    idle_cycles_ += now - idle_since_;
+  }
+
+  /// Marks the EXU free; opens an idle span.
+  void end_busy(Cycle now) {
+    EMX_DCHECK(busy_, "end_busy while idle");
+    busy_ = false;
+    idle_since_ = now;
+  }
+
+  void charge(CycleBucket bucket, Cycle cycles) {
+    buckets_[static_cast<std::size_t>(bucket)] += cycles;
+  }
+
+  Cycle bucket(CycleBucket b) const {
+    return buckets_[static_cast<std::size_t>(b)];
+  }
+  Cycle busy_total() const {
+    Cycle t = 0;
+    for (auto c : buckets_) t += c;
+    return t;
+  }
+
+  /// Idle cycles observed so far; callers finalize with the run-end time.
+  Cycle idle_cycles(Cycle end_time) const {
+    Cycle idle = idle_cycles_;
+    if (!busy_ && end_time > idle_since_) idle += end_time - idle_since_;
+    return idle;
+  }
+
+ private:
+  bool busy_ = false;
+  Cycle idle_since_ = 0;
+  Cycle idle_cycles_ = 0;
+  std::array<Cycle, kBucketCount> buckets_ = {0, 0, 0, 0};
+};
+
+}  // namespace emx::proc

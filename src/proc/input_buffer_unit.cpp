@@ -1,0 +1,3 @@
+#include "proc/input_buffer_unit.hpp"
+
+// All-inline; TU exists to keep one object per module in the library.

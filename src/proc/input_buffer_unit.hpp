@@ -1,0 +1,53 @@
+// Input Buffer Unit (IBU).
+//
+// Receives packets from the switch unit into two priority levels of
+// on-chip FIFO (8 packets each) that spill to an on-memory buffer when
+// full and restore automatically (paper §2.2). The IBU operates
+// independently of the EXU: remote read/write service packets are peeled
+// off to the by-pass DMA before ever entering the thread queue; thread
+// invocation and resumption packets queue here for the Matching Unit.
+#pragma once
+
+#include <cstdint>
+
+#include "common/ring_buffer.hpp"
+#include "network/packet.hpp"
+
+namespace emx::proc {
+
+class InputBufferUnit {
+ public:
+  explicit InputBufferUnit(std::size_t on_chip_depth)
+      : high_(on_chip_depth), normal_(on_chip_depth) {}
+
+  bool empty() const { return high_.empty() && normal_.empty(); }
+  std::size_t size() const { return high_.size() + normal_.size(); }
+
+  void push(const net::Packet& packet) {
+    ++received_;
+    if (packet.priority == net::PacketPriority::kHigh) {
+      high_.push(packet);
+    } else {
+      normal_.push(packet);
+    }
+  }
+
+  /// FIFO within a level; the high-priority level drains first.
+  net::Packet pop() {
+    EMX_DCHECK(!empty(), "IBU pop while empty");
+    return high_.empty() ? normal_.pop() : high_.pop();
+  }
+
+  std::uint64_t total_received() const { return received_; }
+  std::size_t peak_depth() const {
+    return high_.peak_size() + normal_.peak_size();
+  }
+  std::size_t spilled_now() const { return high_.spilled() + normal_.spilled(); }
+
+ private:
+  SpillingFifo<net::Packet> high_;
+  SpillingFifo<net::Packet> normal_;
+  std::uint64_t received_ = 0;
+};
+
+}  // namespace emx::proc

@@ -1,0 +1,3 @@
+#include "proc/matching_unit.hpp"
+
+// Counter-only unit; TU anchors the module in the library.

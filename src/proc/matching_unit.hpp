@@ -1,0 +1,41 @@
+// Matching Unit (MU): direct matching and thread dispatch.
+//
+// When the EXU is free, the MU fetches the first packet from the IBU FIFO
+// and performs the five dispatch actions (obtain frame base, load mate
+// data, fetch template address, fetch first instruction, signal the EXU —
+// paper §2.2). The simulator charges mu_dispatch cycles for the sequence
+// and keeps dispatch statistics; the actual thread resumption/invocation
+// logic lives in the runtime scheduler that owns the coroutines.
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.hpp"
+
+namespace emx::proc {
+
+class MatchingUnit {
+ public:
+  explicit MatchingUnit(Cycle dispatch_cycles) : dispatch_cycles_(dispatch_cycles) {}
+
+  Cycle dispatch_cycles() const { return dispatch_cycles_; }
+
+  void note_dispatch() { ++dispatches_; }
+  void note_invoke() { ++invocations_; }
+  void note_resume() { ++resumptions_; }
+  void note_match() { ++matches_; }
+
+  std::uint64_t dispatches() const { return dispatches_; }
+  std::uint64_t invocations() const { return invocations_; }
+  std::uint64_t resumptions() const { return resumptions_; }
+  std::uint64_t matches() const { return matches_; }
+
+ private:
+  Cycle dispatch_cycles_;
+  std::uint64_t dispatches_ = 0;
+  std::uint64_t invocations_ = 0;
+  std::uint64_t resumptions_ = 0;
+  std::uint64_t matches_ = 0;
+};
+
+}  // namespace emx::proc

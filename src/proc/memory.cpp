@@ -1,0 +1,4 @@
+#include "proc/memory.hpp"
+
+// Header-only hot path; this TU pins the vtable-free class into the
+// library so downstream link sets stay uniform.

@@ -1,0 +1,49 @@
+// Per-PE local memory: 4 MB of one-level static RAM on the EMC-Y,
+// word-addressed (32-bit words). The simulator stores real data here so
+// application results can be verified, not just timed.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "common/types.hpp"
+
+namespace emx::proc {
+
+class Memory {
+ public:
+  explicit Memory(std::size_t words) : words_(words, 0) {}
+
+  std::size_t size() const { return words_.size(); }
+
+  Word read(LocalAddr addr) const {
+    EMX_DCHECK(addr < words_.size(), "memory read out of range");
+    return words_[addr];
+  }
+
+  void write(LocalAddr addr, Word value) {
+    EMX_DCHECK(addr < words_.size(), "memory write out of range");
+    words_[addr] = value;
+  }
+
+  /// Single-precision floats are stored as their bit pattern (the EMC-Y is
+  /// a 32-bit machine with single-precision FP units).
+  float read_f32(LocalAddr addr) const { return std::bit_cast<float>(read(addr)); }
+  void write_f32(LocalAddr addr, float value) {
+    write(addr, std::bit_cast<Word>(value));
+  }
+
+  void fill(LocalAddr base, const Word* data, std::size_t count) {
+    EMX_CHECK(base + count <= words_.size(), "memory fill out of range");
+    for (std::size_t i = 0; i < count; ++i) words_[base + i] = data[i];
+  }
+
+  void clear() { std::fill(words_.begin(), words_.end(), 0u); }
+
+ private:
+  std::vector<Word> words_;
+};
+
+}  // namespace emx::proc

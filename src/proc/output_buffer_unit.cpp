@@ -1,0 +1,33 @@
+#include "proc/output_buffer_unit.hpp"
+
+namespace emx::proc {
+
+void OutputBufferUnit::send(const net::Packet& packet) {
+  ++sent_;
+  std::uint32_t idx;
+  if (free_head_ != 0xFFFFFFFFu) {
+    idx = free_head_;
+    free_head_ = pool_[idx].next_free;
+  } else {
+    idx = static_cast<std::uint32_t>(pool_.size());
+    pool_.emplace_back();
+  }
+  pool_[idx].packet = packet;
+  pool_[idx].packet.issue_cycle = sim_.now();
+  pool_[idx].in_use = true;
+  sim_.schedule(obu_cycles_, &OutputBufferUnit::release_event, this, idx, 0);
+}
+
+void OutputBufferUnit::release_event(void* ctx, std::uint64_t idx64, std::uint64_t) {
+  auto* self = static_cast<OutputBufferUnit*>(ctx);
+  auto idx = static_cast<std::uint32_t>(idx64);
+  Outgoing& rec = self->pool_[idx];
+  EMX_DCHECK(rec.in_use, "OBU releasing freed slot");
+  const net::Packet packet = rec.packet;
+  rec.in_use = false;
+  rec.next_free = self->free_head_;
+  self->free_head_ = idx;
+  self->network_.inject(packet);
+}
+
+}  // namespace emx::proc

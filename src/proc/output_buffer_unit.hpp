@@ -1,0 +1,48 @@
+// Output Buffer Unit (OBU).
+//
+// Separates the EXU (and the by-pass DMA) from the network: packets
+// generated locally are buffered (8 deep on chip) and released to the
+// switch unit. In the simulator the release is a scheduled handoff
+// `obu_cycles` after generation; the network's injection-port model
+// enforces the 1-packet-per-2-cycles wire rate, so the OBU tracks
+// occupancy statistics and ordering only.
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.hpp"
+#include "network/network_iface.hpp"
+#include "sim/sim_context.hpp"
+
+namespace emx::proc {
+
+class OutputBufferUnit {
+ public:
+  OutputBufferUnit(sim::SimContext& sim, net::Network& network, Cycle obu_cycles)
+      : sim_(sim), network_(network), obu_cycles_(obu_cycles) {}
+
+  /// Accepts a packet from the EXU or the by-pass DMA at sim.now() and
+  /// injects it into the network obu_cycles later. Packets from one PE
+  /// are injected in acceptance order (the event queue preserves
+  /// same-time insertion order), which upholds non-overtaking end-to-end.
+  void send(const net::Packet& packet);
+
+  std::uint64_t packets_sent() const { return sent_; }
+
+ private:
+  struct Outgoing {
+    net::Packet packet;
+    std::uint32_t next_free = 0;
+    bool in_use = false;
+  };
+  static void release_event(void* ctx, std::uint64_t idx, std::uint64_t);
+
+  sim::SimContext& sim_;
+  net::Network& network_;
+  Cycle obu_cycles_;
+  std::vector<Outgoing> pool_;
+  std::uint32_t free_head_ = 0xFFFFFFFFu;
+  std::uint64_t sent_ = 0;
+};
+
+}  // namespace emx::proc

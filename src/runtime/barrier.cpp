@@ -1,0 +1,4 @@
+#include "runtime/barrier.hpp"
+
+// Data-only module; the protocol lives in the thread engine and the
+// Machine's coordinator entries. TU anchors the module in the library.

@@ -1,0 +1,50 @@
+// Iteration barrier (paper §4: "we forced loops to execute synchronously
+// by inserting a barrier at the end of each iteration").
+//
+// Sense-reversing, packet-based:
+//  * every participating thread joins and suspends (one iteration-sync
+//    switch);
+//  * the last thread on a PE sends a join packet — an actual thread
+//    invocation — to the coordinator (PE 0 for the central topology, the
+//    binary-tree parent for the tree topology);
+//  * when every PE has joined, the coordinator releases the barrier with
+//    remote writes that set the sense flag word in each PE's reserved
+//    memory (serviced by the by-pass DMA, no EXU involvement);
+//  * suspended threads re-check the flag every barrier_poll_interval
+//    cycles; each failed re-check is a further iteration-sync switch —
+//    this polling is what makes iteration-sync switching grow with the
+//    thread count in the paper's Figure 9.
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.hpp"
+
+namespace emx::rt {
+
+/// Reserved low words of every PE's memory used by the runtime.
+inline constexpr LocalAddr kBarrierFlagAddr0 = 0;  ///< sense-0 release flag
+inline constexpr LocalAddr kBarrierFlagAddr1 = 1;  ///< sense-1 release flag
+inline constexpr LocalAddr kReservedWords = 16;    ///< apps start here
+
+inline constexpr LocalAddr barrier_flag_addr(std::uint8_t sense) {
+  return sense == 0 ? kBarrierFlagAddr0 : kBarrierFlagAddr1;
+}
+
+/// Per-PE barrier bookkeeping held by the thread engine.
+struct LocalBarrier {
+  std::uint32_t expected = 0;  ///< participating threads on this PE
+  std::uint32_t joined = 0;    ///< joins so far this episode
+  std::uint32_t passed = 0;    ///< threads that observed the release
+  std::uint8_t sense = 0;      ///< current episode's sense bit
+  std::uint64_t episodes = 0;  ///< completed barrier episodes
+};
+
+/// Coordinator-side state (owned by the Machine). For the central
+/// topology only node 0 is used; the tree topology keeps one node per PE.
+struct BarrierNode {
+  std::uint32_t expected = 0;  ///< join packets this node waits for
+  std::uint32_t count = 0;
+};
+
+}  // namespace emx::rt

@@ -1,0 +1,54 @@
+// Global address space (paper §2.3): a global address is the processor
+// number plus the local memory address of the selected processor, packed
+// into one 32-bit word exactly as the EM-X compiler does.
+//
+// Layout: [ proc : 12 bits | local word address : 20 bits ]  — 20 bits
+// covers the 4 MB (1 M-word) per-PE memory; 12 bits cover up to 4096 PEs.
+#pragma once
+
+#include <cstdint>
+
+#include "common/assert.hpp"
+#include "common/types.hpp"
+
+namespace emx::rt {
+
+inline constexpr unsigned kLocalAddrBits = 20;
+inline constexpr Word kLocalAddrMask = (Word{1} << kLocalAddrBits) - 1;
+inline constexpr unsigned kMaxProcBits = 12;
+
+struct GlobalAddr {
+  ProcId proc = 0;
+  LocalAddr addr = 0;
+
+  constexpr GlobalAddr() = default;
+  constexpr GlobalAddr(ProcId p, LocalAddr a) : proc(p), addr(a) {}
+
+  constexpr bool operator==(const GlobalAddr&) const = default;
+
+  /// Pointer-style arithmetic within one PE's memory.
+  constexpr GlobalAddr operator+(LocalAddr offset) const {
+    return GlobalAddr{proc, addr + offset};
+  }
+  GlobalAddr& operator++() {
+    ++addr;
+    return *this;
+  }
+};
+
+constexpr Word pack(GlobalAddr ga) {
+  return (static_cast<Word>(ga.proc) << kLocalAddrBits) | (ga.addr & kLocalAddrMask);
+}
+
+constexpr GlobalAddr unpack(Word w) {
+  return GlobalAddr{static_cast<ProcId>(w >> kLocalAddrBits),
+                    static_cast<LocalAddr>(w & kLocalAddrMask)};
+}
+
+inline GlobalAddr make_global(ProcId proc, LocalAddr addr) {
+  EMX_DCHECK(proc < (1u << kMaxProcBits), "proc id exceeds address bits");
+  EMX_DCHECK(addr <= kLocalAddrMask, "local address exceeds address bits");
+  return GlobalAddr{proc, addr};
+}
+
+}  // namespace emx::rt

@@ -1,0 +1,3 @@
+#include "runtime/order_gate.hpp"
+
+// Header-only; TU anchors the module in the library.

@@ -1,0 +1,58 @@
+// OrderGate: intra-processor thread synchronisation for ordered merging.
+//
+// Bitonic sorting requires thread j to merge only after thread i for all
+// i < j (paper §3.1) so the output buffer fills in proper order. A gate
+// admits thread indices strictly in sequence: index k passes only once
+// advance() has been called k times. Waiting threads suspend (a
+// thread-synchronisation switch) and are woken by the predecessor via a
+// local continuation packet.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "common/types.hpp"
+
+namespace emx::rt {
+
+class OrderGate {
+ public:
+  OrderGate() = default;
+  explicit OrderGate(std::uint32_t width) { reset(width); }
+
+  /// Re-arms the gate for `width` participant threads (index 0..width-1).
+  void reset(std::uint32_t width) {
+    current_ = 0;
+    waiters_.assign(width, kInvalidThread);
+  }
+
+  std::uint32_t width() const { return static_cast<std::uint32_t>(waiters_.size()); }
+  std::uint32_t current() const { return current_; }
+
+  bool passable(std::uint32_t index) const { return index == current_; }
+
+  void register_waiter(std::uint32_t index, ThreadId thread) {
+    EMX_DCHECK(index < waiters_.size(), "gate index out of range");
+    EMX_DCHECK(index > current_, "registering an already-passable index");
+    EMX_DCHECK(waiters_[index] == kInvalidThread, "gate slot already taken");
+    waiters_[index] = thread;
+  }
+
+  /// Opens the next index; returns the waiting thread to wake, if any.
+  ThreadId advance() {
+    ++current_;
+    if (current_ < waiters_.size() && waiters_[current_] != kInvalidThread) {
+      const ThreadId t = waiters_[current_];
+      waiters_[current_] = kInvalidThread;
+      return t;
+    }
+    return kInvalidThread;
+  }
+
+ private:
+  std::uint32_t current_ = 0;
+  std::vector<ThreadId> waiters_;
+};
+
+}  // namespace emx::rt

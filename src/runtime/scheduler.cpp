@@ -1,0 +1,501 @@
+#include "runtime/scheduler.hpp"
+
+#include "common/assert.hpp"
+#include "runtime/thread_api.hpp"
+
+namespace emx::rt {
+
+using proc::CycleBucket;
+
+ThreadEngine::ThreadEngine(sim::SimContext& sim, const MachineConfig& config,
+                           ProcId proc, proc::Memory& memory,
+                           proc::OutputBufferUnit& obu, EntryRegistry& registry,
+                           trace::TraceSink* sink)
+    : sim_(sim),
+      config_(config),
+      proc_(proc),
+      memory_(memory),
+      obu_(obu),
+      registry_(registry),
+      sink_(sink),
+      ibu_(config.ibu_fifo_depth),
+      mu_(config.mu_dispatch_cycles) {}
+
+void ThreadEngine::set_barrier(ProcId coordinator, std::uint32_t join_entry,
+                               std::uint32_t expected_local) {
+  barrier_coordinator_ = coordinator;
+  barrier_join_entry_ = join_entry;
+  barrier_.expected = expected_local;
+  EMX_CHECK(barrier_.joined == 0 && barrier_.passed == 0,
+            "reconfiguring a barrier mid-episode");
+}
+
+void ThreadEngine::emit(trace::EventType type, ThreadId thread, std::uint64_t info) {
+  if (sink_ == nullptr) return;
+  sink_->on_event(trace::TraceEvent{sim_.now(), proc_, thread, type, info});
+}
+
+// ---------------------------------------------------------------- dispatch
+
+void ThreadEngine::enqueue_packet(const net::Packet& packet) {
+  ibu_.push(packet);
+  maybe_start_dispatch();
+}
+
+void ThreadEngine::schedule_invocation(Cycle at, std::uint32_t entry, Word arg) {
+  sim_.schedule_at(at, &ThreadEngine::injection_event, this, entry, arg);
+}
+
+void ThreadEngine::injection_event(void* ctx, std::uint64_t entry, std::uint64_t arg) {
+  auto* self = static_cast<ThreadEngine*>(ctx);
+  net::Packet p;
+  p.kind = net::PacketKind::kInvoke;
+  p.src = self->proc_;
+  p.dst = self->proc_;
+  p.addr = static_cast<Word>(entry);
+  p.data = static_cast<Word>(arg);
+  self->enqueue_packet(p);
+}
+
+void ThreadEngine::maybe_start_dispatch() {
+  if (exu_.busy() || ibu_.empty()) return;
+  exu_.begin_busy(sim_.now());
+  current_packet_ = ibu_.pop();
+  mu_.note_dispatch();
+  // Direct matching: the MU's five-step dispatch sequence (paper §2.2).
+  charge(CycleBucket::kSwitch, config_.mu_dispatch_cycles);
+  sim_.schedule(config_.mu_dispatch_cycles, &ThreadEngine::dispatch_ready_event,
+                this, 0, 0);
+}
+
+void ThreadEngine::dispatch_ready_event(void* ctx, std::uint64_t, std::uint64_t) {
+  static_cast<ThreadEngine*>(ctx)->do_dispatch();
+}
+
+void ThreadEngine::do_dispatch() {
+  const net::Packet p = current_packet_;
+  using net::PacketKind;
+  switch (p.kind) {
+    case PacketKind::kInvoke: {
+      ThreadRecord& r = frames_.alloc(kInvalidThread);
+      ThreadBody body = registry_.get(p.addr)(ThreadApi{this, &r}, p.data);
+      r.coro = body.release();
+      EMX_CHECK(static_cast<bool>(r.coro), "entry produced an empty thread body");
+      mu_.note_invoke();
+      emit(trace::EventType::kThreadInvoke, r.id, p.addr);
+      run_thread(&r);
+      return;
+    }
+    case PacketKind::kRemoteReadReply: {
+      ThreadRecord& r = frames_.get(p.cont_thread);
+      EMX_CHECK(r.state == ThreadState::kSuspendedRead,
+                "read reply for a thread not suspended on a read");
+      EMX_CHECK(r.pending_tag == p.cont_tag, "stale read reply");
+      EMX_CHECK(r.replies_pending > 0, "reply with no outstanding read");
+      if (p.cont_slot == 0) {
+        r.reply_value = p.data;
+      } else {
+        r.reply_value2 = p.data;
+      }
+      if (--r.replies_pending > 0) {
+        // Two-operand direct matching: the first token is stored to
+        // matching memory; the thread resumes only on the mate's arrival.
+        mu_.note_match();
+        charge(CycleBucket::kSwitch, config_.match_store_cycles);
+        emit(trace::EventType::kReadReturn, r.id, p.data);
+        sim_.schedule(config_.match_store_cycles, &ThreadEngine::exu_done_event,
+                      this, 0, 0);
+        return;
+      }
+      mu_.note_resume();
+      emit(trace::EventType::kReadReturn, r.id, p.data);
+      run_thread(&r);
+      return;
+    }
+    case PacketKind::kBlockReadReply: {
+      ThreadRecord& r = frames_.get(p.cont_thread);
+      EMX_CHECK(r.state == ThreadState::kSuspendedRead,
+                "block reply for a thread not suspended on a read");
+      EMX_CHECK(r.pending_tag == p.cont_tag, "stale block read reply");
+      // Final word of the block: store it, then resume the thread.
+      memory_.write(unpack(p.addr).addr, p.data);
+      r.reply_value = p.data;
+      r.replies_pending = 0;
+      mu_.note_resume();
+      emit(trace::EventType::kReadReturn, r.id, p.data);
+      run_thread(&r);
+      return;
+    }
+    case PacketKind::kLocalWake:
+      handle_local_wake(p);
+      return;
+    case PacketKind::kRemoteReadReq:
+    case PacketKind::kBlockReadReq:
+      handle_em4_read(p);
+      return;
+    case PacketKind::kRemoteWrite:
+      EMX_UNREACHABLE("remote write reached the thread queue");
+  }
+}
+
+void ThreadEngine::handle_local_wake(const net::Packet& p) {
+  ThreadRecord& r = frames_.get(p.cont_thread);
+  if (p.cont_tag == kGateWakeTag) {
+    EMX_CHECK(r.state == ThreadState::kSuspendedGate,
+              "gate wake for a thread not waiting on a gate");
+    mu_.note_resume();
+    emit(trace::EventType::kGateWake, r.id);
+    run_thread(&r);
+    return;
+  }
+  if (p.cont_tag == kYieldWakeTag) {
+    EMX_CHECK(r.state == ThreadState::kSuspendedYield,
+              "yield wake for a thread that is not yielding");
+    mu_.note_resume();
+    run_thread(&r);
+    return;
+  }
+  EMX_CHECK(p.cont_tag == kBarrierPollTag, "unknown local wake tag");
+  if (r.state != ThreadState::kSuspendedBarrier) {
+    // The thread was already released by an earlier poll; drop.
+    ++stale_wakes_;
+    release_exu();
+    return;
+  }
+  // Barrier flag re-check: a couple of instructions on the EXU.
+  charge(CycleBucket::kSwitch, config_.barrier_check_cycles);
+  const bool released = memory_.read(barrier_flag_addr(barrier_.sense)) != 0;
+  if (released) {
+    ++barrier_.passed;
+    emit(trace::EventType::kBarrierPass, r.id);
+    if (barrier_.passed == barrier_.expected) {
+      // Last local thread through: retire this episode's flag and flip
+      // the sense for the next one (sense-reversing barrier).
+      memory_.write(barrier_flag_addr(barrier_.sense), 0);
+      barrier_.sense ^= 1;
+      barrier_.passed = 0;
+      ++barrier_.episodes;
+    }
+    mu_.note_resume();
+    // The thread continues after the check instructions complete.
+    r.state = ThreadState::kRunning;
+    sim_.schedule(config_.barrier_check_cycles, &ThreadEngine::resume_event,
+                  this, r.id, 0);
+    return;
+  }
+  ++switches_.iter_sync;
+  emit(trace::EventType::kBarrierPoll, r.id);
+  send_self_wake(r.id, config_.barrier_check_cycles + config_.barrier_poll_interval,
+                 kBarrierPollTag);
+  sim_.schedule(config_.barrier_check_cycles, &ThreadEngine::exu_done_event, this,
+                0, 0);
+}
+
+void ThreadEngine::handle_em4_read(const net::Packet& p) {
+  EMX_CHECK(config_.read_service == ReadServiceMode::kExuThread,
+            "read request reached the thread queue in by-pass mode");
+  // EM-4 compatibility: the request executes as a 1-instruction thread,
+  // consuming EXU cycles (paper §2.1). Extra block words stream at the
+  // wire rate on top of the per-request service.
+  const Cycle words = p.kind == net::PacketKind::kBlockReadReq ? p.block_len : 1;
+  const Cycle cost = config_.exu_read_service_cycles +
+                     (words - 1) * config_.dma_block_word_cycles;
+  charge(CycleBucket::kReadService, cost);
+  em4_pending_ = p;
+  sim_.schedule(cost, &ThreadEngine::em4_service_done_event, this, 0, 0);
+}
+
+void ThreadEngine::em4_service_done_event(void* ctx, std::uint64_t, std::uint64_t) {
+  auto* self = static_cast<ThreadEngine*>(ctx);
+  const net::Packet& req = self->em4_pending_;
+  const GlobalAddr base = unpack(req.addr);
+  if (req.kind == net::PacketKind::kRemoteReadReq) {
+    net::Packet reply;
+    reply.kind = net::PacketKind::kRemoteReadReply;
+    reply.src = self->proc_;
+    reply.dst = req.src;
+    reply.addr = req.data;
+    reply.data = self->memory_.read(base.addr);
+    reply.cont_thread = req.cont_thread;
+    reply.cont_tag = req.cont_tag;
+    reply.cont_slot = req.cont_slot;
+    reply.priority = req.priority;
+    self->obu_.send(reply);
+  } else {
+    const GlobalAddr dest = unpack(req.data);
+    for (std::uint32_t i = 0; i < req.block_len; ++i) {
+      net::Packet reply;
+      reply.src = self->proc_;
+      reply.dst = req.src;
+      reply.cont_thread = req.cont_thread;
+      reply.cont_tag = req.cont_tag;
+      reply.cont_slot = req.cont_slot;
+      reply.priority = req.priority;
+      reply.data = self->memory_.read(base.addr + i);
+      reply.addr = pack(dest + i);
+      reply.kind = (i + 1 < req.block_len) ? net::PacketKind::kRemoteWrite
+                                           : net::PacketKind::kBlockReadReply;
+      self->obu_.send(reply);
+    }
+  }
+  self->release_exu();
+}
+
+// ---------------------------------------------------------------- running
+
+void ThreadEngine::run_thread(ThreadRecord* r) {
+  r->state = ThreadState::kRunning;
+  r->coro.resume();
+  // The coroutine ran until its next awaiter (which already scheduled the
+  // follow-up event and charged the EXU) or to completion.
+  if (r->coro.done()) on_thread_done(r);
+}
+
+void ThreadEngine::on_thread_done(ThreadRecord* r) {
+  emit(trace::EventType::kThreadEnd, r->id);
+  frames_.free(*r);
+  // "The completion ... of a thread causes the next packet to be
+  //  automatically dequeued from the packet queue" — no save cost.
+  release_exu();
+}
+
+void ThreadEngine::release_exu() {
+  exu_.end_busy(sim_.now());
+  maybe_start_dispatch();
+}
+
+void ThreadEngine::resume_event(void* ctx, std::uint64_t thread, std::uint64_t) {
+  auto* self = static_cast<ThreadEngine*>(ctx);
+  ThreadRecord& r = self->frames_.get(static_cast<ThreadId>(thread));
+  EMX_DCHECK(r.state == ThreadState::kRunning, "resume of non-running thread");
+  self->run_thread(&r);
+}
+
+void ThreadEngine::exu_done_event(void* ctx, std::uint64_t, std::uint64_t) {
+  static_cast<ThreadEngine*>(ctx)->release_exu();
+}
+
+void ThreadEngine::self_wake_event(void* ctx, std::uint64_t thread,
+                                   std::uint64_t tag) {
+  auto* self = static_cast<ThreadEngine*>(ctx);
+  net::Packet p;
+  p.kind = net::PacketKind::kLocalWake;
+  p.src = self->proc_;
+  p.dst = self->proc_;
+  p.cont_thread = static_cast<ThreadId>(thread);
+  p.cont_tag = static_cast<std::uint32_t>(tag);
+  self->enqueue_packet(p);
+}
+
+void ThreadEngine::send_self_wake(ThreadId target, Cycle delay, std::uint32_t tag) {
+  // Loopback continuation: packet generation + OBU->IBU turnaround.
+  sim_.schedule(delay + config_.self_loop_cycles, &ThreadEngine::self_wake_event,
+                this, target, tag);
+}
+
+// ---------------------------------------------------------------- awaiters
+
+void ThreadEngine::exec_compute(ThreadRecord* r, Cycle instructions) {
+  charge(CycleBucket::kCompute, instructions);
+  emit(trace::EventType::kComputeBegin, r->id, instructions);
+  sim_.schedule(instructions, &ThreadEngine::resume_event, this, r->id, 0);
+}
+
+void ThreadEngine::exec_overhead(ThreadRecord* r, Cycle instructions) {
+  // Loop scaffolding around packet generation — what the paper measured
+  // with a null loop body and reports as "overhead" in Figure 8.
+  charge(CycleBucket::kOverhead, instructions);
+  sim_.schedule(instructions, &ThreadEngine::resume_event, this, r->id, 0);
+}
+
+void ThreadEngine::exec_remote_read(ThreadRecord* r, GlobalAddr src) {
+  ++reads_issued_;
+  charge(CycleBucket::kOverhead, config_.packet_gen_cycles);
+  net::Packet p;
+  p.kind = net::PacketKind::kRemoteReadReq;
+  p.src = proc_;
+  p.dst = src.proc;
+  p.addr = pack(src);
+  p.data = pack(GlobalAddr{proc_, 0});  // continuation (return address)
+  p.cont_thread = r->id;
+  p.cont_tag = ++r->pending_tag;
+  p.cont_slot = 0;
+  p.priority = config_.priority_replies ? net::PacketPriority::kHigh
+                                        : net::PacketPriority::kNormal;
+  obu_.send(p);
+  emit(trace::EventType::kReadIssue, r->id, pack(src));
+
+  // Split-phase suspension: save live registers, then the MU dequeues the
+  // next packet (paper §2.1/§2.3).
+  ++switches_.remote_read;
+  charge(CycleBucket::kSwitch, config_.switch_save_cycles);
+  r->state = ThreadState::kSuspendedRead;
+  r->replies_pending = 1;
+  emit(trace::EventType::kSuspendRead, r->id);
+  sim_.schedule(config_.packet_gen_cycles + config_.switch_save_cycles,
+                &ThreadEngine::exu_done_event, this, 0, 0);
+}
+
+void ThreadEngine::exec_remote_read_pair(ThreadRecord* r, GlobalAddr src0,
+                                         GlobalAddr src1) {
+  // Both requests go out back to back; the thread suspends once and the
+  // MU's two-operand direct matching resumes it when both replies have
+  // arrived (paper §2.2/§2.3). One suspension, two packets.
+  reads_issued_ += 2;
+  charge(CycleBucket::kOverhead, 2 * config_.packet_gen_cycles);
+  const std::uint32_t tag = ++r->pending_tag;
+  const GlobalAddr sources[2] = {src0, src1};
+  for (std::uint8_t slot = 0; slot < 2; ++slot) {
+    net::Packet p;
+    p.kind = net::PacketKind::kRemoteReadReq;
+    p.src = proc_;
+    p.dst = sources[slot].proc;
+    p.addr = pack(sources[slot]);
+    p.data = pack(GlobalAddr{proc_, 0});
+    p.cont_thread = r->id;
+    p.cont_tag = tag;
+    p.cont_slot = slot;
+    p.priority = config_.priority_replies ? net::PacketPriority::kHigh
+                                          : net::PacketPriority::kNormal;
+    obu_.send(p);
+    emit(trace::EventType::kReadIssue, r->id, pack(sources[slot]));
+  }
+
+  ++switches_.remote_read;
+  charge(CycleBucket::kSwitch, config_.switch_save_cycles);
+  r->state = ThreadState::kSuspendedRead;
+  r->replies_pending = 2;
+  emit(trace::EventType::kSuspendRead, r->id);
+  sim_.schedule(2 * config_.packet_gen_cycles + config_.switch_save_cycles,
+                &ThreadEngine::exu_done_event, this, 0, 0);
+}
+
+void ThreadEngine::exec_block_read(ThreadRecord* r, GlobalAddr src,
+                                   LocalAddr dest, std::uint32_t len) {
+  EMX_CHECK(len >= 1, "block read of zero words");
+  ++reads_issued_;
+  charge(CycleBucket::kOverhead, config_.packet_gen_cycles);
+  net::Packet p;
+  p.kind = net::PacketKind::kBlockReadReq;
+  p.src = proc_;
+  p.dst = src.proc;
+  p.addr = pack(src);
+  p.data = pack(GlobalAddr{proc_, dest});
+  p.block_len = len;
+  p.cont_thread = r->id;
+  p.cont_tag = ++r->pending_tag;
+  p.priority = config_.priority_replies ? net::PacketPriority::kHigh
+                                        : net::PacketPriority::kNormal;
+  obu_.send(p);
+  emit(trace::EventType::kReadIssue, r->id, pack(src));
+
+  ++switches_.remote_read;
+  charge(CycleBucket::kSwitch, config_.switch_save_cycles);
+  r->state = ThreadState::kSuspendedRead;
+  r->replies_pending = 1;
+  emit(trace::EventType::kSuspendRead, r->id);
+  sim_.schedule(config_.packet_gen_cycles + config_.switch_save_cycles,
+                &ThreadEngine::exu_done_event, this, 0, 0);
+}
+
+void ThreadEngine::exec_remote_write(ThreadRecord* r, GlobalAddr dest, Word value) {
+  charge(CycleBucket::kOverhead, config_.packet_gen_cycles);
+  net::Packet p;
+  p.kind = net::PacketKind::kRemoteWrite;
+  p.src = proc_;
+  p.dst = dest.proc;
+  p.addr = pack(dest);
+  p.data = value;
+  obu_.send(p);
+  emit(trace::EventType::kWriteIssue, r->id, pack(dest));
+  // Remote writes do not suspend the issuing thread (paper §2.3).
+  sim_.schedule(config_.packet_gen_cycles, &ThreadEngine::resume_event, this,
+                r->id, 0);
+}
+
+void ThreadEngine::exec_spawn(ThreadRecord* r, ProcId dest, std::uint32_t entry,
+                              Word arg) {
+  charge(CycleBucket::kOverhead, config_.packet_gen_cycles);
+  net::Packet p;
+  p.kind = net::PacketKind::kInvoke;
+  p.src = proc_;
+  p.dst = dest;
+  p.addr = static_cast<Word>(entry);
+  p.data = arg;
+  obu_.send(p);
+  emit(trace::EventType::kSpawnIssue, r->id, (static_cast<std::uint64_t>(dest) << 32) | entry);
+  // The spawning thread continues without interruption (paper §2.3).
+  sim_.schedule(config_.packet_gen_cycles, &ThreadEngine::resume_event, this,
+                r->id, 0);
+}
+
+void ThreadEngine::exec_yield(ThreadRecord* r) {
+  // Explicit switching: save registers and send our own continuation to
+  // the back of the FIFO; every packet already queued dispatches first.
+  ++explicit_yields_;
+  charge(CycleBucket::kSwitch, config_.switch_save_cycles);
+  charge(CycleBucket::kOverhead, config_.packet_gen_cycles);
+  r->state = ThreadState::kSuspendedYield;
+  emit(trace::EventType::kSuspendYield, r->id);
+  const Cycle busy = config_.switch_save_cycles + config_.packet_gen_cycles;
+  send_self_wake(r->id, busy, kYieldWakeTag);
+  sim_.schedule(busy, &ThreadEngine::exu_done_event, this, 0, 0);
+}
+
+void ThreadEngine::exec_gate_wait(ThreadRecord* r, OrderGate& gate,
+                                  std::uint32_t index) {
+  if (gate.passable(index)) {
+    // Gate already open: just the check instructions, no switch.
+    charge(CycleBucket::kCompute, config_.barrier_check_cycles);
+    sim_.schedule(config_.barrier_check_cycles, &ThreadEngine::resume_event, this,
+                  r->id, 0);
+    return;
+  }
+  gate.register_waiter(index, r->id);
+  ++switches_.thread_sync;
+  charge(CycleBucket::kSwitch, config_.switch_save_cycles);
+  r->state = ThreadState::kSuspendedGate;
+  emit(trace::EventType::kSuspendGate, r->id, index);
+  sim_.schedule(config_.switch_save_cycles, &ThreadEngine::exu_done_event, this,
+                0, 0);
+}
+
+void ThreadEngine::exec_gate_advance(ThreadRecord* r, OrderGate& gate) {
+  const ThreadId waiter = gate.advance();
+  Cycle cost = 1;  // the increment instruction
+  charge(CycleBucket::kCompute, 1);
+  if (waiter != kInvalidThread) {
+    // Wake the successor with a continuation packet to ourselves.
+    charge(CycleBucket::kOverhead, config_.packet_gen_cycles);
+    cost += config_.packet_gen_cycles;
+    send_self_wake(waiter, cost, kGateWakeTag);
+  }
+  sim_.schedule(cost, &ThreadEngine::resume_event, this, r->id, 0);
+}
+
+void ThreadEngine::exec_barrier_join(ThreadRecord* r) {
+  EMX_CHECK(barrier_.expected > 0, "iteration barrier not configured");
+  ++barrier_.joined;
+  ++switches_.iter_sync;
+  charge(CycleBucket::kSwitch, config_.switch_save_cycles);
+  r->state = ThreadState::kSuspendedBarrier;
+  emit(trace::EventType::kSuspendBarrier, r->id);
+  Cycle busy = config_.switch_save_cycles;
+  if (barrier_.joined == barrier_.expected) {
+    barrier_.joined = 0;
+    // Last local thread: one join packet to the coordinator.
+    charge(CycleBucket::kOverhead, config_.packet_gen_cycles);
+    busy += config_.packet_gen_cycles;
+    net::Packet p;
+    p.kind = net::PacketKind::kInvoke;
+    p.src = proc_;
+    p.dst = barrier_coordinator_;
+    p.addr = static_cast<Word>(barrier_join_entry_);
+    p.data = barrier_.sense;
+    obu_.send(p);
+  }
+  send_self_wake(r->id, busy + config_.barrier_poll_interval, kBarrierPollTag);
+  sim_.schedule(busy, &ThreadEngine::exu_done_event, this, 0, 0);
+}
+
+}  // namespace emx::rt

@@ -1,0 +1,144 @@
+// ThreadEngine: the hardware FIFO thread scheduler of one EMC-Y.
+//
+// Packets queued in the Input Buffer Unit drive everything: a thread of
+// instructions is invoked (kInvoke) or resumed (read replies, local
+// wakes) by the Matching Unit strictly in FIFO order whenever the
+// Execution Unit is free; it then runs to completion or to its next
+// suspension (split-phase remote read, gate wait, barrier join). The
+// engine charges every cycle to a bucket and counts the paper's three
+// switch types.
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.hpp"
+#include "core/config.hpp"
+#include "network/packet.hpp"
+#include "proc/execution_unit.hpp"
+#include "proc/input_buffer_unit.hpp"
+#include "proc/matching_unit.hpp"
+#include "proc/memory.hpp"
+#include "proc/output_buffer_unit.hpp"
+#include "runtime/barrier.hpp"
+#include "runtime/frame.hpp"
+#include "runtime/global_addr.hpp"
+#include "runtime/order_gate.hpp"
+#include "sim/sim_context.hpp"
+#include "trace/trace.hpp"
+
+namespace emx::rt {
+
+class EntryRegistry;  // defined in thread_api.hpp
+
+/// The paper's Figure-9 taxonomy.
+struct SwitchCounts {
+  std::uint64_t remote_read = 0;  ///< suspensions on split-phase reads
+  std::uint64_t thread_sync = 0;  ///< suspensions on the ordered-merge gate
+  std::uint64_t iter_sync = 0;    ///< barrier joins + failed barrier polls
+  std::uint64_t total() const { return remote_read + thread_sync + iter_sync; }
+};
+
+class ThreadEngine {
+ public:
+  ThreadEngine(sim::SimContext& sim, const MachineConfig& config, ProcId proc,
+               proc::Memory& memory, proc::OutputBufferUnit& obu,
+               EntryRegistry& registry, trace::TraceSink* sink);
+
+  ThreadEngine(const ThreadEngine&) = delete;
+  ThreadEngine& operator=(const ThreadEngine&) = delete;
+
+  ProcId proc() const { return proc_; }
+  proc::Memory& memory() { return memory_; }
+  const MachineConfig& config() const { return config_; }
+  proc::InputBufferUnit& ibu() { return ibu_; }
+  proc::MatchingUnit& matching_unit() { return mu_; }
+  proc::ExecutionUnit& exu() { return exu_; }
+  const proc::ExecutionUnit& exu() const { return exu_; }
+  const SwitchCounts& switches() const { return switches_; }
+  const LocalBarrier& barrier() const { return barrier_; }
+  std::uint64_t reads_issued() const { return reads_issued_; }
+  const FramePool& frames() const { return frames_; }
+
+  // ----- Machine-facing -----
+
+  /// Configures the iteration barrier: coordinator PE, the registered
+  /// join-handler entry, and how many threads participate on this PE.
+  void set_barrier(ProcId coordinator, std::uint32_t join_entry,
+                   std::uint32_t expected_local);
+
+  /// Accepts a thread-queue packet (invocation, reply, wake — and, in
+  /// EM-4 read-service mode, remote read requests).
+  void enqueue_packet(const net::Packet& packet);
+
+  /// Schedules a host-injected thread invocation at an absolute cycle.
+  void schedule_invocation(Cycle at, std::uint32_t entry, Word arg);
+
+  // ----- Awaiter-facing (called while a thread coroutine runs) -----
+
+  void exec_compute(ThreadRecord* r, Cycle instructions);
+  void exec_overhead(ThreadRecord* r, Cycle instructions);
+  void exec_remote_read(ThreadRecord* r, GlobalAddr src);
+  void exec_remote_read_pair(ThreadRecord* r, GlobalAddr src0, GlobalAddr src1);
+  void exec_block_read(ThreadRecord* r, GlobalAddr src, LocalAddr dest,
+                       std::uint32_t len);
+  void exec_remote_write(ThreadRecord* r, GlobalAddr dest, Word value);
+  void exec_spawn(ThreadRecord* r, ProcId dest, std::uint32_t entry, Word arg);
+  void exec_gate_wait(ThreadRecord* r, OrderGate& gate, std::uint32_t index);
+  void exec_gate_advance(ThreadRecord* r, OrderGate& gate);
+  void exec_barrier_join(ThreadRecord* r);
+  /// Explicit thread switching (paper §2.3): the thread requeues itself
+  /// behind everything already in the packet FIFO.
+  void exec_yield(ThreadRecord* r);
+
+  std::uint64_t explicit_yields() const { return explicit_yields_; }
+
+ private:
+  static constexpr std::uint32_t kGateWakeTag = 0xFFFFFFFEu;
+  static constexpr std::uint32_t kBarrierPollTag = 0xFFFFFFFDu;
+  static constexpr std::uint32_t kYieldWakeTag = 0xFFFFFFFCu;
+
+  static void dispatch_ready_event(void* ctx, std::uint64_t, std::uint64_t);
+  static void resume_event(void* ctx, std::uint64_t thread, std::uint64_t);
+  static void exu_done_event(void* ctx, std::uint64_t, std::uint64_t);
+  static void self_wake_event(void* ctx, std::uint64_t thread, std::uint64_t tag);
+  static void em4_service_done_event(void* ctx, std::uint64_t, std::uint64_t);
+  static void injection_event(void* ctx, std::uint64_t entry, std::uint64_t arg);
+
+  void maybe_start_dispatch();
+  void do_dispatch();
+  void handle_local_wake(const net::Packet& packet);
+  void handle_em4_read(const net::Packet& packet);
+  void run_thread(ThreadRecord* r);
+  void on_thread_done(ThreadRecord* r);
+  void release_exu();
+  void charge(proc::CycleBucket bucket, Cycle cycles) { exu_.charge(bucket, cycles); }
+  void send_self_wake(ThreadId target, Cycle delay, std::uint32_t tag);
+  void emit(trace::EventType type, ThreadId thread, std::uint64_t info = 0);
+
+  sim::SimContext& sim_;
+  const MachineConfig& config_;
+  ProcId proc_;
+  proc::Memory& memory_;
+  proc::OutputBufferUnit& obu_;
+  EntryRegistry& registry_;
+  trace::TraceSink* sink_;
+
+  proc::InputBufferUnit ibu_;
+  proc::MatchingUnit mu_;
+  proc::ExecutionUnit exu_;
+  FramePool frames_;
+
+  net::Packet current_packet_{};  ///< packet being dispatched
+  net::Packet em4_pending_{};     ///< EM-4 read request in EXU service
+
+  LocalBarrier barrier_;
+  ProcId barrier_coordinator_ = 0;
+  std::uint32_t barrier_join_entry_ = 0;
+
+  SwitchCounts switches_;
+  std::uint64_t reads_issued_ = 0;
+  std::uint64_t stale_wakes_ = 0;
+  std::uint64_t explicit_yields_ = 0;
+};
+
+}  // namespace emx::rt

@@ -1,0 +1,64 @@
+// The coroutine type for simulated EM-X threads.
+//
+// One EM-X thread == one C++20 coroutine. Explicit-switch, split-phase
+// semantics (paper §2.1) map directly: `co_await api.remote_read(ga)`
+// issues the read packet, saves registers, suspends the thread, and the
+// hardware FIFO scheduler resumes it when the reply packet is dispatched.
+// Thread bodies must not throw; a simulated thread has no exception path.
+#pragma once
+
+#include <coroutine>
+#include <exception>
+#include <utility>
+
+namespace emx::rt {
+
+class ThreadBody {
+ public:
+  struct promise_type {
+    ThreadBody get_return_object() {
+      return ThreadBody{Handle::from_promise(*this)};
+    }
+    // The engine resumes the coroutine only once the invocation packet is
+    // dispatched, so creation never runs body code.
+    std::suspend_always initial_suspend() noexcept { return {}; }
+    // Suspend at the end so the engine observes done() and reclaims the
+    // frame deterministically.
+    std::suspend_always final_suspend() noexcept { return {}; }
+    void return_void() noexcept {}
+    void unhandled_exception() noexcept { std::terminate(); }
+  };
+
+  using Handle = std::coroutine_handle<promise_type>;
+
+  ThreadBody() = default;
+  explicit ThreadBody(Handle handle) : handle_(handle) {}
+  ThreadBody(ThreadBody&& other) noexcept
+      : handle_(std::exchange(other.handle_, {})) {}
+  ThreadBody& operator=(ThreadBody&& other) noexcept {
+    if (this != &other) {
+      destroy();
+      handle_ = std::exchange(other.handle_, {});
+    }
+    return *this;
+  }
+  ThreadBody(const ThreadBody&) = delete;
+  ThreadBody& operator=(const ThreadBody&) = delete;
+  ~ThreadBody() { destroy(); }
+
+  /// Transfers ownership of the coroutine frame to the engine.
+  Handle release() { return std::exchange(handle_, {}); }
+
+  bool valid() const { return static_cast<bool>(handle_); }
+
+ private:
+  void destroy() {
+    if (handle_) {
+      handle_.destroy();
+      handle_ = {};
+    }
+  }
+  Handle handle_;
+};
+
+}  // namespace emx::rt

@@ -1,0 +1,3 @@
+#include "runtime/thread_api.hpp"
+
+// Header-only awaiters; TU anchors the module in the library.

@@ -1,0 +1,267 @@
+// ThreadApi: what a simulated EM-X thread can do.
+//
+// A thread body is a C++20 coroutine receiving a ThreadApi by value:
+//
+//   emx::rt::ThreadBody worker(emx::rt::ThreadApi api, emx::Word arg) {
+//     co_await api.compute(10);                      // 10 one-clock instrs
+//     Word v = co_await api.remote_read(ga);         // split-phase read
+//     co_await api.remote_write(ga2, v);             // fire-and-forget
+//     co_await api.spawn(peer, entry_id, 42);        // invoke a thread
+//     co_await api.iteration_barrier();              // global barrier
+//   }
+//
+// Every awaited operation charges the owning EXU per the machine config;
+// untimed host-side helpers (local_read/local_write/memory) exist for
+// workload setup and verification inside thread code whose instruction
+// cost the caller accounts for via compute().
+#pragma once
+
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "runtime/scheduler.hpp"
+
+namespace emx::rt {
+
+class ThreadApi;
+
+/// A spawnable thread entry: produces the coroutine for (api, argument).
+using EntryFn = std::function<ThreadBody(ThreadApi, Word)>;
+
+/// Machine-wide table of spawnable entries; a kInvoke packet's address
+/// word selects the entry (the "template segment" address, paper §2.3).
+class EntryRegistry {
+ public:
+  std::uint32_t add(EntryFn fn) {
+    entries_.push_back(std::move(fn));
+    return static_cast<std::uint32_t>(entries_.size() - 1);
+  }
+  const EntryFn& get(std::uint32_t id) const {
+    EMX_CHECK(id < entries_.size(), "unknown thread entry id");
+    return entries_[id];
+  }
+  std::size_t size() const { return entries_.size(); }
+
+ private:
+  std::vector<EntryFn> entries_;
+};
+
+namespace detail {
+
+struct ComputeAwaiter {
+  ThreadEngine* engine;
+  ThreadRecord* rec;
+  Cycle cycles;
+  bool await_ready() const noexcept { return cycles == 0; }
+  void await_suspend(std::coroutine_handle<>) const {
+    engine->exec_compute(rec, cycles);
+  }
+  void await_resume() const noexcept {}
+};
+
+struct OverheadAwaiter {
+  ThreadEngine* engine;
+  ThreadRecord* rec;
+  Cycle cycles;
+  bool await_ready() const noexcept { return cycles == 0; }
+  void await_suspend(std::coroutine_handle<>) const {
+    engine->exec_overhead(rec, cycles);
+  }
+  void await_resume() const noexcept {}
+};
+
+struct ReadAwaiter {
+  ThreadEngine* engine;
+  ThreadRecord* rec;
+  GlobalAddr src;
+  bool await_ready() const noexcept { return false; }
+  void await_suspend(std::coroutine_handle<>) const {
+    engine->exec_remote_read(rec, src);
+  }
+  Word await_resume() const noexcept { return rec->reply_value; }
+};
+
+struct ReadPairAwaiter {
+  ThreadEngine* engine;
+  ThreadRecord* rec;
+  GlobalAddr src0;
+  GlobalAddr src1;
+  bool await_ready() const noexcept { return false; }
+  void await_suspend(std::coroutine_handle<>) const {
+    engine->exec_remote_read_pair(rec, src0, src1);
+  }
+  std::pair<Word, Word> await_resume() const noexcept {
+    return {rec->reply_value, rec->reply_value2};
+  }
+};
+
+struct BlockReadAwaiter {
+  ThreadEngine* engine;
+  ThreadRecord* rec;
+  GlobalAddr src;
+  LocalAddr dest;
+  std::uint32_t len;
+  bool await_ready() const noexcept { return false; }
+  void await_suspend(std::coroutine_handle<>) const {
+    engine->exec_block_read(rec, src, dest, len);
+  }
+  void await_resume() const noexcept {}
+};
+
+struct WriteAwaiter {
+  ThreadEngine* engine;
+  ThreadRecord* rec;
+  GlobalAddr dest;
+  Word value;
+  bool await_ready() const noexcept { return false; }
+  void await_suspend(std::coroutine_handle<>) const {
+    engine->exec_remote_write(rec, dest, value);
+  }
+  void await_resume() const noexcept {}
+};
+
+struct SpawnAwaiter {
+  ThreadEngine* engine;
+  ThreadRecord* rec;
+  ProcId dest;
+  std::uint32_t entry;
+  Word arg;
+  bool await_ready() const noexcept { return false; }
+  void await_suspend(std::coroutine_handle<>) const {
+    engine->exec_spawn(rec, dest, entry, arg);
+  }
+  void await_resume() const noexcept {}
+};
+
+struct GateWaitAwaiter {
+  ThreadEngine* engine;
+  ThreadRecord* rec;
+  OrderGate* gate;
+  std::uint32_t index;
+  bool await_ready() const noexcept { return false; }
+  void await_suspend(std::coroutine_handle<>) const {
+    engine->exec_gate_wait(rec, *gate, index);
+  }
+  void await_resume() const noexcept {}
+};
+
+struct GateAdvanceAwaiter {
+  ThreadEngine* engine;
+  ThreadRecord* rec;
+  OrderGate* gate;
+  bool await_ready() const noexcept { return false; }
+  void await_suspend(std::coroutine_handle<>) const {
+    engine->exec_gate_advance(rec, *gate);
+  }
+  void await_resume() const noexcept {}
+};
+
+struct BarrierAwaiter {
+  ThreadEngine* engine;
+  ThreadRecord* rec;
+  bool await_ready() const noexcept { return false; }
+  void await_suspend(std::coroutine_handle<>) const {
+    engine->exec_barrier_join(rec);
+  }
+  void await_resume() const noexcept {}
+};
+
+struct YieldAwaiter {
+  ThreadEngine* engine;
+  ThreadRecord* rec;
+  bool await_ready() const noexcept { return false; }
+  void await_suspend(std::coroutine_handle<>) const {
+    engine->exec_yield(rec);
+  }
+  void await_resume() const noexcept {}
+};
+
+}  // namespace detail
+
+class ThreadApi {
+ public:
+  ThreadApi(ThreadEngine* engine, ThreadRecord* rec) : engine_(engine), rec_(rec) {
+    EMX_DCHECK(engine != nullptr && rec != nullptr, "null thread api");
+  }
+
+  // ----- timed operations (co_await) -----
+
+  /// Executes `instructions` one-clock instructions on the EXU.
+  detail::ComputeAwaiter compute(Cycle instructions) const {
+    return {engine_, rec_, instructions};
+  }
+
+  /// Executes communication-loop scaffolding instructions (address
+  /// computation, buffering, loop control around sends) — charged to the
+  /// overhead bucket, matching the paper's null-loop measurement.
+  detail::OverheadAwaiter overhead(Cycle instructions) const {
+    return {engine_, rec_, instructions};
+  }
+
+  /// Split-phase remote read: issues the request packet, suspends, and
+  /// resumes with the value when the reply is dispatched.
+  detail::ReadAwaiter remote_read(GlobalAddr src) const {
+    return {engine_, rec_, src};
+  }
+
+  /// Two-operand split-phase read: both requests are issued back to back
+  /// and the thread suspends once; the Matching Unit's direct matching
+  /// resumes it when both replies have arrived (one switch, two packets).
+  detail::ReadPairAwaiter remote_read_pair(GlobalAddr src0, GlobalAddr src1) const {
+    return {engine_, rec_, src0, src1};
+  }
+
+  /// Block read: one request, `len` reply packets; the words land in this
+  /// PE's memory at [dest, dest+len) and the thread resumes after the last.
+  detail::BlockReadAwaiter remote_read_block(GlobalAddr src, LocalAddr dest,
+                                             std::uint32_t len) const {
+    return {engine_, rec_, src, dest, len};
+  }
+
+  /// Remote write: fire-and-forget, the thread continues (paper §2.3).
+  detail::WriteAwaiter remote_write(GlobalAddr dest, Word value) const {
+    return {engine_, rec_, dest, value};
+  }
+
+  /// Sends a thread-invocation packet; the new thread starts on `dest`
+  /// when the packet is dispatched there.
+  detail::SpawnAwaiter spawn(ProcId dest, std::uint32_t entry, Word arg) const {
+    return {engine_, rec_, dest, entry, arg};
+  }
+
+  /// Blocks until all gate indices below `index` have advanced past.
+  detail::GateWaitAwaiter gate_wait(OrderGate& gate, std::uint32_t index) const {
+    return {engine_, rec_, &gate, index};
+  }
+
+  /// Opens the gate for the next index, waking its waiter if suspended.
+  detail::GateAdvanceAwaiter gate_advance(OrderGate& gate) const {
+    return {engine_, rec_, &gate};
+  }
+
+  /// Joins the machine-wide iteration barrier (configure via Machine).
+  detail::BarrierAwaiter iteration_barrier() const { return {engine_, rec_}; }
+
+  /// Explicit thread switch (paper §2.3): suspend and requeue behind
+  /// everything already in the packet FIFO.
+  detail::YieldAwaiter yield() const { return {engine_, rec_}; }
+
+  // ----- untimed helpers (account instruction cost via compute()) -----
+
+  ProcId proc() const { return engine_->proc(); }
+  ThreadId thread_id() const { return rec_->id; }
+  const MachineConfig& config() const { return engine_->config(); }
+  proc::Memory& memory() const { return engine_->memory(); }
+  Word local_read(LocalAddr addr) const { return engine_->memory().read(addr); }
+  void local_write(LocalAddr addr, Word value) const {
+    engine_->memory().write(addr, value);
+  }
+
+ private:
+  ThreadEngine* engine_;
+  ThreadRecord* rec_;
+};
+
+}  // namespace emx::rt

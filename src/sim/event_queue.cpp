@@ -1,0 +1,53 @@
+#include "sim/event_queue.hpp"
+
+#include <utility>
+
+#include "common/assert.hpp"
+
+namespace emx::sim {
+
+void EventQueue::push(Cycle time, EventFn fn, void* ctx, std::uint64_t a,
+                      std::uint64_t b) {
+  EMX_DCHECK(fn != nullptr, "event without handler");
+  heap_.push_back(Event{time, next_seq_++, fn, ctx, a, b});
+  sift_up(heap_.size() - 1);
+}
+
+Event EventQueue::pop() {
+  EMX_DCHECK(!heap_.empty(), "pop from empty event queue");
+  Event out = heap_.front();
+  heap_.front() = heap_.back();
+  heap_.pop_back();
+  if (!heap_.empty()) sift_down(0);
+  return out;
+}
+
+void EventQueue::clear() {
+  heap_.clear();
+  next_seq_ = 0;
+}
+
+void EventQueue::sift_up(std::size_t i) {
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / 2;
+    if (!later(heap_[parent], heap_[i])) break;
+    std::swap(heap_[parent], heap_[i]);
+    i = parent;
+  }
+}
+
+void EventQueue::sift_down(std::size_t i) {
+  const std::size_t n = heap_.size();
+  for (;;) {
+    const std::size_t left = 2 * i + 1;
+    const std::size_t right = left + 1;
+    std::size_t smallest = i;
+    if (left < n && later(heap_[smallest], heap_[left])) smallest = left;
+    if (right < n && later(heap_[smallest], heap_[right])) smallest = right;
+    if (smallest == i) return;
+    std::swap(heap_[i], heap_[smallest]);
+    i = smallest;
+  }
+}
+
+}  // namespace emx::sim

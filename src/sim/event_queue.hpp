@@ -1,0 +1,54 @@
+// Deterministic discrete-event queue.
+//
+// Events are plain structs with a free-function handler (no std::function,
+// no per-event allocation — Per.14/Per.16). Ties in time are broken by
+// insertion sequence so simulation is bit-reproducible.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace emx::sim {
+
+/// Event handler: receives the opaque context plus two payload words.
+using EventFn = void (*)(void* ctx, std::uint64_t a, std::uint64_t b);
+
+struct Event {
+  Cycle time = 0;
+  std::uint64_t seq = 0;  ///< insertion order; total order with time
+  EventFn fn = nullptr;
+  void* ctx = nullptr;
+  std::uint64_t a = 0;
+  std::uint64_t b = 0;
+};
+
+/// Min-heap on (time, seq).
+class EventQueue {
+ public:
+  bool empty() const { return heap_.empty(); }
+  std::size_t size() const { return heap_.size(); }
+  std::uint64_t total_pushed() const { return next_seq_; }
+
+  void push(Cycle time, EventFn fn, void* ctx, std::uint64_t a, std::uint64_t b);
+
+  /// Requires !empty().
+  const Event& top() const { return heap_.front(); }
+  Event pop();
+
+  void clear();
+
+ private:
+  static bool later(const Event& lhs, const Event& rhs) {
+    if (lhs.time != rhs.time) return lhs.time > rhs.time;
+    return lhs.seq > rhs.seq;
+  }
+  void sift_up(std::size_t i);
+  void sift_down(std::size_t i);
+
+  std::vector<Event> heap_;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace emx::sim

@@ -1,0 +1,37 @@
+#include "sim/sim_context.hpp"
+
+namespace emx::sim {
+
+void SimContext::dispatch_one() {
+  const Event ev = queue_.pop();
+  EMX_DCHECK(ev.time >= now_, "event time went backwards");
+  now_ = ev.time;
+  ++processed_;
+  ev.fn(ev.ctx, ev.a, ev.b);
+}
+
+void SimContext::run_until_idle(std::uint64_t max_events) {
+  while (!queue_.empty()) {
+    dispatch_one();
+    if (max_events != 0 && processed_ >= max_events) {
+      EMX_CHECK(false, "simulation exceeded event budget (possible livelock)");
+    }
+  }
+}
+
+void SimContext::run_until(Cycle deadline) {
+  while (!queue_.empty() && queue_.top().time <= deadline) {
+    dispatch_one();
+  }
+  if (now_ < deadline && queue_.empty()) {
+    now_ = deadline;
+  }
+}
+
+void SimContext::reset() {
+  now_ = 0;
+  processed_ = 0;
+  queue_.clear();
+}
+
+}  // namespace emx::sim

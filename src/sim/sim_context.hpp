@@ -1,0 +1,52 @@
+// The simulation context: global clock plus the event queue. One context
+// per simulated Machine; the simulator is single-threaded and deterministic.
+#pragma once
+
+#include <cstdint>
+
+#include "common/assert.hpp"
+#include "common/types.hpp"
+#include "sim/event_queue.hpp"
+
+namespace emx::sim {
+
+class SimContext {
+ public:
+  Cycle now() const { return now_; }
+  std::uint64_t events_processed() const { return processed_; }
+
+  /// Schedules `fn(ctx, a, b)` `delay` cycles from now.
+  void schedule(Cycle delay, EventFn fn, void* ctx, std::uint64_t a = 0,
+                std::uint64_t b = 0) {
+    queue_.push(now_ + delay, fn, ctx, a, b);
+  }
+
+  /// Schedules at an absolute cycle (must not be in the past).
+  void schedule_at(Cycle time, EventFn fn, void* ctx, std::uint64_t a = 0,
+                   std::uint64_t b = 0) {
+    EMX_DCHECK(time >= now_, "scheduling into the past");
+    queue_.push(time, fn, ctx, a, b);
+  }
+
+  bool idle() const { return queue_.empty(); }
+
+  /// Runs events until the queue drains. `max_events` guards against
+  /// runaway simulations (0 = unlimited).
+  void run_until_idle(std::uint64_t max_events = 0);
+
+  /// Runs events with time <= `deadline`; clock ends at
+  /// min(deadline, last event time).
+  void run_until(Cycle deadline);
+
+  /// Resets clock and queue (for test reuse).
+  void reset();
+
+ private:
+  void dispatch_one();
+
+  Cycle now_ = 0;
+  std::uint64_t processed_ = 0;
+  EventQueue queue_;
+};
+
+}  // namespace emx::sim

@@ -1,0 +1,84 @@
+#include "trace/analysis.hpp"
+
+#include <map>
+
+namespace emx::trace {
+
+ReadLatencyAnalysis analyze_read_latency(const std::vector<TraceEvent>& events,
+                                         double hist_max) {
+  ReadLatencyAnalysis out(hist_max);
+  // Outstanding first-issue cycle per (proc, thread). A paired read
+  // issues twice before suspending; the earliest issue anchors the
+  // window and the final return (the resuming one) closes it.
+  std::map<std::pair<ProcId, ThreadId>, Cycle> outstanding;
+  for (const auto& e : events) {
+    const auto key = std::make_pair(e.proc, e.thread);
+    switch (e.type) {
+      case EventType::kReadIssue:
+        outstanding.try_emplace(key, e.cycle);  // keep the first issue
+        break;
+      case EventType::kReadReturn: {
+        const auto it = outstanding.find(key);
+        if (it != outstanding.end()) {
+          const auto sample = static_cast<double>(e.cycle - it->second);
+          out.latency.add(sample);
+          out.histogram.add(sample);
+          outstanding.erase(it);
+        }
+        break;
+      }
+      default:
+        break;
+    }
+  }
+  return out;
+}
+
+std::vector<ThreadProfile> profile_threads(const std::vector<TraceEvent>& events) {
+  std::map<std::pair<ProcId, ThreadId>, ThreadProfile> profiles;
+  for (const auto& e : events) {
+    if (e.thread == kInvalidThread) continue;
+    auto& p = profiles[{e.proc, e.thread}];
+    if (p.thread == kInvalidThread) {
+      p.proc = e.proc;
+      p.thread = e.thread;
+      p.first_seen = e.cycle;
+    }
+    p.last_seen = e.cycle;
+    switch (e.type) {
+      case EventType::kReadIssue:
+        ++p.reads;
+        break;
+      case EventType::kSuspendRead:
+      case EventType::kSuspendGate:
+      case EventType::kSuspendBarrier:
+        ++p.suspensions;
+        break;
+      case EventType::kBarrierPoll:
+        ++p.barrier_polls;
+        break;
+      case EventType::kThreadEnd:
+        p.completed = true;
+        break;
+      default:
+        break;
+    }
+  }
+  std::vector<ThreadProfile> out;
+  out.reserve(profiles.size());
+  for (auto& [key, p] : profiles) out.push_back(p);
+  return out;
+}
+
+ConcurrencyStats summarize_concurrency(const std::vector<ThreadProfile>& profiles) {
+  ConcurrencyStats stats;
+  for (const auto& p : profiles) {
+    ++stats.threads;
+    if (p.completed) ++stats.completed;
+    stats.lifetime_cycles.add(static_cast<double>(p.lifetime()));
+    stats.suspensions_per_thread.add(static_cast<double>(p.suspensions));
+  }
+  return stats;
+}
+
+}  // namespace emx::trace

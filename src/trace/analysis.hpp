@@ -1,0 +1,58 @@
+// Post-run analysis over recorded traces: read-latency distributions and
+// per-thread lifecycle statistics. Used by the micro benches and by
+// tests; everything works on a plain vector of TraceEvents, so it also
+// applies to traces captured from any custom workload.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "trace/trace.hpp"
+
+namespace emx::trace {
+
+/// Round-trip latencies recovered by pairing each thread's kReadIssue
+/// with its next kReadReturn. Paired reads (two issues, one return per
+/// operand) contribute one sample: first issue to first returning
+/// operand.
+struct ReadLatencyAnalysis {
+  RunningStat latency;   ///< cycles, issue -> return
+  Histogram histogram;   ///< same samples, bucketed
+
+  explicit ReadLatencyAnalysis(double hist_max = 200.0, std::size_t buckets = 20)
+      : histogram(0.0, hist_max, buckets) {}
+};
+
+ReadLatencyAnalysis analyze_read_latency(const std::vector<TraceEvent>& events,
+                                         double hist_max = 200.0);
+
+/// Per-thread lifecycle: when it started, when it ended, how many reads,
+/// suspensions and barrier interactions it saw.
+struct ThreadProfile {
+  ProcId proc = 0;
+  ThreadId thread = kInvalidThread;
+  Cycle first_seen = 0;
+  Cycle last_seen = 0;
+  std::uint64_t reads = 0;
+  std::uint64_t suspensions = 0;  ///< read + gate + barrier suspends
+  std::uint64_t barrier_polls = 0;
+  bool completed = false;
+
+  Cycle lifetime() const { return last_seen - first_seen; }
+};
+
+std::vector<ThreadProfile> profile_threads(const std::vector<TraceEvent>& events);
+
+/// Aggregate fractions of threads' lifetimes per machine: how much of
+/// the traced window had at least one runnable thread per processor.
+struct ConcurrencyStats {
+  std::uint64_t threads = 0;
+  std::uint64_t completed = 0;
+  RunningStat lifetime_cycles;
+  RunningStat suspensions_per_thread;
+};
+
+ConcurrencyStats summarize_concurrency(const std::vector<ThreadProfile>& profiles);
+
+}  // namespace emx::trace

@@ -1,0 +1,134 @@
+#include "trace/gantt.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+
+namespace emx::trace {
+
+namespace {
+
+enum class LaneState : char {
+  kAbsent = ' ',
+  kRunning = '#',
+  kSwitching = 's',
+  kSuspendedRead = '.',
+  kSuspendedGate = 'g',
+  kSuspendedBarrier = 'b',
+};
+
+/// State transition implied by one event, from the lane's point of view.
+LaneState state_after(EventType type, LaneState current) {
+  switch (type) {
+    case EventType::kThreadInvoke:
+    case EventType::kReadReturn:
+    case EventType::kGateWake:
+    case EventType::kBarrierPass:
+    case EventType::kComputeBegin:
+    case EventType::kComputeEnd:
+    case EventType::kReadIssue:
+    case EventType::kWriteIssue:
+    case EventType::kSpawnIssue:
+      return LaneState::kRunning;
+    case EventType::kSuspendRead:
+      return LaneState::kSuspendedRead;
+    case EventType::kSuspendGate:
+      return LaneState::kSuspendedGate;
+    case EventType::kSuspendBarrier:
+    case EventType::kBarrierPoll:
+      return LaneState::kSuspendedBarrier;
+    case EventType::kSuspendYield:
+      return LaneState::kSwitching;
+    case EventType::kThreadEnd:
+      return LaneState::kAbsent;
+  }
+  return current;
+}
+
+}  // namespace
+
+std::string render_gantt(const std::vector<TraceEvent>& events,
+                         const GanttOptions& options) {
+  if (events.empty()) return "(no trace events)\n";
+  const Cycle t0 = options.start;
+  Cycle t1 = options.end;
+  if (t1 == 0) t1 = events.back().cycle + 1;
+  if (t1 <= t0) return "(empty trace window)\n";
+  const double scale =
+      static_cast<double>(options.width) / static_cast<double>(t1 - t0);
+
+  // Lane per (proc, thread), in order of first appearance.
+  std::map<std::pair<ProcId, ThreadId>, std::size_t> lane_of;
+  std::vector<std::pair<ProcId, ThreadId>> lanes;
+  for (const auto& e : events) {
+    const auto key = std::make_pair(e.proc, e.thread);
+    if (e.thread == kInvalidThread) continue;
+    if (lane_of.emplace(key, lanes.size()).second) lanes.push_back(key);
+  }
+
+  std::vector<std::string> rows(lanes.size(), std::string(options.width, ' '));
+  std::vector<LaneState> state(lanes.size(), LaneState::kAbsent);
+  std::vector<Cycle> state_since(lanes.size(), t0);
+
+  auto paint = [&](std::size_t lane, Cycle from, Cycle to, LaneState s) {
+    if (s == LaneState::kAbsent || to <= from || to <= t0 || from >= t1) return;
+    from = std::max(from, t0);
+    to = std::min(to, t1);
+    auto c0 = static_cast<std::size_t>(static_cast<double>(from - t0) * scale);
+    auto c1 = static_cast<std::size_t>(static_cast<double>(to - t0) * scale);
+    c1 = std::max(c1, c0 + 1);
+    for (std::size_t c = c0; c < std::min(c1, options.width); ++c)
+      rows[lane][c] = static_cast<char>(s);
+  };
+
+  for (const auto& e : events) {
+    if (e.thread == kInvalidThread) continue;
+    const std::size_t lane = lane_of.at({e.proc, e.thread});
+    paint(lane, state_since[lane], e.cycle, state[lane]);
+    state[lane] = state_after(e.type, state[lane]);
+    state_since[lane] = e.cycle;
+  }
+  for (std::size_t lane = 0; lane < lanes.size(); ++lane)
+    paint(lane, state_since[lane], t1, state[lane]);
+
+  std::string out;
+  char head[96];
+  std::snprintf(head, sizeof head, "cycles %llu..%llu, one column = %.1f cycles\n",
+                static_cast<unsigned long long>(t0),
+                static_cast<unsigned long long>(t1),
+                1.0 / scale);
+  out += head;
+  for (std::size_t lane = 0; lane < lanes.size(); ++lane) {
+    char label[32];
+    std::snprintf(label, sizeof label, "P%-3u T%-4u |", lanes[lane].first,
+                  lanes[lane].second);
+    out += label;
+    out += rows[lane];
+    out += "|\n";
+  }
+  if (options.show_legend) {
+    out += "legend: '#' running  's' switching  '.' await read  'g' await gate"
+           "  'b' await barrier\n";
+  }
+  return out;
+}
+
+std::string render_event_log(const std::vector<TraceEvent>& events,
+                             std::size_t max_lines) {
+  std::string out;
+  std::size_t count = 0;
+  for (const auto& e : events) {
+    if (count++ >= max_lines) {
+      out += "... (truncated)\n";
+      break;
+    }
+    char line[128];
+    std::snprintf(line, sizeof line, "%8llu  P%-3u T%-4u %-15s info=0x%llx\n",
+                  static_cast<unsigned long long>(e.cycle), e.proc, e.thread,
+                  to_string(e.type), static_cast<unsigned long long>(e.info));
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace emx::trace

@@ -1,0 +1,30 @@
+// ASCII Gantt rendering of traced executions — reproduces the style of
+// the paper's Figure 4 (multithreaded bitonic sorting timeline) and
+// Figure 5 (multithreaded FFT timeline): one lane per (processor, thread),
+// time flowing rightward, with running / switching / suspended phases.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "trace/trace.hpp"
+
+namespace emx::trace {
+
+struct GanttOptions {
+  std::size_t width = 100;       ///< characters for the time axis
+  Cycle start = 0;               ///< clip window start (cycles)
+  Cycle end = 0;                 ///< 0 = last event
+  bool show_legend = true;
+};
+
+/// Lane glyphs: '#' running (compute), 's' switching, '.' suspended on a
+/// read, 'g' suspended on gate, 'b' suspended at barrier, ' ' not alive.
+std::string render_gantt(const std::vector<TraceEvent>& events,
+                         const GanttOptions& options = {});
+
+/// One line per event, human-readable (debugging aid and timeline tests).
+std::string render_event_log(const std::vector<TraceEvent>& events,
+                             std::size_t max_lines = 200);
+
+}  // namespace emx::trace

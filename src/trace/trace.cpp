@@ -1,0 +1,55 @@
+#include "trace/trace.hpp"
+
+namespace emx::trace {
+
+const char* to_string(EventType type) {
+  switch (type) {
+    case EventType::kThreadInvoke:
+      return "INVOKE";
+    case EventType::kThreadEnd:
+      return "END";
+    case EventType::kReadIssue:
+      return "READ_ISSUE";
+    case EventType::kReadReturn:
+      return "READ_RETURN";
+    case EventType::kWriteIssue:
+      return "WRITE_ISSUE";
+    case EventType::kSpawnIssue:
+      return "SPAWN_ISSUE";
+    case EventType::kSuspendRead:
+      return "SUSPEND_READ";
+    case EventType::kSuspendGate:
+      return "SUSPEND_GATE";
+    case EventType::kSuspendBarrier:
+      return "SUSPEND_BARRIER";
+    case EventType::kSuspendYield:
+      return "SUSPEND_YIELD";
+    case EventType::kGateWake:
+      return "GATE_WAKE";
+    case EventType::kBarrierPoll:
+      return "BARRIER_POLL";
+    case EventType::kBarrierPass:
+      return "BARRIER_PASS";
+    case EventType::kComputeBegin:
+      return "COMPUTE_BEGIN";
+    case EventType::kComputeEnd:
+      return "COMPUTE_END";
+  }
+  return "?";
+}
+
+std::vector<TraceEvent> VectorTraceSink::filtered(EventType type) const {
+  std::vector<TraceEvent> out;
+  for (const auto& e : events_)
+    if (e.type == type) out.push_back(e);
+  return out;
+}
+
+std::vector<TraceEvent> VectorTraceSink::for_proc(ProcId proc) const {
+  std::vector<TraceEvent> out;
+  for (const auto& e : events_)
+    if (e.proc == proc) out.push_back(e);
+  return out;
+}
+
+}  // namespace emx::trace

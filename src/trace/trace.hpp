@@ -1,0 +1,66 @@
+// Event tracing: optional, zero-cost when disabled. Used to reproduce the
+// paper's Figure 4 / Figure 5 execution timelines and by tests that assert
+// on event ordering.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace emx::trace {
+
+enum class EventType : std::uint8_t {
+  kThreadInvoke,   ///< a thread begins execution (MU invocation)
+  kThreadEnd,      ///< a thread ran to completion
+  kReadIssue,      ///< split-phase remote read request sent
+  kReadReturn,     ///< read reply dispatched; thread resumes
+  kWriteIssue,     ///< remote write packet sent
+  kSpawnIssue,     ///< thread invocation packet sent
+  kSuspendRead,    ///< thread suspended on an outstanding read
+  kSuspendGate,    ///< thread suspended on the ordered-merge gate
+  kSuspendBarrier, ///< thread suspended at the iteration barrier
+  kSuspendYield,   ///< explicit thread switch (requeued behind the FIFO)
+  kGateWake,       ///< gate predecessor woke this thread
+  kBarrierPoll,    ///< barrier flag re-check (iteration-sync switch)
+  kBarrierPass,    ///< thread passed the iteration barrier
+  kComputeBegin,   ///< start of a charged computation span
+  kComputeEnd,
+};
+
+const char* to_string(EventType type);
+
+struct TraceEvent {
+  Cycle cycle = 0;
+  ProcId proc = 0;
+  ThreadId thread = kInvalidThread;
+  EventType type = EventType::kThreadInvoke;
+  std::uint64_t info = 0;  ///< type-specific payload (address, cycles, peer)
+};
+
+/// Receives every trace event from the engines; implementations must be
+/// cheap — they run inside the simulation loop.
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+  virtual void on_event(const TraceEvent& event) = 0;
+};
+
+/// Records everything into a vector (tests, Gantt rendering).
+class VectorTraceSink final : public TraceSink {
+ public:
+  void on_event(const TraceEvent& event) override { events_.push_back(event); }
+  const std::vector<TraceEvent>& events() const { return events_; }
+  void clear() { events_.clear(); }
+
+  /// Events of one type, in time order (the vector is already time-sorted
+  /// because the simulator emits monotonically).
+  std::vector<TraceEvent> filtered(EventType type) const;
+  std::vector<TraceEvent> for_proc(ProcId proc) const;
+
+ private:
+  std::vector<TraceEvent> events_;
+};
+
+}  // namespace emx::trace

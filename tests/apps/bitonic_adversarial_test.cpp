@@ -1,0 +1,79 @@
+// Adversarial inputs for the distributed sort: already sorted, reversed,
+// all-equal, organ-pipe, and single-bit keys. Correctness must not
+// depend on the random workload's niceness.
+#include <gtest/gtest.h>
+
+#include "apps/bitonic.hpp"
+#include "apps/verify.hpp"
+#include "core/machine.hpp"
+
+namespace emx::apps {
+namespace {
+
+enum class Pattern { kSorted, kReversed, kAllEqual, kOrganPipe, kBits };
+
+const char* name_of(Pattern p) {
+  switch (p) {
+    case Pattern::kSorted: return "Sorted";
+    case Pattern::kReversed: return "Reversed";
+    case Pattern::kAllEqual: return "AllEqual";
+    case Pattern::kOrganPipe: return "OrganPipe";
+    case Pattern::kBits: return "Bits";
+  }
+  return "?";
+}
+
+Word value_at(Pattern p, std::uint64_t i, std::uint64_t n) {
+  switch (p) {
+    case Pattern::kSorted:
+      return static_cast<Word>(i);
+    case Pattern::kReversed:
+      return static_cast<Word>(n - i);
+    case Pattern::kAllEqual:
+      return 7;
+    case Pattern::kOrganPipe:
+      return static_cast<Word>(i < n / 2 ? i : n - i);
+    case Pattern::kBits:
+      return static_cast<Word>((i * 2654435761u) & 1u);
+  }
+  return 0;
+}
+
+class AdversarialSort
+    : public testing::TestWithParam<std::tuple<Pattern, std::uint32_t>> {};
+
+TEST_P(AdversarialSort, SortsPathologicalInputs) {
+  const auto [pattern, h] = GetParam();
+  constexpr std::uint32_t P = 8;
+  constexpr std::uint64_t n = P * 64;
+  MachineConfig cfg;
+  cfg.proc_count = P;
+  Machine m(cfg);
+  BitonicSortApp app(m, BitonicParams{.n = n, .threads = h});
+  app.setup();
+  std::vector<Word> input(n);
+  for (std::uint64_t i = 0; i < n; ++i) input[i] = value_at(pattern, i, n);
+  for (ProcId p = 0; p < P; ++p) {
+    for (std::uint64_t k = 0; k < n / P; ++k) {
+      m.memory(p).write(app.buf_addr(0, k), input[p * (n / P) + k]);
+    }
+  }
+  m.run();
+  const auto result = app.gather();
+  EXPECT_TRUE(is_sorted_ascending(result));
+  EXPECT_TRUE(same_multiset(result, input));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Patterns, AdversarialSort,
+    testing::Combine(testing::Values(Pattern::kSorted, Pattern::kReversed,
+                                     Pattern::kAllEqual, Pattern::kOrganPipe,
+                                     Pattern::kBits),
+                     testing::Values(1u, 3u, 8u)),
+    [](const auto& info) {
+      return std::string(name_of(std::get<0>(info.param))) + "_h" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+}  // namespace
+}  // namespace emx::apps

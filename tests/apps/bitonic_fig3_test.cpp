@@ -1,0 +1,89 @@
+// Reproduces the paper's Figure 3 worked example of bitonic sorting.
+//
+// "Consider processors O and 1 at i=0, j=0. PO has L=(5,13,24,32) and
+//  P1 has L=(6,14,23,31) ... Since PO takes a lower position than P1, it
+//  takes the low half (5,6,13,14) while P1 takes the high half
+//  (23,24,31,32)."
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "apps/bitonic.hpp"
+#include "apps/distribution.hpp"
+#include "core/machine.hpp"
+
+namespace emx::apps {
+namespace {
+
+std::vector<Word> block_of(Machine& machine, const BitonicSortApp& app,
+                           ProcId p, std::uint32_t parity, std::uint64_t m) {
+  std::vector<Word> out(m);
+  for (std::uint64_t k = 0; k < m; ++k)
+    out[k] = machine.memory(p).read(app.buf_addr(parity, k));
+  return out;
+}
+
+TEST(BitonicFig3, PairwiseMergeSplitsLowAndHighHalves) {
+  // Two processors, one merge step (i=0, j=0) — exactly the PO/P1 pair of
+  // Figure 3. The initial blocks are the paper's post-local-sort lists.
+  MachineConfig cfg;
+  cfg.proc_count = 2;
+  Machine machine(cfg);
+  BitonicSortApp app(machine, BitonicParams{.n = 8, .threads = 1});
+  app.setup();
+  const Word p0[4] = {5, 13, 24, 32};
+  const Word p1[4] = {6, 14, 23, 31};
+  for (int k = 0; k < 4; ++k) {
+    machine.memory(0).write(app.buf_addr(0, k), p0[k]);
+    machine.memory(1).write(app.buf_addr(0, k), p1[k]);
+  }
+  machine.run();
+
+  // log P = 1 -> exactly one merge step; result lands in parity-1 buffers.
+  EXPECT_EQ(block_of(machine, app, 0, 1, 4), (std::vector<Word>{5, 6, 13, 14}));
+  EXPECT_EQ(block_of(machine, app, 1, 1, 4), (std::vector<Word>{23, 24, 31, 32}));
+}
+
+TEST(BitonicFig3, SortsThirtyTwoElementsOnEightProcessors) {
+  // The figure's full configuration: n=32, P=8 -> each PE ends with four
+  // consecutive values of the sorted sequence.
+  MachineConfig cfg;
+  cfg.proc_count = 8;
+  Machine machine(cfg);
+  BitonicSortApp app(machine, BitonicParams{.n = 32, .threads = 1, .seed = 7});
+  app.setup();
+  machine.run();
+  ASSERT_TRUE(app.verify());
+
+  std::vector<Word> expect = app.input();
+  std::sort(expect.begin(), expect.end());
+  EXPECT_EQ(app.gather(), expect);
+}
+
+TEST(BitonicFig3, DirectionPatternMatchesThePaper) {
+  // Shaded circles (ascending pairs) in the figure: at stage i, processor
+  // r merges ascending iff bit (i+1) of r is 0.
+  EXPECT_TRUE(bitonic_ascending(0, 0));
+  EXPECT_TRUE(bitonic_ascending(1, 0));
+  EXPECT_FALSE(bitonic_ascending(2, 0));   // hollow in the figure
+  EXPECT_FALSE(bitonic_ascending(3, 0));
+  EXPECT_TRUE(bitonic_ascending(4, 0));
+  // Final stage on 8 PEs: everyone ascending.
+  for (ProcId r = 0; r < 8; ++r) EXPECT_TRUE(bitonic_ascending(r, 2));
+  // Keep-low assignments for the (i=0, j=0) pairs.
+  EXPECT_TRUE(bitonic_keep_low(0, 0, 0));
+  EXPECT_FALSE(bitonic_keep_low(1, 0, 0));
+  EXPECT_FALSE(bitonic_keep_low(2, 0, 0));  // descending pair: 2 keeps high
+  EXPECT_TRUE(bitonic_keep_low(3, 0, 0));
+}
+
+TEST(BitonicFig3, MergeStepCountIsLogPTriangle) {
+  EXPECT_EQ(bitonic_merge_steps(2), 1u);
+  EXPECT_EQ(bitonic_merge_steps(8), 6u);
+  EXPECT_EQ(bitonic_merge_steps(16), 10u);
+  EXPECT_EQ(bitonic_merge_steps(64), 21u);
+}
+
+}  // namespace
+}  // namespace emx::apps

@@ -1,0 +1,81 @@
+// Reproduces the paper's Figure 5: multithreaded FFT iteration 0 with
+// P=4, n=16, h=2. "PO remote reads four elements 8...11" — i.e. P0's mate
+// in iteration 0 is P2 (distance P/2), and every one of its four points
+// needs the mate's copy; threads compute the moment their data returns,
+// with no thread synchronisation.
+#include <gtest/gtest.h>
+
+#include "apps/fft.hpp"
+#include "core/machine.hpp"
+#include "runtime/global_addr.hpp"
+#include "trace/trace.hpp"
+
+namespace emx::apps {
+namespace {
+
+class FftFig5 : public testing::Test {
+ protected:
+  void run() {
+    MachineConfig cfg;
+    cfg.proc_count = 4;
+    cfg.network = NetworkModel::kDetailed;
+    machine_ = std::make_unique<Machine>(cfg, &sink_);
+    app_ = std::make_unique<FftApp>(
+        *machine_, FftParams{.n = 16, .threads = 2, .include_local_phase = true});
+    app_->setup();
+    machine_->run();
+  }
+
+  trace::VectorTraceSink sink_;
+  std::unique_ptr<Machine> machine_;
+  std::unique_ptr<FftApp> app_;
+};
+
+TEST_F(FftFig5, IterationZeroReadsFromTheMateAtDistanceHalfP) {
+  run();
+  // First 8 read issues from P0 (4 points x re+im) must all target P2;
+  // the next 8 (iteration 1) target P1.
+  std::vector<ProcId> targets;
+  for (const auto& e : sink_.events()) {
+    if (e.proc == 0 && e.type == trace::EventType::kReadIssue) {
+      targets.push_back(rt::unpack(static_cast<Word>(e.info)).proc);
+    }
+  }
+  ASSERT_EQ(targets.size(), 16u);  // log P = 2 iterations x 4 points x 2
+  for (int i = 0; i < 8; ++i) EXPECT_EQ(targets[i], 2u) << "issue " << i;
+  for (int i = 8; i < 16; ++i) EXPECT_EQ(targets[i], 1u) << "issue " << i;
+}
+
+TEST_F(FftFig5, EveryProcessorReadsItsMatesWholeBlock) {
+  run();
+  // P0 reads global elements 8..11 in iteration 0: local indices 0..3 of
+  // P2's block, both planes.
+  std::vector<LocalAddr> addrs;
+  for (const auto& e : sink_.events()) {
+    if (e.proc == 0 && e.type == trace::EventType::kReadIssue) {
+      const auto ga = rt::unpack(static_cast<Word>(e.info));
+      if (ga.proc == 2) addrs.push_back(ga.addr);
+    }
+  }
+  ASSERT_EQ(addrs.size(), 8u);
+  for (std::uint64_t k = 0; k < 4; ++k) {
+    EXPECT_EQ(std::count(addrs.begin(), addrs.end(), app_->re_addr(0, k)), 1);
+    EXPECT_EQ(std::count(addrs.begin(), addrs.end(), app_->im_addr(0, k)), 1);
+  }
+}
+
+TEST_F(FftFig5, ThreadsNeverSuspendOnGates) {
+  run();
+  for (const auto& e : sink_.events()) {
+    EXPECT_NE(e.type, trace::EventType::kSuspendGate);
+    EXPECT_NE(e.type, trace::EventType::kGateWake);
+  }
+}
+
+TEST_F(FftFig5, TransformIsCorrect) {
+  run();
+  EXPECT_LT(app_->verify_error(), 1e-5);
+}
+
+}  // namespace
+}  // namespace emx::apps

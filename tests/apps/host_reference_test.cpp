@@ -1,0 +1,87 @@
+// The host references must themselves be right: the DIF FFT against the
+// O(n^2) DFT, and the bitonic network against std::sort.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "apps/host_reference.hpp"
+#include "apps/verify.hpp"
+#include "common/rng.hpp"
+
+namespace emx::apps {
+namespace {
+
+TEST(HostFft, MatchesNaiveDftAfterBitReversal) {
+  for (std::size_t n : {2u, 8u, 64u, 256u}) {
+    Rng rng(n);
+    std::vector<std::complex<float>> data(n);
+    std::vector<std::complex<double>> exact(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      const float re = static_cast<float>(rng.next_double() - 0.5);
+      const float im = static_cast<float>(rng.next_double() - 0.5);
+      data[i] = {re, im};
+      exact[i] = {re, im};
+    }
+    const auto dft = host_dft(exact);
+    host_fft_dif(data);
+    bit_reverse_permute(data);  // DIF output is bit-reversed
+    double worst = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      worst = std::max(worst, std::abs(std::complex<double>(data[i]) - dft[i]) /
+                                  std::max(1.0, std::abs(dft[i])));
+    }
+    EXPECT_LT(worst, 1e-4) << "n=" << n;
+  }
+}
+
+TEST(HostFft, LinearityHolds) {
+  constexpr std::size_t n = 128;
+  Rng rng(99);
+  std::vector<std::complex<float>> a(n), b(n), sum(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    a[i] = {static_cast<float>(rng.next_double()), 0.0f};
+    b[i] = {0.0f, static_cast<float>(rng.next_double())};
+    sum[i] = a[i] + b[i];
+  }
+  host_fft_dif(a);
+  host_fft_dif(b);
+  host_fft_dif(sum);
+  std::vector<std::complex<float>> a_plus_b(n);
+  for (std::size_t i = 0; i < n; ++i) a_plus_b[i] = a[i] + b[i];
+  EXPECT_LT(max_relative_error(sum, a_plus_b), 1e-4);
+}
+
+TEST(HostBitonic, SortsRandomInputs) {
+  for (std::size_t n : {1u, 2u, 16u, 128u, 1024u}) {
+    Rng rng(n * 31 + 1);
+    std::vector<std::uint32_t> data(n);
+    for (auto& v : data) v = rng.next_u32() % 1000;
+    std::vector<std::uint32_t> expect = data;
+    std::sort(expect.begin(), expect.end());
+    if (n > 1) host_bitonic_sort(data);
+    EXPECT_EQ(data, expect) << "n=" << n;
+  }
+}
+
+TEST(BitReversePermute, IsAnInvolution) {
+  std::vector<std::complex<float>> data(32);
+  for (std::size_t i = 0; i < data.size(); ++i)
+    data[i] = {static_cast<float>(i), 0.0f};
+  auto copy = data;
+  bit_reverse_permute(data);
+  EXPECT_NE(data, copy);
+  bit_reverse_permute(data);
+  EXPECT_EQ(data, copy);
+}
+
+TEST(Verify, SortedAndMultisetHelpers) {
+  EXPECT_TRUE(is_sorted_ascending({1, 2, 2, 3}));
+  EXPECT_FALSE(is_sorted_ascending({1, 3, 2}));
+  EXPECT_TRUE(is_sorted_ascending({}));
+  EXPECT_TRUE(same_multiset({3, 1, 2}, {1, 2, 3}));
+  EXPECT_FALSE(same_multiset({1, 1, 2}, {1, 2, 2}));
+  EXPECT_FALSE(same_multiset({1}, {1, 1}));
+}
+
+}  // namespace
+}  // namespace emx::apps

@@ -1,0 +1,71 @@
+#include "common/cli.hpp"
+
+#include <gtest/gtest.h>
+
+namespace emx {
+namespace {
+
+CliFlags make_flags() {
+  CliFlags flags;
+  flags.define("procs", "16", "processor count")
+      .define("full", "false", "paper-scale sizes")
+      .define("sizes", "1,2,4", "element counts")
+      .define("label", "", "free text");
+  return flags;
+}
+
+TEST(Cli, DefaultsApply) {
+  CliFlags flags = make_flags();
+  const char* argv[] = {"prog"};
+  flags.parse(1, argv);
+  EXPECT_EQ(flags.integer("procs"), 16);
+  EXPECT_FALSE(flags.boolean("full"));
+  EXPECT_EQ(flags.int_list("sizes"), (std::vector<std::int64_t>{1, 2, 4}));
+}
+
+TEST(Cli, EqualsSyntax) {
+  CliFlags flags = make_flags();
+  const char* argv[] = {"prog", "--procs=64", "--label=hello"};
+  flags.parse(3, argv);
+  EXPECT_EQ(flags.integer("procs"), 64);
+  EXPECT_EQ(flags.str("label"), "hello");
+}
+
+TEST(Cli, SpaceSyntaxAndBareBoolean) {
+  CliFlags flags = make_flags();
+  const char* argv[] = {"prog", "--procs", "32", "--full"};
+  flags.parse(4, argv);
+  EXPECT_EQ(flags.integer("procs"), 32);
+  EXPECT_TRUE(flags.boolean("full"));
+}
+
+TEST(Cli, NoPrefixDisablesBoolean) {
+  CliFlags flags = make_flags();
+  const char* argv[] = {"prog", "--full", "--no-full"};
+  flags.parse(3, argv);
+  EXPECT_FALSE(flags.boolean("full"));
+}
+
+TEST(Cli, IntListParsing) {
+  CliFlags flags = make_flags();
+  const char* argv[] = {"prog", "--sizes=8,16,32,64"};
+  flags.parse(2, argv);
+  EXPECT_EQ(flags.int_list("sizes"),
+            (std::vector<std::int64_t>{8, 16, 32, 64}));
+}
+
+TEST(Cli, UnknownFlagExits) {
+  CliFlags flags = make_flags();
+  const char* argv[] = {"prog", "--bogus=1"};
+  EXPECT_EXIT(flags.parse(2, argv), testing::ExitedWithCode(2), "unknown flag");
+}
+
+TEST(Cli, MalformedIntegerPanics) {
+  CliFlags flags = make_flags();
+  const char* argv[] = {"prog", "--procs=abc"};
+  flags.parse(2, argv);
+  EXPECT_DEATH((void)flags.integer("procs"), "not an integer");
+}
+
+}  // namespace
+}  // namespace emx

@@ -1,0 +1,72 @@
+#include "common/ring_buffer.hpp"
+
+#include <gtest/gtest.h>
+
+namespace emx {
+namespace {
+
+TEST(RingBuffer, FifoOrder) {
+  RingBuffer<int> rb(4);
+  rb.push(1);
+  rb.push(2);
+  rb.push(3);
+  EXPECT_EQ(rb.pop(), 1);
+  rb.push(4);
+  rb.push(5);  // wraps around
+  EXPECT_EQ(rb.pop(), 2);
+  EXPECT_EQ(rb.pop(), 3);
+  EXPECT_EQ(rb.pop(), 4);
+  EXPECT_EQ(rb.pop(), 5);
+  EXPECT_TRUE(rb.empty());
+}
+
+TEST(RingBuffer, FullAndEmptyFlags) {
+  RingBuffer<int> rb(2);
+  EXPECT_TRUE(rb.empty());
+  EXPECT_FALSE(rb.full());
+  rb.push(1);
+  rb.push(2);
+  EXPECT_TRUE(rb.full());
+  EXPECT_EQ(rb.size(), 2u);
+}
+
+TEST(SpillingFifo, SpillsBeyondOnChipCapacityAndPreservesOrder) {
+  // Mirrors the IBU: 8-deep on-chip FIFO, overflow to memory, automatic
+  // restore (paper §2.2).
+  SpillingFifo<int> fifo(8);
+  for (int i = 0; i < 30; ++i) fifo.push(i);
+  EXPECT_EQ(fifo.size(), 30u);
+  EXPECT_EQ(fifo.spilled(), 22u);
+  EXPECT_EQ(fifo.peak_size(), 30u);
+  for (int i = 0; i < 30; ++i) EXPECT_EQ(fifo.pop(), i);
+  EXPECT_TRUE(fifo.empty());
+  EXPECT_EQ(fifo.spilled(), 0u);
+}
+
+TEST(SpillingFifo, InterleavedPushPop) {
+  SpillingFifo<int> fifo(2);
+  int next_push = 0, next_pop = 0;
+  for (int round = 0; round < 50; ++round) {
+    fifo.push(next_push++);
+    fifo.push(next_push++);
+    EXPECT_EQ(fifo.pop(), next_pop++);
+  }
+  while (!fifo.empty()) EXPECT_EQ(fifo.pop(), next_pop++);
+  EXPECT_EQ(next_pop, next_push);
+}
+
+TEST(SpillingFifo, RestoresFromSpillAfterDrain) {
+  SpillingFifo<int> fifo(2);
+  for (int i = 0; i < 5; ++i) fifo.push(i);
+  EXPECT_EQ(fifo.pop(), 0);
+  EXPECT_EQ(fifo.pop(), 1);
+  // Newly pushed items must still come after restored spill items.
+  fifo.push(100);
+  EXPECT_EQ(fifo.pop(), 2);
+  EXPECT_EQ(fifo.pop(), 3);
+  EXPECT_EQ(fifo.pop(), 4);
+  EXPECT_EQ(fifo.pop(), 100);
+}
+
+}  // namespace
+}  // namespace emx

@@ -1,0 +1,64 @@
+#include "common/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace emx {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i)
+    if (a.next_u64() == b.next_u64()) ++same;
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, BoundedStaysInRange) {
+  Rng rng(7);
+  for (std::uint64_t bound : {1ull, 2ull, 3ull, 17ull, 1000ull}) {
+    for (int i = 0; i < 2000; ++i) {
+      EXPECT_LT(rng.bounded(bound), bound);
+    }
+  }
+}
+
+TEST(Rng, BoundedCoversSmallRangeUniformly) {
+  Rng rng(11);
+  std::array<int, 5> counts{};
+  constexpr int kDraws = 50000;
+  for (int i = 0; i < kDraws; ++i) ++counts[rng.bounded(5)];
+  for (int c : counts) {
+    EXPECT_GT(c, kDraws / 5 - kDraws / 25);
+    EXPECT_LT(c, kDraws / 5 + kDraws / 25);
+  }
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  Rng rng(3);
+  double sum = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.next_double();
+    ASSERT_GE(x, 0.0);
+    ASSERT_LT(x, 1.0);
+    sum += x;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, ReseedRestartsSequence) {
+  Rng rng(5);
+  const std::uint64_t first = rng.next_u64();
+  rng.next_u64();
+  rng.reseed(5);
+  EXPECT_EQ(rng.next_u64(), first);
+}
+
+}  // namespace
+}  // namespace emx

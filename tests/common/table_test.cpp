@@ -1,0 +1,47 @@
+#include "common/table.hpp"
+
+#include <gtest/gtest.h>
+
+namespace emx {
+namespace {
+
+TEST(Table, TextAlignsColumns) {
+  Table t({"threads", "comm(s)"});
+  t.add_row({"1", "0.5"});
+  t.add_row({"16", "0.125"});
+  const std::string text = t.to_text();
+  EXPECT_NE(text.find("threads  comm(s)"), std::string::npos);
+  EXPECT_NE(text.find("16       0.125"), std::string::npos);
+}
+
+TEST(Table, CsvEscapesSpecials) {
+  Table t({"name", "value"});
+  t.add_row({"plain", "1"});
+  t.add_row({"with,comma", "quote\"inside"});
+  const std::string csv = t.to_csv();
+  EXPECT_NE(csv.find("\"with,comma\",\"quote\"\"inside\""), std::string::npos);
+  EXPECT_EQ(csv.find('\r'), std::string::npos);
+}
+
+TEST(Table, CellFormatting) {
+  EXPECT_EQ(Table::cell(std::uint64_t{42}), "42");
+  EXPECT_EQ(Table::cell(0.5), "0.5");
+  EXPECT_EQ(Table::cell(1234567.0), "1.23457e+06");
+}
+
+TEST(Table, RowWidthMismatchPanics) {
+  Table t({"a", "b"});
+  EXPECT_DEATH(t.add_row({"only-one"}), "row width");
+}
+
+TEST(Table, AccessorsRoundTrip) {
+  Table t({"x"});
+  t.add_row({"1"});
+  t.add_row({"2"});
+  EXPECT_EQ(t.rows(), 2u);
+  EXPECT_EQ(t.columns(), 1u);
+  EXPECT_EQ(t.row(1)[0], "2");
+}
+
+}  // namespace
+}  // namespace emx

@@ -1,0 +1,37 @@
+#include "common/types.hpp"
+
+#include <gtest/gtest.h>
+
+namespace emx {
+namespace {
+
+TEST(Types, PowerOfTwoPredicate) {
+  EXPECT_TRUE(is_power_of_two(1));
+  EXPECT_TRUE(is_power_of_two(2));
+  EXPECT_TRUE(is_power_of_two(64));
+  EXPECT_TRUE(is_power_of_two(1ull << 40));
+  EXPECT_FALSE(is_power_of_two(0));
+  EXPECT_FALSE(is_power_of_two(3));
+  EXPECT_FALSE(is_power_of_two(80));  // the EM-X prototype's PE count!
+}
+
+TEST(Types, IntegerLog2) {
+  EXPECT_EQ(ilog2(1), 0u);
+  EXPECT_EQ(ilog2(2), 1u);
+  EXPECT_EQ(ilog2(64), 6u);
+  EXPECT_EQ(ilog2(65), 6u);  // floor
+  EXPECT_EQ(ceil_log2(64), 6u);
+  EXPECT_EQ(ceil_log2(65), 7u);
+  EXPECT_EQ(ceil_log2(80), 7u);
+  EXPECT_EQ(ceil_log2(1), 0u);
+}
+
+TEST(Types, CycleSecondConversion) {
+  // 20 MHz: 50 ns per cycle; a 1-2 us remote read is 20-40 cycles.
+  EXPECT_DOUBLE_EQ(cycles_to_seconds(20, kDefaultClockHz), 1e-6);
+  EXPECT_DOUBLE_EQ(cycles_to_seconds(40, kDefaultClockHz), 2e-6);
+  EXPECT_EQ(seconds_to_cycles(1e-6, kDefaultClockHz), 20u);
+}
+
+}  // namespace
+}  // namespace emx

@@ -1,0 +1,57 @@
+#include "core/config.hpp"
+
+#include <gtest/gtest.h>
+
+namespace emx {
+namespace {
+
+TEST(Config, DefaultsMatchThePaper) {
+  const MachineConfig cfg;
+  EXPECT_DOUBLE_EQ(cfg.clock_hz, 20e6);            // 20 MHz EMC-Y
+  EXPECT_EQ(cfg.memory_words, std::size_t{1} << 20);  // 4 MB static RAM
+  EXPECT_EQ(cfg.packet_gen_cycles, 1u);            // 1-clock sends
+  EXPECT_EQ(cfg.ibu_fifo_depth, 8u);               // 8-packet on-chip FIFO
+  EXPECT_EQ(cfg.obu_fifo_depth, 8u);
+  EXPECT_EQ(cfg.port_interval_cycles, 2u);         // packet per 2 cycles
+  EXPECT_EQ(cfg.read_service, ReadServiceMode::kBypassDma);
+  cfg.validate();  // defaults must validate
+}
+
+TEST(Config, DetailedNetworkNeedsPowerOfTwo) {
+  MachineConfig cfg;
+  cfg.proc_count = 80;
+  cfg.network = NetworkModel::kDetailed;
+  EXPECT_DEATH(cfg.validate(), "power-of-two");
+  cfg.network = NetworkModel::kFast;
+  cfg.validate();  // 80 PEs fine on the fast model (the real prototype!)
+}
+
+TEST(Config, RejectsDegenerateValues) {
+  {
+    MachineConfig cfg;
+    cfg.proc_count = 0;
+    EXPECT_DEATH(cfg.validate(), "at least one");
+  }
+  {
+    MachineConfig cfg;
+    cfg.memory_words = 8;
+    EXPECT_DEATH(cfg.validate(), "memory");
+  }
+  {
+    MachineConfig cfg;
+    cfg.clock_hz = 0;
+    EXPECT_DEATH(cfg.validate(), "clock");
+  }
+}
+
+TEST(Config, SummaryMentionsKeyParameters) {
+  MachineConfig cfg;
+  cfg.proc_count = 64;
+  const std::string s = cfg.summary();
+  EXPECT_NE(s.find("P=64"), std::string::npos);
+  EXPECT_NE(s.find("20 MHz"), std::string::npos);
+  EXPECT_NE(s.find("bypass-dma"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace emx

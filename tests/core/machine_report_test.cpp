@@ -1,0 +1,92 @@
+// MachineReport invariants: bucket accounting must tile the timeline,
+// packets must be conserved, and the aggregates must match the per-PE
+// data they summarise.
+#include <gtest/gtest.h>
+
+#include "apps/bitonic.hpp"
+#include "core/machine.hpp"
+
+namespace emx {
+namespace {
+
+MachineReport sample_report(std::uint32_t procs = 8, std::uint32_t h = 3) {
+  MachineConfig cfg;
+  cfg.proc_count = procs;
+  Machine m(cfg);
+  apps::BitonicSortApp app(m, apps::BitonicParams{.n = procs * 128ull, .threads = h});
+  app.setup();
+  m.run();
+  return m.report();
+}
+
+TEST(MachineReport, BucketsPlusIdleTileTheTimeline) {
+  const MachineReport r = sample_report();
+  for (const auto& p : r.procs) {
+    EXPECT_EQ(p.busy_total() + p.comm, r.total_cycles)
+        << "per-PE cycles must account for every cycle of the run";
+  }
+}
+
+TEST(MachineReport, SharesSumToOneHundredPercent) {
+  const MachineReport r = sample_report();
+  const auto s = r.shares();
+  EXPECT_NEAR(s.compute + s.overhead + s.comm + s.switching, 100.0, 1e-9);
+  EXPECT_GT(s.compute, 0.0);
+  EXPECT_GT(s.comm, 0.0);
+  EXPECT_GT(s.switching, 0.0);
+}
+
+TEST(MachineReport, PacketConservation) {
+  MachineConfig cfg;
+  cfg.proc_count = 8;
+  Machine m(cfg);
+  apps::BitonicSortApp app(m, apps::BitonicParams{.n = 8 * 128, .threads = 2});
+  app.setup();
+  m.run();
+  const MachineReport r = m.report();
+  EXPECT_EQ(r.network.packets_injected, r.network.packets_delivered);
+  std::uint64_t accepted = 0;
+  for (const auto& p : r.procs) accepted += p.packets_accepted;
+  EXPECT_EQ(accepted, r.network.packets_delivered);
+}
+
+TEST(MachineReport, ReadsMatchDmaServiceCounts) {
+  const MachineReport r = sample_report();
+  std::uint64_t issued = 0, serviced = 0;
+  for (const auto& p : r.procs) {
+    issued += p.reads_issued;
+    serviced += p.dma_reads;
+  }
+  EXPECT_EQ(issued, serviced) << "every read request must be serviced";
+}
+
+TEST(MachineReport, MeansMatchPerProcData) {
+  const MachineReport r = sample_report();
+  double comm_sum = 0;
+  for (const auto& p : r.procs) comm_sum += static_cast<double>(p.comm);
+  EXPECT_DOUBLE_EQ(r.mean_comm_cycles(), comm_sum / r.procs.size());
+  EXPECT_DOUBLE_EQ(r.mean_comm_seconds(),
+                   r.mean_comm_cycles() / r.clock_hz);
+}
+
+TEST(MachineReport, SecondsUseTheTwentyMegahertzClock) {
+  const MachineReport r = sample_report();
+  EXPECT_DOUBLE_EQ(r.seconds(),
+                   static_cast<double>(r.total_cycles) / 20e6);
+}
+
+TEST(MachineReport, SummaryTextMentionsKeyNumbers) {
+  const MachineReport r = sample_report();
+  const std::string s = r.summary_text();
+  EXPECT_NE(s.find("cycles="), std::string::npos);
+  EXPECT_NE(s.find("comm="), std::string::npos);
+  EXPECT_NE(s.find("iter-sync"), std::string::npos);
+}
+
+TEST(MachineReport, EventsProcessedIsPositive) {
+  const MachineReport r = sample_report();
+  EXPECT_GT(r.events_processed, 0u);
+}
+
+}  // namespace
+}  // namespace emx

@@ -1,0 +1,57 @@
+#include "core/overlap.hpp"
+
+#include <gtest/gtest.h>
+
+namespace emx {
+namespace {
+
+TEST(OverlapSeries, EfficiencyAgainstSingleThreadBaseline) {
+  OverlapSeries s;
+  s.add(1, 10.0);
+  s.add(2, 4.0);
+  s.add(4, 2.0);
+  s.add(8, 3.0);
+  const auto pts = s.points();
+  ASSERT_EQ(pts.size(), 4u);
+  EXPECT_DOUBLE_EQ(pts[0].efficiency_percent, 0.0);
+  EXPECT_DOUBLE_EQ(pts[1].efficiency_percent, 60.0);
+  EXPECT_DOUBLE_EQ(pts[2].efficiency_percent, 80.0);
+  EXPECT_DOUBLE_EQ(pts[3].efficiency_percent, 70.0);
+}
+
+TEST(OverlapSeries, BestThreadCountIsTheValley) {
+  OverlapSeries s;
+  s.add(1, 10.0);
+  s.add(2, 4.0);
+  s.add(3, 3.5);
+  s.add(4, 3.9);
+  s.add(16, 9.0);
+  EXPECT_EQ(s.best_thread_count(), 3u);
+  EXPECT_DOUBLE_EQ(s.best_efficiency_percent(), 65.0);
+}
+
+TEST(OverlapSeries, MissingBaselinePanics) {
+  OverlapSeries s;
+  s.add(2, 4.0);
+  EXPECT_DEATH((void)s.points(), "baseline");
+}
+
+TEST(OverlapSeries, BaselineOutOfOrderIsFine) {
+  OverlapSeries s;
+  s.add(4, 5.0);
+  s.add(1, 10.0);
+  EXPECT_TRUE(s.has_baseline());
+  EXPECT_DOUBLE_EQ(s.points()[0].efficiency_percent, 50.0);
+}
+
+TEST(OverlapSeries, NegativeEfficiencyWhenThreadsHurt) {
+  // More threads than useful can make communication time worse than the
+  // single-thread baseline (the paper's h=16 tails).
+  OverlapSeries s;
+  s.add(1, 10.0);
+  s.add(16, 12.0);
+  EXPECT_DOUBLE_EQ(s.points()[1].efficiency_percent, -20.0);
+}
+
+}  // namespace
+}  // namespace emx

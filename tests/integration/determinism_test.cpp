@@ -1,0 +1,61 @@
+// The simulator is bit-deterministic: identical configurations produce
+// identical cycle counts, switch counts and results.
+#include <gtest/gtest.h>
+
+#include "apps/bitonic.hpp"
+#include "apps/fft.hpp"
+#include "core/machine.hpp"
+
+namespace emx {
+namespace {
+
+struct RunSummary {
+  Cycle cycles;
+  std::vector<std::uint64_t> switch_totals;
+  std::vector<Word> result;
+
+  bool operator==(const RunSummary&) const = default;
+};
+
+RunSummary run_once(NetworkModel net) {
+  MachineConfig cfg;
+  cfg.proc_count = 8;
+  cfg.network = net;
+  Machine machine(cfg);
+  apps::BitonicSortApp app(machine,
+                           apps::BitonicParams{.n = 8 * 64, .threads = 3});
+  app.setup();
+  machine.run();
+  RunSummary s;
+  s.cycles = machine.end_cycle();
+  for (const auto& p : machine.report().procs)
+    s.switch_totals.push_back(p.switches.total());
+  s.result = app.gather();
+  return s;
+}
+
+TEST(Determinism, IdenticalRunsAreBitIdenticalFastNet) {
+  EXPECT_EQ(run_once(NetworkModel::kFast), run_once(NetworkModel::kFast));
+}
+
+TEST(Determinism, IdenticalRunsAreBitIdenticalDetailedNet) {
+  EXPECT_EQ(run_once(NetworkModel::kDetailed),
+            run_once(NetworkModel::kDetailed));
+}
+
+TEST(Determinism, FftCyclesStableAcrossRuns) {
+  auto run = [] {
+    MachineConfig cfg;
+    cfg.proc_count = 4;
+    Machine machine(cfg);
+    apps::FftApp app(machine, apps::FftParams{.n = 4 * 128, .threads = 4});
+    app.setup();
+    machine.run();
+    return machine.end_cycle();
+  };
+  const Cycle first = run();
+  for (int i = 0; i < 3; ++i) EXPECT_EQ(run(), first);
+}
+
+}  // namespace
+}  // namespace emx

@@ -1,0 +1,70 @@
+// EM-X vs EM-4 read servicing (paper §2.1): the EM-4 "treats a remote
+// read as another 1-instruction thread which consumes processor cycles.
+// This consumption adversely affects the performance." The by-pass DMA is
+// the EM-X fix. Both modes are implemented; by-pass must win.
+#include <gtest/gtest.h>
+
+#include "apps/bitonic.hpp"
+#include "core/machine.hpp"
+
+namespace emx {
+namespace {
+
+MachineReport run_mode(ReadServiceMode mode, std::uint32_t h) {
+  MachineConfig cfg;
+  cfg.proc_count = 8;
+  cfg.read_service = mode;
+  Machine machine(cfg);
+  apps::BitonicSortApp app(machine,
+                           apps::BitonicParams{.n = 8 * 256, .threads = h});
+  app.setup();
+  machine.run();
+  EXPECT_TRUE(app.verify());
+  return machine.report();
+}
+
+TEST(Em4Ablation, BypassDmaServicesReadsWithoutExuCycles) {
+  const auto report = run_mode(ReadServiceMode::kBypassDma, 2);
+  for (const auto& p : report.procs) {
+    EXPECT_EQ(p.read_service, 0u);
+    EXPECT_GT(p.dma_reads, 0u);
+  }
+}
+
+TEST(Em4Ablation, ExuServiceConsumesProcessorCycles) {
+  const auto report = run_mode(ReadServiceMode::kExuThread, 2);
+  bool any_service = false;
+  for (const auto& p : report.procs) {
+    if (p.read_service > 0) any_service = true;
+    EXPECT_EQ(p.dma_reads, 0u);  // reads never reach the DMA in EM-4 mode
+  }
+  EXPECT_TRUE(any_service);
+}
+
+TEST(Em4Ablation, BypassModeIsFaster) {
+  for (std::uint32_t h : {1u, 4u}) {
+    const Cycle emx_cycles = run_mode(ReadServiceMode::kBypassDma, h).total_cycles;
+    const Cycle em4_cycles = run_mode(ReadServiceMode::kExuThread, h).total_cycles;
+    EXPECT_LT(emx_cycles, em4_cycles) << "h=" << h;
+  }
+}
+
+TEST(Em4Ablation, ResultsAgreeAcrossModes) {
+  // The service mechanism changes timing, never values.
+  auto run_result = [](ReadServiceMode mode) {
+    MachineConfig cfg;
+    cfg.proc_count = 4;
+    cfg.read_service = mode;
+    Machine machine(cfg);
+    apps::BitonicSortApp app(machine,
+                             apps::BitonicParams{.n = 4 * 64, .threads = 3});
+    app.setup();
+    machine.run();
+    return app.gather();
+  };
+  EXPECT_EQ(run_result(ReadServiceMode::kBypassDma),
+            run_result(ReadServiceMode::kExuThread));
+}
+
+}  // namespace
+}  // namespace emx

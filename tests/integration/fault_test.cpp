@@ -1,0 +1,116 @@
+// Failure injection: every misuse of the machine must die loudly with a
+// diagnosable message, never corrupt state silently.
+#include <gtest/gtest.h>
+
+#include "core/machine.hpp"
+#include "isa/interpreter.hpp"
+
+namespace emx {
+namespace {
+
+TEST(Fault, UnknownEntryIdPanics) {
+  MachineConfig cfg;
+  cfg.proc_count = 2;
+  Machine m(cfg);
+  m.spawn(0, /*entry=*/9999, 0);
+  EXPECT_DEATH(m.run(), "unknown thread entry");
+}
+
+TEST(Fault, SpawnToUnknownProcessorPanics) {
+  MachineConfig cfg;
+  cfg.proc_count = 2;
+  Machine m(cfg);
+  const auto entry = m.register_entry([](rt::ThreadApi api, Word) -> rt::ThreadBody {
+    co_await api.compute(1);
+  });
+  EXPECT_DEATH(m.spawn(7, entry, 0), "out of range");
+}
+
+TEST(Fault, RemoteReadPastMemoryPanics) {
+  MachineConfig cfg;
+  cfg.proc_count = 2;
+  cfg.memory_words = 1024;
+  Machine m(cfg);
+  const auto entry = m.register_entry([](rt::ThreadApi api, Word) -> rt::ThreadBody {
+    (void)co_await api.remote_read(rt::GlobalAddr{1, 5000});
+  });
+  m.spawn(0, entry, 0);
+  EXPECT_DEATH(m.run(), "out of range");
+}
+
+TEST(Fault, SuspendedForeverIsReportedAsDeadlock) {
+  // A thread waits on a gate nobody advances: the queue drains with a
+  // live frame and the machine reports it instead of returning quietly.
+  MachineConfig cfg;
+  cfg.proc_count = 1;
+  Machine m(cfg);
+  static rt::OrderGate gate(4);
+  gate.reset(4);
+  const auto entry = m.register_entry([](rt::ThreadApi api, Word) -> rt::ThreadBody {
+    co_await api.gate_wait(gate, 2);  // index 2 never opens
+  });
+  m.spawn(0, entry, 0);
+  EXPECT_DEATH(m.run(), "live threads");
+}
+
+TEST(Fault, RunTwicePanics) {
+  MachineConfig cfg;
+  cfg.proc_count = 1;
+  Machine m(cfg);
+  const auto entry = m.register_entry([](rt::ThreadApi api, Word) -> rt::ThreadBody {
+    co_await api.compute(1);
+  });
+  m.spawn(0, entry, 0);
+  m.run();
+  EXPECT_DEATH(m.run(), "called twice");
+}
+
+TEST(Fault, SpawnAfterRunPanics) {
+  MachineConfig cfg;
+  cfg.proc_count = 1;
+  Machine m(cfg);
+  const auto entry = m.register_entry([](rt::ThreadApi api, Word) -> rt::ThreadBody {
+    co_await api.compute(1);
+  });
+  m.spawn(0, entry, 0);
+  m.run();
+  EXPECT_DEATH(m.spawn(0, entry, 0), "after run");
+}
+
+TEST(Fault, ReportBeforeRunPanics) {
+  MachineConfig cfg;
+  cfg.proc_count = 1;
+  Machine m(cfg);
+  EXPECT_DEATH((void)m.report(), "before run");
+}
+
+TEST(Fault, IsaStorePastMemoryPanics) {
+  MachineConfig cfg;
+  cfg.proc_count = 1;
+  cfg.memory_words = 1024;
+  Machine m(cfg);
+  const auto entry = isa::register_source(m, R"(
+    li    r2, 2000
+    store r2, r2, 0
+    halt
+  )");
+  m.spawn(0, entry, 0);
+  EXPECT_DEATH(m.run(), "out of range");
+}
+
+TEST(Fault, EventBudgetCatchesRunawayMachines) {
+  MachineConfig cfg;
+  cfg.proc_count = 1;
+  cfg.max_events = 2000;
+  Machine m(cfg);
+  // Endless self-spawning chain: the event budget must trip.
+  std::uint32_t entry = 0;
+  entry = m.register_entry([&entry](rt::ThreadApi api, Word) -> rt::ThreadBody {
+    co_await api.spawn(0, entry, 0);
+  });
+  m.spawn(0, entry, 0);
+  EXPECT_DEATH(m.run(), "event budget");
+}
+
+}  // namespace
+}  // namespace emx

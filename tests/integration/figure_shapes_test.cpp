@@ -1,0 +1,112 @@
+// Regression guards for the reproduced figure shapes: if a change to the
+// simulator breaks a headline result of the paper, these fail before a
+// human ever reads a bench table.
+#include <gtest/gtest.h>
+
+#include "apps/bitonic.hpp"
+#include "apps/fft.hpp"
+#include "core/machine.hpp"
+
+namespace emx {
+namespace {
+
+MachineReport sort_report(std::uint32_t h, std::uint64_t per_proc = 512) {
+  MachineConfig cfg;
+  cfg.proc_count = 16;
+  Machine m(cfg);
+  apps::BitonicSortApp app(m, apps::BitonicParams{.n = 16 * per_proc, .threads = h});
+  app.setup();
+  m.run();
+  EXPECT_TRUE(app.verify());
+  return m.report();
+}
+
+MachineReport fft_report(std::uint32_t h, std::uint64_t per_proc = 512) {
+  MachineConfig cfg;
+  cfg.proc_count = 16;
+  Machine m(cfg);
+  apps::FftApp app(m, apps::FftParams{.n = 16 * per_proc, .threads = h});
+  app.setup();
+  m.run();
+  return m.report();
+}
+
+// ---- Figure 6: the valley ----
+
+TEST(FigureShapes, Fig6SortingValleyAtTwoToFourThreads) {
+  const double c1 = sort_report(1).mean_comm_seconds();
+  const double c2 = sort_report(2).mean_comm_seconds();
+  const double c4 = sort_report(4).mean_comm_seconds();
+  EXPECT_LT(c2, 0.75 * c1) << "two threads must cut communication time";
+  EXPECT_LT(c4, 0.75 * c1);
+  EXPECT_NEAR(c4 / c2, 1.0, 0.1) << "beyond 2 threads the valley is flat";
+}
+
+TEST(FigureShapes, Fig6FftValleyIsOrdersOfMagnitudeDeep) {
+  const double c1 = fft_report(1).mean_comm_seconds();
+  const double c4 = fft_report(4).mean_comm_seconds();
+  EXPECT_LT(c4, 0.05 * c1) << "FFT communication nearly disappears by h=4";
+}
+
+// ---- Figure 7: the overlap split ----
+
+TEST(FigureShapes, Fig7SortingNearPaperThirtyFivePercent) {
+  const double c1 = sort_report(1).mean_comm_seconds();
+  const double c4 = sort_report(4).mean_comm_seconds();
+  const double eff = 100.0 * (c1 - c4) / c1;
+  EXPECT_GT(eff, 25.0) << "paper: ~35% sorting overlap";
+  EXPECT_LT(eff, 55.0) << "sorting must NOT overlap like FFT does";
+}
+
+TEST(FigureShapes, Fig7FftAbovePaperNinetyFivePercent) {
+  const double c1 = fft_report(1).mean_comm_seconds();
+  const double c3 = fft_report(3).mean_comm_seconds();
+  EXPECT_GT(100.0 * (c1 - c3) / c1, 95.0);
+}
+
+// ---- Figure 8: the breakdown contrast ----
+
+TEST(FigureShapes, Fig8SortingCommunicationDominatedAtOneThread) {
+  const auto s = sort_report(1).shares();
+  EXPECT_GT(s.comm, s.compute);
+  EXPECT_GT(s.comm, 30.0);
+}
+
+TEST(FigureShapes, Fig8FftComputationDominated) {
+  for (std::uint32_t h : {1u, 4u}) {
+    const auto s = fft_report(h).shares();
+    EXPECT_GT(s.compute, 70.0) << "h=" << h;
+    EXPECT_GT(s.compute, 3.0 * s.comm) << "h=" << h;
+  }
+}
+
+TEST(FigureShapes, Fig8ComputeShareStableAcrossThreads) {
+  const auto s2 = sort_report(2).shares();
+  const auto s8 = sort_report(8).shares();
+  EXPECT_NEAR(s2.compute, s8.compute, 3.0)
+      << "total computation must not depend on the thread count";
+}
+
+// ---- Figure 9: switch taxonomy ----
+
+TEST(FigureShapes, Fig9RemoteReadSwitchesIndependentOfThreads) {
+  const auto r1 = sort_report(1);
+  const auto r8 = sort_report(8);
+  EXPECT_DOUBLE_EQ(r1.mean_remote_read_switches(),
+                   r8.mean_remote_read_switches());
+}
+
+TEST(FigureShapes, Fig9IterationSyncGrowsWithThreads) {
+  const auto r2 = sort_report(2);
+  const auto r16 = sort_report(16);
+  EXPECT_GT(r16.mean_iter_sync_switches(), 2.0 * r2.mean_iter_sync_switches());
+}
+
+TEST(FigureShapes, Fig9SwitchTimeGrowsWithThreadsForSmallProblems) {
+  const auto r2 = sort_report(2, /*per_proc=*/256);
+  const auto r16 = sort_report(16, /*per_proc=*/256);
+  EXPECT_GT(r16.mean_switching_cycles(), r2.mean_switching_cycles());
+}
+
+}  // namespace
+}  // namespace emx

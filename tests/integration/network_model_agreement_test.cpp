@@ -1,0 +1,79 @@
+// The fast endpoint-contention network is validated against the detailed
+// per-hop Omega simulation: identical results, identical packet counts,
+// and total cycle counts within a modest tolerance.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "apps/bitonic.hpp"
+#include "apps/fft.hpp"
+#include "core/machine.hpp"
+
+namespace emx {
+namespace {
+
+struct Outcome {
+  Cycle cycles;
+  std::uint64_t packets;
+  std::vector<Word> result;
+};
+
+Outcome run_sort(NetworkModel net, std::uint32_t h) {
+  MachineConfig cfg;
+  cfg.proc_count = 8;
+  cfg.network = net;
+  Machine machine(cfg);
+  apps::BitonicSortApp app(machine,
+                           apps::BitonicParams{.n = 8 * 128, .threads = h});
+  app.setup();
+  machine.run();
+  EXPECT_TRUE(app.verify());
+  return {machine.end_cycle(), machine.report().network.packets_delivered,
+          app.gather()};
+}
+
+class NetworkAgreement : public testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(NetworkAgreement, FastTracksDetailed) {
+  const std::uint32_t h = GetParam();
+  const Outcome fast = run_sort(NetworkModel::kFast, h);
+  const Outcome detailed = run_sort(NetworkModel::kDetailed, h);
+  EXPECT_EQ(fast.result, detailed.result);
+  EXPECT_EQ(fast.packets, detailed.packets);
+  const double rel =
+      std::abs(static_cast<double>(fast.cycles) -
+               static_cast<double>(detailed.cycles)) /
+      static_cast<double>(detailed.cycles);
+  EXPECT_LT(rel, 0.25) << "fast=" << fast.cycles
+                       << " detailed=" << detailed.cycles;
+}
+
+INSTANTIATE_TEST_SUITE_P(ThreadCounts, NetworkAgreement,
+                         testing::Values(1u, 2u, 4u),
+                         [](const auto& info) {
+                           return "h" + std::to_string(info.param);
+                         });
+
+TEST(NetworkAgreement, FftResultsIdenticalAcrossModels) {
+  auto run = [](NetworkModel net) {
+    MachineConfig cfg;
+    cfg.proc_count = 8;
+    cfg.network = net;
+    Machine machine(cfg);
+    apps::FftApp app(machine, apps::FftParams{.n = 8 * 64, .threads = 2,
+                                              .include_local_phase = true});
+    app.setup();
+    machine.run();
+    EXPECT_LT(app.verify_error(), 1e-5);
+    return app.gather();
+  };
+  const auto fast = run(NetworkModel::kFast);
+  const auto detailed = run(NetworkModel::kDetailed);
+  ASSERT_EQ(fast.size(), detailed.size());
+  for (std::size_t i = 0; i < fast.size(); ++i) {
+    EXPECT_EQ(fast[i], detailed[i]) << "point " << i;
+  }
+}
+
+}  // namespace
+}  // namespace emx

@@ -1,0 +1,95 @@
+// Figure-9 invariants: "the remote read switching cost is fixed
+// regardless of the number of threads because the number of elements to
+// be read is indeed fixed. In fact, this switching can be readily derived
+// from the given n, h, and P."
+#include <gtest/gtest.h>
+
+#include "apps/bitonic.hpp"
+#include "apps/distribution.hpp"
+#include "apps/fft.hpp"
+#include "core/machine.hpp"
+
+namespace emx {
+namespace {
+
+MachineReport run_sort(std::uint32_t P, std::uint64_t n, std::uint32_t h) {
+  MachineConfig cfg;
+  cfg.proc_count = P;
+  Machine machine(cfg);
+  apps::BitonicSortApp app(machine, apps::BitonicParams{.n = n, .threads = h});
+  app.setup();
+  machine.run();
+  EXPECT_TRUE(app.verify());
+  return machine.report();
+}
+
+MachineReport run_fft(std::uint32_t P, std::uint64_t n, std::uint32_t h) {
+  MachineConfig cfg;
+  cfg.proc_count = P;
+  Machine machine(cfg);
+  apps::FftApp app(machine, apps::FftParams{.n = n, .threads = h});
+  app.setup();
+  machine.run();
+  return machine.report();
+}
+
+class SwitchCounts : public testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(SwitchCounts, SortRemoteReadSwitchesDerivableFromNHP) {
+  const std::uint32_t h = GetParam();
+  constexpr std::uint32_t P = 8;
+  constexpr std::uint64_t n = 8 * 128;
+  const auto report = run_sort(P, n, h);
+  const std::uint64_t expected = apps::bitonic_merge_steps(P) * (n / P);
+  for (const auto& p : report.procs) {
+    EXPECT_EQ(p.switches.remote_read, expected) << "h=" << h;
+    EXPECT_EQ(p.reads_issued, expected);
+  }
+}
+
+TEST_P(SwitchCounts, FftRemoteReadSwitchesDerivableFromNHP) {
+  const std::uint32_t h = GetParam();
+  constexpr std::uint32_t P = 8;
+  constexpr std::uint64_t n = 8 * 64;
+  const auto report = run_fft(P, n, h);
+  // Two read packets per point (re + im) but ONE suspension: the MU's
+  // two-operand direct matching resumes the thread when both arrive.
+  for (const auto& p : report.procs) {
+    EXPECT_EQ(p.switches.remote_read, ilog2(P) * (n / P)) << "h=" << h;
+    EXPECT_EQ(p.reads_issued, ilog2(P) * (n / P) * 2) << "h=" << h;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(ThreadCounts, SwitchCounts,
+                         testing::Values(1u, 2u, 3u, 4u, 8u, 16u),
+                         [](const auto& info) {
+                           return "h" + std::to_string(info.param);
+                         });
+
+TEST(SwitchTaxonomy, SortHasThreadSyncFftDoesNot) {
+  const auto sort_report = run_sort(8, 8 * 128, 4);
+  const auto fft_report = run_fft(8, 8 * 128, 4);
+  std::uint64_t sort_gate = 0, fft_gate = 0;
+  for (const auto& p : sort_report.procs) sort_gate += p.switches.thread_sync;
+  for (const auto& p : fft_report.procs) fft_gate += p.switches.thread_sync;
+  EXPECT_GT(sort_gate, 0u) << "ordered merging must suspend some threads";
+  EXPECT_EQ(fft_gate, 0u) << "FFT threads are free of thread synchronisation";
+}
+
+TEST(SwitchTaxonomy, IterationSyncGrowsWithThreads) {
+  // More threads -> more barrier joins and more polling re-checks
+  // (the paper's Figure 9 iteration-sync growth).
+  const auto r2 = run_fft(8, 8 * 64, 2);
+  const auto r8 = run_fft(8, 8 * 64, 8);
+  EXPECT_GT(r8.mean_iter_sync_switches(), r2.mean_iter_sync_switches());
+}
+
+TEST(SwitchTaxonomy, SingleThreadHasNoGateSwitches) {
+  const auto report = run_sort(4, 4 * 64, 1);
+  for (const auto& p : report.procs) {
+    EXPECT_EQ(p.switches.thread_sync, 0u);
+  }
+}
+
+}  // namespace
+}  // namespace emx

@@ -1,0 +1,99 @@
+#include "isa/assembler.hpp"
+
+#include <gtest/gtest.h>
+
+namespace emx::isa {
+namespace {
+
+TEST(Assembler, ParsesEveryShape) {
+  const Program p = assemble(R"(
+    start:
+      li    r1, 42
+      addi  r2, r1, -1
+      add   r3, r1, r2
+      load  r4, r3, 16
+      store r3, r4, 8
+      gaddr r5, r1, r2
+      read  r6, r5
+      readb r5, r4, 32
+      write r5, r6
+      spawn r1, r6, 7
+      beq   r1, r2, done
+      jmp   start
+    done:
+      proc  r9
+      barrier
+      halt
+  )");
+  ASSERT_EQ(p.code.size(), 15u);
+  EXPECT_EQ(p.code[0].op, Opcode::kLi);
+  EXPECT_EQ(p.code[0].rd, 1);
+  EXPECT_EQ(p.code[0].imm, 42);
+  EXPECT_EQ(p.code[1].imm, -1);
+  EXPECT_EQ(p.code[7].op, Opcode::kReadB);
+  EXPECT_EQ(p.code[7].imm, 32);
+  EXPECT_EQ(p.code[9].op, Opcode::kSpawn);
+  EXPECT_EQ(p.code[9].imm, 7);
+  // Branch targets resolved: beq -> 12 (done), jmp -> 0 (start).
+  EXPECT_EQ(p.code[10].imm, 12);
+  EXPECT_EQ(p.code[11].imm, 0);
+  EXPECT_EQ(p.code[14].op, Opcode::kHalt);
+}
+
+TEST(Assembler, CommentsAndBlankLines) {
+  const Program p = assemble(R"(
+    ; full-line comment
+    li r1, 1   # trailing comment
+
+    halt
+  )");
+  EXPECT_EQ(p.code.size(), 2u);
+}
+
+TEST(Assembler, ForwardAndBackwardLabels) {
+  const Program p = assemble(R"(
+      jmp fwd
+    back:
+      halt
+    fwd:
+      jmp back
+  )");
+  EXPECT_EQ(p.code[0].imm, 2);
+  EXPECT_EQ(p.code[2].imm, 1);
+}
+
+TEST(Assembler, ListingRoundTrips) {
+  const Program p = assemble("li r1, 5\nhalt\n");
+  const std::string listing = p.listing();
+  EXPECT_NE(listing.find("li"), std::string::npos);
+  EXPECT_NE(listing.find("halt"), std::string::npos);
+}
+
+TEST(Assembler, Diagnostics) {
+  EXPECT_DEATH(assemble("bogus r1, r2\nhalt"), "unknown opcode");
+  EXPECT_DEATH(assemble("li r99, 1\nhalt"), "bad register");
+  EXPECT_DEATH(assemble("li r1\nhalt"), "expects 2 operands");
+  EXPECT_DEATH(assemble("jmp nowhere\nhalt"), "undefined label");
+  EXPECT_DEATH(assemble("a:\na:\nhalt"), "duplicate label");
+  EXPECT_DEATH(assemble("li r1, xyz\nhalt"), "bad immediate");
+  EXPECT_DEATH(assemble("; nothing"), "empty program");
+}
+
+TEST(Instruction, SendClassification) {
+  EXPECT_TRUE(is_send(Opcode::kRead));
+  EXPECT_TRUE(is_send(Opcode::kReadB));
+  EXPECT_TRUE(is_send(Opcode::kWrite));
+  EXPECT_TRUE(is_send(Opcode::kSpawn));
+  EXPECT_FALSE(is_send(Opcode::kAdd));
+  EXPECT_FALSE(is_send(Opcode::kBarrier));
+}
+
+TEST(Instruction, CycleCosts) {
+  Instruction add{.op = Opcode::kAdd};
+  Instruction fdiv{.op = Opcode::kFdiv};
+  EXPECT_EQ(instruction_cycles(add, 9), 1u);
+  EXPECT_EQ(instruction_cycles(fdiv, 9), 9u);
+}
+
+}  // namespace
+}  // namespace emx::isa

@@ -1,0 +1,132 @@
+#include "isa/builder.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/machine.hpp"
+#include "isa/interpreter.hpp"
+
+namespace emx::isa {
+namespace {
+
+TEST(CodeBuilder, FluentLoopMatchesAssembler) {
+  CodeBuilder b;
+  const auto loop = b.label();
+  b.li(2, 0).li(3, 100);
+  b.bind(loop).addi(2, 2, 1).blt(2, 3, loop).halt();
+  const Program built = b.build();
+
+  const Program assembled = assemble(R"(
+      li   r2, 0
+      li   r3, 100
+    loop:
+      addi r2, r2, 1
+      blt  r2, r3, loop
+      halt
+  )");
+  ASSERT_EQ(built.code.size(), assembled.code.size());
+  for (std::size_t i = 0; i < built.code.size(); ++i) {
+    EXPECT_EQ(built.code[i].op, assembled.code[i].op) << i;
+    EXPECT_EQ(built.code[i].rd, assembled.code[i].rd) << i;
+    EXPECT_EQ(built.code[i].ra, assembled.code[i].ra) << i;
+    EXPECT_EQ(built.code[i].rb, assembled.code[i].rb) << i;
+    EXPECT_EQ(built.code[i].imm, assembled.code[i].imm) << i;
+  }
+}
+
+TEST(CodeBuilder, ForwardLabelsResolve) {
+  CodeBuilder b;
+  const auto done = b.label();
+  b.li(2, 1).jmp(done).li(2, 99);  // skipped
+  b.bind(done).li(3, 30).store(3, 2, 0).halt();
+  Program p = b.build();
+  EXPECT_EQ(p.code[1].imm, 3);  // jump over the dead li
+
+  MachineConfig cfg;
+  cfg.proc_count = 1;
+  Machine m(cfg);
+  const auto entry = register_program(m, std::move(p));
+  m.spawn(0, entry, 0);
+  m.run();
+  EXPECT_EQ(m.memory(0).read(30), 1u);
+}
+
+TEST(CodeBuilder, BuiltProgramRunsEndToEnd) {
+  // GCD of (252, 105) by repeated subtraction, built fluently.
+  CodeBuilder b;
+  const auto loop = b.label();
+  const auto a_bigger = b.label();
+  const auto done = b.label();
+  b.li(2, 252).li(3, 105);
+  b.bind(loop).beq(2, 3, done);
+  b.bge(2, 3, a_bigger);
+  b.sub(3, 3, 2).jmp(loop);
+  b.bind(a_bigger).sub(2, 2, 3).jmp(loop);
+  b.bind(done).li(4, 40).store(4, 2, 0).halt();
+
+  MachineConfig cfg;
+  cfg.proc_count = 1;
+  Machine m(cfg);
+  const auto entry = register_program(m, b.build());
+  m.spawn(0, entry, 0);
+  m.run();
+  EXPECT_EQ(m.memory(0).read(40), 21u);  // gcd(252, 105)
+}
+
+TEST(CodeBuilder, RemoteOpsAndBarrier) {
+  // Every PE writes its id+1 to its right neighbour, then barriers, then
+  // reads it back from its own memory.
+  constexpr std::uint32_t P = 4;
+  MachineConfig cfg;
+  cfg.proc_count = P;
+  Machine m(cfg);
+
+  CodeBuilder b;
+  b.proc(2);               // r2 = me
+  b.addi(3, 2, 1);         // r3 = me+1
+  b.li(4, static_cast<std::int32_t>(P));
+  const auto nowrap = b.label();
+  b.blt(3, 4, nowrap).li(3, 0).bind(nowrap);
+  b.li(5, 32);
+  b.gaddr(6, 3, 5);        // neighbour's word 32
+  b.write(6, 3);           // store neighbour id there
+  b.barrier();
+  b.load(7, 5, 0);         // my own word 32, written by my left neighbour
+  b.li(8, 33);
+  b.store(8, 7, 0);        // publish at word 33
+  b.halt();
+
+  const auto entry = register_program(m, b.build());
+  m.configure_barrier(1);
+  for (ProcId p = 0; p < P; ++p) m.spawn(p, entry, 0);
+  m.run();
+  for (ProcId p = 0; p < P; ++p) {
+    EXPECT_EQ(m.memory(p).read(33), p) << "PE " << p;
+  }
+}
+
+TEST(CodeBuilder, Diagnostics) {
+  {
+    CodeBuilder b;
+    b.li(2, 1);
+    EXPECT_DEATH(b.build(), "must end in halt");
+  }
+  {
+    CodeBuilder b;
+    const auto l = b.label();
+    b.jmp(l);
+    EXPECT_DEATH(b.build(), "never bound");
+  }
+  {
+    CodeBuilder b;
+    const auto l = b.label();
+    b.bind(l);
+    EXPECT_DEATH(b.bind(l), "bound twice");
+  }
+  {
+    CodeBuilder b;
+    EXPECT_DEATH(b.li(99, 1), "register out of range");
+  }
+}
+
+}  // namespace
+}  // namespace emx::isa

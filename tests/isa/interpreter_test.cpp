@@ -1,0 +1,247 @@
+// ISA programs are first-class EM-X threads: correct semantics, correct
+// cycle charging, and full access to the split-phase machinery.
+#include <gtest/gtest.h>
+
+#include "core/machine.hpp"
+#include "isa/interpreter.hpp"
+#include "runtime/barrier.hpp"
+
+namespace emx::isa {
+namespace {
+
+Machine make_machine(std::uint32_t procs = 2) {
+  MachineConfig cfg;
+  cfg.proc_count = procs;
+  return Machine(cfg);
+}
+
+TEST(Interpreter, ArithmeticAndMemory) {
+  MachineConfig cfg;
+  cfg.proc_count = 1;
+  Machine m(cfg);
+  const auto entry = register_source(m, R"(
+    li    r1, 6
+    li    r2, 7
+    mul   r3, r1, r2      ; 42
+    addi  r4, r3, 100     ; 142
+    sub   r5, r4, r1      ; 136
+    li    r6, 16
+    store r6, r5, 0       ; mem[16] = 136
+    load  r7, r6, 0
+    addi  r7, r7, 1
+    store r6, r7, 1       ; mem[17] = 137
+    halt
+  )");
+  m.spawn(0, entry, 0);
+  m.run();
+  EXPECT_EQ(m.memory(0).read(16), 136u);
+  EXPECT_EQ(m.memory(0).read(17), 137u);
+}
+
+TEST(Interpreter, LoopComputesTriangularNumber) {
+  MachineConfig cfg;
+  cfg.proc_count = 1;
+  Machine m(cfg);
+  const auto entry = register_source(m, R"(
+      li   r2, 0         ; sum
+      li   r3, 1         ; i
+      li   r4, 101       ; bound
+    loop:
+      add  r2, r2, r3
+      addi r3, r3, 1
+      blt  r3, r4, loop
+      li   r5, 20
+      store r5, r2, 0
+      halt
+  )");
+  m.spawn(0, entry, 0);
+  m.run();
+  EXPECT_EQ(m.memory(0).read(20), 5050u);
+}
+
+TEST(Interpreter, ArgumentArrivesInR1) {
+  MachineConfig cfg;
+  cfg.proc_count = 1;
+  Machine m(cfg);
+  const auto entry = register_source(m, R"(
+    li    r2, 30
+    store r2, r1, 0
+    halt
+  )");
+  m.spawn(0, entry, 1234);
+  m.run();
+  EXPECT_EQ(m.memory(0).read(30), 1234u);
+}
+
+TEST(Interpreter, RemoteReadAndWriteAcrossProcessors) {
+  Machine m = make_machine(2);
+  m.memory(1).write(rt::kReservedWords, 777);
+  const auto entry = register_source(m, R"(
+    li    r2, 1           ; PE 1
+    li    r3, 16          ; kReservedWords
+    gaddr r4, r2, r3
+    read  r5, r4          ; split-phase read from PE 1
+    addi  r5, r5, 1
+    li    r6, 17
+    gaddr r7, r2, r6
+    write r7, r5          ; remote write back to PE 1
+    halt
+  )");
+  m.spawn(0, entry, 0);
+  m.run();
+  EXPECT_EQ(m.memory(1).read(17), 778u);
+  EXPECT_EQ(m.report().procs[0].switches.remote_read, 1u);
+}
+
+TEST(Interpreter, BlockReadTransfersWords) {
+  Machine m = make_machine(2);
+  for (Word i = 0; i < 16; ++i) m.memory(1).write(rt::kReservedWords + i, 100 + i);
+  const auto entry = register_source(m, R"(
+    li    r2, 1
+    li    r3, 16
+    gaddr r4, r2, r3
+    li    r5, 64          ; local destination
+    readb r4, r5, 16
+    halt
+  )");
+  m.spawn(0, entry, 0);
+  m.run();
+  for (Word i = 0; i < 16; ++i) EXPECT_EQ(m.memory(0).read(64 + i), 100 + i);
+}
+
+TEST(Interpreter, SpawnFansOutAcrossMachine) {
+  Machine m = make_machine(4);
+  // Child: store arg at mem[40] on its own PE.
+  const auto child = register_source(m, R"(
+    li    r2, 40
+    store r2, r1, 0
+    halt
+  )");
+  // Parent: spawn the child on PEs 1..3 with arg = 500 + pe.
+  char src[256];
+  std::snprintf(src, sizeof src, R"(
+      li   r2, 1
+      li   r3, 4
+    loop:
+      addi r4, r2, 500
+      spawn r2, r4, %u
+      addi r2, r2, 1
+      blt  r2, r3, loop
+      halt
+  )", child);
+  const auto parent = register_source(m, src);
+  m.spawn(0, parent, 0);
+  m.run();
+  for (ProcId p = 1; p < 4; ++p) {
+    EXPECT_EQ(m.memory(p).read(40), 500 + p);
+  }
+}
+
+TEST(Interpreter, BarrierSynchronisesIsaThreads) {
+  Machine m = make_machine(4);
+  const auto entry = register_source(m, R"(
+      proc  r2
+      li    r3, 50
+      store r3, r2, 0       ; mem[50] = my pe
+      barrier
+      li    r4, 51
+      li    r5, 1
+      store r4, r5, 0       ; mem[51] = 1 after the barrier
+      halt
+  )");
+  m.configure_barrier(1);
+  for (ProcId p = 0; p < 4; ++p) m.spawn(p, entry, 0);
+  m.run();
+  for (ProcId p = 0; p < 4; ++p) {
+    EXPECT_EQ(m.memory(p).read(50), p);
+    EXPECT_EQ(m.memory(p).read(51), 1u);
+  }
+}
+
+TEST(Interpreter, FloatOpsUseBitPatterns) {
+  MachineConfig cfg;
+  cfg.proc_count = 1;
+  Machine m(cfg);
+  m.memory(0).write_f32(16, 6.0f);
+  m.memory(0).write_f32(17, 1.5f);
+  const auto entry = register_source(m, R"(
+    li    r2, 16
+    load  r3, r2, 0
+    load  r4, r2, 1
+    fadd  r5, r3, r4
+    fmul  r6, r3, r4
+    fdiv  r7, r3, r4
+    fsub  r8, r3, r4
+    store r2, r5, 2
+    store r2, r6, 3
+    store r2, r7, 4
+    store r2, r8, 5
+    halt
+  )");
+  m.spawn(0, entry, 0);
+  m.run();
+  EXPECT_EQ(m.memory(0).read_f32(18), 7.5f);
+  EXPECT_EQ(m.memory(0).read_f32(19), 9.0f);
+  EXPECT_EQ(m.memory(0).read_f32(20), 4.0f);
+  EXPECT_EQ(m.memory(0).read_f32(21), 4.5f);
+}
+
+TEST(Interpreter, CycleChargingMatchesInstructionCount) {
+  // 1 + 100 x 3 loop instructions + 2 tail + ... all one clock; the EXU
+  // compute bucket must equal the executed instruction count.
+  MachineConfig cfg;
+  cfg.proc_count = 1;
+  Machine m(cfg);
+  const auto entry = register_source(m, R"(
+      li   r2, 0
+      li   r3, 10
+    loop:
+      addi r2, r2, 1
+      bne  r2, r3, loop
+      halt
+  )");
+  m.spawn(0, entry, 0);
+  m.run();
+  // li, li, then 10 iterations x (addi, bne) = 22 one-clock instructions.
+  EXPECT_EQ(m.report().procs[0].compute, 22u);
+}
+
+TEST(Interpreter, FdivChargesMultipleClocks) {
+  MachineConfig cfg;
+  cfg.proc_count = 1;
+  Machine m(cfg);
+  const auto entry = register_program(m, assemble("fdiv r2, r3, r4\nhalt"),
+                                      InterpreterOptions{.fdiv_cycles = 9});
+  m.spawn(0, entry, 0);
+  m.run();
+  EXPECT_EQ(m.report().procs[0].compute, 9u);
+}
+
+TEST(Interpreter, RunawayProgramPanics) {
+  MachineConfig cfg;
+  cfg.proc_count = 1;
+  Machine m(cfg);
+  const auto entry = register_program(
+      m, assemble("loop: jmp loop\nhalt"),
+      InterpreterOptions{.max_instructions = 1000});
+  m.spawn(0, entry, 0);
+  EXPECT_DEATH(m.run(), "instruction budget");
+}
+
+TEST(Interpreter, R0IsHardwiredZero) {
+  MachineConfig cfg;
+  cfg.proc_count = 1;
+  Machine m(cfg);
+  const auto entry = register_source(m, R"(
+    li    r0, 99          ; write to r0 is dropped
+    li    r2, 60
+    store r2, r0, 0       ; mem[60] = r0 = 0
+    halt
+  )");
+  m.spawn(0, entry, 0);
+  m.run();
+  EXPECT_EQ(m.memory(0).read(60), 0u);
+}
+
+}  // namespace
+}  // namespace emx::isa

@@ -1,0 +1,73 @@
+#include "model/saavedra.hpp"
+
+#include <gtest/gtest.h>
+
+namespace emx::model {
+namespace {
+
+TEST(SaavedraModel, PaperParametersSaturateAtTwoToFourThreads) {
+  // Sorting: R=12, L=20..40, C=7 -> "four threads have been found
+  // adequate to mask off the latency of 20 to 40 clocks".
+  MultithreadingModel fast_net{.run_length = 12, .latency = 20, .switch_cost = 7};
+  MultithreadingModel slow_net{.run_length = 12, .latency = 40, .switch_cost = 7};
+  EXPECT_GE(fast_net.saturation_threads(), 2.0);
+  EXPECT_LE(fast_net.saturation_threads(), 3.0);
+  EXPECT_GE(slow_net.saturation_threads(), 3.0);
+  EXPECT_LE(slow_net.saturation_threads(), 4.5);
+}
+
+TEST(SaavedraModel, FftRunLengthSaturatesImmediately) {
+  // FFT: hundreds of clocks of run length -> two threads suffice.
+  MultithreadingModel m{.run_length = 250, .latency = 40, .switch_cost = 7};
+  EXPECT_LT(m.saturation_threads(), 1.2);
+  EXPECT_NEAR(m.efficiency(2.0), 250.0 / 257.0, 1e-9);
+}
+
+TEST(SaavedraModel, LinearRegionGrowsLinearly) {
+  MultithreadingModel m{.run_length = 10, .latency = 100, .switch_cost = 5};
+  const double e1 = m.efficiency(1.0);
+  const double e2 = m.efficiency(2.0);
+  const double e3 = m.efficiency(3.0);
+  EXPECT_NEAR(e2 / e1, 2.0, 1e-9);
+  EXPECT_NEAR(e3 / e1, 3.0, 1e-9);
+}
+
+TEST(SaavedraModel, SaturationEfficiencyIndependentOfLatency) {
+  // "in the saturation region [performance] depends only on the remote
+  //  reference rate and switch cost".
+  MultithreadingModel a{.run_length = 10, .latency = 50, .switch_cost = 5};
+  MultithreadingModel b{.run_length = 10, .latency = 500, .switch_cost = 5};
+  EXPECT_DOUBLE_EQ(a.efficiency(100.0), b.efficiency(100.0));
+  EXPECT_DOUBLE_EQ(a.efficiency(100.0), 10.0 / 15.0);
+}
+
+TEST(SaavedraModel, ExposedLatencyShrinksWithThreads) {
+  MultithreadingModel m{.run_length = 12, .latency = 40, .switch_cost = 7};
+  EXPECT_DOUBLE_EQ(m.exposed_latency(1.0), 40.0);
+  EXPECT_DOUBLE_EQ(m.exposed_latency(2.0), 21.0);
+  EXPECT_DOUBLE_EQ(m.exposed_latency(3.0), 2.0);
+  EXPECT_DOUBLE_EQ(m.exposed_latency(4.0), 0.0);  // fully hidden
+}
+
+TEST(SaavedraModel, RegionClassification) {
+  MultithreadingModel m{.run_length = 10, .latency = 100, .switch_cost = 10};
+  // h_sat = 1 + 100/20 = 6.
+  EXPECT_EQ(m.region(2.0), MultithreadingModel::Region::kLinear);
+  EXPECT_EQ(m.region(6.0), MultithreadingModel::Region::kTransition);
+  EXPECT_EQ(m.region(10.0), MultithreadingModel::Region::kSaturation);
+  EXPECT_STREQ(MultithreadingModel::region_name(m.region(2.0)), "linear");
+}
+
+TEST(SaavedraModel, EfficiencyIsMonotoneNondecreasing) {
+  MultithreadingModel m{.run_length = 12, .latency = 30, .switch_cost = 7};
+  double prev = 0.0;
+  for (double h = 1.0; h <= 16.0; h += 0.5) {
+    const double e = m.efficiency(h);
+    EXPECT_GE(e, prev);
+    EXPECT_LE(e, 1.0);
+    prev = e;
+  }
+}
+
+}  // namespace
+}  // namespace emx::model

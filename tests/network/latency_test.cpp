@@ -1,0 +1,116 @@
+// §2.2 anchor: "A packet can be transferred in k+1 cycles to the
+// processor k hops beyond by a virtual-cut-through routing", and each
+// port moves one packet every second cycle.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "network/omega_network.hpp"
+#include "sim/sim_context.hpp"
+
+namespace emx::net {
+namespace {
+
+struct Collector {
+  std::vector<Cycle> times;
+  sim::SimContext* sim = nullptr;
+};
+void collect(void* ctx, const Packet&) {
+  auto* c = static_cast<Collector*>(ctx);
+  c->times.push_back(c->sim->now());
+}
+
+Packet make_packet(ProcId src, ProcId dst) {
+  Packet p;
+  p.kind = PacketKind::kRemoteWrite;
+  p.src = src;
+  p.dst = dst;
+  return p;
+}
+
+class UncontendedLatency : public testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(UncontendedLatency, KHopsTakeKPlusOneCycles) {
+  const std::uint32_t P = GetParam();
+  for (ProcId dst = 1; dst < P; ++dst) {
+    sim::SimContext sim;
+    OmegaNetwork net(sim, P);
+    Collector c{.sim = &sim};
+    net.set_delivery(&collect, &c);
+    net.inject(make_packet(0, dst));
+    sim.run_until_idle();
+    ASSERT_EQ(c.times.size(), 1u);
+    const unsigned k = net.hop_count(0, dst);
+    EXPECT_EQ(c.times[0], k + 1) << "P=" << P << " dst=" << dst;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(ProcCounts, UncontendedLatency,
+                         testing::Values(2u, 4u, 8u, 16u, 64u),
+                         [](const auto& info) {
+                           return "P" + std::to_string(info.param);
+                         });
+
+TEST(PortBandwidth, BackToBackPacketsSpaceByPortInterval) {
+  // Two packets on the same route: the second departs 2 cycles later.
+  sim::SimContext sim;
+  OmegaNetwork net(sim, 8);
+  Collector c{.sim = &sim};
+  net.set_delivery(&collect, &c);
+  net.inject(make_packet(0, 5));
+  net.inject(make_packet(0, 5));
+  sim.run_until_idle();
+  ASSERT_EQ(c.times.size(), 2u);
+  EXPECT_EQ(c.times[1] - c.times[0], 2u);
+  EXPECT_GT(net.stats().contention_wait, 0u);
+}
+
+TEST(PortBandwidth, BurstOfNPacketsDrainsAtHalfRate) {
+  constexpr int kBurst = 16;
+  sim::SimContext sim;
+  OmegaNetwork net(sim, 8);
+  Collector c{.sim = &sim};
+  net.set_delivery(&collect, &c);
+  for (int i = 0; i < kBurst; ++i) net.inject(make_packet(3, 4));
+  sim.run_until_idle();
+  ASSERT_EQ(c.times.size(), kBurst);
+  // First arrives at k+1; subsequent every 2 cycles (pipeline full).
+  const unsigned k = net.hop_count(3, 4);
+  EXPECT_EQ(c.times.front(), k + 1);
+  EXPECT_EQ(c.times.back(), k + 1 + 2 * (kBurst - 1));
+}
+
+TEST(PortBandwidth, PeakBacklogSizesTheCutThroughBuffer) {
+  sim::SimContext sim;
+  OmegaNetwork net(sim, 8);
+  Collector c{.sim = &sim};
+  net.set_delivery(&collect, &c);
+  for (int i = 0; i < 12; ++i) net.inject(make_packet(0, 5));
+  sim.run_until_idle();
+  // Twelve same-route packets: the deepest port queue is bounded by the
+  // burst and nonzero under contention.
+  EXPECT_GT(net.peak_port_backlog(), 0u);
+  EXPECT_LE(net.peak_port_backlog(), 12u);
+  EXPECT_EQ(net.stats().peak_port_backlog, net.peak_port_backlog());
+}
+
+TEST(CrossTraffic, ContendingFlowsShareAPort) {
+  // Flows 0->3 and 4->3 in P=8 share switch 3's ejection port at least;
+  // total drain time reflects serialisation.
+  sim::SimContext sim;
+  OmegaNetwork net(sim, 8);
+  Collector c{.sim = &sim};
+  net.set_delivery(&collect, &c);
+  for (int i = 0; i < 8; ++i) {
+    net.inject(make_packet(0, 3));
+    net.inject(make_packet(4, 3));
+  }
+  sim.run_until_idle();
+  ASSERT_EQ(c.times.size(), 16u);
+  // 16 packets through one ejection port at 1/2 cycles -> >= 30 cycles
+  // between first and last.
+  EXPECT_GE(c.times.back() - c.times.front(), 30u);
+}
+
+}  // namespace
+}  // namespace emx::net

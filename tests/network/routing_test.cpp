@@ -1,0 +1,86 @@
+#include "network/routing.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace emx::net {
+namespace {
+
+TEST(ShuffleRouting, EveryRouteReachesItsDestination) {
+  for (std::uint32_t P : {2u, 4u, 8u, 16u, 64u}) {
+    ShuffleRouting routing(P);
+    for (ProcId s = 0; s < P; ++s) {
+      for (ProcId d = 0; d < P; ++d) {
+        const auto path = routing.route(s, d);
+        ASSERT_EQ(path.front(), s);
+        ASSERT_EQ(path.back(), d);
+        ASSERT_EQ(path.size(), routing.hop_count(s, d) + 1u);
+        ASSERT_LE(path.size(), routing.bits() + 1u);
+      }
+    }
+  }
+}
+
+TEST(ShuffleRouting, HopsFollowTheShuffleEdges) {
+  // Every hop must be a legal de Bruijn edge: next == (2*cur + b) mod P.
+  constexpr std::uint32_t P = 32;
+  ShuffleRouting routing(P);
+  for (ProcId s = 0; s < P; ++s) {
+    for (ProcId d = 0; d < P; ++d) {
+      if (s == d) continue;
+      const auto path = routing.route(s, d);
+      for (std::size_t hop = 0; hop + 1 < path.size(); ++hop) {
+        const ProcId cur = path[hop];
+        const ProcId nxt = path[hop + 1];
+        const unsigned port =
+            routing.output_port(s, d, static_cast<unsigned>(hop));
+        EXPECT_EQ(nxt, (2 * cur + port) % P);
+      }
+    }
+  }
+}
+
+TEST(ShuffleRouting, HopCountIsAtMostLogP) {
+  ShuffleRouting r64(64);
+  EXPECT_EQ(r64.hop_count(0, 63), 6u);  // no bit overlap: full log P hops
+  EXPECT_EQ(r64.hop_count(5, 5), 0u);   // self-sends skip the fabric
+  ShuffleRouting r2(2);
+  EXPECT_EQ(r2.hop_count(0, 1), 1u);
+}
+
+TEST(ShuffleRouting, OverlapShortensRoutes) {
+  // P=8: src=001, dst=110 — src's low bit equals dst's top bit, so the
+  // shift register needs only two hops: 001 -> 011 -> 110.
+  ShuffleRouting routing(8);
+  EXPECT_EQ(routing.overlap(1, 6), 1u);
+  EXPECT_EQ(routing.route(1, 6), (std::vector<ProcId>{1, 3, 6}));
+  // src=011, dst=110: overlap 2 -> a single hop.
+  EXPECT_EQ(routing.overlap(3, 6), 2u);
+  EXPECT_EQ(routing.route(3, 6), (std::vector<ProcId>{3, 6}));
+  // No overlap: the full three hops.
+  EXPECT_EQ(routing.overlap(0, 7), 0u);
+  EXPECT_EQ(routing.route(0, 7), (std::vector<ProcId>{0, 1, 3, 7}));
+}
+
+TEST(ShuffleRouting, RoutesNeverRevisitANode) {
+  // Shortest-path routing keeps the k+1-cycle rule honest: no switch is
+  // traversed twice within one route.
+  for (std::uint32_t P : {4u, 8u, 32u}) {
+    ShuffleRouting routing(P);
+    for (ProcId s = 0; s < P; ++s) {
+      for (ProcId d = 0; d < P; ++d) {
+        const auto path = routing.route(s, d);
+        std::set<ProcId> seen(path.begin(), path.end());
+        EXPECT_EQ(seen.size(), path.size()) << "s=" << s << " d=" << d;
+      }
+    }
+  }
+}
+
+TEST(ShuffleRouting, RejectsNonPowerOfTwo) {
+  EXPECT_DEATH(ShuffleRouting(80), "power-of-two");
+}
+
+}  // namespace
+}  // namespace emx::net

@@ -1,0 +1,43 @@
+#include "network/switch_box.hpp"
+
+#include <gtest/gtest.h>
+
+namespace emx::net {
+namespace {
+
+TEST(SwitchBox, UncontendedReservationsDepartImmediately) {
+  SwitchBox sw;
+  EXPECT_EQ(sw.reserve(0, 10, 2), 10u);
+  EXPECT_EQ(sw.reserve(1, 10, 2), 10u);  // different port: independent
+  EXPECT_EQ(sw.total_wait(), 0u);
+  EXPECT_EQ(sw.peak_backlog(), 0u);
+}
+
+TEST(SwitchBox, PortIntervalSerialisesSamePort) {
+  SwitchBox sw;
+  EXPECT_EQ(sw.reserve(0, 0, 2), 0u);
+  EXPECT_EQ(sw.reserve(0, 0, 2), 2u);
+  EXPECT_EQ(sw.reserve(0, 0, 2), 4u);
+  EXPECT_EQ(sw.total_wait(), 2u + 4u);
+  EXPECT_EQ(sw.forwarded(0), 3u);
+}
+
+TEST(SwitchBox, BacklogPeakTracksQueueDepth) {
+  SwitchBox sw;
+  for (int i = 0; i < 9; ++i) sw.reserve(2, 0, 2);
+  // The ninth reservation waited 16 cycles = 8 packets behind the port.
+  EXPECT_EQ(sw.peak_backlog(), 8u);
+  EXPECT_EQ(sw.total_forwarded(), 9u);
+}
+
+TEST(SwitchBox, LateArrivalsResetTheQueue) {
+  SwitchBox sw;
+  sw.reserve(0, 0, 2);
+  sw.reserve(0, 0, 2);
+  // Arriving after the port drained: no wait.
+  EXPECT_EQ(sw.reserve(0, 100, 2), 100u);
+  EXPECT_EQ(sw.busy_until(0), 102u);
+}
+
+}  // namespace
+}  // namespace emx::net

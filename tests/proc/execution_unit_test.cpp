@@ -1,0 +1,51 @@
+#include "proc/execution_unit.hpp"
+
+#include <gtest/gtest.h>
+
+namespace emx::proc {
+namespace {
+
+TEST(ExecutionUnit, BucketsAccumulateIndependently) {
+  ExecutionUnit exu;
+  exu.charge(CycleBucket::kCompute, 10);
+  exu.charge(CycleBucket::kOverhead, 2);
+  exu.charge(CycleBucket::kSwitch, 7);
+  exu.charge(CycleBucket::kCompute, 5);
+  EXPECT_EQ(exu.bucket(CycleBucket::kCompute), 15u);
+  EXPECT_EQ(exu.bucket(CycleBucket::kOverhead), 2u);
+  EXPECT_EQ(exu.bucket(CycleBucket::kSwitch), 7u);
+  EXPECT_EQ(exu.bucket(CycleBucket::kReadService), 0u);
+  EXPECT_EQ(exu.busy_total(), 24u);
+}
+
+TEST(ExecutionUnit, IdleSpansAccumulate) {
+  ExecutionUnit exu;
+  // idle [0,10), busy [10,30), idle [30,35), busy [35,40), idle [40,100)
+  exu.begin_busy(10);
+  exu.end_busy(30);
+  exu.begin_busy(35);
+  exu.end_busy(40);
+  EXPECT_EQ(exu.idle_cycles(100), 10u + 5u + 60u);
+  EXPECT_EQ(exu.idle_cycles(40), 15u);
+}
+
+TEST(ExecutionUnit, IdleWhileBusyExcludesOpenSpan) {
+  ExecutionUnit exu;
+  exu.begin_busy(5);
+  EXPECT_TRUE(exu.busy());
+  EXPECT_EQ(exu.idle_cycles(50), 5u);  // only [0,5)
+}
+
+TEST(ExecutionUnit, DoubleBeginPanics) {
+  ExecutionUnit exu;
+  exu.begin_busy(0);
+  EXPECT_DEATH(exu.begin_busy(1), "while busy");
+}
+
+TEST(ExecutionUnit, EndWithoutBeginPanics) {
+  ExecutionUnit exu;
+  EXPECT_DEATH(exu.end_busy(1), "while idle");
+}
+
+}  // namespace
+}  // namespace emx::proc

@@ -1,0 +1,55 @@
+#include "proc/input_buffer_unit.hpp"
+
+#include <gtest/gtest.h>
+
+namespace emx::proc {
+namespace {
+
+net::Packet make_packet(Word data, net::PacketPriority prio) {
+  net::Packet p;
+  p.kind = net::PacketKind::kInvoke;
+  p.data = data;
+  p.priority = prio;
+  return p;
+}
+
+TEST(InputBufferUnit, FifoWithinOneLevel) {
+  InputBufferUnit ibu(8);
+  for (Word i = 0; i < 5; ++i)
+    ibu.push(make_packet(i, net::PacketPriority::kNormal));
+  for (Word i = 0; i < 5; ++i) EXPECT_EQ(ibu.pop().data, i);
+  EXPECT_TRUE(ibu.empty());
+}
+
+TEST(InputBufferUnit, HighPriorityDrainsFirst) {
+  InputBufferUnit ibu(8);
+  ibu.push(make_packet(1, net::PacketPriority::kNormal));
+  ibu.push(make_packet(100, net::PacketPriority::kHigh));
+  ibu.push(make_packet(2, net::PacketPriority::kNormal));
+  ibu.push(make_packet(101, net::PacketPriority::kHigh));
+  EXPECT_EQ(ibu.pop().data, 100u);
+  EXPECT_EQ(ibu.pop().data, 101u);
+  EXPECT_EQ(ibu.pop().data, 1u);
+  EXPECT_EQ(ibu.pop().data, 2u);
+}
+
+TEST(InputBufferUnit, SpillsToMemoryBufferBeyondEightPackets) {
+  InputBufferUnit ibu(8);
+  for (Word i = 0; i < 20; ++i)
+    ibu.push(make_packet(i, net::PacketPriority::kNormal));
+  EXPECT_EQ(ibu.size(), 20u);
+  EXPECT_GT(ibu.spilled_now(), 0u);
+  for (Word i = 0; i < 20; ++i) EXPECT_EQ(ibu.pop().data, i);
+}
+
+TEST(InputBufferUnit, CountsReceivedPackets) {
+  InputBufferUnit ibu(8);
+  for (Word i = 0; i < 3; ++i)
+    ibu.push(make_packet(i, net::PacketPriority::kNormal));
+  (void)ibu.pop();
+  EXPECT_EQ(ibu.total_received(), 3u);
+  EXPECT_EQ(ibu.size(), 2u);
+}
+
+}  // namespace
+}  // namespace emx::proc

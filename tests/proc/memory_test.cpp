@@ -1,0 +1,51 @@
+#include "proc/memory.hpp"
+
+#include <gtest/gtest.h>
+
+namespace emx::proc {
+namespace {
+
+TEST(Memory, ReadsBackWrites) {
+  Memory mem(1024);
+  mem.write(0, 0xDEADBEEF);
+  mem.write(1023, 42);
+  EXPECT_EQ(mem.read(0), 0xDEADBEEFu);
+  EXPECT_EQ(mem.read(1023), 42u);
+  EXPECT_EQ(mem.read(512), 0u);  // zero-initialised
+}
+
+TEST(Memory, FloatRoundTripsThroughBits) {
+  Memory mem(16);
+  mem.write_f32(3, -1.5f);
+  EXPECT_EQ(mem.read_f32(3), -1.5f);
+  mem.write_f32(4, 3.14159f);
+  EXPECT_EQ(mem.read_f32(4), 3.14159f);
+  // Bit pattern is the IEEE-754 encoding, inspectable as a word.
+  mem.write_f32(5, 1.0f);
+  EXPECT_EQ(mem.read(5), 0x3F800000u);
+}
+
+TEST(Memory, FillBlock) {
+  Memory mem(64);
+  const Word data[4] = {1, 2, 3, 4};
+  mem.fill(10, data, 4);
+  for (Word i = 0; i < 4; ++i) EXPECT_EQ(mem.read(10 + i), i + 1);
+}
+
+TEST(Memory, OutOfRangeAccessPanics) {
+  Memory mem(8);
+  EXPECT_DEATH((void)mem.read(8), "out of range");
+  EXPECT_DEATH(mem.write(100, 1), "out of range");
+  const Word data[2] = {1, 2};
+  EXPECT_DEATH(mem.fill(7, data, 2), "out of range");
+}
+
+TEST(Memory, ClearZeroes) {
+  Memory mem(16);
+  mem.write(5, 99);
+  mem.clear();
+  EXPECT_EQ(mem.read(5), 0u);
+}
+
+}  // namespace
+}  // namespace emx::proc

@@ -1,0 +1,118 @@
+// The packet-based sense-reversing iteration barrier, central and tree.
+#include <gtest/gtest.h>
+
+#include "core/machine.hpp"
+
+namespace emx::rt {
+namespace {
+
+// Every thread performs `rounds` barrier episodes; between episodes it
+// bumps a per-PE counter. The barrier is correct iff no thread ever
+// observes a counter ahead of its own round (no one escapes early).
+void run_barrier_workout(BarrierTopology topology, std::uint32_t P,
+                         std::uint32_t h, int rounds) {
+  MachineConfig cfg;
+  cfg.proc_count = P;
+  cfg.barrier = topology;
+  Machine m(cfg);
+  // One progress word per (pe, thread): counts completed rounds.
+  const auto entry = m.register_entry(
+      [rounds, h](ThreadApi api, Word t) -> ThreadBody {
+        for (int r = 0; r < rounds; ++r) {
+          co_await api.compute(5 + 13 * (t + 1));  // skewed work
+          api.local_write(kReservedWords + t, static_cast<Word>(r + 1));
+          co_await api.iteration_barrier();
+          // After the barrier, every local thread must have finished
+          // round r+1 (global barrier implies local agreement).
+          for (Word u = 0; u < h; ++u) {
+            const Word seen = api.local_read(kReservedWords + u);
+            EMX_CHECK(seen >= static_cast<Word>(r + 1),
+                      "barrier let a thread escape early");
+          }
+        }
+      });
+  m.configure_barrier(h);
+  for (ProcId p = 0; p < P; ++p)
+    for (std::uint32_t t = 0; t < h; ++t) m.spawn(p, entry, t);
+  m.run();
+  for (ProcId p = 0; p < P; ++p) {
+    for (std::uint32_t t = 0; t < h; ++t) {
+      EXPECT_EQ(m.memory(p).read(kReservedWords + t),
+                static_cast<Word>(rounds));
+    }
+  }
+  // Every join is at least one iteration-sync switch.
+  const auto report = m.report();
+  for (const auto& pr : report.procs) {
+    EXPECT_GE(pr.switches.iter_sync, static_cast<std::uint64_t>(rounds) * h);
+  }
+}
+
+struct Case {
+  BarrierTopology topo;
+  std::uint32_t procs;
+  std::uint32_t threads;
+};
+
+class BarrierWorkout : public testing::TestWithParam<Case> {};
+
+TEST_P(BarrierWorkout, NoEarlyEscapeAcrossRounds) {
+  run_barrier_workout(GetParam().topo, GetParam().procs, GetParam().threads, 6);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Topologies, BarrierWorkout,
+    testing::Values(Case{BarrierTopology::kCentral, 1, 1},
+                    Case{BarrierTopology::kCentral, 1, 4},
+                    Case{BarrierTopology::kCentral, 4, 1},
+                    Case{BarrierTopology::kCentral, 8, 3},
+                    Case{BarrierTopology::kCentral, 16, 2},
+                    Case{BarrierTopology::kTree, 1, 2},
+                    Case{BarrierTopology::kTree, 4, 2},
+                    Case{BarrierTopology::kTree, 8, 3},
+                    Case{BarrierTopology::kTree, 16, 4}),
+    [](const auto& info) {
+      return std::string(info.param.topo == BarrierTopology::kCentral
+                             ? "central"
+                             : "tree") +
+             "_P" + std::to_string(info.param.procs) + "_h" +
+             std::to_string(info.param.threads);
+    });
+
+TEST(Barrier, SenseReversalSurvivesManyEpisodes) {
+  run_barrier_workout(BarrierTopology::kCentral, 4, 2, 25);
+}
+
+TEST(Barrier, PollingCountsIterSyncSwitches) {
+  // With heavy skew, waiting threads must poll: iter-sync switches exceed
+  // the bare join count.
+  MachineConfig cfg;
+  cfg.proc_count = 4;
+  Machine m(cfg);
+  const auto entry = m.register_entry([](ThreadApi api, Word t) -> ThreadBody {
+    co_await api.compute(t == 0 ? 4000 : 10);  // thread 0 is very slow
+    co_await api.iteration_barrier();
+  });
+  m.configure_barrier(2);
+  for (ProcId p = 0; p < 4; ++p)
+    for (Word t = 0; t < 2; ++t) m.spawn(p, entry, t);
+  m.run();
+  const auto report = m.report();
+  std::uint64_t iter_sync = 0;
+  for (const auto& p : report.procs) iter_sync += p.switches.iter_sync;
+  EXPECT_GT(iter_sync, 4u * 2u) << "fast threads must have re-polled";
+}
+
+TEST(Barrier, UnconfiguredBarrierPanics) {
+  MachineConfig cfg;
+  cfg.proc_count = 2;
+  Machine m(cfg);
+  const auto entry = m.register_entry([](ThreadApi api, Word) -> ThreadBody {
+    co_await api.iteration_barrier();
+  });
+  m.spawn(0, entry, 0);
+  EXPECT_DEATH(m.run(), "barrier not configured");
+}
+
+}  // namespace
+}  // namespace emx::rt

@@ -1,0 +1,68 @@
+#include "runtime/frame.hpp"
+
+#include <gtest/gtest.h>
+
+namespace emx::rt {
+namespace {
+
+TEST(FramePool, AllocatesDistinctStableRecords) {
+  FramePool pool;
+  ThreadRecord& a = pool.alloc(kInvalidThread);
+  ThreadRecord& b = pool.alloc(a.id);
+  EXPECT_NE(a.id, b.id);
+  EXPECT_EQ(b.parent, a.id);
+  EXPECT_EQ(&pool.get(a.id), &a);
+  EXPECT_EQ(pool.live(), 2u);
+}
+
+TEST(FramePool, RecyclesFreedRecords) {
+  FramePool pool;
+  ThreadRecord& a = pool.alloc(kInvalidThread);
+  const ThreadId id = a.id;
+  pool.free(a);
+  EXPECT_EQ(pool.live(), 0u);
+  ThreadRecord& b = pool.alloc(kInvalidThread);
+  EXPECT_EQ(b.id, id);  // recycled slot
+  EXPECT_EQ(b.state, ThreadState::kRunning);
+  EXPECT_EQ(pool.created(), 2u);
+}
+
+TEST(FramePool, PeakTracksHighWaterMark) {
+  FramePool pool;
+  std::vector<ThreadId> ids;
+  for (int i = 0; i < 5; ++i) ids.push_back(pool.alloc(kInvalidThread).id);
+  for (ThreadId id : ids) pool.free(pool.get(id));
+  pool.alloc(kInvalidThread);
+  EXPECT_EQ(pool.peak_live(), 5u);
+  EXPECT_EQ(pool.live(), 1u);
+}
+
+TEST(FramePool, TreeOfFrames) {
+  // "Activation frames (threads) form a tree rather than a stack" (§2.3).
+  FramePool pool;
+  ThreadRecord& root = pool.alloc(kInvalidThread);
+  ThreadRecord& left = pool.alloc(root.id);
+  ThreadRecord& right = pool.alloc(root.id);
+  ThreadRecord& leaf = pool.alloc(left.id);
+  EXPECT_EQ(left.parent, root.id);
+  EXPECT_EQ(right.parent, root.id);
+  EXPECT_EQ(leaf.parent, left.id);
+}
+
+TEST(FramePool, DoubleFreePanics) {
+  FramePool pool;
+  ThreadRecord& a = pool.alloc(kInvalidThread);
+  pool.free(a);
+  EXPECT_DEATH(pool.free(a), "double free");
+}
+
+TEST(ThreadStateNames, AllDistinct) {
+  EXPECT_STREQ(to_string(ThreadState::kFree), "FREE");
+  EXPECT_STREQ(to_string(ThreadState::kRunning), "RUNNING");
+  EXPECT_STREQ(to_string(ThreadState::kSuspendedRead), "SUSP_READ");
+  EXPECT_STREQ(to_string(ThreadState::kSuspendedGate), "SUSP_GATE");
+  EXPECT_STREQ(to_string(ThreadState::kSuspendedBarrier), "SUSP_BARRIER");
+}
+
+}  // namespace
+}  // namespace emx::rt

@@ -1,0 +1,43 @@
+#include "runtime/global_addr.hpp"
+
+#include <gtest/gtest.h>
+
+namespace emx::rt {
+namespace {
+
+TEST(GlobalAddr, PackUnpackRoundTrip) {
+  for (ProcId p : {0u, 1u, 63u, 79u, 4095u}) {
+    for (LocalAddr a : {0u, 1u, 1000u, kLocalAddrMask}) {
+      const GlobalAddr ga{p, a};
+      EXPECT_EQ(unpack(pack(ga)), ga);
+    }
+  }
+}
+
+TEST(GlobalAddr, LayoutMatchesThePaper) {
+  // "A remote memory access packet uses a global address which consists
+  //  of the processor number and the local memory address" (§2.3).
+  const Word w = pack({3, 5});
+  EXPECT_EQ(w >> kLocalAddrBits, 3u);
+  EXPECT_EQ(w & kLocalAddrMask, 5u);
+}
+
+TEST(GlobalAddr, PointerArithmetic) {
+  GlobalAddr ga{2, 100};
+  EXPECT_EQ((ga + 5).addr, 105u);
+  EXPECT_EQ((ga + 5).proc, 2u);
+  ++ga;
+  EXPECT_EQ(ga.addr, 101u);
+}
+
+TEST(GlobalAddr, FourMegabytesAddressable) {
+  // 20 bits of word address = 1M words = 4MB, the EMC-Y memory size.
+  EXPECT_EQ(kLocalAddrMask + 1u, 1u << 20);
+}
+
+TEST(GlobalAddr, MakeGlobalValidates) {
+  EXPECT_DEATH(make_global(5000, 0), "proc id");
+}
+
+}  // namespace
+}  // namespace emx::rt

@@ -1,0 +1,58 @@
+#include "runtime/order_gate.hpp"
+
+#include <gtest/gtest.h>
+
+namespace emx::rt {
+namespace {
+
+TEST(OrderGate, AdmitsIndicesInSequence) {
+  OrderGate gate(4);
+  EXPECT_TRUE(gate.passable(0));
+  EXPECT_FALSE(gate.passable(1));
+  EXPECT_EQ(gate.advance(), kInvalidThread);  // no waiter registered
+  EXPECT_TRUE(gate.passable(1));
+  EXPECT_FALSE(gate.passable(3));
+}
+
+TEST(OrderGate, AdvanceWakesTheRegisteredWaiter) {
+  OrderGate gate(3);
+  gate.register_waiter(1, /*thread=*/42);
+  gate.register_waiter(2, /*thread=*/43);
+  EXPECT_EQ(gate.advance(), 42u);
+  EXPECT_EQ(gate.advance(), 43u);
+  EXPECT_EQ(gate.advance(), kInvalidThread);  // past the end
+}
+
+TEST(OrderGate, WaiterSlotsAreOneShot) {
+  OrderGate gate(2);
+  gate.register_waiter(1, 7);
+  EXPECT_EQ(gate.advance(), 7u);
+  gate.reset(2);
+  EXPECT_EQ(gate.current(), 0u);
+  EXPECT_EQ(gate.advance(), kInvalidThread);  // cleared by reset
+}
+
+TEST(OrderGate, ResetChangesWidth) {
+  OrderGate gate(2);
+  gate.reset(8);
+  EXPECT_EQ(gate.width(), 8u);
+  gate.register_waiter(7, 11);
+  for (int i = 0; i < 6; ++i) EXPECT_EQ(gate.advance(), kInvalidThread);
+  EXPECT_EQ(gate.advance(), 11u);
+}
+
+TEST(OrderGate, RegisteringPassableIndexPanics) {
+  OrderGate gate(4);
+  EXPECT_DEATH(gate.register_waiter(0, 1), "already-passable");
+  gate.advance();
+  EXPECT_DEATH(gate.register_waiter(1, 1), "already-passable");
+}
+
+TEST(OrderGate, DoubleRegistrationPanics) {
+  OrderGate gate(4);
+  gate.register_waiter(2, 5);
+  EXPECT_DEATH(gate.register_waiter(2, 6), "already taken");
+}
+
+}  // namespace
+}  // namespace emx::rt

@@ -1,0 +1,133 @@
+// Split-phase remote reads and fire-and-forget remote writes — the heart
+// of EM-X multithreading (§2.1, §2.3).
+#include <gtest/gtest.h>
+
+#include "core/machine.hpp"
+
+namespace emx::rt {
+namespace {
+
+TEST(RemoteRead, FetchesTheRemoteValue) {
+  MachineConfig cfg;
+  cfg.proc_count = 2;
+  Machine m(cfg);
+  m.memory(1).write(kReservedWords + 5, 0xCAFE);
+  const auto entry = m.register_entry([](ThreadApi api, Word) -> ThreadBody {
+    const Word v = co_await api.remote_read(GlobalAddr{1, kReservedWords + 5});
+    api.local_write(kReservedWords, v);
+  });
+  m.spawn(0, entry, 0);
+  m.run();
+  EXPECT_EQ(m.memory(0).read(kReservedWords), 0xCAFEu);
+}
+
+TEST(RemoteRead, RoundTripLatencyIsTwentyToFortyClocks) {
+  // §2.3: "A typical remote read takes approximately 1 us" = 20 clocks at
+  // 20 MHz; the paper quotes 20-40 clocks under normal load (§4).
+  for (std::uint32_t P : {16u, 64u}) {
+    MachineConfig cfg;
+    cfg.proc_count = P;
+    cfg.network = NetworkModel::kDetailed;
+    Machine m(cfg);
+    m.memory(P - 1).write(kReservedWords, 1);
+    const auto entry = m.register_entry([P](ThreadApi api, Word) -> ThreadBody {
+      (void)co_await api.remote_read(GlobalAddr{P - 1, kReservedWords});
+      co_return;
+    });
+    m.spawn(0, entry, 0);
+    m.run();
+    // Total run = dispatch + issue + RTT; the RTT dominates.
+    EXPECT_GE(m.end_cycle(), 20u) << "P=" << P;
+    EXPECT_LE(m.end_cycle(), 45u) << "P=" << P;
+  }
+}
+
+TEST(RemoteRead, SuspensionLetsOtherThreadsRun) {
+  // While thread A's read is outstanding, thread B computes: B's write
+  // lands before A's read returns.
+  MachineConfig cfg;
+  cfg.proc_count = 2;
+  Machine m(cfg);
+  const auto reader = m.register_entry([](ThreadApi api, Word) -> ThreadBody {
+    (void)co_await api.remote_read(GlobalAddr{1, kReservedWords});
+    // B must already have recorded its progress.
+    api.local_write(kReservedWords + 2, api.local_read(kReservedWords + 1));
+  });
+  const auto computer = m.register_entry([](ThreadApi api, Word) -> ThreadBody {
+    co_await api.compute(3);
+    api.local_write(kReservedWords + 1, 77);
+  });
+  m.spawn(0, reader, 0);
+  m.spawn(0, computer, 0);
+  m.run();
+  EXPECT_EQ(m.memory(0).read(kReservedWords + 2), 77u);
+}
+
+TEST(RemoteWrite, DoesNotSuspendTheWriter) {
+  MachineConfig cfg;
+  cfg.proc_count = 2;
+  Machine m(cfg);
+  const auto entry = m.register_entry([](ThreadApi api, Word) -> ThreadBody {
+    for (Word i = 0; i < 10; ++i) {
+      co_await api.remote_write(GlobalAddr{1, kReservedWords + i}, i * i);
+    }
+    co_await api.compute(1);
+  });
+  m.spawn(0, entry, 0);
+  m.run();
+  for (Word i = 0; i < 10; ++i) {
+    EXPECT_EQ(m.memory(1).read(kReservedWords + i), i * i);
+  }
+  // Writes never suspend: zero remote-read switches.
+  EXPECT_EQ(m.report().procs[0].switches.remote_read, 0u);
+}
+
+TEST(RemoteRead, EachReadCountsOneSwitch) {
+  MachineConfig cfg;
+  cfg.proc_count = 2;
+  Machine m(cfg);
+  m.memory(1).write(kReservedWords, 5);
+  const auto entry = m.register_entry([](ThreadApi api, Word) -> ThreadBody {
+    for (int i = 0; i < 25; ++i) {
+      (void)co_await api.remote_read(GlobalAddr{1, kReservedWords});
+    }
+  });
+  m.spawn(0, entry, 0);
+  m.run();
+  EXPECT_EQ(m.report().procs[0].switches.remote_read, 25u);
+  EXPECT_EQ(m.report().procs[0].reads_issued, 25u);
+}
+
+TEST(RemoteRead, SelfReadWorksThroughLoopback) {
+  MachineConfig cfg;
+  cfg.proc_count = 2;
+  Machine m(cfg);
+  m.memory(0).write(kReservedWords + 9, 123);
+  const auto entry = m.register_entry([](ThreadApi api, Word) -> ThreadBody {
+    const Word v = co_await api.remote_read(GlobalAddr{0, kReservedWords + 9});
+    api.local_write(kReservedWords, v);
+  });
+  m.spawn(0, entry, 0);
+  m.run();
+  EXPECT_EQ(m.memory(0).read(kReservedWords), 123u);
+}
+
+TEST(RemoteOps, ReadsChargeOverheadAndSwitchBuckets) {
+  MachineConfig cfg;
+  cfg.proc_count = 2;
+  Machine m(cfg);
+  const auto entry = m.register_entry([](ThreadApi api, Word) -> ThreadBody {
+    (void)co_await api.remote_read(GlobalAddr{1, kReservedWords});
+  });
+  m.spawn(0, entry, 0);
+  m.run();
+  const MachineReport report = m.report();
+  const ProcReport& p0 = report.procs[0];
+  EXPECT_EQ(p0.overhead, cfg.packet_gen_cycles);
+  // Switch bucket: issue-side save + two MU dispatches (invoke + resume).
+  EXPECT_EQ(p0.switching,
+            cfg.switch_save_cycles + 2 * cfg.mu_dispatch_cycles);
+}
+
+}  // namespace
+}  // namespace emx::rt

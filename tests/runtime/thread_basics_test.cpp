@@ -1,0 +1,129 @@
+// Thread invocation, FIFO scheduling, compute charging and completion —
+// the core EM-X execution model on a tiny machine.
+#include <gtest/gtest.h>
+
+#include "core/machine.hpp"
+
+namespace emx::rt {
+namespace {
+
+TEST(ThreadBasics, InvokedThreadRunsAndCharges) {
+  MachineConfig cfg;
+  cfg.proc_count = 1;
+  Machine m(cfg);
+  const auto entry = m.register_entry([](ThreadApi api, Word) -> ThreadBody {
+    co_await api.compute(100);
+    api.local_write(kReservedWords, 1);
+  });
+  m.spawn(0, entry, 0);
+  m.run();
+  EXPECT_EQ(m.memory(0).read(kReservedWords), 1u);
+  const auto report = m.report();
+  EXPECT_EQ(report.procs[0].compute, 100u);
+  EXPECT_GT(report.procs[0].switching, 0u);  // MU dispatch
+}
+
+TEST(ThreadBasics, FifoSchedulingRunsThreadsInArrivalOrder) {
+  MachineConfig cfg;
+  cfg.proc_count = 1;
+  Machine m(cfg);
+  const auto entry = m.register_entry([](ThreadApi api, Word arg) -> ThreadBody {
+    // Record arrival order in memory.
+    const Word slot = api.local_read(kReservedWords);
+    api.local_write(kReservedWords, slot + 1);
+    api.local_write(kReservedWords + 1 + slot, arg);
+    co_await api.compute(10);
+  });
+  for (Word i = 0; i < 5; ++i) m.spawn(0, entry, 100 + i);
+  m.run();
+  for (Word i = 0; i < 5; ++i) {
+    EXPECT_EQ(m.memory(0).read(kReservedWords + 1 + i), 100 + i);
+  }
+}
+
+TEST(ThreadBasics, ThreadsRunToCompletionWithoutPreemption) {
+  // A long-running thread is never preempted by a later invocation.
+  MachineConfig cfg;
+  cfg.proc_count = 1;
+  Machine m(cfg);
+  const auto long_entry = m.register_entry([](ThreadApi api, Word) -> ThreadBody {
+    co_await api.compute(1000);
+    api.local_write(kReservedWords, 7);  // finishes first
+  });
+  const auto short_entry = m.register_entry([](ThreadApi api, Word) -> ThreadBody {
+    co_await api.compute(1);
+    // Must observe the long thread's write: FIFO + run-to-completion.
+    api.local_write(kReservedWords + 1, api.local_read(kReservedWords));
+  });
+  m.spawn(0, long_entry, 0);
+  m.spawn(0, short_entry, 0);
+  m.run();
+  EXPECT_EQ(m.memory(0).read(kReservedWords + 1), 7u);
+}
+
+TEST(ThreadBasics, SpawnCreatesThreadOnTargetProcessor) {
+  MachineConfig cfg;
+  cfg.proc_count = 4;
+  Machine m(cfg);
+  std::uint32_t child_entry = 0;
+  child_entry = m.register_entry([](ThreadApi api, Word arg) -> ThreadBody {
+    co_await api.compute(1);
+    api.local_write(kReservedWords, arg);
+  });
+  const auto parent = m.register_entry(
+      [child_entry](ThreadApi api, Word) -> ThreadBody {
+        // Spawn children on every other PE; keep computing afterwards
+        // ("the thread which just issued the packet continues").
+        for (ProcId p = 1; p < 4; ++p) {
+          co_await api.spawn(p, child_entry, 1000 + p);
+        }
+        co_await api.compute(5);
+      });
+  m.spawn(0, parent, 0);
+  m.run();
+  for (ProcId p = 1; p < 4; ++p) {
+    EXPECT_EQ(m.memory(p).read(kReservedWords), 1000 + p);
+  }
+}
+
+TEST(ThreadBasics, NestedSpawnsFormATree) {
+  // Recursive spawning: each thread spawns two children until depth 0;
+  // 2^4 leaves each bump a counter word on their PE.
+  MachineConfig cfg;
+  cfg.proc_count = 2;
+  Machine m(cfg);
+  std::uint32_t entry = 0;
+  entry = m.register_entry([&entry](ThreadApi api, Word depth) -> ThreadBody {
+    if (depth == 0) {
+      const Word c = api.local_read(kReservedWords);
+      api.local_write(kReservedWords, c + 1);
+      co_return;
+    }
+    co_await api.compute(2);
+    const ProcId other = 1 - api.proc();
+    co_await api.spawn(api.proc(), entry, depth - 1);
+    co_await api.spawn(other, entry, depth - 1);
+  });
+  m.spawn(0, entry, 4);
+  m.run();
+  const Word total =
+      m.memory(0).read(kReservedWords) + m.memory(1).read(kReservedWords);
+  EXPECT_EQ(total, 16u);
+}
+
+TEST(ThreadBasics, IdleProcessorAccumulatesCommTime) {
+  MachineConfig cfg;
+  cfg.proc_count = 2;
+  Machine m(cfg);
+  const auto entry = m.register_entry([](ThreadApi api, Word) -> ThreadBody {
+    co_await api.compute(500);
+  });
+  m.spawn(0, entry, 0);  // PE 1 never works
+  m.run();
+  const auto report = m.report();
+  EXPECT_EQ(report.procs[1].compute, 0u);
+  EXPECT_EQ(report.procs[1].comm, report.total_cycles);
+}
+
+}  // namespace
+}  // namespace emx::rt

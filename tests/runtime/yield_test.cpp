@@ -1,0 +1,85 @@
+// Explicit thread switching (paper §2.3): "Threads can also be suspended
+// with explicit thread scheduling."
+#include <gtest/gtest.h>
+
+#include "core/machine.hpp"
+
+namespace emx::rt {
+namespace {
+
+TEST(Yield, RequeuesBehindOtherReadyThreads) {
+  // Thread A yields between its two writes; thread B (already queued)
+  // must run in the gap — FIFO order is observable through memory.
+  MachineConfig cfg;
+  cfg.proc_count = 1;
+  Machine m(cfg);
+  const auto log_push = [](ThreadApi& api, Word value) {
+    const Word count = api.local_read(kReservedWords);
+    api.local_write(kReservedWords, count + 1);
+    api.local_write(kReservedWords + 1 + count, value);
+  };
+  const auto a = m.register_entry([log_push](ThreadApi api, Word) -> ThreadBody {
+    log_push(api, 1);
+    co_await api.yield();
+    log_push(api, 3);
+  });
+  const auto b = m.register_entry([log_push](ThreadApi api, Word) -> ThreadBody {
+    log_push(api, 2);
+    co_await api.compute(1);
+  });
+  m.spawn(0, a, 0);
+  m.spawn(0, b, 0);
+  m.run();
+  EXPECT_EQ(m.memory(0).read(kReservedWords), 3u);
+  EXPECT_EQ(m.memory(0).read(kReservedWords + 1), 1u);
+  EXPECT_EQ(m.memory(0).read(kReservedWords + 2), 2u);
+  EXPECT_EQ(m.memory(0).read(kReservedWords + 3), 3u);
+}
+
+TEST(Yield, CountsAsExplicitYieldNotAsPaperSwitchType) {
+  MachineConfig cfg;
+  cfg.proc_count = 1;
+  Machine m(cfg);
+  const auto entry = m.register_entry([](ThreadApi api, Word) -> ThreadBody {
+    for (int i = 0; i < 5; ++i) co_await api.yield();
+  });
+  m.spawn(0, entry, 0);
+  m.run();
+  EXPECT_EQ(m.engine(0).explicit_yields(), 5u);
+  const auto& sw = m.engine(0).switches();
+  EXPECT_EQ(sw.remote_read, 0u);
+  EXPECT_EQ(sw.thread_sync, 0u);
+  EXPECT_EQ(sw.iter_sync, 0u);
+}
+
+TEST(Yield, YieldingThreadAloneMakesProgress) {
+  MachineConfig cfg;
+  cfg.proc_count = 1;
+  Machine m(cfg);
+  const auto entry = m.register_entry([](ThreadApi api, Word) -> ThreadBody {
+    for (int i = 0; i < 100; ++i) co_await api.yield();
+    api.local_write(kReservedWords, 1);
+  });
+  m.spawn(0, entry, 0);
+  m.run();  // must terminate
+  EXPECT_EQ(m.memory(0).read(kReservedWords), 1u);
+}
+
+TEST(Yield, ChargesSwitchAndOverheadCycles) {
+  MachineConfig cfg;
+  cfg.proc_count = 1;
+  Machine m(cfg);
+  const auto entry = m.register_entry([](ThreadApi api, Word) -> ThreadBody {
+    co_await api.yield();
+  });
+  m.spawn(0, entry, 0);
+  m.run();
+  const auto report = m.report();
+  // register save + two MU dispatches (invoke + wake), one packet gen.
+  EXPECT_EQ(report.procs[0].switching,
+            cfg.switch_save_cycles + 2 * cfg.mu_dispatch_cycles);
+  EXPECT_EQ(report.procs[0].overhead, cfg.packet_gen_cycles);
+}
+
+}  // namespace
+}  // namespace emx::rt

@@ -1,0 +1,85 @@
+#include "sim/event_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace emx::sim {
+namespace {
+
+void record_handler(void* ctx, std::uint64_t a, std::uint64_t) {
+  static_cast<std::vector<std::uint64_t>*>(ctx)->push_back(a);
+}
+
+TEST(EventQueue, PopsInTimeOrder) {
+  EventQueue q;
+  std::vector<std::uint64_t> order;
+  q.push(30, record_handler, &order, 3, 0);
+  q.push(10, record_handler, &order, 1, 0);
+  q.push(20, record_handler, &order, 2, 0);
+  while (!q.empty()) {
+    const Event e = q.pop();
+    e.fn(e.ctx, e.a, e.b);
+  }
+  EXPECT_EQ(order, (std::vector<std::uint64_t>{1, 2, 3}));
+}
+
+TEST(EventQueue, TiesBreakByInsertionOrder) {
+  EventQueue q;
+  std::vector<std::uint64_t> order;
+  for (std::uint64_t i = 0; i < 50; ++i) q.push(7, record_handler, &order, i, 0);
+  while (!q.empty()) {
+    const Event e = q.pop();
+    e.fn(e.ctx, e.a, e.b);
+  }
+  for (std::uint64_t i = 0; i < 50; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(EventQueue, RandomizedHeapProperty) {
+  EventQueue q;
+  Rng rng(123);
+  std::vector<std::uint64_t> dummy;
+  for (int i = 0; i < 5000; ++i)
+    q.push(rng.bounded(1000), record_handler, &dummy, 0, 0);
+  Cycle last_time = 0;
+  std::uint64_t last_seq = 0;
+  bool first = true;
+  while (!q.empty()) {
+    const Event e = q.pop();
+    if (!first) {
+      ASSERT_TRUE(e.time > last_time ||
+                  (e.time == last_time && e.seq > last_seq));
+    }
+    last_time = e.time;
+    last_seq = e.seq;
+    first = false;
+  }
+}
+
+TEST(EventQueue, InterleavedPushPop) {
+  EventQueue q;
+  Rng rng(5);
+  std::vector<std::uint64_t> dummy;
+  Cycle watermark = 0;
+  for (int round = 0; round < 1000; ++round) {
+    q.push(watermark + rng.bounded(50), record_handler, &dummy, 0, 0);
+    q.push(watermark + rng.bounded(50), record_handler, &dummy, 0, 0);
+    const Event e = q.pop();
+    ASSERT_GE(e.time, watermark);  // monotone despite interleaving
+    watermark = e.time;
+  }
+}
+
+TEST(EventQueue, ClearResets) {
+  EventQueue q;
+  std::vector<std::uint64_t> dummy;
+  q.push(1, record_handler, &dummy, 0, 0);
+  q.clear();
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.total_pushed(), 0u);
+}
+
+}  // namespace
+}  // namespace emx::sim

@@ -1,0 +1,76 @@
+#include "sim/sim_context.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace emx::sim {
+namespace {
+
+struct Recorder {
+  SimContext* sim = nullptr;
+  std::vector<Cycle> times;
+};
+
+void note_time(void* ctx, std::uint64_t, std::uint64_t) {
+  auto* r = static_cast<Recorder*>(ctx);
+  r->times.push_back(r->sim->now());
+}
+
+void chain(void* ctx, std::uint64_t depth, std::uint64_t) {
+  auto* r = static_cast<Recorder*>(ctx);
+  r->times.push_back(r->sim->now());
+  if (depth > 0) r->sim->schedule(5, chain, r, depth - 1, 0);
+}
+
+TEST(SimContext, ClockAdvancesToEventTimes) {
+  SimContext sim;
+  Recorder r{&sim, {}};
+  sim.schedule(10, note_time, &r);
+  sim.schedule(25, note_time, &r);
+  sim.run_until_idle();
+  EXPECT_EQ(r.times, (std::vector<Cycle>{10, 25}));
+  EXPECT_EQ(sim.now(), 25u);
+  EXPECT_EQ(sim.events_processed(), 2u);
+}
+
+TEST(SimContext, EventsCanScheduleMoreEvents) {
+  SimContext sim;
+  Recorder r{&sim, {}};
+  sim.schedule(0, chain, &r, 4, 0);
+  sim.run_until_idle();
+  EXPECT_EQ(r.times, (std::vector<Cycle>{0, 5, 10, 15, 20}));
+}
+
+TEST(SimContext, RunUntilStopsAtDeadline) {
+  SimContext sim;
+  Recorder r{&sim, {}};
+  sim.schedule(10, note_time, &r);
+  sim.schedule(100, note_time, &r);
+  sim.run_until(50);
+  EXPECT_EQ(r.times.size(), 1u);
+  EXPECT_FALSE(sim.idle());
+  sim.run_until_idle();
+  EXPECT_EQ(r.times.size(), 2u);
+}
+
+TEST(SimContext, EventBudgetPanicsOnLivelock) {
+  SimContext sim;
+  Recorder r{&sim, {}};
+  sim.schedule(0, chain, &r, 1000000, 0);
+  EXPECT_DEATH(sim.run_until_idle(100), "event budget");
+}
+
+TEST(SimContext, ResetRestoresInitialState) {
+  SimContext sim;
+  Recorder r{&sim, {}};
+  sim.schedule(10, note_time, &r);
+  sim.run_until_idle();
+  sim.reset();
+  EXPECT_EQ(sim.now(), 0u);
+  EXPECT_TRUE(sim.idle());
+  EXPECT_EQ(sim.events_processed(), 0u);
+}
+
+}  // namespace
+}  // namespace emx::sim

@@ -1,0 +1,87 @@
+#include "trace/analysis.hpp"
+
+#include <gtest/gtest.h>
+
+#include "apps/bitonic.hpp"
+#include "core/machine.hpp"
+
+namespace emx::trace {
+namespace {
+
+TEST(ReadLatency, PairsIssueWithReturn) {
+  std::vector<TraceEvent> events = {
+      {100, 0, 1, EventType::kReadIssue, 0},
+      {130, 0, 1, EventType::kReadReturn, 0},
+      {200, 0, 2, EventType::kReadIssue, 0},
+      {260, 0, 2, EventType::kReadReturn, 0},
+  };
+  const auto a = analyze_read_latency(events);
+  EXPECT_EQ(a.latency.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.latency.mean(), 45.0);
+  EXPECT_DOUBLE_EQ(a.latency.min(), 30.0);
+  EXPECT_DOUBLE_EQ(a.latency.max(), 60.0);
+}
+
+TEST(ReadLatency, PairedReadsAnchorOnFirstIssue) {
+  // Two issues (a remote_read_pair), one resuming return.
+  std::vector<TraceEvent> events = {
+      {10, 0, 1, EventType::kReadIssue, 0},
+      {12, 0, 1, EventType::kReadIssue, 0},
+      {50, 0, 1, EventType::kReadReturn, 0},  // match-store of token 1
+      {55, 0, 1, EventType::kReadReturn, 0},  // resumes the thread
+  };
+  const auto a = analyze_read_latency(events);
+  ASSERT_EQ(a.latency.count(), 1u);
+  EXPECT_DOUBLE_EQ(a.latency.mean(), 40.0);  // 50 - 10
+}
+
+TEST(ThreadProfiles, CountLifecycleEvents) {
+  std::vector<TraceEvent> events = {
+      {0, 2, 7, EventType::kThreadInvoke, 0},
+      {5, 2, 7, EventType::kReadIssue, 0},
+      {6, 2, 7, EventType::kSuspendRead, 0},
+      {40, 2, 7, EventType::kReadReturn, 0},
+      {50, 2, 7, EventType::kSuspendBarrier, 0},
+      {80, 2, 7, EventType::kBarrierPoll, 0},
+      {120, 2, 7, EventType::kBarrierPass, 0},
+      {125, 2, 7, EventType::kThreadEnd, 0},
+  };
+  const auto profiles = profile_threads(events);
+  ASSERT_EQ(profiles.size(), 1u);
+  const ThreadProfile& p = profiles[0];
+  EXPECT_EQ(p.proc, 2u);
+  EXPECT_EQ(p.thread, 7u);
+  EXPECT_EQ(p.reads, 1u);
+  EXPECT_EQ(p.suspensions, 2u);
+  EXPECT_EQ(p.barrier_polls, 1u);
+  EXPECT_TRUE(p.completed);
+  EXPECT_EQ(p.lifetime(), 125u);
+}
+
+TEST(ThreadProfiles, RealRunAllThreadsComplete) {
+  MachineConfig cfg;
+  cfg.proc_count = 4;
+  VectorTraceSink sink;
+  Machine m(cfg, &sink);
+  apps::BitonicSortApp app(m, apps::BitonicParams{.n = 4 * 32, .threads = 2});
+  app.setup();
+  m.run();
+
+  const auto profiles = profile_threads(sink.events());
+  const auto stats = summarize_concurrency(profiles);
+  EXPECT_EQ(stats.completed, stats.threads);
+  // 8 workers plus barrier coordinator invocations on PE 0.
+  EXPECT_GE(stats.threads, 8u);
+  EXPECT_GT(stats.lifetime_cycles.mean(), 0.0);
+
+  const auto latency = analyze_read_latency(sink.events());
+  // Every read returned; latency within physical bounds.
+  std::uint64_t reads = 0;
+  for (const auto& pr : m.report().procs) reads += pr.switches.remote_read;
+  EXPECT_EQ(latency.latency.count(), reads);
+  EXPECT_GE(latency.latency.min(), 10.0);
+  EXPECT_LT(latency.latency.max(), 2000.0);
+}
+
+}  // namespace
+}  // namespace emx::trace

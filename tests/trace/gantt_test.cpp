@@ -1,0 +1,85 @@
+#include "trace/gantt.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/machine.hpp"
+
+namespace emx::trace {
+namespace {
+
+TEST(Gantt, EmptyTraceRenders) {
+  EXPECT_EQ(render_gantt({}), "(no trace events)\n");
+}
+
+TEST(Gantt, LanesAppearPerProcThread) {
+  std::vector<TraceEvent> events;
+  events.push_back({0, 0, 0, EventType::kThreadInvoke, 0});
+  events.push_back({10, 0, 0, EventType::kSuspendRead, 0});
+  events.push_back({30, 0, 0, EventType::kReadReturn, 0});
+  events.push_back({40, 0, 0, EventType::kThreadEnd, 0});
+  events.push_back({5, 1, 2, EventType::kThreadInvoke, 0});
+  events.push_back({25, 1, 2, EventType::kThreadEnd, 0});
+  const std::string art = render_gantt(events, {.width = 40});
+  EXPECT_NE(art.find("P0   T0"), std::string::npos);
+  EXPECT_NE(art.find("P1   T2"), std::string::npos);
+  EXPECT_NE(art.find('#'), std::string::npos);   // running span
+  EXPECT_NE(art.find('.'), std::string::npos);   // suspended-on-read span
+  EXPECT_NE(art.find("legend"), std::string::npos);
+}
+
+TEST(Gantt, WindowClipsEvents) {
+  std::vector<TraceEvent> events;
+  events.push_back({0, 0, 0, EventType::kThreadInvoke, 0});
+  events.push_back({1000, 0, 0, EventType::kThreadEnd, 0});
+  const std::string art = render_gantt(
+      events, {.width = 10, .start = 2000, .end = 3000, .show_legend = false});
+  // Nothing alive in the window: the lane stays blank.
+  EXPECT_EQ(art.find('#'), std::string::npos);
+}
+
+TEST(Gantt, EventLogListsEvents) {
+  std::vector<TraceEvent> events;
+  events.push_back({12, 3, 7, EventType::kReadIssue, 0x42});
+  const std::string log = render_event_log(events);
+  EXPECT_NE(log.find("READ_ISSUE"), std::string::npos);
+  EXPECT_NE(log.find("P3"), std::string::npos);
+  EXPECT_NE(log.find("0x42"), std::string::npos);
+}
+
+TEST(Gantt, EventLogTruncates) {
+  std::vector<TraceEvent> events(50, TraceEvent{1, 0, 0, EventType::kBarrierPoll, 0});
+  const std::string log = render_event_log(events, 10);
+  EXPECT_NE(log.find("truncated"), std::string::npos);
+}
+
+TEST(Gantt, RealMachineTraceRendersEveryThread) {
+  MachineConfig cfg;
+  cfg.proc_count = 2;
+  VectorTraceSink sink;
+  Machine m(cfg, &sink);
+  const auto entry = m.register_entry([](rt::ThreadApi api, Word) -> rt::ThreadBody {
+    co_await api.compute(20);
+    (void)co_await api.remote_read(
+        rt::GlobalAddr{static_cast<ProcId>(1 - api.proc()), rt::kReservedWords});
+  });
+  m.spawn(0, entry, 0);
+  m.spawn(1, entry, 0);
+  m.run();
+  const std::string art = render_gantt(sink.events());
+  EXPECT_NE(art.find("P0"), std::string::npos);
+  EXPECT_NE(art.find("P1"), std::string::npos);
+}
+
+TEST(TraceSink, FiltersByTypeAndProc) {
+  VectorTraceSink sink;
+  sink.on_event({1, 0, 0, EventType::kReadIssue, 0});
+  sink.on_event({2, 1, 0, EventType::kReadIssue, 0});
+  sink.on_event({3, 0, 0, EventType::kThreadEnd, 0});
+  EXPECT_EQ(sink.filtered(EventType::kReadIssue).size(), 2u);
+  EXPECT_EQ(sink.for_proc(0).size(), 2u);
+  sink.clear();
+  EXPECT_TRUE(sink.events().empty());
+}
+
+}  // namespace
+}  // namespace emx::trace

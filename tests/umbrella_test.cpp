@@ -1,0 +1,27 @@
+// The umbrella header alone must be enough to use the whole public API.
+#include "emx.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+TEST(Umbrella, EndToEndThroughThePublicHeader) {
+  emx::MachineConfig cfg = emx::MachineConfig::paper_machine(4);
+  emx::Machine machine(cfg);
+  emx::apps::BitonicSortApp app(
+      machine, emx::apps::BitonicParams{.n = 4 * 32, .threads = 2});
+  app.setup();
+  machine.run();
+  EXPECT_TRUE(app.verify());
+
+  const emx::MachineReport report = machine.report();
+  EXPECT_GT(report.total_cycles, 0u);
+
+  emx::model::MultithreadingModel model{};
+  EXPECT_GT(model.saturation_threads(), 1.0);
+
+  const emx::isa::Program prog = emx::isa::assemble("li r1, 1\nhalt");
+  EXPECT_EQ(prog.code.size(), 2u);
+}
+
+}  // namespace

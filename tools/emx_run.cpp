@@ -1,0 +1,141 @@
+// emx_run — the one-stop command-line driver for the EM-X simulator.
+//
+//   $ emx_run --app=sort --procs=16 --size-per-proc=1024 --threads=4
+//   $ emx_run --app=fft --procs=64 --threads=2 --network=detailed
+//   $ emx_run --app=fft-cyclic --report=csv
+//   $ emx_run --app=jacobi --iterations=16 --barrier=tree
+//
+// Exposes every MachineConfig knob, runs the chosen application, verifies
+// the result, and prints the full measurement report (text or CSV).
+#include <cstdio>
+
+#include "emx.hpp"
+#include "apps/jacobi.hpp"
+#include "common/cli.hpp"
+#include "common/table.hpp"
+
+using namespace emx;
+
+namespace {
+
+void print_report(const MachineReport& report, bool csv) {
+  if (!csv) {
+    std::printf("%s\n", report.summary_text().c_str());
+    const auto s = report.shares();
+    std::printf(
+        "breakdown: compute %.2f%%  overhead %.2f%%  comm %.2f%%  switch %.2f%%\n",
+        s.compute, s.overhead, s.comm, s.switching);
+  }
+  Table table({"pe", "compute", "overhead", "switching", "read_service",
+               "comm", "reads", "rr_switch", "ts_switch", "is_switch"});
+  for (std::size_t p = 0; p < report.procs.size(); ++p) {
+    const auto& pr = report.procs[p];
+    table.add_row({std::to_string(p), Table::cell(pr.compute),
+                   Table::cell(pr.overhead), Table::cell(pr.switching),
+                   Table::cell(pr.read_service), Table::cell(pr.comm),
+                   Table::cell(pr.reads_issued),
+                   Table::cell(pr.switches.remote_read),
+                   Table::cell(pr.switches.thread_sync),
+                   Table::cell(pr.switches.iter_sync)});
+  }
+  std::fputs(csv ? table.to_csv().c_str() : table.to_text().c_str(), stdout);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliFlags flags;
+  flags.define("app", "sort", "workload: sort | fft | fft-cyclic | jacobi")
+      .define("procs", "16", "processor count (power of two except jacobi)")
+      .define("size-per-proc", "1024", "elements/points/cells per PE")
+      .define("threads", "4", "fine-grain threads per PE")
+      .define("iterations", "8", "jacobi only: sweeps")
+      .define("network", "fast", "fast | detailed")
+      .define("read-service", "bypass", "bypass | em4")
+      .define("barrier", "central", "central | tree")
+      .define("priority-replies", "false", "replies via the high FIFO")
+      .define("block-reads", "false", "sort only: block-read variant")
+      .define("local-phase", "true", "fft only: include the local iterations")
+      .define("seed", "1", "workload seed")
+      .define("switch-save", "4", "register-save cycles per suspension")
+      .define("dma-service", "16", "by-pass DMA service latency, cycles")
+      .define("dma-interval", "32", "by-pass DMA occupancy per request")
+      .define("poll-interval", "24", "barrier re-check period, cycles")
+      .define("report", "text", "text | csv")
+      .define("verify", "true", "check the application result");
+  flags.parse(argc, argv);
+
+  MachineConfig cfg;
+  cfg.proc_count = static_cast<std::uint32_t>(flags.integer("procs"));
+  cfg.network = flags.str("network") == "detailed" ? NetworkModel::kDetailed
+                                                   : NetworkModel::kFast;
+  cfg.read_service = flags.str("read-service") == "em4"
+                         ? ReadServiceMode::kExuThread
+                         : ReadServiceMode::kBypassDma;
+  cfg.barrier = flags.str("barrier") == "tree" ? BarrierTopology::kTree
+                                               : BarrierTopology::kCentral;
+  cfg.priority_replies = flags.boolean("priority-replies");
+  cfg.switch_save_cycles = static_cast<Cycle>(flags.integer("switch-save"));
+  cfg.dma_service_cycles = static_cast<Cycle>(flags.integer("dma-service"));
+  cfg.dma_interval_cycles = static_cast<Cycle>(flags.integer("dma-interval"));
+  cfg.barrier_poll_interval = static_cast<Cycle>(flags.integer("poll-interval"));
+
+  const std::uint64_t n =
+      cfg.proc_count * static_cast<std::uint64_t>(flags.integer("size-per-proc"));
+  const auto h = static_cast<std::uint32_t>(flags.integer("threads"));
+  const auto seed = static_cast<std::uint64_t>(flags.integer("seed"));
+  const bool csv = flags.str("report") == "csv";
+  const bool verify = flags.boolean("verify");
+  const std::string app_name = flags.str("app");
+
+  Machine machine(cfg);
+  bool ok = true;
+  if (app_name == "sort") {
+    apps::BitonicSortApp app(
+        machine, apps::BitonicParams{.n = n,
+                                     .threads = h,
+                                     .seed = seed,
+                                     .use_block_reads = flags.boolean("block-reads")});
+    app.setup();
+    machine.run();
+    if (verify) ok = app.verify();
+  } else if (app_name == "fft") {
+    apps::FftApp app(machine,
+                     apps::FftParams{.n = n,
+                                     .threads = h,
+                                     .seed = seed,
+                                     .include_local_phase = flags.boolean("local-phase")});
+    app.setup();
+    machine.run();
+    if (verify && flags.boolean("local-phase")) ok = app.verify_error() < 1e-5;
+  } else if (app_name == "fft-cyclic") {
+    apps::CyclicFftApp app(machine,
+                           apps::CyclicFftParams{.n = n, .threads = h, .seed = seed});
+    app.setup();
+    machine.run();
+    if (verify) ok = app.verify_error() < 1e-5;
+  } else if (app_name == "jacobi") {
+    apps::JacobiApp app(
+        machine,
+        apps::JacobiParams{.n = n,
+                           .threads = h,
+                           .iterations = static_cast<std::uint32_t>(
+                               flags.integer("iterations")),
+                           .seed = seed});
+    app.setup();
+    machine.run();
+    if (verify) ok = app.verify_error() < 1e-6;
+  } else {
+    std::fprintf(stderr, "unknown --app: %s\n%s", app_name.c_str(),
+                 flags.help_text(argv[0]).c_str());
+    return 2;
+  }
+
+  if (!csv) {
+    std::printf("%s\napp=%s n=%s h=%u — %s\n", cfg.summary().c_str(),
+                app_name.c_str(), size_label(n).c_str(), h,
+                verify ? (ok ? "VERIFIED" : "WRONG RESULT") : "not verified");
+  }
+  print_report(machine.report(), csv);
+  return ok ? 0 : 1;
+}

@@ -15,6 +15,7 @@ void MachineConfig::validate() const {
   EMX_CHECK(ibu_fifo_depth > 0 && obu_fifo_depth > 0, "FIFO depth must be positive");
   EMX_CHECK(packet_gen_cycles >= 1, "packet generation takes at least a cycle");
   EMX_CHECK(barrier_poll_interval >= 1, "poll interval must be positive");
+  fault.validate();
 }
 
 MachineConfig MachineConfig::paper_machine(std::uint32_t procs) {
@@ -45,7 +46,19 @@ std::string MachineConfig::summary() const {
       static_cast<unsigned long long>(switch_save_cycles),
       static_cast<unsigned long long>(mu_dispatch_cycles),
       static_cast<unsigned long long>(dma_service_cycles));
-  return buf;
+  std::string out = buf;
+  if (fault.enabled()) {
+    char fb[256];
+    std::snprintf(fb, sizeof fb,
+                  ", faults(seed=%llu drop=%g dup=%g corrupt=%g jitter<=%llu "
+                  "timeout=%llu)",
+                  static_cast<unsigned long long>(fault.seed), fault.drop_rate,
+                  fault.duplicate_rate, fault.corrupt_rate,
+                  static_cast<unsigned long long>(fault.jitter_max_cycles),
+                  static_cast<unsigned long long>(fault.timeout_cycles));
+    out += fb;
+  }
+  return out;
 }
 
 }  // namespace emx

@@ -7,6 +7,7 @@
 #include <string>
 
 #include "common/types.hpp"
+#include "fault/fault_config.hpp"
 
 namespace emx {
 
@@ -68,6 +69,13 @@ struct MachineConfig {
   Cycle barrier_poll_interval = 24;  ///< re-check period while flag unset
   Cycle barrier_check_cycles = 2;    ///< flag test instructions per poll
   bool priority_replies = false;     ///< read replies use the high FIFO
+
+  // --- fault injection & reliability (off unless any rate/window set) ---
+  /// When `fault.enabled()`, the chosen network is wrapped in a
+  /// fault::FaultyNetwork decorator and every PE runs the retransmit
+  /// protocol; otherwise the subsystem is not even constructed and the
+  /// simulated machine is cycle-identical to a build without it.
+  fault::FaultConfig fault;
 
   // --- safety rails ---
   std::uint64_t max_events = 0;  ///< 0 = unlimited

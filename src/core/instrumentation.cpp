@@ -68,7 +68,20 @@ std::string MachineReport::summary_text() const {
       mean_thread_sync_switches(), mean_iter_sync_switches(),
       static_cast<unsigned long long>(network.packets_delivered),
       network.latency.mean());
-  return buf;
+  std::string out = buf;
+  if (fault_enabled) {
+    char fb[256];
+    std::snprintf(fb, sizeof fb,
+                  "  faults: injected=%llu recovered=%llu/%llu retries=%llu "
+                  "worst-recovery=%llu cyc",
+                  static_cast<unsigned long long>(fault.injected_total()),
+                  static_cast<unsigned long long>(fault.recovered),
+                  static_cast<unsigned long long>(fault.injected_recoverable),
+                  static_cast<unsigned long long>(fault.retries),
+                  static_cast<unsigned long long>(fault.worst_recovery_cycles));
+    out += fb;
+  }
+  return out;
 }
 
 double overlap_efficiency_percent(double comm_1, double comm_h) {

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "common/types.hpp"
+#include "fault/fault_stats.hpp"
 #include "network/network_iface.hpp"
 #include "runtime/scheduler.hpp"
 
@@ -30,6 +31,7 @@ struct ProcReport {
   std::uint64_t dma_reads = 0;
   std::uint64_t dma_block_reads = 0;
   std::uint64_t dma_writes = 0;
+  std::uint64_t read_retries = 0;  ///< fault runs: requests retransmitted
 
   Cycle busy_total() const { return compute + overhead + switching + read_service; }
   Cycle total() const { return busy_total() + comm; }
@@ -41,6 +43,10 @@ struct MachineReport {
   std::vector<ProcReport> procs;
   net::NetworkStats network;
   std::uint64_t events_processed = 0;
+
+  /// Fault injection & reliability (zeros unless the run had faults).
+  bool fault_enabled = false;
+  fault::FaultReport fault;
 
   double seconds() const { return cycles_to_seconds(total_cycles, clock_hz); }
 

@@ -1,5 +1,7 @@
 #include "core/machine.hpp"
 
+#include <algorithm>
+
 #include "common/assert.hpp"
 #include "network/fast_network.hpp"
 #include "network/omega_network.hpp"
@@ -78,6 +80,15 @@ Machine::Machine(MachineConfig config, trace::TraceSink* sink)
           config_.port_interval_cycles);
       break;
   }
+  if (config_.fault.enabled()) {
+    // Decorate the fabric: faults are injected at the sender's NIC and
+    // checksums verified at the receiver's, whichever model is inside.
+    auto faulty = std::make_unique<fault::FaultyNetwork>(
+        sim_, std::move(network_), config_.proc_count, config_.fault,
+        fault_domain_, sink_);
+    faulty_ = faulty.get();
+    network_ = std::move(faulty);
+  }
   network_->set_delivery(&Machine::delivery_thunk, this);
 
   // Runtime-internal entries (ids are stable: registered before any app).
@@ -103,6 +114,8 @@ Machine::Machine(MachineConfig config, trace::TraceSink* sink)
   for (ProcId p = 0; p < config_.proc_count; ++p) {
     pes_.push_back(std::make_unique<proc::Emcy>(sim_, config_, p, *network_,
                                                 registry_, sink_));
+    if (faulty_ != nullptr)
+      pes_.back()->arm_reliability(sim_, fault_domain_, sink_);
   }
 }
 
@@ -145,6 +158,19 @@ void Machine::run() {
     EMX_CHECK(pe->engine().frames().live() == 0,
               "simulation drained with live threads (deadlock or lost wake)");
   }
+  if (faulty_ != nullptr) {
+    // Reliability invariant: every injected recoverable fault was healed —
+    // no read is still outstanding and every damaged request completed.
+    for (const auto& pe : pes_) {
+      EMX_CHECK(pe->retry_agent()->idle(),
+                "run drained with reads still outstanding in a retry table");
+    }
+    EMX_CHECK(fault_domain_.pending_losses() == 0,
+              "an injected fault was never recovered");
+    const auto& fr = fault_domain_.report();
+    EMX_CHECK(fr.recovered == fr.injected_recoverable,
+              "fault ledger out of balance");
+  }
 }
 
 void Machine::delivery_thunk(void* ctx, const net::Packet& packet) {
@@ -176,7 +202,27 @@ MachineReport Machine::report() const {
     p.dma_reads = pe->dma().stats().reads_serviced;
     p.dma_block_reads = pe->dma().stats().block_reads_serviced;
     p.dma_writes = pe->dma().stats().writes_serviced;
+    if (const auto* agent = pe->retry_agent()) {
+      const auto& rs = agent->stats();
+      p.read_retries = rs.retries;
+      r.fault.reads_tracked += rs.reads_tracked;
+      r.fault.timeouts += rs.timeouts;
+      r.fault.retries += rs.retries;
+      r.fault.dup_replies_suppressed += rs.dup_replies_suppressed;
+      r.fault.reads_recovered += rs.reads_recovered;
+      r.fault.worst_recovery_cycles =
+          std::max(r.fault.worst_recovery_cycles, rs.worst_recovery_cycles);
+    }
     r.procs.push_back(p);
+  }
+  if (faulty_ != nullptr) {
+    r.fault_enabled = true;
+    const auto& ledger = fault_domain_.report();
+    r.fault.injected = ledger.injected;
+    r.fault.injected_recoverable = ledger.injected_recoverable;
+    r.fault.recovered = ledger.recovered;
+    r.fault.corrupt_discarded = ledger.corrupt_discarded;
+    r.fault.stale_losses = ledger.stale_losses;
   }
   return r;
 }

@@ -18,6 +18,7 @@
 
 #include "core/config.hpp"
 #include "core/instrumentation.hpp"
+#include "fault/faulty_network.hpp"
 #include "network/network_iface.hpp"
 #include "proc/emcy.hpp"
 #include "runtime/thread_api.hpp"
@@ -37,6 +38,8 @@ class Machine {
   const MachineConfig& config() const { return config_; }
   sim::SimContext& sim() { return sim_; }
   net::Network& network() { return *network_; }
+  bool fault_enabled() const { return faulty_ != nullptr; }
+  const fault::FaultDomain& fault_domain() const { return fault_domain_; }
   proc::Emcy& pe(ProcId p);
   proc::Memory& memory(ProcId p) { return pe(p).memory(); }
   rt::ThreadEngine& engine(ProcId p) { return pe(p).engine(); }
@@ -69,6 +72,8 @@ class Machine {
   MachineConfig config_;
   sim::SimContext sim_;
   std::unique_ptr<net::Network> network_;
+  fault::FaultyNetwork* faulty_ = nullptr;  ///< aliases network_ when armed
+  fault::FaultDomain fault_domain_;
   rt::EntryRegistry registry_;
   std::vector<std::unique_ptr<proc::Emcy>> pes_;
   trace::TraceSink* sink_;

@@ -1,0 +1,120 @@
+#include "fault/fault_plan.hpp"
+
+#include "common/assert.hpp"
+
+namespace emx::fault {
+
+const char* to_string(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kDrop:
+      return "DROP";
+    case FaultKind::kDuplicate:
+      return "DUPLICATE";
+    case FaultKind::kCorrupt:
+      return "CORRUPT";
+    case FaultKind::kDelay:
+      return "DELAY";
+    case FaultKind::kStall:
+      return "STALL";
+  }
+  return "?";
+}
+
+void FaultConfig::validate() const {
+  EMX_CHECK(drop_rate >= 0.0 && drop_rate <= 1.0, "drop rate out of [0,1]");
+  EMX_CHECK(duplicate_rate >= 0.0 && duplicate_rate <= 1.0,
+            "duplicate rate out of [0,1]");
+  EMX_CHECK(corrupt_rate >= 0.0 && corrupt_rate <= 1.0,
+            "corrupt rate out of [0,1]");
+  EMX_CHECK(drop_rate + duplicate_rate + corrupt_rate <= 1.0,
+            "lossy fault rates must sum to at most 1");
+  EMX_CHECK(timeout_cycles >= 1, "read timeout must be positive");
+  EMX_CHECK(backoff_mult >= 1, "backoff multiplier must be at least 1");
+  EMX_CHECK(max_retries >= 1, "need at least one retransmit attempt");
+  for (const auto& w : stalls)
+    EMX_CHECK(w.end >= w.begin, "stall window ends before it begins");
+  for (const auto& s : scheduled)
+    EMX_CHECK(s.nth >= 1, "scheduled faults count packets from 1");
+}
+
+std::uint32_t packet_checksum(const net::Packet& packet) {
+  // Fletcher-style fold over everything a real link CRC would cover; the
+  // checksum field itself is excluded so stamping is idempotent.
+  std::uint64_t h = 0x9E3779B97F4A7C15ull;
+  const auto mix = [&h](std::uint64_t v) {
+    h ^= v + 0x9E3779B97F4A7C15ull + (h << 6) + (h >> 2);
+  };
+  mix(packet.addr);
+  mix(packet.data);
+  mix((static_cast<std::uint64_t>(packet.src) << 32) | packet.dst);
+  mix((static_cast<std::uint64_t>(static_cast<std::uint8_t>(packet.kind)) << 8) |
+      static_cast<std::uint8_t>(packet.priority));
+  mix((static_cast<std::uint64_t>(packet.cont_thread) << 32) | packet.cont_tag);
+  mix((static_cast<std::uint64_t>(packet.cont_slot) << 32) | packet.block_len);
+  mix(packet.req_seq);
+  auto folded = static_cast<std::uint32_t>(h ^ (h >> 32));
+  return folded == 0 ? 1u : folded;
+}
+
+FaultPlan::FaultPlan(const FaultConfig& config)
+    : config_(config), rng_(config.seed) {
+  config_.validate();
+}
+
+FaultDecision FaultPlan::decide(const net::Packet& packet, Cycle now) {
+  FaultDecision d;
+
+  // Stall windows hold any packet entering a downed link.
+  for (const auto& w : config_.stalls) {
+    const bool src_hit = w.src == kAnyProc || w.src == packet.src;
+    const bool dst_hit = w.dst == kAnyProc || w.dst == packet.dst;
+    if (src_hit && dst_hit && now >= w.begin && now < w.end)
+      d.stall_until = std::max(d.stall_until, w.end);
+  }
+
+  if (is_tracked_kind(packet.kind)) {
+    ++tracked_seen_;
+    // Exact scheduled faults take precedence over the probability roll
+    // (the roll is still consumed, keeping the stream aligned whether or
+    // not a schedule entry matched).
+    bool scheduled_hit = false;
+    for (const auto& s : config_.scheduled) {
+      if (s.nth != tracked_seen_) continue;
+      scheduled_hit = true;
+      switch (s.kind) {
+        case FaultKind::kDrop:
+          d.drop = true;
+          break;
+        case FaultKind::kDuplicate:
+          d.duplicate = true;
+          break;
+        case FaultKind::kCorrupt:
+          d.corrupt = true;
+          break;
+        case FaultKind::kDelay:
+        case FaultKind::kStall:
+          d.stall_until = std::max(d.stall_until, now + config_.timeout_cycles / 2);
+          break;
+      }
+    }
+    const double roll = rng_.next_double();
+    if (!scheduled_hit) {
+      if (roll < config_.drop_rate) {
+        d.drop = true;
+      } else if (roll < config_.drop_rate + config_.duplicate_rate) {
+        d.duplicate = true;
+      } else if (roll <
+                 config_.drop_rate + config_.duplicate_rate + config_.corrupt_rate) {
+        d.corrupt = true;
+      }
+    }
+    if (d.corrupt) d.corrupt_bit = static_cast<std::uint32_t>(rng_.bounded(32));
+  }
+
+  if (config_.jitter_max_cycles > 0 && !d.drop)
+    d.jitter = rng_.bounded(config_.jitter_max_cycles + 1);
+
+  return d;
+}
+
+}  // namespace emx::fault

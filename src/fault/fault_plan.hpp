@@ -1,0 +1,71 @@
+// FaultPlan: the seeded, fully deterministic decision engine behind
+// FaultyNetwork. Given a packet at its injection cycle it answers "what
+// goes wrong with this one?" — by probability (seeded xoshiro stream,
+// consumed in injection order), by schedule (hit exactly the nth tracked
+// packet) and by stall window (link outages).
+//
+// Only *tracked* packet kinds — split-phase read requests and replies —
+// are eligible for information-losing faults (drop / duplicate / corrupt):
+// those are the packets the reliability protocol can recover via
+// retransmission. Fire-and-forget kinds (remote writes, thread
+// invocations) carry no recovery path, so losing one would silently
+// corrupt the computation; they only ever see extra latency.
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.hpp"
+#include "fault/fault_config.hpp"
+#include "network/packet.hpp"
+
+namespace emx::fault {
+
+/// Kinds covered by the retransmit protocol: sequenced at send, echoed in
+/// replies, recoverable end-to-end.
+constexpr bool is_tracked_kind(net::PacketKind kind) {
+  return kind == net::PacketKind::kRemoteReadReq ||
+         kind == net::PacketKind::kBlockReadReq ||
+         kind == net::PacketKind::kRemoteReadReply ||
+         kind == net::PacketKind::kBlockReadReply;
+}
+
+/// Link-level checksum over the architectural words and routing metadata
+/// (the checksum field itself excluded). Never returns 0, so 0 can mean
+/// "unstamped".
+std::uint32_t packet_checksum(const net::Packet& packet);
+
+/// What happens to one injected packet. drop/duplicate/corrupt are
+/// mutually exclusive; delay composes with any of them except drop.
+struct FaultDecision {
+  bool drop = false;
+  bool duplicate = false;
+  bool corrupt = false;
+  std::uint32_t corrupt_bit = 0;  ///< which data bit flips when corrupt
+  Cycle jitter = 0;               ///< extra latency from the jitter roll
+  Cycle stall_until = 0;          ///< earliest fabric entry due to stalls
+
+  bool any() const {
+    return drop || duplicate || corrupt || jitter > 0 || stall_until > 0;
+  }
+};
+
+class FaultPlan {
+ public:
+  explicit FaultPlan(const FaultConfig& config);
+
+  /// Decides the fate of a fabric packet injected at `now`. Consumes the
+  /// RNG stream deterministically: one lossy roll per tracked packet, one
+  /// bit roll per corruption, one jitter roll per fabric packet when
+  /// jitter is enabled.
+  FaultDecision decide(const net::Packet& packet, Cycle now);
+
+  /// Tracked fabric packets seen so far (the schedule's counting base).
+  std::uint64_t tracked_seen() const { return tracked_seen_; }
+
+ private:
+  const FaultConfig config_;
+  Rng rng_;
+  std::uint64_t tracked_seen_ = 0;
+};
+
+}  // namespace emx::fault

@@ -1,0 +1,32 @@
+#include "fault/fault_stats.hpp"
+
+#include <sstream>
+
+namespace emx::fault {
+
+std::string FaultReport::summary_text() const {
+  std::ostringstream out;
+  out << "fault injection:\n";
+  out << "  injected          : " << injected_total();
+  for (std::size_t k = 0; k < kFaultKindCount; ++k) {
+    if (injected[k] == 0) continue;
+    out << "  " << to_string(static_cast<FaultKind>(k)) << "=" << injected[k];
+  }
+  out << "\n";
+  out << "  recoverable       : " << injected_recoverable
+      << "  recovered=" << recovered << "\n";
+  out << "  corrupt discarded : " << corrupt_discarded << "\n";
+  if (stale_losses > 0)
+    out << "  stale losses      : " << stale_losses
+        << " (hit already-answered retransmits)\n";
+  out << "reliability protocol:\n";
+  out << "  reads tracked     : " << reads_tracked << "\n";
+  out << "  timeouts          : " << timeouts << "  retries=" << retries
+      << "\n";
+  out << "  dup replies culled: " << dup_replies_suppressed << "\n";
+  out << "  reads recovered   : " << reads_recovered
+      << "  worst recovery=" << worst_recovery_cycles << " cycles\n";
+  return out.str();
+}
+
+}  // namespace emx::fault

@@ -1,0 +1,54 @@
+// Counters surfaced by the fault-injection & reliability subsystem.
+//
+// The invariant the Machine asserts after every faulted run: every
+// information-losing fault (drop or corruption of a tracked read packet)
+// is eventually recovered by the retransmit protocol —
+//   recovered == injected_recoverable
+// with no outstanding requests left in any per-PE table.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "common/types.hpp"
+#include "fault/fault_config.hpp"
+
+namespace emx::fault {
+
+struct FaultReport {
+  /// Faults injected by the plan, by kind (kDrop..kStall).
+  std::array<std::uint64_t, kFaultKindCount> injected{};
+  /// Drops + corruptions of tracked read requests/replies — the faults
+  /// that lose information and need the protocol to put it back.
+  std::uint64_t injected_recoverable = 0;
+  /// Recoverable faults whose read later completed.
+  std::uint64_t recovered = 0;
+  /// Corrupted packets caught by the checksum at the ejection port and
+  /// discarded before reaching the processor.
+  std::uint64_t corrupt_discarded = 0;
+  /// Drops/corruptions that hit a stale retransmit — a packet whose
+  /// request had already completed via an earlier copy. Nothing was lost,
+  /// so these are not counted as recoverable.
+  std::uint64_t stale_losses = 0;
+
+  // --- reliability protocol activity (summed over PEs) ---
+  std::uint64_t reads_tracked = 0;       ///< sequenced split-phase reads
+  std::uint64_t timeouts = 0;            ///< retransmit timers that fired
+  std::uint64_t retries = 0;             ///< request packets re-sent
+  std::uint64_t dup_replies_suppressed = 0;
+  std::uint64_t reads_recovered = 0;     ///< reads that needed >= 1 retry
+  /// Worst issue-to-completion latency over recovered reads (cycles):
+  /// the recovery cost multithreading gets to hide.
+  Cycle worst_recovery_cycles = 0;
+
+  std::uint64_t injected_total() const {
+    std::uint64_t sum = 0;
+    for (const auto n : injected) sum += n;
+    return sum;
+  }
+
+  std::string summary_text() const;
+};
+
+}  // namespace emx::fault

@@ -1,0 +1,132 @@
+#include "fault/faulty_network.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+
+namespace emx::fault {
+
+namespace {
+constexpr std::uint32_t kNoFree = 0xFFFFFFFFu;
+}
+
+FaultyNetwork::FaultyNetwork(sim::SimContext& sim,
+                             std::unique_ptr<net::Network> inner,
+                             std::uint32_t proc_count,
+                             const FaultConfig& config, FaultDomain& domain,
+                             trace::TraceSink* sink)
+    : sim_(sim),
+      inner_(std::move(inner)),
+      plan_(config),
+      domain_(domain),
+      sink_(sink),
+      proc_count_(proc_count),
+      link_release_(static_cast<std::size_t>(proc_count) * proc_count, 0) {
+  // All fabric deliveries detour through the checksum check before they
+  // reach whatever handler the Machine installs on this decorator.
+  inner_->set_delivery(&FaultyNetwork::inner_delivery_thunk, this);
+}
+
+void FaultyNetwork::note(FaultKind kind, const net::Packet& packet) {
+  domain_.note_injected(kind);
+  if (sink_ != nullptr) {
+    const std::uint64_t info =
+        (static_cast<std::uint64_t>(packet.req_seq) << 8) |
+        static_cast<std::uint64_t>(kind);
+    sink_->on_event(trace::TraceEvent{sim_.now(), packet.src,
+                                      packet.cont_thread,
+                                      trace::EventType::kFaultInject, info});
+  }
+}
+
+std::uint32_t FaultyNetwork::hold(const net::Packet& packet) {
+  std::uint32_t idx;
+  if (free_head_ != kNoFree) {
+    idx = free_head_;
+    free_head_ = pool_[idx].next_free;
+  } else {
+    idx = static_cast<std::uint32_t>(pool_.size());
+    pool_.emplace_back();
+  }
+  pool_[idx].packet = packet;
+  pool_[idx].in_use = true;
+  return idx;
+}
+
+void FaultyNetwork::release_event(void* ctx, std::uint64_t idx64, std::uint64_t) {
+  auto* self = static_cast<FaultyNetwork*>(ctx);
+  auto idx = static_cast<std::uint32_t>(idx64);
+  Held& rec = self->pool_[idx];
+  EMX_DCHECK(rec.in_use, "release of freed held packet");
+  const net::Packet packet = rec.packet;
+  rec.in_use = false;
+  rec.next_free = self->free_head_;
+  self->free_head_ = idx;
+  self->inner_->inject(packet);
+}
+
+void FaultyNetwork::send_at(const net::Packet& packet, Cycle release) {
+  if (release <= sim_.now()) {
+    inner_->inject(packet);
+    return;
+  }
+  sim_.schedule_at(release, &FaultyNetwork::release_event, this, hold(packet), 0);
+}
+
+void FaultyNetwork::inject(const net::Packet& packet) {
+  // Self packets never cross the fabric: the OBU->IBU loopback is on-chip
+  // and outside the fault model.
+  if (packet.src == packet.dst) {
+    inner_->inject(packet);
+    return;
+  }
+
+  net::Packet p = packet;
+  if (is_tracked_kind(p.kind)) p.checksum = packet_checksum(p);
+
+  const FaultDecision d = plan_.decide(p, sim_.now());
+
+  if (d.drop) {
+    note(FaultKind::kDrop, p);
+    domain_.note_lost(p.req_seq);
+    return;  // the fabric never sees it; the retransmit timer recovers
+  }
+  if (d.corrupt) {
+    note(FaultKind::kCorrupt, p);
+    domain_.note_lost(p.req_seq);
+    p.data ^= Word{1} << d.corrupt_bit;  // checksum already stamped: mismatch
+  }
+
+  Cycle release = sim_.now();
+  if (d.stall_until > release) {
+    note(FaultKind::kStall, p);
+    release = d.stall_until;
+  }
+  if (d.jitter > 0) {
+    note(FaultKind::kDelay, p);
+    release += d.jitter;
+  }
+  // FIFO floor per link: a later packet on (src,dst) never enters the
+  // fabric before an earlier delayed one, preserving non-overtaking.
+  Cycle& link = link_release_[static_cast<std::size_t>(p.src) * proc_count_ + p.dst];
+  release = std::max(release, link);
+  link = release;
+
+  send_at(p, release);
+  if (d.duplicate) {
+    note(FaultKind::kDuplicate, p);
+    send_at(p, release);  // same cycle; the fabric's port model serialises
+  }
+}
+
+void FaultyNetwork::inner_delivery_thunk(void* ctx, const net::Packet& packet) {
+  auto* self = static_cast<FaultyNetwork*>(ctx);
+  if (packet.checksum != 0 && packet_checksum(packet) != packet.checksum) {
+    // Receiver NIC: corrupted in flight — discard; retransmission recovers.
+    self->domain_.note_corrupt_discarded();
+    return;
+  }
+  self->deliver(packet);
+}
+
+}  // namespace emx::fault

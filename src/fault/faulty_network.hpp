@@ -1,0 +1,78 @@
+// FaultyNetwork: a Network decorator that perturbs packets according to a
+// deterministic FaultPlan, covering both fabric models (omega_network and
+// fast_network) without modifying either.
+//
+// Injection side (the "link NIC" of the sender):
+//   * tracked read packets are stamped with a link checksum;
+//   * the plan may drop the packet (it never enters the fabric),
+//     duplicate it (two fabric copies), corrupt it (one payload bit
+//     flips after the checksum is stamped), or delay it (jitter and/or
+//     stall windows — per-(src,dst) FIFO order is preserved so the
+//     fabric's non-overtaking guarantee survives).
+// Ejection side (the receiver's NIC): checksums are verified; a mismatch
+// discards the packet before the processor sees it — the requester's
+// retransmit timer turns the corruption into a recovered drop.
+//
+// Every injected fault is counted in the FaultDomain ledger and emitted
+// as a trace::EventType::kFaultInject event (info = kind | seq << 8).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "fault/fault_plan.hpp"
+#include "fault/reliability.hpp"
+#include "network/network_iface.hpp"
+#include "trace/trace.hpp"
+
+namespace emx::fault {
+
+class FaultyNetwork final : public net::Network {
+ public:
+  FaultyNetwork(sim::SimContext& sim, std::unique_ptr<net::Network> inner,
+                std::uint32_t proc_count, const FaultConfig& config,
+                FaultDomain& domain, trace::TraceSink* sink);
+
+  void inject(const net::Packet& packet) override;
+  unsigned hop_count(ProcId src, ProcId dst) const override {
+    return inner_->hop_count(src, dst);
+  }
+  std::string name() const override { return inner_->name() + "+faults"; }
+  /// The wrapped fabric's counters: what physically crossed the switches
+  /// (duplicates included; checksum-discarded packets count as delivered
+  /// by the fabric — the NIC, not the fabric, threw them away).
+  const net::NetworkStats& stats() const override { return inner_->stats(); }
+
+  net::Network& inner() { return *inner_; }
+  const FaultPlan& plan() const { return plan_; }
+
+ private:
+  struct Held {
+    net::Packet packet;
+    std::uint32_t next_free = 0;
+    bool in_use = false;
+  };
+
+  static void inner_delivery_thunk(void* ctx, const net::Packet& packet);
+  static void release_event(void* ctx, std::uint64_t idx, std::uint64_t);
+  void note(FaultKind kind, const net::Packet& packet);
+  void send_at(const net::Packet& packet, Cycle release);
+  std::uint32_t hold(const net::Packet& packet);
+
+  sim::SimContext& sim_;
+  std::unique_ptr<net::Network> inner_;
+  FaultPlan plan_;
+  FaultDomain& domain_;
+  trace::TraceSink* sink_;
+
+  /// Per-(src,dst) earliest fabric-entry cycle: delayed packets must not
+  /// be overtaken by later undelayed ones on the same link.
+  std::uint32_t proc_count_;
+  std::vector<Cycle> link_release_;
+
+  std::vector<Held> pool_;
+  std::uint32_t free_head_ = 0xFFFFFFFFu;
+};
+
+}  // namespace emx::fault

@@ -1,0 +1,122 @@
+#include "fault/reliability.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+#include "fault/fault_plan.hpp"
+
+namespace emx::fault {
+
+// ------------------------------------------------------------ FaultDomain
+
+void FaultDomain::note_lost(std::uint32_t seq) {
+  EMX_CHECK(seq != 0, "recoverable fault on an unsequenced packet");
+  if (!live_.contains(seq)) {
+    // The fault hit a stale retransmit (or its reply): the read already
+    // completed via an earlier copy, so nothing was actually lost.
+    ++report_.stale_losses;
+    return;
+  }
+  ++report_.injected_recoverable;
+  ++pending_[seq];
+  ++pending_total_;
+}
+
+void FaultDomain::note_completed(std::uint32_t seq) {
+  live_.erase(seq);
+  const auto it = pending_.find(seq);
+  if (it == pending_.end()) return;
+  report_.recovered += it->second;
+  pending_total_ -= it->second;
+  pending_.erase(it);
+}
+
+// ------------------------------------------------------------- RetryAgent
+
+RetryAgent::RetryAgent(sim::SimContext& sim, const FaultConfig& config,
+                       ProcId proc, proc::OutputBufferUnit& obu,
+                       proc::ExecutionUnit& exu, FaultDomain& domain,
+                       Cycle retransmit_charge_cycles, trace::TraceSink* sink)
+    : sim_(sim),
+      config_(config),
+      proc_(proc),
+      obu_(obu),
+      exu_(exu),
+      domain_(domain),
+      retransmit_charge_cycles_(retransmit_charge_cycles),
+      sink_(sink) {}
+
+RetryAgent::~RetryAgent() = default;
+
+void RetryAgent::emit(trace::EventType type, ThreadId thread,
+                      std::uint64_t info) {
+  if (sink_ == nullptr) return;
+  sink_->on_event(trace::TraceEvent{sim_.now(), proc_, thread, type, info});
+}
+
+void RetryAgent::on_send(net::Packet& request) {
+  EMX_DCHECK(is_tracked_kind(request.kind), "untracked kind in retry table");
+  request.req_seq = domain_.next_seq();
+  ++stats_.reads_tracked;
+  Entry entry;
+  entry.request = request;
+  entry.first_issue = sim_.now();
+  entry.timeout = config_.timeout_cycles;
+  entry.timer_id = sim_.schedule(entry.timeout, &RetryAgent::timeout_event,
+                                 this, request.req_seq, 0);
+  const bool inserted =
+      outstanding_.emplace(request.req_seq, std::move(entry)).second;
+  EMX_CHECK(inserted, "request sequence number reused");
+}
+
+bool RetryAgent::on_reply(const net::Packet& reply) {
+  if (reply.req_seq == 0) return true;  // unsequenced (pre-protocol) packet
+  const auto it = outstanding_.find(reply.req_seq);
+  if (it == outstanding_.end()) {
+    // The request already completed — this is a duplicate produced by the
+    // fabric or by a spurious retransmit. Suppress before the thread
+    // engine sees it (its continuation was already consumed).
+    ++stats_.dup_replies_suppressed;
+    return false;
+  }
+  Entry& entry = it->second;
+  sim_.cancel(entry.timer_id);
+  if (entry.retries > 0) {
+    ++stats_.reads_recovered;
+    stats_.worst_recovery_cycles =
+        std::max(stats_.worst_recovery_cycles, sim_.now() - entry.first_issue);
+  }
+  domain_.note_completed(reply.req_seq);
+  outstanding_.erase(it);
+  return true;
+}
+
+void RetryAgent::timeout_event(void* ctx, std::uint64_t seq, std::uint64_t) {
+  static_cast<RetryAgent*>(ctx)->handle_timeout(static_cast<std::uint32_t>(seq));
+}
+
+void RetryAgent::handle_timeout(std::uint32_t seq) {
+  const auto it = outstanding_.find(seq);
+  EMX_CHECK(it != outstanding_.end(),
+            "retransmit timer fired for a completed request (cancel missed)");
+  Entry& entry = it->second;
+  ++stats_.timeouts;
+  ++entry.retries;
+  EMX_CHECK(entry.retries <= config_.max_retries,
+            "read retransmit limit exceeded — fault not recoverable");
+  emit(trace::EventType::kReadTimeout, entry.request.cont_thread, seq);
+
+  // Retransmit the saved request unchanged (same seq, same continuation).
+  // The send instruction is re-executed, so its cycles are charged like
+  // any other packet-generation overhead — retries are never free.
+  ++stats_.retries;
+  exu_.charge(proc::CycleBucket::kOverhead, retransmit_charge_cycles_);
+  obu_.send(entry.request);
+  emit(trace::EventType::kReadRetry, entry.request.cont_thread, entry.retries);
+
+  entry.timeout *= config_.backoff_mult;
+  entry.timer_id =
+      sim_.schedule(entry.timeout, &RetryAgent::timeout_event, this, seq, 0);
+}
+
+}  // namespace emx::fault

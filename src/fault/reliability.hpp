@@ -1,0 +1,151 @@
+// The reliability protocol that makes split-phase reads survive a lossy
+// fabric: sequence numbers, a per-processor outstanding-request table
+// with timeout + exponential-backoff retransmit, and duplicate-reply
+// suppression.
+//
+//   requester EXU --- read req (seq) ---> responder DMA
+//        |  (entry in RetryAgent table,         |
+//        |   cancellable timer armed)           |
+//        <------- reply (echoes seq) -----------+
+//   reply seq in table  -> deliver, erase entry, cancel timer
+//   reply seq NOT in table -> duplicate (earlier retry already answered
+//                             or the packet was duplicated): suppressed
+//   timer fires, entry live -> retransmit the saved request, timeout *=
+//                             backoff, retry counted and cycle-charged
+//
+// Retransmits are idempotent: read requests (block reads included) have
+// no side effects at the responder beyond re-sending data words whose
+// values cannot change mid-phase (application phases are separated by
+// barriers that no requester passes with a read outstanding).
+//
+// FaultDomain is the machine-wide ledger tying the two ends together: it
+// hands out sequence numbers, remembers which outstanding request every
+// injected drop/corruption damaged, and checks that each such fault was
+// recovered (the read completed anyway) by the end of the run.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/types.hpp"
+#include "fault/fault_config.hpp"
+#include "fault/fault_stats.hpp"
+#include "network/packet.hpp"
+#include "proc/execution_unit.hpp"
+#include "proc/output_buffer_unit.hpp"
+#include "sim/sim_context.hpp"
+#include "trace/trace.hpp"
+
+namespace emx::fault {
+
+/// Machine-wide: sequence-number source plus the injected-fault ledger.
+class FaultDomain {
+ public:
+  /// Next request sequence number (1-based; 0 means unsequenced). The
+  /// request is live (recovery expected for faults charged to it) until
+  /// note_completed().
+  std::uint32_t next_seq() {
+    const std::uint32_t seq = ++last_seq_;
+    live_.insert(seq);
+    return seq;
+  }
+
+  void note_injected(FaultKind kind) {
+    ++report_.injected[static_cast<std::size_t>(kind)];
+  }
+
+  /// A drop/corruption destroyed a packet belonging to request `seq`.
+  void note_lost(std::uint32_t seq);
+
+  /// The checksum caught a corrupted packet at the ejection port.
+  void note_corrupt_discarded() { ++report_.corrupt_discarded; }
+
+  /// Request `seq` completed; faults charged to it become recovered.
+  void note_completed(std::uint32_t seq);
+
+  /// Injected recoverable faults whose request has not completed yet.
+  std::uint64_t pending_losses() const { return pending_total_; }
+
+  const FaultReport& report() const { return report_; }
+  FaultReport& report() { return report_; }
+
+ private:
+  std::uint32_t last_seq_ = 0;
+  /// Requests issued but not yet completed. A fault on a packet whose seq
+  /// is no longer live hit a stale retransmit: the read already finished,
+  /// nothing needs recovering. Never iterated; only probed.
+  std::unordered_set<std::uint32_t> live_;
+  /// seq -> number of recoverable faults charged to it. Never iterated
+  /// (order would be nondeterministic); only probed and summed.
+  std::unordered_map<std::uint32_t, std::uint32_t> pending_;
+  std::uint64_t pending_total_ = 0;
+  FaultReport report_;
+};
+
+/// Per-PE retry stats, folded into FaultReport by Machine::report().
+struct RetryStats {
+  std::uint64_t reads_tracked = 0;
+  std::uint64_t timeouts = 0;
+  std::uint64_t retries = 0;
+  std::uint64_t dup_replies_suppressed = 0;
+  std::uint64_t reads_recovered = 0;
+  Cycle worst_recovery_cycles = 0;
+};
+
+/// One per processing element. Not constructed at all on fault-free runs:
+/// the protocol's cost is strictly zero off the faulted path.
+class RetryAgent {
+ public:
+  RetryAgent(sim::SimContext& sim, const FaultConfig& config, ProcId proc,
+             proc::OutputBufferUnit& obu, proc::ExecutionUnit& exu,
+             FaultDomain& domain, Cycle retransmit_charge_cycles,
+             trace::TraceSink* sink);
+
+  RetryAgent(const RetryAgent&) = delete;
+  RetryAgent& operator=(const RetryAgent&) = delete;
+  ~RetryAgent();
+
+  /// Called by the thread engine just before a read request is handed to
+  /// the OBU: stamps the sequence number, records the request for
+  /// retransmission and arms the timeout timer.
+  void on_send(net::Packet& request);
+
+  /// Called at packet acceptance for read replies. Returns false when the
+  /// reply is a duplicate (its request already completed) and must be
+  /// suppressed before it reaches the thread engine.
+  bool on_reply(const net::Packet& reply);
+
+  bool idle() const { return outstanding_.empty(); }
+  std::uint64_t outstanding() const { return outstanding_.size(); }
+  const RetryStats& stats() const { return stats_; }
+
+ private:
+  struct Entry {
+    net::Packet request;
+    Cycle first_issue = 0;
+    Cycle timeout = 0;       ///< current (backed-off) timeout
+    std::uint32_t retries = 0;
+    std::uint64_t timer_id = 0;
+  };
+
+  static void timeout_event(void* ctx, std::uint64_t seq, std::uint64_t);
+  void handle_timeout(std::uint32_t seq);
+  void emit(trace::EventType type, ThreadId thread, std::uint64_t info);
+
+  sim::SimContext& sim_;
+  const FaultConfig& config_;
+  ProcId proc_;
+  proc::OutputBufferUnit& obu_;
+  proc::ExecutionUnit& exu_;
+  FaultDomain& domain_;
+  Cycle retransmit_charge_cycles_;
+  trace::TraceSink* sink_;
+
+  /// seq -> outstanding request. Never iterated during the run (only
+  /// probed by seq), so the unordered layout cannot leak nondeterminism.
+  std::unordered_map<std::uint32_t, Entry> outstanding_;
+  RetryStats stats_;
+};
+
+}  // namespace emx::fault

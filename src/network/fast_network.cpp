@@ -64,10 +64,18 @@ void FastNetwork::inject(const Packet& packet) {
 
   // Ejection port at the destination also takes one packet per
   // port_interval cycles; later of fabric arrival and port availability.
+  const Cycle eject_wait =
+      eject_free_[packet.dst] > arrival ? eject_free_[packet.dst] - arrival : 0;
   arrival = std::max(arrival, eject_free_[packet.dst]);
   eject_free_[packet.dst] = arrival + port_interval_;
 
-  stats_.contention_wait += (depart - now) + (arrival - (depart + hops + 1));
+  // Same backlog metric as SwitchBox::reserve: queue depth behind a port
+  // in units of its service interval, peak over both endpoint ports.
+  const std::uint64_t backlog =
+      std::max(depart - now, eject_wait) / port_interval_;
+  stats_.peak_port_backlog = std::max(stats_.peak_port_backlog, backlog);
+
+  stats_.contention_wait += (depart - now) + eject_wait;
   stats_.latency.add(static_cast<double>(arrival - now));
   sim_.schedule_at(arrival, &FastNetwork::deliver_event, this, idx, 0);
 }

@@ -50,7 +50,9 @@ class Network {
 
   virtual std::string name() const = 0;
 
-  const NetworkStats& stats() const { return stats_; }
+  /// Virtual so decorators (fault::FaultyNetwork) can expose the wrapped
+  /// fabric's counters instead of their own.
+  virtual const NetworkStats& stats() const { return stats_; }
 
  protected:
   void deliver(const Packet& packet) {

@@ -26,8 +26,10 @@ const char* to_string(PacketKind kind) {
 
 std::string Packet::describe() const {
   char buf[160];
-  std::snprintf(buf, sizeof buf, "%s %u->%u addr=0x%08x data=0x%08x thr=%u tag=%u",
-                to_string(kind), src, dst, addr, data, cont_thread, cont_tag);
+  std::snprintf(buf, sizeof buf,
+                "%s %u->%u addr=0x%08x data=0x%08x thr=%u tag=%u seq=%u",
+                to_string(kind), src, dst, addr, data, cont_thread, cont_tag,
+                req_seq);
   return buf;
 }
 

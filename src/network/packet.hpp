@@ -53,6 +53,18 @@ struct Packet {
   /// For kBlockReadReq: number of consecutive words requested (>= 1).
   std::uint32_t block_len = 1;
 
+  // --- reliability protocol fields (fault-injection runs only) ---
+  /// Outstanding-request sequence number stamped by the requester's retry
+  /// agent; replies echo it so duplicates can be suppressed. 0 means the
+  /// packet is unsequenced (reliability protocol disabled or the kind is
+  /// not a tracked request/reply).
+  std::uint32_t req_seq = 0;
+  /// Link-level checksum stamped at network injection (fault runs only);
+  /// 0 means unstamped. A mismatch at the ejection port means the payload
+  /// was corrupted in flight: the packet is discarded and the requester's
+  /// retransmit timer recovers the read.
+  std::uint32_t checksum = 0;
+
   // --- simulation bookkeeping ---
   Cycle issue_cycle = 0;  ///< when the sender's OBU released it
 

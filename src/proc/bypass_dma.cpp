@@ -72,6 +72,7 @@ void BypassDma::service(const net::Packet& packet) {
       reply.cont_tag = packet.cont_tag;
       reply.cont_slot = packet.cont_slot;
       reply.priority = packet.priority;
+      reply.req_seq = packet.req_seq;  // reply echoes the request sequence
       schedule_reply(reply, start + service_cycles_);
       return;
     }
@@ -98,6 +99,10 @@ void BypassDma::service(const net::Packet& packet) {
         // buffer; the final word additionally resumes the waiting thread.
         reply.kind = (i + 1 < packet.block_len) ? PacketKind::kRemoteWrite
                                                 : PacketKind::kBlockReadReply;
+        // Only the resuming word is a tracked reply; it echoes the seq so
+        // the requester can retire (or suppress a duplicate of) the read.
+        if (reply.kind == PacketKind::kBlockReadReply)
+          reply.req_seq = packet.req_seq;
         schedule_reply(reply, start + service_cycles_ + i * block_word_cycles_);
       }
       return;

@@ -13,6 +13,14 @@ Emcy::Emcy(sim::SimContext& sim, const MachineConfig& config, ProcId proc,
            config.dma_interval_cycles, config.dma_block_word_cycles),
       engine_(sim, config, proc, memory_, obu_, registry, sink) {}
 
+void Emcy::arm_reliability(sim::SimContext& sim, fault::FaultDomain& domain,
+                           trace::TraceSink* sink) {
+  retry_ = std::make_unique<fault::RetryAgent>(
+      sim, config_.fault, proc_, obu_, engine_.exu(), domain,
+      config_.packet_gen_cycles, sink);
+  engine_.set_retry_agent(retry_.get());
+}
+
 void Emcy::accept(const net::Packet& packet) {
   ++accepted_;
   using net::PacketKind;
@@ -31,6 +39,13 @@ void Emcy::accept(const net::Packet& packet) {
       return;
     case PacketKind::kRemoteReadReply:
     case PacketKind::kBlockReadReply:
+      // Reliability protocol: duplicate replies (a retransmitted request
+      // that raced its original, or a fabric-duplicated packet) must be
+      // suppressed here — a stale reply reaching the MU would trip the
+      // pending-tag match.
+      if (retry_ != nullptr && !retry_->on_reply(packet)) return;
+      engine_.enqueue_packet(packet);
+      return;
     case PacketKind::kInvoke:
     case PacketKind::kLocalWake:
       engine_.enqueue_packet(packet);

@@ -13,6 +13,7 @@
 #include <memory>
 
 #include "core/config.hpp"
+#include "fault/reliability.hpp"
 #include "network/network_iface.hpp"
 #include "proc/bypass_dma.hpp"
 #include "proc/memory.hpp"
@@ -44,6 +45,15 @@ class Emcy {
 
   std::uint64_t packets_accepted() const { return accepted_; }
 
+  /// Arms the reliability protocol on this PE (fault-injection runs only):
+  /// constructs the RetryAgent and hooks it into the thread engine's read
+  /// issue path and this PE's reply acceptance path.
+  void arm_reliability(sim::SimContext& sim, fault::FaultDomain& domain,
+                       trace::TraceSink* sink);
+
+  fault::RetryAgent* retry_agent() { return retry_.get(); }
+  const fault::RetryAgent* retry_agent() const { return retry_.get(); }
+
  private:
   const MachineConfig& config_;
   ProcId proc_;
@@ -51,6 +61,7 @@ class Emcy {
   OutputBufferUnit obu_;
   BypassDma dma_;
   rt::ThreadEngine engine_;
+  std::unique_ptr<fault::RetryAgent> retry_;  ///< null on fault-free runs
   std::uint64_t accepted_ = 0;
 };
 

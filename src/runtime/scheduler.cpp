@@ -1,6 +1,7 @@
 #include "runtime/scheduler.hpp"
 
 #include "common/assert.hpp"
+#include "fault/reliability.hpp"
 #include "runtime/thread_api.hpp"
 
 namespace emx::rt {
@@ -220,6 +221,7 @@ void ThreadEngine::em4_service_done_event(void* ctx, std::uint64_t, std::uint64_
     reply.cont_tag = req.cont_tag;
     reply.cont_slot = req.cont_slot;
     reply.priority = req.priority;
+    reply.req_seq = req.req_seq;
     self->obu_.send(reply);
   } else {
     const GlobalAddr dest = unpack(req.data);
@@ -235,6 +237,8 @@ void ThreadEngine::em4_service_done_event(void* ctx, std::uint64_t, std::uint64_
       reply.addr = pack(dest + i);
       reply.kind = (i + 1 < req.block_len) ? net::PacketKind::kRemoteWrite
                                            : net::PacketKind::kBlockReadReply;
+      if (reply.kind == net::PacketKind::kBlockReadReply)
+        reply.req_seq = req.req_seq;
       self->obu_.send(reply);
     }
   }
@@ -322,6 +326,7 @@ void ThreadEngine::exec_remote_read(ThreadRecord* r, GlobalAddr src) {
   p.cont_slot = 0;
   p.priority = config_.priority_replies ? net::PacketPriority::kHigh
                                         : net::PacketPriority::kNormal;
+  if (retry_ != nullptr) retry_->on_send(p);
   obu_.send(p);
   emit(trace::EventType::kReadIssue, r->id, pack(src));
 
@@ -357,6 +362,7 @@ void ThreadEngine::exec_remote_read_pair(ThreadRecord* r, GlobalAddr src0,
     p.cont_slot = slot;
     p.priority = config_.priority_replies ? net::PacketPriority::kHigh
                                           : net::PacketPriority::kNormal;
+    if (retry_ != nullptr) retry_->on_send(p);
     obu_.send(p);
     emit(trace::EventType::kReadIssue, r->id, pack(sources[slot]));
   }
@@ -386,6 +392,7 @@ void ThreadEngine::exec_block_read(ThreadRecord* r, GlobalAddr src,
   p.cont_tag = ++r->pending_tag;
   p.priority = config_.priority_replies ? net::PacketPriority::kHigh
                                         : net::PacketPriority::kNormal;
+  if (retry_ != nullptr) retry_->on_send(p);
   obu_.send(p);
   emit(trace::EventType::kReadIssue, r->id, pack(src));
 

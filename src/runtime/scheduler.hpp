@@ -26,6 +26,10 @@
 #include "sim/sim_context.hpp"
 #include "trace/trace.hpp"
 
+namespace emx::fault {
+class RetryAgent;  // defined in fault/reliability.hpp
+}
+
 namespace emx::rt {
 
 class EntryRegistry;  // defined in thread_api.hpp
@@ -72,6 +76,11 @@ class ThreadEngine {
 
   /// Schedules a host-injected thread invocation at an absolute cycle.
   void schedule_invocation(Cycle at, std::uint32_t entry, Word arg);
+
+  /// Arms the reliability protocol (fault-injection runs only): every
+  /// split-phase read request is sequenced and registered for
+  /// retransmission just before it enters the OBU.
+  void set_retry_agent(fault::RetryAgent* agent) { retry_ = agent; }
 
   // ----- Awaiter-facing (called while a thread coroutine runs) -----
 
@@ -122,6 +131,7 @@ class ThreadEngine {
   proc::OutputBufferUnit& obu_;
   EntryRegistry& registry_;
   trace::TraceSink* sink_;
+  fault::RetryAgent* retry_ = nullptr;  ///< null on fault-free runs
 
   proc::InputBufferUnit ibu_;
   proc::MatchingUnit mu_;

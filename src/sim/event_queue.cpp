@@ -6,15 +6,16 @@
 
 namespace emx::sim {
 
-void EventQueue::push(Cycle time, EventFn fn, void* ctx, std::uint64_t a,
-                      std::uint64_t b) {
+std::uint64_t EventQueue::push(Cycle time, EventFn fn, void* ctx,
+                               std::uint64_t a, std::uint64_t b) {
   EMX_DCHECK(fn != nullptr, "event without handler");
-  heap_.push_back(Event{time, next_seq_++, fn, ctx, a, b});
+  const std::uint64_t id = next_seq_++;
+  heap_.push_back(Event{time, id, fn, ctx, a, b});
   sift_up(heap_.size() - 1);
+  return id;
 }
 
-Event EventQueue::pop() {
-  EMX_DCHECK(!heap_.empty(), "pop from empty event queue");
+Event EventQueue::pop_front() {
   Event out = heap_.front();
   heap_.front() = heap_.back();
   heap_.pop_back();
@@ -22,8 +23,35 @@ Event EventQueue::pop() {
   return out;
 }
 
+void EventQueue::drop_cancelled_front() {
+  while (!heap_.empty()) {
+    const auto it = cancelled_.find(heap_.front().seq);
+    if (it == cancelled_.end()) return;
+    cancelled_.erase(it);
+    (void)pop_front();
+  }
+}
+
+const Event& EventQueue::top() const {
+  // Cancelled records are lazily discarded in pop(); peeking must skip
+  // them without mutating, so scan from the heap head. The head is the
+  // earliest record; if it is cancelled the const_cast-free option is to
+  // let the caller pop — instead we keep top() exact by purging first.
+  auto* self = const_cast<EventQueue*>(this);
+  self->drop_cancelled_front();
+  EMX_DCHECK(!heap_.empty(), "top of empty event queue");
+  return heap_.front();
+}
+
+Event EventQueue::pop() {
+  drop_cancelled_front();
+  EMX_DCHECK(!heap_.empty(), "pop from empty event queue");
+  return pop_front();
+}
+
 void EventQueue::clear() {
   heap_.clear();
+  cancelled_.clear();
   next_seq_ = 0;
 }
 

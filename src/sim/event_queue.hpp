@@ -3,9 +3,16 @@
 // Events are plain structs with a free-function handler (no std::function,
 // no per-event allocation — Per.14/Per.16). Ties in time are broken by
 // insertion sequence so simulation is bit-reproducible.
+//
+// Events may be cancelled after scheduling (used by the reliability
+// protocol's retransmit timers): a cancelled event is discarded when it
+// reaches the head of the queue *without* being dispatched and without
+// advancing the simulation clock, so pending timers for already-completed
+// requests never stretch the end-of-run time.
 #pragma once
 
 #include <cstdint>
+#include <unordered_set>
 #include <vector>
 
 #include "common/types.hpp"
@@ -27,14 +34,22 @@ struct Event {
 /// Min-heap on (time, seq).
 class EventQueue {
  public:
-  bool empty() const { return heap_.empty(); }
-  std::size_t size() const { return heap_.size(); }
+  /// True when no *live* (non-cancelled) event remains.
+  bool empty() const { return heap_.size() == cancelled_.size(); }
+  std::size_t size() const { return heap_.size() - cancelled_.size(); }
   std::uint64_t total_pushed() const { return next_seq_; }
 
-  void push(Cycle time, EventFn fn, void* ctx, std::uint64_t a, std::uint64_t b);
+  /// Returns the event's id, usable with cancel().
+  std::uint64_t push(Cycle time, EventFn fn, void* ctx, std::uint64_t a,
+                     std::uint64_t b);
 
-  /// Requires !empty().
-  const Event& top() const { return heap_.front(); }
+  /// Marks a scheduled-but-not-yet-fired event as dead. The id must come
+  /// from push() and the event must still be in the queue; cancelling
+  /// twice is a no-op.
+  void cancel(std::uint64_t id) { cancelled_.insert(id); }
+
+  /// Requires !empty(); skips over cancelled records.
+  const Event& top() const;
   Event pop();
 
   void clear();
@@ -46,8 +61,11 @@ class EventQueue {
   }
   void sift_up(std::size_t i);
   void sift_down(std::size_t i);
+  void drop_cancelled_front();
+  Event pop_front();
 
   std::vector<Event> heap_;
+  std::unordered_set<std::uint64_t> cancelled_;
   std::uint64_t next_seq_ = 0;
 };
 

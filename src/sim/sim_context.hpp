@@ -15,18 +15,24 @@ class SimContext {
   Cycle now() const { return now_; }
   std::uint64_t events_processed() const { return processed_; }
 
-  /// Schedules `fn(ctx, a, b)` `delay` cycles from now.
-  void schedule(Cycle delay, EventFn fn, void* ctx, std::uint64_t a = 0,
-                std::uint64_t b = 0) {
-    queue_.push(now_ + delay, fn, ctx, a, b);
+  /// Schedules `fn(ctx, a, b)` `delay` cycles from now; returns an event
+  /// id accepted by cancel().
+  std::uint64_t schedule(Cycle delay, EventFn fn, void* ctx, std::uint64_t a = 0,
+                         std::uint64_t b = 0) {
+    return queue_.push(now_ + delay, fn, ctx, a, b);
   }
 
   /// Schedules at an absolute cycle (must not be in the past).
-  void schedule_at(Cycle time, EventFn fn, void* ctx, std::uint64_t a = 0,
-                   std::uint64_t b = 0) {
+  std::uint64_t schedule_at(Cycle time, EventFn fn, void* ctx, std::uint64_t a = 0,
+                            std::uint64_t b = 0) {
     EMX_DCHECK(time >= now_, "scheduling into the past");
-    queue_.push(time, fn, ctx, a, b);
+    return queue_.push(time, fn, ctx, a, b);
   }
+
+  /// Cancels a scheduled-but-not-yet-fired event. The event is discarded
+  /// without running and without advancing the clock; it does not count
+  /// toward events_processed(). Cancelling an already-fired id is a bug.
+  void cancel(std::uint64_t event_id) { queue_.cancel(event_id); }
 
   bool idle() const { return queue_.empty(); }
 

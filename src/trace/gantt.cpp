@@ -15,6 +15,7 @@ enum class LaneState : char {
   kSuspendedRead = '.',
   kSuspendedGate = 'g',
   kSuspendedBarrier = 'b',
+  kRecovering = '!',
 };
 
 /// State transition implied by one event, from the lane's point of view.
@@ -41,6 +42,13 @@ LaneState state_after(EventType type, LaneState current) {
       return LaneState::kSwitching;
     case EventType::kThreadEnd:
       return LaneState::kAbsent;
+    case EventType::kReadTimeout:
+    case EventType::kReadRetry:
+      // The read this thread sleeps on is being retransmitted: the wait is
+      // now fault recovery, not plain fabric latency.
+      return LaneState::kRecovering;
+    case EventType::kFaultInject:
+      return current;
   }
   return current;
 }
@@ -108,7 +116,7 @@ std::string render_gantt(const std::vector<TraceEvent>& events,
   }
   if (options.show_legend) {
     out += "legend: '#' running  's' switching  '.' await read  'g' await gate"
-           "  'b' await barrier\n";
+           "  'b' await barrier  '!' read retry in flight\n";
   }
   return out;
 }

@@ -34,6 +34,12 @@ const char* to_string(EventType type) {
       return "COMPUTE_BEGIN";
     case EventType::kComputeEnd:
       return "COMPUTE_END";
+    case EventType::kFaultInject:
+      return "FAULT_INJECT";
+    case EventType::kReadTimeout:
+      return "READ_TIMEOUT";
+    case EventType::kReadRetry:
+      return "READ_RETRY";
   }
   return "?";
 }

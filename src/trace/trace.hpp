@@ -27,6 +27,9 @@ enum class EventType : std::uint8_t {
   kBarrierPass,    ///< thread passed the iteration barrier
   kComputeBegin,   ///< start of a charged computation span
   kComputeEnd,
+  kFaultInject,    ///< the fault plan perturbed a packet (info: kind|seq<<8)
+  kReadTimeout,    ///< an outstanding read's retransmit timer fired
+  kReadRetry,      ///< the saved read request was retransmitted
 };
 
 const char* to_string(EventType type);

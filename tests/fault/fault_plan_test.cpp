@@ -1,0 +1,237 @@
+// FaultPlan unit tests: checksums, the deterministic decision stream,
+// scheduled faults, stall windows, and config validation.
+#include "fault/fault_plan.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace emx::fault {
+namespace {
+
+net::Packet tracked_packet(ProcId src, ProcId dst, std::uint32_t seq = 1) {
+  net::Packet p;
+  p.kind = net::PacketKind::kRemoteReadReq;
+  p.src = src;
+  p.dst = dst;
+  p.addr = 0x1234;
+  p.data = 0x5678;
+  p.req_seq = seq;
+  return p;
+}
+
+TEST(PacketChecksum, NonZeroAndDeterministic) {
+  const net::Packet p = tracked_packet(0, 1);
+  const auto c1 = packet_checksum(p);
+  const auto c2 = packet_checksum(p);
+  EXPECT_NE(c1, 0u);
+  EXPECT_EQ(c1, c2);
+}
+
+TEST(PacketChecksum, IgnoresTheChecksumFieldItself) {
+  net::Packet p = tracked_packet(0, 1);
+  const auto clean = packet_checksum(p);
+  p.checksum = clean;  // stamping must not change the sum
+  EXPECT_EQ(packet_checksum(p), clean);
+}
+
+TEST(PacketChecksum, CatchesEverySingleBitFlipOfTheData) {
+  net::Packet p = tracked_packet(0, 1);
+  p.checksum = packet_checksum(p);
+  for (std::uint32_t bit = 0; bit < 32; ++bit) {
+    net::Packet corrupted = p;
+    corrupted.data ^= Word{1} << bit;
+    EXPECT_NE(packet_checksum(corrupted), corrupted.checksum) << "bit " << bit;
+  }
+}
+
+TEST(PacketChecksum, CoversRoutingAndContinuationFields) {
+  const net::Packet base = tracked_packet(0, 1);
+  const auto c0 = packet_checksum(base);
+  net::Packet p = base;
+  p.addr ^= 1;
+  EXPECT_NE(packet_checksum(p), c0);
+  p = base;
+  p.dst = 5;
+  EXPECT_NE(packet_checksum(p), c0);
+  p = base;
+  p.cont_tag ^= 1;
+  EXPECT_NE(packet_checksum(p), c0);
+  p = base;
+  p.req_seq ^= 1;
+  EXPECT_NE(packet_checksum(p), c0);
+}
+
+TEST(FaultPlan, IsTrackedKindCoversExactlyTheReadProtocol) {
+  using net::PacketKind;
+  EXPECT_TRUE(is_tracked_kind(PacketKind::kRemoteReadReq));
+  EXPECT_TRUE(is_tracked_kind(PacketKind::kBlockReadReq));
+  EXPECT_TRUE(is_tracked_kind(PacketKind::kRemoteReadReply));
+  EXPECT_TRUE(is_tracked_kind(PacketKind::kBlockReadReply));
+  EXPECT_FALSE(is_tracked_kind(PacketKind::kRemoteWrite));
+  EXPECT_FALSE(is_tracked_kind(PacketKind::kInvoke));
+  EXPECT_FALSE(is_tracked_kind(PacketKind::kLocalWake));
+}
+
+TEST(FaultPlan, AllRatesZeroMeansNoFaults) {
+  FaultConfig cfg;
+  FaultPlan plan(cfg);
+  for (int i = 0; i < 200; ++i) {
+    const FaultDecision d = plan.decide(tracked_packet(0, 1), 100);
+    EXPECT_FALSE(d.any());
+  }
+}
+
+TEST(FaultPlan, DecisionStreamIsSeedDeterministic) {
+  FaultConfig cfg;
+  cfg.drop_rate = 0.2;
+  cfg.duplicate_rate = 0.1;
+  cfg.corrupt_rate = 0.1;
+  cfg.jitter_max_cycles = 16;
+  auto run = [&cfg] {
+    FaultPlan plan(cfg);
+    std::vector<std::uint64_t> fingerprint;
+    for (int i = 0; i < 500; ++i) {
+      const FaultDecision d = plan.decide(tracked_packet(0, 1), 100);
+      fingerprint.push_back((d.drop ? 1u : 0u) | (d.duplicate ? 2u : 0u) |
+                            (d.corrupt ? 4u : 0u) |
+                            (static_cast<std::uint64_t>(d.jitter) << 8) |
+                            (static_cast<std::uint64_t>(d.corrupt_bit) << 32));
+    }
+    return fingerprint;
+  };
+  EXPECT_EQ(run(), run());
+}
+
+TEST(FaultPlan, DropRateOneDropsEveryTrackedPacket) {
+  FaultConfig cfg;
+  cfg.drop_rate = 1.0;
+  FaultPlan plan(cfg);
+  for (int i = 0; i < 50; ++i)
+    EXPECT_TRUE(plan.decide(tracked_packet(0, 1), 0).drop);
+}
+
+TEST(FaultPlan, FireAndForgetKindsAreNeverLost) {
+  // Remote writes and invocations have no recovery path; even a certain
+  // drop rate must leave them alone.
+  FaultConfig cfg;
+  cfg.drop_rate = 1.0;
+  FaultPlan plan(cfg);
+  net::Packet p = tracked_packet(0, 1);
+  p.kind = net::PacketKind::kRemoteWrite;
+  for (int i = 0; i < 50; ++i) {
+    const FaultDecision d = plan.decide(p, 0);
+    EXPECT_FALSE(d.drop);
+    EXPECT_FALSE(d.duplicate);
+    EXPECT_FALSE(d.corrupt);
+  }
+}
+
+TEST(FaultPlan, ScheduledFaultHitsExactlyTheNthTrackedPacket) {
+  FaultConfig cfg;
+  cfg.scheduled.push_back({.nth = 3, .kind = FaultKind::kDrop});
+  cfg.scheduled.push_back({.nth = 5, .kind = FaultKind::kCorrupt});
+  FaultPlan plan(cfg);
+  std::vector<bool> dropped, corrupted;
+  for (int i = 0; i < 8; ++i) {
+    const FaultDecision d = plan.decide(tracked_packet(0, 1), 0);
+    dropped.push_back(d.drop);
+    corrupted.push_back(d.corrupt);
+  }
+  EXPECT_EQ(dropped, (std::vector<bool>{false, false, true, false, false,
+                                        false, false, false}));
+  EXPECT_EQ(corrupted, (std::vector<bool>{false, false, false, false, true,
+                                          false, false, false}));
+}
+
+TEST(FaultPlan, UntrackedPacketsDoNotAdvanceTheScheduleCounter) {
+  FaultConfig cfg;
+  cfg.scheduled.push_back({.nth = 2, .kind = FaultKind::kDrop});
+  FaultPlan plan(cfg);
+  net::Packet write = tracked_packet(0, 1);
+  write.kind = net::PacketKind::kRemoteWrite;
+  EXPECT_FALSE(plan.decide(write, 0).drop);
+  EXPECT_FALSE(plan.decide(write, 0).drop);  // writes don't count
+  EXPECT_FALSE(plan.decide(tracked_packet(0, 1), 0).drop);  // tracked #1
+  EXPECT_TRUE(plan.decide(tracked_packet(0, 1), 0).drop);   // tracked #2
+  EXPECT_EQ(plan.tracked_seen(), 2u);
+}
+
+TEST(FaultPlan, JitterIsBoundedAndAppliesToAnyFabricPacket) {
+  FaultConfig cfg;
+  cfg.jitter_max_cycles = 8;
+  FaultPlan plan(cfg);
+  bool saw_nonzero = false;
+  for (int i = 0; i < 300; ++i) {
+    net::Packet p = tracked_packet(0, 1);
+    if (i % 2 == 0) p.kind = net::PacketKind::kRemoteWrite;
+    const FaultDecision d = plan.decide(p, 0);
+    EXPECT_LE(d.jitter, 8u);
+    saw_nonzero |= d.jitter > 0;
+  }
+  EXPECT_TRUE(saw_nonzero);
+}
+
+TEST(FaultPlan, StallWindowHoldsMatchingPacketsUntilWindowEnd) {
+  FaultConfig cfg;
+  cfg.stalls.push_back({.src = 2, .dst = 3, .begin = 100, .end = 150});
+  FaultPlan plan(cfg);
+  EXPECT_EQ(plan.decide(tracked_packet(2, 3), 120).stall_until, 150u);
+  EXPECT_EQ(plan.decide(tracked_packet(2, 3), 99).stall_until, 0u);
+  EXPECT_EQ(plan.decide(tracked_packet(2, 3), 150).stall_until, 0u);
+  EXPECT_EQ(plan.decide(tracked_packet(1, 3), 120).stall_until, 0u);
+}
+
+TEST(FaultPlan, StallWindowWildcardMatchesAnyEndpoint) {
+  FaultConfig cfg;
+  cfg.stalls.push_back({.src = kAnyProc, .dst = 7, .begin = 0, .end = 50});
+  FaultPlan plan(cfg);
+  EXPECT_EQ(plan.decide(tracked_packet(0, 7), 10).stall_until, 50u);
+  EXPECT_EQ(plan.decide(tracked_packet(5, 7), 10).stall_until, 50u);
+  EXPECT_EQ(plan.decide(tracked_packet(0, 6), 10).stall_until, 0u);
+}
+
+TEST(FaultPlan, ToStringCoversEveryKind) {
+  EXPECT_STREQ(to_string(FaultKind::kDrop), "DROP");
+  EXPECT_STREQ(to_string(FaultKind::kDuplicate), "DUPLICATE");
+  EXPECT_STREQ(to_string(FaultKind::kCorrupt), "CORRUPT");
+  EXPECT_STREQ(to_string(FaultKind::kDelay), "DELAY");
+  EXPECT_STREQ(to_string(FaultKind::kStall), "STALL");
+}
+
+TEST(FaultConfigValidate, RejectsOutOfRangeRates) {
+  FaultConfig cfg;
+  cfg.drop_rate = 1.5;
+  EXPECT_DEATH(cfg.validate(), "out of \\[0,1\\]");
+  cfg.drop_rate = 0.6;
+  cfg.corrupt_rate = 0.6;
+  EXPECT_DEATH(cfg.validate(), "sum");
+}
+
+TEST(FaultConfigValidate, RejectsDegenerateProtocolKnobs) {
+  FaultConfig cfg;
+  cfg.timeout_cycles = 0;
+  EXPECT_DEATH(cfg.validate(), "timeout");
+  cfg = FaultConfig{};
+  cfg.max_retries = 0;
+  EXPECT_DEATH(cfg.validate(), "retransmit");
+  cfg = FaultConfig{};
+  cfg.stalls.push_back({.src = 0, .dst = 1, .begin = 50, .end = 10});
+  EXPECT_DEATH(cfg.validate(), "stall window");
+}
+
+TEST(FaultConfig, EnabledOnlyWhenThePlanCanActuallyActs) {
+  FaultConfig cfg;
+  EXPECT_FALSE(cfg.enabled());
+  cfg.drop_rate = 0.01;
+  EXPECT_TRUE(cfg.enabled());
+  cfg = FaultConfig{};
+  cfg.jitter_max_cycles = 4;
+  EXPECT_TRUE(cfg.enabled());
+  cfg = FaultConfig{};
+  cfg.scheduled.push_back({.nth = 1, .kind = FaultKind::kDrop});
+  EXPECT_TRUE(cfg.enabled());
+}
+
+}  // namespace
+}  // namespace emx::fault

@@ -1,0 +1,212 @@
+// FaultyNetwork decorator tests: drop / duplicate / corrupt / stall /
+// jitter behaviour at the Network boundary, checksum discard at the
+// ejection port, FIFO non-overtaking under delays, and the fault ledger.
+#include "fault/faulty_network.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "network/fast_network.hpp"
+#include "sim/sim_context.hpp"
+
+namespace emx::fault {
+namespace {
+
+struct Collector {
+  std::vector<net::Packet> delivered;
+  std::vector<Cycle> times;
+  sim::SimContext* sim = nullptr;
+};
+void collect(void* ctx, const net::Packet& p) {
+  auto* c = static_cast<Collector*>(ctx);
+  c->delivered.push_back(p);
+  c->times.push_back(c->sim->now());
+}
+
+net::Packet read_req(ProcId src, ProcId dst, std::uint32_t seq) {
+  net::Packet p;
+  p.kind = net::PacketKind::kRemoteReadReq;
+  p.src = src;
+  p.dst = dst;
+  p.addr = 0xAB;
+  p.data = 0xCD;
+  p.req_seq = seq;
+  return p;
+}
+
+struct Rig {
+  sim::SimContext sim;
+  FaultDomain domain;
+  Collector collector;
+  std::unique_ptr<FaultyNetwork> net;
+
+  explicit Rig(const FaultConfig& cfg, std::uint32_t procs = 4) {
+    collector.sim = &sim;
+    net = std::make_unique<FaultyNetwork>(
+        sim, std::make_unique<net::FastNetwork>(sim, procs), procs, cfg,
+        domain, nullptr);
+    net->set_delivery(&collect, &collector);
+    // Tests pick sequence numbers by hand; make them live in the ledger
+    // the way RetryAgent::on_send would.
+    for (int i = 0; i < 64; ++i) domain.next_seq();
+  }
+};
+
+TEST(FaultyNetwork, TransparentWhenThePlanDecidesNothing) {
+  FaultConfig cfg;
+  cfg.scheduled.push_back({.nth = 99, .kind = FaultKind::kDrop});  // never hit
+  Rig rig(cfg);
+  rig.net->inject(read_req(0, 1, 1));
+  rig.sim.run_until_idle();
+  ASSERT_EQ(rig.collector.delivered.size(), 1u);
+  EXPECT_EQ(rig.domain.report().injected_total(), 0u);
+  EXPECT_EQ(rig.net->name(), "omega-fast+faults");
+}
+
+TEST(FaultyNetwork, ScheduledDropNeverReachesTheFabric) {
+  FaultConfig cfg;
+  cfg.scheduled.push_back({.nth = 1, .kind = FaultKind::kDrop});
+  Rig rig(cfg);
+  rig.net->inject(read_req(0, 1, 7));
+  rig.sim.run_until_idle();
+  EXPECT_TRUE(rig.collector.delivered.empty());
+  const FaultReport& r = rig.domain.report();
+  EXPECT_EQ(r.injected[static_cast<std::size_t>(FaultKind::kDrop)], 1u);
+  EXPECT_EQ(r.injected_recoverable, 1u);
+  EXPECT_EQ(rig.domain.pending_losses(), 1u);  // nobody recovered it yet
+  EXPECT_EQ(rig.net->stats().packets_injected, 0u);  // inner never saw it
+}
+
+TEST(FaultyNetwork, DuplicateDeliversThePacketTwice) {
+  FaultConfig cfg;
+  cfg.scheduled.push_back({.nth = 1, .kind = FaultKind::kDuplicate});
+  Rig rig(cfg);
+  rig.net->inject(read_req(0, 1, 7));
+  rig.sim.run_until_idle();
+  ASSERT_EQ(rig.collector.delivered.size(), 2u);
+  EXPECT_EQ(rig.collector.delivered[0].req_seq, 7u);
+  EXPECT_EQ(rig.collector.delivered[1].req_seq, 7u);
+  // Duplication loses nothing; the ledger has no pending loss.
+  EXPECT_EQ(rig.domain.pending_losses(), 0u);
+  EXPECT_EQ(rig.domain.report().injected[static_cast<std::size_t>(
+                FaultKind::kDuplicate)],
+            1u);
+}
+
+TEST(FaultyNetwork, CorruptionIsCaughtByTheChecksumAndDiscarded) {
+  FaultConfig cfg;
+  cfg.scheduled.push_back({.nth = 1, .kind = FaultKind::kCorrupt});
+  Rig rig(cfg);
+  rig.net->inject(read_req(0, 1, 7));
+  rig.sim.run_until_idle();
+  // The corrupted packet crossed the fabric but the receiver NIC threw it
+  // away: nothing reaches the delivery handler.
+  EXPECT_TRUE(rig.collector.delivered.empty());
+  const FaultReport& r = rig.domain.report();
+  EXPECT_EQ(r.injected[static_cast<std::size_t>(FaultKind::kCorrupt)], 1u);
+  EXPECT_EQ(r.corrupt_discarded, 1u);
+  EXPECT_EQ(r.injected_recoverable, 1u);
+  EXPECT_EQ(rig.net->stats().packets_delivered, 1u);  // fabric did its job
+}
+
+TEST(FaultyNetwork, IntactPacketsPassTheChecksumCheck) {
+  FaultConfig cfg;
+  cfg.jitter_max_cycles = 1;  // enables the subsystem, barely perturbs
+  Rig rig(cfg);
+  for (std::uint32_t i = 1; i <= 20; ++i) rig.net->inject(read_req(0, 1, i));
+  rig.sim.run_until_idle();
+  EXPECT_EQ(rig.collector.delivered.size(), 20u);
+  EXPECT_EQ(rig.domain.report().corrupt_discarded, 0u);
+}
+
+TEST(FaultyNetwork, StallWindowHoldsTheLinkUntilItEnds) {
+  FaultConfig cfg;
+  cfg.stalls.push_back({.src = 0, .dst = 1, .begin = 0, .end = 200});
+  Rig rig(cfg);
+  rig.net->inject(read_req(0, 1, 1));
+  rig.sim.run_until_idle();
+  ASSERT_EQ(rig.collector.times.size(), 1u);
+  EXPECT_GE(rig.collector.times[0], 200u);  // held, then normal transit
+  EXPECT_EQ(rig.domain.report().injected[static_cast<std::size_t>(
+                FaultKind::kStall)],
+            1u);
+}
+
+TEST(FaultyNetwork, SelfPacketsBypassTheFaultModel) {
+  FaultConfig cfg;
+  cfg.drop_rate = 1.0;
+  Rig rig(cfg);
+  net::Packet p = read_req(2, 2, 1);
+  rig.net->inject(p);
+  rig.sim.run_until_idle();
+  ASSERT_EQ(rig.collector.delivered.size(), 1u);
+  EXPECT_EQ(rig.domain.report().injected_total(), 0u);
+}
+
+TEST(FaultyNetwork, JitterPreservesPerLinkFifoOrder) {
+  // Non-overtaking is a correctness cornerstone of the whole simulator
+  // (write-then-read to the same PE). Heavy jitter must not reorder a
+  // link's packets.
+  FaultConfig cfg;
+  cfg.jitter_max_cycles = 64;
+  Rig rig(cfg);
+  for (std::uint32_t i = 1; i <= 50; ++i) {
+    net::Packet p = read_req(0, 1, i);
+    p.data = i;  // payload marks injection order
+    rig.net->inject(p);
+  }
+  rig.sim.run_until_idle();
+  ASSERT_EQ(rig.collector.delivered.size(), 50u);
+  for (std::uint32_t i = 0; i < 50; ++i)
+    EXPECT_EQ(rig.collector.delivered[i].data, i + 1) << "overtaking at " << i;
+}
+
+TEST(FaultyNetwork, DropRateOneKillsEveryTrackedPacketAndOnlyThose) {
+  FaultConfig cfg;
+  cfg.drop_rate = 1.0;
+  Rig rig(cfg);
+  for (std::uint32_t i = 1; i <= 10; ++i) rig.net->inject(read_req(0, 1, i));
+  net::Packet w;
+  w.kind = net::PacketKind::kRemoteWrite;
+  w.src = 0;
+  w.dst = 1;
+  rig.net->inject(w);
+  rig.sim.run_until_idle();
+  ASSERT_EQ(rig.collector.delivered.size(), 1u);  // only the write survives
+  EXPECT_EQ(rig.collector.delivered[0].kind, net::PacketKind::kRemoteWrite);
+  EXPECT_EQ(rig.domain.report().injected[static_cast<std::size_t>(
+                FaultKind::kDrop)],
+            10u);
+}
+
+TEST(FaultDomain, LedgerMovesLossesToRecoveredOnCompletion) {
+  FaultDomain domain;
+  const auto s1 = domain.next_seq();
+  const auto s2 = domain.next_seq();
+  domain.note_lost(s1);
+  domain.note_lost(s1);  // two faults charged to one request
+  domain.note_lost(s2);
+  EXPECT_EQ(domain.pending_losses(), 3u);
+  domain.note_completed(s1);
+  EXPECT_EQ(domain.pending_losses(), 1u);
+  EXPECT_EQ(domain.report().recovered, 2u);
+  domain.note_completed(s2);
+  EXPECT_EQ(domain.pending_losses(), 0u);
+  EXPECT_EQ(domain.report().recovered, 3u);
+  EXPECT_EQ(domain.report().injected_recoverable, 3u);
+}
+
+TEST(FaultDomain, FaultsOnCompletedSequencesAreStaleNotPending) {
+  FaultDomain domain;
+  const auto s = domain.next_seq();
+  domain.note_completed(s);  // read finished via the first copy
+  domain.note_lost(s);       // ... then a stale retransmit was dropped
+  EXPECT_EQ(domain.pending_losses(), 0u);
+  EXPECT_EQ(domain.report().stale_losses, 1u);
+  EXPECT_EQ(domain.report().injected_recoverable, 0u);
+}
+
+}  // namespace
+}  // namespace emx::fault

@@ -1,0 +1,136 @@
+// Event cancellation: the mechanism behind retransmit timers. A cancelled
+// event must never run, never advance the clock, and never count as
+// processed — otherwise every completed read would leave a ghost timer
+// stretching the end-of-run time.
+#include "sim/event_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/sim_context.hpp"
+
+namespace emx::sim {
+namespace {
+
+void record_handler(void* ctx, std::uint64_t a, std::uint64_t) {
+  static_cast<std::vector<std::uint64_t>*>(ctx)->push_back(a);
+}
+
+TEST(EventCancel, CancelledEventNeverRuns) {
+  EventQueue q;
+  std::vector<std::uint64_t> ran;
+  q.push(10, record_handler, &ran, 1, 0);
+  const auto id = q.push(20, record_handler, &ran, 2, 0);
+  q.push(30, record_handler, &ran, 3, 0);
+  q.cancel(id);
+  while (!q.empty()) {
+    const Event e = q.pop();
+    e.fn(e.ctx, e.a, e.b);
+  }
+  EXPECT_EQ(ran, (std::vector<std::uint64_t>{1, 3}));
+}
+
+TEST(EventCancel, EmptyAndSizeIgnoreCancelledRecords) {
+  EventQueue q;
+  std::vector<std::uint64_t> ran;
+  const auto a = q.push(10, record_handler, &ran, 1, 0);
+  const auto b = q.push(20, record_handler, &ran, 2, 0);
+  EXPECT_EQ(q.size(), 2u);
+  q.cancel(a);
+  EXPECT_EQ(q.size(), 1u);
+  EXPECT_FALSE(q.empty());
+  q.cancel(b);
+  EXPECT_EQ(q.size(), 0u);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventCancel, CancellingTwiceIsANoOp) {
+  EventQueue q;
+  std::vector<std::uint64_t> ran;
+  const auto id = q.push(10, record_handler, &ran, 1, 0);
+  q.push(20, record_handler, &ran, 2, 0);
+  q.cancel(id);
+  q.cancel(id);
+  EXPECT_EQ(q.size(), 1u);
+  EXPECT_EQ(q.pop().a, 2u);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventCancel, TopSkipsOverCancelledHead) {
+  EventQueue q;
+  std::vector<std::uint64_t> ran;
+  const auto id = q.push(5, record_handler, &ran, 1, 0);
+  q.push(10, record_handler, &ran, 2, 0);
+  q.cancel(id);
+  EXPECT_EQ(q.top().time, 10u);
+  EXPECT_EQ(q.top().a, 2u);
+}
+
+TEST(EventCancel, ClockDoesNotAdvanceToCancelledEvents) {
+  // The whole point: a pending-but-cancelled timer far in the future must
+  // not stretch the run. The clock ends at the last *live* event.
+  SimContext sim;
+  std::vector<std::uint64_t> ran;
+  sim.schedule(10, record_handler, &ran, 1, 0);
+  const auto timer = sim.schedule(100000, record_handler, &ran, 2, 0);
+  sim.cancel(timer);
+  sim.run_until_idle();
+  EXPECT_EQ(sim.now(), 10u);
+  EXPECT_EQ(ran, (std::vector<std::uint64_t>{1}));
+  EXPECT_EQ(sim.events_processed(), 1u);
+}
+
+TEST(EventCancel, CancelFromInsideAHandler) {
+  // A reply arriving at cycle t cancels the timeout scheduled for t+k —
+  // exactly how RetryAgent::on_reply uses the queue.
+  SimContext sim;
+  std::vector<std::uint64_t> ran;
+  struct Rig {
+    SimContext* sim;
+    std::uint64_t timer_id;
+    std::vector<std::uint64_t>* ran;
+  } rig{&sim, 0, &ran};
+  rig.timer_id = sim.schedule(50, record_handler, &ran, 99, 0);
+  sim.schedule(10,
+               [](void* ctx, std::uint64_t, std::uint64_t) {
+                 auto* r = static_cast<Rig*>(ctx);
+                 r->ran->push_back(1);
+                 r->sim->cancel(r->timer_id);
+               },
+               &rig, 0, 0);
+  sim.run_until_idle();
+  EXPECT_EQ(ran, (std::vector<std::uint64_t>{1}));
+  EXPECT_EQ(sim.now(), 10u);
+}
+
+TEST(EventCancel, TieOrderSurvivesInterleavedCancellation) {
+  EventQueue q;
+  std::vector<std::uint64_t> ran;
+  std::vector<std::uint64_t> ids;
+  for (std::uint64_t i = 0; i < 20; ++i)
+    ids.push_back(q.push(7, record_handler, &ran, i, 0));
+  for (std::size_t i = 0; i < 20; i += 2) q.cancel(ids[i]);  // evens die
+  while (!q.empty()) {
+    const Event e = q.pop();
+    e.fn(e.ctx, e.a, e.b);
+  }
+  ASSERT_EQ(ran.size(), 10u);
+  for (std::size_t i = 0; i + 1 < ran.size(); ++i)
+    EXPECT_LT(ran[i], ran[i + 1]);  // insertion order among survivors
+}
+
+TEST(EventCancel, ClearForgetsCancellations) {
+  EventQueue q;
+  std::vector<std::uint64_t> ran;
+  const auto id = q.push(10, record_handler, &ran, 1, 0);
+  q.cancel(id);
+  q.clear();
+  EXPECT_TRUE(q.empty());
+  q.push(5, record_handler, &ran, 7, 0);
+  EXPECT_EQ(q.size(), 1u);
+  EXPECT_EQ(q.pop().a, 7u);
+}
+
+}  // namespace
+}  // namespace emx::sim

@@ -1,0 +1,99 @@
+// Trace coverage for the fault/reliability event types: to_string must
+// name every EventType distinctly, and the Gantt renderer must show the
+// recovery glyph for a thread riding out a timeout + retry.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/machine.hpp"
+#include "trace/gantt.hpp"
+#include "trace/trace.hpp"
+
+namespace emx::trace {
+namespace {
+
+TEST(TraceToString, EveryEventTypeHasADistinctName) {
+  constexpr auto kFirst = EventType::kThreadInvoke;
+  constexpr auto kLast = EventType::kReadRetry;
+  std::set<std::string> names;
+  for (auto t = static_cast<std::uint8_t>(kFirst);
+       t <= static_cast<std::uint8_t>(kLast); ++t) {
+    const std::string name = to_string(static_cast<EventType>(t));
+    EXPECT_FALSE(name.empty());
+    EXPECT_NE(name, "?") << "unnamed event type " << unsigned(t);
+    EXPECT_TRUE(names.insert(name).second) << "duplicate name " << name;
+  }
+  EXPECT_EQ(names.size(),
+            static_cast<std::size_t>(kLast) - static_cast<std::size_t>(kFirst) + 1);
+}
+
+TEST(TraceToString, FaultEventNames) {
+  EXPECT_STREQ(to_string(EventType::kFaultInject), "FAULT_INJECT");
+  EXPECT_STREQ(to_string(EventType::kReadTimeout), "READ_TIMEOUT");
+  EXPECT_STREQ(to_string(EventType::kReadRetry), "READ_RETRY");
+}
+
+TEST(Gantt, RecoveryGlyphMarksTimeoutAndRetrySpans) {
+  // A thread suspends on a read, the reply is lost, the timer fires and
+  // the request is retried; the lane switches from '.' (waiting) to '!'
+  // (recovering) until the reply finally lands.
+  std::vector<TraceEvent> events;
+  events.push_back({0, 0, 0, EventType::kThreadInvoke, 0});
+  events.push_back({10, 0, 0, EventType::kSuspendRead, 0});
+  events.push_back({50, 0, 0, EventType::kReadTimeout, 1});
+  events.push_back({52, 0, 0, EventType::kReadRetry, 1});
+  events.push_back({80, 0, 0, EventType::kReadReturn, 0});
+  events.push_back({100, 0, 0, EventType::kThreadEnd, 0});
+  const std::string art = render_gantt(events, {.width = 50});
+  EXPECT_NE(art.find('!'), std::string::npos);  // recovery span rendered
+  EXPECT_NE(art.find('.'), std::string::npos);  // plain wait still there
+  EXPECT_NE(art.find("read retry in flight"), std::string::npos);  // legend
+}
+
+TEST(Gantt, FaultInjectDoesNotDisturbTheLane) {
+  // kFaultInject is a network-side marker; a running thread's lane must
+  // keep its '#' state straight through it.
+  std::vector<TraceEvent> events;
+  events.push_back({0, 0, 0, EventType::kThreadInvoke, 0});
+  events.push_back({20, 0, 0, EventType::kFaultInject, 0});
+  events.push_back({40, 0, 0, EventType::kThreadEnd, 0});
+  const std::string art = render_gantt(events, {.width = 40, .show_legend = false});
+  EXPECT_NE(art.find('#'), std::string::npos);
+  EXPECT_EQ(art.find('!'), std::string::npos);
+}
+
+TEST(Gantt, EventLogShowsFaultEvents) {
+  std::vector<TraceEvent> events;
+  events.push_back({12, 3, 7, EventType::kReadTimeout, 5});
+  events.push_back({14, 3, 7, EventType::kReadRetry, 5});
+  const std::string log = render_event_log(events);
+  EXPECT_NE(log.find("READ_TIMEOUT"), std::string::npos);
+  EXPECT_NE(log.find("READ_RETRY"), std::string::npos);
+}
+
+TEST(Gantt, RealFaultedRunEmitsRecoveryEvents) {
+  // Drive a real machine with a scheduled drop and confirm the trace
+  // carries the whole recovery arc: inject -> timeout -> retry.
+  MachineConfig cfg;
+  cfg.proc_count = 2;
+  cfg.fault.scheduled.push_back({.nth = 1, .kind = fault::FaultKind::kDrop});
+  cfg.fault.timeout_cycles = 128;
+  VectorTraceSink sink;
+  Machine m(cfg, &sink);
+  const auto entry = m.register_entry([](rt::ThreadApi api, Word) -> rt::ThreadBody {
+    (void)co_await api.remote_read(
+        rt::GlobalAddr{static_cast<ProcId>(1 - api.proc()), rt::kReservedWords});
+  });
+  m.spawn(0, entry, 0);
+  m.run();
+  EXPECT_EQ(sink.filtered(EventType::kFaultInject).size(), 1u);
+  EXPECT_EQ(sink.filtered(EventType::kReadTimeout).size(), 1u);
+  EXPECT_EQ(sink.filtered(EventType::kReadRetry).size(), 1u);
+  const std::string art = render_gantt(sink.events());
+  EXPECT_NE(art.find('!'), std::string::npos);
+}
+
+}  // namespace
+}  // namespace emx::trace

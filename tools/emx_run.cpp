@@ -62,7 +62,14 @@ int main(int argc, char** argv) {
       .define("dma-interval", "32", "by-pass DMA occupancy per request")
       .define("poll-interval", "24", "barrier re-check period, cycles")
       .define("report", "text", "text | csv")
-      .define("verify", "true", "check the application result");
+      .define("verify", "true", "check the application result")
+      .define("fault-drop-rate", "0", "P(drop) per tracked read packet")
+      .define("fault-dup-rate", "0", "P(duplicate) per tracked read packet")
+      .define("fault-corrupt-rate", "0", "P(bit corruption) per tracked read packet")
+      .define("fault-jitter-max", "0", "max extra per-packet latency, cycles")
+      .define("fault-seed", "1026839", "fault plan RNG seed")
+      .define("fault-timeout", "4096", "read retransmit timeout, cycles")
+      .define("fault-max-retries", "10", "retransmits allowed per read");
   flags.parse(argc, argv);
 
   MachineConfig cfg;
@@ -79,6 +86,14 @@ int main(int argc, char** argv) {
   cfg.dma_service_cycles = static_cast<Cycle>(flags.integer("dma-service"));
   cfg.dma_interval_cycles = static_cast<Cycle>(flags.integer("dma-interval"));
   cfg.barrier_poll_interval = static_cast<Cycle>(flags.integer("poll-interval"));
+  cfg.fault.drop_rate = flags.real("fault-drop-rate");
+  cfg.fault.duplicate_rate = flags.real("fault-dup-rate");
+  cfg.fault.corrupt_rate = flags.real("fault-corrupt-rate");
+  cfg.fault.jitter_max_cycles = static_cast<Cycle>(flags.integer("fault-jitter-max"));
+  cfg.fault.seed = static_cast<std::uint64_t>(flags.integer("fault-seed"));
+  cfg.fault.timeout_cycles = static_cast<Cycle>(flags.integer("fault-timeout"));
+  cfg.fault.max_retries =
+      static_cast<std::uint32_t>(flags.integer("fault-max-retries"));
 
   const std::uint64_t n =
       cfg.proc_count * static_cast<std::uint64_t>(flags.integer("size-per-proc"));
@@ -136,6 +151,9 @@ int main(int argc, char** argv) {
                 app_name.c_str(), size_label(n).c_str(), h,
                 verify ? (ok ? "VERIFIED" : "WRONG RESULT") : "not verified");
   }
-  print_report(machine.report(), csv);
+  const MachineReport report = machine.report();
+  print_report(report, csv);
+  if (report.fault_enabled && !csv)
+    std::fputs(report.fault.summary_text().c_str(), stdout);
   return ok ? 0 : 1;
 }

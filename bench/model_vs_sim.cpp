@@ -69,11 +69,13 @@ int main(int argc, char** argv) {
   const Measured probe = run_kernel(1, run_length, reads);
   model::MultithreadingModel model{
       .run_length = static_cast<double>(run_length),
-      .latency = 2.0 + cfg.dma_service_cycles + 2.0 * (2 + 1) + 4.0,
+      .latency = 2.0 + static_cast<double>(cfg.dma_service_cycles) +
+                 2.0 * (2 + 1) + 4.0,
       .switch_cost = switch_cost};
   // Calibrate L from the single-thread measurement instead:
   // eff(1) = R / (R + C + L)  =>  L = R/eff1 - R - C.
-  model.latency = run_length / probe.efficiency - run_length - switch_cost;
+  model.latency = static_cast<double>(run_length) / probe.efficiency -
+                  static_cast<double>(run_length) - switch_cost;
 
   std::printf("Saavedra-Barrera model vs EM-X simulator\n");
   std::printf("R=%llu C=%.0f L(calibrated)=%.1f  saturation at h=%.2f\n",

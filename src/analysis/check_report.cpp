@@ -1,0 +1,70 @@
+#include "analysis/check_report.hpp"
+
+#include <sstream>
+
+namespace emx::analysis {
+
+const char* to_string(CheckKind kind) {
+  switch (kind) {
+    case CheckKind::kUninitRead: return "uninit-read";
+    case CheckKind::kUseAfterFree: return "use-after-free";
+    case CheckKind::kDoubleFrameFree: return "double-frame-free";
+    case CheckKind::kFrameLeak: return "frame-leak";
+    case CheckKind::kReservedStore: return "reserved-store";
+    case CheckKind::kOobAccess: return "oob-access";
+    case CheckKind::kBadFrameOp: return "bad-frame-op";
+    case CheckKind::kWriteReadRace: return "write-read-race";
+    case CheckKind::kReadWriteRace: return "read-write-race";
+    case CheckKind::kWriteWriteRace: return "write-write-race";
+    case CheckKind::kDeadlock: return "deadlock";
+    case CheckKind::kStuckThread: return "stuck-thread";
+    case CheckKind::kLateEvent: return "late-event";
+    case CheckKind::kFifoOvertake: return "fifo-overtake";
+    case CheckKind::kNegativeCharge: return "negative-charge";
+    case CheckKind::kMisroutedPacket: return "misrouted-packet";
+  }
+  return "?";
+}
+
+std::string Origin::describe() const {
+  std::ostringstream os;
+  os << "pe" << proc;
+  if (thread != kInvalidThread) os << " t" << thread;
+  os << " @" << cycle;
+  return os.str();
+}
+
+std::string Diagnostic::describe() const {
+  std::ostringstream os;
+  os << to_string(kind) << " [" << origin.describe() << "] " << message;
+  if (has_aux) os << " (related: " << aux.describe() << ")";
+  return os.str();
+}
+
+void CheckReport::add(Diagnostic d) {
+  ++counts[static_cast<std::size_t>(d.kind)];
+  if (diagnostics.size() < kMaxDiagnostics) {
+    diagnostics.push_back(std::move(d));
+  } else {
+    ++suppressed;
+  }
+}
+
+std::string CheckReport::summary_text() const {
+  std::ostringstream os;
+  os << "checkers: " << total() << " finding(s)";
+  if (suppressed > 0) os << " (" << suppressed << " suppressed)";
+  os << "\n  activity: " << reads_checked << " reads / " << writes_checked
+     << " writes shadow-checked, " << frames_tracked << " frame(s) tracked, "
+     << accesses_raced << " accesses race-checked (" << hb_edges
+     << " hb joins), " << packets_linted << " packets linted\n";
+  for (std::size_t k = 0; k < kCheckKindCount; ++k) {
+    if (counts[k] == 0) continue;
+    os << "  " << to_string(static_cast<CheckKind>(k)) << ": " << counts[k]
+       << "\n";
+  }
+  for (const auto& d : diagnostics) os << "  " << d.describe() << "\n";
+  return os.str();
+}
+
+}  // namespace emx::analysis

@@ -1,0 +1,51 @@
+// Aggregated checker results surfaced through MachineReport.
+//
+// Diagnostics are deduplicated at the detector (one per defect site) and
+// capped here so a pathological program cannot allocate without bound;
+// counts keep incrementing past the cap.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analysis/diagnostic.hpp"
+
+namespace emx::analysis {
+
+struct CheckReport {
+  /// Findings by kind (indexed by CheckKind).
+  std::array<std::uint64_t, kCheckKindCount> counts{};
+  /// Retained diagnostics, in discovery order, at most kMaxDiagnostics.
+  std::vector<Diagnostic> diagnostics;
+  /// Findings dropped once `diagnostics` hit the cap (still counted).
+  std::uint64_t suppressed = 0;
+
+  // --- checker activity, for "did it actually look" assurance ---
+  std::uint64_t reads_checked = 0;    ///< attributed loads seen by memcheck
+  std::uint64_t writes_checked = 0;   ///< attributed stores seen by memcheck
+  std::uint64_t frames_tracked = 0;   ///< frame regions marked over the run
+  std::uint64_t accesses_raced = 0;   ///< accesses run through vector clocks
+  std::uint64_t hb_edges = 0;         ///< happens-before joins performed
+  std::uint64_t packets_linted = 0;   ///< deliveries inspected by sim-lint
+
+  static constexpr std::size_t kMaxDiagnostics = 256;
+
+  std::uint64_t count(CheckKind kind) const {
+    return counts[static_cast<std::size_t>(kind)];
+  }
+  std::uint64_t total() const {
+    std::uint64_t sum = 0;
+    for (const auto n : counts) sum += n;
+    return sum;
+  }
+  bool clean() const { return total() == 0; }
+
+  /// Records a finding: bumps its count and retains it if under the cap.
+  void add(Diagnostic d);
+
+  std::string summary_text() const;
+};
+
+}  // namespace emx::analysis

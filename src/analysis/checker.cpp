@@ -1,0 +1,408 @@
+#include "analysis/checker.hpp"
+
+#include <sstream>
+
+#include "analysis/wait_graph.hpp"
+#include "common/assert.hpp"
+#include "runtime/global_addr.hpp"
+
+namespace emx::analysis {
+namespace {
+
+/// A cycle charge at or above this is a wrapped-negative value: no real
+/// instruction sequence runs for 2^40 cycles (~15 hours of EMC-Y time).
+constexpr Cycle kChargeSanityLimit = Cycle{1} << 40;
+
+}  // namespace
+
+CheckContext::CheckContext(const CheckConfig& config,
+                           const sim::SimContext& sim,
+                           std::uint32_t proc_count, std::size_t memory_words,
+                           std::uint32_t reserved_words)
+    : config_(config),
+      sim_(sim),
+      proc_count_(proc_count),
+      reserved_words_(reserved_words),
+      slots_(proc_count) {
+  if (config_.memcheck) {
+    shadow_ = std::make_unique<ShadowMemory>(proc_count, memory_words,
+                                             reserved_words, report_);
+  }
+  if (config_.race) races_ = std::make_unique<RaceDetector>(report_);
+}
+
+// -------------------------------------------------------------- thread table
+
+CheckContext::ThreadState& CheckContext::thread(ProcId pe, ThreadId raw) {
+  auto& slot = slots_[pe];
+  EMX_DCHECK(raw < slot.size() && slot[raw] != kNoLogicalTid,
+             "checker hook for an untracked thread");
+  return threads_[slot[raw]];
+}
+
+void CheckContext::tick(ThreadState& t) {
+  ++t.clk;
+  t.vc.set(t.logical, t.clk);
+}
+
+void CheckContext::acquire(ThreadState& t, const VectorClock& from) {
+  t.vc.join(from);
+  ++report_.hb_edges;
+}
+
+Origin CheckContext::origin_of(const ThreadState& t) const {
+  return Origin{t.pe, t.raw, sim_.now()};
+}
+
+VectorClock& CheckContext::barrier_epoch(std::uint32_t episode) {
+  if (episode >= barrier_epochs_.size()) barrier_epochs_.resize(episode + 1);
+  return barrier_epochs_[episode];
+}
+
+void CheckContext::on_thread_start(ProcId pe, ThreadId raw, std::uint32_t entry,
+                                   std::uint32_t hb_token) {
+  const auto logical = static_cast<LogicalTid>(threads_.size());
+  ThreadState t;
+  t.logical = logical;
+  t.pe = pe;
+  t.raw = raw;
+  t.entry = entry;
+  t.runtime = entry < runtime_entries_;
+  t.alive = true;
+  t.clk = 1;
+  t.vc.set(logical, 1);
+  threads_.push_back(std::move(t));
+
+  auto& slot = slots_[pe];
+  if (raw >= slot.size()) slot.resize(raw + 1, kNoLogicalTid);
+  slot[raw] = logical;  // FramePool recycles raw ids; latest owner wins
+
+  if (hb_token != 0) {
+    EMX_DCHECK(hb_token <= spawn_tokens_.size(), "bad spawn hb token");
+    acquire(threads_[logical], spawn_tokens_[hb_token - 1]);
+  }
+}
+
+void CheckContext::on_thread_run(ProcId pe, ThreadId raw) {
+  ThreadState& t = thread(pe, raw);
+  // Gate wakes clear their block in on_gate_wake (they also need the
+  // gate's clock); everything else clears here on re-entering the EXU.
+  if (t.block != Block::kGate) t.block = Block::kNone;
+}
+
+void CheckContext::on_thread_end(ProcId pe, ThreadId raw) {
+  ThreadState& t = thread(pe, raw);
+  t.alive = false;
+  t.block = Block::kNone;
+}
+
+// ------------------------------------------------------------------ accesses
+
+void CheckContext::record_read(ThreadState& t, ProcId tproc, LocalAddr taddr) {
+  if (races_ == nullptr || t.runtime || taddr < reserved_words_) return;
+  races_->on_read(t.logical, t.vc, rt::pack(rt::GlobalAddr{tproc, taddr}),
+                  origin_of(t));
+}
+
+void CheckContext::record_write(ThreadState& t, ProcId tproc, LocalAddr taddr) {
+  if (races_ == nullptr || t.runtime || taddr < reserved_words_) return;
+  races_->on_write(t.logical, t.vc, rt::pack(rt::GlobalAddr{tproc, taddr}),
+                   origin_of(t));
+}
+
+void CheckContext::on_local_read(ProcId pe, ThreadId raw, LocalAddr addr) {
+  ThreadState& t = thread(pe, raw);
+  if (shadow_ != nullptr) shadow_->on_read(pe, addr, origin_of(t));
+  record_read(t, pe, addr);
+}
+
+void CheckContext::on_local_write(ProcId pe, ThreadId raw, LocalAddr addr) {
+  ThreadState& t = thread(pe, raw);
+  if (shadow_ != nullptr) shadow_->on_write(pe, addr, origin_of(t), t.runtime);
+  record_write(t, pe, addr);
+}
+
+void CheckContext::on_remote_read(ProcId pe, ThreadId raw, ProcId tproc,
+                                  LocalAddr taddr) {
+  ThreadState& t = thread(pe, raw);
+  if (shadow_ != nullptr) shadow_->on_read(tproc, taddr, origin_of(t));
+  record_read(t, tproc, taddr);
+}
+
+void CheckContext::on_remote_write(ProcId pe, ThreadId raw, ProcId tproc,
+                                   LocalAddr taddr) {
+  ThreadState& t = thread(pe, raw);
+  if (shadow_ != nullptr) shadow_->on_write(tproc, taddr, origin_of(t), t.runtime);
+  record_write(t, tproc, taddr);
+}
+
+void CheckContext::on_block_read(ProcId pe, ThreadId raw, ProcId sproc,
+                                 LocalAddr saddr, LocalAddr dest,
+                                 std::uint32_t len) {
+  ThreadState& t = thread(pe, raw);
+  for (std::uint32_t i = 0; i < len; ++i) {
+    if (shadow_ != nullptr) {
+      shadow_->on_read(sproc, saddr + i, origin_of(t));
+      // The landing words become defined when the block arrives; the
+      // thread stays suspended until then, so defining them at issue is
+      // equivalent for every access it can make.
+      shadow_->on_write(pe, dest + i, origin_of(t), t.runtime);
+    }
+    record_read(t, sproc, saddr + i);
+    record_write(t, pe, dest + i);
+  }
+}
+
+void CheckContext::on_read_suspend(ProcId pe, ThreadId raw) {
+  ThreadState& t = thread(pe, raw);
+  t.block = Block::kRead;
+  t.blocked_at = origin_of(t);
+}
+
+// ------------------------------------------------------- frame annotations
+
+void CheckContext::on_frame_mark(ProcId pe, ThreadId raw, LocalAddr base,
+                                 std::uint32_t len) {
+  if (shadow_ == nullptr) return;
+  shadow_->frame_mark(pe, base, len, origin_of(thread(pe, raw)));
+}
+
+void CheckContext::on_frame_drop(ProcId pe, ThreadId raw, LocalAddr base) {
+  if (shadow_ == nullptr) return;
+  shadow_->frame_drop(pe, base, origin_of(thread(pe, raw)));
+}
+
+// -------------------------------------------------------------- hb edges
+
+std::uint32_t CheckContext::on_spawn(ProcId pe, ThreadId raw) {
+  ThreadState& t = thread(pe, raw);
+  tick(t);
+  spawn_tokens_.push_back(t.vc);
+  return static_cast<std::uint32_t>(spawn_tokens_.size());
+}
+
+void CheckContext::on_gate_pass(ProcId pe, ThreadId raw, const void* gate) {
+  ThreadState& t = thread(pe, raw);
+  GateState& g = gates_[gate];
+  acquire(t, g.vc);
+  g.inside.push_back(t.logical);
+}
+
+void CheckContext::on_gate_block(ProcId pe, ThreadId raw, const void* gate,
+                                 std::uint32_t index) {
+  ThreadState& t = thread(pe, raw);
+  t.block = Block::kGate;
+  t.gate = gate;
+  t.gate_index = index;
+  t.blocked_at = origin_of(t);
+}
+
+void CheckContext::on_gate_wake(ProcId pe, ThreadId raw) {
+  ThreadState& t = thread(pe, raw);
+  EMX_DCHECK(t.block == Block::kGate, "gate wake for a non-gate-blocked thread");
+  GateState& g = gates_[t.gate];
+  acquire(t, g.vc);
+  g.inside.push_back(t.logical);
+  t.block = Block::kNone;
+  t.gate = nullptr;
+}
+
+void CheckContext::on_gate_advance(ProcId pe, ThreadId raw, const void* gate) {
+  ThreadState& t = thread(pe, raw);
+  tick(t);
+  GateState& g = gates_[gate];
+  g.vc.join(t.vc);
+  for (auto it = g.inside.begin(); it != g.inside.end(); ++it) {
+    if (*it == t.logical) {
+      g.inside.erase(it);
+      break;
+    }
+  }
+}
+
+void CheckContext::on_barrier_join(ProcId pe, ThreadId raw) {
+  ThreadState& t = thread(pe, raw);
+  tick(t);
+  barrier_epoch(t.episode).join(t.vc);
+  t.block = Block::kBarrier;
+  t.blocked_at = origin_of(t);
+}
+
+void CheckContext::on_barrier_pass(ProcId pe, ThreadId raw) {
+  ThreadState& t = thread(pe, raw);
+  // A machine-wide release needs every participant's join in this
+  // episode's accumulator, so acquiring it is a sound barrier edge.
+  acquire(t, barrier_epoch(t.episode));
+  ++t.episode;
+  t.block = Block::kNone;
+}
+
+// ---------------------------------------------------------------- probes
+
+void CheckContext::on_raw_write(ProcId pe, LocalAddr addr, std::uint32_t words) {
+  if (shadow_ == nullptr || !shadow_->pe_tracked(pe)) return;
+  shadow_->on_raw_write(pe, addr, words);
+}
+
+bool CheckContext::lint_once(CheckKind kind, std::uint64_t key) {
+  const std::uint64_t full =
+      (static_cast<std::uint64_t>(kind) << 56) | (key & 0x00FFFFFFFFFFFFFFull);
+  if (lint_reported_.insert(full).second) return true;
+  ++report_.counts[static_cast<std::size_t>(kind)];
+  return false;
+}
+
+void CheckContext::on_deliver(ProcId at, const net::Packet& p) {
+  if (!config_.lint) return;
+  ++report_.packets_linted;
+
+  ProcId expected = p.dst;
+  switch (p.kind) {
+    case net::PacketKind::kRemoteReadReq:
+    case net::PacketKind::kBlockReadReq:
+    case net::PacketKind::kRemoteWrite:
+    case net::PacketKind::kRemoteReadReply:
+    case net::PacketKind::kBlockReadReply:
+      // Service packets name their target in the address word; replies
+      // carry the requester's continuation address there.
+      expected = rt::unpack(p.addr).proc;
+      break;
+    case net::PacketKind::kInvoke:
+    case net::PacketKind::kLocalWake:
+      break;  // addr is an entry id / unused: only p.dst applies
+  }
+  if (at != p.dst || at != expected) {
+    if (lint_once(CheckKind::kMisroutedPacket,
+                  (static_cast<std::uint64_t>(at) << 16) | p.src)) {
+      Diagnostic d;
+      d.kind = CheckKind::kMisroutedPacket;
+      d.origin = Origin{at, kInvalidThread, sim_.now()};
+      d.addr = p.addr;
+      std::ostringstream os;
+      os << to_string(p.kind) << " from pe" << p.src << " for pe"
+         << (at != p.dst ? p.dst : expected) << " ejected at pe" << at;
+      d.message = os.str();
+      report_.add(std::move(d));
+    }
+    return;
+  }
+
+  // FIFO non-overtaking: the fabric must deliver same-(src,dst,priority)
+  // packets in issue order (the runtime's write->invoke ordering and the
+  // retry protocol both rely on it).
+  const std::uint64_t key = (static_cast<std::uint64_t>(p.src) << 33) |
+                            (static_cast<std::uint64_t>(p.dst) << 1) |
+                            static_cast<std::uint64_t>(p.priority);
+  auto [it, inserted] = fifo_last_.try_emplace(key, p.issue_cycle);
+  if (!inserted) {
+    if (p.issue_cycle < it->second) {
+      if (lint_once(CheckKind::kFifoOvertake, key)) {
+        Diagnostic d;
+        d.kind = CheckKind::kFifoOvertake;
+        d.origin = Origin{at, kInvalidThread, sim_.now()};
+        d.addr = p.addr;
+        std::ostringstream os;
+        os << to_string(p.kind) << " pe" << p.src << "->pe" << p.dst
+           << " issued @" << p.issue_cycle << " delivered after one issued @"
+           << it->second;
+        d.message = os.str();
+        report_.add(std::move(d));
+      }
+    } else {
+      it->second = p.issue_cycle;
+    }
+  }
+}
+
+void CheckContext::on_charge(ProcId pe, Cycle cycles) {
+  if (!config_.lint || cycles < kChargeSanityLimit) return;
+  if (!lint_once(CheckKind::kNegativeCharge, pe)) return;
+  Diagnostic d;
+  d.kind = CheckKind::kNegativeCharge;
+  d.origin = Origin{pe, kInvalidThread, sim_.now()};
+  std::ostringstream os;
+  os << "EXU charge of " << cycles
+     << " cycles (>= 2^40) — almost certainly a wrapped negative amount";
+  d.message = os.str();
+  report_.add(std::move(d));
+}
+
+void CheckContext::on_late_schedule(Cycle target, Cycle now) {
+  if (!config_.lint) return;
+  Diagnostic d;
+  d.kind = CheckKind::kLateEvent;
+  d.origin = Origin{0, kInvalidThread, now};
+  std::ostringstream os;
+  os << "event scheduled at cycle " << target << " with the clock already at "
+     << now << " (clamped to now)";
+  d.message = os.str();
+  report_.add(std::move(d));
+}
+
+// ------------------------------------------------------------- end of run
+
+void CheckContext::on_quiesce() {
+  if (!config_.deadlock) return;
+  std::vector<LogicalTid> stuck;
+  for (const ThreadState& t : threads_) {
+    if (t.alive && t.block != Block::kNone) stuck.push_back(t.logical);
+  }
+  if (stuck.empty()) return;
+  stuck_reported_ = true;
+
+  // Lock-style wait-for edges: a thread blocked at a gate waits for the
+  // threads currently inside it (they hold the "advance" obligation).
+  WaitGraph graph;
+  for (const LogicalTid tid : stuck) {
+    const ThreadState& t = threads_[tid];
+    if (t.block != Block::kGate) continue;
+    const auto it = gates_.find(t.gate);
+    if (it == gates_.end()) continue;
+    for (const LogicalTid holder : it->second.inside) {
+      if (holder != tid && threads_[holder].alive) graph.add_edge(tid, holder);
+    }
+  }
+
+  const std::vector<LogicalTid> cycle = graph.find_cycle();
+  if (!cycle.empty()) {
+    Diagnostic d;
+    d.kind = CheckKind::kDeadlock;
+    d.origin = threads_[cycle.front()].blocked_at;
+    std::ostringstream os;
+    os << "circular wait: ";
+    for (std::size_t i = 0; i < cycle.size(); ++i) {
+      const ThreadState& t = threads_[cycle[i]];
+      os << "t" << t.raw << "@pe" << t.pe << " (gate index " << t.gate_index
+         << ") -> ";
+    }
+    const ThreadState& first = threads_[cycle.front()];
+    os << "t" << first.raw << "@pe" << first.pe;
+    d.message = os.str();
+    report_.add(std::move(d));
+    return;
+  }
+
+  for (const LogicalTid tid : stuck) {
+    const ThreadState& t = threads_[tid];
+    Diagnostic d;
+    d.kind = CheckKind::kStuckThread;
+    d.origin = t.blocked_at;
+    std::ostringstream os;
+    os << "thread suspended at quiescence on ";
+    switch (t.block) {
+      case Block::kGate: os << "gate index " << t.gate_index; break;
+      case Block::kRead: os << "a split-phase read that never replied"; break;
+      case Block::kBarrier: os << "the iteration barrier"; break;
+      case Block::kNone: break;
+    }
+    d.message = os.str();
+    report_.add(std::move(d));
+  }
+}
+
+void CheckContext::leak_scan() {
+  if (shadow_ == nullptr || stuck_reported_) return;
+  shadow_->leak_scan();
+}
+
+}  // namespace emx::analysis

@@ -1,0 +1,165 @@
+// CheckContext: the machine-wide hub the instrumented simulator reports
+// into when `--check` is armed.
+//
+// The ThreadEngine calls in at *issue* time for every attributed access
+// and at every scheduling edge (invoke, reply resume, gate, barrier); the
+// Machine calls in at every packet delivery and at end of run; Memory and
+// SimContext call in through registered probes. The context fans those
+// events out to the shadow memory (memcheck), the vector-clock race
+// detector, the wait-for deadlock scan, and the sim-lint rules.
+//
+// Contract with the simulator: the checker is a pure observer. It never
+// charges cycles, never schedules events, and never mutates simulated
+// state, so arming it cannot change any reported cycle count. When it is
+// not armed, none of this state exists and every hook site is a single
+// null-pointer test.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "analysis/check_config.hpp"
+#include "analysis/check_report.hpp"
+#include "analysis/race_detector.hpp"
+#include "analysis/shadow_memory.hpp"
+#include "analysis/vector_clock.hpp"
+#include "common/types.hpp"
+#include "network/packet.hpp"
+#include "sim/sim_context.hpp"
+
+namespace emx::analysis {
+
+class CheckContext {
+ public:
+  CheckContext(const CheckConfig& config, const sim::SimContext& sim,
+               std::uint32_t proc_count, std::size_t memory_words,
+               std::uint32_t reserved_words);
+
+  CheckContext(const CheckContext&) = delete;
+  CheckContext& operator=(const CheckContext&) = delete;
+
+  const CheckConfig& config() const { return config_; }
+  const CheckReport& report() const { return report_; }
+
+  /// Entry ids below this limit belong to the runtime (barrier plumbing):
+  /// their stores are exempt from the reserved-word check and their
+  /// accesses from race recording. The Machine sets this right after
+  /// registering its internal entries.
+  void set_runtime_entry_limit(std::uint32_t limit) { runtime_entries_ = limit; }
+
+  // ----- thread lifecycle (ThreadEngine) -----
+
+  void on_thread_start(ProcId pe, ThreadId raw, std::uint32_t entry,
+                       std::uint32_t hb_token);
+  void on_thread_run(ProcId pe, ThreadId raw);   ///< (re)entering the EXU
+  void on_thread_end(ProcId pe, ThreadId raw);
+
+  // ----- attributed accesses, recorded at issue time -----
+
+  void on_local_read(ProcId pe, ThreadId raw, LocalAddr addr);
+  void on_local_write(ProcId pe, ThreadId raw, LocalAddr addr);
+  void on_remote_read(ProcId pe, ThreadId raw, ProcId tproc, LocalAddr taddr);
+  void on_remote_write(ProcId pe, ThreadId raw, ProcId tproc, LocalAddr taddr);
+  void on_block_read(ProcId pe, ThreadId raw, ProcId sproc, LocalAddr saddr,
+                     LocalAddr dest, std::uint32_t len);
+  void on_read_suspend(ProcId pe, ThreadId raw);  ///< split-phase suspension
+
+  // ----- frame-region annotations (ThreadApi frame_mark / frame_drop) -----
+
+  void on_frame_mark(ProcId pe, ThreadId raw, LocalAddr base, std::uint32_t len);
+  void on_frame_drop(ProcId pe, ThreadId raw, LocalAddr base);
+
+  // ----- happens-before edges the runtime materializes -----
+
+  /// Invoke edge, sender side: snapshots the spawner's clock and returns
+  /// the token the kInvoke packet carries to the new thread (0 = none).
+  std::uint32_t on_spawn(ProcId pe, ThreadId raw);
+  void on_gate_pass(ProcId pe, ThreadId raw, const void* gate);
+  void on_gate_block(ProcId pe, ThreadId raw, const void* gate,
+                     std::uint32_t index);
+  void on_gate_wake(ProcId pe, ThreadId raw);
+  void on_gate_advance(ProcId pe, ThreadId raw, const void* gate);
+  void on_barrier_join(ProcId pe, ThreadId raw);
+  void on_barrier_pass(ProcId pe, ThreadId raw);
+
+  // ----- probes -----
+
+  /// Unattributed store seen at the Memory bus (host pokes, DMA landings).
+  void on_raw_write(ProcId pe, LocalAddr addr, std::uint32_t words);
+  /// Every packet ejected at PE `at` (Machine delivery callback).
+  void on_deliver(ProcId at, const net::Packet& p);
+  /// Every EXU cycle charge (sanity: wrapped-negative amounts).
+  void on_charge(ProcId pe, Cycle cycles);
+  /// SimContext caught an event scheduled into the past.
+  void on_late_schedule(Cycle target, Cycle now);
+
+  // ----- end of run (Machine) -----
+
+  /// The event queue drained: scan suspended threads for a wait cycle.
+  void on_quiesce();
+  /// After liveness checks: report frame regions never dropped.
+  void leak_scan();
+  /// True once on_quiesce reported stuck threads — the Machine then skips
+  /// its drained-with-live-threads panic so diagnostics reach the user.
+  bool stuck_reported() const { return stuck_reported_; }
+
+ private:
+  enum class Block : std::uint8_t { kNone, kGate, kRead, kBarrier };
+
+  struct ThreadState {
+    LogicalTid logical = kNoLogicalTid;
+    ProcId pe = 0;
+    ThreadId raw = kInvalidThread;
+    std::uint32_t entry = 0;
+    bool runtime = false;  ///< barrier-plumbing thread
+    bool alive = false;
+    VectorClock vc;
+    std::uint32_t clk = 0;
+    std::uint32_t episode = 0;  ///< barrier episodes passed
+    Block block = Block::kNone;
+    const void* gate = nullptr;    ///< when block == kGate
+    std::uint32_t gate_index = 0;  ///< when block == kGate
+    Origin blocked_at;
+  };
+
+  struct GateState {
+    VectorClock vc;                   ///< released by every gate_advance
+    std::vector<LogicalTid> inside;   ///< passed the gate, not yet advanced
+  };
+
+  ThreadState& thread(ProcId pe, ThreadId raw);
+  void tick(ThreadState& t);
+  void acquire(ThreadState& t, const VectorClock& from);
+  Origin origin_of(const ThreadState& t) const;
+  VectorClock& barrier_epoch(std::uint32_t episode);
+  void record_read(ThreadState& t, ProcId tproc, LocalAddr taddr);
+  void record_write(ThreadState& t, ProcId tproc, LocalAddr taddr);
+  bool lint_once(CheckKind kind, std::uint64_t key);
+
+  CheckConfig config_;
+  const sim::SimContext& sim_;
+  std::uint32_t proc_count_;
+  std::uint32_t reserved_words_;
+  std::uint32_t runtime_entries_ = 0;
+  CheckReport report_;
+
+  std::unique_ptr<ShadowMemory> shadow_;  ///< memcheck only
+  std::unique_ptr<RaceDetector> races_;   ///< race only
+
+  std::vector<ThreadState> threads_;            ///< indexed by LogicalTid
+  std::vector<std::vector<LogicalTid>> slots_;  ///< per-PE raw id -> logical
+  std::vector<VectorClock> spawn_tokens_;       ///< kInvoke hb_token payloads
+  std::unordered_map<const void*, GateState> gates_;
+  std::vector<VectorClock> barrier_epochs_;     ///< join accumulators
+
+  // sim-lint state
+  std::unordered_map<std::uint64_t, Cycle> fifo_last_;  ///< (src,dst,pri)
+  std::unordered_set<std::uint64_t> lint_reported_;
+
+  bool stuck_reported_ = false;
+};
+
+}  // namespace emx::analysis

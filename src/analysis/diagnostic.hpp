@@ -1,0 +1,65 @@
+// A checker finding: what went wrong, where, and on whose behalf.
+//
+// Every diagnostic carries an origin — the (PE, thread, cycle) at which
+// the offending access or operation executed — in the spirit of
+// memcheck's --track-origins. Where a second site matters (where a frame
+// was marked or dropped, where the conflicting access ran) it travels as
+// the auxiliary origin.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/types.hpp"
+
+namespace emx::analysis {
+
+enum class CheckKind : std::uint8_t {
+  // --- memcheck (shadow memory over proc::Memory frame regions) ---
+  kUninitRead,      ///< read of a frame word never written since its mark
+  kUseAfterFree,    ///< access to a dropped (freed) frame region
+  kDoubleFrameFree, ///< frame_drop of an already-dropped region
+  kFrameLeak,       ///< frame region still marked at end of run
+  kReservedStore,   ///< app store into the runtime-reserved low words
+  kOobAccess,       ///< local access beyond the PE's memory
+  kBadFrameOp,      ///< malformed mark/drop (overlap, zero length, no frame)
+  // --- vector-clock race detection on the global address space ---
+  kWriteReadRace,   ///< unsynchronized write observed by a read
+  kReadWriteRace,   ///< unsynchronized read overwritten by a write
+  kWriteWriteRace,  ///< two unsynchronized writes
+  // --- quiescence-time deadlock detection ---
+  kDeadlock,        ///< cycle in the wait-for graph; message names it
+  kStuckThread,     ///< suspended thread at quiescence, no cycle found
+  // --- sim-lint (simulator invariants) ---
+  kLateEvent,       ///< event scheduled into the simulated past
+  kFifoOvertake,    ///< same-pair packets delivered out of issue order
+  kNegativeCharge,  ///< absurd (wrapped-negative) cycle charge
+  kMisroutedPacket, ///< packet ejected at a PE other than its destination
+};
+
+inline constexpr std::size_t kCheckKindCount = 16;
+
+const char* to_string(CheckKind kind);
+
+/// Where something happened. `thread` is the engine-local thread id
+/// (kInvalidThread for host-side or un-attributed sites).
+struct Origin {
+  ProcId proc = 0;
+  ThreadId thread = kInvalidThread;
+  Cycle cycle = 0;
+
+  std::string describe() const;
+};
+
+struct Diagnostic {
+  CheckKind kind = CheckKind::kUninitRead;
+  Origin origin;       ///< the offending access / operation
+  Origin aux;          ///< related site (mark/drop/conflicting access)
+  bool has_aux = false;
+  Word addr = 0;       ///< packed global address, when address-shaped
+  std::string message;
+
+  std::string describe() const;
+};
+
+}  // namespace emx::analysis

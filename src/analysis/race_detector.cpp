@@ -1,0 +1,62 @@
+#include "analysis/race_detector.hpp"
+
+#include <sstream>
+
+namespace emx::analysis {
+
+void RaceDetector::on_read(LogicalTid tid, const VectorClock& vc, Word addr,
+                           const Origin& origin) {
+  ++report_.accesses_raced;
+  auto& cell = cells_[addr];
+  if (cell.has_write && cell.write.epoch.tid != tid &&
+      !happens_before(cell.write.epoch, vc)) {
+    report_race(CheckKind::kWriteReadRace, addr, origin, cell.write.origin);
+  }
+  for (auto& r : cell.reads) {
+    if (r.epoch.tid == tid) {
+      r = Access{Epoch{tid, vc.of(tid)}, origin};
+      return;
+    }
+  }
+  cell.reads.push_back(Access{Epoch{tid, vc.of(tid)}, origin});
+}
+
+void RaceDetector::on_write(LogicalTid tid, const VectorClock& vc, Word addr,
+                            const Origin& origin) {
+  ++report_.accesses_raced;
+  auto& cell = cells_[addr];
+  if (cell.has_write && cell.write.epoch.tid != tid &&
+      !happens_before(cell.write.epoch, vc)) {
+    report_race(CheckKind::kWriteWriteRace, addr, origin, cell.write.origin);
+  }
+  for (const auto& r : cell.reads) {
+    if (r.epoch.tid != tid && !happens_before(r.epoch, vc)) {
+      report_race(CheckKind::kReadWriteRace, addr, origin, r.origin);
+    }
+  }
+  cell.reads.clear();
+  cell.write = Access{Epoch{tid, vc.of(tid)}, origin};
+  cell.has_write = true;
+}
+
+void RaceDetector::report_race(CheckKind kind, Word addr,
+                               const Origin& current, const Origin& previous) {
+  const std::uint64_t key =
+      (static_cast<std::uint64_t>(kind) << 32) | static_cast<std::uint64_t>(addr);
+  if (!reported_.insert(key).second) {
+    ++report_.counts[static_cast<std::size_t>(kind)];
+    return;
+  }
+  Diagnostic d;
+  d.kind = kind;
+  d.origin = current;
+  d.aux = previous;
+  d.has_aux = true;
+  d.addr = addr;
+  std::ostringstream os;
+  os << "unsynchronized accesses to global addr 0x" << std::hex << addr;
+  d.message = os.str();
+  report_.add(std::move(d));
+}
+
+}  // namespace emx::analysis

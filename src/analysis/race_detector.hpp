@@ -1,0 +1,59 @@
+// FastTrack-style data-race detection over the global address space.
+//
+// Each shadow cell remembers the last write epoch and the reads since
+// that write. An access races when the remembered access does not
+// happen-before the current thread's clock. Accesses are recorded at
+// *issue* time in the ThreadEngine: any two issues ordered by
+// happens-before are also ordered in simulated time (the runtime's edges
+// all go forward in time), so issue order is a sound observation order
+// and, unlike delivery order, is independent of network jitter.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "analysis/check_report.hpp"
+#include "analysis/vector_clock.hpp"
+#include "common/types.hpp"
+
+namespace emx::analysis {
+
+class RaceDetector {
+ public:
+  explicit RaceDetector(CheckReport& report) : report_(report) {}
+
+  /// Records a read of packed global address `addr` by `tid` whose clock
+  /// is `vc`; `origin` locates the access for diagnostics.
+  void on_read(LogicalTid tid, const VectorClock& vc, Word addr,
+               const Origin& origin);
+
+  /// Records a write; reports against the previous write and every
+  /// unordered read since it.
+  void on_write(LogicalTid tid, const VectorClock& vc, Word addr,
+                const Origin& origin);
+
+  std::size_t cells() const { return cells_.size(); }
+
+ private:
+  struct Access {
+    Epoch epoch;
+    Origin origin;
+  };
+  struct ShadowCell {
+    Access write;
+    bool has_write = false;
+    std::vector<Access> reads;  ///< reads since the last write, per thread
+  };
+
+  /// One report per (kind, address); later hits only bump the count.
+  void report_race(CheckKind kind, Word addr, const Origin& current,
+                   const Origin& previous);
+
+  CheckReport& report_;
+  std::unordered_map<Word, ShadowCell> cells_;
+  std::unordered_set<std::uint64_t> reported_;
+};
+
+}  // namespace emx::analysis

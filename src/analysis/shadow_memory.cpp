@@ -1,0 +1,193 @@
+#include "analysis/shadow_memory.hpp"
+
+#include <sstream>
+
+#include "runtime/global_addr.hpp"
+
+namespace emx::analysis {
+namespace {
+
+std::string at_addr(ProcId pe, LocalAddr addr) {
+  std::ostringstream os;
+  os << "pe" << pe << ":[" << addr << "]";
+  return os.str();
+}
+
+}  // namespace
+
+ShadowMemory::Frame* ShadowMemory::find(ProcId pe, LocalAddr addr) {
+  auto& frames = pes_[pe].frames;
+  auto it = frames.upper_bound(addr);
+  if (it == frames.begin()) return nullptr;
+  --it;
+  Frame& f = it->second;
+  return addr < f.base + f.len ? &f : nullptr;
+}
+
+bool ShadowMemory::already(CheckKind kind, ProcId pe, LocalAddr addr) {
+  const std::uint64_t key = (static_cast<std::uint64_t>(kind) << 52) |
+                            (static_cast<std::uint64_t>(pe) << 40) |
+                            static_cast<std::uint64_t>(addr);
+  if (reported_.insert(key).second) return false;
+  ++report_.counts[static_cast<std::size_t>(kind)];
+  return true;
+}
+
+void ShadowMemory::report(CheckKind kind, ProcId pe, LocalAddr addr,
+                          const Origin& origin, const Origin* aux,
+                          const std::string& message) {
+  Diagnostic d;
+  d.kind = kind;
+  d.origin = origin;
+  if (aux != nullptr) {
+    d.aux = *aux;
+    d.has_aux = true;
+  }
+  // Address-shaped diagnostics carry the packed global address (an
+  // out-of-range local part is truncated to the address bits).
+  d.addr = rt::pack(rt::GlobalAddr{pe, addr});
+  d.message = message;
+  report_.add(std::move(d));
+}
+
+void ShadowMemory::frame_mark(ProcId pe, LocalAddr base, std::uint32_t len,
+                              const Origin& origin) {
+  ++report_.frames_tracked;
+  if (len == 0 || base + len > memory_words_ || base + len < base) {
+    if (!already(CheckKind::kBadFrameOp, pe, base)) {
+      report(CheckKind::kBadFrameOp, pe, base, origin, nullptr,
+             "frame_mark with empty or out-of-memory region at " +
+                 at_addr(pe, base));
+    }
+    return;
+  }
+  // Reusing the RAM of a dropped frame is normal (FramePool recycles);
+  // forget any fully-retired shadow the new region overlaps. Overlapping
+  // a *live* frame is a bug in the program's frame annotations.
+  auto& frames = pes_[pe].frames;
+  for (auto it = frames.begin(); it != frames.end();) {
+    Frame& f = it->second;
+    const bool overlaps = f.base < base + len && base < f.base + f.len;
+    if (overlaps && f.alive) {
+      if (!already(CheckKind::kBadFrameOp, pe, base)) {
+        report(CheckKind::kBadFrameOp, pe, base, origin, &f.marked,
+               "frame_mark overlaps a live frame at " + at_addr(pe, f.base));
+      }
+      return;
+    }
+    if (overlaps) {
+      it = frames.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  Frame f;
+  f.base = base;
+  f.len = len;
+  f.marked = origin;
+  f.defined.assign(len, 0);
+  f.writer.assign(len, Origin{});
+  frames.emplace(base, std::move(f));
+}
+
+void ShadowMemory::frame_drop(ProcId pe, LocalAddr base, const Origin& origin) {
+  auto& frames = pes_[pe].frames;
+  const auto it = frames.find(base);
+  if (it == frames.end()) {
+    if (!already(CheckKind::kBadFrameOp, pe, base)) {
+      report(CheckKind::kBadFrameOp, pe, base, origin, nullptr,
+             "frame_drop of never-marked region at " + at_addr(pe, base));
+    }
+    return;
+  }
+  Frame& f = it->second;
+  if (!f.alive) {
+    if (!already(CheckKind::kDoubleFrameFree, pe, base)) {
+      report(CheckKind::kDoubleFrameFree, pe, base, origin, &f.dropped,
+             "frame at " + at_addr(pe, base) + " dropped twice");
+    }
+    return;
+  }
+  f.alive = false;
+  f.dropped = origin;
+}
+
+void ShadowMemory::on_read(ProcId pe, LocalAddr addr, const Origin& origin) {
+  ++report_.reads_checked;
+  if (addr >= memory_words_) {
+    if (!already(CheckKind::kOobAccess, pe, addr)) {
+      report(CheckKind::kOobAccess, pe, addr, origin, nullptr,
+             "load beyond local memory at " + at_addr(pe, addr));
+    }
+    return;
+  }
+  Frame* f = find(pe, addr);
+  if (f == nullptr) return;  // static RAM: defined, like a C global
+  if (!f->alive) {
+    if (!already(CheckKind::kUseAfterFree, pe, addr)) {
+      report(CheckKind::kUseAfterFree, pe, addr, origin, &f->dropped,
+             "load from dropped frame at " + at_addr(pe, addr));
+    }
+    return;
+  }
+  const std::size_t off = addr - f->base;
+  if (f->defined[off] == 0) {
+    if (!already(CheckKind::kUninitRead, pe, addr)) {
+      report(CheckKind::kUninitRead, pe, addr, origin, &f->marked,
+             "load of uninitialized frame word at " + at_addr(pe, addr));
+    }
+  }
+}
+
+void ShadowMemory::on_write(ProcId pe, LocalAddr addr, const Origin& origin,
+                            bool runtime) {
+  ++report_.writes_checked;
+  if (addr >= memory_words_) {
+    if (!already(CheckKind::kOobAccess, pe, addr)) {
+      report(CheckKind::kOobAccess, pe, addr, origin, nullptr,
+             "store beyond local memory at " + at_addr(pe, addr));
+    }
+    return;
+  }
+  if (!runtime && addr < reserved_words_) {
+    if (!already(CheckKind::kReservedStore, pe, addr)) {
+      report(CheckKind::kReservedStore, pe, addr, origin, nullptr,
+             "store into runtime-reserved word at " + at_addr(pe, addr));
+    }
+    return;
+  }
+  Frame* f = find(pe, addr);
+  if (f == nullptr) return;
+  if (!f->alive) {
+    if (!already(CheckKind::kUseAfterFree, pe, addr)) {
+      report(CheckKind::kUseAfterFree, pe, addr, origin, &f->dropped,
+             "store to dropped frame at " + at_addr(pe, addr));
+    }
+    return;
+  }
+  const std::size_t off = addr - f->base;
+  f->defined[off] = 1;
+  f->writer[off] = origin;
+}
+
+void ShadowMemory::on_raw_write(ProcId pe, LocalAddr addr,
+                                std::uint32_t words) {
+  for (std::uint32_t i = 0; i < words; ++i) {
+    Frame* f = find(pe, addr + i);
+    if (f == nullptr || !f->alive) continue;
+    f->defined[addr + i - f->base] = 1;
+  }
+}
+
+void ShadowMemory::leak_scan() {
+  for (ProcId pe = 0; pe < pes_.size(); ++pe) {
+    for (const auto& [base, f] : pes_[pe].frames) {
+      if (!f.alive) continue;
+      report(CheckKind::kFrameLeak, pe, base, f.marked, nullptr,
+             "frame at " + at_addr(pe, base) + " (" + std::to_string(f.len) +
+                 " words) still marked at end of run");
+    }
+  }
+}
+
+}  // namespace emx::analysis

@@ -1,0 +1,86 @@
+// Valgrind-style shadow memory over each PE's local RAM.
+//
+// Addressability follows memcheck's client-request model: statically
+// initialized RAM (the host-loaded arrays apps operate on) is treated
+// like C globals — always addressable, always defined. Activation-frame
+// regions are the "heap": a thread announces one with frame_mark
+// (MALLOCLIKE_BLOCK) and retires it with frame_drop (FREELIKE_BLOCK).
+// Inside a live region every word carries a definedness bit plus the
+// origin of its defining store; dropped regions stay shadowed so later
+// touches report use-after-free with the drop site attached.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <unordered_set>
+#include <vector>
+
+#include "analysis/check_report.hpp"
+#include "common/types.hpp"
+
+namespace emx::analysis {
+
+class ShadowMemory {
+ public:
+  ShadowMemory(std::uint32_t proc_count, std::size_t memory_words,
+               std::uint32_t reserved_words, CheckReport& report)
+      : pes_(proc_count),
+        memory_words_(memory_words),
+        reserved_words_(reserved_words),
+        report_(report) {}
+
+  /// A thread declares [base, base+len) an activation-frame region.
+  void frame_mark(ProcId pe, LocalAddr base, std::uint32_t len,
+                  const Origin& origin);
+
+  /// A thread retires the region previously marked at `base`.
+  void frame_drop(ProcId pe, LocalAddr base, const Origin& origin);
+
+  /// An attributed load of one word. Reports uninit/use-after-free/oob.
+  void on_read(ProcId pe, LocalAddr addr, const Origin& origin);
+
+  /// An attributed store. `runtime` suppresses the reserved-low-words
+  /// check for the runtime's own bookkeeping stores (barrier flags).
+  void on_write(ProcId pe, LocalAddr addr, const Origin& origin,
+                bool runtime);
+
+  /// An unattributed store observed at the Memory bus (host pokes, DMA
+  /// block-read landings): defines the words without an origin.
+  void on_raw_write(ProcId pe, LocalAddr addr, std::uint32_t words);
+
+  /// True if this PE has ever marked a frame region (lets the raw-write
+  /// probe stay O(1) for PEs with nothing to track).
+  bool pe_tracked(ProcId pe) const { return !pes_[pe].frames.empty(); }
+
+  /// End-of-run sweep: any region still alive is reported as leaked.
+  void leak_scan();
+
+ private:
+  struct Frame {
+    LocalAddr base = 0;
+    std::uint32_t len = 0;
+    bool alive = true;
+    Origin marked;                 ///< where frame_mark ran
+    Origin dropped;                ///< where frame_drop ran (if !alive)
+    std::vector<std::uint8_t> defined;
+    std::vector<Origin> writer;    ///< defining store per word
+  };
+  struct PeShadow {
+    std::map<LocalAddr, Frame> frames;  ///< keyed by base, non-overlapping
+  };
+
+  /// The frame whose live-time region contains `addr`, else nullptr.
+  Frame* find(ProcId pe, LocalAddr addr);
+
+  bool already(CheckKind kind, ProcId pe, LocalAddr addr);
+  void report(CheckKind kind, ProcId pe, LocalAddr addr, const Origin& origin,
+              const Origin* aux, const std::string& message);
+
+  std::vector<PeShadow> pes_;
+  std::size_t memory_words_;
+  std::uint32_t reserved_words_;
+  CheckReport& report_;
+  std::unordered_set<std::uint64_t> reported_;
+};
+
+}  // namespace emx::analysis

@@ -1,0 +1,60 @@
+// Sparse vector clocks over *logical* thread ids.
+//
+// FramePool recycles ThreadIds, so the race detector numbers every
+// activation with a fresh logical id and keys clocks on those. Clocks are
+// sparse maps: a fine-grain run creates thousands of short-lived threads,
+// and each one synchronizes with only a handful of peers.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+namespace emx::analysis {
+
+/// Logical (never-reused) thread number.
+using LogicalTid = std::uint32_t;
+
+inline constexpr LogicalTid kNoLogicalTid = 0xFFFFFFFFu;
+
+/// One component of a vector clock: thread `tid` at its local time `clk`.
+struct Epoch {
+  LogicalTid tid = kNoLogicalTid;
+  std::uint32_t clk = 0;
+};
+
+class VectorClock {
+ public:
+  /// The component for `tid` (0 if never set — clocks start at 0).
+  std::uint32_t of(LogicalTid tid) const {
+    const auto it = clocks_.find(tid);
+    return it == clocks_.end() ? 0 : it->second;
+  }
+
+  void set(LogicalTid tid, std::uint32_t clk) { clocks_[tid] = clk; }
+
+  /// Pointwise max with `other`. Returns the number of components raised
+  /// (so callers can count real happens-before information flow).
+  std::uint32_t join(const VectorClock& other) {
+    std::uint32_t raised = 0;
+    for (const auto& [tid, clk] : other.clocks_) {
+      auto& mine = clocks_[tid];
+      if (clk > mine) {
+        mine = clk;
+        ++raised;
+      }
+    }
+    return raised;
+  }
+
+  std::size_t size() const { return clocks_.size(); }
+
+ private:
+  std::unordered_map<LogicalTid, std::uint32_t> clocks_;
+};
+
+/// True if the access at `e` happened-before everything at-or-after `vc`.
+inline bool happens_before(const Epoch& e, const VectorClock& vc) {
+  return e.clk <= vc.of(e.tid);
+}
+
+}  // namespace emx::analysis

@@ -1,0 +1,70 @@
+#include "analysis/wait_graph.hpp"
+
+namespace emx::analysis {
+
+std::size_t WaitGraph::node_index(LogicalTid id) {
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    if (nodes_[i].id == id) return i;
+  }
+  nodes_.push_back(Node{id, {}});
+  return nodes_.size() - 1;
+}
+
+void WaitGraph::add_edge(LogicalTid from, LogicalTid to) {
+  const std::size_t f = node_index(from);
+  const std::size_t t = node_index(to);
+  for (const std::size_t existing : nodes_[f].out) {
+    if (existing == t) return;
+  }
+  nodes_[f].out.push_back(t);
+}
+
+std::size_t WaitGraph::edge_count() const {
+  std::size_t n = 0;
+  for (const auto& node : nodes_) n += node.out.size();
+  return n;
+}
+
+std::vector<LogicalTid> WaitGraph::find_cycle() const {
+  enum class Mark : std::uint8_t { kWhite, kGrey, kBlack };
+  std::vector<Mark> mark(nodes_.size(), Mark::kWhite);
+  std::vector<std::size_t> stack;
+
+  // Iterative DFS; on hitting a grey node, the stack suffix from its
+  // first occurrence is the cycle.
+  struct Visit {
+    std::size_t node;
+    std::size_t next_out;
+  };
+  for (std::size_t root = 0; root < nodes_.size(); ++root) {
+    if (mark[root] != Mark::kWhite) continue;
+    std::vector<Visit> visits{{root, 0}};
+    mark[root] = Mark::kGrey;
+    stack.push_back(root);
+    while (!visits.empty()) {
+      Visit& v = visits.back();
+      if (v.next_out < nodes_[v.node].out.size()) {
+        const std::size_t next = nodes_[v.node].out[v.next_out++];
+        if (mark[next] == Mark::kGrey) {
+          std::vector<LogicalTid> cycle;
+          std::size_t i = 0;
+          while (stack[i] != next) ++i;
+          for (; i < stack.size(); ++i) cycle.push_back(nodes_[stack[i]].id);
+          return cycle;
+        }
+        if (mark[next] == Mark::kWhite) {
+          mark[next] = Mark::kGrey;
+          stack.push_back(next);
+          visits.push_back({next, 0});
+        }
+      } else {
+        mark[v.node] = Mark::kBlack;
+        stack.pop_back();
+        visits.pop_back();
+      }
+    }
+  }
+  return {};
+}
+
+}  // namespace emx::analysis

@@ -1,0 +1,37 @@
+// A tiny directed wait-for graph with cycle extraction.
+//
+// Nodes are logical thread ids; an edge a -> b means "a cannot make
+// progress until b does". Built by the checker when the machine quiesces
+// with suspended threads, then scanned for a cycle to name in the
+// deadlock diagnostic.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "analysis/vector_clock.hpp"
+
+namespace emx::analysis {
+
+class WaitGraph {
+ public:
+  void add_edge(LogicalTid from, LogicalTid to);
+
+  /// Some cycle in the graph as [t0, t1, ..., t0-again-implied], or empty
+  /// if the graph is acyclic. Deterministic: DFS in insertion order.
+  std::vector<LogicalTid> find_cycle() const;
+
+  std::size_t edge_count() const;
+
+ private:
+  struct Node {
+    LogicalTid id = kNoLogicalTid;
+    std::vector<std::size_t> out;  ///< indices into nodes_
+  };
+
+  std::size_t node_index(LogicalTid id);
+
+  std::vector<Node> nodes_;
+};
+
+}  // namespace emx::analysis

@@ -6,6 +6,7 @@
 #include <cstdint>
 #include <string>
 
+#include "analysis/check_config.hpp"
 #include "common/types.hpp"
 #include "fault/fault_config.hpp"
 
@@ -76,6 +77,13 @@ struct MachineConfig {
   /// protocol; otherwise the subsystem is not even constructed and the
   /// simulated machine is cycle-identical to a build without it.
   fault::FaultConfig fault;
+
+  // --- correctness checkers (off unless any checker armed) ---
+  /// When `check.enabled()`, the Machine builds an analysis::CheckContext
+  /// and every engine/memory/network hook reports into it; otherwise no
+  /// shadow state exists at all. The checkers are pure observers, so even
+  /// an armed run reports cycle counts identical to an unarmed one.
+  analysis::CheckConfig check;
 
   // --- safety rails ---
   std::uint64_t max_events = 0;  ///< 0 = unlimited

@@ -10,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/check_report.hpp"
 #include "common/types.hpp"
 #include "fault/fault_stats.hpp"
 #include "network/network_iface.hpp"
@@ -47,6 +48,10 @@ struct MachineReport {
   /// Fault injection & reliability (zeros unless the run had faults).
   bool fault_enabled = false;
   fault::FaultReport fault;
+
+  /// Correctness checkers (empty unless the run armed --check).
+  bool check_enabled = false;
+  analysis::CheckReport check;
 
   double seconds() const { return cycles_to_seconds(total_cycles, clock_hz); }
 

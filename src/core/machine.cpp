@@ -117,6 +117,23 @@ Machine::Machine(MachineConfig config, trace::TraceSink* sink)
     if (faulty_ != nullptr)
       pes_.back()->arm_reliability(sim_, fault_domain_, sink_);
   }
+
+  if (config_.check.enabled()) {
+    checker_ = std::make_unique<analysis::CheckContext>(
+        config_.check, sim_, config_.proc_count, config_.memory_words,
+        rt::kReservedWords);
+    // Everything registered so far is runtime plumbing; apps come later.
+    checker_->set_runtime_entry_limit(static_cast<std::uint32_t>(registry_.size()));
+    mem_probes_.resize(config_.proc_count);
+    for (ProcId p = 0; p < config_.proc_count; ++p) {
+      pes_[p]->engine().set_checker(checker_.get());
+      mem_probes_[p] = MemProbe{checker_.get(), p};
+      pes_[p]->memory().set_write_probe(&Machine::mem_probe_thunk,
+                                        &mem_probes_[p]);
+    }
+    if (config_.check.lint)
+      sim_.set_late_schedule_hook(&Machine::late_schedule_thunk, checker_.get());
+  }
 }
 
 Machine::~Machine() = default;
@@ -154,10 +171,16 @@ void Machine::run() {
   sim_.run_until_idle(config_.max_events);
   end_cycle_ = sim_.now();
   ran_ = true;
-  for (const auto& pe : pes_) {
-    EMX_CHECK(pe->engine().frames().live() == 0,
-              "simulation drained with live threads (deadlock or lost wake)");
+  if (checker_ != nullptr) checker_->on_quiesce();
+  if (checker_ == nullptr || !checker_->stuck_reported()) {
+    // When the deadlock checker has already named the stuck threads, skip
+    // the panic so its diagnostics reach the report.
+    for (const auto& pe : pes_) {
+      EMX_CHECK(pe->engine().frames().live() == 0,
+                "simulation drained with live threads (deadlock or lost wake)");
+    }
   }
+  if (checker_ != nullptr) checker_->leak_scan();
   if (faulty_ != nullptr) {
     // Reliability invariant: every injected recoverable fault was healed —
     // no read is still outstanding and every damaged request completed.
@@ -176,7 +199,18 @@ void Machine::run() {
 void Machine::delivery_thunk(void* ctx, const net::Packet& packet) {
   auto* self = static_cast<Machine*>(ctx);
   EMX_DCHECK(packet.dst < self->pes_.size(), "packet to unknown PE");
+  if (self->checker_ != nullptr)
+    self->checker_->on_deliver(packet.dst, packet);
   self->pes_[packet.dst]->accept(packet);
+}
+
+void Machine::mem_probe_thunk(void* ctx, LocalAddr addr, std::uint32_t words) {
+  const auto* probe = static_cast<const MemProbe*>(ctx);
+  probe->checker->on_raw_write(probe->pe, addr, words);
+}
+
+void Machine::late_schedule_thunk(void* ctx, Cycle target, Cycle now) {
+  static_cast<analysis::CheckContext*>(ctx)->on_late_schedule(target, now);
 }
 
 MachineReport Machine::report() const {
@@ -223,6 +257,10 @@ MachineReport Machine::report() const {
     r.fault.recovered = ledger.recovered;
     r.fault.corrupt_discarded = ledger.corrupt_discarded;
     r.fault.stale_losses = ledger.stale_losses;
+  }
+  if (checker_ != nullptr) {
+    r.check_enabled = true;
+    r.check = checker_->report();
   }
   return r;
 }

@@ -16,6 +16,7 @@
 #include <memory>
 #include <vector>
 
+#include "analysis/checker.hpp"
 #include "core/config.hpp"
 #include "core/instrumentation.hpp"
 #include "fault/faulty_network.hpp"
@@ -40,6 +41,9 @@ class Machine {
   net::Network& network() { return *network_; }
   bool fault_enabled() const { return faulty_ != nullptr; }
   const fault::FaultDomain& fault_domain() const { return fault_domain_; }
+  bool check_enabled() const { return checker_ != nullptr; }
+  /// The armed checker hub, or null when config.check is all-off.
+  const analysis::CheckContext* checker() const { return checker_.get(); }
   proc::Emcy& pe(ProcId p);
   proc::Memory& memory(ProcId p) { return pe(p).memory(); }
   rt::ThreadEngine& engine(ProcId p) { return pe(p).engine(); }
@@ -68,12 +72,22 @@ class Machine {
 
  private:
   static void delivery_thunk(void* ctx, const net::Packet& packet);
+  static void mem_probe_thunk(void* ctx, LocalAddr addr, std::uint32_t words);
+  static void late_schedule_thunk(void* ctx, Cycle target, Cycle now);
+
+  /// Stable per-PE context for the Memory write probe.
+  struct MemProbe {
+    analysis::CheckContext* checker = nullptr;
+    ProcId pe = 0;
+  };
 
   MachineConfig config_;
   sim::SimContext sim_;
   std::unique_ptr<net::Network> network_;
   fault::FaultyNetwork* faulty_ = nullptr;  ///< aliases network_ when armed
   fault::FaultDomain fault_domain_;
+  std::unique_ptr<analysis::CheckContext> checker_;  ///< null unless armed
+  std::vector<MemProbe> mem_probes_;  ///< one per PE, checker runs only
   rt::EntryRegistry registry_;
   std::vector<std::unique_ptr<proc::Emcy>> pes_;
   trace::TraceSink* sink_;

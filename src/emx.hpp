@@ -7,6 +7,7 @@
 // toolchain. Individual headers remain includable for finer control.
 #pragma once
 
+#include "analysis/checker.hpp"      // --check correctness checkers
 #include "apps/bitonic.hpp"          // multithreaded bitonic sorting
 #include "apps/distribution.hpp"     // blocked distribution helpers
 #include "apps/fft.hpp"              // multithreaded FFT (blocked layout)

@@ -21,6 +21,7 @@ enum class Shape {
   kRaRbLabel, // beq ra, rb, label
   kLabel,     // jmp label
   kRd,        // proc rd
+  kRa,        // fdrop ra
   kNone,      // halt / barrier
 };
 
@@ -54,6 +55,8 @@ const std::map<std::string, OpInfo>& op_table() {
       {"spawn", {Opcode::kSpawn, Shape::kRaRbImm}},
       {"read", {Opcode::kRead, Shape::kRdRa}},
       {"write", {Opcode::kWrite, Shape::kRaRb}},
+      {"fmark", {Opcode::kFMark, Shape::kRaRb}},
+      {"fdrop", {Opcode::kFDrop, Shape::kRa}},
       {"beq", {Opcode::kBeq, Shape::kRaRbLabel}},
       {"bne", {Opcode::kBne, Shape::kRaRbLabel}},
       {"blt", {Opcode::kBlt, Shape::kRaRbLabel}},
@@ -203,6 +206,10 @@ Program assemble(const std::string& source) {
       case Shape::kRd:
         need(1);
         instr.rd = parse_reg(tokens[1], line_no);
+        break;
+      case Shape::kRa:
+        need(1);
+        instr.ra = parse_reg(tokens[1], line_no);
         break;
       case Shape::kNone:
         need(0);

@@ -37,6 +37,8 @@ const char* to_string(Opcode op) {
     case Opcode::kYield: return "yield";
     case Opcode::kProc: return "proc";
     case Opcode::kGaddr: return "gaddr";
+    case Opcode::kFMark: return "fmark";
+    case Opcode::kFDrop: return "fdrop";
     case Opcode::kHalt: return "halt";
   }
   return "?";

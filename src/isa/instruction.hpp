@@ -49,6 +49,10 @@ enum class Opcode : std::uint8_t {
   kYield,    ///< explicit thread switch (requeue self)      [suspends]
   kProc,     ///< rd = own processor id
   kGaddr,    ///< rd = pack(global addr{ra /*pe*/, rb /*word addr*/})
+  // frame-region annotations (1 clock; the checker's client requests —
+  // declare/retire [ra, ra+rb) as an activation-frame region)
+  kFMark,    ///< frame_mark(base ra, len rb)
+  kFDrop,    ///< frame_drop(base ra)
   kHalt,     ///< end the thread
 };
 

@@ -96,6 +96,14 @@ rt::ThreadBody interpret(const Program* program, InterpreterOptions options,
         rd = rt::pack(rt::make_global(a, b));
         ++pending;
         break;
+      case Opcode::kFMark:
+        api.frame_mark(a, b);
+        ++pending;
+        break;
+      case Opcode::kFDrop:
+        api.frame_drop(a);
+        ++pending;
+        break;
 
       // ---- suspending / packet-generating operations ----
       case Opcode::kRead: {

@@ -65,6 +65,13 @@ struct Packet {
   /// retransmit timer recovers the read.
   std::uint32_t checksum = 0;
 
+  // --- analysis bookkeeping (checker runs only) ---
+  /// Happens-before token for kInvoke packets: 1 + the index of the
+  /// spawner's clock snapshot in the checker's token table, so the race
+  /// detector can order the new thread after its spawner. 0 when no
+  /// checker is armed (or the invocation is host-injected).
+  std::uint32_t hb_token = 0;
+
   // --- simulation bookkeeping ---
   Cycle issue_cycle = 0;  ///< when the sender's OBU released it
 

@@ -14,9 +14,18 @@ namespace emx::proc {
 
 class Memory {
  public:
+  /// Observer for every store, attributed or not (analysis runs only):
+  /// fn-pointer style to keep the unprobed fast path a single null test.
+  using WriteProbe = void (*)(void* ctx, LocalAddr addr, std::uint32_t words);
+
   explicit Memory(std::size_t words) : words_(words, 0) {}
 
   std::size_t size() const { return words_.size(); }
+
+  void set_write_probe(WriteProbe probe, void* ctx) {
+    probe_ = probe;
+    probe_ctx_ = ctx;
+  }
 
   Word read(LocalAddr addr) const {
     EMX_DCHECK(addr < words_.size(), "memory read out of range");
@@ -26,6 +35,7 @@ class Memory {
   void write(LocalAddr addr, Word value) {
     EMX_DCHECK(addr < words_.size(), "memory write out of range");
     words_[addr] = value;
+    if (probe_ != nullptr) probe_(probe_ctx_, addr, 1);
   }
 
   /// Single-precision floats are stored as their bit pattern (the EMC-Y is
@@ -38,12 +48,15 @@ class Memory {
   void fill(LocalAddr base, const Word* data, std::size_t count) {
     EMX_CHECK(base + count <= words_.size(), "memory fill out of range");
     for (std::size_t i = 0; i < count; ++i) words_[base + i] = data[i];
+    if (probe_ != nullptr) probe_(probe_ctx_, base, static_cast<std::uint32_t>(count));
   }
 
   void clear() { std::fill(words_.begin(), words_.end(), 0u); }
 
  private:
   std::vector<Word> words_;
+  WriteProbe probe_ = nullptr;
+  void* probe_ctx_ = nullptr;
 };
 
 }  // namespace emx::proc

@@ -1,5 +1,6 @@
 #include "runtime/scheduler.hpp"
 
+#include "analysis/checker.hpp"
 #include "common/assert.hpp"
 #include "fault/reliability.hpp"
 #include "runtime/thread_api.hpp"
@@ -84,6 +85,8 @@ void ThreadEngine::do_dispatch() {
       EMX_CHECK(static_cast<bool>(r.coro), "entry produced an empty thread body");
       mu_.note_invoke();
       emit(trace::EventType::kThreadInvoke, r.id, p.addr);
+      if (checker_ != nullptr)
+        checker_->on_thread_start(proc_, r.id, p.addr, p.hb_token);
       run_thread(&r);
       return;
     }
@@ -146,6 +149,8 @@ void ThreadEngine::handle_local_wake(const net::Packet& p) {
               "gate wake for a thread not waiting on a gate");
     mu_.note_resume();
     emit(trace::EventType::kGateWake, r.id);
+    // The waiter acquires the gate's clock before its first instruction.
+    if (checker_ != nullptr) checker_->on_gate_wake(proc_, r.id);
     run_thread(&r);
     return;
   }
@@ -169,6 +174,7 @@ void ThreadEngine::handle_local_wake(const net::Packet& p) {
   if (released) {
     ++barrier_.passed;
     emit(trace::EventType::kBarrierPass, r.id);
+    if (checker_ != nullptr) checker_->on_barrier_pass(proc_, r.id);
     if (barrier_.passed == barrier_.expected) {
       // Last local thread through: retire this episode's flag and flip
       // the sense for the next one (sense-reversing barrier).
@@ -248,6 +254,7 @@ void ThreadEngine::em4_service_done_event(void* ctx, std::uint64_t, std::uint64_
 // ---------------------------------------------------------------- running
 
 void ThreadEngine::run_thread(ThreadRecord* r) {
+  if (checker_ != nullptr) checker_->on_thread_run(proc_, r->id);
   r->state = ThreadState::kRunning;
   r->coro.resume();
   // The coroutine ran until its next awaiter (which already scheduled the
@@ -257,6 +264,7 @@ void ThreadEngine::run_thread(ThreadRecord* r) {
 
 void ThreadEngine::on_thread_done(ThreadRecord* r) {
   emit(trace::EventType::kThreadEnd, r->id);
+  if (checker_ != nullptr) checker_->on_thread_end(proc_, r->id);
   frames_.free(*r);
   // "The completion ... of a thread causes the next packet to be
   //  automatically dequeued from the packet queue" — no save cost.
@@ -314,6 +322,8 @@ void ThreadEngine::exec_overhead(ThreadRecord* r, Cycle instructions) {
 
 void ThreadEngine::exec_remote_read(ThreadRecord* r, GlobalAddr src) {
   ++reads_issued_;
+  if (checker_ != nullptr)
+    checker_->on_remote_read(proc_, r->id, src.proc, src.addr);
   charge(CycleBucket::kOverhead, config_.packet_gen_cycles);
   net::Packet p;
   p.kind = net::PacketKind::kRemoteReadReq;
@@ -336,6 +346,7 @@ void ThreadEngine::exec_remote_read(ThreadRecord* r, GlobalAddr src) {
   charge(CycleBucket::kSwitch, config_.switch_save_cycles);
   r->state = ThreadState::kSuspendedRead;
   r->replies_pending = 1;
+  if (checker_ != nullptr) checker_->on_read_suspend(proc_, r->id);
   emit(trace::EventType::kSuspendRead, r->id);
   sim_.schedule(config_.packet_gen_cycles + config_.switch_save_cycles,
                 &ThreadEngine::exu_done_event, this, 0, 0);
@@ -347,6 +358,10 @@ void ThreadEngine::exec_remote_read_pair(ThreadRecord* r, GlobalAddr src0,
   // MU's two-operand direct matching resumes it when both replies have
   // arrived (paper §2.2/§2.3). One suspension, two packets.
   reads_issued_ += 2;
+  if (checker_ != nullptr) {
+    checker_->on_remote_read(proc_, r->id, src0.proc, src0.addr);
+    checker_->on_remote_read(proc_, r->id, src1.proc, src1.addr);
+  }
   charge(CycleBucket::kOverhead, 2 * config_.packet_gen_cycles);
   const std::uint32_t tag = ++r->pending_tag;
   const GlobalAddr sources[2] = {src0, src1};
@@ -371,6 +386,7 @@ void ThreadEngine::exec_remote_read_pair(ThreadRecord* r, GlobalAddr src0,
   charge(CycleBucket::kSwitch, config_.switch_save_cycles);
   r->state = ThreadState::kSuspendedRead;
   r->replies_pending = 2;
+  if (checker_ != nullptr) checker_->on_read_suspend(proc_, r->id);
   emit(trace::EventType::kSuspendRead, r->id);
   sim_.schedule(2 * config_.packet_gen_cycles + config_.switch_save_cycles,
                 &ThreadEngine::exu_done_event, this, 0, 0);
@@ -380,6 +396,8 @@ void ThreadEngine::exec_block_read(ThreadRecord* r, GlobalAddr src,
                                    LocalAddr dest, std::uint32_t len) {
   EMX_CHECK(len >= 1, "block read of zero words");
   ++reads_issued_;
+  if (checker_ != nullptr)
+    checker_->on_block_read(proc_, r->id, src.proc, src.addr, dest, len);
   charge(CycleBucket::kOverhead, config_.packet_gen_cycles);
   net::Packet p;
   p.kind = net::PacketKind::kBlockReadReq;
@@ -400,12 +418,15 @@ void ThreadEngine::exec_block_read(ThreadRecord* r, GlobalAddr src,
   charge(CycleBucket::kSwitch, config_.switch_save_cycles);
   r->state = ThreadState::kSuspendedRead;
   r->replies_pending = 1;
+  if (checker_ != nullptr) checker_->on_read_suspend(proc_, r->id);
   emit(trace::EventType::kSuspendRead, r->id);
   sim_.schedule(config_.packet_gen_cycles + config_.switch_save_cycles,
                 &ThreadEngine::exu_done_event, this, 0, 0);
 }
 
 void ThreadEngine::exec_remote_write(ThreadRecord* r, GlobalAddr dest, Word value) {
+  if (checker_ != nullptr)
+    checker_->on_remote_write(proc_, r->id, dest.proc, dest.addr);
   charge(CycleBucket::kOverhead, config_.packet_gen_cycles);
   net::Packet p;
   p.kind = net::PacketKind::kRemoteWrite;
@@ -429,6 +450,9 @@ void ThreadEngine::exec_spawn(ThreadRecord* r, ProcId dest, std::uint32_t entry,
   p.dst = dest;
   p.addr = static_cast<Word>(entry);
   p.data = arg;
+  // The invoke packet carries the spawner's clock snapshot so the new
+  // thread starts ordered after everything the spawner did.
+  if (checker_ != nullptr) p.hb_token = checker_->on_spawn(proc_, r->id);
   obu_.send(p);
   emit(trace::EventType::kSpawnIssue, r->id, (static_cast<std::uint64_t>(dest) << 32) | entry);
   // The spawning thread continues without interruption (paper §2.3).
@@ -453,12 +477,14 @@ void ThreadEngine::exec_gate_wait(ThreadRecord* r, OrderGate& gate,
                                   std::uint32_t index) {
   if (gate.passable(index)) {
     // Gate already open: just the check instructions, no switch.
+    if (checker_ != nullptr) checker_->on_gate_pass(proc_, r->id, &gate);
     charge(CycleBucket::kCompute, config_.barrier_check_cycles);
     sim_.schedule(config_.barrier_check_cycles, &ThreadEngine::resume_event, this,
                   r->id, 0);
     return;
   }
   gate.register_waiter(index, r->id);
+  if (checker_ != nullptr) checker_->on_gate_block(proc_, r->id, &gate, index);
   ++switches_.thread_sync;
   charge(CycleBucket::kSwitch, config_.switch_save_cycles);
   r->state = ThreadState::kSuspendedGate;
@@ -468,6 +494,9 @@ void ThreadEngine::exec_gate_wait(ThreadRecord* r, OrderGate& gate,
 }
 
 void ThreadEngine::exec_gate_advance(ThreadRecord* r, OrderGate& gate) {
+  // Release edge: publish this thread's clock to the gate before the
+  // successor (woken below, or passing later) acquires it.
+  if (checker_ != nullptr) checker_->on_gate_advance(proc_, r->id, &gate);
   const ThreadId waiter = gate.advance();
   Cycle cost = 1;  // the increment instruction
   charge(CycleBucket::kCompute, 1);
@@ -482,6 +511,7 @@ void ThreadEngine::exec_gate_advance(ThreadRecord* r, OrderGate& gate) {
 
 void ThreadEngine::exec_barrier_join(ThreadRecord* r) {
   EMX_CHECK(barrier_.expected > 0, "iteration barrier not configured");
+  if (checker_ != nullptr) checker_->on_barrier_join(proc_, r->id);
   ++barrier_.joined;
   ++switches_.iter_sync;
   charge(CycleBucket::kSwitch, config_.switch_save_cycles);
@@ -503,6 +533,38 @@ void ThreadEngine::exec_barrier_join(ThreadRecord* r) {
   }
   send_self_wake(r->id, busy + config_.barrier_poll_interval, kBarrierPollTag);
   sim_.schedule(busy, &ThreadEngine::exu_done_event, this, 0, 0);
+}
+
+// ------------------------------------------------------- untimed helpers
+
+void ThreadEngine::charge(proc::CycleBucket bucket, Cycle cycles) {
+  if (checker_ != nullptr) checker_->on_charge(proc_, cycles);
+  exu_.charge(bucket, cycles);
+}
+
+Word ThreadEngine::local_read(ThreadRecord* r, LocalAddr addr) {
+  if (checker_ != nullptr) {
+    checker_->on_local_read(proc_, r->id, addr);
+    if (addr >= memory_.size()) return 0;  // diagnosed as oob-access
+  }
+  return memory_.read(addr);
+}
+
+void ThreadEngine::local_write(ThreadRecord* r, LocalAddr addr, Word value) {
+  if (checker_ != nullptr) {
+    checker_->on_local_write(proc_, r->id, addr);
+    if (addr >= memory_.size()) return;  // diagnosed as oob-access
+  }
+  memory_.write(addr, value);
+}
+
+void ThreadEngine::note_frame_mark(ThreadRecord* r, LocalAddr base,
+                                   std::uint32_t len) {
+  if (checker_ != nullptr) checker_->on_frame_mark(proc_, r->id, base, len);
+}
+
+void ThreadEngine::note_frame_drop(ThreadRecord* r, LocalAddr base) {
+  if (checker_ != nullptr) checker_->on_frame_drop(proc_, r->id, base);
 }
 
 }  // namespace emx::rt

@@ -30,6 +30,10 @@ namespace emx::fault {
 class RetryAgent;  // defined in fault/reliability.hpp
 }
 
+namespace emx::analysis {
+class CheckContext;  // defined in analysis/checker.hpp
+}
+
 namespace emx::rt {
 
 class EntryRegistry;  // defined in thread_api.hpp
@@ -82,6 +86,11 @@ class ThreadEngine {
   /// retransmission just before it enters the OBU.
   void set_retry_agent(fault::RetryAgent* agent) { retry_ = agent; }
 
+  /// Arms the correctness checkers (analysis runs only): thread lifetime,
+  /// every attributed access, and every synchronization edge report into
+  /// the shared CheckContext at issue time.
+  void set_checker(analysis::CheckContext* checker) { checker_ = checker; }
+
   // ----- Awaiter-facing (called while a thread coroutine runs) -----
 
   void exec_compute(ThreadRecord* r, Cycle instructions);
@@ -100,6 +109,20 @@ class ThreadEngine {
   void exec_yield(ThreadRecord* r);
 
   std::uint64_t explicit_yields() const { return explicit_yields_; }
+
+  // ----- untimed thread helpers (ThreadApi) -----
+  // Local accesses route through the engine so an armed checker sees them
+  // attributed to the running thread; unarmed, they are the plain memory
+  // ops they always were. Out-of-range accesses become diagnostics (read
+  // 0 / dropped store) when a checker is armed instead of tripping the
+  // memory assertion, so a buggy program can finish and report.
+
+  Word local_read(ThreadRecord* r, LocalAddr addr);
+  void local_write(ThreadRecord* r, LocalAddr addr, Word value);
+  /// Declares [base, base+len) an activation-frame region (memcheck).
+  void note_frame_mark(ThreadRecord* r, LocalAddr base, std::uint32_t len);
+  /// Retires the frame region previously marked at `base`.
+  void note_frame_drop(ThreadRecord* r, LocalAddr base);
 
  private:
   static constexpr std::uint32_t kGateWakeTag = 0xFFFFFFFEu;
@@ -120,7 +143,7 @@ class ThreadEngine {
   void run_thread(ThreadRecord* r);
   void on_thread_done(ThreadRecord* r);
   void release_exu();
-  void charge(proc::CycleBucket bucket, Cycle cycles) { exu_.charge(bucket, cycles); }
+  void charge(proc::CycleBucket bucket, Cycle cycles);
   void send_self_wake(ThreadId target, Cycle delay, std::uint32_t tag);
   void emit(trace::EventType type, ThreadId thread, std::uint64_t info = 0);
 
@@ -131,7 +154,8 @@ class ThreadEngine {
   proc::OutputBufferUnit& obu_;
   EntryRegistry& registry_;
   trace::TraceSink* sink_;
-  fault::RetryAgent* retry_ = nullptr;  ///< null on fault-free runs
+  fault::RetryAgent* retry_ = nullptr;        ///< null on fault-free runs
+  analysis::CheckContext* checker_ = nullptr; ///< null on unchecked runs
 
   proc::InputBufferUnit ibu_;
   proc::MatchingUnit mu_;

@@ -254,10 +254,22 @@ class ThreadApi {
   ThreadId thread_id() const { return rec_->id; }
   const MachineConfig& config() const { return engine_->config(); }
   proc::Memory& memory() const { return engine_->memory(); }
-  Word local_read(LocalAddr addr) const { return engine_->memory().read(addr); }
+  /// Attributed local accesses: an armed checker sees these as loads and
+  /// stores by this thread (memory() bypasses attribution).
+  Word local_read(LocalAddr addr) const { return engine_->local_read(rec_, addr); }
   void local_write(LocalAddr addr, Word value) const {
-    engine_->memory().write(addr, value);
+    engine_->local_write(rec_, addr, value);
   }
+
+  /// Memcheck annotations, analogous to Valgrind's MALLOCLIKE_BLOCK /
+  /// FREELIKE_BLOCK client requests: declare [base, base+len) an
+  /// activation-frame region whose words must be stored before they are
+  /// loaded, and retire it when the activation releases the RAM. No-ops
+  /// unless a checker is armed; account instruction cost via compute().
+  void frame_mark(LocalAddr base, std::uint32_t len) const {
+    engine_->note_frame_mark(rec_, base, len);
+  }
+  void frame_drop(LocalAddr base) const { engine_->note_frame_drop(rec_, base); }
 
  private:
   ThreadEngine* engine_;

@@ -12,8 +12,19 @@ namespace emx::sim {
 
 class SimContext {
  public:
+  /// Observer for events scheduled into the past (analysis runs only).
+  /// When set, such an event is reported and clamped to `now` instead of
+  /// tripping the debug assertion — the checker turns a latent scheduling
+  /// bug into a diagnostic rather than a crash.
+  using LateScheduleHook = void (*)(void* ctx, Cycle target, Cycle now);
+
   Cycle now() const { return now_; }
   std::uint64_t events_processed() const { return processed_; }
+
+  void set_late_schedule_hook(LateScheduleHook hook, void* ctx) {
+    late_hook_ = hook;
+    late_ctx_ = ctx;
+  }
 
   /// Schedules `fn(ctx, a, b)` `delay` cycles from now; returns an event
   /// id accepted by cancel().
@@ -25,6 +36,10 @@ class SimContext {
   /// Schedules at an absolute cycle (must not be in the past).
   std::uint64_t schedule_at(Cycle time, EventFn fn, void* ctx, std::uint64_t a = 0,
                             std::uint64_t b = 0) {
+    if (time < now_ && late_hook_ != nullptr) {
+      late_hook_(late_ctx_, time, now_);
+      time = now_;
+    }
     EMX_DCHECK(time >= now_, "scheduling into the past");
     return queue_.push(time, fn, ctx, a, b);
   }
@@ -53,6 +68,8 @@ class SimContext {
   Cycle now_ = 0;
   std::uint64_t processed_ = 0;
   EventQueue queue_;
+  LateScheduleHook late_hook_ = nullptr;
+  void* late_ctx_ = nullptr;
 };
 
 }  // namespace emx::sim

@@ -1,0 +1,45 @@
+#include "analysis/check_config.hpp"
+
+#include <gtest/gtest.h>
+
+namespace emx::analysis {
+namespace {
+
+TEST(CheckConfig, DefaultIsAllOff) {
+  CheckConfig c;
+  EXPECT_FALSE(c.enabled());
+  EXPECT_EQ(c.summary(), "none");
+}
+
+TEST(CheckConfig, ParsesIndividualCheckers) {
+  const CheckConfig c = CheckConfig::parse("memcheck,deadlock");
+  EXPECT_TRUE(c.memcheck);
+  EXPECT_FALSE(c.race);
+  EXPECT_TRUE(c.deadlock);
+  EXPECT_FALSE(c.lint);
+  EXPECT_TRUE(c.enabled());
+}
+
+TEST(CheckConfig, ParsesAllAndNone) {
+  const CheckConfig all = CheckConfig::parse("all");
+  EXPECT_TRUE(all.memcheck && all.race && all.deadlock && all.lint);
+  EXPECT_FALSE(CheckConfig::parse("").enabled());
+  EXPECT_FALSE(CheckConfig::parse("none").enabled());
+}
+
+TEST(CheckConfig, AllFactoryMatchesParse) {
+  const CheckConfig a = CheckConfig::all();
+  EXPECT_TRUE(a.memcheck && a.race && a.deadlock && a.lint);
+}
+
+TEST(CheckConfig, SummaryListsEnabledCheckers) {
+  EXPECT_EQ(CheckConfig::parse("race,lint").summary(), "race,lint");
+  EXPECT_EQ(CheckConfig::all().summary(), "memcheck,race,deadlock,lint");
+}
+
+TEST(CheckConfigDeathTest, UnknownCheckerNamePanics) {
+  EXPECT_DEATH(CheckConfig::parse("memchk"), "unknown checker");
+}
+
+}  // namespace
+}  // namespace emx::analysis

@@ -1,0 +1,60 @@
+#include "analysis/vector_clock.hpp"
+
+#include <gtest/gtest.h>
+
+namespace emx::analysis {
+namespace {
+
+TEST(VectorClock, UnsetComponentsReadZero) {
+  VectorClock vc;
+  EXPECT_EQ(vc.of(0), 0u);
+  EXPECT_EQ(vc.of(1234), 0u);
+  EXPECT_EQ(vc.size(), 0u);
+}
+
+TEST(VectorClock, SetAndRead) {
+  VectorClock vc;
+  vc.set(3, 7);
+  EXPECT_EQ(vc.of(3), 7u);
+  EXPECT_EQ(vc.size(), 1u);
+}
+
+TEST(VectorClock, JoinTakesPointwiseMaxAndCountsRaises) {
+  VectorClock a;
+  a.set(0, 5);
+  a.set(1, 2);
+  VectorClock b;
+  b.set(1, 9);
+  b.set(2, 1);
+  EXPECT_EQ(a.join(b), 2u);  // component 1 raised to 9, component 2 to 1
+  EXPECT_EQ(a.of(0), 5u);
+  EXPECT_EQ(a.of(1), 9u);
+  EXPECT_EQ(a.of(2), 1u);
+  // Joining again raises nothing.
+  EXPECT_EQ(a.join(b), 0u);
+}
+
+TEST(VectorClock, HappensBeforeComparesEpochAgainstClock) {
+  VectorClock vc;
+  vc.set(4, 10);
+  EXPECT_TRUE(happens_before(Epoch{4, 10}, vc));
+  EXPECT_TRUE(happens_before(Epoch{4, 3}, vc));
+  EXPECT_FALSE(happens_before(Epoch{4, 11}, vc));
+  EXPECT_FALSE(happens_before(Epoch{5, 1}, vc));  // other thread unseen
+}
+
+TEST(VectorClock, SpawnJoinModelsTheInvokeEdge) {
+  // Parent at clk 3 spawns; child joins the parent's snapshot. The
+  // parent's pre-spawn accesses now happen-before the child's.
+  VectorClock parent;
+  parent.set(0, 3);
+  VectorClock child;
+  child.set(1, 1);
+  child.join(parent);
+  EXPECT_TRUE(happens_before(Epoch{0, 3}, child));
+  // The parent keeps running: its *later* accesses stay unordered.
+  EXPECT_FALSE(happens_before(Epoch{0, 4}, child));
+}
+
+}  // namespace
+}  // namespace emx::analysis

@@ -1,0 +1,73 @@
+#include "analysis/wait_graph.hpp"
+
+#include <gtest/gtest.h>
+
+namespace emx::analysis {
+namespace {
+
+TEST(WaitGraph, EmptyGraphHasNoCycle) {
+  WaitGraph g;
+  EXPECT_TRUE(g.find_cycle().empty());
+  EXPECT_EQ(g.edge_count(), 0u);
+}
+
+TEST(WaitGraph, ChainIsAcyclic) {
+  WaitGraph g;
+  g.add_edge(1, 2);
+  g.add_edge(2, 3);
+  g.add_edge(3, 4);
+  EXPECT_TRUE(g.find_cycle().empty());
+  EXPECT_EQ(g.edge_count(), 3u);
+}
+
+TEST(WaitGraph, TwoNodeCycle) {
+  WaitGraph g;
+  g.add_edge(7, 9);
+  g.add_edge(9, 7);
+  const auto cycle = g.find_cycle();
+  ASSERT_EQ(cycle.size(), 2u);
+  // The cycle is reported from its first-discovered node, in edge order.
+  EXPECT_EQ(cycle[0], 7u);
+  EXPECT_EQ(cycle[1], 9u);
+}
+
+TEST(WaitGraph, SelfLoopIsACycle) {
+  WaitGraph g;
+  g.add_edge(5, 5);
+  const auto cycle = g.find_cycle();
+  ASSERT_EQ(cycle.size(), 1u);
+  EXPECT_EQ(cycle[0], 5u);
+}
+
+TEST(WaitGraph, CycleExcludesTheTailLeadingIntoIt) {
+  // 0 -> 1 -> 2 -> 3 -> 1: the cycle is [1, 2, 3], node 0 is not on it.
+  WaitGraph g;
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(2, 3);
+  g.add_edge(3, 1);
+  const auto cycle = g.find_cycle();
+  ASSERT_EQ(cycle.size(), 3u);
+  EXPECT_EQ(cycle[0], 1u);
+  EXPECT_EQ(cycle[1], 2u);
+  EXPECT_EQ(cycle[2], 3u);
+}
+
+TEST(WaitGraph, DuplicateEdgesAreDeduplicated) {
+  WaitGraph g;
+  g.add_edge(1, 2);
+  g.add_edge(1, 2);
+  EXPECT_EQ(g.edge_count(), 1u);
+}
+
+TEST(WaitGraph, DiamondIsAcyclic) {
+  WaitGraph g;
+  g.add_edge(0, 1);
+  g.add_edge(0, 2);
+  g.add_edge(1, 3);
+  g.add_edge(2, 3);
+  EXPECT_TRUE(g.find_cycle().empty());
+}
+
+}  // namespace
+}  // namespace emx::analysis

@@ -1,4 +1,6 @@
-// The umbrella header alone must be enough to use the whole public API.
+// The umbrella header alone must be enough to use the whole public API —
+// machine, apps, model, ISA toolchain, fault injection and the analysis
+// (--check) layer.
 #include "emx.hpp"
 
 #include <gtest/gtest.h>
@@ -22,6 +24,38 @@ TEST(Umbrella, EndToEndThroughThePublicHeader) {
 
   const emx::isa::Program prog = emx::isa::assemble("li r1, 1\nhalt");
   EXPECT_EQ(prog.code.size(), 2u);
+}
+
+TEST(Umbrella, FaultInjectionThroughThePublicHeader) {
+  emx::MachineConfig cfg = emx::MachineConfig::paper_machine(4);
+  cfg.fault.drop_rate = 0.05;
+  emx::Machine machine(cfg);
+  emx::apps::BitonicSortApp app(
+      machine, emx::apps::BitonicParams{.n = 4 * 32, .threads = 2});
+  app.setup();
+  machine.run();
+  EXPECT_TRUE(app.verify());
+
+  const emx::MachineReport report = machine.report();
+  ASSERT_TRUE(report.fault_enabled);
+  EXPECT_EQ(report.fault.recovered, report.fault.injected_recoverable);
+}
+
+TEST(Umbrella, CheckersThroughThePublicHeader) {
+  emx::MachineConfig cfg = emx::MachineConfig::paper_machine(4);
+  cfg.check = emx::analysis::CheckConfig::parse("all");
+  emx::Machine machine(cfg);
+  emx::apps::BitonicSortApp app(
+      machine, emx::apps::BitonicParams{.n = 4 * 32, .threads = 2});
+  app.setup();
+  machine.run();
+  EXPECT_TRUE(app.verify());
+
+  const emx::MachineReport report = machine.report();
+  ASSERT_TRUE(report.check_enabled);
+  EXPECT_TRUE(report.check.clean()) << report.check.summary_text();
+  EXPECT_GT(report.check.reads_checked, 0u);
+  EXPECT_FALSE(report.check.summary_text().empty());
 }
 
 }  // namespace

@@ -69,7 +69,8 @@ int main(int argc, char** argv) {
       .define("fault-jitter-max", "0", "max extra per-packet latency, cycles")
       .define("fault-seed", "1026839", "fault plan RNG seed")
       .define("fault-timeout", "4096", "read retransmit timeout, cycles")
-      .define("fault-max-retries", "10", "retransmits allowed per read");
+      .define("fault-max-retries", "10", "retransmits allowed per read")
+      .define("check", "", "checkers: memcheck,race,deadlock,lint | all | none");
   flags.parse(argc, argv);
 
   MachineConfig cfg;
@@ -94,6 +95,7 @@ int main(int argc, char** argv) {
   cfg.fault.timeout_cycles = static_cast<Cycle>(flags.integer("fault-timeout"));
   cfg.fault.max_retries =
       static_cast<std::uint32_t>(flags.integer("fault-max-retries"));
+  cfg.check = analysis::CheckConfig::parse(flags.str("check"));
 
   const std::uint64_t n =
       cfg.proc_count * static_cast<std::uint64_t>(flags.integer("size-per-proc"));
@@ -155,5 +157,11 @@ int main(int argc, char** argv) {
   print_report(report, csv);
   if (report.fault_enabled && !csv)
     std::fputs(report.fault.summary_text().c_str(), stdout);
-  return ok ? 0 : 1;
+  if (report.check_enabled && !csv)
+    std::fputs(report.check.summary_text().c_str(), stdout);
+  if (!ok) return 1;
+  // Checker diagnostics get their own exit code so scripts can tell
+  // "wrong result" from "result fine but the program has a bug".
+  if (report.check_enabled && !report.check.clean()) return 3;
+  return 0;
 }

@@ -24,6 +24,8 @@ CheckContext::CheckContext(const CheckConfig& config,
       proc_count_(proc_count),
       reserved_words_(reserved_words),
       slots_(proc_count) {
+  EMX_CHECK(proc_count <= (1u << 24),
+            "checker packs PE ids into 24-bit lint-dedup key fields");
   if (config_.memcheck) {
     shadow_ = std::make_unique<ShadowMemory>(proc_count, memory_words,
                                              reserved_words, report_);
@@ -173,22 +175,30 @@ void CheckContext::on_frame_drop(ProcId pe, ThreadId raw, LocalAddr base) {
 }
 
 // -------------------------------------------------------------- hb edges
+//
+// Release hooks publish the releaser's clock *before* ticking it: the
+// published snapshot must cover everything the releaser did up to the
+// release and nothing after. Plain accesses don't tick, so if the tick
+// came first the releaser's post-release accesses would share the
+// published epoch and the acquirer would appear ordered after them —
+// silently masking parent-after-spawn, advancer-after-advance, and
+// post-barrier races.
 
 std::uint32_t CheckContext::on_spawn(ProcId pe, ThreadId raw) {
   ThreadState& t = thread(pe, raw);
-  tick(t);
   spawn_tokens_.push_back(t.vc);
+  tick(t);
   return static_cast<std::uint32_t>(spawn_tokens_.size());
 }
 
-void CheckContext::on_gate_pass(ProcId pe, ThreadId raw, const void* gate) {
+void CheckContext::on_gate_pass(ProcId pe, ThreadId raw, std::uint64_t gate) {
   ThreadState& t = thread(pe, raw);
   GateState& g = gates_[gate];
   acquire(t, g.vc);
   g.inside.push_back(t.logical);
 }
 
-void CheckContext::on_gate_block(ProcId pe, ThreadId raw, const void* gate,
+void CheckContext::on_gate_block(ProcId pe, ThreadId raw, std::uint64_t gate,
                                  std::uint32_t index) {
   ThreadState& t = thread(pe, raw);
   t.block = Block::kGate;
@@ -204,14 +214,14 @@ void CheckContext::on_gate_wake(ProcId pe, ThreadId raw) {
   acquire(t, g.vc);
   g.inside.push_back(t.logical);
   t.block = Block::kNone;
-  t.gate = nullptr;
+  t.gate = 0;
 }
 
-void CheckContext::on_gate_advance(ProcId pe, ThreadId raw, const void* gate) {
+void CheckContext::on_gate_advance(ProcId pe, ThreadId raw, std::uint64_t gate) {
   ThreadState& t = thread(pe, raw);
-  tick(t);
   GateState& g = gates_[gate];
   g.vc.join(t.vc);
+  tick(t);
   for (auto it = g.inside.begin(); it != g.inside.end(); ++it) {
     if (*it == t.logical) {
       g.inside.erase(it);
@@ -222,8 +232,8 @@ void CheckContext::on_gate_advance(ProcId pe, ThreadId raw, const void* gate) {
 
 void CheckContext::on_barrier_join(ProcId pe, ThreadId raw) {
   ThreadState& t = thread(pe, raw);
-  tick(t);
   barrier_epoch(t.episode).join(t.vc);
+  tick(t);
   t.block = Block::kBarrier;
   t.blocked_at = origin_of(t);
 }
@@ -272,8 +282,9 @@ void CheckContext::on_deliver(ProcId at, const net::Packet& p) {
       break;  // addr is an entry id / unused: only p.dst applies
   }
   if (at != p.dst || at != expected) {
+    // at:24 | src:24 — PE ids fit 24 bits (asserted at construction).
     if (lint_once(CheckKind::kMisroutedPacket,
-                  (static_cast<std::uint64_t>(at) << 16) | p.src)) {
+                  (static_cast<std::uint64_t>(at) << 24) | p.src)) {
       Diagnostic d;
       d.kind = CheckKind::kMisroutedPacket;
       d.origin = Origin{at, kInvalidThread, sim_.now()};

@@ -77,11 +77,13 @@ class CheckContext {
   /// Invoke edge, sender side: snapshots the spawner's clock and returns
   /// the token the kInvoke packet carries to the new thread (0 = none).
   std::uint32_t on_spawn(ProcId pe, ThreadId raw);
-  void on_gate_pass(ProcId pe, ThreadId raw, const void* gate);
-  void on_gate_block(ProcId pe, ThreadId raw, const void* gate,
+  // Gates are named by OrderGate::uid(), never by address: addresses can
+  // be reused within one run and would leak stale clock/inside state.
+  void on_gate_pass(ProcId pe, ThreadId raw, std::uint64_t gate);
+  void on_gate_block(ProcId pe, ThreadId raw, std::uint64_t gate,
                      std::uint32_t index);
   void on_gate_wake(ProcId pe, ThreadId raw);
-  void on_gate_advance(ProcId pe, ThreadId raw, const void* gate);
+  void on_gate_advance(ProcId pe, ThreadId raw, std::uint64_t gate);
   void on_barrier_join(ProcId pe, ThreadId raw);
   void on_barrier_pass(ProcId pe, ThreadId raw);
 
@@ -120,7 +122,7 @@ class CheckContext {
     std::uint32_t clk = 0;
     std::uint32_t episode = 0;  ///< barrier episodes passed
     Block block = Block::kNone;
-    const void* gate = nullptr;    ///< when block == kGate
+    std::uint64_t gate = 0;        ///< gate uid when block == kGate
     std::uint32_t gate_index = 0;  ///< when block == kGate
     Origin blocked_at;
   };
@@ -152,7 +154,7 @@ class CheckContext {
   std::vector<ThreadState> threads_;            ///< indexed by LogicalTid
   std::vector<std::vector<LogicalTid>> slots_;  ///< per-PE raw id -> logical
   std::vector<VectorClock> spawn_tokens_;       ///< kInvoke hb_token payloads
-  std::unordered_map<const void*, GateState> gates_;
+  std::unordered_map<std::uint64_t, GateState> gates_;  ///< by OrderGate uid
   std::vector<VectorClock> barrier_epochs_;     ///< join accumulators
 
   // sim-lint state

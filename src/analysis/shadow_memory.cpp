@@ -25,8 +25,9 @@ ShadowMemory::Frame* ShadowMemory::find(ProcId pe, LocalAddr addr) {
 }
 
 bool ShadowMemory::already(CheckKind kind, ProcId pe, LocalAddr addr) {
-  const std::uint64_t key = (static_cast<std::uint64_t>(kind) << 52) |
-                            (static_cast<std::uint64_t>(pe) << 40) |
+  // kind:8 | pe:24 | addr:32 — pe < 2^24 is asserted at construction.
+  const std::uint64_t key = (static_cast<std::uint64_t>(kind) << 56) |
+                            (static_cast<std::uint64_t>(pe) << 32) |
                             static_cast<std::uint64_t>(addr);
   if (reported_.insert(key).second) return false;
   ++report_.counts[static_cast<std::size_t>(kind)];

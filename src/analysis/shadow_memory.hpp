@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "analysis/check_report.hpp"
+#include "common/assert.hpp"
 #include "common/types.hpp"
 
 namespace emx::analysis {
@@ -27,7 +28,10 @@ class ShadowMemory {
       : pes_(proc_count),
         memory_words_(memory_words),
         reserved_words_(reserved_words),
-        report_(report) {}
+        report_(report) {
+    EMX_CHECK(proc_count <= (1u << 24),
+              "shadow memory packs PE ids into a 24-bit dedup-key field");
+  }
 
   /// A thread declares [base, base+len) an activation-frame region.
   void frame_mark(ProcId pe, LocalAddr base, std::uint32_t len,

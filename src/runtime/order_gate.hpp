@@ -8,6 +8,7 @@
 // local continuation packet.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <vector>
 
@@ -30,6 +31,11 @@ class OrderGate {
   std::uint32_t width() const { return static_cast<std::uint32_t>(waiters_.size()); }
   std::uint32_t current() const { return current_; }
 
+  /// Never-reused identity for checker bookkeeping: keying on the raw
+  /// address would let a gate allocated where a dead one lived inherit
+  /// its happens-before state.
+  std::uint64_t uid() const { return uid_; }
+
   bool passable(std::uint32_t index) const { return index == current_; }
 
   void register_waiter(std::uint32_t index, ThreadId thread) {
@@ -51,6 +57,12 @@ class OrderGate {
   }
 
  private:
+  static std::uint64_t next_uid() {
+    static std::atomic<std::uint64_t> counter{0};
+    return counter.fetch_add(1, std::memory_order_relaxed) + 1;
+  }
+
+  std::uint64_t uid_ = next_uid();
   std::uint32_t current_ = 0;
   std::vector<ThreadId> waiters_;
 };

@@ -477,14 +477,14 @@ void ThreadEngine::exec_gate_wait(ThreadRecord* r, OrderGate& gate,
                                   std::uint32_t index) {
   if (gate.passable(index)) {
     // Gate already open: just the check instructions, no switch.
-    if (checker_ != nullptr) checker_->on_gate_pass(proc_, r->id, &gate);
+    if (checker_ != nullptr) checker_->on_gate_pass(proc_, r->id, gate.uid());
     charge(CycleBucket::kCompute, config_.barrier_check_cycles);
     sim_.schedule(config_.barrier_check_cycles, &ThreadEngine::resume_event, this,
                   r->id, 0);
     return;
   }
   gate.register_waiter(index, r->id);
-  if (checker_ != nullptr) checker_->on_gate_block(proc_, r->id, &gate, index);
+  if (checker_ != nullptr) checker_->on_gate_block(proc_, r->id, gate.uid(), index);
   ++switches_.thread_sync;
   charge(CycleBucket::kSwitch, config_.switch_save_cycles);
   r->state = ThreadState::kSuspendedGate;
@@ -496,7 +496,7 @@ void ThreadEngine::exec_gate_wait(ThreadRecord* r, OrderGate& gate,
 void ThreadEngine::exec_gate_advance(ThreadRecord* r, OrderGate& gate) {
   // Release edge: publish this thread's clock to the gate before the
   // successor (woken below, or passing later) acquires it.
-  if (checker_ != nullptr) checker_->on_gate_advance(proc_, r->id, &gate);
+  if (checker_ != nullptr) checker_->on_gate_advance(proc_, r->id, gate.uid());
   const ThreadId waiter = gate.advance();
   Cycle cost = 1;  // the increment instruction
   charge(CycleBucket::kCompute, 1);

@@ -115,6 +115,70 @@ TEST(RaceDetection, InvokeEdgeOrdersSpawnerBeforeChild) {
   EXPECT_TRUE(m.report().check.clean()) << m.report().check.summary_text();
 }
 
+TEST(RaceDetection, ParentWriteAfterSpawnRacesWithChild) {
+  // The invoke token must cover only what the parent did *before* the
+  // spawn: a parent store issued after the spawn is concurrent with the
+  // child's access and must be reported.
+  Machine m(checked_config(2, "race"));
+  const auto child = m.register_entry([](ThreadApi api, Word) -> ThreadBody {
+    co_await api.compute(20);
+    co_await api.remote_write(rt::make_global(0, kSlot), 7);
+  });
+  const auto parent = m.register_entry([child](ThreadApi api, Word) -> ThreadBody {
+    co_await api.spawn(1, child, 0);
+    api.local_write(kSlot, 9);  // after the release edge: unordered
+  });
+  m.spawn(0, parent, 0);
+  m.run();
+
+  const CheckReport r = m.report().check;
+  ASSERT_EQ(r.total(), 1u) << r.summary_text();
+  EXPECT_EQ(r.count(CheckKind::kWriteWriteRace), 1u);
+}
+
+TEST(RaceDetection, AdvancerWriteAfterAdvanceRaces) {
+  // gate_advance publishes the advancer's clock; a store it issues after
+  // advancing is concurrent with the successor's gate window.
+  Machine m(checked_config(1, "race"));
+  rt::OrderGate gate(2);
+  const auto first = m.register_entry([&gate](ThreadApi api, Word) -> ThreadBody {
+    co_await api.gate_wait(gate, 0);
+    co_await api.gate_advance(gate);
+    api.local_write(kSlot, 1);  // after the release edge: unordered
+  });
+  const auto second = m.register_entry([&gate](ThreadApi api, Word) -> ThreadBody {
+    co_await api.compute(50);
+    co_await api.gate_wait(gate, 1);
+    api.local_write(kSlot, 2);
+  });
+  m.spawn(0, first, 0);
+  m.spawn(0, second, 0);
+  m.run();
+
+  const CheckReport r = m.report().check;
+  ASSERT_EQ(r.total(), 1u) << r.summary_text();
+  EXPECT_EQ(r.count(CheckKind::kWriteWriteRace), 1u);
+}
+
+TEST(RaceDetection, PostBarrierWritesRace) {
+  // The barrier orders pre-join accesses before post-pass accesses, but
+  // two participants' *post-pass* stores are concurrent with each other.
+  Machine m(checked_config(1, "race"));
+  m.configure_barrier(2);
+  const auto t = m.register_entry([](ThreadApi api, Word arg) -> ThreadBody {
+    co_await api.compute(arg == 0 ? 5 : 40);
+    co_await api.iteration_barrier();
+    api.local_write(kSlot, arg);
+  });
+  m.spawn(0, t, 0);
+  m.spawn(0, t, 1);
+  m.run();
+
+  const CheckReport r = m.report().check;
+  ASSERT_EQ(r.total(), 1u) << r.summary_text();
+  EXPECT_EQ(r.count(CheckKind::kWriteWriteRace), 1u);
+}
+
 TEST(RaceDetection, GateEdgeOrdersPipelinedAccesses) {
   // Classic OrderGate pipeline: each thread writes the shared slot inside
   // its gate window; the pass/advance edges order the accesses.

@@ -45,21 +45,29 @@ int main(int argc, char** argv) {
   for (auto rate_pm : flags.int_list("drop-rates")) {
     MachineConfig cfg = base;
     cfg.fault.drop_rate = static_cast<double>(rate_pm) / 1000.0;
+    // Recovery traffic split by packet class: reads ride the timeout +
+    // retransmit path ("rd-retx"), while writes/invokes add ACK packets
+    // and their own retransmits ("msg-retx", "acks").
     Table table({"threads", "cycles", "fault-free", "slowdown", "dropped",
-                 "retries", "worst recovery"});
+                 "rd-retx", "msg-retx", "acks", "dups-culled",
+                 "worst recovery"});
     for (auto h64 : flags.int_list("threads")) {
       const auto h = static_cast<std::uint32_t>(h64);
       const MachineReport clean = run_sort(base, n, h);
       const MachineReport faulted = run_sort(cfg, n, h);
       const double slowdown = static_cast<double>(faulted.total_cycles) /
                               static_cast<double>(clean.total_cycles);
+      const auto& f = faulted.fault;
       table.add_row(
           {std::to_string(h), Table::cell(faulted.total_cycles),
            Table::cell(clean.total_cycles), Table::cell(slowdown),
-           Table::cell(faulted.fault.injected[static_cast<std::size_t>(
+           Table::cell(f.injected[static_cast<std::size_t>(
                fault::FaultKind::kDrop)]),
-           Table::cell(faulted.fault.retries),
-           Table::cell(faulted.fault.worst_recovery_cycles)});
+           Table::cell(f.retries), Table::cell(f.msg_retransmits),
+           Table::cell(f.acks_sent),
+           Table::cell(f.dup_replies_suppressed + f.dup_msgs_suppressed +
+                       f.dup_acks_ignored),
+           Table::cell(f.worst_recovery_cycles)});
     }
     char title[64];
     std::snprintf(title, sizeof title, "sorting, drop rate %.1f%%",

@@ -279,7 +279,8 @@ void CheckContext::on_deliver(ProcId at, const net::Packet& p) {
       break;
     case net::PacketKind::kInvoke:
     case net::PacketKind::kLocalWake:
-      break;  // addr is an entry id / unused: only p.dst applies
+    case net::PacketKind::kAck:
+      break;  // addr is an entry id / req_seq echo / unused: only p.dst applies
   }
   if (at != p.dst || at != expected) {
     // at:24 | src:24 — PE ids fit 24 bits (asserted at construction).

@@ -57,6 +57,18 @@ std::string MachineConfig::summary() const {
                   static_cast<unsigned long long>(fault.jitter_max_cycles),
                   static_cast<unsigned long long>(fault.timeout_cycles));
     out += fb;
+    if (!fault.outages.empty()) {
+      char ob[64];
+      std::snprintf(ob, sizeof ob, ", outages=%zu", fault.outages.size());
+      out += ob;
+    }
+    if (!fault.reliability) out += ", reliability=OFF";
+  }
+  if (watchdog_cycles != 0) {
+    char wb[64];
+    std::snprintf(wb, sizeof wb, ", watchdog=%llu",
+                  static_cast<unsigned long long>(watchdog_cycles));
+    out += wb;
   }
   return out;
 }

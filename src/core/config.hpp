@@ -87,6 +87,12 @@ struct MachineConfig {
 
   // --- safety rails ---
   std::uint64_t max_events = 0;  ///< 0 = unlimited
+  /// Progress watchdog window (cycles). When nonzero, a run that makes no
+  /// forward progress — no thread executes, no packet is serviced or
+  /// delivered — for this many cycles while events are still pending is
+  /// stopped and diagnosed instead of spinning until the event budget.
+  /// 0 = disarmed.
+  Cycle watchdog_cycles = 0;
 
   /// Validates invariants (power-of-two P for detailed network, nonzero
   /// sizes); panics with a clear message on violation.

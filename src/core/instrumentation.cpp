@@ -81,6 +81,13 @@ std::string MachineReport::summary_text() const {
                   static_cast<unsigned long long>(fault.worst_recovery_cycles));
     out += fb;
   }
+  if (watchdog_fired) {
+    char wb[96];
+    std::snprintf(wb, sizeof wb,
+                  "  WATCHDOG: run stalled; stopped at cycle %llu",
+                  static_cast<unsigned long long>(total_cycles));
+    out += wb;
+  }
   return out;
 }
 

@@ -53,6 +53,13 @@ struct MachineReport {
   bool check_enabled = false;
   analysis::CheckReport check;
 
+  /// Progress watchdog (config.watchdog_cycles). When it fired, the run
+  /// ended at a non-quiescent stall; total_cycles is the detection point
+  /// and `watchdog_diagnosis` holds the wait-graph / outstanding-request
+  /// dump built by the Machine.
+  bool watchdog_fired = false;
+  std::string watchdog_diagnosis;
+
   double seconds() const { return cycles_to_seconds(total_cycles, clock_hz); }
 
   // --- aggregates over processors ---

@@ -1,6 +1,7 @@
 #include "core/machine.hpp"
 
 #include <algorithm>
+#include <cstdio>
 
 #include "common/assert.hpp"
 #include "network/fast_network.hpp"
@@ -114,8 +115,19 @@ Machine::Machine(MachineConfig config, trace::TraceSink* sink)
   for (ProcId p = 0; p < config_.proc_count; ++p) {
     pes_.push_back(std::make_unique<proc::Emcy>(sim_, config_, p, *network_,
                                                 registry_, sink_));
-    if (faulty_ != nullptr)
+    // fault.reliability=false leaves the lossy plan armed but the
+    // recovery protocol off — the deliberately-unrecoverable machine the
+    // watchdog tests exercise.
+    if (faulty_ != nullptr && config_.fault.reliability)
       pes_.back()->arm_reliability(sim_, fault_domain_, sink_);
+  }
+
+  if (faulty_ != nullptr) {
+    for (const auto& w : config_.fault.outages) {
+      EMX_CHECK(w.pe < config_.proc_count, "outage window names an unknown PE");
+      sim_.schedule_at(w.begin, &Machine::outage_begin_event, this, w.pe, w.end);
+      sim_.schedule_at(w.end, &Machine::outage_end_event, this, w.pe, 0);
+    }
   }
 
   if (config_.check.enabled()) {
@@ -168,10 +180,36 @@ void Machine::spawn(ProcId proc, std::uint32_t entry, Word arg, Cycle at) {
 
 void Machine::run() {
   EMX_CHECK(!ran_, "Machine::run() called twice");
-  sim_.run_until_idle(config_.max_events);
+  if (config_.watchdog_cycles > 0) sim_.arm_watchdog(config_.watchdog_cycles);
+  const sim::StopReason stop = sim_.run_until_idle(config_.max_events);
   end_cycle_ = sim_.now();
   ran_ = true;
+  watchdog_fired_ = stop == sim::StopReason::kWatchdog;
+  if (watchdog_fired_) {
+    // Non-quiescent stall: events (timers, barrier polls) keep firing but
+    // nothing makes progress. Build the diagnosis and let the checker's
+    // wait-graph scan name the stuck threads; the quiescence panics below
+    // would only obscure what the diagnosis explains.
+    build_watchdog_diagnosis(/*quiescent=*/false);
+    if (checker_ != nullptr) checker_->on_quiesce();
+    return;
+  }
   if (checker_ != nullptr) checker_->on_quiesce();
+  if (config_.watchdog_cycles > 0) {
+    // An unrecoverable hang can also *quiesce*: a thread suspended on a
+    // reply that will never come leaves nothing in the event queue, so
+    // the machine drains instead of spinning. With the watchdog armed,
+    // convert that into the same bounded, diagnosed stop rather than
+    // panicking below.
+    bool hung = false;
+    for (const auto& pe : pes_)
+      hung = hung || pe->engine().frames().live() != 0;
+    if (hung) {
+      watchdog_fired_ = true;
+      build_watchdog_diagnosis(/*quiescent=*/true);
+      return;
+    }
+  }
   if (checker_ == nullptr || !checker_->stuck_reported()) {
     // When the deadlock checker has already named the stuck threads, skip
     // the panic so its diagnostics reach the report.
@@ -183,10 +221,10 @@ void Machine::run() {
   if (checker_ != nullptr) checker_->leak_scan();
   if (faulty_ != nullptr) {
     // Reliability invariant: every injected recoverable fault was healed —
-    // no read is still outstanding and every damaged request completed.
+    // no request is still outstanding and every damaged request completed.
     for (const auto& pe : pes_) {
-      EMX_CHECK(pe->retry_agent()->idle(),
-                "run drained with reads still outstanding in a retry table");
+      EMX_CHECK(pe->channel() == nullptr || pe->channel()->idle(),
+                "run drained with requests still outstanding in a channel");
     }
     EMX_CHECK(fault_domain_.pending_losses() == 0,
               "an injected fault was never recovered");
@@ -196,9 +234,73 @@ void Machine::run() {
   }
 }
 
+void Machine::outage_begin_event(void* ctx, std::uint64_t pe,
+                                 std::uint64_t end) {
+  auto* self = static_cast<Machine*>(ctx);
+  const auto p = static_cast<ProcId>(pe);
+  if (self->sink_ != nullptr)
+    self->sink_->on_event(trace::TraceEvent{self->sim_.now(), p, kInvalidThread,
+                                            trace::EventType::kOutageBegin,
+                                            end});
+  self->pes_[p]->begin_outage();
+}
+
+void Machine::outage_end_event(void* ctx, std::uint64_t pe, std::uint64_t) {
+  auto* self = static_cast<Machine*>(ctx);
+  const auto p = static_cast<ProcId>(pe);
+  if (self->sink_ != nullptr)
+    self->sink_->on_event(trace::TraceEvent{self->sim_.now(), p, kInvalidThread,
+                                            trace::EventType::kOutageEnd, 0});
+  self->pes_[p]->end_outage();
+}
+
+void Machine::build_watchdog_diagnosis(bool quiescent) {
+  std::string& d = watchdog_diagnosis_;
+  char buf[192];
+  if (quiescent) {
+    std::snprintf(buf, sizeof buf,
+                  "watchdog: machine quiesced at cycle %llu with threads "
+                  "still suspended — nothing left to run\n",
+                  static_cast<unsigned long long>(sim_.now()));
+  } else {
+    std::snprintf(buf, sizeof buf,
+                  "watchdog: no forward progress since cycle %llu "
+                  "(window %llu cycles), stopped at cycle %llu\n",
+                  static_cast<unsigned long long>(sim_.last_progress()),
+                  static_cast<unsigned long long>(config_.watchdog_cycles),
+                  static_cast<unsigned long long>(sim_.now()));
+  }
+  d += buf;
+  for (ProcId p = 0; p < config_.proc_count; ++p) {
+    auto& eng = pes_[p]->engine();
+    const auto* ch = pes_[p]->channel();
+    const bool channel_idle = ch == nullptr || ch->idle();
+    if (eng.frames().live() == 0 && channel_idle && eng.ibu().empty()) continue;
+    std::snprintf(buf, sizeof buf,
+                  "  P%u: live_threads=%llu ibu_depth=%llu outstanding=%llu\n",
+                  p, static_cast<unsigned long long>(eng.frames().live()),
+                  static_cast<unsigned long long>(eng.ibu().size()),
+                  static_cast<unsigned long long>(ch ? ch->outstanding() : 0));
+    d += buf;
+    eng.frames().append_live(d);
+    if (ch != nullptr) ch->append_outstanding(d);
+  }
+  const auto& fr = fault_domain_.report();
+  std::snprintf(buf, sizeof buf,
+                "  fault ledger: pending_losses=%llu unsequenced_losses=%llu\n",
+                static_cast<unsigned long long>(fault_domain_.pending_losses()),
+                static_cast<unsigned long long>(fr.unsequenced_losses));
+  d += buf;
+  if (fr.unsequenced_losses > 0)
+    d += "  hint: unsequenced packets were lost with reliability disabled — "
+         "nothing will ever retransmit them\n";
+}
+
 void Machine::delivery_thunk(void* ctx, const net::Packet& packet) {
   auto* self = static_cast<Machine*>(ctx);
   EMX_DCHECK(packet.dst < self->pes_.size(), "packet to unknown PE");
+  // A packet landing at a PE is forward progress for the watchdog.
+  self->sim_.note_progress();
   if (self->checker_ != nullptr)
     self->checker_->on_deliver(packet.dst, packet);
   self->pes_[packet.dst]->accept(packet);
@@ -236,16 +338,25 @@ MachineReport Machine::report() const {
     p.dma_reads = pe->dma().stats().reads_serviced;
     p.dma_block_reads = pe->dma().stats().block_reads_serviced;
     p.dma_writes = pe->dma().stats().writes_serviced;
-    if (const auto* agent = pe->retry_agent()) {
-      const auto& rs = agent->stats();
-      p.read_retries = rs.retries;
-      r.fault.reads_tracked += rs.reads_tracked;
-      r.fault.timeouts += rs.timeouts;
-      r.fault.retries += rs.retries;
-      r.fault.dup_replies_suppressed += rs.dup_replies_suppressed;
-      r.fault.reads_recovered += rs.reads_recovered;
+    if (const auto* channel = pe->channel()) {
+      const auto& cs = channel->stats();
+      p.read_retries = cs.retries;
+      r.fault.reads_tracked += cs.reads_tracked;
+      r.fault.msgs_tracked += cs.msgs_tracked;
+      r.fault.timeouts += cs.timeouts;
+      r.fault.retries += cs.retries;
+      r.fault.msg_retransmits += cs.msg_retransmits;
+      r.fault.acks_sent += cs.acks_sent;
+      r.fault.dup_replies_suppressed += cs.dup_replies_suppressed;
+      r.fault.dup_msgs_suppressed += cs.dup_msgs_suppressed;
+      r.fault.dup_acks_ignored += cs.dup_acks_ignored;
+      r.fault.reads_recovered += cs.reads_recovered;
+      r.fault.msgs_recovered += cs.msgs_recovered;
+      r.fault.fence_holds += cs.fence_holds;
       r.fault.worst_recovery_cycles =
-          std::max(r.fault.worst_recovery_cycles, rs.worst_recovery_cycles);
+          std::max(r.fault.worst_recovery_cycles, cs.worst_recovery_cycles);
+      r.fault.peak_outstanding =
+          std::max(r.fault.peak_outstanding, cs.peak_outstanding);
     }
     r.procs.push_back(p);
   }
@@ -257,7 +368,11 @@ MachineReport Machine::report() const {
     r.fault.recovered = ledger.recovered;
     r.fault.corrupt_discarded = ledger.corrupt_discarded;
     r.fault.stale_losses = ledger.stale_losses;
+    r.fault.unsequenced_losses = ledger.unsequenced_losses;
+    r.fault.peak_ledger_live = ledger.peak_ledger_live;
   }
+  r.watchdog_fired = watchdog_fired_;
+  r.watchdog_diagnosis = watchdog_diagnosis_;
   if (checker_ != nullptr) {
     r.check_enabled = true;
     r.check = checker_->report();

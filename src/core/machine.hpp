@@ -14,6 +14,7 @@
 #pragma once
 
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "analysis/checker.hpp"
@@ -61,11 +62,20 @@ class Machine {
 
   /// Runs the simulation to completion (event queue drained). Panics if
   /// threads remain suspended (deadlock / lost wake-up) or if the event
-  /// budget (config.max_events) is exceeded.
+  /// budget (config.max_events) is exceeded. When config.watchdog_cycles
+  /// is armed, a non-quiescent stall instead ends the run with
+  /// watchdog_fired() set and a diagnosis in place of the panics.
   void run();
 
   bool ran() const { return ran_; }
   Cycle end_cycle() const { return end_cycle_; }
+
+  /// True when the progress watchdog cut the run short (armed via
+  /// config.watchdog_cycles). end_cycle() is then the stall-detection
+  /// point, not quiescence, and the liveness panics were skipped so the
+  /// diagnosis could be built.
+  bool watchdog_fired() const { return watchdog_fired_; }
+  const std::string& watchdog_diagnosis() const { return watchdog_diagnosis_; }
 
   /// Builds the measurement report. Valid after run().
   MachineReport report() const;
@@ -74,6 +84,9 @@ class Machine {
   static void delivery_thunk(void* ctx, const net::Packet& packet);
   static void mem_probe_thunk(void* ctx, LocalAddr addr, std::uint32_t words);
   static void late_schedule_thunk(void* ctx, Cycle target, Cycle now);
+  static void outage_begin_event(void* ctx, std::uint64_t pe, std::uint64_t end);
+  static void outage_end_event(void* ctx, std::uint64_t pe, std::uint64_t);
+  void build_watchdog_diagnosis(bool quiescent);
 
   /// Stable per-PE context for the Memory write probe.
   struct MemProbe {
@@ -99,6 +112,8 @@ class Machine {
 
   Cycle end_cycle_ = 0;
   bool ran_ = false;
+  bool watchdog_fired_ = false;
+  std::string watchdog_diagnosis_;
 };
 
 }  // namespace emx

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "common/types.hpp"
+#include "network/packet.hpp"
 
 namespace emx::fault {
 
@@ -29,8 +30,9 @@ enum class FaultKind : std::uint8_t {
   kCorrupt = 2,    ///< payload bit flipped; checksum catches it at ejection
   kDelay = 3,      ///< bounded extra latency (jitter), FIFO per link
   kStall = 4,      ///< link unavailable for a cycle window
+  kPeOutage = 5,   ///< transient fail-stop: a PE's NIC is dead for a window
 };
-inline constexpr std::size_t kFaultKindCount = 5;
+inline constexpr std::size_t kFaultKindCount = 6;
 
 const char* to_string(FaultKind kind);
 
@@ -46,10 +48,25 @@ struct StallWindow {
 
 /// A scheduled (exact, probability-free) fault: hit the nth eligible
 /// fabric packet, counting from 1 in injection order. Used by tests and
-/// targeted experiments where a rate would be a blunt instrument.
+/// targeted experiments where a rate would be a blunt instrument. When
+/// `filtered` is set, only packets of kind `only` are counted — e.g.
+/// "drop the first barrier-join invoke" is {1, kDrop, true, kInvoke}.
 struct ScheduledFault {
   std::uint64_t nth = 0;
   FaultKind kind = FaultKind::kDrop;
+  bool filtered = false;
+  net::PacketKind only = net::PacketKind::kRemoteReadReq;
+};
+
+/// A transient fail-stop outage: processor `pe`'s NIC is dead during
+/// [begin, end) — nothing is injected or ejected, fabric packets queued
+/// in its IBU are flushed and new thread dispatches freeze. At `end` the
+/// PE resumes from its memory state; peers' retransmits (and its own)
+/// repair the lost in-flight traffic.
+struct OutageWindow {
+  ProcId pe = 0;
+  Cycle begin = 0;
+  Cycle end = 0;
 };
 
 struct FaultConfig {
@@ -64,8 +81,15 @@ struct FaultConfig {
   Cycle jitter_max_cycles = 0;
   std::vector<StallWindow> stalls;
   std::vector<ScheduledFault> scheduled;
+  std::vector<OutageWindow> outages;
 
   // --- reliability protocol (how the runtime recovers) ---
+  /// Arms the end-to-end ReliableChannel on every PE: sequence numbers +
+  /// retransmit timers on reads, and seq/ack/dedup on side-effecting
+  /// messages (writes, invokes, barrier joins). Turning this off while a
+  /// lossy plan is armed deliberately produces an unrecoverable machine —
+  /// the progress watchdog's test bed.
+  bool reliability = true;
   /// Cycles a split-phase read waits for its reply before retransmitting.
   /// Must comfortably exceed the loaded round-trip; spurious timeouts are
   /// safe (duplicate replies are suppressed) but waste fabric bandwidth.
@@ -81,7 +105,8 @@ struct FaultConfig {
   /// (no decorator, no sequence numbers, no timers).
   bool enabled() const {
     return drop_rate > 0.0 || duplicate_rate > 0.0 || corrupt_rate > 0.0 ||
-           jitter_max_cycles > 0 || !stalls.empty() || !scheduled.empty();
+           jitter_max_cycles > 0 || !stalls.empty() || !scheduled.empty() ||
+           !outages.empty();
   }
 
   /// Panics on out-of-range rates or degenerate protocol knobs.

@@ -16,6 +16,8 @@ const char* to_string(FaultKind kind) {
       return "DELAY";
     case FaultKind::kStall:
       return "STALL";
+    case FaultKind::kPeOutage:
+      return "PE_OUTAGE";
   }
   return "?";
 }
@@ -33,8 +35,13 @@ void FaultConfig::validate() const {
   EMX_CHECK(max_retries >= 1, "need at least one retransmit attempt");
   for (const auto& w : stalls)
     EMX_CHECK(w.end >= w.begin, "stall window ends before it begins");
-  for (const auto& s : scheduled)
+  for (const auto& s : scheduled) {
     EMX_CHECK(s.nth >= 1, "scheduled faults count packets from 1");
+    EMX_CHECK(!s.filtered || s.only != net::PacketKind::kLocalWake,
+              "local wakes never enter the fabric; cannot schedule faults on them");
+  }
+  for (const auto& w : outages)
+    EMX_CHECK(w.end > w.begin, "outage window must span at least one cycle");
 }
 
 std::uint32_t packet_checksum(const net::Packet& packet) {
@@ -52,6 +59,7 @@ std::uint32_t packet_checksum(const net::Packet& packet) {
   mix((static_cast<std::uint64_t>(packet.cont_thread) << 32) | packet.cont_tag);
   mix((static_cast<std::uint64_t>(packet.cont_slot) << 32) | packet.block_len);
   mix(packet.req_seq);
+  mix(packet.chan_seq);
   auto folded = static_cast<std::uint32_t>(h ^ (h >> 32));
   return folded == 0 ? 1u : folded;
 }
@@ -74,12 +82,20 @@ FaultDecision FaultPlan::decide(const net::Packet& packet, Cycle now) {
 
   if (is_tracked_kind(packet.kind)) {
     ++tracked_seen_;
+    ++kind_seen_[static_cast<std::uint8_t>(packet.kind)];
     // Exact scheduled faults take precedence over the probability roll
     // (the roll is still consumed, keeping the stream aligned whether or
-    // not a schedule entry matched).
+    // not a schedule entry matched). Filtered entries count only packets
+    // of their own kind.
     bool scheduled_hit = false;
     for (const auto& s : config_.scheduled) {
-      if (s.nth != tracked_seen_) continue;
+      if (s.filtered) {
+        if (s.only != packet.kind ||
+            s.nth != kind_seen_[static_cast<std::uint8_t>(packet.kind)])
+          continue;
+      } else if (s.nth != tracked_seen_) {
+        continue;
+      }
       scheduled_hit = true;
       switch (s.kind) {
         case FaultKind::kDrop:

@@ -4,14 +4,17 @@
 // consumed in injection order), by schedule (hit exactly the nth tracked
 // packet) and by stall window (link outages).
 //
-// Only *tracked* packet kinds — split-phase read requests and replies —
-// are eligible for information-losing faults (drop / duplicate / corrupt):
-// those are the packets the reliability protocol can recover via
-// retransmission. Fire-and-forget kinds (remote writes, thread
-// invocations) carry no recovery path, so losing one would silently
-// corrupt the computation; they only ever see extra latency.
+// Every fabric packet kind is *tracked* — eligible for information-losing
+// faults (drop / duplicate / corrupt) — because the ReliableChannel now
+// covers every class end-to-end: reads recover via the idempotent
+// retransmit path, side-effecting messages (remote writes, invokes,
+// barrier joins) via seq/ack/dedup, and ACKs themselves are recovered
+// implicitly (a lost ACK just means the message retransmits and the
+// receiver re-acknowledges). Only kLocalWake is exempt: it is an on-chip
+// OBU->IBU loopback that never enters the fabric.
 #pragma once
 
+#include <array>
 #include <cstdint>
 
 #include "common/rng.hpp"
@@ -20,13 +23,10 @@
 
 namespace emx::fault {
 
-/// Kinds covered by the retransmit protocol: sequenced at send, echoed in
-/// replies, recoverable end-to-end.
+/// Kinds covered by the reliability protocol and therefore eligible for
+/// lossy faults: every fabric kind. kLocalWake never leaves the chip.
 constexpr bool is_tracked_kind(net::PacketKind kind) {
-  return kind == net::PacketKind::kRemoteReadReq ||
-         kind == net::PacketKind::kBlockReadReq ||
-         kind == net::PacketKind::kRemoteReadReply ||
-         kind == net::PacketKind::kBlockReadReply;
+  return kind != net::PacketKind::kLocalWake;
 }
 
 /// Link-level checksum over the architectural words and routing metadata
@@ -66,6 +66,9 @@ class FaultPlan {
   const FaultConfig config_;
   Rng rng_;
   std::uint64_t tracked_seen_ = 0;
+  /// Per-kind counting base for filtered ScheduledFaults ("drop the nth
+  /// INVOKE"), indexed by PacketKind.
+  std::array<std::uint64_t, 8> kind_seen_{};
 };
 
 }  // namespace emx::fault

@@ -19,13 +19,24 @@ std::string FaultReport::summary_text() const {
   if (stale_losses > 0)
     out << "  stale losses      : " << stale_losses
         << " (hit already-answered retransmits)\n";
+  if (unsequenced_losses > 0)
+    out << "  unsequenced losses: " << unsequenced_losses
+        << " (UNRECOVERABLE: packet carried no sequence number)\n";
   out << "reliability protocol:\n";
-  out << "  reads tracked     : " << reads_tracked << "\n";
+  out << "  reads tracked     : " << reads_tracked
+      << "  msgs tracked=" << msgs_tracked << "\n";
   out << "  timeouts          : " << timeouts << "  retries=" << retries
+      << "  msg retransmits=" << msg_retransmits << "\n";
+  out << "  acks sent         : " << acks_sent << "\n";
+  out << "  duplicates culled : replies=" << dup_replies_suppressed
+      << "  msgs=" << dup_msgs_suppressed << "  acks=" << dup_acks_ignored
       << "\n";
-  out << "  dup replies culled: " << dup_replies_suppressed << "\n";
-  out << "  reads recovered   : " << reads_recovered
+  out << "  recovered         : reads=" << reads_recovered
+      << "  msgs=" << msgs_recovered
       << "  worst recovery=" << worst_recovery_cycles << " cycles\n";
+  out << "  fence holds       : " << fence_holds << "\n";
+  out << "  peak tables       : ledger=" << peak_ledger_live
+      << "  outstanding=" << peak_outstanding << "\n";
   return out.str();
 }
 

@@ -17,12 +17,13 @@
 namespace emx::fault {
 
 struct FaultReport {
-  /// Faults injected by the plan, by kind (kDrop..kStall).
+  /// Faults injected by the plan, by kind (kDrop..kPeOutage).
   std::array<std::uint64_t, kFaultKindCount> injected{};
-  /// Drops + corruptions of tracked read requests/replies — the faults
-  /// that lose information and need the protocol to put it back.
+  /// Drops + corruptions of sequenced packets — the faults that lose
+  /// information and need the protocol to put it back.
   std::uint64_t injected_recoverable = 0;
-  /// Recoverable faults whose read later completed.
+  /// Recoverable faults whose request later completed (read answered, or
+  /// message acknowledged).
   std::uint64_t recovered = 0;
   /// Corrupted packets caught by the checksum at the ejection port and
   /// discarded before reaching the processor.
@@ -31,16 +32,33 @@ struct FaultReport {
   /// request had already completed via an earlier copy. Nothing was lost,
   /// so these are not counted as recoverable.
   std::uint64_t stale_losses = 0;
+  /// Lossy faults that hit unsequenced packets (reliability disabled, or
+  /// host-injected traffic): nothing will recover these. Nonzero here
+  /// plus a hang is exactly what the watchdog exists to diagnose.
+  std::uint64_t unsequenced_losses = 0;
 
   // --- reliability protocol activity (summed over PEs) ---
   std::uint64_t reads_tracked = 0;       ///< sequenced split-phase reads
+  std::uint64_t msgs_tracked = 0;        ///< sequenced writes/invokes/joins
   std::uint64_t timeouts = 0;            ///< retransmit timers that fired
-  std::uint64_t retries = 0;             ///< request packets re-sent
+  std::uint64_t retries = 0;             ///< read request packets re-sent
+  std::uint64_t msg_retransmits = 0;     ///< write/invoke packets re-sent
+  std::uint64_t acks_sent = 0;           ///< kAck packets emitted by receivers
   std::uint64_t dup_replies_suppressed = 0;
+  std::uint64_t dup_msgs_suppressed = 0;  ///< duplicate writes/invokes culled
+  std::uint64_t dup_acks_ignored = 0;     ///< ACKs for already-retired seqs
   std::uint64_t reads_recovered = 0;     ///< reads that needed >= 1 retry
-  /// Worst issue-to-completion latency over recovered reads (cycles):
+  std::uint64_t msgs_recovered = 0;      ///< messages that needed >= 1 resend
+  /// Packets held at the OBU by the write fence (invokes behind unACKed
+  /// writes, block-read resumes behind their word-writes).
+  std::uint64_t fence_holds = 0;
+  /// Worst issue-to-completion latency over recovered requests (cycles):
   /// the recovery cost multithreading gets to hide.
   Cycle worst_recovery_cycles = 0;
+
+  // --- memory bounds (satellite: the ledger must not grow unboundedly) ---
+  std::uint64_t peak_ledger_live = 0;     ///< peak FaultDomain live_ size
+  std::uint64_t peak_outstanding = 0;     ///< peak per-PE outstanding table
 
   std::uint64_t injected_total() const {
     std::uint64_t sum = 0;

@@ -21,22 +21,29 @@ FaultyNetwork::FaultyNetwork(sim::SimContext& sim,
       domain_(domain),
       sink_(sink),
       proc_count_(proc_count),
-      link_release_(static_cast<std::size_t>(proc_count) * proc_count, 0) {
+      link_release_(static_cast<std::size_t>(proc_count) * proc_count, 0),
+      outages_(config.outages) {
   // All fabric deliveries detour through the checksum check before they
   // reach whatever handler the Machine installs on this decorator.
   inner_->set_delivery(&FaultyNetwork::inner_delivery_thunk, this);
 }
 
-void FaultyNetwork::note(FaultKind kind, const net::Packet& packet) {
+void FaultyNetwork::note(FaultKind kind, const net::Packet& packet,
+                         ProcId at) {
   domain_.note_injected(kind);
   if (sink_ != nullptr) {
     const std::uint64_t info =
         (static_cast<std::uint64_t>(packet.req_seq) << 8) |
         static_cast<std::uint64_t>(kind);
-    sink_->on_event(trace::TraceEvent{sim_.now(), packet.src,
-                                      packet.cont_thread,
+    sink_->on_event(trace::TraceEvent{sim_.now(), at, packet.cont_thread,
                                       trace::EventType::kFaultInject, info});
   }
+}
+
+bool FaultyNetwork::pe_in_outage(ProcId pe, Cycle now) const {
+  for (const auto& w : outages_)
+    if (w.pe == pe && now >= w.begin && now < w.end) return true;
+  return false;
 }
 
 std::uint32_t FaultyNetwork::hold(const net::Packet& packet) {
@@ -84,26 +91,36 @@ void FaultyNetwork::inject(const net::Packet& packet) {
   net::Packet p = packet;
   if (is_tracked_kind(p.kind)) p.checksum = packet_checksum(p);
 
+  // A PE in outage has a dead NIC: nothing it sends reaches the link.
+  // (The plan's RNG stream is not consumed — the packet never gets as far
+  // as the fault lottery — which is still deterministic because outage
+  // windows are part of the seeded plan.)
+  if (pe_in_outage(p.src, sim_.now())) {
+    note(FaultKind::kPeOutage, p, p.src);
+    domain_.note_lost(p.req_seq);
+    return;
+  }
+
   const FaultDecision d = plan_.decide(p, sim_.now());
 
   if (d.drop) {
-    note(FaultKind::kDrop, p);
+    note(FaultKind::kDrop, p, p.src);
     domain_.note_lost(p.req_seq);
     return;  // the fabric never sees it; the retransmit timer recovers
   }
   if (d.corrupt) {
-    note(FaultKind::kCorrupt, p);
+    note(FaultKind::kCorrupt, p, p.src);
     domain_.note_lost(p.req_seq);
     p.data ^= Word{1} << d.corrupt_bit;  // checksum already stamped: mismatch
   }
 
   Cycle release = sim_.now();
   if (d.stall_until > release) {
-    note(FaultKind::kStall, p);
+    note(FaultKind::kStall, p, p.src);
     release = d.stall_until;
   }
   if (d.jitter > 0) {
-    note(FaultKind::kDelay, p);
+    note(FaultKind::kDelay, p, p.src);
     release += d.jitter;
   }
   // FIFO floor per link: a later packet on (src,dst) never enters the
@@ -114,7 +131,7 @@ void FaultyNetwork::inject(const net::Packet& packet) {
 
   send_at(p, release);
   if (d.duplicate) {
-    note(FaultKind::kDuplicate, p);
+    note(FaultKind::kDuplicate, p, p.src);
     send_at(p, release);  // same cycle; the fabric's port model serialises
   }
 }
@@ -124,6 +141,14 @@ void FaultyNetwork::inner_delivery_thunk(void* ctx, const net::Packet& packet) {
   if (packet.checksum != 0 && packet_checksum(packet) != packet.checksum) {
     // Receiver NIC: corrupted in flight — discard; retransmission recovers.
     self->domain_.note_corrupt_discarded();
+    return;
+  }
+  // Dead destination NIC: the packet crossed the fabric but nobody is
+  // listening at the ejection port. Fail-stop receivers lose in-flight
+  // traffic; the sender's retransmit repairs it after the window closes.
+  if (self->pe_in_outage(packet.dst, self->sim_.now())) {
+    self->note(FaultKind::kPeOutage, packet, packet.dst);
+    self->domain_.note_lost(packet.req_seq);
     return;
   }
   self->deliver(packet);

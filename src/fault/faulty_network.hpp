@@ -3,7 +3,7 @@
 // fast_network) without modifying either.
 //
 // Injection side (the "link NIC" of the sender):
-//   * tracked read packets are stamped with a link checksum;
+//   * every fabric packet is stamped with a link checksum;
 //   * the plan may drop the packet (it never enters the fabric),
 //     duplicate it (two fabric copies), corrupt it (one payload bit
 //     flips after the checksum is stamped), or delay it (jitter and/or
@@ -12,6 +12,13 @@
 // Ejection side (the receiver's NIC): checksums are verified; a mismatch
 // discards the packet before the processor sees it — the requester's
 // retransmit timer turns the corruption into a recovered drop.
+//
+// PE outages (FaultConfig::outages) are modelled at both NICs: while a
+// processor's window is open, packets it injects die at its own NIC and
+// packets addressed to it die at its ejection port — fail-stop in both
+// directions. The retransmit protocol repairs the lost traffic once the
+// window closes. (The Machine separately freezes the PE's dispatch and
+// flushes its IBU at window start.)
 //
 // Every injected fault is counted in the FaultDomain ledger and emitted
 // as a trace::EventType::kFaultInject event (info = kind | seq << 8).
@@ -56,9 +63,10 @@ class FaultyNetwork final : public net::Network {
 
   static void inner_delivery_thunk(void* ctx, const net::Packet& packet);
   static void release_event(void* ctx, std::uint64_t idx, std::uint64_t);
-  void note(FaultKind kind, const net::Packet& packet);
+  void note(FaultKind kind, const net::Packet& packet, ProcId at);
   void send_at(const net::Packet& packet, Cycle release);
   std::uint32_t hold(const net::Packet& packet);
+  bool pe_in_outage(ProcId pe, Cycle now) const;
 
   sim::SimContext& sim_;
   std::unique_ptr<net::Network> inner_;
@@ -70,6 +78,7 @@ class FaultyNetwork final : public net::Network {
   /// be overtaken by later undelayed ones on the same link.
   std::uint32_t proc_count_;
   std::vector<Cycle> link_release_;
+  std::vector<OutageWindow> outages_;
 
   std::vector<Held> pool_;
   std::uint32_t free_head_ = 0xFFFFFFFFu;

@@ -1,6 +1,8 @@
 #include "fault/reliability.hpp"
 
 #include <algorithm>
+#include <cstdio>
+#include <vector>
 
 #include "common/assert.hpp"
 #include "fault/fault_plan.hpp"
@@ -9,11 +11,27 @@ namespace emx::fault {
 
 // ------------------------------------------------------------ FaultDomain
 
+std::uint32_t FaultDomain::next_seq() {
+  EMX_CHECK(last_seq_ != 0xFFFFFFFFu,
+            "request sequence number wrapped around 32 bits");
+  const std::uint32_t seq = ++last_seq_;
+  live_.insert(seq);
+  report_.peak_ledger_live =
+      std::max<std::uint64_t>(report_.peak_ledger_live, live_.size());
+  return seq;
+}
+
 void FaultDomain::note_lost(std::uint32_t seq) {
-  EMX_CHECK(seq != 0, "recoverable fault on an unsequenced packet");
+  if (seq == 0) {
+    // Unsequenced packet (reliability disabled, or host-injected traffic):
+    // no retransmit path exists, so the loss is final. Tallied for the
+    // report and for the watchdog's diagnosis.
+    ++report_.unsequenced_losses;
+    return;
+  }
   if (!live_.contains(seq)) {
-    // The fault hit a stale retransmit (or its reply): the read already
-    // completed via an earlier copy, so nothing was actually lost.
+    // The fault hit a stale retransmit (or its reply/ACK): the request
+    // already completed via an earlier copy, so nothing was actually lost.
     ++report_.stale_losses;
     return;
   }
@@ -31,12 +49,14 @@ void FaultDomain::note_completed(std::uint32_t seq) {
   pending_.erase(it);
 }
 
-// ------------------------------------------------------------- RetryAgent
+// -------------------------------------------------------- ReliableChannel
 
-RetryAgent::RetryAgent(sim::SimContext& sim, const FaultConfig& config,
-                       ProcId proc, proc::OutputBufferUnit& obu,
-                       proc::ExecutionUnit& exu, FaultDomain& domain,
-                       Cycle retransmit_charge_cycles, trace::TraceSink* sink)
+ReliableChannel::ReliableChannel(sim::SimContext& sim,
+                                 const FaultConfig& config, ProcId proc,
+                                 proc::OutputBufferUnit& obu,
+                                 proc::ExecutionUnit& exu, FaultDomain& domain,
+                                 Cycle retransmit_charge_cycles,
+                                 trace::TraceSink* sink)
     : sim_(sim),
       config_(config),
       proc_(proc),
@@ -46,77 +66,361 @@ RetryAgent::RetryAgent(sim::SimContext& sim, const FaultConfig& config,
       retransmit_charge_cycles_(retransmit_charge_cycles),
       sink_(sink) {}
 
-RetryAgent::~RetryAgent() = default;
+ReliableChannel::~ReliableChannel() = default;
 
-void RetryAgent::emit(trace::EventType type, ThreadId thread,
-                      std::uint64_t info) {
+void ReliableChannel::emit(trace::EventType type, ThreadId thread,
+                           std::uint64_t info) {
   if (sink_ == nullptr) return;
   sink_->on_event(trace::TraceEvent{sim_.now(), proc_, thread, type, info});
 }
 
-void RetryAgent::on_send(net::Packet& request) {
-  EMX_DCHECK(is_tracked_kind(request.kind), "untracked kind in retry table");
-  request.req_seq = domain_.next_seq();
-  ++stats_.reads_tracked;
+// ---------------------------------------------------------- sender role
+
+bool ReliableChannel::on_obu_send(net::Packet& packet) {
+  if (packet.req_seq != 0) {
+    // Retransmit, or a read reply echoing the requester's seq. The only
+    // fence-relevant case: a block-read resume (kBlockReadReply) must not
+    // overtake the word-writes streamed to the same requester — if any are
+    // still awaiting their ACK, hold the resume behind them.
+    if (packet.kind == net::PacketKind::kBlockReadReply && !releasing_fence_ &&
+        packet.dst != proc_) {
+      std::vector<std::uint32_t> blockers =
+          write_blockers(packet.dst, /*any_dst=*/false);
+      if (!blockers.empty()) {
+        ++stats_.fence_holds;
+        fence_.push_back(FenceWaiter{packet, std::move(blockers)});
+        return false;
+      }
+    }
+    return true;
+  }
+  if (packet.dst == proc_) return true;  // self loopback: bypasses the fabric
+  Class cls;
+  switch (packet.kind) {
+    case net::PacketKind::kRemoteReadReq:
+    case net::PacketKind::kBlockReadReq:
+      cls = Class::kRead;
+      break;
+    case net::PacketKind::kRemoteWrite:
+    case net::PacketKind::kInvoke:
+      cls = Class::kMsg;
+      break;
+    default:
+      return true;  // ACKs and unsequenced replies are never tracked
+  }
+
+  packet.req_seq = domain_.next_seq();
+  if (cls == Class::kRead) {
+    ++stats_.reads_tracked;
+    // Block-read requests are dedup'd at the responder (re-servicing one
+    // streams side-effecting writes), so they ride a stream of their own.
+    if (packet.kind == net::PacketKind::kBlockReadReq)
+      packet.chan_seq = ++chan_next_[stream_key(packet.dst, packet.kind)];
+  } else {
+    packet.chan_seq = ++chan_next_[stream_key(packet.dst, packet.kind)];
+    ++stats_.msgs_tracked;
+  }
+
+  // An invoke asserts every write this PE issued before it has landed
+  // (barrier joins say "my phase's data is visible"). With retransmission
+  // in play that is only true once those writes are ACKed, so an invoke
+  // behind outstanding writes waits at the fence — tracked, but its
+  // retransmit timer arms only when it actually leaves.
+  std::vector<std::uint32_t> blockers;
+  if (packet.kind == net::PacketKind::kInvoke && !releasing_fence_)
+    blockers = write_blockers(packet.dst, /*any_dst=*/true);
+
   Entry entry;
-  entry.request = request;
+  entry.request = packet;
   entry.first_issue = sim_.now();
   entry.timeout = config_.timeout_cycles;
-  entry.timer_id = sim_.schedule(entry.timeout, &RetryAgent::timeout_event,
-                                 this, request.req_seq, 0);
+  entry.cls = cls;
+  entry.timer_id =
+      blockers.empty()
+          ? sim_.schedule(entry.timeout, &ReliableChannel::timeout_event, this,
+                          packet.req_seq, 0)
+          : kNoTimer;
   const bool inserted =
-      outstanding_.emplace(request.req_seq, std::move(entry)).second;
+      outstanding_.emplace(packet.req_seq, std::move(entry)).second;
   EMX_CHECK(inserted, "request sequence number reused");
+  stats_.peak_outstanding =
+      std::max<std::uint64_t>(stats_.peak_outstanding, outstanding_.size());
+  if (!blockers.empty()) {
+    ++stats_.fence_holds;
+    fence_.push_back(FenceWaiter{packet, std::move(blockers)});
+    return false;
+  }
+  return true;
 }
 
-bool RetryAgent::on_reply(const net::Packet& reply) {
-  if (reply.req_seq == 0) return true;  // unsequenced (pre-protocol) packet
+std::vector<std::uint32_t> ReliableChannel::write_blockers(
+    ProcId dst, bool any_dst) const {
+  std::vector<std::uint32_t> blockers;
+  for (const auto& [seq, entry] : outstanding_) {
+    if (entry.request.kind != net::PacketKind::kRemoteWrite) continue;
+    if (!any_dst && entry.request.dst != dst) continue;
+    blockers.push_back(seq);
+  }
+  std::sort(blockers.begin(), blockers.end());
+  return blockers;
+}
+
+void ReliableChannel::release_fence() {
+  while (!fence_.empty() && fence_.front().blockers.empty()) {
+    const net::Packet packet = fence_.front().packet;
+    fence_.pop_front();
+    // Held invokes own an entry whose timer was deferred; arm it now that
+    // the packet really enters the fabric. (A block-read resume's req_seq
+    // belongs to the remote requester — seqs are globally unique, so it
+    // can never alias an entry in this table.)
+    const auto it = outstanding_.find(packet.req_seq);
+    if (it != outstanding_.end() && it->second.timer_id == kNoTimer) {
+      it->second.timer_id =
+          sim_.schedule(it->second.timeout, &ReliableChannel::timeout_event,
+                        this, packet.req_seq, 0);
+    }
+    releasing_fence_ = true;
+    obu_.send(packet);
+    releasing_fence_ = false;
+  }
+}
+
+bool ReliableChannel::on_reply_accept(const net::Packet& reply) {
+  if (reply.req_seq == 0) return true;  // unsequenced (protocol disabled)
   const auto it = outstanding_.find(reply.req_seq);
   if (it == outstanding_.end()) {
-    // The request already completed — this is a duplicate produced by the
-    // fabric or by a spurious retransmit. Suppress before the thread
-    // engine sees it (its continuation was already consumed).
+    // The request already retired — a duplicate produced by the fabric or
+    // by a spurious retransmit. Suppress before the thread engine sees it
+    // (its continuation was already consumed).
     ++stats_.dup_replies_suppressed;
     return false;
   }
   Entry& entry = it->second;
-  sim_.cancel(entry.timer_id);
-  if (entry.retries > 0) {
-    ++stats_.reads_recovered;
-    stats_.worst_recovery_cycles =
-        std::max(stats_.worst_recovery_cycles, sim_.now() - entry.first_issue);
+  if (entry.reply_seen) {
+    // An identical reply is already queued in the IBU awaiting dispatch.
+    ++stats_.dup_replies_suppressed;
+    return false;
   }
-  domain_.note_completed(reply.req_seq);
-  outstanding_.erase(it);
+  // Mark, but keep the timer armed and the entry live: if a PE outage
+  // flushes this reply out of the IBU before dispatch, the timer is the
+  // only thing left that can recover the read.
+  entry.reply_seen = true;
   return true;
 }
 
-void RetryAgent::timeout_event(void* ctx, std::uint64_t seq, std::uint64_t) {
-  static_cast<RetryAgent*>(ctx)->handle_timeout(static_cast<std::uint32_t>(seq));
+void ReliableChannel::on_reply_dispatched(const net::Packet& reply) {
+  if (reply.req_seq == 0) return;
+  retire(reply.req_seq);
 }
 
-void RetryAgent::handle_timeout(std::uint32_t seq) {
+void ReliableChannel::on_ack(const net::Packet& ack) {
+  const auto it = outstanding_.find(ack.req_seq);
+  if (it == outstanding_.end()) {
+    // The message already retired via an earlier ACK copy.
+    ++stats_.dup_acks_ignored;
+    return;
+  }
+  EMX_CHECK(it->second.cls == Class::kMsg, "ACK for a read request");
+  retire(ack.req_seq);
+}
+
+void ReliableChannel::retire(std::uint32_t seq) {
+  const auto it = outstanding_.find(seq);
+  EMX_CHECK(it != outstanding_.end(), "retiring an unknown request");
+  Entry& entry = it->second;
+  if (entry.timer_id != kNoTimer) sim_.cancel(entry.timer_id);
+  if (entry.retries > 0) {
+    if (entry.cls == Class::kRead)
+      ++stats_.reads_recovered;
+    else
+      ++stats_.msgs_recovered;
+    stats_.worst_recovery_cycles =
+        std::max(stats_.worst_recovery_cycles, sim_.now() - entry.first_issue);
+  }
+  domain_.note_completed(seq);
+  outstanding_.erase(it);
+  if (!fence_.empty()) {
+    for (FenceWaiter& w : fence_) std::erase(w.blockers, seq);
+    release_fence();
+  }
+}
+
+void ReliableChannel::timeout_event(void* ctx, std::uint64_t seq,
+                                    std::uint64_t) {
+  static_cast<ReliableChannel*>(ctx)->handle_timeout(
+      static_cast<std::uint32_t>(seq));
+}
+
+void ReliableChannel::handle_timeout(std::uint32_t seq) {
   const auto it = outstanding_.find(seq);
   EMX_CHECK(it != outstanding_.end(),
-            "retransmit timer fired for a completed request (cancel missed)");
+            "retransmit timer fired for a retired request (cancel missed)");
   Entry& entry = it->second;
+  if (entry.cls == Class::kRead && entry.reply_seen) {
+    // The reply is sitting in the IBU behind other traffic; retransmitting
+    // would only breed duplicates. Re-arm and wait for dispatch (an outage
+    // flush clears reply_seen, re-enabling the retransmit path).
+    entry.timeout *= config_.backoff_mult;
+    entry.timer_id = sim_.schedule(entry.timeout,
+                                   &ReliableChannel::timeout_event, this, seq, 0);
+    return;
+  }
   ++stats_.timeouts;
   ++entry.retries;
   EMX_CHECK(entry.retries <= config_.max_retries,
-            "read retransmit limit exceeded — fault not recoverable");
+            "retransmit limit exceeded — fault not recoverable");
   emit(trace::EventType::kReadTimeout, entry.request.cont_thread, seq);
 
-  // Retransmit the saved request unchanged (same seq, same continuation).
+  // Retransmit the saved packet unchanged (same seqs, same continuation).
   // The send instruction is re-executed, so its cycles are charged like
   // any other packet-generation overhead — retries are never free.
-  ++stats_.retries;
   exu_.charge(proc::CycleBucket::kOverhead, retransmit_charge_cycles_);
   obu_.send(entry.request);
-  emit(trace::EventType::kReadRetry, entry.request.cont_thread, entry.retries);
+  if (entry.cls == Class::kRead) {
+    ++stats_.retries;
+    emit(trace::EventType::kReadRetry, entry.request.cont_thread,
+         entry.retries);
+  } else {
+    ++stats_.msg_retransmits;
+    emit(trace::EventType::kMsgRetransmit, entry.request.cont_thread, seq);
+  }
 
   entry.timeout *= config_.backoff_mult;
-  entry.timer_id =
-      sim_.schedule(entry.timeout, &RetryAgent::timeout_event, this, seq, 0);
+  entry.timer_id = sim_.schedule(entry.timeout, &ReliableChannel::timeout_event,
+                                 this, seq, 0);
+}
+
+// -------------------------------------------------------- receiver role
+
+bool ReliableChannel::accept_msg(const net::Packet& msg) {
+  if (msg.chan_seq == 0) return true;  // unsequenced (protocol disabled)
+  Window& w = windows_[stream_key(msg.src, msg.kind)];
+  if (msg.chan_seq <= w.floor || w.applied.contains(msg.chan_seq)) {
+    // Already applied: the side effect happened, but the sender keeps
+    // retransmitting until it hears an ACK — so re-ACK every duplicate.
+    ++stats_.dup_msgs_suppressed;
+    send_ack(msg);
+    return false;
+  }
+  if (w.pending.contains(msg.chan_seq)) {
+    // A copy is queued in the IBU but its side effect has not happened
+    // yet. No ACK: acknowledging now would stop the retransmits that are
+    // the only recovery if an outage flushes the pending copy.
+    ++stats_.dup_msgs_suppressed;
+    return false;
+  }
+  if (msg.kind == net::PacketKind::kRemoteWrite) {
+    // The DMA commits the write synchronously at accept, so it is applied
+    // (and ACK-able) the moment we return true.
+    w.applied.insert(msg.chan_seq);
+    while (w.applied.erase(w.floor + 1) == 1) ++w.floor;
+    send_ack(msg);
+    return true;
+  }
+  // Invoke: the side effect (frame allocation, thread start) happens at
+  // IBU dispatch. Park it in pending until then.
+  w.pending.insert(msg.chan_seq);
+  return true;
+}
+
+void ReliableChannel::on_invoke_dispatched(const net::Packet& msg) {
+  Window& w = windows_[stream_key(msg.src, msg.kind)];
+  const bool was_pending = w.pending.erase(msg.chan_seq) == 1;
+  EMX_CHECK(was_pending, "dispatched invoke missing from the dedup window");
+  w.applied.insert(msg.chan_seq);
+  while (w.applied.erase(w.floor + 1) == 1) ++w.floor;
+  send_ack(msg);
+}
+
+ReliableChannel::BlockReadVerdict ReliableChannel::accept_block_read(
+    const net::Packet& req) {
+  if (req.chan_seq == 0) return BlockReadVerdict::kService;  // unsequenced
+  Window& w = windows_[stream_key(req.src, req.kind)];
+  if (req.chan_seq <= w.floor || w.applied.contains(req.chan_seq)) {
+    // The original service already launched; its word-writes repair
+    // themselves, so only the resuming word (which has no timer of its
+    // own) might still be missing at the requester.
+    ++stats_.dup_msgs_suppressed;
+    return BlockReadVerdict::kResendResume;
+  }
+  if (w.pending.contains(req.chan_seq)) {
+    // A copy is queued in the IBU awaiting its EM-4 service thread; that
+    // service will emit the whole stream.
+    ++stats_.dup_msgs_suppressed;
+    return BlockReadVerdict::kSuppress;
+  }
+  w.pending.insert(req.chan_seq);
+  return BlockReadVerdict::kService;
+}
+
+void ReliableChannel::on_block_read_serviced(const net::Packet& req) {
+  if (req.chan_seq == 0) return;
+  Window& w = windows_[stream_key(req.src, req.kind)];
+  const bool was_pending = w.pending.erase(req.chan_seq) == 1;
+  EMX_CHECK(was_pending, "serviced block read missing from the dedup window");
+  w.applied.insert(req.chan_seq);
+  while (w.applied.erase(w.floor + 1) == 1) ++w.floor;
+  // No ACK: the requester's entry retires when the resume dispatches.
+}
+
+void ReliableChannel::on_packet_flushed(const net::Packet& packet) {
+  switch (packet.kind) {
+    case net::PacketKind::kInvoke:
+    case net::PacketKind::kBlockReadReq:
+      // Never ACKed, so the sender will retransmit; forget the pending
+      // mark so the retransmit is treated as fresh. (Block-read requests
+      // only wait in the IBU in EM-4 service mode.)
+      if (packet.chan_seq != 0)
+        windows_[stream_key(packet.src, packet.kind)].pending.erase(
+            packet.chan_seq);
+      break;
+    case net::PacketKind::kRemoteReadReply:
+    case net::PacketKind::kBlockReadReply:
+      // The reply never reached the thread engine; re-open the dedup gate
+      // so the timer's retransmit can fetch it again.
+      if (packet.req_seq != 0) {
+        const auto it = outstanding_.find(packet.req_seq);
+        if (it != outstanding_.end()) it->second.reply_seen = false;
+      }
+      break;
+    default:
+      break;
+  }
+}
+
+void ReliableChannel::send_ack(const net::Packet& msg) {
+  net::Packet ack;
+  ack.kind = net::PacketKind::kAck;
+  ack.priority = net::PacketPriority::kHigh;
+  ack.src = proc_;
+  ack.dst = msg.src;
+  ack.req_seq = msg.req_seq;
+  ++stats_.acks_sent;
+  emit(trace::EventType::kAckSend, kInvalidThread, msg.req_seq);
+  // NIC-level acknowledgement: no EXU instruction runs, so no cycle
+  // charge — only the OBU occupancy and fabric latency are modelled.
+  obu_.send(ack);
+}
+
+void ReliableChannel::append_outstanding(std::string& out) const {
+  std::vector<std::uint32_t> seqs;
+  seqs.reserve(outstanding_.size());
+  for (const auto& [seq, entry] : outstanding_) seqs.push_back(seq);
+  std::sort(seqs.begin(), seqs.end());
+  for (const std::uint32_t seq : seqs) {
+    const Entry& entry = outstanding_.at(seq);
+    char buf[160];
+    std::snprintf(buf, sizeof buf,
+                  "    seq=%u %s dst=%u retries=%u age=%llu%s\n", seq,
+                  net::to_string(entry.request.kind), entry.request.dst,
+                  entry.retries,
+                  static_cast<unsigned long long>(sim_.now() -
+                                                  entry.first_issue),
+                  entry.reply_seen      ? " (reply in IBU)"
+                  : entry.timer_id == kNoTimer ? " (fence-held)"
+                                               : "");
+    out += buf;
+  }
 }
 
 }  // namespace emx::fault

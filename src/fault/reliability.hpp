@@ -1,32 +1,78 @@
-// The reliability protocol that makes split-phase reads survive a lossy
-// fabric: sequence numbers, a per-processor outstanding-request table
-// with timeout + exponential-backoff retransmit, and duplicate-reply
-// suppression.
+// The reliability protocol that makes every packet class survive a lossy
+// fabric. Two recovery paths share one outstanding-request table and one
+// timeout + exponential-backoff retransmit engine:
 //
-//   requester EXU --- read req (seq) ---> responder DMA
-//        |  (entry in RetryAgent table,         |
-//        |   cancellable timer armed)           |
-//        <------- reply (echoes seq) -----------+
-//   reply seq in table  -> deliver, erase entry, cancel timer
-//   reply seq NOT in table -> duplicate (earlier retry already answered
-//                             or the packet was duplicated): suppressed
-//   timer fires, entry live -> retransmit the saved request, timeout *=
-//                             backoff, retry counted and cycle-charged
+//   Reads (idempotent request/reply) — unchanged from the original
+//   RetryAgent design:
+//     requester EXU --- read req (req_seq) ---> responder DMA
+//          |  (entry in table, cancellable timer)    |
+//          <------- reply (echoes req_seq) ----------+
+//     reply accepted  -> dedup gate (reply_seen); the entry retires when
+//                        the reply is *dispatched* from the IBU, so a
+//                        reply flushed by a PE outage is re-fetched by the
+//                        still-armed timer
+//     timer fires     -> retransmit the saved request (same seq)
 //
-// Retransmits are idempotent: read requests (block reads included) have
-// no side effects at the responder beyond re-sending data words whose
-// values cannot change mid-phase (application phases are separated by
-// barriers that no requester passes with a read outstanding).
+//   Side-effecting messages (remote writes, invokes, barrier joins) —
+//   exactly-once via seq/ack/dedup:
+//     sender --- msg (req_seq + per-(src,dst,class) chan_seq) ---> receiver
+//          |  (entry in table, timer armed)                |
+//          |     dedup window: floor + applied/pending sets |
+//          <---------- kAck (echoes req_seq) --------------+
+//     fresh write   -> applied & ACKed at NIC accept (DMA commits there)
+//     fresh invoke  -> pending at accept, applied & ACKed at IBU dispatch
+//                      (an invoke flushed from the IBU was never ACKed,
+//                      so the sender's retransmit repairs it)
+//     duplicate     -> <= floor or in applied: re-ACK, suppress;
+//                      in pending: suppress silently (ACKing before the
+//                      side effect would let a flush lose it for good)
+//     ACK arrives   -> retire the entry; duplicate ACKs are ignored
+//     lost ACK      -> message retransmits, receiver dedups and re-ACKs
 //
-// FaultDomain is the machine-wide ledger tying the two ends together: it
-// hands out sequence numbers, remembers which outstanding request every
-// injected drop/corruption damaged, and checks that each such fault was
-// recovered (the read completed anyway) by the end of the run.
+// ACK packets themselves ride the faulty fabric (droppable, corruptible)
+// but are never sequenced or ACKed — their loss is recovered by the
+// message path above, never by a nested protocol.
+//
+// Block reads sit between the two: the request looks like a read, but
+// servicing it has side effects — the responder streams word-writes into
+// the requester's buffer. Re-servicing a retransmitted request would
+// launch a second (zombie) write stream that can land after the
+// requester has moved on and clobber a later phase's data. So block-read
+// requests carry a chan_seq of their own and the responder dedups them:
+// each request is serviced exactly once (the word-writes and the resume
+// repair themselves via their own timers and the write fence), and a
+// duplicate of an already-serviced request re-sends only the resuming
+// word — the one packet of the stream with no retransmit timer.
+//
+// The write fence preserves the machine's happens-before edges, which a
+// lossless fabric used to give away for free via FIFO non-overtaking: a
+// retransmitted write arrives *later* than it was sent, so any packet
+// whose delivery implies "my earlier writes landed" must wait for their
+// ACKs. Two packet kinds carry such an implication and are held at the
+// OBU until the writes they follow are acknowledged:
+//   * invokes (thread spawns and barrier joins) wait for every
+//     outstanding write of this PE — a barrier must not release while a
+//     participant's data writes are still being repaired;
+//   * the resuming word of a block read (kBlockReadReply) waits for the
+//     word-writes streamed to the same requester before it — the reader
+//     must not wake up to a buffer with holes.
+// Held packets release in FIFO order as ACKs retire their blockers; an
+// invoke's retransmit timer is only armed once it actually leaves.
+//
+// FaultDomain is the machine-wide ledger tying the ends together: it
+// hands out request sequence numbers, remembers which outstanding request
+// every injected drop/corruption damaged, checks each such fault was
+// recovered by the end of the run, and keeps its own memory bounded
+// (entries erased on completion, wraparound asserted, peak size
+// reported).
 #pragma once
 
 #include <cstdint>
+#include <deque>
+#include <string>
 #include <unordered_map>
 #include <unordered_set>
+#include <vector>
 
 #include "common/types.hpp"
 #include "fault/fault_config.hpp"
@@ -44,18 +90,18 @@ class FaultDomain {
  public:
   /// Next request sequence number (1-based; 0 means unsequenced). The
   /// request is live (recovery expected for faults charged to it) until
-  /// note_completed().
-  std::uint32_t next_seq() {
-    const std::uint32_t seq = ++last_seq_;
-    live_.insert(seq);
-    return seq;
-  }
+  /// note_completed(), which erases it — the ledger never grows past the
+  /// number of simultaneously outstanding requests.
+  std::uint32_t next_seq();
 
   void note_injected(FaultKind kind) {
     ++report_.injected[static_cast<std::size_t>(kind)];
   }
 
   /// A drop/corruption destroyed a packet belonging to request `seq`.
+  /// seq == 0 means the packet was unsequenced (reliability disabled or
+  /// host traffic): nothing will recover it, so it is tallied separately
+  /// instead of charged to the ledger.
   void note_lost(std::uint32_t seq);
 
   /// The checksum caught a corrupted packet at the ejection port.
@@ -73,8 +119,8 @@ class FaultDomain {
  private:
   std::uint32_t last_seq_ = 0;
   /// Requests issued but not yet completed. A fault on a packet whose seq
-  /// is no longer live hit a stale retransmit: the read already finished,
-  /// nothing needs recovering. Never iterated; only probed.
+  /// is no longer live hit a stale retransmit: the request already
+  /// finished, nothing needs recovering. Never iterated; only probed.
   std::unordered_set<std::uint32_t> live_;
   /// seq -> number of recoverable faults charged to it. Never iterated
   /// (order would be nondeterministic); only probed and summed.
@@ -83,55 +129,162 @@ class FaultDomain {
   FaultReport report_;
 };
 
-/// Per-PE retry stats, folded into FaultReport by Machine::report().
-struct RetryStats {
+/// Per-PE channel stats, folded into FaultReport by Machine::report().
+struct ChannelStats {
   std::uint64_t reads_tracked = 0;
+  std::uint64_t msgs_tracked = 0;
   std::uint64_t timeouts = 0;
-  std::uint64_t retries = 0;
+  std::uint64_t retries = 0;          ///< read requests re-sent
+  std::uint64_t msg_retransmits = 0;  ///< writes/invokes re-sent
+  std::uint64_t acks_sent = 0;
   std::uint64_t dup_replies_suppressed = 0;
+  std::uint64_t dup_msgs_suppressed = 0;
+  std::uint64_t dup_acks_ignored = 0;
   std::uint64_t reads_recovered = 0;
+  std::uint64_t msgs_recovered = 0;
+  std::uint64_t fence_holds = 0;  ///< packets held for write ACKs
   Cycle worst_recovery_cycles = 0;
+  std::uint64_t peak_outstanding = 0;
 };
 
-/// One per processing element. Not constructed at all on fault-free runs:
-/// the protocol's cost is strictly zero off the faulted path.
-class RetryAgent {
+/// One per processing element; both the sender role (outstanding table,
+/// retransmit timers) and the receiver role (dedup windows, ACK
+/// emission). Not constructed at all on fault-free runs: the protocol's
+/// cost is strictly zero off the faulted path.
+class ReliableChannel {
  public:
-  RetryAgent(sim::SimContext& sim, const FaultConfig& config, ProcId proc,
-             proc::OutputBufferUnit& obu, proc::ExecutionUnit& exu,
-             FaultDomain& domain, Cycle retransmit_charge_cycles,
-             trace::TraceSink* sink);
+  ReliableChannel(sim::SimContext& sim, const FaultConfig& config, ProcId proc,
+                  proc::OutputBufferUnit& obu, proc::ExecutionUnit& exu,
+                  FaultDomain& domain, Cycle retransmit_charge_cycles,
+                  trace::TraceSink* sink);
 
-  RetryAgent(const RetryAgent&) = delete;
-  RetryAgent& operator=(const RetryAgent&) = delete;
-  ~RetryAgent();
+  ReliableChannel(const ReliableChannel&) = delete;
+  ReliableChannel& operator=(const ReliableChannel&) = delete;
+  ~ReliableChannel();
 
-  /// Called by the thread engine just before a read request is handed to
-  /// the OBU: stamps the sequence number, records the request for
-  /// retransmission and arms the timeout timer.
-  void on_send(net::Packet& request);
+  // --- sender role ---
 
-  /// Called at packet acceptance for read replies. Returns false when the
-  /// reply is a duplicate (its request already completed) and must be
-  /// suppressed before it reaches the thread engine.
-  bool on_reply(const net::Packet& reply);
+  /// Called by the OBU for every packet it releases. First-issue read
+  /// requests are stamped with req_seq; first-issue writes/invokes with
+  /// req_seq + chan_seq; both get a table entry and a timer. Retransmits
+  /// (req_seq already set), self-loopback packets, read replies and ACKs
+  /// pass through untouched. Returns false when the write fence captured
+  /// the packet (invoke behind unACKed writes, or a block-read resume
+  /// behind its word-writes): the OBU must drop it — the channel re-sends
+  /// it itself once the blocking writes are acknowledged.
+  bool on_obu_send(net::Packet& packet);
 
-  bool idle() const { return outstanding_.empty(); }
+  /// Called at NIC acceptance for read replies. Returns false when the
+  /// reply is a duplicate (request already completed, or an identical
+  /// reply is already sitting in the IBU) and must be suppressed. A fresh
+  /// reply only marks the entry — retirement waits for dispatch.
+  bool on_reply_accept(const net::Packet& reply);
+
+  /// Called when the IBU dispatches a read reply: the value has reached
+  /// the thread engine, so the request retires (timer cancelled, ledger
+  /// notified, entry erased).
+  void on_reply_dispatched(const net::Packet& reply);
+
+  /// Called at NIC acceptance for kAck packets: retires the acknowledged
+  /// message. ACKs for already-retired sequences are counted and ignored.
+  void on_ack(const net::Packet& ack);
+
+  // --- receiver role ---
+
+  /// Called at NIC acceptance for sequenced writes and invokes. Returns
+  /// false when the message is a duplicate and must not be applied or
+  /// enqueued again. Fresh writes are ACKed here (the DMA commits them
+  /// synchronously at accept); fresh invokes are only marked pending —
+  /// their ACK waits for IBU dispatch.
+  bool accept_msg(const net::Packet& msg);
+
+  /// Called when the IBU dispatches a sequenced invoke: the side effect
+  /// is now committed, so the dedup window advances and the ACK goes out.
+  void on_invoke_dispatched(const net::Packet& msg);
+
+  /// What the receiver should do with an arriving block-read request.
+  enum class BlockReadVerdict : std::uint8_t {
+    kService,       ///< fresh: run the full service (words + resume)
+    kSuppress,      ///< duplicate of a not-yet-serviced copy: do nothing
+    kResendResume,  ///< already serviced: re-send only the resuming word
+  };
+
+  /// Called at NIC acceptance for block-read requests. Fresh requests go
+  /// pending (their service commits the side effect); duplicates are
+  /// split by whether the original was serviced yet. Never ACKs — the
+  /// requester's entry retires when the resume dispatches.
+  BlockReadVerdict accept_block_read(const net::Packet& req);
+
+  /// Called when the block-read service actually launches (synchronously
+  /// at accept in by-pass DMA mode, at IBU dispatch in EM-4 mode): the
+  /// dedup window advances so later duplicates only re-send the resume.
+  void on_block_read_serviced(const net::Packet& req);
+
+  /// Called for every fabric packet flushed from the IBU by a PE outage:
+  /// pending invokes leave the dedup window (they were never ACKed, so
+  /// the sender retransmits) and flushed read replies re-arm the dedup
+  /// gate (the still-armed timer re-fetches them).
+  void on_packet_flushed(const net::Packet& packet);
+
+  bool idle() const { return outstanding_.empty() && fence_.empty(); }
   std::uint64_t outstanding() const { return outstanding_.size(); }
-  const RetryStats& stats() const { return stats_; }
+  const ChannelStats& stats() const { return stats_; }
+
+  /// Appends one line per outstanding request, sorted by sequence number
+  /// (deterministic), for the watchdog's hang diagnosis.
+  void append_outstanding(std::string& out) const;
 
  private:
+  enum class Class : std::uint8_t { kRead = 0, kMsg = 1 };
+
   struct Entry {
     net::Packet request;
     Cycle first_issue = 0;
-    Cycle timeout = 0;       ///< current (backed-off) timeout
+    Cycle timeout = 0;  ///< current (backed-off) timeout
     std::uint32_t retries = 0;
     std::uint64_t timer_id = 0;
+    Class cls = Class::kRead;
+    /// Read replies only: a fresh reply was accepted into the IBU but not
+    /// yet dispatched. Gates duplicates; reset when an outage flushes the
+    /// reply so the timer recovers it.
+    bool reply_seen = false;
   };
+
+  /// Receiver-side dedup state for one (source PE, message class) stream.
+  /// chan_seq values are contiguous from 1, so everything <= floor is a
+  /// known duplicate and the sets stay bounded by the in-flight window.
+  struct Window {
+    std::uint32_t floor = 0;
+    std::unordered_set<std::uint32_t> applied;  ///< > floor, side effect done
+    std::unordered_set<std::uint32_t> pending;  ///< invokes awaiting dispatch
+  };
+
+  /// A packet captured by the write fence: released (FIFO) once every
+  /// blocking write sequence number has been acknowledged.
+  struct FenceWaiter {
+    net::Packet packet;
+    std::vector<std::uint32_t> blockers;  ///< sorted outstanding write seqs
+  };
+
+  static constexpr std::uint64_t kNoTimer = ~std::uint64_t{0};
 
   static void timeout_event(void* ctx, std::uint64_t seq, std::uint64_t);
   void handle_timeout(std::uint32_t seq);
+  void retire(std::uint32_t seq);
+  void send_ack(const net::Packet& msg);
   void emit(trace::EventType type, ThreadId thread, std::uint64_t info);
+  /// Outstanding write seqs (sorted — the map's order is not
+  /// deterministic) that a fence waiter must wait for; dst-filtered for
+  /// block-read resumes, all destinations for invokes.
+  std::vector<std::uint32_t> write_blockers(ProcId dst, bool any_dst) const;
+  void release_fence();
+
+  static std::uint64_t stream_key(ProcId peer, net::PacketKind kind) {
+    std::uint64_t cls = 0;  // remote writes
+    if (kind == net::PacketKind::kInvoke) cls = 1;
+    if (kind == net::PacketKind::kBlockReadReq) cls = 2;
+    return (static_cast<std::uint64_t>(peer) << 2) | cls;
+  }
 
   sim::SimContext& sim_;
   const FaultConfig& config_;
@@ -142,10 +295,20 @@ class RetryAgent {
   Cycle retransmit_charge_cycles_;
   trace::TraceSink* sink_;
 
-  /// seq -> outstanding request. Never iterated during the run (only
-  /// probed by seq), so the unordered layout cannot leak nondeterminism.
+  /// req_seq -> outstanding request. Only probed by seq during the run;
+  /// iterated (sorted) solely by the watchdog diagnosis.
   std::unordered_map<std::uint32_t, Entry> outstanding_;
-  RetryStats stats_;
+  /// (dst, class) -> last chan_seq stamped (sender role). Never iterated.
+  std::unordered_map<std::uint64_t, std::uint32_t> chan_next_;
+  /// (src, class) -> dedup window (receiver role). Never iterated.
+  std::unordered_map<std::uint64_t, Window> windows_;
+  /// Write-fence queue: packets held until their blockers are ACKed,
+  /// released strictly front-to-back.
+  std::deque<FenceWaiter> fence_;
+  /// True while release_fence() re-submits a held packet through the OBU,
+  /// so on_obu_send lets it through instead of re-capturing it.
+  bool releasing_fence_ = false;
+  ChannelStats stats_;
 };
 
 }  // namespace emx::fault

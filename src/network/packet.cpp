@@ -20,6 +20,8 @@ const char* to_string(PacketKind kind) {
       return "INVOKE";
     case PacketKind::kLocalWake:
       return "LOCAL_WAKE";
+    case PacketKind::kAck:
+      return "ACK";
   }
   return "?";
 }

@@ -22,6 +22,7 @@ enum class PacketKind : std::uint8_t {
   kBlockReadReply,   ///< final word of a block read; resumes the thread
   kInvoke,           ///< thread invocation: addr = entry id, data = argument
   kLocalWake,        ///< OBU->IBU loopback continuation (gate wake, poll)
+  kAck,              ///< reliability: receiver NIC acknowledges req_seq
 };
 
 const char* to_string(PacketKind kind);
@@ -54,11 +55,17 @@ struct Packet {
   std::uint32_t block_len = 1;
 
   // --- reliability protocol fields (fault-injection runs only) ---
-  /// Outstanding-request sequence number stamped by the requester's retry
-  /// agent; replies echo it so duplicates can be suppressed. 0 means the
-  /// packet is unsequenced (reliability protocol disabled or the kind is
-  /// not a tracked request/reply).
+  /// Outstanding-request sequence number stamped by the sender's
+  /// ReliableChannel (machine-global, 1-based). Read replies and kAck
+  /// packets echo it so the sender can retire (or suppress a duplicate
+  /// of) the original packet. 0 means the packet is unsequenced
+  /// (reliability protocol disabled or the kind is not tracked).
   std::uint32_t req_seq = 0;
+  /// Per-(src,dst,class) stream sequence for side-effecting messages
+  /// (remote writes and invokes): contiguous from 1, so the receiver's
+  /// dedup window can advance a floor and stay bounded. 0 = no dedup
+  /// (reads/replies/acks, loopback, or reliability disabled).
+  std::uint32_t chan_seq = 0;
   /// Link-level checksum stamped at network injection (fault runs only);
   /// 0 means unstamped. A mismatch at the ejection port means the payload
   /// was corrupted in flight: the packet is discarded and the requester's

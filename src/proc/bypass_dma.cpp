@@ -46,7 +46,32 @@ void BypassDma::service_event(void* ctx, std::uint64_t idx64, std::uint64_t) {
   self->obu_.send(reply);
 }
 
+void BypassDma::resend_resume(const net::Packet& req) {
+  sim_.note_progress();
+  EMX_DCHECK(req.kind == net::PacketKind::kBlockReadReq,
+             "resume re-send for a non-block-read packet");
+  const Cycle start = reserve_engine(interval_cycles_);
+  const rt::GlobalAddr base = rt::unpack(req.addr);
+  const rt::GlobalAddr dest = rt::unpack(req.data);
+  const std::uint32_t last = req.block_len - 1;
+  net::Packet reply;
+  reply.kind = net::PacketKind::kBlockReadReply;
+  reply.src = req.dst;
+  reply.dst = req.src;
+  reply.cont_thread = req.cont_thread;
+  reply.cont_tag = req.cont_tag;
+  reply.cont_slot = req.cont_slot;
+  reply.priority = req.priority;
+  reply.data = memory_.read(base.addr + last);
+  reply.addr = rt::pack(dest + last);
+  reply.req_seq = req.req_seq;
+  schedule_reply(reply, start + service_cycles_);
+}
+
 void BypassDma::service(const net::Packet& packet) {
+  // A packet being serviced is forward progress for the watchdog: memory
+  // changes or a reply departs.
+  sim_.note_progress();
   using net::PacketKind;
   switch (packet.kind) {
     case PacketKind::kRemoteWrite: {
@@ -111,6 +136,7 @@ void BypassDma::service(const net::Packet& packet) {
     case PacketKind::kBlockReadReply:
     case PacketKind::kInvoke:
     case PacketKind::kLocalWake:
+    case PacketKind::kAck:
       EMX_UNREACHABLE("packet kind not serviced by DMA");
   }
 }

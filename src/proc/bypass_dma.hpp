@@ -46,6 +46,11 @@ class BypassDma {
   /// at sim.now(). Never touches the EXU.
   void service(const net::Packet& packet);
 
+  /// Re-sends only the resuming word of an already-serviced block read
+  /// (duplicate request: the word-writes repair themselves, the resume is
+  /// the one stream packet without a retransmit timer of its own).
+  void resend_resume(const net::Packet& req);
+
   const BypassDmaStats& stats() const { return stats_; }
 
  private:

@@ -15,10 +15,11 @@ Emcy::Emcy(sim::SimContext& sim, const MachineConfig& config, ProcId proc,
 
 void Emcy::arm_reliability(sim::SimContext& sim, fault::FaultDomain& domain,
                            trace::TraceSink* sink) {
-  retry_ = std::make_unique<fault::RetryAgent>(
+  channel_ = std::make_unique<fault::ReliableChannel>(
       sim, config_.fault, proc_, obu_, engine_.exu(), domain,
       config_.packet_gen_cycles, sink);
-  engine_.set_retry_agent(retry_.get());
+  obu_.set_channel(channel_.get());
+  engine_.set_channel(channel_.get());
 }
 
 void Emcy::accept(const net::Packet& packet) {
@@ -26,15 +27,37 @@ void Emcy::accept(const net::Packet& packet) {
   using net::PacketKind;
   switch (packet.kind) {
     case PacketKind::kRemoteWrite:
+      // Exactly-once: a retransmitted write whose original already
+      // committed must not commit twice.
+      if (channel_ != nullptr && !channel_->accept_msg(packet)) return;
       // Writes are always serviced by the IBU->MCU path.
       dma_.service(packet);
       return;
     case PacketKind::kRemoteReadReq:
     case PacketKind::kBlockReadReq:
+      // Scalar reads keep the idempotent fast path: re-servicing one just
+      // re-sends a data word the requester's channel dedups. Block reads
+      // do NOT — their service streams side-effecting writes, so the
+      // channel dedups the request itself and a duplicate at most
+      // re-fetches the resuming word.
+      if (packet.kind == PacketKind::kBlockReadReq && channel_ != nullptr) {
+        switch (channel_->accept_block_read(packet)) {
+          case fault::ReliableChannel::BlockReadVerdict::kService:
+            break;
+          case fault::ReliableChannel::BlockReadVerdict::kSuppress:
+            return;
+          case fault::ReliableChannel::BlockReadVerdict::kResendResume:
+            dma_.resend_resume(packet);
+            return;
+        }
+      }
       if (config_.read_service == ReadServiceMode::kBypassDma) {
         dma_.service(packet);
+        // The full stream is on its way: later duplicates only re-resume.
+        if (packet.kind == PacketKind::kBlockReadReq && channel_ != nullptr)
+          channel_->on_block_read_serviced(packet);
       } else {
-        engine_.enqueue_packet(packet);  // EM-4: consumes EXU cycles
+        engine_.enqueue_packet(packet);  // EM-4: applied at service dispatch
       }
       return;
     case PacketKind::kRemoteReadReply:
@@ -43,12 +66,22 @@ void Emcy::accept(const net::Packet& packet) {
       // that raced its original, or a fabric-duplicated packet) must be
       // suppressed here — a stale reply reaching the MU would trip the
       // pending-tag match.
-      if (retry_ != nullptr && !retry_->on_reply(packet)) return;
+      if (channel_ != nullptr && !channel_->on_reply_accept(packet)) return;
       engine_.enqueue_packet(packet);
       return;
     case PacketKind::kInvoke:
+      // Exactly-once: a duplicate invoke would allocate a second frame
+      // and run the thread body twice (a duplicated barrier join would
+      // silently over-count the barrier).
+      if (channel_ != nullptr && !channel_->accept_msg(packet)) return;
+      engine_.enqueue_packet(packet);
+      return;
     case PacketKind::kLocalWake:
       engine_.enqueue_packet(packet);
+      return;
+    case PacketKind::kAck:
+      // NIC-level: retires the sender-side entry; never reaches the IBU.
+      if (channel_ != nullptr) channel_->on_ack(packet);
       return;
   }
 }

@@ -46,13 +46,20 @@ class Emcy {
   std::uint64_t packets_accepted() const { return accepted_; }
 
   /// Arms the reliability protocol on this PE (fault-injection runs only):
-  /// constructs the RetryAgent and hooks it into the thread engine's read
-  /// issue path and this PE's reply acceptance path.
+  /// constructs the ReliableChannel and hooks it into the OBU's stamping
+  /// choke point, the thread engine's dispatch path and this PE's packet
+  /// acceptance path.
   void arm_reliability(sim::SimContext& sim, fault::FaultDomain& domain,
                        trace::TraceSink* sink);
 
-  fault::RetryAgent* retry_agent() { return retry_.get(); }
-  const fault::RetryAgent* retry_agent() const { return retry_.get(); }
+  fault::ReliableChannel* channel() { return channel_.get(); }
+  const fault::ReliableChannel* channel() const { return channel_.get(); }
+
+  /// Transient fail-stop outage (FaultKind::kPeOutage): freeze thread
+  /// dispatch and flush fabric-origin packets from the IBU. The NIC-side
+  /// packet death is modelled by FaultyNetwork; memory survives.
+  void begin_outage() { engine_.begin_outage(); }
+  void end_outage() { engine_.end_outage(); }
 
  private:
   const MachineConfig& config_;
@@ -61,7 +68,7 @@ class Emcy {
   OutputBufferUnit obu_;
   BypassDma dma_;
   rt::ThreadEngine engine_;
-  std::unique_ptr<fault::RetryAgent> retry_;  ///< null on fault-free runs
+  std::unique_ptr<fault::ReliableChannel> channel_;  ///< null on fault-free runs
   std::uint64_t accepted_ = 0;
 };
 

@@ -1,5 +1,7 @@
 #include "proc/output_buffer_unit.hpp"
 
+#include "fault/reliability.hpp"
+
 namespace emx::proc {
 
 void OutputBufferUnit::send(const net::Packet& packet) {
@@ -15,6 +17,19 @@ void OutputBufferUnit::send(const net::Packet& packet) {
   pool_[idx].packet = packet;
   pool_[idx].packet.issue_cycle = sim_.now();
   pool_[idx].in_use = true;
+  // Sequence stamping happens before the release event is scheduled so
+  // the channel's retransmit timer always precedes the packet's own
+  // injection in the event order (matching the pre-channel behaviour).
+  // A false return means the write fence captured the packet: the channel
+  // re-submits it once the blocking writes are ACKed, so this slot is
+  // surrendered and the packet never enters the fabric now.
+  if (channel_ != nullptr && !channel_->on_obu_send(pool_[idx].packet)) {
+    --sent_;
+    pool_[idx].in_use = false;
+    pool_[idx].next_free = free_head_;
+    free_head_ = idx;
+    return;
+  }
   sim_.schedule(obu_cycles_, &OutputBufferUnit::release_event, this, idx, 0);
 }
 

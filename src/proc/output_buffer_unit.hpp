@@ -14,6 +14,10 @@
 #include "network/network_iface.hpp"
 #include "sim/sim_context.hpp"
 
+namespace emx::fault {
+class ReliableChannel;
+}
+
 namespace emx::proc {
 
 class OutputBufferUnit {
@@ -25,7 +29,12 @@ class OutputBufferUnit {
   /// injects it into the network obu_cycles later. Packets from one PE
   /// are injected in acceptance order (the event queue preserves
   /// same-time insertion order), which upholds non-overtaking end-to-end.
+  /// On faulted runs the ReliableChannel stamps sequence numbers here —
+  /// the OBU is the single choke point every outbound packet crosses.
   void send(const net::Packet& packet);
+
+  /// Arms sequence-number stamping (fault-injection runs only).
+  void set_channel(fault::ReliableChannel* channel) { channel_ = channel; }
 
   std::uint64_t packets_sent() const { return sent_; }
 
@@ -40,6 +49,7 @@ class OutputBufferUnit {
   sim::SimContext& sim_;
   net::Network& network_;
   Cycle obu_cycles_;
+  fault::ReliableChannel* channel_ = nullptr;
   std::vector<Outgoing> pool_;
   std::uint32_t free_head_ = 0xFFFFFFFFu;
   std::uint64_t sent_ = 0;

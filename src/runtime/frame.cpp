@@ -1,5 +1,7 @@
 #include "runtime/frame.hpp"
 
+#include <cstdio>
+
 #include "common/assert.hpp"
 
 namespace emx::rt {
@@ -68,6 +70,17 @@ ThreadRecord& FramePool::get(ThreadId id) {
 const ThreadRecord& FramePool::get(ThreadId id) const {
   EMX_DCHECK(id < records_.size(), "thread id out of range");
   return records_[id];
+}
+
+void FramePool::append_live(std::string& out) const {
+  for (const ThreadRecord& rec : records_) {
+    if (rec.state == ThreadState::kFree) continue;
+    char buf[96];
+    std::snprintf(buf, sizeof buf,
+                  "    thread=%u %s replies_pending=%u tag=%u\n", rec.id,
+                  to_string(rec.state), rec.replies_pending, rec.pending_tag);
+    out += buf;
+  }
 }
 
 }  // namespace emx::rt

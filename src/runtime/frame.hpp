@@ -9,6 +9,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <string>
 
 #include "common/types.hpp"
 #include "runtime/task.hpp"
@@ -57,6 +58,10 @@ class FramePool {
   std::uint64_t created() const { return created_; }
   std::uint64_t live() const { return live_; }
   std::uint64_t peak_live() const { return peak_live_; }
+
+  /// Appends one line per live (non-free) record, in slot order
+  /// (deterministic), for the watchdog's hang diagnosis.
+  void append_live(std::string& out) const;
 
  private:
   std::deque<ThreadRecord> records_;  // stable addresses

@@ -1,5 +1,7 @@
 #include "runtime/scheduler.hpp"
 
+#include <vector>
+
 #include "analysis/checker.hpp"
 #include "common/assert.hpp"
 #include "fault/reliability.hpp"
@@ -59,8 +61,35 @@ void ThreadEngine::injection_event(void* ctx, std::uint64_t entry, std::uint64_t
   self->enqueue_packet(p);
 }
 
+void ThreadEngine::begin_outage() {
+  EMX_CHECK(!frozen_, "nested PE outage windows");
+  frozen_ = true;
+  // The NIC FIFOs die with the PE: flush every fabric-origin packet out
+  // of the IBU. Self-loopback continuations (gate wakes, barrier polls,
+  // yield wakes, host-injected invokes) are on-chip scheduler state, not
+  // fabric traffic — they survive, or threads parked on them could never
+  // be woken again (no peer retransmits a packet it never sent).
+  std::vector<net::Packet> kept;
+  kept.reserve(ibu_.size());
+  while (!ibu_.empty()) {
+    const net::Packet p = ibu_.pop();
+    if (p.src == proc_) {
+      kept.push_back(p);
+    } else if (channel_ != nullptr) {
+      channel_->on_packet_flushed(p);
+    }
+  }
+  for (const net::Packet& p : kept) ibu_.push(p);
+}
+
+void ThreadEngine::end_outage() {
+  EMX_CHECK(frozen_, "outage end without a begin");
+  frozen_ = false;
+  maybe_start_dispatch();
+}
+
 void ThreadEngine::maybe_start_dispatch() {
-  if (exu_.busy() || ibu_.empty()) return;
+  if (frozen_ || exu_.busy() || ibu_.empty()) return;
   exu_.begin_busy(sim_.now());
   current_packet_ = ibu_.pop();
   mu_.note_dispatch();
@@ -79,6 +108,10 @@ void ThreadEngine::do_dispatch() {
   using net::PacketKind;
   switch (p.kind) {
     case PacketKind::kInvoke: {
+      // The side effect is about to commit: acknowledge the invoke and
+      // advance the dedup window (NIC-accept only marked it pending).
+      if (channel_ != nullptr && p.chan_seq != 0)
+        channel_->on_invoke_dispatched(p);
       ThreadRecord& r = frames_.alloc(kInvalidThread);
       ThreadBody body = registry_.get(p.addr)(ThreadApi{this, &r}, p.data);
       r.coro = body.release();
@@ -91,6 +124,10 @@ void ThreadEngine::do_dispatch() {
       return;
     }
     case PacketKind::kRemoteReadReply: {
+      // The value reaches the thread engine now: retire the request (the
+      // channel kept the entry live across the IBU in case an outage
+      // flushed the reply before this point).
+      if (channel_ != nullptr) channel_->on_reply_dispatched(p);
       ThreadRecord& r = frames_.get(p.cont_thread);
       EMX_CHECK(r.state == ThreadState::kSuspendedRead,
                 "read reply for a thread not suspended on a read");
@@ -117,6 +154,7 @@ void ThreadEngine::do_dispatch() {
       return;
     }
     case PacketKind::kBlockReadReply: {
+      if (channel_ != nullptr) channel_->on_reply_dispatched(p);
       ThreadRecord& r = frames_.get(p.cont_thread);
       EMX_CHECK(r.state == ThreadState::kSuspendedRead,
                 "block reply for a thread not suspended on a read");
@@ -135,10 +173,16 @@ void ThreadEngine::do_dispatch() {
       return;
     case PacketKind::kRemoteReadReq:
     case PacketKind::kBlockReadReq:
+      // The EM-4 service commits now; later duplicates of this block-read
+      // request must only re-fetch the resuming word.
+      if (p.kind == PacketKind::kBlockReadReq && channel_ != nullptr)
+        channel_->on_block_read_serviced(p);
       handle_em4_read(p);
       return;
     case PacketKind::kRemoteWrite:
       EMX_UNREACHABLE("remote write reached the thread queue");
+    case PacketKind::kAck:
+      EMX_UNREACHABLE("ACK reached the thread queue (NIC-level packet)");
   }
 }
 
@@ -254,6 +298,10 @@ void ThreadEngine::em4_service_done_event(void* ctx, std::uint64_t, std::uint64_
 // ---------------------------------------------------------------- running
 
 void ThreadEngine::run_thread(ThreadRecord* r) {
+  // A thread executing instructions is the watchdog's definition of
+  // forward progress (barrier polls deliberately don't count: a machine
+  // doing nothing but re-checking an unreleased flag is livelocked).
+  sim_.note_progress();
   if (checker_ != nullptr) checker_->on_thread_run(proc_, r->id);
   r->state = ThreadState::kRunning;
   r->coro.resume();
@@ -336,8 +384,7 @@ void ThreadEngine::exec_remote_read(ThreadRecord* r, GlobalAddr src) {
   p.cont_slot = 0;
   p.priority = config_.priority_replies ? net::PacketPriority::kHigh
                                         : net::PacketPriority::kNormal;
-  if (retry_ != nullptr) retry_->on_send(p);
-  obu_.send(p);
+  obu_.send(p);  // the OBU's channel hook stamps req_seq on faulted runs
   emit(trace::EventType::kReadIssue, r->id, pack(src));
 
   // Split-phase suspension: save live registers, then the MU dequeues the
@@ -377,7 +424,6 @@ void ThreadEngine::exec_remote_read_pair(ThreadRecord* r, GlobalAddr src0,
     p.cont_slot = slot;
     p.priority = config_.priority_replies ? net::PacketPriority::kHigh
                                           : net::PacketPriority::kNormal;
-    if (retry_ != nullptr) retry_->on_send(p);
     obu_.send(p);
     emit(trace::EventType::kReadIssue, r->id, pack(sources[slot]));
   }
@@ -410,7 +456,6 @@ void ThreadEngine::exec_block_read(ThreadRecord* r, GlobalAddr src,
   p.cont_tag = ++r->pending_tag;
   p.priority = config_.priority_replies ? net::PacketPriority::kHigh
                                         : net::PacketPriority::kNormal;
-  if (retry_ != nullptr) retry_->on_send(p);
   obu_.send(p);
   emit(trace::EventType::kReadIssue, r->id, pack(src));
 

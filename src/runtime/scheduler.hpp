@@ -27,7 +27,7 @@
 #include "trace/trace.hpp"
 
 namespace emx::fault {
-class RetryAgent;  // defined in fault/reliability.hpp
+class ReliableChannel;  // defined in fault/reliability.hpp
 }
 
 namespace emx::analysis {
@@ -81,10 +81,20 @@ class ThreadEngine {
   /// Schedules a host-injected thread invocation at an absolute cycle.
   void schedule_invocation(Cycle at, std::uint32_t entry, Word arg);
 
-  /// Arms the reliability protocol (fault-injection runs only): every
-  /// split-phase read request is sequenced and registered for
-  /// retransmission just before it enters the OBU.
-  void set_retry_agent(fault::RetryAgent* agent) { retry_ = agent; }
+  /// Arms the reliability protocol (fault-injection runs only): the
+  /// channel learns when the IBU commits the side effects it must
+  /// acknowledge (invoke dispatch) or retire (reply dispatch). Sequence
+  /// stamping itself lives at the OBU choke point.
+  void set_channel(fault::ReliableChannel* channel) { channel_ = channel; }
+
+  /// Transient fail-stop outage: freeze dispatch and flush every
+  /// fabric-origin packet out of the IBU (a dead PE loses its NIC FIFOs).
+  /// Self-loopback packets — gate wakes, barrier polls, yield wakes —
+  /// stay: they are on-chip scheduler state, not fabric traffic, and
+  /// flushing them would wedge threads no retransmit can reach. The
+  /// in-flight EXU activity completes; memory survives.
+  void begin_outage();
+  void end_outage();
 
   /// Arms the correctness checkers (analysis runs only): thread lifetime,
   /// every attributed access, and every synchronization edge report into
@@ -154,8 +164,9 @@ class ThreadEngine {
   proc::OutputBufferUnit& obu_;
   EntryRegistry& registry_;
   trace::TraceSink* sink_;
-  fault::RetryAgent* retry_ = nullptr;        ///< null on fault-free runs
+  fault::ReliableChannel* channel_ = nullptr; ///< null on fault-free runs
   analysis::CheckContext* checker_ = nullptr; ///< null on unchecked runs
+  bool frozen_ = false;  ///< PE outage in progress: no new dispatches
 
   proc::InputBufferUnit ibu_;
   proc::MatchingUnit mu_;

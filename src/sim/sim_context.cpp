@@ -10,13 +10,16 @@ void SimContext::dispatch_one() {
   ev.fn(ev.ctx, ev.a, ev.b);
 }
 
-void SimContext::run_until_idle(std::uint64_t max_events) {
+StopReason SimContext::run_until_idle(std::uint64_t max_events) {
   while (!queue_.empty()) {
     dispatch_one();
     if (max_events != 0 && processed_ >= max_events) {
       EMX_CHECK(false, "simulation exceeded event budget (possible livelock)");
     }
+    if (watchdog_window_ != 0 && now_ - last_progress_ > watchdog_window_)
+      return StopReason::kWatchdog;
   }
+  return StopReason::kIdle;
 }
 
 void SimContext::run_until(Cycle deadline) {
@@ -31,6 +34,7 @@ void SimContext::run_until(Cycle deadline) {
 void SimContext::reset() {
   now_ = 0;
   processed_ = 0;
+  last_progress_ = 0;
   queue_.clear();
 }
 

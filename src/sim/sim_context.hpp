@@ -10,6 +10,12 @@
 
 namespace emx::sim {
 
+/// Why run_until_idle() returned.
+enum class StopReason {
+  kIdle,      ///< the event queue drained (normal quiescence)
+  kWatchdog,  ///< armed watchdog saw no forward progress for its window
+};
+
 class SimContext {
  public:
   /// Observer for events scheduled into the past (analysis runs only).
@@ -51,9 +57,22 @@ class SimContext {
 
   bool idle() const { return queue_.empty(); }
 
-  /// Runs events until the queue drains. `max_events` guards against
-  /// runaway simulations (0 = unlimited).
-  void run_until_idle(std::uint64_t max_events = 0);
+  /// Arms the progress watchdog: run_until_idle() stops with
+  /// StopReason::kWatchdog once more than `window` cycles pass without a
+  /// note_progress() call while events are still pending — the signature
+  /// of a non-quiescent stall (timers and polls keep the queue busy but
+  /// no thread executes and no packet lands). 0 disarms.
+  void arm_watchdog(Cycle window) { watchdog_window_ = window; }
+
+  /// Marks forward progress (a thread ran, a DMA serviced a packet, a
+  /// fabric delivery landed). Cheap enough for hot paths: one store.
+  void note_progress() { last_progress_ = now_; }
+
+  Cycle last_progress() const { return last_progress_; }
+
+  /// Runs events until the queue drains or the armed watchdog trips.
+  /// `max_events` guards against runaway simulations (0 = unlimited).
+  StopReason run_until_idle(std::uint64_t max_events = 0);
 
   /// Runs events with time <= `deadline`; clock ends at
   /// min(deadline, last event time).
@@ -67,6 +86,8 @@ class SimContext {
 
   Cycle now_ = 0;
   std::uint64_t processed_ = 0;
+  Cycle watchdog_window_ = 0;  ///< 0 = disarmed
+  Cycle last_progress_ = 0;
   EventQueue queue_;
   LateScheduleHook late_hook_ = nullptr;
   void* late_ctx_ = nullptr;

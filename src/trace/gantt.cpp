@@ -44,13 +44,34 @@ LaneState state_after(EventType type, LaneState current) {
       return LaneState::kAbsent;
     case EventType::kReadTimeout:
     case EventType::kReadRetry:
-      // The read this thread sleeps on is being retransmitted: the wait is
-      // now fault recovery, not plain fabric latency.
+    case EventType::kMsgRetransmit:
+      // The request this thread sleeps on is being retransmitted: the wait
+      // is now fault recovery, not plain fabric latency.
       return LaneState::kRecovering;
     case EventType::kFaultInject:
+    case EventType::kAckSend:
+    case EventType::kOutageBegin:
+    case EventType::kOutageEnd:
+      // NIC-level events; they never belong to a thread lane (emitted with
+      // kInvalidThread) and are rendered on the per-PE net rows instead.
       return current;
   }
   return current;
+}
+
+/// True for events that show up on the per-PE "net" overlay rows.
+bool is_net_event(EventType type) {
+  switch (type) {
+    case EventType::kFaultInject:
+    case EventType::kReadRetry:
+    case EventType::kMsgRetransmit:
+    case EventType::kAckSend:
+    case EventType::kOutageBegin:
+    case EventType::kOutageEnd:
+      return true;
+    default:
+      return false;
+  }
 }
 
 }  // namespace
@@ -99,6 +120,54 @@ std::string render_gantt(const std::vector<TraceEvent>& events,
   for (std::size_t lane = 0; lane < lanes.size(); ++lane)
     paint(lane, state_since[lane], t1, state[lane]);
 
+  // Per-PE network overlay rows: fault injections, retransmits, ACKs and
+  // outage windows each get a distinct glyph so overlapping fault events
+  // stay readable ('!' used to conflate all of them). Rows exist only for
+  // PEs that saw at least one such event.
+  std::map<ProcId, std::string> net_rows;
+  auto col_of = [&](Cycle cycle) -> std::size_t {
+    if (cycle < t0) cycle = t0;
+    auto c = static_cast<std::size_t>(static_cast<double>(cycle - t0) * scale);
+    return std::min(c, options.width - 1);
+  };
+  auto net_row = [&](ProcId proc) -> std::string& {
+    return net_rows.try_emplace(proc, std::string(options.width, ' '))
+        .first->second;
+  };
+  for (const auto& e : events) {
+    if (!is_net_event(e.type) || e.cycle >= t1) continue;
+    if (e.cycle < t0 && e.type != EventType::kOutageBegin) continue;
+    switch (e.type) {
+      case EventType::kFaultInject:
+        net_row(e.proc)[col_of(e.cycle)] = '!';
+        break;
+      case EventType::kReadRetry:
+        net_row(e.proc)[col_of(e.cycle)] = 'r';
+        break;
+      case EventType::kMsgRetransmit:
+        net_row(e.proc)[col_of(e.cycle)] = 'R';
+        break;
+      case EventType::kAckSend:
+        net_row(e.proc)[col_of(e.cycle)] = 'a';
+        break;
+      case EventType::kOutageBegin:
+        // info carries the end cycle; paint the whole window (deferred
+        // below so outage spans win over the point glyphs they overlap).
+        break;
+      default:
+        break;
+    }
+  }
+  for (const auto& e : events) {
+    if (e.type != EventType::kOutageBegin) continue;
+    const Cycle end = std::min<Cycle>(e.info, t1);
+    if (end <= t0 || e.cycle >= t1) continue;
+    std::string& row = net_row(e.proc);
+    const std::size_t c0 = col_of(std::max(e.cycle, t0));
+    const std::size_t c1 = std::max(col_of(end), c0 + 1);
+    for (std::size_t c = c0; c < std::min(c1, options.width); ++c) row[c] = 'X';
+  }
+
   std::string out;
   char head[96];
   std::snprintf(head, sizeof head, "cycles %llu..%llu, one column = %.1f cycles\n",
@@ -114,9 +183,20 @@ std::string render_gantt(const std::vector<TraceEvent>& events,
     out += rows[lane];
     out += "|\n";
   }
+  for (const auto& [proc, row] : net_rows) {
+    char label[32];
+    std::snprintf(label, sizeof label, "P%-3u net   |", proc);
+    out += label;
+    out += row;
+    out += "|\n";
+  }
   if (options.show_legend) {
     out += "legend: '#' running  's' switching  '.' await read  'g' await gate"
-           "  'b' await barrier  '!' read retry in flight\n";
+           "  'b' await barrier  '!' recovery in flight\n";
+    if (!net_rows.empty()) {
+      out += "net rows: '!' fault injected  'r' read retransmit  "
+             "'R' msg retransmit  'a' ACK sent  'X' PE outage window\n";
+    }
   }
   return out;
 }

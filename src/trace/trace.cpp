@@ -40,6 +40,14 @@ const char* to_string(EventType type) {
       return "READ_TIMEOUT";
     case EventType::kReadRetry:
       return "READ_RETRY";
+    case EventType::kMsgRetransmit:
+      return "MSG_RETRANSMIT";
+    case EventType::kAckSend:
+      return "ACK_SEND";
+    case EventType::kOutageBegin:
+      return "OUTAGE_BEGIN";
+    case EventType::kOutageEnd:
+      return "OUTAGE_END";
   }
   return "?";
 }

@@ -28,8 +28,12 @@ enum class EventType : std::uint8_t {
   kComputeBegin,   ///< start of a charged computation span
   kComputeEnd,
   kFaultInject,    ///< the fault plan perturbed a packet (info: kind|seq<<8)
-  kReadTimeout,    ///< an outstanding read's retransmit timer fired
+  kReadTimeout,    ///< an outstanding request's retransmit timer fired
   kReadRetry,      ///< the saved read request was retransmitted
+  kMsgRetransmit,  ///< a write/invoke was retransmitted (info: req_seq)
+  kAckSend,        ///< receiver NIC acknowledged a message (info: req_seq)
+  kOutageBegin,    ///< PE entered fail-stop outage (info: end cycle)
+  kOutageEnd,      ///< PE resumed from outage
 };
 
 const char* to_string(EventType type);

@@ -62,14 +62,17 @@ TEST(PacketChecksum, CoversRoutingAndContinuationFields) {
   EXPECT_NE(packet_checksum(p), c0);
 }
 
-TEST(FaultPlan, IsTrackedKindCoversExactlyTheReadProtocol) {
+TEST(FaultPlan, IsTrackedKindCoversEveryFabricPacketClass) {
   using net::PacketKind;
   EXPECT_TRUE(is_tracked_kind(PacketKind::kRemoteReadReq));
   EXPECT_TRUE(is_tracked_kind(PacketKind::kBlockReadReq));
   EXPECT_TRUE(is_tracked_kind(PacketKind::kRemoteReadReply));
   EXPECT_TRUE(is_tracked_kind(PacketKind::kBlockReadReply));
-  EXPECT_FALSE(is_tracked_kind(PacketKind::kRemoteWrite));
-  EXPECT_FALSE(is_tracked_kind(PacketKind::kInvoke));
+  EXPECT_TRUE(is_tracked_kind(PacketKind::kRemoteWrite));
+  EXPECT_TRUE(is_tracked_kind(PacketKind::kInvoke));
+  EXPECT_TRUE(is_tracked_kind(PacketKind::kAck));
+  // kLocalWake never crosses the fabric (scheduler-internal), so the
+  // plan has nothing to perturb.
   EXPECT_FALSE(is_tracked_kind(PacketKind::kLocalWake));
 }
 
@@ -111,19 +114,17 @@ TEST(FaultPlan, DropRateOneDropsEveryTrackedPacket) {
     EXPECT_TRUE(plan.decide(tracked_packet(0, 1), 0).drop);
 }
 
-TEST(FaultPlan, FireAndForgetKindsAreNeverLost) {
-  // Remote writes and invocations have no recovery path; even a certain
-  // drop rate must leave them alone.
+TEST(FaultPlan, MessagesAreFairGameNowThatTheyAreSequenced) {
+  // Remote writes and invocations used to be spared (no recovery path);
+  // the reliable channel gives them seq/ACK/retransmit, so the plan may
+  // perturb every fabric class.
   FaultConfig cfg;
   cfg.drop_rate = 1.0;
   FaultPlan plan(cfg);
-  net::Packet p = tracked_packet(0, 1);
-  p.kind = net::PacketKind::kRemoteWrite;
-  for (int i = 0; i < 50; ++i) {
-    const FaultDecision d = plan.decide(p, 0);
-    EXPECT_FALSE(d.drop);
-    EXPECT_FALSE(d.duplicate);
-    EXPECT_FALSE(d.corrupt);
+  for (auto kind : {net::PacketKind::kRemoteWrite, net::PacketKind::kInvoke}) {
+    net::Packet p = tracked_packet(0, 1);
+    p.kind = kind;
+    for (int i = 0; i < 10; ++i) EXPECT_TRUE(plan.decide(p, 0).drop);
   }
 }
 
@@ -148,13 +149,32 @@ TEST(FaultPlan, UntrackedPacketsDoNotAdvanceTheScheduleCounter) {
   FaultConfig cfg;
   cfg.scheduled.push_back({.nth = 2, .kind = FaultKind::kDrop});
   FaultPlan plan(cfg);
-  net::Packet write = tracked_packet(0, 1);
-  write.kind = net::PacketKind::kRemoteWrite;
-  EXPECT_FALSE(plan.decide(write, 0).drop);
-  EXPECT_FALSE(plan.decide(write, 0).drop);  // writes don't count
+  net::Packet wake = tracked_packet(0, 1);
+  wake.kind = net::PacketKind::kLocalWake;
+  EXPECT_FALSE(plan.decide(wake, 0).drop);
+  EXPECT_FALSE(plan.decide(wake, 0).drop);  // local wakes don't count
   EXPECT_FALSE(plan.decide(tracked_packet(0, 1), 0).drop);  // tracked #1
   EXPECT_TRUE(plan.decide(tracked_packet(0, 1), 0).drop);   // tracked #2
   EXPECT_EQ(plan.tracked_seen(), 2u);
+}
+
+TEST(FaultPlan, KindFilteredScheduleCountsOnlyThatKind) {
+  // "Drop the first fabric invoke" — the filtered schedule counts per
+  // packet kind, so interleaved reads/writes must not consume the slot.
+  FaultConfig cfg;
+  cfg.scheduled.push_back({.nth = 1,
+                           .kind = FaultKind::kDrop,
+                           .filtered = true,
+                           .only = net::PacketKind::kInvoke});
+  FaultPlan plan(cfg);
+  net::Packet invoke = tracked_packet(0, 1);
+  invoke.kind = net::PacketKind::kInvoke;
+  EXPECT_FALSE(plan.decide(tracked_packet(0, 1), 0).drop);  // read, spared
+  net::Packet write = tracked_packet(0, 1);
+  write.kind = net::PacketKind::kRemoteWrite;
+  EXPECT_FALSE(plan.decide(write, 0).drop);  // write, spared
+  EXPECT_TRUE(plan.decide(invoke, 0).drop);  // first invoke, hit
+  EXPECT_FALSE(plan.decide(invoke, 0).drop);  // second invoke, spared
 }
 
 TEST(FaultPlan, JitterIsBoundedAndAppliesToAnyFabricPacket) {
@@ -197,6 +217,7 @@ TEST(FaultPlan, ToStringCoversEveryKind) {
   EXPECT_STREQ(to_string(FaultKind::kCorrupt), "CORRUPT");
   EXPECT_STREQ(to_string(FaultKind::kDelay), "DELAY");
   EXPECT_STREQ(to_string(FaultKind::kStall), "STALL");
+  EXPECT_STREQ(to_string(FaultKind::kPeOutage), "PE_OUTAGE");
 }
 
 TEST(FaultConfigValidate, RejectsOutOfRangeRates) {
@@ -218,6 +239,9 @@ TEST(FaultConfigValidate, RejectsDegenerateProtocolKnobs) {
   cfg = FaultConfig{};
   cfg.stalls.push_back({.src = 0, .dst = 1, .begin = 50, .end = 10});
   EXPECT_DEATH(cfg.validate(), "stall window");
+  cfg = FaultConfig{};
+  cfg.outages.push_back({.pe = 0, .begin = 100, .end = 100});
+  EXPECT_DEATH(cfg.validate(), "outage window");
 }
 
 TEST(FaultConfig, EnabledOnlyWhenThePlanCanActuallyActs) {
@@ -230,6 +254,9 @@ TEST(FaultConfig, EnabledOnlyWhenThePlanCanActuallyActs) {
   EXPECT_TRUE(cfg.enabled());
   cfg = FaultConfig{};
   cfg.scheduled.push_back({.nth = 1, .kind = FaultKind::kDrop});
+  EXPECT_TRUE(cfg.enabled());
+  cfg = FaultConfig{};
+  cfg.outages.push_back({.pe = 0, .begin = 100, .end = 200});
   EXPECT_TRUE(cfg.enabled());
 }
 

@@ -163,7 +163,11 @@ TEST(FaultyNetwork, JitterPreservesPerLinkFifoOrder) {
     EXPECT_EQ(rig.collector.delivered[i].data, i + 1) << "overtaking at " << i;
 }
 
-TEST(FaultyNetwork, DropRateOneKillsEveryTrackedPacketAndOnlyThose) {
+TEST(FaultyNetwork, DropRateOneKillsEveryFabricPacket) {
+  // Writes are sequenced fabric traffic now; a certain drop rate kills
+  // them along with the reads. An unsequenced write (req_seq 0 — the
+  // reliability layer disabled) is still dropped but lands in the
+  // unrecoverable column of the ledger.
   FaultConfig cfg;
   cfg.drop_rate = 1.0;
   Rig rig(cfg);
@@ -174,11 +178,41 @@ TEST(FaultyNetwork, DropRateOneKillsEveryTrackedPacketAndOnlyThose) {
   w.dst = 1;
   rig.net->inject(w);
   rig.sim.run_until_idle();
-  ASSERT_EQ(rig.collector.delivered.size(), 1u);  // only the write survives
-  EXPECT_EQ(rig.collector.delivered[0].kind, net::PacketKind::kRemoteWrite);
-  EXPECT_EQ(rig.domain.report().injected[static_cast<std::size_t>(
-                FaultKind::kDrop)],
-            10u);
+  EXPECT_TRUE(rig.collector.delivered.empty());
+  const FaultReport& r = rig.domain.report();
+  EXPECT_EQ(r.injected[static_cast<std::size_t>(FaultKind::kDrop)], 11u);
+  EXPECT_EQ(r.injected_recoverable, 10u);  // the seq-0 write is not
+  EXPECT_EQ(r.unsequenced_losses, 1u);
+}
+
+TEST(FaultyNetwork, OutageWindowKillsTrafficFromAndToThePe) {
+  FaultConfig cfg;
+  cfg.outages.push_back({.pe = 1, .begin = 0, .end = 1000});
+  Rig rig(cfg);
+  rig.net->inject(read_req(0, 1, 1));  // toward the dead PE
+  rig.net->inject(read_req(1, 2, 2));  // from the dead PE
+  rig.net->inject(read_req(2, 3, 3));  // unrelated link, unharmed
+  rig.sim.run_until_idle();
+  ASSERT_EQ(rig.collector.delivered.size(), 1u);
+  EXPECT_EQ(rig.collector.delivered[0].req_seq, 3u);
+  const FaultReport& r = rig.domain.report();
+  EXPECT_EQ(r.injected[static_cast<std::size_t>(FaultKind::kPeOutage)], 2u);
+  EXPECT_EQ(r.injected_recoverable, 2u);
+}
+
+TEST(FaultyNetwork, TrafficFlowsAgainAfterTheOutageEnds) {
+  FaultConfig cfg;
+  cfg.outages.push_back({.pe = 1, .begin = 0, .end = 50});
+  Rig rig(cfg);
+  rig.sim.schedule_at(
+      60,
+      +[](void* ctx, std::uint64_t, std::uint64_t) {
+        static_cast<Rig*>(ctx)->net->inject(read_req(0, 1, 1));
+      },
+      &rig, 0, 0);
+  rig.sim.run_until_idle();
+  ASSERT_EQ(rig.collector.delivered.size(), 1u);
+  EXPECT_EQ(rig.domain.report().injected_total(), 0u);
 }
 
 TEST(FaultDomain, LedgerMovesLossesToRecoveredOnCompletion) {

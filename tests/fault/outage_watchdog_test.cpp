@@ -1,0 +1,313 @@
+// End-to-end tests for the two headline robustness features: transient
+// fail-stop PE outages (peers' retransmits repair everything the dead
+// window swallowed) and the progress watchdog (an unrecoverable hang
+// becomes a bounded, diagnosed run instead of an endless poll loop).
+// Plus the cross-cutting guarantees that ride on them: the write fence,
+// checker transparency under faults, and a seeded fault-mode sweep.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "apps/bitonic.hpp"
+#include "apps/fft.hpp"
+#include "core/machine.hpp"
+
+namespace emx {
+namespace {
+
+MachineConfig faulted_config(std::uint32_t procs, const fault::FaultConfig& f) {
+  MachineConfig cfg;
+  cfg.proc_count = procs;
+  cfg.fault = f;
+  return cfg;
+}
+
+// ------------------------------------------------------------- outages
+
+TEST(PeOutage, SortSurvivesATransientFailStopWindow) {
+  // PE 2 goes dark for 10k cycles in the thick of the run: its NIC drops
+  // everything in and out, its IBU flushes, dispatch freezes. When the
+  // window closes, retransmit timers on both sides repair the damage and
+  // the sort still verifies with every recoverable fault recovered.
+  fault::FaultConfig f;
+  f.outages.push_back({.pe = 2, .begin = 20000, .end = 30000});
+  Machine m(faulted_config(8, f));
+  apps::BitonicSortApp app(m, apps::BitonicParams{.n = 8 * 256, .threads = 4});
+  app.setup();
+  m.run();
+  EXPECT_TRUE(app.verify());
+  const MachineReport r = m.report();
+  ASSERT_TRUE(r.fault_enabled);
+  EXPECT_GT(
+      r.fault.injected[static_cast<std::size_t>(fault::FaultKind::kPeOutage)],
+      0u);
+  EXPECT_EQ(r.fault.recovered, r.fault.injected_recoverable);
+  EXPECT_FALSE(r.watchdog_fired);
+}
+
+TEST(PeOutage, OutageOnTopOfALossyFabricStillRecovers) {
+  // The combined acceptance plan: drops, duplicates and an outage in one
+  // run — exactly-once semantics must hold for every packet class.
+  fault::FaultConfig f;
+  f.drop_rate = 0.01;
+  f.duplicate_rate = 0.005;
+  f.outages.push_back({.pe = 1, .begin = 15000, .end = 22000});
+  MachineConfig cfg = faulted_config(8, f);
+  cfg.watchdog_cycles = 2'000'000;  // armed, must NOT fire on a recoverable run
+  Machine m(cfg);
+  apps::BitonicSortApp app(m, apps::BitonicParams{.n = 8 * 256, .threads = 4});
+  app.setup();
+  m.run();
+  EXPECT_TRUE(app.verify());
+  const MachineReport r = m.report();
+  EXPECT_EQ(r.fault.recovered, r.fault.injected_recoverable);
+  EXPECT_FALSE(r.watchdog_fired);
+}
+
+TEST(PeOutage, FftWithBlockReadsSurvivesAnOutage) {
+  fault::FaultConfig f;
+  f.drop_rate = 0.005;
+  f.outages.push_back({.pe = 3, .begin = 10000, .end = 18000});
+  Machine m(faulted_config(8, f));
+  apps::FftApp app(m, apps::FftParams{.n = 8 * 512, .threads = 4,
+                                      .include_local_phase = true});
+  app.setup();
+  m.run();
+  EXPECT_LT(app.verify_error(), 1e-5);
+  const MachineReport r = m.report();
+  EXPECT_EQ(r.fault.recovered, r.fault.injected_recoverable);
+}
+
+// --------------------------------------------------------- write fence
+
+TEST(WriteFence, BlockReadResumesAreHeldBehindTheirWordWrites) {
+  // Under a lossy plan some word-writes need repair; their block's resume
+  // must wait for the ACKs (a thread waking to a buffer with holes was
+  // the bug this fence exists to prevent). The hold count proves the
+  // fence actually engaged on this run.
+  fault::FaultConfig f;
+  f.drop_rate = 0.01;
+  f.corrupt_rate = 0.005;
+  Machine m(faulted_config(8, f));
+  apps::BitonicSortApp app(
+      m, apps::BitonicParams{.n = 8 * 256, .threads = 4,
+                             .use_block_reads = true});
+  app.setup();
+  m.run();
+  EXPECT_TRUE(app.verify());
+  const MachineReport r = m.report();
+  EXPECT_GT(r.fault.fence_holds, 0u);
+  EXPECT_EQ(r.fault.recovered, r.fault.injected_recoverable);
+}
+
+TEST(WriteFence, Em4BlockReadsRecoverToo) {
+  // The EXU-thread service path dedups block-read requests at IBU
+  // dispatch rather than NIC accept; the zombie-stream suppression and
+  // the fence must hold there as well.
+  fault::FaultConfig f;
+  f.drop_rate = 0.01;
+  MachineConfig cfg = faulted_config(8, f);
+  cfg.read_service = ReadServiceMode::kExuThread;
+  Machine m(cfg);
+  apps::BitonicSortApp app(
+      m, apps::BitonicParams{.n = 8 * 256, .threads = 4,
+                             .use_block_reads = true});
+  app.setup();
+  m.run();
+  EXPECT_TRUE(app.verify());
+  const MachineReport r = m.report();
+  EXPECT_EQ(r.fault.recovered, r.fault.injected_recoverable);
+}
+
+// ------------------------------------------------------------ watchdog
+
+fault::FaultConfig unrecoverable_plan() {
+  // Reliability off + the first barrier-join invoke silently dropped:
+  // one PE's join never reaches PE0, the barrier never releases, and
+  // every thread polls its sense flag forever. Nothing will ever
+  // retransmit — the canonical non-quiescent stall.
+  fault::FaultConfig f;
+  f.reliability = false;
+  f.scheduled.push_back({.nth = 1,
+                         .kind = fault::FaultKind::kDrop,
+                         .filtered = true,
+                         .only = net::PacketKind::kInvoke});
+  return f;
+}
+
+TEST(Watchdog, ConvertsAnUnrecoverableHangIntoABoundedDiagnosedRun) {
+  MachineConfig cfg = faulted_config(4, unrecoverable_plan());
+  cfg.watchdog_cycles = 50'000;
+  Machine m(cfg);
+  apps::BitonicSortApp app(m, apps::BitonicParams{.n = 4 * 64, .threads = 2});
+  app.setup();
+  m.run();  // must return (no panic, no endless poll loop)
+  EXPECT_TRUE(m.watchdog_fired());
+  // Bounded: detection happens one watchdog window after progress stops,
+  // not after max_events.
+  EXPECT_LT(m.end_cycle(), 500'000u);
+  const MachineReport r = m.report();
+  EXPECT_TRUE(r.watchdog_fired);
+  EXPECT_NE(r.watchdog_diagnosis.find("no forward progress"),
+            std::string::npos);
+  EXPECT_NE(r.watchdog_diagnosis.find("unsequenced"), std::string::npos)
+      << "diagnosis should point at the unrecoverable (seq-0) loss:\n"
+      << r.watchdog_diagnosis;
+  EXPECT_GT(r.fault.unsequenced_losses, 0u);
+  // The summary line surfaces the stall for tools that only print text.
+  EXPECT_NE(r.summary_text().find("WATCHDOG"), std::string::npos);
+}
+
+TEST(Watchdog, DiagnosisIsDeterministic) {
+  auto diagnose = [] {
+    MachineConfig cfg = faulted_config(4, unrecoverable_plan());
+    cfg.watchdog_cycles = 50'000;
+    Machine m(cfg);
+    apps::BitonicSortApp app(m, apps::BitonicParams{.n = 4 * 64, .threads = 2});
+    app.setup();
+    m.run();
+    return std::make_pair(m.end_cycle(), m.report().watchdog_diagnosis);
+  };
+  const auto a = diagnose();
+  const auto b = diagnose();
+  EXPECT_EQ(a.first, b.first);
+  EXPECT_EQ(a.second, b.second);
+}
+
+TEST(Watchdog, CatchesAQuiescentDeadlockToo) {
+  // A dropped read reply with reliability off leaves the lone reader
+  // suspended with *nothing* in the event queue — no barrier polls, no
+  // timers. The machine drains instead of spinning, and an armed
+  // watchdog must convert that into the same bounded diagnosed stop,
+  // not a "drained with live threads" panic.
+  fault::FaultConfig f;
+  f.reliability = false;
+  f.scheduled.push_back({.nth = 1,
+                         .kind = fault::FaultKind::kDrop,
+                         .filtered = true,
+                         .only = net::PacketKind::kRemoteReadReply});
+  MachineConfig cfg = faulted_config(2, f);
+  cfg.watchdog_cycles = 50'000;
+  Machine m(cfg);
+  const auto entry =
+      m.register_entry([](rt::ThreadApi api, Word) -> rt::ThreadBody {
+        const Word v =
+            co_await api.remote_read(rt::GlobalAddr{1, rt::kReservedWords});
+        api.local_write(rt::kReservedWords, v);  // never reached
+      });
+  m.spawn(0, entry, 0);
+  m.run();
+  EXPECT_TRUE(m.watchdog_fired());
+  const MachineReport r = m.report();
+  EXPECT_NE(r.watchdog_diagnosis.find("quiesced"), std::string::npos)
+      << r.watchdog_diagnosis;
+  EXPECT_NE(r.watchdog_diagnosis.find("unsequenced"), std::string::npos);
+}
+
+TEST(Watchdog, StaysSilentOnACleanRun) {
+  MachineConfig cfg;
+  cfg.proc_count = 4;
+  cfg.watchdog_cycles = 100'000;
+  Machine m(cfg);
+  apps::BitonicSortApp app(m, apps::BitonicParams{.n = 4 * 64, .threads = 2});
+  app.setup();
+  m.run();
+  EXPECT_TRUE(app.verify());
+  EXPECT_FALSE(m.watchdog_fired());
+}
+
+// ------------------------------- checkers under faults (transparency)
+
+TEST(CheckedFaults, CheckersSeeNoFalsePositivesAndChangeNoCycles) {
+  // --check=all is a pure observer: arming every checker on a faulted
+  // run must produce byte-identical cycle counts and zero findings —
+  // duplicates are suppressed before side effects, so the shadow state
+  // sees each logical event exactly once.
+  fault::FaultConfig f;
+  f.drop_rate = 0.01;
+  f.duplicate_rate = 0.005;
+  f.corrupt_rate = 0.005;
+  auto run = [&](bool checked) {
+    MachineConfig cfg = faulted_config(8, f);
+    if (checked) {
+      cfg.check.memcheck = true;
+      cfg.check.race = true;
+      cfg.check.deadlock = true;
+      cfg.check.lint = true;
+    }
+    Machine m(cfg);
+    apps::BitonicSortApp app(m,
+                             apps::BitonicParams{.n = 8 * 256, .threads = 4});
+    app.setup();
+    m.run();
+    EXPECT_TRUE(app.verify());
+    return std::make_pair(m.end_cycle(), m.report());
+  };
+  const auto [plain_cycles, plain_report] = run(false);
+  const auto [checked_cycles, checked_report] = run(true);
+  EXPECT_EQ(plain_cycles, checked_cycles);
+  ASSERT_TRUE(checked_report.check_enabled);
+  EXPECT_TRUE(checked_report.check.clean())
+      << checked_report.check.summary_text();
+  EXPECT_GT(checked_report.check.accesses_raced, 0u);  // it actually looked
+  EXPECT_EQ(checked_report.fault.recovered, plain_report.fault.recovered);
+}
+
+TEST(CheckedFaults, FftUnderFaultsIsCheckerClean) {
+  fault::FaultConfig f;
+  f.drop_rate = 0.01;
+  MachineConfig cfg = faulted_config(8, f);
+  cfg.check.memcheck = true;
+  cfg.check.race = true;
+  cfg.check.deadlock = true;
+  cfg.check.lint = true;
+  Machine m(cfg);
+  apps::FftApp app(m, apps::FftParams{.n = 8 * 512, .threads = 4,
+                                      .include_local_phase = true});
+  app.setup();
+  m.run();
+  EXPECT_LT(app.verify_error(), 1e-5);
+  const MachineReport r = m.report();
+  EXPECT_TRUE(r.check.clean()) << r.check.summary_text();
+}
+
+// ----------------------------------------------------- seeded sweep
+
+TEST(FaultSweep, EveryModeRecoversAcrossSeeds) {
+  // A miniature of the CI fault-sweep job: each fault mode across
+  // several seeds on a small sort; every run must verify and balance
+  // its ledger. (CI runs the 32-seed version via emx_run.)
+  struct Mode {
+    const char* name;
+    fault::FaultConfig f;
+  };
+  std::vector<Mode> modes(4);
+  modes[0].name = "drop";
+  modes[0].f.drop_rate = 0.02;
+  modes[1].name = "dup";
+  modes[1].f.duplicate_rate = 0.02;
+  modes[2].name = "corrupt";
+  modes[2].f.corrupt_rate = 0.01;
+  modes[3].name = "outage";
+  modes[3].f.drop_rate = 0.005;
+  modes[3].f.outages.push_back({.pe = 1, .begin = 8000, .end = 14000});
+  for (const Mode& mode : modes) {
+    for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+      fault::FaultConfig f = mode.f;
+      f.seed = seed;
+      Machine m(faulted_config(8, f));
+      apps::BitonicSortApp app(m,
+                               apps::BitonicParams{.n = 8 * 128, .threads = 2});
+      app.setup();
+      m.run();
+      EXPECT_TRUE(app.verify()) << mode.name << " seed=" << seed;
+      const MachineReport r = m.report();
+      EXPECT_EQ(r.fault.recovered, r.fault.injected_recoverable)
+          << mode.name << " seed=" << seed;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace emx

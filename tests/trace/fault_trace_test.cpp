@@ -16,7 +16,7 @@ namespace {
 
 TEST(TraceToString, EveryEventTypeHasADistinctName) {
   constexpr auto kFirst = EventType::kThreadInvoke;
-  constexpr auto kLast = EventType::kReadRetry;
+  constexpr auto kLast = EventType::kOutageEnd;
   std::set<std::string> names;
   for (auto t = static_cast<std::uint8_t>(kFirst);
        t <= static_cast<std::uint8_t>(kLast); ++t) {
@@ -33,6 +33,10 @@ TEST(TraceToString, FaultEventNames) {
   EXPECT_STREQ(to_string(EventType::kFaultInject), "FAULT_INJECT");
   EXPECT_STREQ(to_string(EventType::kReadTimeout), "READ_TIMEOUT");
   EXPECT_STREQ(to_string(EventType::kReadRetry), "READ_RETRY");
+  EXPECT_STREQ(to_string(EventType::kMsgRetransmit), "MSG_RETRANSMIT");
+  EXPECT_STREQ(to_string(EventType::kAckSend), "ACK_SEND");
+  EXPECT_STREQ(to_string(EventType::kOutageBegin), "OUTAGE_BEGIN");
+  EXPECT_STREQ(to_string(EventType::kOutageEnd), "OUTAGE_END");
 }
 
 TEST(Gantt, RecoveryGlyphMarksTimeoutAndRetrySpans) {
@@ -49,19 +53,67 @@ TEST(Gantt, RecoveryGlyphMarksTimeoutAndRetrySpans) {
   const std::string art = render_gantt(events, {.width = 50});
   EXPECT_NE(art.find('!'), std::string::npos);  // recovery span rendered
   EXPECT_NE(art.find('.'), std::string::npos);  // plain wait still there
-  EXPECT_NE(art.find("read retry in flight"), std::string::npos);  // legend
+  EXPECT_NE(art.find("recovery in flight"), std::string::npos);  // legend
 }
 
 TEST(Gantt, FaultInjectDoesNotDisturbTheLane) {
   // kFaultInject is a network-side marker; a running thread's lane must
-  // keep its '#' state straight through it.
+  // keep its '#' state straight through it. The injection itself shows
+  // up on the per-PE net row, not in the lane.
   std::vector<TraceEvent> events;
   events.push_back({0, 0, 0, EventType::kThreadInvoke, 0});
-  events.push_back({20, 0, 0, EventType::kFaultInject, 0});
+  events.push_back({20, 0, kInvalidThread, EventType::kFaultInject, 0});
   events.push_back({40, 0, 0, EventType::kThreadEnd, 0});
   const std::string art = render_gantt(events, {.width = 40, .show_legend = false});
+  const auto lane_end = art.find("net");
+  ASSERT_NE(lane_end, std::string::npos);  // net overlay row exists
   EXPECT_NE(art.find('#'), std::string::npos);
-  EXPECT_EQ(art.find('!'), std::string::npos);
+  EXPECT_EQ(art.substr(0, lane_end).find('!'), std::string::npos);
+  EXPECT_NE(art.find('!', lane_end), std::string::npos);
+}
+
+TEST(Gantt, NetRowsGiveEachFaultEventClassItsOwnGlyph) {
+  // S6: '!' used to conflate every fault event; retransmits, ACKs and
+  // outage windows now render distinctly on the per-PE net rows.
+  std::vector<TraceEvent> events;
+  events.push_back({0, 0, 0, EventType::kThreadInvoke, 0});
+  events.push_back({5, 0, kInvalidThread, EventType::kFaultInject, 0});
+  events.push_back({20, 0, kInvalidThread, EventType::kAckSend, 7});
+  events.push_back({40, 0, kInvalidThread, EventType::kMsgRetransmit, 7});
+  events.push_back({50, 1, kInvalidThread, EventType::kOutageBegin, 80});
+  events.push_back({80, 1, kInvalidThread, EventType::kOutageEnd, 0});
+  events.push_back({100, 0, 0, EventType::kThreadEnd, 0});
+  const std::string art = render_gantt(events, {.width = 50});
+  EXPECT_NE(art.find('!'), std::string::npos);
+  EXPECT_NE(art.find('a'), std::string::npos);
+  EXPECT_NE(art.find('R'), std::string::npos);
+  EXPECT_NE(art.find("XXX"), std::string::npos);  // the window is a span
+  EXPECT_NE(art.find("'X' PE outage window"), std::string::npos);
+}
+
+TEST(Gantt, OverlappingOutageAndRetransmitStayDistinct) {
+  // An outage on P1 while P0 retransmits into it: the two PEs' net rows
+  // keep separate glyphs, and within P1's row the outage span wins.
+  std::vector<TraceEvent> events;
+  events.push_back({0, 0, 0, EventType::kThreadInvoke, 0});
+  events.push_back({10, 1, kInvalidThread, EventType::kOutageBegin, 60});
+  events.push_back({30, 0, kInvalidThread, EventType::kMsgRetransmit, 3});
+  events.push_back({40, 1, kInvalidThread, EventType::kAckSend, 3});
+  events.push_back({60, 1, kInvalidThread, EventType::kOutageEnd, 0});
+  events.push_back({90, 0, 0, EventType::kThreadEnd, 0});
+  const std::string art = render_gantt(events, {.width = 45, .show_legend = false});
+  // Find the two net rows.
+  const auto p0 = art.find("P0   net");
+  const auto p1 = art.find("P1   net");
+  ASSERT_NE(p0, std::string::npos);
+  ASSERT_NE(p1, std::string::npos);
+  const std::string row0 = art.substr(p0, art.find('\n', p0) - p0);
+  const std::string row1 = art.substr(p1, art.find('\n', p1) - p1);
+  EXPECT_NE(row0.find('R'), std::string::npos);
+  EXPECT_NE(row1.find('X'), std::string::npos);
+  // The ACK at cycle 40 falls inside the outage window; the span paints
+  // over it so the dead PE reads as dead.
+  EXPECT_EQ(row1.find('a'), std::string::npos);
 }
 
 TEST(Gantt, EventLogShowsFaultEvents) {

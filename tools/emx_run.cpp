@@ -7,7 +7,17 @@
 //
 // Exposes every MachineConfig knob, runs the chosen application, verifies
 // the result, and prints the full measurement report (text or CSV).
+//
+// Exit codes:
+//   0  run completed, result verified (or --verify=false)
+//   1  run completed but the application result is wrong
+//   2  bad command line (unknown flag, out-of-range fault rate,
+//      malformed --fault-outage spec, ...)
+//   3  result fine but an armed checker (--check) reported findings
+//   4  the progress watchdog (--watchdog) stopped a stalled run;
+//      the stall diagnosis is printed to stderr
 #include <cstdio>
+#include <cstdlib>
 
 #include "emx.hpp"
 #include "apps/jacobi.hpp"
@@ -41,6 +51,80 @@ void print_report(const MachineReport& report, bool csv) {
   std::fputs(csv ? table.to_csv().c_str() : table.to_text().c_str(), stdout);
 }
 
+/// Parses "pe:begin:end[,pe:begin:end...]" into outage windows. Returns
+/// false (after printing a clear error) on any malformed token.
+bool parse_outages(const std::string& spec,
+                   std::vector<fault::OutageWindow>& out) {
+  std::size_t pos = 0;
+  while (pos < spec.size()) {
+    std::size_t comma = spec.find(',', pos);
+    if (comma == std::string::npos) comma = spec.size();
+    const std::string token = spec.substr(pos, comma - pos);
+    unsigned long long pe = 0, begin = 0, end = 0;
+    char trailing = 0;
+    if (std::sscanf(token.c_str(), "%llu:%llu:%llu%c", &pe, &begin, &end,
+                    &trailing) != 3) {
+      std::fprintf(stderr,
+                   "emx_run: malformed --fault-outage token '%s' "
+                   "(want pe:begin:end)\n",
+                   token.c_str());
+      return false;
+    }
+    if (end <= begin) {
+      std::fprintf(stderr,
+                   "emx_run: --fault-outage window '%s' is empty "
+                   "(end must be > begin)\n",
+                   token.c_str());
+      return false;
+    }
+    out.push_back(fault::OutageWindow{static_cast<ProcId>(pe),
+                                      static_cast<Cycle>(begin),
+                                      static_cast<Cycle>(end)});
+    pos = comma + 1;
+  }
+  return true;
+}
+
+/// Range-checks every --fault-* value; prints a clear error and returns
+/// false instead of tripping the library's EMX_CHECK abort.
+bool validate_fault_flags(const MachineConfig& cfg) {
+  const auto bad_rate = [](const char* name, double v) {
+    std::fprintf(stderr, "emx_run: --%s=%g out of range (want 0..1)\n", name, v);
+  };
+  bool ok = true;
+  if (cfg.fault.drop_rate < 0 || cfg.fault.drop_rate > 1) {
+    bad_rate("fault-drop-rate", cfg.fault.drop_rate);
+    ok = false;
+  }
+  if (cfg.fault.duplicate_rate < 0 || cfg.fault.duplicate_rate > 1) {
+    bad_rate("fault-dup-rate", cfg.fault.duplicate_rate);
+    ok = false;
+  }
+  if (cfg.fault.corrupt_rate < 0 || cfg.fault.corrupt_rate > 1) {
+    bad_rate("fault-corrupt-rate", cfg.fault.corrupt_rate);
+    ok = false;
+  }
+  if (ok && cfg.fault.drop_rate + cfg.fault.duplicate_rate +
+                cfg.fault.corrupt_rate > 1.0) {
+    std::fprintf(stderr,
+                 "emx_run: fault rates sum to %g; drop+dup+corrupt must "
+                 "not exceed 1\n",
+                 cfg.fault.drop_rate + cfg.fault.duplicate_rate +
+                     cfg.fault.corrupt_rate);
+    ok = false;
+  }
+  for (const auto& w : cfg.fault.outages) {
+    if (w.pe >= cfg.proc_count) {
+      std::fprintf(stderr,
+                   "emx_run: --fault-outage names pe %u but the machine "
+                   "has %u PEs\n",
+                   w.pe, cfg.proc_count);
+      ok = false;
+    }
+  }
+  return ok;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -63,13 +147,20 @@ int main(int argc, char** argv) {
       .define("poll-interval", "24", "barrier re-check period, cycles")
       .define("report", "text", "text | csv")
       .define("verify", "true", "check the application result")
-      .define("fault-drop-rate", "0", "P(drop) per tracked read packet")
-      .define("fault-dup-rate", "0", "P(duplicate) per tracked read packet")
-      .define("fault-corrupt-rate", "0", "P(bit corruption) per tracked read packet")
+      .define("fault-drop-rate", "0", "P(drop) per tracked fabric packet")
+      .define("fault-dup-rate", "0", "P(duplicate) per tracked fabric packet")
+      .define("fault-corrupt-rate", "0", "P(bit corruption) per tracked fabric packet")
       .define("fault-jitter-max", "0", "max extra per-packet latency, cycles")
       .define("fault-seed", "1026839", "fault plan RNG seed")
-      .define("fault-timeout", "4096", "read retransmit timeout, cycles")
-      .define("fault-max-retries", "10", "retransmits allowed per read")
+      .define("fault-timeout", "4096", "retransmit timeout, cycles")
+      .define("fault-max-retries", "10", "retransmits allowed per request")
+      .define("fault-outage", "", "PE fail-stop windows: pe:begin:end[,...]")
+      .define("fault-reliability", "true",
+              "seq/ACK/retransmit protocol (off = lossy faults may hang; "
+              "pair with --watchdog)")
+      .define("watchdog", "0",
+              "stop + diagnose after N cycles without progress (0 = off); "
+              "exit code 4 when it fires")
       .define("check", "", "checkers: memcheck,race,deadlock,lint | all | none");
   flags.parse(argc, argv);
 
@@ -90,11 +181,31 @@ int main(int argc, char** argv) {
   cfg.fault.drop_rate = flags.real("fault-drop-rate");
   cfg.fault.duplicate_rate = flags.real("fault-dup-rate");
   cfg.fault.corrupt_rate = flags.real("fault-corrupt-rate");
+  if (flags.integer("fault-jitter-max") < 0) {
+    std::fprintf(stderr, "emx_run: --fault-jitter-max must be >= 0\n");
+    return 2;
+  }
   cfg.fault.jitter_max_cycles = static_cast<Cycle>(flags.integer("fault-jitter-max"));
   cfg.fault.seed = static_cast<std::uint64_t>(flags.integer("fault-seed"));
+  if (flags.integer("fault-timeout") < 1) {
+    std::fprintf(stderr, "emx_run: --fault-timeout must be >= 1 cycle\n");
+    return 2;
+  }
   cfg.fault.timeout_cycles = static_cast<Cycle>(flags.integer("fault-timeout"));
+  if (flags.integer("fault-max-retries") < 1) {
+    std::fprintf(stderr, "emx_run: --fault-max-retries must be >= 1\n");
+    return 2;
+  }
   cfg.fault.max_retries =
       static_cast<std::uint32_t>(flags.integer("fault-max-retries"));
+  if (!parse_outages(flags.str("fault-outage"), cfg.fault.outages)) return 2;
+  cfg.fault.reliability = flags.boolean("fault-reliability");
+  if (flags.integer("watchdog") < 0) {
+    std::fprintf(stderr, "emx_run: --watchdog must be >= 0\n");
+    return 2;
+  }
+  cfg.watchdog_cycles = static_cast<Cycle>(flags.integer("watchdog"));
+  if (!validate_fault_flags(cfg)) return 2;
   cfg.check = analysis::CheckConfig::parse(flags.str("check"));
 
   const std::uint64_t n =
@@ -102,11 +213,14 @@ int main(int argc, char** argv) {
   const auto h = static_cast<std::uint32_t>(flags.integer("threads"));
   const auto seed = static_cast<std::uint64_t>(flags.integer("seed"));
   const bool csv = flags.str("report") == "csv";
-  const bool verify = flags.boolean("verify");
+  const bool verify_flag = flags.boolean("verify");
   const std::string app_name = flags.str("app");
 
   Machine machine(cfg);
   bool ok = true;
+  // A watchdog-stopped run never quiesced; its result is undefined, so
+  // verification is skipped (the run exits 4 below regardless).
+  const auto verify = [&] { return verify_flag && !machine.watchdog_fired(); };
   if (app_name == "sort") {
     apps::BitonicSortApp app(
         machine, apps::BitonicParams{.n = n,
@@ -115,7 +229,7 @@ int main(int argc, char** argv) {
                                      .use_block_reads = flags.boolean("block-reads")});
     app.setup();
     machine.run();
-    if (verify) ok = app.verify();
+    if (verify()) ok = app.verify();
   } else if (app_name == "fft") {
     apps::FftApp app(machine,
                      apps::FftParams{.n = n,
@@ -124,13 +238,13 @@ int main(int argc, char** argv) {
                                      .include_local_phase = flags.boolean("local-phase")});
     app.setup();
     machine.run();
-    if (verify && flags.boolean("local-phase")) ok = app.verify_error() < 1e-5;
+    if (verify() && flags.boolean("local-phase")) ok = app.verify_error() < 1e-5;
   } else if (app_name == "fft-cyclic") {
     apps::CyclicFftApp app(machine,
                            apps::CyclicFftParams{.n = n, .threads = h, .seed = seed});
     app.setup();
     machine.run();
-    if (verify) ok = app.verify_error() < 1e-5;
+    if (verify()) ok = app.verify_error() < 1e-5;
   } else if (app_name == "jacobi") {
     apps::JacobiApp app(
         machine,
@@ -141,7 +255,7 @@ int main(int argc, char** argv) {
                            .seed = seed});
     app.setup();
     machine.run();
-    if (verify) ok = app.verify_error() < 1e-6;
+    if (verify()) ok = app.verify_error() < 1e-6;
   } else {
     std::fprintf(stderr, "unknown --app: %s\n%s", app_name.c_str(),
                  flags.help_text(argv[0]).c_str());
@@ -151,7 +265,7 @@ int main(int argc, char** argv) {
   if (!csv) {
     std::printf("%s\napp=%s n=%s h=%u — %s\n", cfg.summary().c_str(),
                 app_name.c_str(), size_label(n).c_str(), h,
-                verify ? (ok ? "VERIFIED" : "WRONG RESULT") : "not verified");
+                verify() ? (ok ? "VERIFIED" : "WRONG RESULT") : "not verified");
   }
   const MachineReport report = machine.report();
   print_report(report, csv);
@@ -159,6 +273,12 @@ int main(int argc, char** argv) {
     std::fputs(report.fault.summary_text().c_str(), stdout);
   if (report.check_enabled && !csv)
     std::fputs(report.check.summary_text().c_str(), stdout);
+  if (report.watchdog_fired) {
+    // The run stalled and the watchdog cut it short: the stall diagnosis
+    // outranks result/checker verdicts (there is no result to judge).
+    std::fputs(report.watchdog_diagnosis.c_str(), stderr);
+    return 4;
+  }
   if (!ok) return 1;
   // Checker diagnostics get their own exit code so scripts can tell
   // "wrong result" from "result fine but the program has a bug".

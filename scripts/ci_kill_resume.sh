@@ -1,0 +1,52 @@
+#!/usr/bin/env bash
+# Crash-recovery gate: SIGKILL a checkpointing run mid-flight, resume
+# from the latest surviving checkpoint, and require the finished run's
+# report to be byte-identical to an uninterrupted one. This is the
+# subsystem's reason to exist — a dead process loses nothing but the
+# cycles since the last checkpoint.
+#
+# Usage: scripts/ci_kill_resume.sh [path-to-emx_run]
+set -euo pipefail
+
+RUN=${1:-./build/tools/emx_run}
+work=$(mktemp -d)
+trap 'rm -rf "$work"' EXIT
+
+kill_and_resume() { # tag checkpoint-every flags...
+  local tag=$1 every=$2; shift 2
+  local dir="$work/$tag-ck" base="$work/$tag-base.txt"
+  "$RUN" "$@" > "$base"
+
+  "$RUN" "$@" --checkpoint-every="$every" --checkpoint-dir="$dir" \
+    > /dev/null 2>&1 &
+  local pid=$!
+  # SIGKILL — not SIGTERM, no cleanup — once three checkpoints exist.
+  # If the run outraces the poll and exits, the checkpoints are still on
+  # disk and the resume below is exercised all the same.
+  for _ in $(seq 1 1200); do
+    [ "$(ls "$dir" 2>/dev/null | wc -l)" -ge 3 ] && break
+    kill -0 "$pid" 2>/dev/null || break
+    sleep 0.05
+  done
+  kill -9 "$pid" 2>/dev/null || true
+  wait "$pid" 2>/dev/null || true
+
+  local count
+  count=$(ls "$dir"/*.emxsnap 2>/dev/null | wc -l)
+  [ "$count" -ge 1 ] || { echo "FAIL: $tag died with no checkpoints" >&2; exit 1; }
+  local latest
+  latest=$(ls "$dir"/*.emxsnap | sort | tail -1)
+  echo "$tag: killed at $count checkpoints, resuming from $(basename "$latest")"
+
+  "$RUN" --resume="$latest" > "$work/$tag-res.txt"
+  diff "$work/$tag-res.txt" "$base" \
+    || { echo "FAIL: $tag resume diverged from the uninterrupted run" >&2; exit 1; }
+  echo "ok: $tag resumed byte-identically after SIGKILL"
+}
+
+kill_and_resume sort 100000 --app=sort
+kill_and_resume fft  300000 --app=fft
+kill_and_resume sort-fault 120000 --app=sort \
+  --fault-drop-rate=0.01 --fault-seed=11
+
+echo "kill-and-resume gate: all checks passed"

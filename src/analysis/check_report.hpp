@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "analysis/diagnostic.hpp"
+#include "snapshot/serializer.hpp"
 
 namespace emx::analysis {
 
@@ -46,6 +47,29 @@ struct CheckReport {
   void add(Diagnostic d);
 
   std::string summary_text() const;
+
+  void save(snapshot::Serializer& s) const {
+    for (std::uint64_t n : counts) s.u64(n);
+    s.u64(suppressed);
+    s.u64(reads_checked);
+    s.u64(writes_checked);
+    s.u64(frames_tracked);
+    s.u64(accesses_raced);
+    s.u64(hb_edges);
+    s.u64(packets_linted);
+    s.u32(static_cast<std::uint32_t>(diagnostics.size()));
+    for (const Diagnostic& d : diagnostics) {
+      s.u8(static_cast<std::uint8_t>(d.kind));
+      for (const Origin* o : {&d.origin, &d.aux}) {
+        s.u32(o->proc);
+        s.u32(o->thread);
+        s.u64(o->cycle);
+      }
+      s.boolean(d.has_aux);
+      s.u32(d.addr);
+      s.str(d.message);
+    }
+  }
 };
 
 }  // namespace emx::analysis

@@ -191,9 +191,14 @@ std::uint32_t CheckContext::on_spawn(ProcId pe, ThreadId raw) {
   return static_cast<std::uint32_t>(spawn_tokens_.size());
 }
 
+std::uint64_t CheckContext::gate_id(std::uint64_t uid) {
+  const auto [it, inserted] = gate_ids_.try_emplace(uid, gate_ids_.size() + 1);
+  return it->second;
+}
+
 void CheckContext::on_gate_pass(ProcId pe, ThreadId raw, std::uint64_t gate) {
   ThreadState& t = thread(pe, raw);
-  GateState& g = gates_[gate];
+  GateState& g = gates_[gate_id(gate)];
   acquire(t, g.vc);
   g.inside.push_back(t.logical);
 }
@@ -202,7 +207,7 @@ void CheckContext::on_gate_block(ProcId pe, ThreadId raw, std::uint64_t gate,
                                  std::uint32_t index) {
   ThreadState& t = thread(pe, raw);
   t.block = Block::kGate;
-  t.gate = gate;
+  t.gate = gate_id(gate);
   t.gate_index = index;
   t.blocked_at = origin_of(t);
 }
@@ -219,7 +224,7 @@ void CheckContext::on_gate_wake(ProcId pe, ThreadId raw) {
 
 void CheckContext::on_gate_advance(ProcId pe, ThreadId raw, std::uint64_t gate) {
   ThreadState& t = thread(pe, raw);
-  GateState& g = gates_[gate];
+  GateState& g = gates_[gate_id(gate)];
   g.vc.join(t.vc);
   tick(t);
   for (auto it = g.inside.begin(); it != g.inside.end(); ++it) {
@@ -415,6 +420,58 @@ void CheckContext::on_quiesce() {
 void CheckContext::leak_scan() {
   if (shadow_ == nullptr || stuck_reported_) return;
   shadow_->leak_scan();
+}
+
+void CheckContext::save(snapshot::Serializer& s) const {
+  report_.save(s);
+  s.boolean(stuck_reported_);
+  s.u32(static_cast<std::uint32_t>(threads_.size()));
+  for (const ThreadState& t : threads_) {
+    s.u32(t.logical);
+    s.u32(t.pe);
+    s.u32(t.raw);
+    s.u32(t.entry);
+    s.boolean(t.runtime);
+    s.boolean(t.alive);
+    t.vc.save(s);
+    s.u32(t.clk);
+    s.u32(t.episode);
+    s.u8(static_cast<std::uint8_t>(t.block));
+    s.u64(t.gate);
+    s.u32(t.gate_index);
+    s.u32(t.blocked_at.proc);
+    s.u32(t.blocked_at.thread);
+    s.u64(t.blocked_at.cycle);
+  }
+  s.u32(static_cast<std::uint32_t>(spawn_tokens_.size()));
+  for (const VectorClock& vc : spawn_tokens_) vc.save(s);
+  std::vector<std::uint64_t> gate_ids;
+  gate_ids.reserve(gates_.size());
+  for (const auto& [uid, gate] : gates_) gate_ids.push_back(uid);
+  std::sort(gate_ids.begin(), gate_ids.end());
+  s.u32(static_cast<std::uint32_t>(gate_ids.size()));
+  for (std::uint64_t uid : gate_ids) {
+    const GateState& gate = gates_.at(uid);
+    s.u64(uid);
+    gate.vc.save(s);
+    s.u32(static_cast<std::uint32_t>(gate.inside.size()));
+    for (LogicalTid tid : gate.inside) s.u32(tid);
+  }
+  s.u32(static_cast<std::uint32_t>(barrier_epochs_.size()));
+  for (const VectorClock& vc : barrier_epochs_) vc.save(s);
+  std::vector<std::pair<std::uint64_t, Cycle>> fifo(fifo_last_.begin(),
+                                                    fifo_last_.end());
+  std::sort(fifo.begin(), fifo.end());
+  s.u32(static_cast<std::uint32_t>(fifo.size()));
+  for (const auto& [key, cycle] : fifo) {
+    s.u64(key);
+    s.u64(cycle);
+  }
+  std::vector<std::uint64_t> linted(lint_reported_.begin(),
+                                    lint_reported_.end());
+  std::sort(linted.begin(), linted.end());
+  s.u32(static_cast<std::uint32_t>(linted.size()));
+  for (std::uint64_t key : linted) s.u64(key);
 }
 
 }  // namespace emx::analysis

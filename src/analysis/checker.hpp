@@ -108,6 +108,14 @@ class CheckContext {
   /// its drained-with-live-threads panic so diagnostics reach the user.
   bool stuck_reported() const { return stuck_reported_; }
 
+  /// Serializes the checker's observable state: the report, every logical
+  /// thread's clock and blocking state, gate and barrier-epoch clocks,
+  /// and the lint dedup sets — unordered containers sorted first. Shadow
+  /// memory and race-detector cells are summarized by their activity
+  /// counters inside the report (their full state is derived from the
+  /// access stream, which replay regenerates).
+  void save(snapshot::Serializer& s) const;
+
  private:
   enum class Block : std::uint8_t { kNone, kGate, kRead, kBarrier };
 
@@ -122,7 +130,7 @@ class CheckContext {
     std::uint32_t clk = 0;
     std::uint32_t episode = 0;  ///< barrier episodes passed
     Block block = Block::kNone;
-    std::uint64_t gate = 0;        ///< gate uid when block == kGate
+    std::uint64_t gate = 0;        ///< dense gate id when block == kGate
     std::uint32_t gate_index = 0;  ///< when block == kGate
     Origin blocked_at;
   };
@@ -133,6 +141,12 @@ class CheckContext {
   };
 
   ThreadState& thread(ProcId pe, ThreadId raw);
+  /// Raw OrderGate uids come from a process-global counter, so their
+  /// values depend on earlier machines in the same process. Translated
+  /// to first-seen dense ids (>= 1) at the on_gate_* boundary, gate
+  /// identity — and everything save() emits — is a pure function of this
+  /// run's execution, which checkpoint verification requires.
+  std::uint64_t gate_id(std::uint64_t uid);
   void tick(ThreadState& t);
   void acquire(ThreadState& t, const VectorClock& from);
   Origin origin_of(const ThreadState& t) const;
@@ -154,7 +168,8 @@ class CheckContext {
   std::vector<ThreadState> threads_;            ///< indexed by LogicalTid
   std::vector<std::vector<LogicalTid>> slots_;  ///< per-PE raw id -> logical
   std::vector<VectorClock> spawn_tokens_;       ///< kInvoke hb_token payloads
-  std::unordered_map<std::uint64_t, GateState> gates_;  ///< by OrderGate uid
+  std::unordered_map<std::uint64_t, std::uint64_t> gate_ids_;  ///< uid -> dense
+  std::unordered_map<std::uint64_t, GateState> gates_;  ///< by dense gate id
   std::vector<VectorClock> barrier_epochs_;     ///< join accumulators
 
   // sim-lint state

@@ -6,8 +6,12 @@
 // and each one synchronizes with only a handful of peers.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <unordered_map>
+#include <vector>
+
+#include "snapshot/serializer.hpp"
 
 namespace emx::analysis {
 
@@ -47,6 +51,18 @@ class VectorClock {
   }
 
   std::size_t size() const { return clocks_.size(); }
+
+  /// Serializes components sorted by tid (the map itself is unordered).
+  void save(snapshot::Serializer& s) const {
+    std::vector<std::pair<LogicalTid, std::uint32_t>> sorted(clocks_.begin(),
+                                                             clocks_.end());
+    std::sort(sorted.begin(), sorted.end());
+    s.u32(static_cast<std::uint32_t>(sorted.size()));
+    for (const auto& [tid, clk] : sorted) {
+      s.u32(tid);
+      s.u32(clk);
+    }
+  }
 
  private:
   std::unordered_map<LogicalTid, std::uint32_t> clocks_;

@@ -51,7 +51,7 @@ void BitonicSortApp::setup() {
   const std::uint32_t P = machine_.config().proc_count;
   const std::uint64_t m = per_proc_elems();
 
-  Rng rng(params_.seed);
+  Rng& rng = machine_.streams().stream("workload.sort", params_.seed);
   input_.resize(params_.n);
   for (auto& w : input_) w = rng.next_u32();
 

@@ -64,7 +64,7 @@ void FftApp::setup() {
   const std::uint32_t P = machine_.config().proc_count;
   const std::uint64_t m = per_proc_points();
 
-  Rng rng(params_.seed);
+  Rng& rng = machine_.streams().stream("workload.fft", params_.seed);
   input_.resize(params_.n);
   for (auto& c : input_) {
     c = {static_cast<float>(rng.next_double() * 2.0 - 1.0),

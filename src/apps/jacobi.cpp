@@ -44,7 +44,7 @@ void JacobiApp::setup() {
   const std::uint32_t P = machine_.config().proc_count;
   const std::uint64_t m = per_proc_cells();
 
-  Rng rng(params_.seed);
+  Rng& rng = machine_.streams().stream("workload.jacobi", params_.seed);
   input_.resize(params_.n);
   for (auto& v : input_) v = static_cast<float>(rng.next_double());
 

@@ -11,7 +11,7 @@ CliFlags& CliFlags::define(const std::string& name,
                            const std::string& default_value,
                            const std::string& help) {
   EMX_CHECK(!flags_.count(name), "duplicate flag: " + name);
-  flags_[name] = Flag{default_value, default_value, help};
+  flags_[name] = Flag{default_value, default_value, help, false};
   order_.push_back(name);
   return *this;
 }
@@ -58,7 +58,12 @@ void CliFlags::parse(int argc, const char* const* argv) {
     auto it = flags_.find(name);
     if (it == flags_.end()) fail("unknown flag: --" + name);
     it->second.value = value;
+    it->second.set_by_user = true;
   }
+}
+
+bool CliFlags::explicitly_set(const std::string& name) const {
+  return get(name).set_by_user;
 }
 
 std::string CliFlags::str(const std::string& name) const { return get(name).value; }

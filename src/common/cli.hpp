@@ -29,6 +29,11 @@ class CliFlags {
   /// Comma-separated integer list ("1,2,4,8").
   std::vector<std::int64_t> int_list(const std::string& name) const;
 
+  /// True when the user passed the flag on the command line (even with a
+  /// value equal to the default). Drives resume/replay conflict checks:
+  /// only *explicit* flags may contradict a snapshot's manifest.
+  bool explicitly_set(const std::string& name) const;
+
   std::string help_text(const std::string& program) const;
 
  private:
@@ -36,6 +41,7 @@ class CliFlags {
     std::string value;
     std::string default_value;
     std::string help;
+    bool set_by_user = false;
   };
   const Flag& get(const std::string& name) const;
   std::map<std::string, Flag> flags_;

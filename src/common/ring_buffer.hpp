@@ -45,6 +45,13 @@ class RingBuffer {
     return slots_[head_];
   }
 
+  /// Element `i` positions behind the head (0 == front()), without
+  /// popping — lets snapshot code walk the queue in FIFO order.
+  const T& at(std::size_t i) const {
+    EMX_DCHECK(i < size_, "ring buffer index out of range");
+    return slots_[(head_ + i) % slots_.size()];
+  }
+
  private:
   std::vector<T> slots_;
   std::size_t head_ = 0;
@@ -87,6 +94,14 @@ class SpillingFifo {
   }
 
   const T& front() const { return on_chip_.front(); }
+
+  /// Element `i` in global FIFO order (on-chip first, then spill),
+  /// without popping — for snapshot serialization.
+  const T& at(std::size_t i) const {
+    EMX_DCHECK(i < size(), "spilling fifo index out of range");
+    if (i < on_chip_.size()) return on_chip_.at(i);
+    return spill_[i - on_chip_.size()];
+  }
 
  private:
   RingBuffer<T> on_chip_;

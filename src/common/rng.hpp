@@ -4,6 +4,7 @@
 // bit-reproducible across runs and platforms.
 #pragma once
 
+#include <array>
 #include <cstdint>
 
 #include "common/assert.hpp"
@@ -65,6 +66,15 @@ class Rng {
   /// Uniform double in [0, 1).
   double next_double() {
     return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// The full xoshiro256** state, for checkpointing: restoring it with
+  /// set_state() resumes the stream exactly where it left off.
+  std::array<std::uint64_t, 4> state() const {
+    return {s_[0], s_[1], s_[2], s_[3]};
+  }
+  void set_state(const std::array<std::uint64_t, 4>& state) {
+    for (std::size_t i = 0; i < 4; ++i) s_[i] = state[i];
   }
 
  private:

@@ -1,0 +1,63 @@
+#include "common/rng_registry.hpp"
+
+#include "common/assert.hpp"
+
+namespace emx::rng {
+
+Rng& StreamRegistry::stream(const std::string& name, std::uint64_t seed) {
+  auto it = streams_.find(name);
+  if (it != streams_.end()) {
+    EMX_CHECK(it->second.owned != nullptr,
+              "rng stream name collides with an adopted engine");
+    EMX_CHECK(it->second.seed == seed,
+              "rng stream requested twice with different seeds");
+    return *it->second.engine;
+  }
+  Entry entry;
+  entry.owned = std::make_unique<Rng>(seed);
+  entry.engine = entry.owned.get();
+  entry.seed = seed;
+  auto [pos, inserted] = streams_.emplace(name, std::move(entry));
+  (void)inserted;
+  return *pos->second.engine;
+}
+
+void StreamRegistry::adopt(const std::string& name, Rng* engine) {
+  EMX_CHECK(engine != nullptr, "cannot adopt a null rng engine");
+  Entry& entry = streams_[name];
+  EMX_CHECK(entry.owned == nullptr,
+            "rng stream name collides with an owned engine");
+  entry.engine = engine;
+}
+
+std::vector<std::string> StreamRegistry::names() const {
+  std::vector<std::string> out;
+  out.reserve(streams_.size());
+  for (const auto& [name, entry] : streams_) out.push_back(name);
+  return out;
+}
+
+void StreamRegistry::save(snapshot::Serializer& s) const {
+  s.u32(static_cast<std::uint32_t>(streams_.size()));
+  for (const auto& [name, entry] : streams_) {  // std::map: sorted by name
+    s.str(name);
+    for (std::uint64_t word : entry.engine->state()) s.u64(word);
+  }
+}
+
+bool StreamRegistry::load(snapshot::Deserializer& d) {
+  const std::uint32_t count = d.u32();
+  if (count != streams_.size()) return false;
+  for (std::uint32_t i = 0; i < count; ++i) {
+    const std::string name = d.str();
+    std::array<std::uint64_t, 4> state;
+    for (auto& word : state) word = d.u64();
+    if (!d.ok()) return false;
+    auto it = streams_.find(name);
+    if (it == streams_.end()) return false;
+    it->second.engine->set_state(state);
+  }
+  return d.ok();
+}
+
+}  // namespace emx::rng

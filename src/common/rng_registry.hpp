@@ -1,0 +1,69 @@
+// rng::StreamRegistry — every pseudo-random stream of a run, by name.
+//
+// Before the snapshot subsystem, each consumer constructed its Rng ad
+// hoc (the fault plan inside FaultyNetwork, each app's workload
+// generator inside setup(), the bench harness in its sweep loops). A
+// checkpoint must capture *all* of them or a restored run silently forks
+// its randomness, so the Machine now owns one registry and every stream
+// is either created through it (`stream(name, seed)`) or registered with
+// it (`adopt(name, &engine)` for engines whose lifetime someone else
+// owns). Names are stable identifiers ("workload.sort", "fault.plan");
+// save() walks them in sorted order so the serialized form is
+// deterministic, and load() restores each engine's xoshiro state by name.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "snapshot/serializer.hpp"
+
+namespace emx::rng {
+
+class StreamRegistry {
+ public:
+  StreamRegistry() = default;
+  StreamRegistry(const StreamRegistry&) = delete;
+  StreamRegistry& operator=(const StreamRegistry&) = delete;
+
+  /// Returns the stream `name`, creating it seeded with `seed` on first
+  /// use. A second caller asking for the same name must agree on the
+  /// seed — two subsystems silently sharing a stream under one name is a
+  /// bug the assert catches.
+  Rng& stream(const std::string& name, std::uint64_t seed);
+
+  /// Registers an externally-owned engine under `name` (e.g. the fault
+  /// plan's, which lives inside FaultyNetwork). The engine must outlive
+  /// the registry entry; re-adopting an existing name replaces the
+  /// pointer (a Machine rebuild on the same registry).
+  void adopt(const std::string& name, Rng* engine);
+
+  bool contains(const std::string& name) const {
+    return streams_.find(name) != streams_.end();
+  }
+  std::size_t count() const { return streams_.size(); }
+  /// Registered names in sorted order (the serialization order).
+  std::vector<std::string> names() const;
+
+  /// Serializes every stream as (name, 4 state words), sorted by name.
+  void save(snapshot::Serializer& s) const;
+
+  /// Restores stream states by name. Streams in the snapshot but not in
+  /// the registry (or vice versa) make this return false — the caller
+  /// reports which run shape mismatch caused it via names().
+  bool load(snapshot::Deserializer& d);
+
+ private:
+  struct Entry {
+    std::unique_ptr<Rng> owned;  ///< null for adopted streams
+    Rng* engine = nullptr;       ///< always valid
+    std::uint64_t seed = 0;      ///< creation seed (owned streams only)
+  };
+
+  std::map<std::string, Entry> streams_;  // ordered: deterministic save
+};
+
+}  // namespace emx::rng

@@ -8,6 +8,8 @@
 #include <string>
 #include <vector>
 
+#include "snapshot/serializer.hpp"
+
 namespace emx {
 
 /// Welford-style running accumulator: count / min / max / mean / stddev.
@@ -36,6 +38,17 @@ class RunningStat {
   double stddev() const { return std::sqrt(variance()); }
 
   std::string summary() const;
+
+  /// Serializes the full accumulator (doubles as raw IEEE-754 bits, so
+  /// the encoding is exact — infinities in the empty min/max included).
+  void save(snapshot::Serializer& s) const {
+    s.u64(count_);
+    s.f64(min_);
+    s.f64(max_);
+    s.f64(mean_);
+    s.f64(m2_);
+    s.f64(sum_);
+  }
 
  private:
   std::uint64_t count_ = 0;

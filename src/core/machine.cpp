@@ -91,6 +91,11 @@ Machine::Machine(MachineConfig config, trace::TraceSink* sink)
     network_ = std::move(faulty);
   }
   network_->set_delivery(&Machine::delivery_thunk, this);
+  if (faulty_ != nullptr) {
+    // One registry covers every stream: snapshots capture the plan's
+    // decision stream alongside the app workload streams.
+    streams_.adopt("fault.plan", &faulty_->mutable_plan().rng());
+  }
 
   // Runtime-internal entries (ids are stable: registered before any app).
   barrier_entry_central_ = registry_.add(
@@ -155,6 +160,11 @@ proc::Emcy& Machine::pe(ProcId p) {
   return *pes_[p];
 }
 
+const proc::Emcy& Machine::pe(ProcId p) const {
+  EMX_CHECK(p < pes_.size(), "processor id out of range");
+  return *pes_[p];
+}
+
 void Machine::configure_barrier(std::uint32_t participants_per_pe) {
   EMX_CHECK(participants_per_pe > 0, "barrier needs at least one participant");
   if (config_.barrier == BarrierTopology::kCentral) {
@@ -182,6 +192,19 @@ void Machine::run() {
   EMX_CHECK(!ran_, "Machine::run() called twice");
   if (config_.watchdog_cycles > 0) sim_.arm_watchdog(config_.watchdog_cycles);
   const sim::StopReason stop = sim_.run_until_idle(config_.max_events);
+  finish_run(stop);
+}
+
+bool Machine::run_to(Cycle pause_at) {
+  EMX_CHECK(!ran_, "Machine::run_to() after the run completed");
+  if (config_.watchdog_cycles > 0) sim_.arm_watchdog(config_.watchdog_cycles);
+  const sim::StopReason stop = sim_.run_until_idle(config_.max_events, pause_at);
+  if (stop == sim::StopReason::kPaused) return true;
+  finish_run(stop);
+  return false;
+}
+
+void Machine::finish_run(sim::StopReason stop) {
   end_cycle_ = sim_.now();
   ran_ = true;
   watchdog_fired_ = stop == sim::StopReason::kWatchdog;

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "analysis/checker.hpp"
+#include "common/rng_registry.hpp"
 #include "core/config.hpp"
 #include "core/instrumentation.hpp"
 #include "fault/faulty_network.hpp"
@@ -39,15 +40,24 @@ class Machine {
 
   const MachineConfig& config() const { return config_; }
   sim::SimContext& sim() { return sim_; }
+  const sim::SimContext& sim() const { return sim_; }
   net::Network& network() { return *network_; }
+  const net::Network& network() const { return *network_; }
   bool fault_enabled() const { return faulty_ != nullptr; }
   const fault::FaultDomain& fault_domain() const { return fault_domain_; }
   bool check_enabled() const { return checker_ != nullptr; }
   /// The armed checker hub, or null when config.check is all-off.
   const analysis::CheckContext* checker() const { return checker_.get(); }
   proc::Emcy& pe(ProcId p);
+  const proc::Emcy& pe(ProcId p) const;
   proc::Memory& memory(ProcId p) { return pe(p).memory(); }
   rt::ThreadEngine& engine(ProcId p) { return pe(p).engine(); }
+
+  /// Every pseudo-random stream of this run, by name. Apps draw their
+  /// workload streams here ("workload.<app>"); the fault plan's stream is
+  /// adopted as "fault.plan" — so one registry serializes them all.
+  rng::StreamRegistry& streams() { return streams_; }
+  const rng::StreamRegistry& streams() const { return streams_; }
 
   /// Registers a spawnable thread entry; returns its entry id.
   std::uint32_t register_entry(rt::EntryFn fn) { return registry_.add(std::move(fn)); }
@@ -66,6 +76,13 @@ class Machine {
   /// is armed, a non-quiescent stall instead ends the run with
   /// watchdog_fired() set and a diagnosis in place of the panics.
   void run();
+
+  /// Runs until the next event would land past `pause_at` (checkpoint /
+  /// record / resume runs). Returns true when paused — the caller may
+  /// snapshot and call run_to() again (or with 0 to finish). Returns
+  /// false when the run completed: end-of-run checks have executed
+  /// exactly as in run(), and calling again is an error.
+  bool run_to(Cycle pause_at);
 
   bool ran() const { return ran_; }
   Cycle end_cycle() const { return end_cycle_; }
@@ -87,6 +104,9 @@ class Machine {
   static void outage_begin_event(void* ctx, std::uint64_t pe, std::uint64_t end);
   static void outage_end_event(void* ctx, std::uint64_t pe, std::uint64_t);
   void build_watchdog_diagnosis(bool quiescent);
+  /// End-of-run bookkeeping shared by run() and run_to(): watchdog
+  /// diagnosis, quiescence checks, liveness panics, ledger invariants.
+  void finish_run(sim::StopReason stop);
 
   /// Stable per-PE context for the Memory write probe.
   struct MemProbe {
@@ -101,6 +121,7 @@ class Machine {
   fault::FaultDomain fault_domain_;
   std::unique_ptr<analysis::CheckContext> checker_;  ///< null unless armed
   std::vector<MemProbe> mem_probes_;  ///< one per PE, checker runs only
+  rng::StreamRegistry streams_;
   rt::EntryRegistry registry_;
   std::vector<std::unique_ptr<proc::Emcy>> pes_;
   trace::TraceSink* sink_;

@@ -111,6 +111,10 @@ FaultDecision FaultPlan::decide(const net::Packet& packet, Cycle now) {
         case FaultKind::kStall:
           d.stall_until = std::max(d.stall_until, now + config_.timeout_cycles / 2);
           break;
+        case FaultKind::kPeOutage:
+          // Outages are window-scheduled (FaultConfig::outages), not
+          // per-packet; a schedule entry naming one is a no-op here.
+          break;
       }
     }
     const double roll = rng_.next_double();

@@ -20,6 +20,7 @@
 #include "common/rng.hpp"
 #include "fault/fault_config.hpp"
 #include "network/packet.hpp"
+#include "snapshot/serializer.hpp"
 
 namespace emx::fault {
 
@@ -61,6 +62,17 @@ class FaultPlan {
 
   /// Tracked fabric packets seen so far (the schedule's counting base).
   std::uint64_t tracked_seen() const { return tracked_seen_; }
+
+  /// The plan's decision stream, exposed so the Machine can register it
+  /// with the rng::StreamRegistry ("fault.plan") and snapshots capture
+  /// its position alongside every other stream.
+  Rng& rng() { return rng_; }
+
+  void save(snapshot::Serializer& s) const {
+    for (std::uint64_t word : rng_.state()) s.u64(word);
+    s.u64(tracked_seen_);
+    for (std::uint64_t seen : kind_seen_) s.u64(seen);
+  }
 
  private:
   const FaultConfig config_;

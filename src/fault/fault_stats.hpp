@@ -13,6 +13,7 @@
 
 #include "common/types.hpp"
 #include "fault/fault_config.hpp"
+#include "snapshot/serializer.hpp"
 
 namespace emx::fault {
 
@@ -67,6 +68,30 @@ struct FaultReport {
   }
 
   std::string summary_text() const;
+
+  void save(snapshot::Serializer& s) const {
+    for (std::uint64_t n : injected) s.u64(n);
+    s.u64(injected_recoverable);
+    s.u64(recovered);
+    s.u64(corrupt_discarded);
+    s.u64(stale_losses);
+    s.u64(unsequenced_losses);
+    s.u64(reads_tracked);
+    s.u64(msgs_tracked);
+    s.u64(timeouts);
+    s.u64(retries);
+    s.u64(msg_retransmits);
+    s.u64(acks_sent);
+    s.u64(dup_replies_suppressed);
+    s.u64(dup_msgs_suppressed);
+    s.u64(dup_acks_ignored);
+    s.u64(reads_recovered);
+    s.u64(msgs_recovered);
+    s.u64(fence_holds);
+    s.u64(worst_recovery_cycles);
+    s.u64(peak_ledger_live);
+    s.u64(peak_outstanding);
+  }
 };
 
 }  // namespace emx::fault

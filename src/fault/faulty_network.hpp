@@ -53,6 +53,24 @@ class FaultyNetwork final : public net::Network {
 
   net::Network& inner() { return *inner_; }
   const FaultPlan& plan() const { return plan_; }
+  /// Mutable plan access so the Machine can adopt the plan's RNG stream
+  /// into the rng::StreamRegistry.
+  FaultPlan& mutable_plan() { return plan_; }
+
+  void save_state(snapshot::Serializer& s) const override {
+    plan_.save(s);
+    for (Cycle c : link_release_) s.u64(c);
+    std::uint32_t live = 0;
+    for (const Held& h : pool_)
+      if (h.in_use) ++live;
+    s.u32(live);
+    for (std::uint32_t i = 0; i < pool_.size(); ++i) {
+      if (!pool_[i].in_use) continue;
+      s.u32(i);
+      pool_[i].packet.save(s);
+    }
+    inner_->save_state(s);
+  }
 
  private:
   struct Held {

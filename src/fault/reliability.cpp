@@ -423,4 +423,74 @@ void ReliableChannel::append_outstanding(std::string& out) const {
   }
 }
 
+namespace {
+
+template <typename Map>
+std::vector<typename Map::key_type> sorted_keys(const Map& map) {
+  std::vector<typename Map::key_type> keys;
+  keys.reserve(map.size());
+  for (const auto& [key, value] : map) keys.push_back(key);
+  std::sort(keys.begin(), keys.end());
+  return keys;
+}
+
+}  // namespace
+
+void FaultDomain::save(snapshot::Serializer& s) const {
+  s.u32(last_seq_);
+  std::vector<std::uint32_t> live(live_.begin(), live_.end());
+  std::sort(live.begin(), live.end());
+  s.u32(static_cast<std::uint32_t>(live.size()));
+  for (std::uint32_t seq : live) s.u32(seq);
+  s.u32(static_cast<std::uint32_t>(pending_.size()));
+  for (std::uint32_t seq : sorted_keys(pending_)) {
+    s.u32(seq);
+    s.u32(pending_.at(seq));
+  }
+  s.u64(pending_total_);
+  report_.save(s);
+}
+
+void ReliableChannel::save(snapshot::Serializer& s) const {
+  s.u32(static_cast<std::uint32_t>(outstanding_.size()));
+  for (std::uint32_t seq : sorted_keys(outstanding_)) {
+    const Entry& entry = outstanding_.at(seq);
+    s.u32(seq);
+    entry.request.save(s);
+    s.u64(entry.first_issue);
+    s.u64(entry.timeout);
+    s.u32(entry.retries);
+    // timer_id is an event-queue sequence number — process-independent
+    // and deterministic, so it serializes as-is.
+    s.u64(entry.timer_id);
+    s.u8(static_cast<std::uint8_t>(entry.cls));
+    s.boolean(entry.reply_seen);
+  }
+  s.u32(static_cast<std::uint32_t>(chan_next_.size()));
+  for (std::uint64_t key : sorted_keys(chan_next_)) {
+    s.u64(key);
+    s.u32(chan_next_.at(key));
+  }
+  s.u32(static_cast<std::uint32_t>(windows_.size()));
+  for (std::uint64_t key : sorted_keys(windows_)) {
+    const Window& w = windows_.at(key);
+    s.u64(key);
+    s.u32(w.floor);
+    for (const auto* set : {&w.applied, &w.pending}) {
+      std::vector<std::uint32_t> seqs(set->begin(), set->end());
+      std::sort(seqs.begin(), seqs.end());
+      s.u32(static_cast<std::uint32_t>(seqs.size()));
+      for (std::uint32_t seq : seqs) s.u32(seq);
+    }
+  }
+  s.u32(static_cast<std::uint32_t>(fence_.size()));
+  for (const FenceWaiter& waiter : fence_) {
+    waiter.packet.save(s);
+    s.u32(static_cast<std::uint32_t>(waiter.blockers.size()));
+    for (std::uint32_t seq : waiter.blockers) s.u32(seq);
+  }
+  s.boolean(releasing_fence_);
+  stats_.save(s);
+}
+
 }  // namespace emx::fault

@@ -81,6 +81,7 @@
 #include "proc/execution_unit.hpp"
 #include "proc/output_buffer_unit.hpp"
 #include "sim/sim_context.hpp"
+#include "snapshot/serializer.hpp"
 #include "trace/trace.hpp"
 
 namespace emx::fault {
@@ -116,6 +117,10 @@ class FaultDomain {
   const FaultReport& report() const { return report_; }
   FaultReport& report() { return report_; }
 
+  /// Serializes the ledger with its unordered containers sorted, so two
+  /// identical runs produce identical bytes.
+  void save(snapshot::Serializer& s) const;
+
  private:
   std::uint32_t last_seq_ = 0;
   /// Requests issued but not yet completed. A fault on a packet whose seq
@@ -145,6 +150,23 @@ struct ChannelStats {
   std::uint64_t fence_holds = 0;  ///< packets held for write ACKs
   Cycle worst_recovery_cycles = 0;
   std::uint64_t peak_outstanding = 0;
+
+  void save(snapshot::Serializer& s) const {
+    s.u64(reads_tracked);
+    s.u64(msgs_tracked);
+    s.u64(timeouts);
+    s.u64(retries);
+    s.u64(msg_retransmits);
+    s.u64(acks_sent);
+    s.u64(dup_replies_suppressed);
+    s.u64(dup_msgs_suppressed);
+    s.u64(dup_acks_ignored);
+    s.u64(reads_recovered);
+    s.u64(msgs_recovered);
+    s.u64(fence_holds);
+    s.u64(worst_recovery_cycles);
+    s.u64(peak_outstanding);
+  }
 };
 
 /// One per processing element; both the sender role (outstanding table,
@@ -233,6 +255,11 @@ class ReliableChannel {
   /// Appends one line per outstanding request, sorted by sequence number
   /// (deterministic), for the watchdog's hang diagnosis.
   void append_outstanding(std::string& out) const;
+
+  /// Serializes the full sender+receiver state — outstanding table,
+  /// stream counters, dedup windows, fence queue, stats — with every
+  /// unordered container sorted by key first.
+  void save(snapshot::Serializer& s) const;
 
  private:
   enum class Class : std::uint8_t { kRead = 0, kMsg = 1 };

@@ -31,6 +31,21 @@ class FastNetwork final : public Network {
   }
   std::string name() const override { return "omega-fast"; }
 
+  void save_state(snapshot::Serializer& s) const override {
+    stats_.save(s);
+    for (Cycle c : inject_free_) s.u64(c);
+    for (Cycle c : eject_free_) s.u64(c);
+    std::uint32_t live = 0;
+    for (const Pending& p : pool_)
+      if (p.in_use) ++live;
+    s.u32(live);
+    for (std::uint32_t i = 0; i < pool_.size(); ++i) {
+      if (!pool_[i].in_use) continue;
+      s.u32(i);
+      pool_[i].packet.save(s);
+    }
+  }
+
  private:
   struct Pending {
     Packet packet;

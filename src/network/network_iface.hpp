@@ -27,6 +27,16 @@ struct NetworkStats {
   /// backpressure at this load.
   std::uint64_t peak_port_backlog = 0;
   RunningStat latency;                 ///< injection->delivery, cycles
+
+  void save(snapshot::Serializer& s) const {
+    s.u64(packets_injected);
+    s.u64(packets_delivered);
+    s.u64(self_deliveries);
+    s.u64(fabric_packets);
+    s.u64(contention_wait);
+    s.u64(peak_port_backlog);
+    latency.save(s);
+  }
 };
 
 /// Called when a packet reaches its destination switch's ejection port;
@@ -53,6 +63,11 @@ class Network {
   /// Virtual so decorators (fault::FaultyNetwork) can expose the wrapped
   /// fabric's counters instead of their own.
   virtual const NetworkStats& stats() const { return stats_; }
+
+  /// Serializes the model's full dynamic state: counters, port timelines,
+  /// and every in-flight packet. Decorators prepend their own state and
+  /// forward to the wrapped fabric.
+  virtual void save_state(snapshot::Serializer& s) const { stats_.save(s); }
 
  protected:
   void deliver(const Packet& packet) {

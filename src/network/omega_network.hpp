@@ -34,6 +34,22 @@ class OmegaNetwork final : public Network {
   /// Deepest per-port queue seen anywhere in the fabric (packets).
   std::uint64_t peak_port_backlog() const;
 
+  void save_state(snapshot::Serializer& s) const override {
+    stats_.save(s);
+    for (const SwitchBox& sw : switches_) sw.save(s);
+    std::uint32_t live = 0;
+    for (const Transit& t : transits_)
+      if (t.in_use) ++live;
+    s.u32(live);
+    for (std::uint32_t i = 0; i < transits_.size(); ++i) {
+      if (!transits_[i].in_use) continue;
+      s.u32(i);
+      s.u32(transits_[i].hop);
+      s.u64(transits_[i].injected_at);
+      transits_[i].packet.save(s);
+    }
+  }
+
  private:
   struct Transit {
     Packet packet;

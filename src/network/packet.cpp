@@ -35,4 +35,40 @@ std::string Packet::describe() const {
   return buf;
 }
 
+void Packet::save(snapshot::Serializer& s) const {
+  s.u32(addr);
+  s.u32(data);
+  s.u32(src);
+  s.u32(dst);
+  s.u8(static_cast<std::uint8_t>(kind));
+  s.u8(static_cast<std::uint8_t>(priority));
+  s.u32(cont_thread);
+  s.u32(cont_tag);
+  s.u8(cont_slot);
+  s.u32(block_len);
+  s.u32(req_seq);
+  s.u32(chan_seq);
+  s.u32(checksum);
+  s.u32(hb_token);
+  s.u64(issue_cycle);
+}
+
+void Packet::load(snapshot::Deserializer& d) {
+  addr = d.u32();
+  data = d.u32();
+  src = d.u32();
+  dst = d.u32();
+  kind = static_cast<PacketKind>(d.u8());
+  priority = static_cast<PacketPriority>(d.u8());
+  cont_thread = d.u32();
+  cont_tag = d.u32();
+  cont_slot = d.u8();
+  block_len = d.u32();
+  req_seq = d.u32();
+  chan_seq = d.u32();
+  checksum = d.u32();
+  hb_token = d.u32();
+  issue_cycle = d.u64();
+}
+
 }  // namespace emx::net

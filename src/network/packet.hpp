@@ -11,6 +11,7 @@
 #include <string>
 
 #include "common/types.hpp"
+#include "snapshot/serializer.hpp"
 
 namespace emx::net {
 
@@ -83,6 +84,12 @@ struct Packet {
   Cycle issue_cycle = 0;  ///< when the sender's OBU released it
 
   std::string describe() const;
+
+  /// Serializes every field (fixed width, field order above) so any
+  /// queue of in-flight packets can embed packets in its own section.
+  void save(snapshot::Serializer& s) const;
+  /// Reads fields written by save(); check d.ok() after a batch.
+  void load(snapshot::Deserializer& d);
 };
 
 }  // namespace emx::net

@@ -12,6 +12,7 @@
 #include <cstdint>
 
 #include "common/types.hpp"
+#include "snapshot/serializer.hpp"
 
 namespace emx::net {
 
@@ -37,6 +38,13 @@ class SwitchBox {
   /// packets were queued behind a port at once (in units of the port
   /// interval). Sizes the on-switch buffering a real fabric would need.
   std::uint64_t peak_backlog() const { return peak_backlog_; }
+
+  void save(snapshot::Serializer& s) const {
+    for (Cycle c : next_free_) s.u64(c);
+    for (std::uint64_t f : forwarded_) s.u64(f);
+    s.u64(total_wait_);
+    s.u64(peak_backlog_);
+  }
 
  private:
   std::array<Cycle, kPortCount> next_free_ = {0, 0, 0};

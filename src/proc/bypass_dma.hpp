@@ -53,6 +53,24 @@ class BypassDma {
 
   const BypassDmaStats& stats() const { return stats_; }
 
+  void save(snapshot::Serializer& s) const {
+    s.u64(engine_free_);
+    s.u64(stats_.reads_serviced);
+    s.u64(stats_.writes_serviced);
+    s.u64(stats_.block_reads_serviced);
+    s.u64(stats_.reply_packets);
+    s.u64(stats_.busy_cycles);
+    std::uint32_t live = 0;
+    for (const Job& j : pool_)
+      if (j.in_use) ++live;
+    s.u32(live);
+    for (std::uint32_t i = 0; i < pool_.size(); ++i) {
+      if (!pool_[i].in_use) continue;
+      s.u32(i);
+      pool_[i].packet.save(s);
+    }
+  }
+
  private:
   struct Job {
     net::Packet packet;

@@ -61,6 +61,18 @@ class Emcy {
   void begin_outage() { engine_.begin_outage(); }
   void end_outage() { engine_.end_outage(); }
 
+  /// Serializes the whole PE: memory digest, OBU, DMA, thread engine,
+  /// and (when armed) the reliability channel ledgers.
+  void save(snapshot::Serializer& s) const {
+    s.u64(accepted_);
+    memory_.save(s);
+    obu_.save(s);
+    dma_.save(s);
+    engine_.save(s);
+    s.boolean(channel_ != nullptr);
+    if (channel_ != nullptr) channel_->save(s);
+  }
+
  private:
   const MachineConfig& config_;
   ProcId proc_;

@@ -20,6 +20,7 @@
 
 #include "common/assert.hpp"
 #include "common/types.hpp"
+#include "snapshot/serializer.hpp"
 
 namespace emx::proc {
 
@@ -68,6 +69,13 @@ class ExecutionUnit {
     Cycle idle = idle_cycles_;
     if (!busy_ && end_time > idle_since_) idle += end_time - idle_since_;
     return idle;
+  }
+
+  void save(snapshot::Serializer& s) const {
+    s.boolean(busy_);
+    s.u64(idle_since_);
+    s.u64(idle_cycles_);
+    for (Cycle c : buckets_) s.u64(c);
   }
 
  private:

@@ -44,6 +44,14 @@ class InputBufferUnit {
   }
   std::size_t spilled_now() const { return high_.spilled() + normal_.spilled(); }
 
+  void save(snapshot::Serializer& s) const {
+    s.u64(received_);
+    for (const auto* fifo : {&high_, &normal_}) {
+      s.u32(static_cast<std::uint32_t>(fifo->size()));
+      for (std::size_t i = 0; i < fifo->size(); ++i) fifo->at(i).save(s);
+    }
+  }
+
  private:
   SpillingFifo<net::Packet> high_;
   SpillingFifo<net::Packet> normal_;

@@ -11,6 +11,7 @@
 #include <cstdint>
 
 #include "common/types.hpp"
+#include "snapshot/serializer.hpp"
 
 namespace emx::proc {
 
@@ -29,6 +30,13 @@ class MatchingUnit {
   std::uint64_t invocations() const { return invocations_; }
   std::uint64_t resumptions() const { return resumptions_; }
   std::uint64_t matches() const { return matches_; }
+
+  void save(snapshot::Serializer& s) const {
+    s.u64(dispatches_);
+    s.u64(invocations_);
+    s.u64(resumptions_);
+    s.u64(matches_);
+  }
 
  private:
   Cycle dispatch_cycles_;

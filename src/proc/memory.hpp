@@ -9,6 +9,7 @@
 
 #include "common/assert.hpp"
 #include "common/types.hpp"
+#include "snapshot/serializer.hpp"
 
 namespace emx::proc {
 
@@ -52,6 +53,15 @@ class Memory {
   }
 
   void clear() { std::fill(words_.begin(), words_.end(), 0u); }
+
+  /// Serializes size + content CRC rather than the raw words: at 4 MB per
+  /// PE a full image would dominate the checkpoint, and the
+  /// restore-by-replay design only needs to *verify* memory, for which
+  /// the digest is as strong a witness as the bytes.
+  void save(snapshot::Serializer& s) const {
+    s.u64(words_.size());
+    s.u32(snapshot::crc32(words_.data(), words_.size() * sizeof(Word)));
+  }
 
  private:
   std::vector<Word> words_;

@@ -38,6 +38,23 @@ class OutputBufferUnit {
 
   std::uint64_t packets_sent() const { return sent_; }
 
+  /// Serializes counters plus every in-flight (accepted, not yet
+  /// released) packet with its pool slot. Slot assignment comes from the
+  /// free-list, which evolves deterministically with the run history, so
+  /// two identical runs serialize identically.
+  void save(snapshot::Serializer& s) const {
+    s.u64(sent_);
+    std::uint32_t live = 0;
+    for (const Outgoing& o : pool_)
+      if (o.in_use) ++live;
+    s.u32(live);
+    for (std::uint32_t i = 0; i < pool_.size(); ++i) {
+      if (!pool_[i].in_use) continue;
+      s.u32(i);
+      pool_[i].packet.save(s);
+    }
+  }
+
  private:
   struct Outgoing {
     net::Packet packet;

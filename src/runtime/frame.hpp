@@ -13,6 +13,7 @@
 
 #include "common/types.hpp"
 #include "runtime/task.hpp"
+#include "snapshot/serializer.hpp"
 
 namespace emx::rt {
 
@@ -62,6 +63,28 @@ class FramePool {
   /// Appends one line per live (non-free) record, in slot order
   /// (deterministic), for the watchdog's hang diagnosis.
   void append_live(std::string& out) const;
+
+  /// Serializes pool counters plus every record's architectural state in
+  /// slot order. The coroutine handle (the thread's code position and
+  /// saved locals) is NOT serializable — that is the reason restore works
+  /// by deterministic replay; everything around the handle is still
+  /// pinned byte-for-byte here.
+  void save(snapshot::Serializer& s) const {
+    s.u64(created_);
+    s.u64(live_);
+    s.u64(peak_live_);
+    s.u32(static_cast<std::uint32_t>(records_.size()));
+    for (const ThreadRecord& r : records_) {
+      s.u32(r.id);
+      s.u32(r.parent);
+      s.u8(static_cast<std::uint8_t>(r.state));
+      s.u32(r.reply_value);
+      s.u32(r.reply_value2);
+      s.u8(r.replies_pending);
+      s.u32(r.pending_tag);
+      s.u32(r.next_free);
+    }
+  }
 
  private:
   std::deque<ThreadRecord> records_;  // stable addresses

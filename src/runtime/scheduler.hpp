@@ -134,6 +134,33 @@ class ThreadEngine {
   /// Retires the frame region previously marked at `base`.
   void note_frame_drop(ThreadRecord* r, LocalAddr base);
 
+  /// Serializes the engine's architectural state: frames, IBU, MU/EXU
+  /// accounting, barrier bookkeeping, switch counters, and the packets in
+  /// mid-dispatch. Coroutine frames are pinned indirectly through the
+  /// FramePool record state (see FramePool::save).
+  void save(snapshot::Serializer& s) const {
+    s.boolean(frozen_);
+    current_packet_.save(s);
+    em4_pending_.save(s);
+    s.u32(barrier_.expected);
+    s.u32(barrier_.joined);
+    s.u32(barrier_.passed);
+    s.u8(barrier_.sense);
+    s.u64(barrier_.episodes);
+    s.u32(barrier_coordinator_);
+    s.u32(barrier_join_entry_);
+    s.u64(switches_.remote_read);
+    s.u64(switches_.thread_sync);
+    s.u64(switches_.iter_sync);
+    s.u64(reads_issued_);
+    s.u64(stale_wakes_);
+    s.u64(explicit_yields_);
+    ibu_.save(s);
+    mu_.save(s);
+    exu_.save(s);
+    frames_.save(s);
+  }
+
  private:
   static constexpr std::uint32_t kGateWakeTag = 0xFFFFFFFEu;
   static constexpr std::uint32_t kBarrierPollTag = 0xFFFFFFFDu;

@@ -1,10 +1,35 @@
 #include "sim/event_queue.hpp"
 
+#include <algorithm>
 #include <utility>
 
 #include "common/assert.hpp"
 
 namespace emx::sim {
+
+std::uint32_t EventFnTable::register_fn(EventFn fn, void* ctx) {
+  const std::uint32_t existing = id_of(fn, ctx);
+  if (existing != 0) return existing;
+  entries_.push_back(Entry{fn, ctx});
+  return static_cast<std::uint32_t>(entries_.size());
+}
+
+std::uint32_t EventFnTable::id_of(EventFn fn, void* ctx) const {
+  for (std::size_t i = 0; i < entries_.size(); ++i)
+    if (entries_[i].fn == fn && entries_[i].ctx == ctx)
+      return static_cast<std::uint32_t>(i + 1);
+  return 0;
+}
+
+EventFn EventFnTable::fn_of(std::uint32_t id) const {
+  EMX_CHECK(id >= 1 && id <= entries_.size(), "unknown event fn id");
+  return entries_[id - 1].fn;
+}
+
+void* EventFnTable::ctx_of(std::uint32_t id) const {
+  EMX_CHECK(id >= 1 && id <= entries_.size(), "unknown event fn id");
+  return entries_[id - 1].ctx;
+}
 
 std::uint64_t EventQueue::push(Cycle time, EventFn fn, void* ctx,
                                std::uint64_t a, std::uint64_t b) {
@@ -53,6 +78,48 @@ void EventQueue::clear() {
   heap_.clear();
   cancelled_.clear();
   next_seq_ = 0;
+}
+
+void EventQueue::save(snapshot::Serializer& s, const EventFnTable* table) const {
+  s.u64(next_seq_);
+  s.u32(static_cast<std::uint32_t>(heap_.size()));
+  for (const Event& ev : heap_) {
+    s.u64(ev.time);
+    s.u64(ev.seq);
+    s.u32(table != nullptr ? table->id_of(ev.fn, ev.ctx) : 0);
+    s.u64(ev.a);
+    s.u64(ev.b);
+  }
+  // unordered_set iteration order is not deterministic; sort before
+  // writing so identical queues always serialize identically.
+  std::vector<std::uint64_t> cancelled(cancelled_.begin(), cancelled_.end());
+  std::sort(cancelled.begin(), cancelled.end());
+  s.u32(static_cast<std::uint32_t>(cancelled.size()));
+  for (std::uint64_t id : cancelled) s.u64(id);
+}
+
+bool EventQueue::load(snapshot::Deserializer& d, const EventFnTable& table) {
+  clear();
+  next_seq_ = d.u64();
+  const std::uint32_t heap_count = d.u32();
+  heap_.reserve(heap_count);
+  for (std::uint32_t i = 0; i < heap_count; ++i) {
+    Event ev;
+    ev.time = d.u64();
+    ev.seq = d.u64();
+    const std::uint32_t fn_id = d.u32();
+    ev.a = d.u64();
+    ev.b = d.u64();
+    if (!d.ok() || fn_id == 0 || fn_id > table.count()) return false;
+    ev.fn = table.fn_of(fn_id);
+    ev.ctx = table.ctx_of(fn_id);
+    // Records are written in storage order, so appending rebuilds the
+    // exact same heap array — no re-heapify, identical tie-breaks.
+    heap_.push_back(ev);
+  }
+  const std::uint32_t cancel_count = d.u32();
+  for (std::uint32_t i = 0; i < cancel_count; ++i) cancelled_.insert(d.u64());
+  return d.ok();
 }
 
 void EventQueue::sift_up(std::size_t i) {

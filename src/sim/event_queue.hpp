@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "common/types.hpp"
+#include "snapshot/serializer.hpp"
 
 namespace emx::sim {
 
@@ -29,6 +30,34 @@ struct Event {
   void* ctx = nullptr;
   std::uint64_t a = 0;
   std::uint64_t b = 0;
+};
+
+/// Translates event handler/context pointers to stable ids for
+/// serialization. Pointers differ across processes, so a snapshot stores
+/// (fn_id, ctx_id) pairs; a table built the same way in the loading
+/// process maps them back. Machine-level snapshots skip the table (ids
+/// 0) because checkpoints restore by deterministic replay, not by
+/// re-materializing events — the table exists so unit tests can prove
+/// the queue itself round-trips exactly.
+class EventFnTable {
+ public:
+  /// Registers a handler/context pair; returns its stable id (>= 1).
+  /// Registering the same pair twice returns the same id.
+  std::uint32_t register_fn(EventFn fn, void* ctx);
+
+  /// Id for a pair, or 0 when unregistered.
+  std::uint32_t id_of(EventFn fn, void* ctx) const;
+  /// Pair for an id; id must be a value register_fn() returned.
+  EventFn fn_of(std::uint32_t id) const;
+  void* ctx_of(std::uint32_t id) const;
+  std::size_t count() const { return entries_.size(); }
+
+ private:
+  struct Entry {
+    EventFn fn = nullptr;
+    void* ctx = nullptr;
+  };
+  std::vector<Entry> entries_;  // index + 1 == id
 };
 
 /// Min-heap on (time, seq).
@@ -53,6 +82,19 @@ class EventQueue {
   Event pop();
 
   void clear();
+
+  /// Serializes the full queue state: heap records in storage order
+  /// (heap layout is deterministic for identical push/pop histories),
+  /// the cancelled set sorted by id, and the sequence counter. With a
+  /// table, each record also carries its (fn, ctx) id so load() can
+  /// re-materialize it; without one, fn ids are written as 0 and the
+  /// payload still pins times/seqs/args — a strong digest for the
+  /// restore-verify path, which never re-materializes events.
+  void save(snapshot::Serializer& s, const EventFnTable* table) const;
+
+  /// Restores a queue saved *with* a table. Returns false when the
+  /// payload is malformed or references a handler the table lacks.
+  bool load(snapshot::Deserializer& d, const EventFnTable& table);
 
  private:
   static bool later(const Event& lhs, const Event& rhs) {

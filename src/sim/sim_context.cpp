@@ -10,8 +10,9 @@ void SimContext::dispatch_one() {
   ev.fn(ev.ctx, ev.a, ev.b);
 }
 
-StopReason SimContext::run_until_idle(std::uint64_t max_events) {
+StopReason SimContext::run_until_idle(std::uint64_t max_events, Cycle pause_at) {
   while (!queue_.empty()) {
+    if (pause_at != 0 && queue_.top().time > pause_at) return StopReason::kPaused;
     dispatch_one();
     if (max_events != 0 && processed_ >= max_events) {
       EMX_CHECK(false, "simulation exceeded event budget (possible livelock)");
@@ -36,6 +37,22 @@ void SimContext::reset() {
   processed_ = 0;
   last_progress_ = 0;
   queue_.clear();
+}
+
+void SimContext::save(snapshot::Serializer& s, const EventFnTable* table) const {
+  s.u64(now_);
+  s.u64(processed_);
+  s.u64(watchdog_window_);
+  s.u64(last_progress_);
+  queue_.save(s, table);
+}
+
+bool SimContext::load(snapshot::Deserializer& d, const EventFnTable& table) {
+  now_ = d.u64();
+  processed_ = d.u64();
+  watchdog_window_ = d.u64();
+  last_progress_ = d.u64();
+  return d.ok() && queue_.load(d, table);
 }
 
 }  // namespace emx::sim

@@ -14,6 +14,7 @@ namespace emx::sim {
 enum class StopReason {
   kIdle,      ///< the event queue drained (normal quiescence)
   kWatchdog,  ///< armed watchdog saw no forward progress for its window
+  kPaused,    ///< reached a requested pause cycle with events still pending
 };
 
 class SimContext {
@@ -72,7 +73,14 @@ class SimContext {
 
   /// Runs events until the queue drains or the armed watchdog trips.
   /// `max_events` guards against runaway simulations (0 = unlimited).
-  StopReason run_until_idle(std::uint64_t max_events = 0);
+  ///
+  /// `pause_at` (0 = never) makes the loop return StopReason::kPaused
+  /// *before* dispatching the first event with time > pause_at: the
+  /// clock stays at the last dispatched event's time and every event at
+  /// or before the pause cycle has fired. The boundary depends only on
+  /// event times, so two runs of the same program pause in identical
+  /// states — the property checkpointing and record-replay build on.
+  StopReason run_until_idle(std::uint64_t max_events = 0, Cycle pause_at = 0);
 
   /// Runs events with time <= `deadline`; clock ends at
   /// min(deadline, last event time).
@@ -80,6 +88,15 @@ class SimContext {
 
   /// Resets clock and queue (for test reuse).
   void reset();
+
+  /// Serializes clock, counters, and the queue. Machine snapshots pass
+  /// no fn table (see EventQueue::save); the queue payload still pins
+  /// every pending time/seq/arg.
+  void save(snapshot::Serializer& s, const EventFnTable* table) const;
+
+  /// Restores state saved with a table. Returns false on a malformed
+  /// payload or unknown handler id.
+  bool load(snapshot::Deserializer& d, const EventFnTable& table);
 
  private:
   void dispatch_one();

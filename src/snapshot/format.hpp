@@ -1,0 +1,84 @@
+// The snapshot container: a tagged, versioned, CRC-guarded section file.
+//
+// One format carries both artifact kinds the subsystem produces:
+//   * checkpoints  — a run manifest plus one state section per machine
+//     component, written by `emx_run --checkpoint-every` and by the
+//     automatic crash dump on watchdog / checker exits;
+//   * recordings   — a run manifest plus periodic per-component digest
+//     frames, written by `emx_run --record` and diffed by `--replay`.
+//
+// Layout (all integers little-endian):
+//   u32 magic "EMXS"   u32 format_version   u32 kind   u32 section_count
+//   sections: { str name, u32 payload_size, payload bytes, u32 crc32 }
+//   u32 file_crc  (over every byte before it)
+//
+// Versioning / compatibility policy (docs/CHECKPOINT.md):
+//   * kFormatVersion bumps whenever any section's encoding changes;
+//   * the reader keeps a loader shim per historical version —
+//     supported_versions() must cover 1..kFormatVersion, and the golden
+//     format test (tests/snapshot/golden_format_test.cpp) fails the build
+//     of anyone who bumps the version without adding the shim;
+//   * section payloads are opaque here; consumers version their own
+//     encodings through the format version.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "snapshot/serializer.hpp"
+
+namespace emx::snapshot {
+
+inline constexpr std::uint32_t kMagic = 0x53584D45u;  // "EMXS" little-endian
+inline constexpr std::uint32_t kFormatVersion = 1;
+
+enum class FileKind : std::uint32_t {
+  kCheckpoint = 1,  ///< manifest + full per-component state sections
+  kRecording = 2,   ///< manifest + periodic digest frames
+};
+
+struct Section {
+  std::string name;
+  std::vector<std::uint8_t> payload;
+
+  std::uint32_t crc() const { return crc32(payload.data(), payload.size()); }
+};
+
+class SnapshotFile {
+ public:
+  FileKind kind = FileKind::kCheckpoint;
+  /// Version read from disk (== kFormatVersion for freshly built files).
+  std::uint32_t version = kFormatVersion;
+  std::vector<Section> sections;
+
+  void add(std::string name, const Serializer& s) {
+    sections.push_back(Section{std::move(name), s.data()});
+  }
+  const Section* find(std::string_view name) const;
+
+  std::vector<std::uint8_t> encode() const;
+
+  /// Decodes `data` into *this. Returns "" on success, else a readable
+  /// error (bad magic, unsupported version, truncated file, CRC mismatch
+  /// naming the damaged section).
+  std::string decode(const std::uint8_t* data, std::size_t size);
+
+  /// Writes encode() to `path` atomically-ish (tmp + rename). Returns ""
+  /// on success, else an error message.
+  std::string write_file(const std::string& path) const;
+  /// Reads + decodes `path`. Returns "" on success, else an error.
+  std::string read_file(const std::string& path);
+
+  /// Every format version this build can load. The golden format test
+  /// asserts it covers 1..kFormatVersion: bumping kFormatVersion without
+  /// teaching decode() the old layout is a test failure, not a silent
+  /// compatibility break.
+  static std::vector<std::uint32_t> supported_versions();
+
+ private:
+  std::string decode_v1(Deserializer& d);
+};
+
+}  // namespace emx::snapshot

@@ -1,0 +1,320 @@
+#include "snapshot/manifest.hpp"
+
+#include <cstdio>
+
+namespace emx::snapshot {
+
+namespace {
+
+const char* network_name(NetworkModel m) {
+  return m == NetworkModel::kDetailed ? "detailed" : "fast";
+}
+const char* read_service_name(ReadServiceMode m) {
+  return m == ReadServiceMode::kExuThread ? "em4" : "bypass";
+}
+const char* barrier_name(BarrierTopology b) {
+  return b == BarrierTopology::kTree ? "tree" : "central";
+}
+
+}  // namespace
+
+void RunManifest::save(Serializer& s) const {
+  s.str(app);
+  s.u64(size_per_proc);
+  s.u32(threads);
+  s.u32(iterations);
+  s.u64(seed);
+  s.boolean(block_reads);
+  s.boolean(local_phase);
+
+  s.u32(config.proc_count);
+  s.u64(config.memory_words);
+  s.u8(static_cast<std::uint8_t>(config.network));
+  s.u8(static_cast<std::uint8_t>(config.read_service));
+  s.u8(static_cast<std::uint8_t>(config.barrier));
+  s.u64(config.ibu_fifo_depth);
+  s.u64(config.obu_fifo_depth);
+  s.f64(config.clock_hz);
+  s.u64(config.packet_gen_cycles);
+  s.u64(config.local_mem_cycles);
+  s.u64(config.obu_cycles);
+  s.u64(config.switch_save_cycles);
+  s.u64(config.mu_dispatch_cycles);
+  s.u64(config.match_store_cycles);
+  s.u64(config.dma_service_cycles);
+  s.u64(config.dma_interval_cycles);
+  s.u64(config.dma_block_word_cycles);
+  s.u64(config.exu_read_service_cycles);
+  s.u64(config.self_loop_cycles);
+  s.u64(config.port_interval_cycles);
+  s.u64(config.barrier_poll_interval);
+  s.u64(config.barrier_check_cycles);
+  s.boolean(config.priority_replies);
+
+  const auto& f = config.fault;
+  s.u64(f.seed);
+  s.f64(f.drop_rate);
+  s.f64(f.duplicate_rate);
+  s.f64(f.corrupt_rate);
+  s.u64(f.jitter_max_cycles);
+  s.u32(static_cast<std::uint32_t>(f.stalls.size()));
+  for (const auto& w : f.stalls) {
+    s.u32(w.src);
+    s.u32(w.dst);
+    s.u64(w.begin);
+    s.u64(w.end);
+  }
+  s.u32(static_cast<std::uint32_t>(f.scheduled.size()));
+  for (const auto& sch : f.scheduled) {
+    s.u64(sch.nth);
+    s.u8(static_cast<std::uint8_t>(sch.kind));
+    s.boolean(sch.filtered);
+    s.u8(static_cast<std::uint8_t>(sch.only));
+  }
+  s.u32(static_cast<std::uint32_t>(f.outages.size()));
+  for (const auto& w : f.outages) {
+    s.u32(w.pe);
+    s.u64(w.begin);
+    s.u64(w.end);
+  }
+  s.boolean(f.reliability);
+  s.u64(f.timeout_cycles);
+  s.u32(f.backoff_mult);
+  s.u32(f.max_retries);
+
+  s.boolean(config.check.memcheck);
+  s.boolean(config.check.race);
+  s.boolean(config.check.deadlock);
+  s.boolean(config.check.lint);
+
+  s.u64(config.max_events);
+  s.u64(config.watchdog_cycles);
+}
+
+bool RunManifest::load(Deserializer& d) {
+  app = d.str();
+  size_per_proc = d.u64();
+  threads = d.u32();
+  iterations = d.u32();
+  seed = d.u64();
+  block_reads = d.boolean();
+  local_phase = d.boolean();
+
+  config.proc_count = d.u32();
+  config.memory_words = d.u64();
+  config.network = static_cast<NetworkModel>(d.u8());
+  config.read_service = static_cast<ReadServiceMode>(d.u8());
+  config.barrier = static_cast<BarrierTopology>(d.u8());
+  config.ibu_fifo_depth = d.u64();
+  config.obu_fifo_depth = d.u64();
+  config.clock_hz = d.f64();
+  config.packet_gen_cycles = d.u64();
+  config.local_mem_cycles = d.u64();
+  config.obu_cycles = d.u64();
+  config.switch_save_cycles = d.u64();
+  config.mu_dispatch_cycles = d.u64();
+  config.match_store_cycles = d.u64();
+  config.dma_service_cycles = d.u64();
+  config.dma_interval_cycles = d.u64();
+  config.dma_block_word_cycles = d.u64();
+  config.exu_read_service_cycles = d.u64();
+  config.self_loop_cycles = d.u64();
+  config.port_interval_cycles = d.u64();
+  config.barrier_poll_interval = d.u64();
+  config.barrier_check_cycles = d.u64();
+  config.priority_replies = d.boolean();
+
+  auto& f = config.fault;
+  f.seed = d.u64();
+  f.drop_rate = d.f64();
+  f.duplicate_rate = d.f64();
+  f.corrupt_rate = d.f64();
+  f.jitter_max_cycles = d.u64();
+  // A corrupt count must not balloon allocation: each entry has a known
+  // wire size, so counts are capped by the remaining payload.
+  std::uint32_t n = d.u32();
+  if (n > d.remaining() / 24) return false;
+  f.stalls.clear();
+  for (std::uint32_t i = 0; i < n; ++i) {
+    fault::StallWindow w;
+    w.src = d.u32();
+    w.dst = d.u32();
+    w.begin = d.u64();
+    w.end = d.u64();
+    f.stalls.push_back(w);
+  }
+  n = d.u32();
+  if (n > d.remaining() / 11) return false;
+  f.scheduled.clear();
+  for (std::uint32_t i = 0; i < n; ++i) {
+    fault::ScheduledFault sch;
+    sch.nth = d.u64();
+    sch.kind = static_cast<fault::FaultKind>(d.u8());
+    sch.filtered = d.boolean();
+    sch.only = static_cast<net::PacketKind>(d.u8());
+    f.scheduled.push_back(sch);
+  }
+  n = d.u32();
+  if (n > d.remaining() / 20) return false;
+  f.outages.clear();
+  for (std::uint32_t i = 0; i < n; ++i) {
+    fault::OutageWindow w;
+    w.pe = d.u32();
+    w.begin = d.u64();
+    w.end = d.u64();
+    f.outages.push_back(w);
+  }
+  f.reliability = d.boolean();
+  f.timeout_cycles = d.u64();
+  f.backoff_mult = d.u32();
+  f.max_retries = d.u32();
+
+  config.check.memcheck = d.boolean();
+  config.check.race = d.boolean();
+  config.check.deadlock = d.boolean();
+  config.check.lint = d.boolean();
+
+  config.max_events = d.u64();
+  config.watchdog_cycles = d.u64();
+  return d.ok();
+}
+
+std::string RunManifest::diff(const RunManifest& other) const {
+  std::string out;
+  const auto str_field = [&out](const char* name, const std::string& a,
+                                const std::string& b) {
+    if (a != b) out += std::string("  ") + name + ": " + a + " vs " + b + "\n";
+  };
+  const auto u64_field = [&out](const char* name, std::uint64_t a,
+                                std::uint64_t b) {
+    if (a != b) {
+      char line[160];
+      std::snprintf(line, sizeof line, "  %s: %llu vs %llu\n", name,
+                    static_cast<unsigned long long>(a),
+                    static_cast<unsigned long long>(b));
+      out += line;
+    }
+  };
+  const auto f64_field = [&out](const char* name, double a, double b) {
+    if (a != b) {
+      char line[160];
+      std::snprintf(line, sizeof line, "  %s: %g vs %g\n", name, a, b);
+      out += line;
+    }
+  };
+  const auto bool_field = [&str_field](const char* name, bool a, bool b) {
+    str_field(name, a ? "true" : "false", b ? "true" : "false");
+  };
+
+  str_field("app", app, other.app);
+  u64_field("size-per-proc", size_per_proc, other.size_per_proc);
+  u64_field("threads", threads, other.threads);
+  u64_field("iterations", iterations, other.iterations);
+  u64_field("seed", seed, other.seed);
+  bool_field("block-reads", block_reads, other.block_reads);
+  bool_field("local-phase", local_phase, other.local_phase);
+
+  u64_field("procs", config.proc_count, other.config.proc_count);
+  u64_field("memory-words", config.memory_words, other.config.memory_words);
+  str_field("network", network_name(config.network),
+            network_name(other.config.network));
+  str_field("read-service", read_service_name(config.read_service),
+            read_service_name(other.config.read_service));
+  str_field("barrier", barrier_name(config.barrier),
+            barrier_name(other.config.barrier));
+  u64_field("ibu-fifo-depth", config.ibu_fifo_depth, other.config.ibu_fifo_depth);
+  u64_field("obu-fifo-depth", config.obu_fifo_depth, other.config.obu_fifo_depth);
+  f64_field("clock-hz", config.clock_hz, other.config.clock_hz);
+  u64_field("packet-gen", config.packet_gen_cycles, other.config.packet_gen_cycles);
+  u64_field("local-mem", config.local_mem_cycles, other.config.local_mem_cycles);
+  u64_field("obu", config.obu_cycles, other.config.obu_cycles);
+  u64_field("switch-save", config.switch_save_cycles,
+            other.config.switch_save_cycles);
+  u64_field("mu-dispatch", config.mu_dispatch_cycles,
+            other.config.mu_dispatch_cycles);
+  u64_field("match-store", config.match_store_cycles,
+            other.config.match_store_cycles);
+  u64_field("dma-service", config.dma_service_cycles,
+            other.config.dma_service_cycles);
+  u64_field("dma-interval", config.dma_interval_cycles,
+            other.config.dma_interval_cycles);
+  u64_field("dma-block-word", config.dma_block_word_cycles,
+            other.config.dma_block_word_cycles);
+  u64_field("exu-read-service", config.exu_read_service_cycles,
+            other.config.exu_read_service_cycles);
+  u64_field("self-loop", config.self_loop_cycles, other.config.self_loop_cycles);
+  u64_field("port-interval", config.port_interval_cycles,
+            other.config.port_interval_cycles);
+  u64_field("poll-interval", config.barrier_poll_interval,
+            other.config.barrier_poll_interval);
+  u64_field("barrier-check", config.barrier_check_cycles,
+            other.config.barrier_check_cycles);
+  bool_field("priority-replies", config.priority_replies,
+             other.config.priority_replies);
+
+  u64_field("fault-seed", config.fault.seed, other.config.fault.seed);
+  f64_field("fault-drop-rate", config.fault.drop_rate,
+            other.config.fault.drop_rate);
+  f64_field("fault-dup-rate", config.fault.duplicate_rate,
+            other.config.fault.duplicate_rate);
+  f64_field("fault-corrupt-rate", config.fault.corrupt_rate,
+            other.config.fault.corrupt_rate);
+  u64_field("fault-jitter-max", config.fault.jitter_max_cycles,
+            other.config.fault.jitter_max_cycles);
+  u64_field("fault-stall-count", config.fault.stalls.size(),
+            other.config.fault.stalls.size());
+  u64_field("fault-scheduled-count", config.fault.scheduled.size(),
+            other.config.fault.scheduled.size());
+  u64_field("fault-outage-count", config.fault.outages.size(),
+            other.config.fault.outages.size());
+  if (config.fault.stalls.size() == other.config.fault.stalls.size()) {
+    for (std::size_t i = 0; i < config.fault.stalls.size(); ++i) {
+      const auto& a = config.fault.stalls[i];
+      const auto& b = other.config.fault.stalls[i];
+      if (a.src != b.src || a.dst != b.dst || a.begin != b.begin || a.end != b.end) {
+        char line[96];
+        std::snprintf(line, sizeof line, "  fault-stall[%zu]: windows differ\n", i);
+        out += line;
+      }
+    }
+  }
+  if (config.fault.scheduled.size() == other.config.fault.scheduled.size()) {
+    for (std::size_t i = 0; i < config.fault.scheduled.size(); ++i) {
+      const auto& a = config.fault.scheduled[i];
+      const auto& b = other.config.fault.scheduled[i];
+      if (a.nth != b.nth || a.kind != b.kind || a.filtered != b.filtered ||
+          a.only != b.only) {
+        char line[96];
+        std::snprintf(line, sizeof line, "  fault-scheduled[%zu]: entries differ\n",
+                      i);
+        out += line;
+      }
+    }
+  }
+  if (config.fault.outages.size() == other.config.fault.outages.size()) {
+    for (std::size_t i = 0; i < config.fault.outages.size(); ++i) {
+      const auto& a = config.fault.outages[i];
+      const auto& b = other.config.fault.outages[i];
+      if (a.pe != b.pe || a.begin != b.begin || a.end != b.end) {
+        char line[96];
+        std::snprintf(line, sizeof line, "  fault-outage[%zu]: windows differ\n", i);
+        out += line;
+      }
+    }
+  }
+  bool_field("fault-reliability", config.fault.reliability,
+             other.config.fault.reliability);
+  u64_field("fault-timeout", config.fault.timeout_cycles,
+            other.config.fault.timeout_cycles);
+  u64_field("fault-backoff-mult", config.fault.backoff_mult,
+            other.config.fault.backoff_mult);
+  u64_field("fault-max-retries", config.fault.max_retries,
+            other.config.fault.max_retries);
+
+  str_field("check", config.check.summary(), other.config.check.summary());
+  u64_field("max-events", config.max_events, other.config.max_events);
+  u64_field("watchdog", config.watchdog_cycles, other.config.watchdog_cycles);
+  return out;
+}
+
+}  // namespace emx::snapshot

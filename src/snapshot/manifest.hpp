@@ -1,0 +1,47 @@
+// RunManifest — everything needed to rebuild a run from scratch.
+//
+// EM-X threads are C++20 coroutines; their frames cannot be portably
+// serialized. A checkpoint therefore stores the *recipe* (this manifest:
+// workload + every MachineConfig knob, seeds included) alongside the
+// per-component state sections, and resume re-executes the recipe up to
+// the checkpoint cycle, then verifies the rebuilt machine byte-for-byte
+// against the saved sections. The manifest is the part that makes the
+// re-execution possible; the sections are the part that proves it landed
+// in the same state.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/config.hpp"
+#include "snapshot/serializer.hpp"
+
+namespace emx::snapshot {
+
+struct RunManifest {
+  // --- workload ---
+  std::string app;  ///< sort | fft | fft-cyclic | jacobi
+  std::uint64_t size_per_proc = 0;
+  std::uint32_t threads = 0;
+  std::uint32_t iterations = 0;  ///< jacobi sweeps
+  std::uint64_t seed = 0;
+  bool block_reads = false;  ///< sort variant
+  bool local_phase = true;   ///< fft local iterations
+
+  // --- machine (every knob, including fault plan and checkers) ---
+  MachineConfig config;
+
+  void save(Serializer& s) const;
+  /// Returns false (with the deserializer's error set) on truncated or
+  /// malformed input. Vector sizes are bounds-checked against the
+  /// remaining payload so a corrupt count cannot balloon allocation.
+  bool load(Deserializer& d);
+
+  /// Human-readable list of fields where *this differs from `other`, one
+  /// "field: ours vs theirs" line each; empty when the manifests agree.
+  /// Drives both the resume conflict report (explicit CLI flags vs the
+  /// snapshot) and replay mismatch diagnostics.
+  std::string diff(const RunManifest& other) const;
+};
+
+}  // namespace emx::snapshot

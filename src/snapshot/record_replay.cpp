@@ -1,0 +1,164 @@
+#include "snapshot/record_replay.hpp"
+
+#include <cstdio>
+
+#include "common/assert.hpp"
+#include "snapshot/snapshot.hpp"
+
+namespace emx::snapshot {
+
+Recorder::Recorder(RunManifest manifest, Cycle interval)
+    : manifest_(std::move(manifest)), interval_(interval) {
+  EMX_CHECK(interval_ > 0, "recording interval must be positive");
+}
+
+void Recorder::frame(const Machine& machine, const trace::DigestSink* digest,
+                     Cycle cycle) {
+  const auto sections = component_sections(machine, digest);
+  if (names_.empty()) {
+    for (const auto& sec : sections) names_.push_back(sec.first);
+  }
+  // The component set is a function of the machine config, which cannot
+  // change mid-run; a mismatch here is a recorder bug, not bad input.
+  EMX_CHECK(sections.size() == names_.size(),
+            "component set changed between digest frames");
+  frames_.u64(cycle);
+  for (const auto& sec : sections) frames_.u32(sec.second.crc());
+  ++frame_count_;
+}
+
+std::string Recorder::write(const std::string& path) const {
+  SnapshotFile file;
+  file.kind = FileKind::kRecording;
+
+  Serializer header;
+  manifest_.save(header);
+  header.u64(interval_);
+  file.add("manifest", header);
+
+  Serializer components;
+  components.u32(static_cast<std::uint32_t>(names_.size()));
+  for (const auto& name : names_) components.str(name);
+  file.add("components", components);
+
+  Serializer frames;
+  frames.u32(frame_count_);
+  frames.bytes(frames_.data().data(), frames_.size());
+  file.add("frames", frames);
+
+  return file.write_file(path);
+}
+
+std::string ReplayVerifier::open(const SnapshotFile& file) {
+  if (file.kind != FileKind::kRecording)
+    return "not a recording (checkpoint files resume, they do not replay)";
+
+  const Section* header = file.find("manifest");
+  if (header == nullptr) return "recording has no manifest section";
+  {
+    Deserializer d(header->payload);
+    if (!manifest_.load(d)) return "recording manifest is malformed";
+    interval_ = d.u64();
+    if (!d.exhausted()) return "recording manifest has trailing bytes";
+    if (interval_ == 0) return "recording has a zero digest interval";
+  }
+
+  const Section* components = file.find("components");
+  if (components == nullptr) return "recording has no components section";
+  {
+    Deserializer d(components->payload);
+    const std::uint32_t n = d.u32();
+    if (n > d.remaining()) return "recording component list is malformed";
+    for (std::uint32_t i = 0; i < n; ++i) names_.push_back(d.str());
+    if (!d.exhausted()) return "recording component list is malformed";
+  }
+  if (names_.empty()) return "recording digested no components";
+
+  const Section* frames = file.find("frames");
+  if (frames == nullptr) return "recording has no frames section";
+  {
+    Deserializer d(frames->payload);
+    const std::uint32_t n = d.u32();
+    const std::size_t frame_bytes = 8 + 4 * names_.size();
+    if (static_cast<std::size_t>(n) * frame_bytes != d.remaining())
+      return "recording frame table is malformed";
+    for (std::uint32_t i = 0; i < n; ++i) {
+      Frame f;
+      f.cycle = d.u64();
+      for (std::size_t c = 0; c < names_.size(); ++c) f.crcs.push_back(d.u32());
+      frames_.push_back(std::move(f));
+    }
+    if (!d.exhausted()) return "recording frame table is malformed";
+  }
+  if (frames_.empty()) return "recording holds no digest frames";
+  return "";
+}
+
+std::string ReplayVerifier::frame(const Machine& machine,
+                                  const trace::DigestSink* digest,
+                                  Cycle cycle) {
+  char buf[192];
+  if (next_ >= frames_.size()) {
+    std::snprintf(buf, sizeof buf,
+                  "replay diverged: live run reached cycle %llu but the "
+                  "recording ends at cycle %llu",
+                  static_cast<unsigned long long>(cycle),
+                  static_cast<unsigned long long>(frames_.back().cycle));
+    return buf;
+  }
+  const Frame& expected = frames_[next_];
+  if (expected.cycle != cycle) {
+    std::snprintf(buf, sizeof buf,
+                  "replay diverged: frame %u was recorded at cycle %llu but "
+                  "the replay paused at cycle %llu",
+                  next_, static_cast<unsigned long long>(expected.cycle),
+                  static_cast<unsigned long long>(cycle));
+    return buf;
+  }
+
+  const auto sections = component_sections(machine, digest);
+  if (sections.size() != names_.size()) {
+    std::snprintf(buf, sizeof buf,
+                  "replay diverged: recording digested %zu components but "
+                  "the replay machine has %zu",
+                  names_.size(), sections.size());
+    return buf;
+  }
+  for (std::size_t c = 0; c < sections.size(); ++c) {
+    if (sections[c].first != names_[c]) {
+      std::snprintf(buf, sizeof buf,
+                    "replay diverged: component %zu is '%s' in the recording "
+                    "but '%s' in the replay",
+                    c, names_[c].c_str(), sections[c].first.c_str());
+      return buf;
+    }
+    const std::uint32_t live = sections[c].second.crc();
+    if (live != expected.crcs[c]) {
+      std::snprintf(buf, sizeof buf,
+                    "replay diverged: %s digest mismatch between cycles %llu "
+                    "and %llu (recorded %08x, replay %08x)",
+                    names_[c].c_str(),
+                    static_cast<unsigned long long>(last_match_),
+                    static_cast<unsigned long long>(cycle), expected.crcs[c],
+                    live);
+      return buf;
+    }
+  }
+  ++next_;
+  last_match_ = cycle;
+  return "";
+}
+
+std::string ReplayVerifier::finish(Cycle end_cycle) const {
+  if (next_ == frames_.size()) return "";
+  char buf[192];
+  std::snprintf(buf, sizeof buf,
+                "replay diverged: live run ended at cycle %llu with %zu of "
+                "%zu recorded frames unchecked (next expected at cycle %llu)",
+                static_cast<unsigned long long>(end_cycle),
+                frames_.size() - next_, frames_.size(),
+                static_cast<unsigned long long>(frames_[next_].cycle));
+  return buf;
+}
+
+}  // namespace emx::snapshot

@@ -1,0 +1,91 @@
+// Record-replay: pinning a run's evolution, not just its end state.
+//
+// A recording is a kRecording snapshot file holding the run manifest plus
+// periodic digest frames: every `interval` cycles (and once more at run
+// end) the Recorder CRCs each component's serialized state and appends
+// {cycle, per-component crc}. The frames are a few dozen bytes each, so
+// recording a multi-million-cycle run costs kilobytes.
+//
+// Replay re-executes the manifest's recipe with a ReplayVerifier pausing
+// at the same cycle schedule. The first frame whose digests disagree
+// names the divergent cycle window *and* the divergent component — "pe7
+// diverged between cycles 196608 and 262144" — which turns "the run went
+// wrong somewhere" into a bounded bisection target.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "snapshot/format.hpp"
+#include "snapshot/manifest.hpp"
+
+namespace emx {
+class Machine;
+namespace trace {
+class DigestSink;
+}
+}  // namespace emx
+
+namespace emx::snapshot {
+
+class Recorder {
+ public:
+  Recorder(RunManifest manifest, Cycle interval);
+
+  /// Appends one digest frame for the machine's current state. `cycle` is
+  /// the schedule point (a multiple of interval(), or the end cycle for
+  /// the final frame) — the replay side pauses at the same points.
+  void frame(const Machine& machine, const trace::DigestSink* digest,
+             Cycle cycle);
+
+  Cycle interval() const { return interval_; }
+  std::uint32_t frame_count() const { return frame_count_; }
+
+  /// Builds the kRecording file and writes it. Returns "" on success.
+  std::string write(const std::string& path) const;
+
+ private:
+  RunManifest manifest_;
+  Cycle interval_;
+  std::vector<std::string> names_;  ///< component order, fixed by 1st frame
+  Serializer frames_;
+  std::uint32_t frame_count_ = 0;
+};
+
+class ReplayVerifier {
+ public:
+  /// Parses a kRecording file. Returns "" on success, else an error.
+  std::string open(const SnapshotFile& file);
+
+  const RunManifest& manifest() const { return manifest_; }
+  Cycle interval() const { return interval_; }
+  std::uint32_t frame_count() const { return static_cast<std::uint32_t>(frames_.size()); }
+  std::uint32_t frames_checked() const { return next_; }
+
+  /// Digests the machine at a schedule point and compares against the
+  /// next recorded frame. Returns "" on match; otherwise a divergence
+  /// report naming the first divergent component and the cycle window.
+  std::string frame(const Machine& machine, const trace::DigestSink* digest,
+                    Cycle cycle);
+
+  /// After the replayed run completes: "" when every recorded frame was
+  /// consumed, else what is missing (the replay ended early/late).
+  std::string finish(Cycle end_cycle) const;
+
+ private:
+  struct Frame {
+    Cycle cycle = 0;
+    std::vector<std::uint32_t> crcs;
+  };
+
+  RunManifest manifest_;
+  Cycle interval_ = 0;
+  std::vector<std::string> names_;
+  std::vector<Frame> frames_;
+  std::uint32_t next_ = 0;  ///< index of the next unchecked frame
+  Cycle last_match_ = 0;    ///< cycle of the last frame that agreed
+};
+
+}  // namespace emx::snapshot

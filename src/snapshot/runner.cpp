@@ -1,0 +1,267 @@
+#include "snapshot/runner.hpp"
+
+#include <cstdio>
+#include <filesystem>
+#include <functional>
+#include <memory>
+
+#include "apps/bitonic.hpp"
+#include "apps/fft.hpp"
+#include "apps/fft_cyclic.hpp"
+#include "apps/jacobi.hpp"
+#include "core/machine.hpp"
+#include "snapshot/record_replay.hpp"
+#include "snapshot/snapshot.hpp"
+#include "trace/trace.hpp"
+
+namespace emx::snapshot {
+
+namespace {
+
+/// Owns whichever application the manifest names; the app object must
+/// outlive the run (worker coroutines hold pointers into it).
+struct Workload {
+  std::unique_ptr<apps::BitonicSortApp> sort;
+  std::unique_ptr<apps::FftApp> fft;
+  std::unique_ptr<apps::CyclicFftApp> fft_cyclic;
+  std::unique_ptr<apps::JacobiApp> jacobi;
+  std::function<bool()> check_result;  ///< null when verification is moot
+};
+
+/// Builds + sets up the manifest's app. Returns "" or an error (exit 2).
+std::string build_workload(Machine& machine, const RunManifest& m,
+                           Workload& w) {
+  const std::uint64_t n = m.size_per_proc * machine.config().proc_count;
+  if (m.app == "sort") {
+    w.sort = std::make_unique<apps::BitonicSortApp>(
+        machine, apps::BitonicParams{.n = n,
+                                     .threads = m.threads,
+                                     .seed = m.seed,
+                                     .use_block_reads = m.block_reads});
+    w.sort->setup();
+    w.check_result = [app = w.sort.get()] { return app->verify(); };
+  } else if (m.app == "fft") {
+    w.fft = std::make_unique<apps::FftApp>(
+        machine, apps::FftParams{.n = n,
+                                 .threads = m.threads,
+                                 .seed = m.seed,
+                                 .include_local_phase = m.local_phase});
+    w.fft->setup();
+    if (m.local_phase)
+      w.check_result = [app = w.fft.get()] { return app->verify_error() < 1e-5; };
+  } else if (m.app == "fft-cyclic") {
+    w.fft_cyclic = std::make_unique<apps::CyclicFftApp>(
+        machine,
+        apps::CyclicFftParams{.n = n, .threads = m.threads, .seed = m.seed});
+    w.fft_cyclic->setup();
+    w.check_result = [app = w.fft_cyclic.get()] {
+      return app->verify_error() < 1e-5;
+    };
+  } else if (m.app == "jacobi") {
+    w.jacobi = std::make_unique<apps::JacobiApp>(
+        machine, apps::JacobiParams{.n = n,
+                                    .threads = m.threads,
+                                    .iterations = m.iterations,
+                                    .seed = m.seed});
+    w.jacobi->setup();
+    w.check_result = [app = w.jacobi.get()] {
+      return app->verify_error() < 1e-6;
+    };
+  } else {
+    return "unknown app in manifest: " + m.app;
+  }
+  return "";
+}
+
+std::string checkpoint_path(const std::string& dir, const std::string& app,
+                            Cycle cycle) {
+  char name[96];
+  std::snprintf(name, sizeof name, "%s-c%012llu.emxsnap", app.c_str(),
+                static_cast<unsigned long long>(cycle));
+  return dir + "/" + name;
+}
+
+}  // namespace
+
+std::string load_manifest(const std::string& path, FileKind expected,
+                          RunManifest& manifest, Cycle& cycle) {
+  SnapshotFile file;
+  std::string err = file.read_file(path);
+  if (!err.empty()) return err;
+  if (file.kind != expected) {
+    return path + ": expected a " +
+           (expected == FileKind::kCheckpoint ? "checkpoint" : "recording") +
+           " but the file is a " +
+           (file.kind == FileKind::kCheckpoint ? "checkpoint" : "recording");
+  }
+  cycle = 0;
+  if (expected == FileKind::kCheckpoint)
+    return read_header(file, manifest, cycle);
+
+  const Section* header = file.find("manifest");
+  if (header == nullptr) return path + ": recording has no manifest section";
+  Deserializer d(header->payload);
+  if (!manifest.load(d)) return path + ": recording manifest is malformed";
+  return "";
+}
+
+RunResult run(const RunOptions& opts) {
+  RunResult r;
+  const RunManifest& m = opts.manifest;
+  const auto fail = [&r](int code, std::string why) {
+    r.exit_code = code;
+    r.error = std::move(why);
+    return r;
+  };
+
+  // --- load resume checkpoint / replay recording up front (exit 2) ---
+  SnapshotFile resume_file;
+  Cycle resume_cycle = 0;
+  bool resume_pending = false;
+  if (!opts.resume_path.empty()) {
+    std::string err = resume_file.read_file(opts.resume_path);
+    if (!err.empty()) return fail(2, err);
+    if (resume_file.kind != FileKind::kCheckpoint)
+      return fail(2, opts.resume_path + ": not a checkpoint file");
+    RunManifest saved;
+    err = read_header(resume_file, saved, resume_cycle);
+    if (!err.empty()) return fail(2, opts.resume_path + ": " + err);
+    const std::string mismatch = saved.diff(m);
+    if (!mismatch.empty())
+      return fail(2, "resume manifest disagrees with the requested run "
+                     "(snapshot vs flags):\n" +
+                         mismatch);
+    resume_pending = true;
+  }
+
+  ReplayVerifier replay;
+  const bool replaying = !opts.replay_path.empty();
+  if (replaying) {
+    SnapshotFile rec;
+    std::string err = rec.read_file(opts.replay_path);
+    if (!err.empty()) return fail(2, err);
+    err = replay.open(rec);
+    if (!err.empty()) return fail(2, opts.replay_path + ": " + err);
+    const std::string mismatch = replay.manifest().diff(m);
+    if (!mismatch.empty())
+      return fail(2, "replay manifest disagrees with the requested run "
+                     "(recording vs flags):\n" +
+                         mismatch);
+  }
+
+  const bool recording = !opts.record_path.empty();
+  const Cycle digest_interval = replaying ? replay.interval() : opts.digest_every;
+  if ((recording || replaying) && digest_interval == 0)
+    return fail(2, "--digest-every must be positive");
+
+  const bool checkpointing = opts.checkpoint_every > 0;
+  if (checkpointing && opts.checkpoint_dir.empty())
+    return fail(2, "--checkpoint-every needs --checkpoint-dir");
+  if (!opts.checkpoint_dir.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(opts.checkpoint_dir, ec);
+    if (ec)
+      return fail(2, "cannot create checkpoint dir " + opts.checkpoint_dir +
+                         ": " + ec.message());
+  }
+
+  // --- build the machine + workload from the manifest ---
+  trace::DigestSink digest(opts.sink);
+  Machine machine(m.config, &digest);
+  Workload workload;
+  {
+    const std::string err = build_workload(machine, m, workload);
+    if (!err.empty()) return fail(2, err);
+  }
+  Recorder recorder(m, digest_interval > 0 ? digest_interval : 1);
+
+  // --- drive run_to() through the union of the pause schedules ---
+  Cycle next_checkpoint = checkpointing ? opts.checkpoint_every : 0;
+  Cycle next_digest = (recording || replaying) ? digest_interval : 0;
+  bool completed = false;
+  while (!completed) {
+    Cycle next = 0;  // 0 = run to completion
+    const auto consider = [&next](Cycle c) {
+      if (c > 0 && (next == 0 || c < next)) next = c;
+    };
+    if (next_checkpoint > 0) consider(next_checkpoint);
+    if (next_digest > 0) consider(next_digest);
+    if (resume_pending) consider(resume_cycle);
+
+    completed = !machine.run_to(next);
+    const Cycle here = completed ? machine.end_cycle() : next;
+
+    if (resume_pending && (completed || here >= resume_cycle)) {
+      // The fast-forward reached the checkpoint's cycle (or the run ended
+      // first, e.g. resuming a crash dump): prove the rebuilt machine is
+      // byte-identical to the saved one before going further.
+      const std::string divergent = verify(machine, &digest, resume_file);
+      if (!divergent.empty())
+        return fail(5, "resume verification failed: section " + divergent);
+      resume_pending = false;
+      if (completed || here > resume_cycle) continue;  // not a scheduled pause
+    }
+    if (completed) break;
+
+    if (next_digest == here) {
+      if (recording) recorder.frame(machine, &digest, here);
+      if (replaying) {
+        const std::string err = replay.frame(machine, &digest, here);
+        if (!err.empty()) return fail(5, err);
+      }
+      next_digest += digest_interval;
+    }
+    if (next_checkpoint == here) {
+      const std::string path = checkpoint_path(opts.checkpoint_dir, m.app, here);
+      const SnapshotFile ckpt = capture(machine, m, here, &digest);
+      const std::string err = ckpt.write_file(path);
+      if (!err.empty()) return fail(2, err);
+      r.checkpoints_written.push_back(path);
+      next_checkpoint += opts.checkpoint_every;
+    }
+  }
+
+  // --- completion: final digest frame, recording write-out, report ---
+  r.end_cycle = machine.end_cycle();
+  if (recording) {
+    recorder.frame(machine, &digest, r.end_cycle);
+    const std::string err = recorder.write(opts.record_path);
+    if (!err.empty()) return fail(2, err);
+  }
+  if (replaying) {
+    std::string err = replay.frame(machine, &digest, r.end_cycle);
+    if (err.empty()) err = replay.finish(r.end_cycle);
+    if (!err.empty()) return fail(5, err);
+  }
+
+  r.report = machine.report();
+  r.report_valid = true;
+  r.trace_events = digest.count();
+  r.trace_crc = digest.crc();
+  // A watchdog-stopped run never quiesced; its result is undefined.
+  if (opts.verify_result && !machine.watchdog_fired() &&
+      workload.check_result) {
+    r.result_checked = true;
+    r.result_ok = workload.check_result();
+  }
+
+  if (r.report.watchdog_fired) {
+    r.exit_code = 4;
+  } else if (r.result_checked && !r.result_ok) {
+    r.exit_code = 1;
+  } else if (r.report.check_enabled && !r.report.check.clean()) {
+    r.exit_code = 3;
+  }
+
+  // Automatic crash dump: a stalled or buggy run leaves its full state
+  // behind for offline forensics, exactly the sections a resume verifies.
+  if ((r.exit_code == 3 || r.exit_code == 4) && !opts.checkpoint_dir.empty()) {
+    const std::string path =
+        opts.checkpoint_dir + "/crash-" + m.app + ".emxsnap";
+    const SnapshotFile dump = capture(machine, m, r.end_cycle, &digest);
+    if (dump.write_file(path).empty()) r.crash_dump_path = path;
+  }
+  return r;
+}
+
+}  // namespace emx::snapshot

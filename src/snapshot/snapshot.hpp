@@ -1,0 +1,64 @@
+// Whole-machine checkpoint capture and verification.
+//
+// capture() walks every live component of a *paused* Machine (see
+// Machine::run_to) and serializes each into its own named section:
+//
+//   manifest   RunManifest + the checkpoint cycle
+//   sim        event queue, clock, watchdog ledger
+//   streams    every registered RNG stream (workload + fault plan)
+//   network    stats + in-flight packets (+ fault plan/ledger when armed)
+//   fault      end-to-end delivery ledger (armed runs only)
+//   checker    analysis shadow state (armed runs only)
+//   trace      digest of every trace event emitted so far
+//   pe0..peN   per-PE EMC-Y state (engine, FIFOs, DMA, memory digest,
+//              reliable channel)
+//
+// Restore is verification, not mutation: coroutine frames cannot be
+// portably revived, so resume re-executes the manifest's recipe up to the
+// checkpoint cycle and verify() then byte-compares the rebuilt machine
+// against every saved section, naming the first divergent component. The
+// same sections double as crash-dump forensics (exit 3/4 dumps).
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/types.hpp"
+#include "snapshot/format.hpp"
+#include "snapshot/manifest.hpp"
+
+namespace emx {
+class Machine;
+namespace trace {
+class DigestSink;
+}
+}  // namespace emx
+
+namespace emx::snapshot {
+
+/// Serializes every live component in capture order ("sim", "streams",
+/// "network", armed-only "fault"/"checker", "trace" when `digest` is
+/// non-null, then "pe0".."peN"). Shared by capture(), verify() and the
+/// record-replay digests so the three can never drift apart.
+std::vector<std::pair<std::string, Serializer>> component_sections(
+    const Machine& machine, const trace::DigestSink* digest);
+
+/// Serializes the machine (paused at `cycle`) into a checkpoint file.
+/// `digest` may be null (no trace section is written then).
+SnapshotFile capture(const Machine& machine, const RunManifest& manifest,
+                     Cycle cycle, const trace::DigestSink* digest);
+
+/// Extracts the manifest and checkpoint cycle. Returns "" on success,
+/// else a readable error (missing/corrupt manifest section).
+std::string read_header(const SnapshotFile& file, RunManifest& manifest,
+                        Cycle& cycle);
+
+/// Re-serializes the live machine and byte-compares it against every
+/// state section in `file`. Returns "" when identical; otherwise the name
+/// of the first divergent section plus the first differing byte offset —
+/// the restore contract's proof obligation and its failure diagnosis.
+std::string verify(const Machine& machine, const trace::DigestSink* digest,
+                   const SnapshotFile& file);
+
+}  // namespace emx::snapshot

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "common/types.hpp"
+#include "snapshot/serializer.hpp"
 
 namespace emx::trace {
 
@@ -68,6 +69,48 @@ class VectorTraceSink final : public TraceSink {
 
  private:
   std::vector<TraceEvent> events_;
+};
+
+/// Folds every event into a running CRC (optionally forwarding to another
+/// sink). The snapshot subsystem uses it to pin the *entire* trace stream
+/// in a few bytes: two runs are trace-identical iff (count, crc) match.
+class DigestSink final : public TraceSink {
+ public:
+  explicit DigestSink(TraceSink* next = nullptr) : next_(next) {}
+
+  void on_event(const TraceEvent& event) override {
+    std::uint8_t buf[22];
+    std::size_t n = 0;
+    auto put64 = [&](std::uint64_t v) {
+      for (int i = 0; i < 8; ++i) buf[n++] = static_cast<std::uint8_t>(v >> (8 * i));
+    };
+    auto put32 = [&](std::uint32_t v) {
+      for (int i = 0; i < 4; ++i) buf[n++] = static_cast<std::uint8_t>(v >> (8 * i));
+    };
+    put64(event.cycle);
+    put32(event.proc);
+    put32(event.thread);
+    buf[n++] = static_cast<std::uint8_t>(event.type);
+    crc_ = snapshot::crc32(buf, n, crc_);
+    std::uint8_t info[8];
+    for (int i = 0; i < 8; ++i) info[i] = static_cast<std::uint8_t>(event.info >> (8 * i));
+    crc_ = snapshot::crc32(info, sizeof info, crc_);
+    ++count_;
+    if (next_ != nullptr) next_->on_event(event);
+  }
+
+  std::uint64_t count() const { return count_; }
+  std::uint32_t crc() const { return crc_; }
+
+  void save(snapshot::Serializer& s) const {
+    s.u64(count_);
+    s.u32(crc_);
+  }
+
+ private:
+  TraceSink* next_;
+  std::uint64_t count_ = 0;
+  std::uint32_t crc_ = 0;
 };
 
 }  // namespace emx::trace

@@ -1,0 +1,110 @@
+#include "common/rng_registry.hpp"
+
+#include <gtest/gtest.h>
+
+#include "snapshot/serializer.hpp"
+
+namespace emx::rng {
+namespace {
+
+TEST(RngRegistry, CreatesOwnedStreamOnFirstUse) {
+  StreamRegistry reg;
+  EXPECT_FALSE(reg.contains("workload.sort"));
+  Rng& a = reg.stream("workload.sort", 42);
+  EXPECT_TRUE(reg.contains("workload.sort"));
+  EXPECT_EQ(reg.count(), 1u);
+
+  // Same name + seed returns the same engine, mid-stream.
+  const std::uint64_t first = a.next_u64();
+  Rng& b = reg.stream("workload.sort", 42);
+  EXPECT_EQ(&a, &b);
+  Rng fresh(42);
+  EXPECT_EQ(first, fresh.next_u64());
+  EXPECT_EQ(b.next_u64(), fresh.next_u64());
+}
+
+TEST(RngRegistry, AdoptRegistersExternalEngine) {
+  StreamRegistry reg;
+  Rng external(7);
+  reg.adopt("fault.plan", &external);
+  EXPECT_TRUE(reg.contains("fault.plan"));
+
+  // Re-adopting replaces the pointer (Machine rebuild on one registry).
+  Rng other(9);
+  reg.adopt("fault.plan", &other);
+  EXPECT_EQ(reg.count(), 1u);
+}
+
+TEST(RngRegistry, NamesAreSorted) {
+  StreamRegistry reg;
+  reg.stream("workload.sort", 1);
+  reg.stream("fault.plan", 2);
+  reg.stream("workload.fft", 3);
+  const auto names = reg.names();
+  ASSERT_EQ(names.size(), 3u);
+  EXPECT_EQ(names[0], "fault.plan");
+  EXPECT_EQ(names[1], "workload.fft");
+  EXPECT_EQ(names[2], "workload.sort");
+}
+
+TEST(RngRegistry, SaveLoadResumesStreamsExactly) {
+  StreamRegistry reg;
+  Rng& sort = reg.stream("workload.sort", 101);
+  Rng adopted_engine(202);
+  reg.adopt("fault.plan", &adopted_engine);
+
+  // Advance both, snapshot, advance further and remember the draws.
+  for (int i = 0; i < 17; ++i) sort.next_u64();
+  for (int i = 0; i < 5; ++i) adopted_engine.next_double();
+  snapshot::Serializer s;
+  reg.save(s);
+  const std::uint64_t sort_next = sort.next_u64();
+  const double plan_next = adopted_engine.next_double();
+
+  // A second registry with the same shape but different positions.
+  StreamRegistry other;
+  Rng& other_sort = other.stream("workload.sort", 101);
+  Rng other_engine(999);
+  other.adopt("fault.plan", &other_engine);
+  other_sort.next_u64();
+
+  snapshot::Deserializer d(s.data());
+  ASSERT_TRUE(other.load(d));
+  EXPECT_TRUE(d.exhausted());
+  EXPECT_EQ(other_sort.next_u64(), sort_next);
+  EXPECT_EQ(other_engine.next_double(), plan_next);
+}
+
+TEST(RngRegistry, LoadRejectsShapeMismatch) {
+  StreamRegistry reg;
+  reg.stream("workload.sort", 1);
+  snapshot::Serializer s;
+  reg.save(s);
+
+  // Missing stream: the loading registry never registered the name.
+  StreamRegistry empty;
+  snapshot::Deserializer d1(s.data());
+  EXPECT_FALSE(empty.load(d1));
+
+  // Count mismatch: the loading registry has an extra stream.
+  StreamRegistry extra;
+  extra.stream("workload.sort", 1);
+  extra.stream("workload.fft", 2);
+  snapshot::Deserializer d2(s.data());
+  EXPECT_FALSE(extra.load(d2));
+}
+
+TEST(RngRegistry, SaveIsByteDeterministic) {
+  const auto snap = [] {
+    StreamRegistry reg;
+    reg.stream("b", 2).next_u64();
+    reg.stream("a", 1).next_u64();
+    snapshot::Serializer s;
+    reg.save(s);
+    return s.data();
+  };
+  EXPECT_EQ(snap(), snap());
+}
+
+}  // namespace
+}  // namespace emx::rng

@@ -1,0 +1,81 @@
+// Format-stability contract: a v1 snapshot written once must load in
+// every future build. The golden file under tests/snapshot/golden/ is
+// checked in and never regenerated; if it stops loading, the format
+// changed without a loader shim.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+
+#include "snapshot/format.hpp"
+#include "snapshot/runner.hpp"
+
+#ifndef EMX_TEST_DATA_DIR
+#error "EMX_TEST_DATA_DIR must point at the tests/ source directory"
+#endif
+
+namespace emx::snapshot {
+namespace {
+
+const char* golden_path() {
+  return EMX_TEST_DATA_DIR "/snapshot/golden/tiny_v1.emxsnap";
+}
+
+TEST(GoldenFormat, EveryHistoricalVersionHasALoader) {
+  // Bumping kFormatVersion obliges a loader shim for the old layout and
+  // an entry here; this is the tripwire that enforces it.
+  const auto versions = SnapshotFile::supported_versions();
+  for (std::uint32_t v = 1; v <= kFormatVersion; ++v) {
+    EXPECT_TRUE(std::find(versions.begin(), versions.end(), v) !=
+                versions.end())
+        << "format version " << v << " has no loader — add a decode shim "
+        << "and list it in supported_versions()";
+  }
+}
+
+TEST(GoldenFormat, CheckedInV1SnapshotStillLoads) {
+  SnapshotFile file;
+  ASSERT_EQ(file.read_file(golden_path()), "")
+      << "the checked-in v1 golden snapshot no longer decodes — the "
+      << "container format changed incompatibly";
+  EXPECT_EQ(file.version, 1u);
+  EXPECT_EQ(file.kind, FileKind::kCheckpoint);
+  ASSERT_NE(file.find("manifest"), nullptr);
+  EXPECT_NE(file.find("sim"), nullptr);
+  EXPECT_NE(file.find("streams"), nullptr);
+  EXPECT_NE(file.find("network"), nullptr);
+  EXPECT_NE(file.find("pe0"), nullptr);
+}
+
+TEST(GoldenFormat, GoldenManifestFieldsSurvive) {
+  RunManifest m;
+  Cycle cycle = 0;
+  ASSERT_EQ(load_manifest(golden_path(), FileKind::kCheckpoint, m, cycle), "")
+      << "the golden snapshot's manifest no longer parses";
+  // The recipe the golden file was generated with (see docs/CHECKPOINT.md).
+  EXPECT_EQ(m.app, "sort");
+  EXPECT_EQ(m.size_per_proc, 16u);
+  EXPECT_EQ(m.threads, 2u);
+  EXPECT_EQ(m.config.proc_count, 4u);
+  EXPECT_GT(cycle, 0u);
+}
+
+TEST(GoldenFormat, GoldenSnapshotResumesAndVerifies) {
+  // The strongest compatibility statement: the old bytes still drive a
+  // full resume, and the byte-verification at the checkpoint cycle still
+  // passes against today's component encodings.
+  RunManifest m;
+  Cycle cycle = 0;
+  ASSERT_EQ(load_manifest(golden_path(), FileKind::kCheckpoint, m, cycle), "");
+
+  RunOptions opts;
+  opts.manifest = m;
+  opts.resume_path = golden_path();
+  const RunResult r = run(opts);
+  EXPECT_EQ(r.exit_code, 0) << r.error;
+  EXPECT_TRUE(r.result_checked);
+  EXPECT_TRUE(r.result_ok);
+}
+
+}  // namespace
+}  // namespace emx::snapshot

@@ -1,0 +1,129 @@
+#include "snapshot/manifest.hpp"
+
+#include <gtest/gtest.h>
+
+namespace emx::snapshot {
+namespace {
+
+RunManifest sample() {
+  RunManifest m;
+  m.app = "fft";
+  m.size_per_proc = 2048;
+  m.threads = 4;
+  m.iterations = 3;
+  m.seed = 77;
+  m.block_reads = true;
+  m.local_phase = false;
+  m.config.proc_count = 64;
+  m.config.network = NetworkModel::kDetailed;
+  m.config.read_service = ReadServiceMode::kExuThread;
+  m.config.barrier = BarrierTopology::kTree;
+  m.config.priority_replies = true;
+  m.config.switch_save_cycles = 7;
+  m.config.fault.seed = 123456;
+  m.config.fault.drop_rate = 0.01;
+  m.config.fault.duplicate_rate = 0.02;
+  m.config.fault.corrupt_rate = 0.005;
+  m.config.fault.jitter_max_cycles = 9;
+  m.config.fault.stalls.push_back(fault::StallWindow{1, 2, 100, 200});
+  m.config.fault.scheduled.push_back(
+      fault::ScheduledFault{5, fault::FaultKind::kDuplicate, true,
+                            net::PacketKind::kInvoke});
+  m.config.fault.outages.push_back(fault::OutageWindow{3, 1000, 2000});
+  m.config.fault.timeout_cycles = 512;
+  m.config.fault.max_retries = 4;
+  m.config.check.memcheck = true;
+  m.config.check.race = true;
+  m.config.watchdog_cycles = 50000;
+  return m;
+}
+
+TEST(RunManifest, SaveLoadRoundTrip) {
+  const RunManifest m = sample();
+  Serializer s;
+  m.save(s);
+
+  RunManifest back;
+  Deserializer d(s.data());
+  ASSERT_TRUE(back.load(d));
+  EXPECT_TRUE(d.exhausted());
+  // diff() compares every field, so an empty diff is the equality proof.
+  EXPECT_EQ(m.diff(back), "");
+  EXPECT_EQ(back.app, "fft");
+  EXPECT_EQ(back.config.proc_count, 64u);
+  ASSERT_EQ(back.config.fault.scheduled.size(), 1u);
+  EXPECT_EQ(back.config.fault.scheduled[0].kind, fault::FaultKind::kDuplicate);
+  EXPECT_TRUE(back.config.check.race);
+}
+
+TEST(RunManifest, DiffNamesEveryDivergentField) {
+  RunManifest a = sample();
+  RunManifest b = sample();
+  b.app = "sort";
+  b.seed = 78;
+  b.config.proc_count = 16;
+  b.config.fault.drop_rate = 0.5;
+
+  const std::string diff = a.diff(b);
+  EXPECT_NE(diff.find("app: fft vs sort"), std::string::npos);
+  EXPECT_NE(diff.find("seed: 77 vs 78"), std::string::npos);
+  EXPECT_NE(diff.find("procs: 64 vs 16"), std::string::npos);
+  EXPECT_NE(diff.find("fault-drop-rate"), std::string::npos);
+  // Fields that agree are not mentioned.
+  EXPECT_EQ(diff.find("threads"), std::string::npos);
+}
+
+TEST(RunManifest, DiffSeesFaultWindowContents) {
+  RunManifest a = sample();
+  RunManifest b = sample();
+  b.config.fault.outages[0].end = 2001;
+  EXPECT_NE(a.diff(b).find("fault-outage[0]"), std::string::npos);
+
+  RunManifest c = sample();
+  c.config.fault.scheduled[0].nth = 6;
+  EXPECT_NE(a.diff(c).find("fault-scheduled[0]"), std::string::npos);
+}
+
+TEST(RunManifest, IdenticalManifestsDiffEmpty) {
+  EXPECT_EQ(sample().diff(sample()), "");
+}
+
+TEST(RunManifest, LoadRejectsTruncation) {
+  const RunManifest m = sample();
+  Serializer s;
+  m.save(s);
+  // Every truncation point must fail cleanly, never crash or accept.
+  for (std::size_t cut : {std::size_t{0}, std::size_t{5}, s.size() / 2,
+                          s.size() - 1}) {
+    RunManifest back;
+    Deserializer d(s.data().data(), cut);
+    EXPECT_FALSE(back.load(d) && d.exhausted()) << "cut at " << cut;
+  }
+}
+
+TEST(RunManifest, LoadRejectsBallooningVectorCount) {
+  const RunManifest m = sample();
+  Serializer s;
+  m.save(s);
+  // The stall-count field claims 2^31 windows; the payload cannot hold
+  // them, so load() must bail before allocating.
+  auto bytes = s.data();
+  // Locate the stall count: it follows app/params + fixed config fields.
+  // Rather than hand-computing the offset, corrupt every u32-aligned
+  // position and require that no mutation produces a crash (some will
+  // still load fine; none may hang or throw).
+  for (std::size_t at = 0; at + 4 <= bytes.size(); at += 16) {
+    auto mutated = bytes;
+    mutated[at] = 0xFF;
+    mutated[at + 1] = 0xFF;
+    mutated[at + 2] = 0xFF;
+    mutated[at + 3] = 0x7F;
+    RunManifest back;
+    Deserializer d(mutated);
+    (void)back.load(d);  // must return, not crash/OOM
+  }
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace emx::snapshot

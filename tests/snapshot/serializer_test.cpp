@@ -1,0 +1,150 @@
+#include "snapshot/serializer.hpp"
+
+#include <gtest/gtest.h>
+
+#include "snapshot/format.hpp"
+
+namespace emx::snapshot {
+namespace {
+
+TEST(Serializer, RoundTripsEveryPrimitive) {
+  Serializer s;
+  s.u8(0xAB);
+  s.u16(0xBEEF);
+  s.u32(0xDEADBEEFu);
+  s.u64(0x0123456789ABCDEFull);
+  s.boolean(true);
+  s.boolean(false);
+  s.f64(-1234.5678e-12);
+  s.str("fine-grain");
+  s.str("");
+
+  Deserializer d(s.data());
+  EXPECT_EQ(d.u8(), 0xAB);
+  EXPECT_EQ(d.u16(), 0xBEEF);
+  EXPECT_EQ(d.u32(), 0xDEADBEEFu);
+  EXPECT_EQ(d.u64(), 0x0123456789ABCDEFull);
+  EXPECT_TRUE(d.boolean());
+  EXPECT_FALSE(d.boolean());
+  EXPECT_EQ(d.f64(), -1234.5678e-12);
+  EXPECT_EQ(d.str(), "fine-grain");
+  EXPECT_EQ(d.str(), "");
+  EXPECT_TRUE(d.exhausted());
+}
+
+TEST(Serializer, LittleEndianLayout) {
+  Serializer s;
+  s.u32(0x04030201u);
+  ASSERT_EQ(s.size(), 4u);
+  EXPECT_EQ(s.data()[0], 0x01);
+  EXPECT_EQ(s.data()[1], 0x02);
+  EXPECT_EQ(s.data()[2], 0x03);
+  EXPECT_EQ(s.data()[3], 0x04);
+}
+
+TEST(Serializer, DoubleTravelsAsExactBits) {
+  Serializer s;
+  s.f64(0.1);  // not exactly representable; bits must survive untouched
+  Deserializer d(s.data());
+  EXPECT_EQ(d.f64(), 0.1);
+}
+
+TEST(Deserializer, StickyErrorOnUnderrun) {
+  Serializer s;
+  s.u16(7);
+  Deserializer d(s.data());
+  EXPECT_EQ(d.u16(), 7);
+  EXPECT_TRUE(d.ok());
+  EXPECT_EQ(d.u32(), 0u);  // overruns: zero + sticky error
+  EXPECT_FALSE(d.ok());
+  EXPECT_EQ(d.u8(), 0u);  // still erroring
+  EXPECT_FALSE(d.exhausted());
+}
+
+TEST(Deserializer, StringLengthIsBoundsChecked) {
+  Serializer s;
+  s.u32(1000);  // claims 1000 bytes, provides none
+  Deserializer d(s.data());
+  EXPECT_EQ(d.str(), "");
+  EXPECT_FALSE(d.ok());
+}
+
+TEST(Crc32, KnownVectorAndChaining) {
+  // The canonical IEEE 802.3 check value.
+  EXPECT_EQ(crc32("123456789", 9), 0xCBF43926u);
+  // Incremental CRC over a split buffer equals the one-shot CRC.
+  const std::uint32_t head = crc32("12345", 5);
+  EXPECT_EQ(crc32("6789", 4, head), 0xCBF43926u);
+}
+
+TEST(SnapshotFormat, EncodeDecodeRoundTrip) {
+  SnapshotFile file;
+  file.kind = FileKind::kCheckpoint;
+  Serializer a, b;
+  a.u64(42);
+  b.str("hello");
+  file.add("alpha", a);
+  file.add("beta", b);
+
+  const auto bytes = file.encode();
+  SnapshotFile decoded;
+  ASSERT_EQ(decoded.decode(bytes.data(), bytes.size()), "");
+  EXPECT_EQ(decoded.kind, FileKind::kCheckpoint);
+  EXPECT_EQ(decoded.version, kFormatVersion);
+  ASSERT_EQ(decoded.sections.size(), 2u);
+  ASSERT_NE(decoded.find("alpha"), nullptr);
+  EXPECT_EQ(decoded.find("alpha")->payload, a.data());
+  ASSERT_NE(decoded.find("beta"), nullptr);
+  EXPECT_EQ(decoded.find("beta")->payload, b.data());
+  EXPECT_EQ(decoded.find("gamma"), nullptr);
+}
+
+TEST(SnapshotFormat, DetectsCorruption) {
+  SnapshotFile file;
+  Serializer a;
+  a.u64(0x1122334455667788ull);
+  file.add("alpha", a);
+  auto bytes = file.encode();
+
+  // Flip one payload byte: the whole-file CRC catches it first.
+  auto corrupt = bytes;
+  corrupt[corrupt.size() / 2] ^= 0x40;
+  SnapshotFile decoded;
+  EXPECT_NE(decoded.decode(corrupt.data(), corrupt.size()), "");
+
+  // Truncation is also an error, not a crash.
+  SnapshotFile truncated;
+  EXPECT_NE(truncated.decode(bytes.data(), bytes.size() - 3), "");
+
+  // Bad magic is reported as such.
+  auto bad_magic = bytes;
+  bad_magic[0] ^= 0xFF;
+  SnapshotFile wrong;
+  const std::string err = wrong.decode(bad_magic.data(), bad_magic.size());
+  EXPECT_NE(err, "");
+}
+
+TEST(SnapshotFormat, WriteReadFile) {
+  const std::string path = ::testing::TempDir() + "emx_format_test.emxsnap";
+  SnapshotFile file;
+  file.kind = FileKind::kRecording;
+  Serializer a;
+  a.str("payload");
+  file.add("only", a);
+  ASSERT_EQ(file.write_file(path), "");
+
+  SnapshotFile back;
+  ASSERT_EQ(back.read_file(path), "");
+  EXPECT_EQ(back.kind, FileKind::kRecording);
+  ASSERT_NE(back.find("only"), nullptr);
+  EXPECT_EQ(back.find("only")->payload, a.data());
+  std::remove(path.c_str());
+}
+
+TEST(SnapshotFormat, MissingFileIsAnError) {
+  SnapshotFile file;
+  EXPECT_NE(file.read_file("/nonexistent/emx/snapshot.emxsnap"), "");
+}
+
+}  // namespace
+}  // namespace emx::snapshot

@@ -2,27 +2,41 @@
 //
 //   $ emx_run --app=sort --procs=16 --size-per-proc=1024 --threads=4
 //   $ emx_run --app=fft --procs=64 --threads=2 --network=detailed
-//   $ emx_run --app=fft-cyclic --report=csv
-//   $ emx_run --app=jacobi --iterations=16 --barrier=tree
+//   $ emx_run --app=sort --checkpoint-every=100000 --checkpoint-dir=ck
+//   $ emx_run --resume=ck/sort-c000000200000.emxsnap
+//   $ emx_run --app=fft --record=fft.rr
+//   $ emx_run --replay=fft.rr
 //
 // Exposes every MachineConfig knob, runs the chosen application, verifies
 // the result, and prints the full measurement report (text or CSV).
+//
+// Checkpoint/resume and record/replay: a checkpoint stores the run recipe
+// (manifest) plus every component's serialized state; --resume re-executes
+// the recipe to the checkpoint cycle and byte-verifies the rebuilt machine
+// before continuing. A recording stores periodic per-component digests;
+// --replay re-executes and diffs them, naming the first divergent cycle
+// window and component. With --resume/--replay, flags left at their
+// defaults adopt the file's manifest; explicitly passed flags must agree
+// with it (contradictions are exit 2, not silent overrides).
 //
 // Exit codes:
 //   0  run completed, result verified (or --verify=false)
 //   1  run completed but the application result is wrong
 //   2  bad command line (unknown flag, out-of-range fault rate,
-//      malformed --fault-outage spec, ...)
+//      malformed --fault-outage spec, contradictory --resume/--replay
+//      flags, corrupt snapshot file, ...)
 //   3  result fine but an armed checker (--check) reported findings
 //   4  the progress watchdog (--watchdog) stopped a stalled run;
 //      the stall diagnosis is printed to stderr
+//   5  snapshot divergence: --resume state verification failed, or
+//      --replay digests differ from the recording
 #include <cstdio>
 #include <cstdlib>
 
 #include "emx.hpp"
-#include "apps/jacobi.hpp"
 #include "common/cli.hpp"
 #include "common/table.hpp"
+#include "snapshot/runner.hpp"
 
 using namespace emx;
 
@@ -125,6 +139,112 @@ bool validate_fault_flags(const MachineConfig& cfg) {
   return ok;
 }
 
+/// Applies flag values onto `m`. With `only_explicit`, only flags the
+/// user actually passed are applied — the merge rule for --resume and
+/// --replay, where defaults adopt the file's manifest and explicit flags
+/// must agree with it. Returns false (error already printed) on bad
+/// values.
+bool apply_flags(const CliFlags& flags, snapshot::RunManifest& m,
+                 bool only_explicit) {
+  const auto want = [&](const char* name) {
+    return !only_explicit || flags.explicitly_set(name);
+  };
+  if (want("app")) m.app = flags.str("app");
+  if (want("size-per-proc"))
+    m.size_per_proc = static_cast<std::uint64_t>(flags.integer("size-per-proc"));
+  if (want("threads"))
+    m.threads = static_cast<std::uint32_t>(flags.integer("threads"));
+  if (want("iterations"))
+    m.iterations = static_cast<std::uint32_t>(flags.integer("iterations"));
+  if (want("seed")) m.seed = static_cast<std::uint64_t>(flags.integer("seed"));
+  if (want("block-reads")) m.block_reads = flags.boolean("block-reads");
+  if (want("local-phase")) m.local_phase = flags.boolean("local-phase");
+
+  if (want("procs"))
+    m.config.proc_count = static_cast<std::uint32_t>(flags.integer("procs"));
+  if (want("network"))
+    m.config.network = flags.str("network") == "detailed" ? NetworkModel::kDetailed
+                                                          : NetworkModel::kFast;
+  if (want("read-service"))
+    m.config.read_service = flags.str("read-service") == "em4"
+                                ? ReadServiceMode::kExuThread
+                                : ReadServiceMode::kBypassDma;
+  if (want("barrier"))
+    m.config.barrier = flags.str("barrier") == "tree" ? BarrierTopology::kTree
+                                                      : BarrierTopology::kCentral;
+  if (want("priority-replies"))
+    m.config.priority_replies = flags.boolean("priority-replies");
+  if (want("switch-save"))
+    m.config.switch_save_cycles = static_cast<Cycle>(flags.integer("switch-save"));
+  if (want("dma-service"))
+    m.config.dma_service_cycles = static_cast<Cycle>(flags.integer("dma-service"));
+  if (want("dma-interval"))
+    m.config.dma_interval_cycles =
+        static_cast<Cycle>(flags.integer("dma-interval"));
+  if (want("poll-interval"))
+    m.config.barrier_poll_interval =
+        static_cast<Cycle>(flags.integer("poll-interval"));
+
+  if (want("fault-drop-rate"))
+    m.config.fault.drop_rate = flags.real("fault-drop-rate");
+  if (want("fault-dup-rate"))
+    m.config.fault.duplicate_rate = flags.real("fault-dup-rate");
+  if (want("fault-corrupt-rate"))
+    m.config.fault.corrupt_rate = flags.real("fault-corrupt-rate");
+  if (want("fault-jitter-max")) {
+    if (flags.integer("fault-jitter-max") < 0) {
+      std::fprintf(stderr, "emx_run: --fault-jitter-max must be >= 0\n");
+      return false;
+    }
+    m.config.fault.jitter_max_cycles =
+        static_cast<Cycle>(flags.integer("fault-jitter-max"));
+  }
+  if (want("fault-seed"))
+    m.config.fault.seed = static_cast<std::uint64_t>(flags.integer("fault-seed"));
+  if (want("fault-timeout")) {
+    if (flags.integer("fault-timeout") < 1) {
+      std::fprintf(stderr, "emx_run: --fault-timeout must be >= 1 cycle\n");
+      return false;
+    }
+    m.config.fault.timeout_cycles =
+        static_cast<Cycle>(flags.integer("fault-timeout"));
+  }
+  if (want("fault-max-retries")) {
+    if (flags.integer("fault-max-retries") < 1) {
+      std::fprintf(stderr, "emx_run: --fault-max-retries must be >= 1\n");
+      return false;
+    }
+    m.config.fault.max_retries =
+        static_cast<std::uint32_t>(flags.integer("fault-max-retries"));
+  }
+  if (want("fault-outage")) {
+    m.config.fault.outages.clear();
+    if (!parse_outages(flags.str("fault-outage"), m.config.fault.outages))
+      return false;
+  }
+  if (want("fault-reliability"))
+    m.config.fault.reliability = flags.boolean("fault-reliability");
+
+  if (want("watchdog")) {
+    if (flags.integer("watchdog") < 0) {
+      std::fprintf(stderr, "emx_run: --watchdog must be >= 0\n");
+      return false;
+    }
+    m.config.watchdog_cycles = static_cast<Cycle>(flags.integer("watchdog"));
+  }
+  if (want("check"))
+    m.config.check = analysis::CheckConfig::parse(flags.str("check"));
+  return true;
+}
+
+/// Every flag that feeds the fault plan; with --replay the plan comes
+/// from the recording, so passing any of these is a contradiction.
+constexpr const char* kFaultFlags[] = {
+    "fault-drop-rate",   "fault-dup-rate", "fault-corrupt-rate",
+    "fault-jitter-max",  "fault-seed",     "fault-timeout",
+    "fault-max-retries", "fault-outage",   "fault-reliability",
+};
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -161,127 +281,140 @@ int main(int argc, char** argv) {
       .define("watchdog", "0",
               "stop + diagnose after N cycles without progress (0 = off); "
               "exit code 4 when it fires")
-      .define("check", "", "checkers: memcheck,race,deadlock,lint | all | none");
+      .define("check", "", "checkers: memcheck,race,deadlock,lint | all | none")
+      .define("checkpoint-every", "0",
+              "write a full snapshot every N cycles (0 = off); needs "
+              "--checkpoint-dir")
+      .define("checkpoint-dir", "",
+              "directory for checkpoints and automatic crash dumps "
+              "(exit 3/4 runs leave crash-<app>.emxsnap here)")
+      .define("resume", "",
+              "checkpoint file: rebuild the run, fast-forward to its "
+              "cycle, byte-verify the state, then continue")
+      .define("record", "", "write a record-replay digest trace here")
+      .define("replay", "",
+              "recording file: re-run its manifest and diff state digests; "
+              "first divergence exits 5")
+      .define("digest-every", "65536",
+              "record-replay digest frame interval, cycles");
   flags.parse(argc, argv);
 
-  MachineConfig cfg;
-  cfg.proc_count = static_cast<std::uint32_t>(flags.integer("procs"));
-  cfg.network = flags.str("network") == "detailed" ? NetworkModel::kDetailed
-                                                   : NetworkModel::kFast;
-  cfg.read_service = flags.str("read-service") == "em4"
-                         ? ReadServiceMode::kExuThread
-                         : ReadServiceMode::kBypassDma;
-  cfg.barrier = flags.str("barrier") == "tree" ? BarrierTopology::kTree
-                                               : BarrierTopology::kCentral;
-  cfg.priority_replies = flags.boolean("priority-replies");
-  cfg.switch_save_cycles = static_cast<Cycle>(flags.integer("switch-save"));
-  cfg.dma_service_cycles = static_cast<Cycle>(flags.integer("dma-service"));
-  cfg.dma_interval_cycles = static_cast<Cycle>(flags.integer("dma-interval"));
-  cfg.barrier_poll_interval = static_cast<Cycle>(flags.integer("poll-interval"));
-  cfg.fault.drop_rate = flags.real("fault-drop-rate");
-  cfg.fault.duplicate_rate = flags.real("fault-dup-rate");
-  cfg.fault.corrupt_rate = flags.real("fault-corrupt-rate");
-  if (flags.integer("fault-jitter-max") < 0) {
-    std::fprintf(stderr, "emx_run: --fault-jitter-max must be >= 0\n");
-    return 2;
-  }
-  cfg.fault.jitter_max_cycles = static_cast<Cycle>(flags.integer("fault-jitter-max"));
-  cfg.fault.seed = static_cast<std::uint64_t>(flags.integer("fault-seed"));
-  if (flags.integer("fault-timeout") < 1) {
-    std::fprintf(stderr, "emx_run: --fault-timeout must be >= 1 cycle\n");
-    return 2;
-  }
-  cfg.fault.timeout_cycles = static_cast<Cycle>(flags.integer("fault-timeout"));
-  if (flags.integer("fault-max-retries") < 1) {
-    std::fprintf(stderr, "emx_run: --fault-max-retries must be >= 1\n");
-    return 2;
-  }
-  cfg.fault.max_retries =
-      static_cast<std::uint32_t>(flags.integer("fault-max-retries"));
-  if (!parse_outages(flags.str("fault-outage"), cfg.fault.outages)) return 2;
-  cfg.fault.reliability = flags.boolean("fault-reliability");
-  if (flags.integer("watchdog") < 0) {
-    std::fprintf(stderr, "emx_run: --watchdog must be >= 0\n");
-    return 2;
-  }
-  cfg.watchdog_cycles = static_cast<Cycle>(flags.integer("watchdog"));
-  if (!validate_fault_flags(cfg)) return 2;
-  cfg.check = analysis::CheckConfig::parse(flags.str("check"));
+  const std::string resume_path = flags.str("resume");
+  const std::string replay_path = flags.str("replay");
+  const std::string record_path = flags.str("record");
 
-  const std::uint64_t n =
-      cfg.proc_count * static_cast<std::uint64_t>(flags.integer("size-per-proc"));
-  const auto h = static_cast<std::uint32_t>(flags.integer("threads"));
-  const auto seed = static_cast<std::uint64_t>(flags.integer("seed"));
-  const bool csv = flags.str("report") == "csv";
-  const bool verify_flag = flags.boolean("verify");
-  const std::string app_name = flags.str("app");
+  // Contradictory flag combinations are exit 2 before any work happens.
+  if (!replay_path.empty() && !record_path.empty()) {
+    std::fprintf(stderr,
+                 "emx_run: --replay and --record are mutually exclusive "
+                 "(a replay is checked against an existing recording)\n");
+    return 2;
+  }
+  if (!replay_path.empty() && !resume_path.empty()) {
+    std::fprintf(stderr,
+                 "emx_run: --replay and --resume are mutually exclusive "
+                 "(a replay must re-execute from cycle 0)\n");
+    return 2;
+  }
+  if (!replay_path.empty()) {
+    for (const char* f : kFaultFlags) {
+      if (flags.explicitly_set(f)) {
+        std::fprintf(stderr,
+                     "emx_run: --replay takes its fault plan from the "
+                     "recording; --%s contradicts it\n",
+                     f);
+        return 2;
+      }
+    }
+  }
+  if (flags.integer("checkpoint-every") < 0) {
+    std::fprintf(stderr, "emx_run: --checkpoint-every must be >= 0\n");
+    return 2;
+  }
+  if (flags.integer("checkpoint-every") > 0 && flags.str("checkpoint-dir").empty()) {
+    std::fprintf(stderr, "emx_run: --checkpoint-every needs --checkpoint-dir\n");
+    return 2;
+  }
+  if (flags.integer("digest-every") < 1) {
+    std::fprintf(stderr, "emx_run: --digest-every must be >= 1\n");
+    return 2;
+  }
 
-  Machine machine(cfg);
-  bool ok = true;
-  // A watchdog-stopped run never quiesced; its result is undefined, so
-  // verification is skipped (the run exits 4 below regardless).
-  const auto verify = [&] { return verify_flag && !machine.watchdog_fired(); };
-  if (app_name == "sort") {
-    apps::BitonicSortApp app(
-        machine, apps::BitonicParams{.n = n,
-                                     .threads = h,
-                                     .seed = seed,
-                                     .use_block_reads = flags.boolean("block-reads")});
-    app.setup();
-    machine.run();
-    if (verify()) ok = app.verify();
-  } else if (app_name == "fft") {
-    apps::FftApp app(machine,
-                     apps::FftParams{.n = n,
-                                     .threads = h,
-                                     .seed = seed,
-                                     .include_local_phase = flags.boolean("local-phase")});
-    app.setup();
-    machine.run();
-    if (verify() && flags.boolean("local-phase")) ok = app.verify_error() < 1e-5;
-  } else if (app_name == "fft-cyclic") {
-    apps::CyclicFftApp app(machine,
-                           apps::CyclicFftParams{.n = n, .threads = h, .seed = seed});
-    app.setup();
-    machine.run();
-    if (verify()) ok = app.verify_error() < 1e-5;
-  } else if (app_name == "jacobi") {
-    apps::JacobiApp app(
-        machine,
-        apps::JacobiParams{.n = n,
-                           .threads = h,
-                           .iterations = static_cast<std::uint32_t>(
-                               flags.integer("iterations")),
-                           .seed = seed});
-    app.setup();
-    machine.run();
-    if (verify()) ok = app.verify_error() < 1e-6;
+  snapshot::RunManifest manifest;
+  if (!resume_path.empty() || !replay_path.empty()) {
+    const std::string& path = resume_path.empty() ? replay_path : resume_path;
+    const auto kind = resume_path.empty() ? snapshot::FileKind::kRecording
+                                          : snapshot::FileKind::kCheckpoint;
+    Cycle at = 0;
+    const std::string err = snapshot::load_manifest(path, kind, manifest, at);
+    if (!err.empty()) {
+      std::fprintf(stderr, "emx_run: %s\n", err.c_str());
+      return 2;
+    }
+    // Defaults adopt the file's manifest; explicit flags must agree.
+    snapshot::RunManifest merged = manifest;
+    if (!apply_flags(flags, merged, /*only_explicit=*/true)) return 2;
+    const std::string conflicts = manifest.diff(merged);
+    if (!conflicts.empty()) {
+      std::fprintf(stderr,
+                   "emx_run: explicit flags contradict %s "
+                   "(file vs flags):\n%s",
+                   path.c_str(), conflicts.c_str());
+      return 2;
+    }
   } else {
-    std::fprintf(stderr, "unknown --app: %s\n%s", app_name.c_str(),
+    if (!apply_flags(flags, manifest, /*only_explicit=*/false)) return 2;
+  }
+  if (!validate_fault_flags(manifest.config)) return 2;
+  if (manifest.app != "sort" && manifest.app != "fft" &&
+      manifest.app != "fft-cyclic" && manifest.app != "jacobi") {
+    std::fprintf(stderr, "unknown --app: %s\n%s", manifest.app.c_str(),
                  flags.help_text(argv[0]).c_str());
     return 2;
   }
 
-  if (!csv) {
-    std::printf("%s\napp=%s n=%s h=%u — %s\n", cfg.summary().c_str(),
-                app_name.c_str(), size_label(n).c_str(), h,
-                verify() ? (ok ? "VERIFIED" : "WRONG RESULT") : "not verified");
+  snapshot::RunOptions opts;
+  opts.manifest = manifest;
+  opts.verify_result = flags.boolean("verify");
+  opts.checkpoint_every = static_cast<Cycle>(flags.integer("checkpoint-every"));
+  opts.checkpoint_dir = flags.str("checkpoint-dir");
+  opts.resume_path = resume_path;
+  opts.record_path = record_path;
+  opts.replay_path = replay_path;
+  opts.digest_every = static_cast<Cycle>(flags.integer("digest-every"));
+
+  const bool csv = flags.str("report") == "csv";
+  const snapshot::RunResult result = snapshot::run(opts);
+  if (!result.report_valid) {
+    // Early failure (bad input, corrupt file, resume/replay divergence):
+    // there is no report to print, only the cause.
+    std::fprintf(stderr, "emx_run: %s\n", result.error.c_str());
+    return result.exit_code;
   }
-  const MachineReport report = machine.report();
-  print_report(report, csv);
-  if (report.fault_enabled && !csv)
-    std::fputs(report.fault.summary_text().c_str(), stdout);
-  if (report.check_enabled && !csv)
-    std::fputs(report.check.summary_text().c_str(), stdout);
-  if (report.watchdog_fired) {
+
+  const std::uint64_t n = manifest.size_per_proc * manifest.config.proc_count;
+  if (!csv) {
+    std::printf("%s\napp=%s n=%s h=%u — %s\n", manifest.config.summary().c_str(),
+                manifest.app.c_str(), size_label(n).c_str(), manifest.threads,
+                result.result_checked
+                    ? (result.result_ok ? "VERIFIED" : "WRONG RESULT")
+                    : "not verified");
+  }
+  print_report(result.report, csv);
+  if (result.report.fault_enabled && !csv)
+    std::fputs(result.report.fault.summary_text().c_str(), stdout);
+  if (result.report.check_enabled && !csv)
+    std::fputs(result.report.check.summary_text().c_str(), stdout);
+  if (!result.checkpoints_written.empty() && !csv)
+    std::printf("checkpoints: %zu written under %s\n",
+                result.checkpoints_written.size(), opts.checkpoint_dir.c_str());
+  if (!result.crash_dump_path.empty())
+    std::fprintf(stderr, "emx_run: crash dump written to %s\n",
+                 result.crash_dump_path.c_str());
+  if (result.report.watchdog_fired) {
     // The run stalled and the watchdog cut it short: the stall diagnosis
     // outranks result/checker verdicts (there is no result to judge).
-    std::fputs(report.watchdog_diagnosis.c_str(), stderr);
-    return 4;
+    std::fputs(result.report.watchdog_diagnosis.c_str(), stderr);
   }
-  if (!ok) return 1;
-  // Checker diagnostics get their own exit code so scripts can tell
-  // "wrong result" from "result fine but the program has a bug".
-  if (report.check_enabled && !report.check.clean()) return 3;
-  return 0;
+  return result.exit_code;
 }

@@ -1,0 +1,210 @@
+// Simulator throughput benchmark: simulated cycles per wall-second.
+//
+// Runs the two paper workloads (sort, fft) at emx_run's default flags
+// through snapshot::run() — the same end-to-end path every real
+// invocation takes, trace digest included — N times each and reports the
+// median. Results land in BENCH_wallclock.json at the repo root; the
+// checked-in copy is the perf trajectory, and CI's perf-smoke job runs
+// `wallclock --check` to fail any change that regresses sort throughput
+// more than 25% below the recorded value.
+//
+// Modes:
+//   wallclock                         measure, write --json
+//   wallclock --check                 measure, compare against --json,
+//                                     exit 1 if sort falls below 75%
+//   wallclock --baseline-from=F       embed F's results as "baseline"
+//                                     in the written file (before/after)
+//
+// JSON layout contract (writer and --check parser agree on it): the
+// top-level "sort" and "fft" objects precede "baseline", so the first
+// "cycles_per_sec" after the first "sort" key is the current value.
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/cli.hpp"
+#include "snapshot/runner.hpp"
+
+namespace {
+
+using emx::snapshot::RunManifest;
+using emx::snapshot::RunOptions;
+using emx::snapshot::RunResult;
+
+/// emx_run's default recipe for one of the frozen-cycle workloads.
+RunManifest default_manifest(const std::string& app) {
+  RunManifest m;
+  m.app = app;
+  m.size_per_proc = 1024;
+  m.threads = 4;
+  m.seed = 1;
+  m.config.proc_count = 16;
+  return m;
+}
+
+struct Sample {
+  std::uint64_t cycles = 0;
+  double wall_seconds = 0;
+  double cycles_per_sec = 0;
+};
+
+Sample measure_once(const std::string& app) {
+  RunOptions opts;
+  opts.manifest = default_manifest(app);
+  const auto t0 = std::chrono::steady_clock::now();
+  const RunResult r = emx::snapshot::run(opts);
+  const auto t1 = std::chrono::steady_clock::now();
+  if (r.exit_code != 0) {
+    std::fprintf(stderr, "wallclock: %s run failed (exit %d): %s\n",
+                 app.c_str(), r.exit_code, r.error.c_str());
+    std::exit(1);
+  }
+  Sample s;
+  s.cycles = r.end_cycle;
+  s.wall_seconds = std::chrono::duration<double>(t1 - t0).count();
+  if (s.wall_seconds <= 0) s.wall_seconds = 1e-9;
+  s.cycles_per_sec = static_cast<double>(s.cycles) / s.wall_seconds;
+  return s;
+}
+
+Sample measure(const std::string& app, int reps) {
+  std::vector<Sample> samples;
+  samples.reserve(static_cast<std::size_t>(reps));
+  for (int i = 0; i < reps; ++i) samples.push_back(measure_once(app));
+  // Median by throughput; cycle count is identical across reps (the
+  // simulation is deterministic), so only the denominator varies.
+  std::sort(samples.begin(), samples.end(),
+            [](const Sample& a, const Sample& b) {
+              return a.cycles_per_sec < b.cycles_per_sec;
+            });
+  return samples[samples.size() / 2];
+}
+
+std::string json_object(const Sample& s) {
+  char buf[160];
+  std::snprintf(buf, sizeof buf,
+                "{\"cycles\": %llu, \"wall_s_median\": %.6f, "
+                "\"cycles_per_sec\": %.1f}",
+                static_cast<unsigned long long>(s.cycles), s.wall_seconds,
+                s.cycles_per_sec);
+  return buf;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return {};
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+/// Extracts the current (non-baseline) cycles_per_sec for `app` from a
+/// BENCH_wallclock.json produced by this tool. Relies on the layout
+/// contract documented at the top of the file.
+double recorded_throughput(const std::string& json, const std::string& app) {
+  const auto app_pos = json.find("\"" + app + "\"");
+  if (app_pos == std::string::npos) return 0;
+  const auto key_pos = json.find("\"cycles_per_sec\"", app_pos);
+  if (key_pos == std::string::npos) return 0;
+  const auto colon = json.find(':', key_pos);
+  if (colon == std::string::npos) return 0;
+  return std::strtod(json.c_str() + colon + 1, nullptr);
+}
+
+/// Pulls the "sort"/"fft"/"label" entries out of a previous results file
+/// so they can be embedded as the "baseline" block (before/after in one
+/// file). Returns "" when the file is missing or unparsable.
+std::string baseline_block(const std::string& path) {
+  const std::string json = read_file(path);
+  if (json.empty()) return {};
+  const double sort_tp = recorded_throughput(json, "sort");
+  const double fft_tp = recorded_throughput(json, "fft");
+  if (sort_tp <= 0 || fft_tp <= 0) return {};
+  auto extract = [&json](const std::string& app) -> std::string {
+    const auto start = json.find('{', json.find("\"" + app + "\""));
+    const auto end = json.find('}', start);
+    if (start == std::string::npos || end == std::string::npos) return "{}";
+    return json.substr(start, end - start + 1);
+  };
+  std::ostringstream out;
+  out << "  \"baseline\": {\n"
+      << "    \"sort\": " << extract("sort") << ",\n"
+      << "    \"fft\": " << extract("fft") << "\n"
+      << "  },\n";
+  return out.str();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  emx::CliFlags flags;
+  flags.define("reps", "5", "repetitions per workload (median reported)")
+      .define("json", "BENCH_wallclock.json", "results file to write/check")
+      .define("check", "false",
+              "gate mode: measure and fail if sort throughput falls >25% "
+              "below the value recorded in --json")
+      .define("baseline-from", "",
+              "embed this results file as the \"baseline\" block");
+  flags.parse(argc, argv);
+
+  const int reps = static_cast<int>(flags.integer("reps"));
+  const std::string json_path = flags.str("json");
+
+  if (flags.boolean("check")) {
+    const double recorded = recorded_throughput(read_file(json_path), "sort");
+    if (recorded <= 0) {
+      std::fprintf(stderr, "wallclock --check: no recorded sort throughput in %s\n",
+                   json_path.c_str());
+      return 2;
+    }
+    const Sample s = measure("sort", reps);
+    const double floor = 0.75 * recorded;
+    std::printf("perf-smoke: sort %.0f cycles/s (recorded %.0f, floor %.0f)\n",
+                s.cycles_per_sec, recorded, floor);
+    if (s.cycles_per_sec < floor) {
+      std::fprintf(stderr,
+                   "perf-smoke FAIL: sort throughput regressed more than 25%% "
+                   "below the recorded value — rerun bench/wallclock and "
+                   "commit the new BENCH_wallclock.json if intentional\n");
+      return 1;
+    }
+    return 0;
+  }
+
+  const Sample sort_s = measure("sort", reps);
+  std::printf("sort: cycles=%llu median_wall=%.4fs throughput=%.0f cycles/s\n",
+              static_cast<unsigned long long>(sort_s.cycles),
+              sort_s.wall_seconds, sort_s.cycles_per_sec);
+  const Sample fft_s = measure("fft", reps);
+  std::printf("fft:  cycles=%llu median_wall=%.4fs throughput=%.0f cycles/s\n",
+              static_cast<unsigned long long>(fft_s.cycles), fft_s.wall_seconds,
+              fft_s.cycles_per_sec);
+
+  std::ostringstream out;
+  out << "{\n"
+      << "  \"bench\": \"wallclock\",\n"
+      << "  \"schema\": 1,\n"
+      << "  \"reps\": " << reps << ",\n"
+      << "  \"flags\": \"defaults (procs=16 size-per-proc=1024 threads=4)\",\n"
+      << "  \"sort\": " << json_object(sort_s) << ",\n"
+      << "  \"fft\": " << json_object(fft_s) << ",\n";
+  if (!flags.str("baseline-from").empty())
+    out << baseline_block(flags.str("baseline-from"));
+  out << "  \"unit\": \"simulated cycles per wall-second\"\n"
+      << "}\n";
+
+  std::ofstream of(json_path, std::ios::binary);
+  of << out.str();
+  if (!of) {
+    std::fprintf(stderr, "wallclock: cannot write %s\n", json_path.c_str());
+    return 1;
+  }
+  std::printf("wrote %s\n", json_path.c_str());
+  return 0;
+}

@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# Layering check: the core simulation layers must not reach upward into
+# the tooling layers.
+#
+#   lower  src/common src/sim src/network src/proc src/runtime
+#   upper  src/snapshot src/analysis src/fault
+#
+# No file in a lower layer may DIRECTLY include an upper-layer header.
+# (core/, trace/, isa/, apps/, model/ sit above both and are
+# unrestricted; transitive includes are by construction impossible once
+# no direct edge exists.) The dependency inversions this enforces are the
+# hook interfaces: proc/channel_hooks.hpp (implemented by
+# fault::ReliableChannel) and runtime/check_hooks.hpp (implemented by
+# analysis::CheckContext).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+lower="src/common src/sim src/network src/proc src/runtime"
+pattern='^[[:space:]]*#[[:space:]]*include[[:space:]]*"(snapshot|analysis|fault)/'
+
+violations=$(grep -rnE "$pattern" $lower || true)
+if [[ -n "$violations" ]]; then
+  echo "layering violation: core layers (common/sim/network/proc/runtime)"
+  echo "must not include snapshot/, analysis/ or fault/ headers:"
+  echo
+  echo "$violations"
+  echo
+  echo "Invert the dependency through a hook interface instead"
+  echo "(see proc/channel_hooks.hpp and runtime/check_hooks.hpp)."
+  exit 1
+fi
+echo "layering OK: no core-layer file includes snapshot/, analysis/ or fault/ headers"

@@ -11,7 +11,7 @@
 #include <vector>
 
 #include "analysis/diagnostic.hpp"
-#include "snapshot/serializer.hpp"
+#include "common/serializer.hpp"
 
 namespace emx::analysis {
 

@@ -4,6 +4,7 @@
 
 #include "analysis/wait_graph.hpp"
 #include "common/assert.hpp"
+#include "core/instrumentation.hpp"
 #include "runtime/global_addr.hpp"
 
 namespace emx::analysis {
@@ -472,6 +473,11 @@ void CheckContext::save(snapshot::Serializer& s) const {
   std::sort(linted.begin(), linted.end());
   s.u32(static_cast<std::uint32_t>(linted.size()));
   for (std::uint64_t key : linted) s.u64(key);
+}
+
+void CheckContext::contribute(MachineReport& report) const {
+  report.check_enabled = true;
+  report.check = report_;
 }
 
 }  // namespace emx::analysis

@@ -26,13 +26,18 @@
 #include "analysis/race_detector.hpp"
 #include "analysis/shadow_memory.hpp"
 #include "analysis/vector_clock.hpp"
+#include "common/component.hpp"
 #include "common/types.hpp"
 #include "network/packet.hpp"
+#include "runtime/check_hooks.hpp"
 #include "sim/sim_context.hpp"
 
 namespace emx::analysis {
 
-class CheckContext {
+/// Implements rt::CheckHooks (so the runtime never includes analysis/)
+/// and is the "checker" component on armed machines (its shadow state is
+/// a snapshot section and its findings flow into MachineReport::check).
+class CheckContext final : public rt::CheckHooks, public Component {
  public:
   CheckContext(const CheckConfig& config, const sim::SimContext& sim,
                std::uint32_t proc_count, std::size_t memory_words,
@@ -53,39 +58,43 @@ class CheckContext {
   // ----- thread lifecycle (ThreadEngine) -----
 
   void on_thread_start(ProcId pe, ThreadId raw, std::uint32_t entry,
-                       std::uint32_t hb_token);
-  void on_thread_run(ProcId pe, ThreadId raw);   ///< (re)entering the EXU
-  void on_thread_end(ProcId pe, ThreadId raw);
+                       std::uint32_t hb_token) override;
+  void on_thread_run(ProcId pe, ThreadId raw) override;  ///< entering the EXU
+  void on_thread_end(ProcId pe, ThreadId raw) override;
 
   // ----- attributed accesses, recorded at issue time -----
 
-  void on_local_read(ProcId pe, ThreadId raw, LocalAddr addr);
-  void on_local_write(ProcId pe, ThreadId raw, LocalAddr addr);
-  void on_remote_read(ProcId pe, ThreadId raw, ProcId tproc, LocalAddr taddr);
-  void on_remote_write(ProcId pe, ThreadId raw, ProcId tproc, LocalAddr taddr);
+  void on_local_read(ProcId pe, ThreadId raw, LocalAddr addr) override;
+  void on_local_write(ProcId pe, ThreadId raw, LocalAddr addr) override;
+  void on_remote_read(ProcId pe, ThreadId raw, ProcId tproc,
+                      LocalAddr taddr) override;
+  void on_remote_write(ProcId pe, ThreadId raw, ProcId tproc,
+                       LocalAddr taddr) override;
   void on_block_read(ProcId pe, ThreadId raw, ProcId sproc, LocalAddr saddr,
-                     LocalAddr dest, std::uint32_t len);
-  void on_read_suspend(ProcId pe, ThreadId raw);  ///< split-phase suspension
+                     LocalAddr dest, std::uint32_t len) override;
+  /// Split-phase suspension.
+  void on_read_suspend(ProcId pe, ThreadId raw) override;
 
   // ----- frame-region annotations (ThreadApi frame_mark / frame_drop) -----
 
-  void on_frame_mark(ProcId pe, ThreadId raw, LocalAddr base, std::uint32_t len);
-  void on_frame_drop(ProcId pe, ThreadId raw, LocalAddr base);
+  void on_frame_mark(ProcId pe, ThreadId raw, LocalAddr base,
+                     std::uint32_t len) override;
+  void on_frame_drop(ProcId pe, ThreadId raw, LocalAddr base) override;
 
   // ----- happens-before edges the runtime materializes -----
 
   /// Invoke edge, sender side: snapshots the spawner's clock and returns
   /// the token the kInvoke packet carries to the new thread (0 = none).
-  std::uint32_t on_spawn(ProcId pe, ThreadId raw);
+  std::uint32_t on_spawn(ProcId pe, ThreadId raw) override;
   // Gates are named by OrderGate::uid(), never by address: addresses can
   // be reused within one run and would leak stale clock/inside state.
-  void on_gate_pass(ProcId pe, ThreadId raw, std::uint64_t gate);
+  void on_gate_pass(ProcId pe, ThreadId raw, std::uint64_t gate) override;
   void on_gate_block(ProcId pe, ThreadId raw, std::uint64_t gate,
-                     std::uint32_t index);
-  void on_gate_wake(ProcId pe, ThreadId raw);
-  void on_gate_advance(ProcId pe, ThreadId raw, std::uint64_t gate);
-  void on_barrier_join(ProcId pe, ThreadId raw);
-  void on_barrier_pass(ProcId pe, ThreadId raw);
+                     std::uint32_t index) override;
+  void on_gate_wake(ProcId pe, ThreadId raw) override;
+  void on_gate_advance(ProcId pe, ThreadId raw, std::uint64_t gate) override;
+  void on_barrier_join(ProcId pe, ThreadId raw) override;
+  void on_barrier_pass(ProcId pe, ThreadId raw) override;
 
   // ----- probes -----
 
@@ -94,7 +103,7 @@ class CheckContext {
   /// Every packet ejected at PE `at` (Machine delivery callback).
   void on_deliver(ProcId at, const net::Packet& p);
   /// Every EXU cycle charge (sanity: wrapped-negative amounts).
-  void on_charge(ProcId pe, Cycle cycles);
+  void on_charge(ProcId pe, Cycle cycles) override;
   /// SimContext caught an event scheduled into the past.
   void on_late_schedule(Cycle target, Cycle now);
 
@@ -115,6 +124,11 @@ class CheckContext {
   /// counters inside the report (their full state is derived from the
   /// access stream, which replay regenerates).
   void save(snapshot::Serializer& s) const;
+
+  // --- Component ---
+  const char* component_name() const override { return "checker"; }
+  void save_state(ser::Serializer& s) const override { save(s); }
+  void contribute(MachineReport& report) const override;
 
  private:
   enum class Block : std::uint8_t { kNone, kGate, kRead, kBarrier };

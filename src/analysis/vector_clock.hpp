@@ -11,7 +11,7 @@
 #include <unordered_map>
 #include <vector>
 
-#include "snapshot/serializer.hpp"
+#include "common/serializer.hpp"
 
 namespace emx::analysis {
 

@@ -1,0 +1,47 @@
+#include "common/component.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/assert.hpp"
+
+namespace emx {
+
+void ComponentRegistry::add(Component* c) {
+  EMX_CHECK(c != nullptr, "ComponentRegistry::add: null component");
+  EMX_CHECK(!sealed_, std::string("component '") + c->component_name() +
+                          "' registered after the registry was sealed — "
+                          "register every unit during Machine construction");
+  for (const Component* existing : items_)
+    EMX_CHECK(std::strcmp(existing->component_name(), c->component_name()) != 0,
+              std::string("duplicate component name '") + c->component_name() +
+                  "' — names are snapshot section names and must be unique");
+  items_.push_back(c);
+}
+
+void ComponentRegistry::seal() { sealed_ = true; }
+
+Component* ComponentRegistry::find(const std::string& name) const {
+  const auto it =
+      std::find_if(items_.begin(), items_.end(), [&name](Component* c) {
+        return name == c->component_name();
+      });
+  return it == items_.end() ? nullptr : *it;
+}
+
+void ComponentRegistry::assert_covers(
+    std::initializer_list<const Component*> expected) const {
+  std::string missing;
+  for (const Component* c : expected) {
+    if (c == nullptr) continue;  // optional unit not built in this config
+    if (std::find(items_.begin(), items_.end(), c) == items_.end()) {
+      if (!missing.empty()) missing += ", ";
+      missing += c->component_name();
+    }
+  }
+  EMX_CHECK(missing.empty(),
+            "stateful unit(s) built but never registered: " + missing +
+                " — snapshots/replay/diagnosis would silently skip them");
+}
+
+}  // namespace emx

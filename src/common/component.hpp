@@ -1,0 +1,103 @@
+// The component architecture: every stateful unit of the simulated
+// machine is an emx::Component with a stable name, and the Machine owns a
+// ComponentRegistry listing all of them in a fixed order.
+//
+// Everything that used to hand-walk the machine's units now iterates the
+// registry instead:
+//   - snapshot capture/verify (one section per component, named by
+//     component_name(), in registration order),
+//   - record-replay digest frames (state_crc() per component),
+//   - crash dumps (same sections as capture),
+//   - watchdog stall diagnosis (describe_stall() per component),
+//   - MachineReport aggregation (contribute() per component).
+// Adding a subsystem means registering one component — not editing five
+// scattered lists in lockstep.
+//
+// Registration rules (enforced by ComponentRegistry):
+//   - names are unique and stable: they are snapshot section names, so
+//     renaming a component is a snapshot-format change;
+//   - registration order is the serialization order: append new
+//     components at the end, never reorder existing ones;
+//   - the registry is sealed once the Machine is fully constructed;
+//     assert_covers() then panics on any stateful unit that was built
+//     but never registered (the completeness tripwire).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/serializer.hpp"
+
+namespace emx {
+
+struct MachineReport;  // core/instrumentation.hpp — implementers' .cpps
+                       // include it; this header stays below core/.
+
+/// One stateful unit of the simulated machine.
+class Component {
+ public:
+  virtual ~Component() = default;
+
+  /// Stable identity: used as the snapshot section name and in every
+  /// diagnostic that points at this unit. Must never change once a
+  /// golden snapshot contains it.
+  virtual const char* component_name() const = 0;
+
+  /// Appends this unit's complete simulation-visible state. Two machines
+  /// in the same logical state must produce identical bytes — the resume
+  /// path byte-compares captures, and record-replay CRCs them.
+  virtual void save_state(ser::Serializer& s) const = 0;
+
+  /// CRC-32 of save_state()'s bytes; record-replay frames call this per
+  /// component. The default serializes into a scratch buffer — override
+  /// only if a cheaper identical digest exists.
+  virtual std::uint32_t state_crc() const {
+    ser::Serializer s;
+    save_state(s);
+    return s.crc();
+  }
+
+  /// Appends human-readable lines (each ending in '\n') describing what
+  /// this unit is doing/waiting on — the watchdog stall diagnosis and
+  /// quiescence post-mortems are built from these. Default: nothing to
+  /// say. `quiescent` tells the unit whether the event queue drained.
+  virtual void describe_stall(std::string& out, bool quiescent) const {
+    (void)out;
+    (void)quiescent;
+  }
+
+  /// Folds this unit's statistics into the end-of-run report. Default:
+  /// nothing to contribute.
+  virtual void contribute(MachineReport& report) const { (void)report; }
+};
+
+/// Ordered, sealed list of every component in one machine. Owned by
+/// Machine; non-owning pointers (the units live where they always did).
+class ComponentRegistry {
+ public:
+  /// Registers `c` next in serialization order. Panics on duplicate
+  /// names or registration after seal().
+  void add(Component* c);
+
+  /// Marks construction complete; further add() calls panic.
+  void seal();
+  bool sealed() const { return sealed_; }
+
+  const std::vector<Component*>& items() const { return items_; }
+
+  /// The component named `name`, or nullptr.
+  Component* find(const std::string& name) const;
+
+  /// Completeness tripwire: panics (with the missing names) unless every
+  /// component in `expected` was registered. Machine construction passes
+  /// the units it just built; a unit added to Machine but not registered
+  /// fails here instead of silently dropping out of snapshots.
+  void assert_covers(std::initializer_list<const Component*> expected) const;
+
+ private:
+  std::vector<Component*> items_;
+  bool sealed_ = false;
+};
+
+}  // namespace emx

@@ -37,7 +37,7 @@ std::vector<std::string> StreamRegistry::names() const {
   return out;
 }
 
-void StreamRegistry::save(snapshot::Serializer& s) const {
+void StreamRegistry::save(ser::Serializer& s) const {
   s.u32(static_cast<std::uint32_t>(streams_.size()));
   for (const auto& [name, entry] : streams_) {  // std::map: sorted by name
     s.str(name);
@@ -45,7 +45,7 @@ void StreamRegistry::save(snapshot::Serializer& s) const {
   }
 }
 
-bool StreamRegistry::load(snapshot::Deserializer& d) {
+bool StreamRegistry::load(ser::Deserializer& d) {
   const std::uint32_t count = d.u32();
   if (count != streams_.size()) return false;
   for (std::uint32_t i = 0; i < count; ++i) {

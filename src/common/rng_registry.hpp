@@ -18,12 +18,15 @@
 #include <string>
 #include <vector>
 
+#include "common/component.hpp"
 #include "common/rng.hpp"
-#include "snapshot/serializer.hpp"
+#include "common/serializer.hpp"
 
 namespace emx::rng {
 
-class StreamRegistry {
+/// The "streams" component: its snapshot section pins every stream's
+/// engine state so a restored run cannot silently fork its randomness.
+class StreamRegistry final : public Component {
  public:
   StreamRegistry() = default;
   StreamRegistry(const StreamRegistry&) = delete;
@@ -49,12 +52,16 @@ class StreamRegistry {
   std::vector<std::string> names() const;
 
   /// Serializes every stream as (name, 4 state words), sorted by name.
-  void save(snapshot::Serializer& s) const;
+  void save(ser::Serializer& s) const;
 
   /// Restores stream states by name. Streams in the snapshot but not in
   /// the registry (or vice versa) make this return false — the caller
   /// reports which run shape mismatch caused it via names().
-  bool load(snapshot::Deserializer& d);
+  bool load(ser::Deserializer& d);
+
+  // --- Component ---
+  const char* component_name() const override { return "streams"; }
+  void save_state(ser::Serializer& s) const override { save(s); }
 
  private:
   struct Entry {

@@ -1,4 +1,5 @@
-// Byte-level serialization primitives for the snapshot subsystem.
+// Byte-level state-visitation primitives — the bottom of the component
+// architecture.
 //
 // Serializer appends fixed-width little-endian fields to a growable byte
 // buffer; Deserializer reads them back with sticky-error bounds checking
@@ -8,9 +9,13 @@
 // snapshot files are portable; doubles travel as their IEEE-754 bit
 // pattern.
 //
-// This header is the bottom of the snapshot layer: it depends only on
-// common/ so that every simulated component can implement
-// `save(snapshot::Serializer&) const` without an include cycle.
+// This header lives in common/ on purpose: every simulated component —
+// down to the event queue and packet structs — implements
+// `save_state(ser::Serializer&) const`, so the visitor types must sit
+// below sim/, network/, proc/ and runtime/. The snapshot layer re-exports
+// them under its traditional emx::snapshot:: names (see the alias block
+// at the end); nothing outside src/snapshot/ should include a snapshot
+// header to serialize state.
 #pragma once
 
 #include <cstdint>
@@ -19,10 +24,12 @@
 #include <string_view>
 #include <vector>
 
-namespace emx::snapshot {
+namespace emx::ser {
 
 /// CRC-32 (IEEE 802.3 polynomial, reflected). `seed` chains incremental
-/// computations: crc32(b, crc32(a)) == crc32(a ++ b).
+/// computations: crc32(b, crc32(a)) == crc32(a ++ b). Implemented
+/// slice-by-8 — the digest paths (trace oracle, record-replay frames)
+/// run it inside the simulation hot loop.
 std::uint32_t crc32(const void* data, std::size_t size, std::uint32_t seed = 0);
 
 class Serializer {
@@ -133,4 +140,14 @@ class Deserializer {
   bool ok_ = true;
 };
 
+}  // namespace emx::ser
+
+// Compatibility re-export: the snapshot subsystem named these types first
+// and its public API (SnapshotFile, manifests, tests) still spells them
+// emx::ser::Serializer. The definitions moved down to common/ so
+// lower layers can visit state without depending on src/snapshot/.
+namespace emx::snapshot {
+using ser::crc32;          // NOLINT(misc-unused-using-decls)
+using ser::Deserializer;   // NOLINT(misc-unused-using-decls)
+using ser::Serializer;     // NOLINT(misc-unused-using-decls)
 }  // namespace emx::snapshot

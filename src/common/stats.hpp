@@ -8,7 +8,7 @@
 #include <string>
 #include <vector>
 
-#include "snapshot/serializer.hpp"
+#include "common/serializer.hpp"
 
 namespace emx {
 
@@ -41,7 +41,7 @@ class RunningStat {
 
   /// Serializes the full accumulator (doubles as raw IEEE-754 bits, so
   /// the encoding is exact — infinities in the empty min/max included).
-  void save(snapshot::Serializer& s) const {
+  void save(ser::Serializer& s) const {
     s.u64(count_);
     s.f64(min_);
     s.f64(max_);

@@ -90,7 +90,9 @@ Machine::Machine(MachineConfig config, trace::TraceSink* sink)
     faulty_ = faulty.get();
     network_ = std::move(faulty);
   }
-  network_->set_delivery(&Machine::delivery_thunk, this);
+  // Ejection routing is per-destination: the delivery table installed at
+  // the end of this constructor (after the PEs exist) replaces the old
+  // single machine-wide callback.
   if (faulty_ != nullptr) {
     // One registry covers every stream: snapshots capture the plan's
     // decision stream alongside the app workload streams.
@@ -123,8 +125,13 @@ Machine::Machine(MachineConfig config, trace::TraceSink* sink)
     // fault.reliability=false leaves the lossy plan armed but the
     // recovery protocol off — the deliberately-unrecoverable machine the
     // watchdog tests exercise.
-    if (faulty_ != nullptr && config_.fault.reliability)
-      pes_.back()->arm_reliability(sim_, fault_domain_, sink_);
+    if (faulty_ != nullptr && config_.fault.reliability) {
+      auto& pe = *pes_.back();
+      channels_.push_back(std::make_unique<fault::ReliableChannel>(
+          sim_, config_.fault, p, pe.obu(), pe.engine().exu(), fault_domain_,
+          config_.packet_gen_cycles, sink_));
+      pe.attach_channel(channels_.back().get());
+    }
   }
 
   if (faulty_ != nullptr) {
@@ -151,17 +158,61 @@ Machine::Machine(MachineConfig config, trace::TraceSink* sink)
     if (config_.check.lint)
       sim_.set_late_schedule_hook(&Machine::late_schedule_thunk, checker_.get());
   }
+
+  // Delivery table: with no checker armed, a packet ejecting from the
+  // fabric jumps straight into its destination PE's accept() — no
+  // machine-wide dispatch hop on the hottest path. A checker reinstates
+  // the hop so it observes every ejection.
+  delivery_.resize(config_.proc_count);
+  for (ProcId p = 0; p < config_.proc_count; ++p) {
+    delivery_[p] = checker_ != nullptr
+                       ? net::DeliveryEndpoint{&Machine::delivery_thunk, this}
+                       : net::DeliveryEndpoint{&proc::Emcy::accept_thunk,
+                                               pes_[p].get()};
+  }
+  network_->set_delivery_table(delivery_.data(),
+                               static_cast<std::uint32_t>(delivery_.size()));
+
+  // Component registry: registration order IS the snapshot section order
+  // (append-only; see common/component.hpp). assert_covers is the
+  // completeness tripwire — a stateful unit built above but missing here
+  // panics now instead of silently dropping out of snapshots, replay
+  // digests, crash dumps and the stall diagnosis.
+  components_.add(&sim_);
+  components_.add(&streams_);
+  components_.add(network_.get());
+  if (faulty_ != nullptr) components_.add(&fault_domain_);
+  if (checker_ != nullptr) components_.add(checker_.get());
+  if (auto* digest = dynamic_cast<Component*>(sink_); digest != nullptr)
+    components_.add(digest);
+  for (const auto& pe : pes_) components_.add(pe.get());
+  components_.seal();
+  components_.assert_covers(
+      {&sim_, &streams_, network_.get(), faulty_ != nullptr ? &fault_domain_ : nullptr,
+       checker_.get(), pes_.empty() ? nullptr : pes_.front().get(),
+       pes_.empty() ? nullptr : pes_.back().get()});
 }
 
 Machine::~Machine() = default;
 
+namespace {
+
+std::string pe_range_message(ProcId p, std::size_t count) {
+  return "Machine::pe(" + std::to_string(p) +
+         "): processor id out of range — this machine has " +
+         std::to_string(count) + " PEs (valid ids 0.." +
+         std::to_string(count == 0 ? 0 : count - 1) + ")";
+}
+
+}  // namespace
+
 proc::Emcy& Machine::pe(ProcId p) {
-  EMX_CHECK(p < pes_.size(), "processor id out of range");
+  EMX_CHECK(p < pes_.size(), pe_range_message(p, pes_.size()));
   return *pes_[p];
 }
 
 const proc::Emcy& Machine::pe(ProcId p) const {
-  EMX_CHECK(p < pes_.size(), "processor id out of range");
+  EMX_CHECK(p < pes_.size(), pe_range_message(p, pes_.size()));
   return *pes_[p];
 }
 
@@ -294,38 +345,18 @@ void Machine::build_watchdog_diagnosis(bool quiescent) {
                   static_cast<unsigned long long>(sim_.now()));
   }
   d += buf;
-  for (ProcId p = 0; p < config_.proc_count; ++p) {
-    auto& eng = pes_[p]->engine();
-    const auto* ch = pes_[p]->channel();
-    const bool channel_idle = ch == nullptr || ch->idle();
-    if (eng.frames().live() == 0 && channel_idle && eng.ibu().empty()) continue;
-    std::snprintf(buf, sizeof buf,
-                  "  P%u: live_threads=%llu ibu_depth=%llu outstanding=%llu\n",
-                  p, static_cast<unsigned long long>(eng.frames().live()),
-                  static_cast<unsigned long long>(eng.ibu().size()),
-                  static_cast<unsigned long long>(ch ? ch->outstanding() : 0));
-    d += buf;
-    eng.frames().append_live(d);
-    if (ch != nullptr) ch->append_outstanding(d);
-  }
-  const auto& fr = fault_domain_.report();
-  std::snprintf(buf, sizeof buf,
-                "  fault ledger: pending_losses=%llu unsequenced_losses=%llu\n",
-                static_cast<unsigned long long>(fault_domain_.pending_losses()),
-                static_cast<unsigned long long>(fr.unsequenced_losses));
-  d += buf;
-  if (fr.unsequenced_losses > 0)
-    d += "  hint: unsequenced packets were lost with reliability disabled — "
-         "nothing will ever retransmit them\n";
+  // Every unit appends what it is waiting on: the PEs their live-thread /
+  // outstanding-request blocks, the fault domain its loss ledger.
+  for (const Component* c : components_.items()) c->describe_stall(d, quiescent);
 }
 
 void Machine::delivery_thunk(void* ctx, const net::Packet& packet) {
+  // Checked runs only (see the delivery table in the constructor):
+  // unchecked runs route from the fabric straight into Emcy::accept,
+  // which notes watchdog progress itself.
   auto* self = static_cast<Machine*>(ctx);
   EMX_DCHECK(packet.dst < self->pes_.size(), "packet to unknown PE");
-  // A packet landing at a PE is forward progress for the watchdog.
-  self->sim_.note_progress();
-  if (self->checker_ != nullptr)
-    self->checker_->on_deliver(packet.dst, packet);
+  self->checker_->on_deliver(packet.dst, packet);
   self->pes_[packet.dst]->accept(packet);
 }
 
@@ -341,65 +372,41 @@ void Machine::late_schedule_thunk(void* ctx, Cycle target, Cycle now) {
 MachineReport Machine::report() const {
   EMX_CHECK(ran_, "report() before run()");
   MachineReport r;
+  // total_cycles first: the PEs compute their idle time against it in
+  // the contribute pass below.
   r.total_cycles = end_cycle_;
   r.clock_hz = config_.clock_hz;
   r.network = network_->stats();
   r.events_processed = sim_.events_processed();
   r.procs.reserve(pes_.size());
-  for (const auto& pe : pes_) {
-    const auto& eng = pe->engine();
-    const auto& exu = eng.exu();
-    ProcReport p;
-    p.compute = exu.bucket(proc::CycleBucket::kCompute);
-    p.overhead = exu.bucket(proc::CycleBucket::kOverhead);
-    p.switching = exu.bucket(proc::CycleBucket::kSwitch);
-    p.read_service = exu.bucket(proc::CycleBucket::kReadService);
-    p.comm = exu.idle_cycles(end_cycle_);
-    p.switches = eng.switches();
-    p.reads_issued = eng.reads_issued();
-    p.packets_accepted = pe->packets_accepted();
-    p.dma_reads = pe->dma().stats().reads_serviced;
-    p.dma_block_reads = pe->dma().stats().block_reads_serviced;
-    p.dma_writes = pe->dma().stats().writes_serviced;
-    if (const auto* channel = pe->channel()) {
-      const auto& cs = channel->stats();
-      p.read_retries = cs.retries;
-      r.fault.reads_tracked += cs.reads_tracked;
-      r.fault.msgs_tracked += cs.msgs_tracked;
-      r.fault.timeouts += cs.timeouts;
-      r.fault.retries += cs.retries;
-      r.fault.msg_retransmits += cs.msg_retransmits;
-      r.fault.acks_sent += cs.acks_sent;
-      r.fault.dup_replies_suppressed += cs.dup_replies_suppressed;
-      r.fault.dup_msgs_suppressed += cs.dup_msgs_suppressed;
-      r.fault.dup_acks_ignored += cs.dup_acks_ignored;
-      r.fault.reads_recovered += cs.reads_recovered;
-      r.fault.msgs_recovered += cs.msgs_recovered;
-      r.fault.fence_holds += cs.fence_holds;
-      r.fault.worst_recovery_cycles =
-          std::max(r.fault.worst_recovery_cycles, cs.worst_recovery_cycles);
-      r.fault.peak_outstanding =
-          std::max(r.fault.peak_outstanding, cs.peak_outstanding);
-    }
-    r.procs.push_back(p);
-  }
-  if (faulty_ != nullptr) {
-    r.fault_enabled = true;
-    const auto& ledger = fault_domain_.report();
-    r.fault.injected = ledger.injected;
-    r.fault.injected_recoverable = ledger.injected_recoverable;
-    r.fault.recovered = ledger.recovered;
-    r.fault.corrupt_discarded = ledger.corrupt_discarded;
-    r.fault.stale_losses = ledger.stale_losses;
-    r.fault.unsequenced_losses = ledger.unsequenced_losses;
-    r.fault.peak_ledger_live = ledger.peak_ledger_live;
+  // One registry walk replaces the old hand-rolled per-unit blocks: each
+  // PE appends its ProcReport (registration order == PE order), the
+  // fault domain fills the ledger half of FaultReport, the checker its
+  // findings.
+  for (const Component* c : components_.items()) c->contribute(r);
+  // The per-PE channel activity sums are typed (ChannelStats), so the
+  // aggregation stays here rather than behind the Component interface.
+  for (const auto& channel : channels_) {
+    const auto& cs = channel->stats();
+    r.fault.reads_tracked += cs.reads_tracked;
+    r.fault.msgs_tracked += cs.msgs_tracked;
+    r.fault.timeouts += cs.timeouts;
+    r.fault.retries += cs.retries;
+    r.fault.msg_retransmits += cs.msg_retransmits;
+    r.fault.acks_sent += cs.acks_sent;
+    r.fault.dup_replies_suppressed += cs.dup_replies_suppressed;
+    r.fault.dup_msgs_suppressed += cs.dup_msgs_suppressed;
+    r.fault.dup_acks_ignored += cs.dup_acks_ignored;
+    r.fault.reads_recovered += cs.reads_recovered;
+    r.fault.msgs_recovered += cs.msgs_recovered;
+    r.fault.fence_holds += cs.fence_holds;
+    r.fault.worst_recovery_cycles =
+        std::max(r.fault.worst_recovery_cycles, cs.worst_recovery_cycles);
+    r.fault.peak_outstanding =
+        std::max(r.fault.peak_outstanding, cs.peak_outstanding);
   }
   r.watchdog_fired = watchdog_fired_;
   r.watchdog_diagnosis = watchdog_diagnosis_;
-  if (checker_ != nullptr) {
-    r.check_enabled = true;
-    r.check = checker_->report();
-  }
   return r;
 }
 

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "analysis/checker.hpp"
+#include "common/component.hpp"
 #include "common/rng_registry.hpp"
 #include "core/config.hpp"
 #include "core/instrumentation.hpp"
@@ -39,6 +40,13 @@ class Machine {
   Machine& operator=(const Machine&) = delete;
 
   const MachineConfig& config() const { return config_; }
+
+  /// Every stateful unit of this machine, in serialization order: "sim",
+  /// "streams", "network", then "fault"/"checker"/"trace" when armed,
+  /// then "pe0".."peN". Snapshot capture/verify, record-replay digests,
+  /// crash dumps, stall diagnosis and report aggregation all iterate
+  /// this one list.
+  const ComponentRegistry& components() const { return components_; }
   sim::SimContext& sim() { return sim_; }
   const sim::SimContext& sim() const { return sim_; }
   net::Network& network() { return *network_; }
@@ -124,6 +132,14 @@ class Machine {
   rng::StreamRegistry streams_;
   rt::EntryRegistry registry_;
   std::vector<std::unique_ptr<proc::Emcy>> pes_;
+  /// Reliability channels, one per PE, constructed only when the fault
+  /// plan is armed with recovery on. The PEs see them as ChannelHooks.
+  std::vector<std::unique_ptr<fault::ReliableChannel>> channels_;
+  /// Per-destination delivery table handed to the outermost network:
+  /// unchecked runs jump straight into Emcy::accept; checked runs route
+  /// through delivery_thunk so the checker observes every ejection.
+  std::vector<net::DeliveryEndpoint> delivery_;
+  ComponentRegistry components_;
   trace::TraceSink* sink_;
 
   std::uint32_t barrier_entry_central_ = 0;

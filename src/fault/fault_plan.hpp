@@ -20,7 +20,7 @@
 #include "common/rng.hpp"
 #include "fault/fault_config.hpp"
 #include "network/packet.hpp"
-#include "snapshot/serializer.hpp"
+#include "common/serializer.hpp"
 
 namespace emx::fault {
 

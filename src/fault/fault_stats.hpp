@@ -13,7 +13,7 @@
 
 #include "common/types.hpp"
 #include "fault/fault_config.hpp"
-#include "snapshot/serializer.hpp"
+#include "common/serializer.hpp"
 
 namespace emx::fault {
 

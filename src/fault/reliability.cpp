@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "common/assert.hpp"
+#include "core/instrumentation.hpp"
 #include "fault/fault_plan.hpp"
 
 namespace emx::fault {
@@ -449,6 +450,29 @@ void FaultDomain::save(snapshot::Serializer& s) const {
   }
   s.u64(pending_total_);
   report_.save(s);
+}
+
+void FaultDomain::describe_stall(std::string& out, bool /*quiescent*/) const {
+  char buf[128];
+  std::snprintf(buf, sizeof buf,
+                "  fault ledger: pending_losses=%llu unsequenced_losses=%llu\n",
+                static_cast<unsigned long long>(pending_total_),
+                static_cast<unsigned long long>(report_.unsequenced_losses));
+  out += buf;
+  if (report_.unsequenced_losses > 0)
+    out += "  hint: unsequenced packets were lost with reliability disabled — "
+           "nothing will ever retransmit them\n";
+}
+
+void FaultDomain::contribute(MachineReport& report) const {
+  report.fault_enabled = true;
+  report.fault.injected = report_.injected;
+  report.fault.injected_recoverable = report_.injected_recoverable;
+  report.fault.recovered = report_.recovered;
+  report.fault.corrupt_discarded = report_.corrupt_discarded;
+  report.fault.stale_losses = report_.stale_losses;
+  report.fault.unsequenced_losses = report_.unsequenced_losses;
+  report.fault.peak_ledger_live = report_.peak_ledger_live;
 }
 
 void ReliableChannel::save(snapshot::Serializer& s) const {

@@ -74,20 +74,26 @@
 #include <unordered_set>
 #include <vector>
 
+#include "common/component.hpp"
 #include "common/types.hpp"
 #include "fault/fault_config.hpp"
 #include "fault/fault_stats.hpp"
 #include "network/packet.hpp"
+#include "proc/channel_hooks.hpp"
 #include "proc/execution_unit.hpp"
 #include "proc/output_buffer_unit.hpp"
 #include "sim/sim_context.hpp"
-#include "snapshot/serializer.hpp"
+#include "common/serializer.hpp"
 #include "trace/trace.hpp"
 
 namespace emx::fault {
 
 /// Machine-wide: sequence-number source plus the injected-fault ledger.
-class FaultDomain {
+/// Registered as the "fault" component on fault-armed machines: its
+/// snapshot section is the ledger, its stall description is the
+/// pending/unsequenced-loss summary, and it contributes the ledger half
+/// of FaultReport (the per-PE channel activity is summed by Machine).
+class FaultDomain final : public Component {
  public:
   /// Next request sequence number (1-based; 0 means unsequenced). The
   /// request is live (recovery expected for faults charged to it) until
@@ -120,6 +126,12 @@ class FaultDomain {
   /// Serializes the ledger with its unordered containers sorted, so two
   /// identical runs produce identical bytes.
   void save(snapshot::Serializer& s) const;
+
+  // --- Component ---
+  const char* component_name() const override { return "fault"; }
+  void save_state(ser::Serializer& s) const override { save(s); }
+  void describe_stall(std::string& out, bool quiescent) const override;
+  void contribute(MachineReport& report) const override;
 
  private:
   std::uint32_t last_seq_ = 0;
@@ -172,8 +184,10 @@ struct ChannelStats {
 /// One per processing element; both the sender role (outstanding table,
 /// retransmit timers) and the receiver role (dedup windows, ACK
 /// emission). Not constructed at all on fault-free runs: the protocol's
-/// cost is strictly zero off the faulted path.
-class ReliableChannel {
+/// cost is strictly zero off the faulted path. The processor layer talks
+/// to it exclusively through proc::ChannelHooks, so proc/ and runtime/
+/// never include this header.
+class ReliableChannel final : public proc::ChannelHooks {
  public:
   ReliableChannel(sim::SimContext& sim, const FaultConfig& config, ProcId proc,
                   proc::OutputBufferUnit& obu, proc::ExecutionUnit& exu,
@@ -194,22 +208,22 @@ class ReliableChannel {
   /// the packet (invoke behind unACKed writes, or a block-read resume
   /// behind its word-writes): the OBU must drop it — the channel re-sends
   /// it itself once the blocking writes are acknowledged.
-  bool on_obu_send(net::Packet& packet);
+  bool on_obu_send(net::Packet& packet) override;
 
   /// Called at NIC acceptance for read replies. Returns false when the
   /// reply is a duplicate (request already completed, or an identical
   /// reply is already sitting in the IBU) and must be suppressed. A fresh
   /// reply only marks the entry — retirement waits for dispatch.
-  bool on_reply_accept(const net::Packet& reply);
+  bool on_reply_accept(const net::Packet& reply) override;
 
   /// Called when the IBU dispatches a read reply: the value has reached
   /// the thread engine, so the request retires (timer cancelled, ledger
   /// notified, entry erased).
-  void on_reply_dispatched(const net::Packet& reply);
+  void on_reply_dispatched(const net::Packet& reply) override;
 
   /// Called at NIC acceptance for kAck packets: retires the acknowledged
   /// message. ACKs for already-retired sequences are counted and ignored.
-  void on_ack(const net::Packet& ack);
+  void on_ack(const net::Packet& ack) override;
 
   // --- receiver role ---
 
@@ -218,48 +232,44 @@ class ReliableChannel {
   /// enqueued again. Fresh writes are ACKed here (the DMA commits them
   /// synchronously at accept); fresh invokes are only marked pending —
   /// their ACK waits for IBU dispatch.
-  bool accept_msg(const net::Packet& msg);
+  bool accept_msg(const net::Packet& msg) override;
 
   /// Called when the IBU dispatches a sequenced invoke: the side effect
   /// is now committed, so the dedup window advances and the ACK goes out.
-  void on_invoke_dispatched(const net::Packet& msg);
+  void on_invoke_dispatched(const net::Packet& msg) override;
 
-  /// What the receiver should do with an arriving block-read request.
-  enum class BlockReadVerdict : std::uint8_t {
-    kService,       ///< fresh: run the full service (words + resume)
-    kSuppress,      ///< duplicate of a not-yet-serviced copy: do nothing
-    kResendResume,  ///< already serviced: re-send only the resuming word
-  };
+  using BlockReadVerdict = proc::ChannelHooks::BlockReadVerdict;
 
   /// Called at NIC acceptance for block-read requests. Fresh requests go
   /// pending (their service commits the side effect); duplicates are
   /// split by whether the original was serviced yet. Never ACKs — the
   /// requester's entry retires when the resume dispatches.
-  BlockReadVerdict accept_block_read(const net::Packet& req);
+  BlockReadVerdict accept_block_read(const net::Packet& req) override;
 
   /// Called when the block-read service actually launches (synchronously
   /// at accept in by-pass DMA mode, at IBU dispatch in EM-4 mode): the
   /// dedup window advances so later duplicates only re-send the resume.
-  void on_block_read_serviced(const net::Packet& req);
+  void on_block_read_serviced(const net::Packet& req) override;
 
   /// Called for every fabric packet flushed from the IBU by a PE outage:
   /// pending invokes leave the dedup window (they were never ACKed, so
   /// the sender retransmits) and flushed read replies re-arm the dedup
   /// gate (the still-armed timer re-fetches them).
-  void on_packet_flushed(const net::Packet& packet);
+  void on_packet_flushed(const net::Packet& packet) override;
 
-  bool idle() const { return outstanding_.empty() && fence_.empty(); }
-  std::uint64_t outstanding() const { return outstanding_.size(); }
+  bool idle() const override { return outstanding_.empty() && fence_.empty(); }
+  std::uint64_t outstanding() const override { return outstanding_.size(); }
   const ChannelStats& stats() const { return stats_; }
+  std::uint64_t retry_count() const override { return stats_.retries; }
 
   /// Appends one line per outstanding request, sorted by sequence number
   /// (deterministic), for the watchdog's hang diagnosis.
-  void append_outstanding(std::string& out) const;
+  void append_outstanding(std::string& out) const override;
 
   /// Serializes the full sender+receiver state — outstanding table,
   /// stream counters, dedup windows, fence queue, stats — with every
   /// unordered container sorted by key first.
-  void save(snapshot::Serializer& s) const;
+  void save(snapshot::Serializer& s) const override;
 
  private:
   enum class Class : std::uint8_t { kRead = 0, kMsg = 1 };

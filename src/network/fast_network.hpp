@@ -31,7 +31,7 @@ class FastNetwork final : public Network {
   }
   std::string name() const override { return "omega-fast"; }
 
-  void save_state(snapshot::Serializer& s) const override {
+  void save_state(ser::Serializer& s) const override {
     stats_.save(s);
     for (Cycle c : inject_free_) s.u64(c);
     for (Cycle c : eject_free_) s.u64(c);

@@ -9,6 +9,7 @@
 #include <cstdint>
 #include <string>
 
+#include "common/component.hpp"
 #include "common/stats.hpp"
 #include "common/types.hpp"
 #include "network/packet.hpp"
@@ -28,7 +29,7 @@ struct NetworkStats {
   std::uint64_t peak_port_backlog = 0;
   RunningStat latency;                 ///< injection->delivery, cycles
 
-  void save(snapshot::Serializer& s) const {
+  void save(ser::Serializer& s) const {
     s.u64(packets_injected);
     s.u64(packets_delivered);
     s.u64(self_deliveries);
@@ -43,13 +44,33 @@ struct NetworkStats {
 /// sim.now() equals the arrival cycle during the call.
 using DeliveryFn = void (*)(void* ctx, const Packet& packet);
 
-class Network {
- public:
-  virtual ~Network() = default;
+/// One delivery-table slot: the handler for packets addressed to one PE.
+/// Devirtualizes the hot path — the network calls the destination's
+/// handler directly instead of funnelling every packet through a single
+/// machine-wide dispatch callback.
+struct DeliveryEndpoint {
+  DeliveryFn fn = nullptr;
+  void* ctx = nullptr;
+};
 
+/// The network is the "network" component: its snapshot section is the
+/// model's counters, port timelines and in-flight packets (decorators
+/// prepend theirs; the Machine registers the outermost network only).
+class Network : public Component {
+ public:
+  /// Single-callback delivery: every ejected packet goes through one
+  /// handler. Used by decorators to interpose on the wrapped fabric.
   void set_delivery(DeliveryFn fn, void* ctx) {
     deliver_fn_ = fn;
     deliver_ctx_ = ctx;
+  }
+
+  /// Per-destination delivery: packet.dst indexes `table` (size `count`).
+  /// Takes precedence over set_delivery(); the table must outlive the
+  /// network. Set by the Machine on the outermost network.
+  void set_delivery_table(const DeliveryEndpoint* table, std::uint32_t count) {
+    table_ = table;
+    table_count_ = count;
   }
 
   /// Hands a packet to the network at sim.now(). The packet is copied.
@@ -67,18 +88,28 @@ class Network {
   /// Serializes the model's full dynamic state: counters, port timelines,
   /// and every in-flight packet. Decorators prepend their own state and
   /// forward to the wrapped fabric.
-  virtual void save_state(snapshot::Serializer& s) const { stats_.save(s); }
+  void save_state(ser::Serializer& s) const override { stats_.save(s); }
+
+  const char* component_name() const override { return "network"; }
 
  protected:
   void deliver(const Packet& packet) {
-    EMX_CHECK(deliver_fn_ != nullptr, "network delivery handler unset");
     ++stats_.packets_delivered;
+    if (table_ != nullptr) {
+      EMX_DCHECK(packet.dst < table_count_, "packet to unknown PE");
+      const DeliveryEndpoint& e = table_[packet.dst];
+      e.fn(e.ctx, packet);
+      return;
+    }
+    EMX_CHECK(deliver_fn_ != nullptr, "network delivery handler unset");
     deliver_fn_(deliver_ctx_, packet);
   }
 
   NetworkStats stats_;
 
  private:
+  const DeliveryEndpoint* table_ = nullptr;
+  std::uint32_t table_count_ = 0;
   DeliveryFn deliver_fn_ = nullptr;
   void* deliver_ctx_ = nullptr;
 };

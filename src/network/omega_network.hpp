@@ -34,7 +34,7 @@ class OmegaNetwork final : public Network {
   /// Deepest per-port queue seen anywhere in the fabric (packets).
   std::uint64_t peak_port_backlog() const;
 
-  void save_state(snapshot::Serializer& s) const override {
+  void save_state(ser::Serializer& s) const override {
     stats_.save(s);
     for (const SwitchBox& sw : switches_) sw.save(s);
     std::uint32_t live = 0;

@@ -35,7 +35,7 @@ std::string Packet::describe() const {
   return buf;
 }
 
-void Packet::save(snapshot::Serializer& s) const {
+void Packet::save(ser::Serializer& s) const {
   s.u32(addr);
   s.u32(data);
   s.u32(src);
@@ -53,7 +53,7 @@ void Packet::save(snapshot::Serializer& s) const {
   s.u64(issue_cycle);
 }
 
-void Packet::load(snapshot::Deserializer& d) {
+void Packet::load(ser::Deserializer& d) {
   addr = d.u32();
   data = d.u32();
   src = d.u32();

@@ -11,7 +11,7 @@
 #include <string>
 
 #include "common/types.hpp"
-#include "snapshot/serializer.hpp"
+#include "common/serializer.hpp"
 
 namespace emx::net {
 
@@ -87,9 +87,9 @@ struct Packet {
 
   /// Serializes every field (fixed width, field order above) so any
   /// queue of in-flight packets can embed packets in its own section.
-  void save(snapshot::Serializer& s) const;
+  void save(ser::Serializer& s) const;
   /// Reads fields written by save(); check d.ok() after a batch.
-  void load(snapshot::Deserializer& d);
+  void load(ser::Deserializer& d);
 };
 
 }  // namespace emx::net

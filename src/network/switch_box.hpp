@@ -12,7 +12,7 @@
 #include <cstdint>
 
 #include "common/types.hpp"
-#include "snapshot/serializer.hpp"
+#include "common/serializer.hpp"
 
 namespace emx::net {
 
@@ -39,7 +39,7 @@ class SwitchBox {
   /// interval). Sizes the on-switch buffering a real fabric would need.
   std::uint64_t peak_backlog() const { return peak_backlog_; }
 
-  void save(snapshot::Serializer& s) const {
+  void save(ser::Serializer& s) const {
     for (Cycle c : next_free_) s.u64(c);
     for (std::uint64_t f : forwarded_) s.u64(f);
     s.u64(total_wait_);

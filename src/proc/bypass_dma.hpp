@@ -53,7 +53,7 @@ class BypassDma {
 
   const BypassDmaStats& stats() const { return stats_; }
 
-  void save(snapshot::Serializer& s) const {
+  void save(ser::Serializer& s) const {
     s.u64(engine_free_);
     s.u64(stats_.reads_serviced);
     s.u64(stats_.writes_serviced);

@@ -1,0 +1,80 @@
+// ChannelHooks: the processor's view of a reliable-transport channel.
+//
+// The EMC-Y units (OBU stamping choke point, NIC acceptance in Emcy, IBU
+// dispatch in the thread engine) call these hooks at the protocol's
+// commit points; fault::ReliableChannel implements them. The interface
+// lives in proc/ so the processor and runtime layers never include
+// src/fault/ headers — on fault-free runs no channel is constructed and
+// every call site is a null-checked no-op.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/serializer.hpp"
+#include "network/packet.hpp"
+
+namespace emx::proc {
+
+class ChannelHooks {
+ public:
+  virtual ~ChannelHooks() = default;
+
+  /// What the receiver should do with an arriving block-read request.
+  enum class BlockReadVerdict : std::uint8_t {
+    kService,       ///< fresh: run the full service (words + resume)
+    kSuppress,      ///< duplicate of a not-yet-serviced copy: do nothing
+    kResendResume,  ///< already serviced: re-send only the resuming word
+  };
+
+  // --- sender role (OBU choke point, IBU dispatch) ---
+
+  /// Called by the OBU for every packet it releases; may stamp sequence
+  /// numbers. Returns false when the write fence captured the packet: the
+  /// OBU must drop it — the channel re-sends it itself later.
+  virtual bool on_obu_send(net::Packet& packet) = 0;
+
+  /// Called at NIC acceptance for read replies. Returns false when the
+  /// reply is a duplicate and must be suppressed.
+  virtual bool on_reply_accept(const net::Packet& reply) = 0;
+
+  /// Called when the IBU dispatches a read reply: the request retires.
+  virtual void on_reply_dispatched(const net::Packet& reply) = 0;
+
+  /// Called at NIC acceptance for kAck packets.
+  virtual void on_ack(const net::Packet& ack) = 0;
+
+  // --- receiver role (NIC acceptance, IBU dispatch) ---
+
+  /// Called at NIC acceptance for sequenced writes and invokes. Returns
+  /// false when the message is a duplicate and must not be applied.
+  virtual bool accept_msg(const net::Packet& msg) = 0;
+
+  /// Called when the IBU dispatches a sequenced invoke: side effect
+  /// committed, the ACK goes out.
+  virtual void on_invoke_dispatched(const net::Packet& msg) = 0;
+
+  /// Called at NIC acceptance for block-read requests.
+  virtual BlockReadVerdict accept_block_read(const net::Packet& req) = 0;
+
+  /// Called when the block-read service actually launches.
+  virtual void on_block_read_serviced(const net::Packet& req) = 0;
+
+  /// Called for every fabric packet flushed from the IBU by a PE outage.
+  virtual void on_packet_flushed(const net::Packet& packet) = 0;
+
+  // --- observation (end-of-run checks, diagnosis, reporting) ---
+
+  virtual bool idle() const = 0;
+  virtual std::uint64_t outstanding() const = 0;
+  /// Appends one line per outstanding request (watchdog diagnosis).
+  virtual void append_outstanding(std::string& out) const = 0;
+  /// Read-request retransmissions (ProcReport::read_retries).
+  virtual std::uint64_t retry_count() const = 0;
+
+  /// Serializes the channel's full state (part of the owning PE's
+  /// snapshot section).
+  virtual void save(ser::Serializer& s) const = 0;
+};
+
+}  // namespace emx::proc

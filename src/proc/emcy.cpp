@@ -1,28 +1,25 @@
 #include "proc/emcy.hpp"
 
+#include "core/instrumentation.hpp"
+
 namespace emx::proc {
 
 Emcy::Emcy(sim::SimContext& sim, const MachineConfig& config, ProcId proc,
            net::Network& network, rt::EntryRegistry& registry,
            trace::TraceSink* sink)
-    : config_(config),
+    : sim_(sim),
+      config_(config),
       proc_(proc),
       memory_(config.memory_words),
       obu_(sim, network, config.obu_cycles),
       dma_(sim, memory_, obu_, config.dma_service_cycles,
            config.dma_interval_cycles, config.dma_block_word_cycles),
-      engine_(sim, config, proc, memory_, obu_, registry, sink) {}
-
-void Emcy::arm_reliability(sim::SimContext& sim, fault::FaultDomain& domain,
-                           trace::TraceSink* sink) {
-  channel_ = std::make_unique<fault::ReliableChannel>(
-      sim, config_.fault, proc_, obu_, engine_.exu(), domain,
-      config_.packet_gen_cycles, sink);
-  obu_.set_channel(channel_.get());
-  engine_.set_channel(channel_.get());
+      engine_(sim, config, proc, memory_, obu_, registry, sink) {
+  std::snprintf(name_, sizeof name_, "pe%u", proc_);
 }
 
 void Emcy::accept(const net::Packet& packet) {
+  sim_.note_progress();
   ++accepted_;
   using net::PacketKind;
   switch (packet.kind) {
@@ -42,11 +39,11 @@ void Emcy::accept(const net::Packet& packet) {
       // re-fetches the resuming word.
       if (packet.kind == PacketKind::kBlockReadReq && channel_ != nullptr) {
         switch (channel_->accept_block_read(packet)) {
-          case fault::ReliableChannel::BlockReadVerdict::kService:
+          case ChannelHooks::BlockReadVerdict::kService:
             break;
-          case fault::ReliableChannel::BlockReadVerdict::kSuppress:
+          case ChannelHooks::BlockReadVerdict::kSuppress:
             return;
-          case fault::ReliableChannel::BlockReadVerdict::kResendResume:
+          case ChannelHooks::BlockReadVerdict::kResendResume:
             dma_.resend_resume(packet);
             return;
         }
@@ -84,6 +81,43 @@ void Emcy::accept(const net::Packet& packet) {
       if (channel_ != nullptr) channel_->on_ack(packet);
       return;
   }
+}
+
+void Emcy::describe_stall(std::string& out, bool /*quiescent*/) const {
+  const bool channel_idle = channel_ == nullptr || channel_->idle();
+  if (engine_.frames().live() == 0 && channel_idle && engine_.ibu().empty())
+    return;
+  char buf[128];
+  std::snprintf(buf, sizeof buf,
+                "  P%u: live_threads=%llu ibu_depth=%llu outstanding=%llu\n",
+                proc_,
+                static_cast<unsigned long long>(engine_.frames().live()),
+                static_cast<unsigned long long>(engine_.ibu().size()),
+                static_cast<unsigned long long>(
+                    channel_ != nullptr ? channel_->outstanding() : 0));
+  out += buf;
+  engine_.frames().append_live(out);
+  if (channel_ != nullptr) channel_->append_outstanding(out);
+}
+
+void Emcy::contribute(MachineReport& report) const {
+  // Machine::report() sets total_cycles (the end-of-run cycle) before the
+  // contribute pass, so idle time can be computed against it here.
+  const auto& exu = engine_.exu();
+  ProcReport p;
+  p.compute = exu.bucket(CycleBucket::kCompute);
+  p.overhead = exu.bucket(CycleBucket::kOverhead);
+  p.switching = exu.bucket(CycleBucket::kSwitch);
+  p.read_service = exu.bucket(CycleBucket::kReadService);
+  p.comm = exu.idle_cycles(report.total_cycles);
+  p.switches = engine_.switches();
+  p.reads_issued = engine_.reads_issued();
+  p.packets_accepted = accepted_;
+  p.dma_reads = dma_.stats().reads_serviced;
+  p.dma_block_reads = dma_.stats().block_reads_serviced;
+  p.dma_writes = dma_.stats().writes_serviced;
+  if (channel_ != nullptr) p.read_retries = channel_->retry_count();
+  report.procs.push_back(p);
 }
 
 }  // namespace emx::proc

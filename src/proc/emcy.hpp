@@ -8,14 +8,20 @@
 //
 // In EM-4 compatibility mode, read requests are demoted to the thread
 // FIFO and serviced on the EXU instead.
+//
+// Each PE is a Component ("pe0".."peN"): its snapshot section covers the
+// memory digest, OBU, DMA, thread engine and (when armed) the reliable
+// channel; its stall description is the per-PE block of the watchdog
+// diagnosis; and it contributes one ProcReport to the machine report.
 #pragma once
 
-#include <memory>
+#include <cstdio>
 
+#include "common/component.hpp"
 #include "core/config.hpp"
-#include "fault/reliability.hpp"
 #include "network/network_iface.hpp"
 #include "proc/bypass_dma.hpp"
+#include "proc/channel_hooks.hpp"
 #include "proc/memory.hpp"
 #include "proc/output_buffer_unit.hpp"
 #include "runtime/scheduler.hpp"
@@ -23,7 +29,7 @@
 
 namespace emx::proc {
 
-class Emcy {
+class Emcy final : public Component {
  public:
   Emcy(sim::SimContext& sim, const MachineConfig& config, ProcId proc,
        net::Network& network, rt::EntryRegistry& registry,
@@ -37,23 +43,36 @@ class Emcy {
   const Memory& memory() const { return memory_; }
   OutputBufferUnit& obu() { return obu_; }
   BypassDma& dma() { return dma_; }
+  const BypassDma& dma() const { return dma_; }
   rt::ThreadEngine& engine() { return engine_; }
   const rt::ThreadEngine& engine() const { return engine_; }
 
-  /// Delivery point from the network (called at arrival time).
+  /// Delivery point from the network (called at arrival time). Notes
+  /// forward progress with the watchdog: a packet landing at a PE is
+  /// progress by definition.
   void accept(const net::Packet& packet);
+
+  /// Delivery-table entry (net::DeliveryEndpoint): lets unchecked runs
+  /// route packets from the network straight into accept() with no
+  /// intermediate Machine hop.
+  static void accept_thunk(void* ctx, const net::Packet& packet) {
+    static_cast<Emcy*>(ctx)->accept(packet);
+  }
 
   std::uint64_t packets_accepted() const { return accepted_; }
 
-  /// Arms the reliability protocol on this PE (fault-injection runs only):
-  /// constructs the ReliableChannel and hooks it into the OBU's stamping
-  /// choke point, the thread engine's dispatch path and this PE's packet
+  /// Attaches the reliability protocol (fault-injection runs only; the
+  /// Machine owns the channel): hooks it into the OBU's stamping choke
+  /// point, the thread engine's dispatch path and this PE's packet
   /// acceptance path.
-  void arm_reliability(sim::SimContext& sim, fault::FaultDomain& domain,
-                       trace::TraceSink* sink);
+  void attach_channel(ChannelHooks* channel) {
+    channel_ = channel;
+    obu_.set_channel(channel);
+    engine_.set_channel(channel);
+  }
 
-  fault::ReliableChannel* channel() { return channel_.get(); }
-  const fault::ReliableChannel* channel() const { return channel_.get(); }
+  ChannelHooks* channel() { return channel_; }
+  const ChannelHooks* channel() const { return channel_; }
 
   /// Transient fail-stop outage (FaultKind::kPeOutage): freeze thread
   /// dispatch and flush fabric-origin packets from the IBU. The NIC-side
@@ -61,9 +80,13 @@ class Emcy {
   void begin_outage() { engine_.begin_outage(); }
   void end_outage() { engine_.end_outage(); }
 
+  // --- Component ---
+
+  const char* component_name() const override { return name_; }
+
   /// Serializes the whole PE: memory digest, OBU, DMA, thread engine,
   /// and (when armed) the reliability channel ledgers.
-  void save(snapshot::Serializer& s) const {
+  void save_state(ser::Serializer& s) const override {
     s.u64(accepted_);
     memory_.save(s);
     obu_.save(s);
@@ -73,14 +96,22 @@ class Emcy {
     if (channel_ != nullptr) channel_->save(s);
   }
 
+  /// Kept as the historical spelling used by PE-level unit tests.
+  void save(ser::Serializer& s) const { save_state(s); }
+
+  void describe_stall(std::string& out, bool quiescent) const override;
+  void contribute(MachineReport& report) const override;
+
  private:
+  sim::SimContext& sim_;
   const MachineConfig& config_;
   ProcId proc_;
+  char name_[8];  ///< "pe%u" — the stable component/section name
   Memory memory_;
   OutputBufferUnit obu_;
   BypassDma dma_;
   rt::ThreadEngine engine_;
-  std::unique_ptr<fault::ReliableChannel> channel_;  ///< null on fault-free runs
+  ChannelHooks* channel_ = nullptr;  ///< null on fault-free runs
   std::uint64_t accepted_ = 0;
 };
 

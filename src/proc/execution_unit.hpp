@@ -20,7 +20,7 @@
 
 #include "common/assert.hpp"
 #include "common/types.hpp"
-#include "snapshot/serializer.hpp"
+#include "common/serializer.hpp"
 
 namespace emx::proc {
 
@@ -71,7 +71,7 @@ class ExecutionUnit {
     return idle;
   }
 
-  void save(snapshot::Serializer& s) const {
+  void save(ser::Serializer& s) const {
     s.boolean(busy_);
     s.u64(idle_since_);
     s.u64(idle_cycles_);

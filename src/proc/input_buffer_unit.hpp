@@ -44,7 +44,7 @@ class InputBufferUnit {
   }
   std::size_t spilled_now() const { return high_.spilled() + normal_.spilled(); }
 
-  void save(snapshot::Serializer& s) const {
+  void save(ser::Serializer& s) const {
     s.u64(received_);
     for (const auto* fifo : {&high_, &normal_}) {
       s.u32(static_cast<std::uint32_t>(fifo->size()));

@@ -11,7 +11,7 @@
 #include <cstdint>
 
 #include "common/types.hpp"
-#include "snapshot/serializer.hpp"
+#include "common/serializer.hpp"
 
 namespace emx::proc {
 
@@ -31,7 +31,7 @@ class MatchingUnit {
   std::uint64_t resumptions() const { return resumptions_; }
   std::uint64_t matches() const { return matches_; }
 
-  void save(snapshot::Serializer& s) const {
+  void save(ser::Serializer& s) const {
     s.u64(dispatches_);
     s.u64(invocations_);
     s.u64(resumptions_);

@@ -9,7 +9,7 @@
 
 #include "common/assert.hpp"
 #include "common/types.hpp"
-#include "snapshot/serializer.hpp"
+#include "common/serializer.hpp"
 
 namespace emx::proc {
 
@@ -58,9 +58,9 @@ class Memory {
   /// PE a full image would dominate the checkpoint, and the
   /// restore-by-replay design only needs to *verify* memory, for which
   /// the digest is as strong a witness as the bytes.
-  void save(snapshot::Serializer& s) const {
+  void save(ser::Serializer& s) const {
     s.u64(words_.size());
-    s.u32(snapshot::crc32(words_.data(), words_.size() * sizeof(Word)));
+    s.u32(ser::crc32(words_.data(), words_.size() * sizeof(Word)));
   }
 
  private:

@@ -1,6 +1,6 @@
 #include "proc/output_buffer_unit.hpp"
 
-#include "fault/reliability.hpp"
+#include "proc/channel_hooks.hpp"
 
 namespace emx::proc {
 

@@ -14,11 +14,9 @@
 #include "network/network_iface.hpp"
 #include "sim/sim_context.hpp"
 
-namespace emx::fault {
-class ReliableChannel;
-}
-
 namespace emx::proc {
+
+class ChannelHooks;  // defined in proc/channel_hooks.hpp
 
 class OutputBufferUnit {
  public:
@@ -34,7 +32,7 @@ class OutputBufferUnit {
   void send(const net::Packet& packet);
 
   /// Arms sequence-number stamping (fault-injection runs only).
-  void set_channel(fault::ReliableChannel* channel) { channel_ = channel; }
+  void set_channel(ChannelHooks* channel) { channel_ = channel; }
 
   std::uint64_t packets_sent() const { return sent_; }
 
@@ -42,7 +40,7 @@ class OutputBufferUnit {
   /// released) packet with its pool slot. Slot assignment comes from the
   /// free-list, which evolves deterministically with the run history, so
   /// two identical runs serialize identically.
-  void save(snapshot::Serializer& s) const {
+  void save(ser::Serializer& s) const {
     s.u64(sent_);
     std::uint32_t live = 0;
     for (const Outgoing& o : pool_)
@@ -66,7 +64,7 @@ class OutputBufferUnit {
   sim::SimContext& sim_;
   net::Network& network_;
   Cycle obu_cycles_;
-  fault::ReliableChannel* channel_ = nullptr;
+  ChannelHooks* channel_ = nullptr;
   std::vector<Outgoing> pool_;
   std::uint32_t free_head_ = 0xFFFFFFFFu;
   std::uint64_t sent_ = 0;

@@ -1,0 +1,67 @@
+// CheckHooks: the runtime's view of the dynamic-analysis layer.
+//
+// The thread engine reports thread lifecycle, attributed accesses, frame
+// annotations, and every happens-before edge through this interface;
+// analysis::CheckContext implements it. The interface lives in runtime/
+// so the runtime layer never includes src/analysis/ headers — on
+// unchecked runs no checker is constructed and every call site is a
+// null-checked no-op (checkers are pure observers; arming them must not
+// change a single simulated cycle).
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.hpp"
+
+namespace emx::rt {
+
+class CheckHooks {
+ public:
+  virtual ~CheckHooks() = default;
+
+  // ----- thread lifecycle -----
+
+  virtual void on_thread_start(ProcId pe, ThreadId raw, std::uint32_t entry,
+                               std::uint32_t hb_token) = 0;
+  virtual void on_thread_run(ProcId pe, ThreadId raw) = 0;
+  virtual void on_thread_end(ProcId pe, ThreadId raw) = 0;
+
+  // ----- attributed accesses, recorded at issue time -----
+
+  virtual void on_local_read(ProcId pe, ThreadId raw, LocalAddr addr) = 0;
+  virtual void on_local_write(ProcId pe, ThreadId raw, LocalAddr addr) = 0;
+  virtual void on_remote_read(ProcId pe, ThreadId raw, ProcId tproc,
+                              LocalAddr taddr) = 0;
+  virtual void on_remote_write(ProcId pe, ThreadId raw, ProcId tproc,
+                               LocalAddr taddr) = 0;
+  virtual void on_block_read(ProcId pe, ThreadId raw, ProcId sproc,
+                             LocalAddr saddr, LocalAddr dest,
+                             std::uint32_t len) = 0;
+  virtual void on_read_suspend(ProcId pe, ThreadId raw) = 0;
+
+  // ----- frame-region annotations -----
+
+  virtual void on_frame_mark(ProcId pe, ThreadId raw, LocalAddr base,
+                             std::uint32_t len) = 0;
+  virtual void on_frame_drop(ProcId pe, ThreadId raw, LocalAddr base) = 0;
+
+  // ----- happens-before edges the runtime materializes -----
+
+  /// Invoke edge, sender side: returns the token the kInvoke packet
+  /// carries to the new thread (0 = none).
+  virtual std::uint32_t on_spawn(ProcId pe, ThreadId raw) = 0;
+  virtual void on_gate_pass(ProcId pe, ThreadId raw, std::uint64_t gate) = 0;
+  virtual void on_gate_block(ProcId pe, ThreadId raw, std::uint64_t gate,
+                             std::uint32_t index) = 0;
+  virtual void on_gate_wake(ProcId pe, ThreadId raw) = 0;
+  virtual void on_gate_advance(ProcId pe, ThreadId raw, std::uint64_t gate) = 0;
+  virtual void on_barrier_join(ProcId pe, ThreadId raw) = 0;
+  virtual void on_barrier_pass(ProcId pe, ThreadId raw) = 0;
+
+  // ----- probes -----
+
+  /// Every EXU cycle charge (sanity: wrapped-negative amounts).
+  virtual void on_charge(ProcId pe, Cycle cycles) = 0;
+};
+
+}  // namespace emx::rt

@@ -13,7 +13,7 @@
 
 #include "common/types.hpp"
 #include "runtime/task.hpp"
-#include "snapshot/serializer.hpp"
+#include "common/serializer.hpp"
 
 namespace emx::rt {
 
@@ -69,7 +69,7 @@ class FramePool {
   /// saved locals) is NOT serializable — that is the reason restore works
   /// by deterministic replay; everything around the handle is still
   /// pinned byte-for-byte here.
-  void save(snapshot::Serializer& s) const {
+  void save(ser::Serializer& s) const {
     s.u64(created_);
     s.u64(live_);
     s.u64(peak_live_);

@@ -2,9 +2,7 @@
 
 #include <vector>
 
-#include "analysis/checker.hpp"
 #include "common/assert.hpp"
-#include "fault/reliability.hpp"
 #include "runtime/thread_api.hpp"
 
 namespace emx::rt {

@@ -14,25 +14,19 @@
 #include "common/types.hpp"
 #include "core/config.hpp"
 #include "network/packet.hpp"
+#include "proc/channel_hooks.hpp"
 #include "proc/execution_unit.hpp"
 #include "proc/input_buffer_unit.hpp"
 #include "proc/matching_unit.hpp"
 #include "proc/memory.hpp"
 #include "proc/output_buffer_unit.hpp"
 #include "runtime/barrier.hpp"
+#include "runtime/check_hooks.hpp"
 #include "runtime/frame.hpp"
 #include "runtime/global_addr.hpp"
 #include "runtime/order_gate.hpp"
 #include "sim/sim_context.hpp"
 #include "trace/trace.hpp"
-
-namespace emx::fault {
-class ReliableChannel;  // defined in fault/reliability.hpp
-}
-
-namespace emx::analysis {
-class CheckContext;  // defined in analysis/checker.hpp
-}
 
 namespace emx::rt {
 
@@ -59,6 +53,7 @@ class ThreadEngine {
   proc::Memory& memory() { return memory_; }
   const MachineConfig& config() const { return config_; }
   proc::InputBufferUnit& ibu() { return ibu_; }
+  const proc::InputBufferUnit& ibu() const { return ibu_; }
   proc::MatchingUnit& matching_unit() { return mu_; }
   proc::ExecutionUnit& exu() { return exu_; }
   const proc::ExecutionUnit& exu() const { return exu_; }
@@ -85,7 +80,7 @@ class ThreadEngine {
   /// channel learns when the IBU commits the side effects it must
   /// acknowledge (invoke dispatch) or retire (reply dispatch). Sequence
   /// stamping itself lives at the OBU choke point.
-  void set_channel(fault::ReliableChannel* channel) { channel_ = channel; }
+  void set_channel(proc::ChannelHooks* channel) { channel_ = channel; }
 
   /// Transient fail-stop outage: freeze dispatch and flush every
   /// fabric-origin packet out of the IBU (a dead PE loses its NIC FIFOs).
@@ -98,8 +93,8 @@ class ThreadEngine {
 
   /// Arms the correctness checkers (analysis runs only): thread lifetime,
   /// every attributed access, and every synchronization edge report into
-  /// the shared CheckContext at issue time.
-  void set_checker(analysis::CheckContext* checker) { checker_ = checker; }
+  /// the shared analysis hub at issue time.
+  void set_checker(CheckHooks* checker) { checker_ = checker; }
 
   // ----- Awaiter-facing (called while a thread coroutine runs) -----
 
@@ -138,7 +133,7 @@ class ThreadEngine {
   /// accounting, barrier bookkeeping, switch counters, and the packets in
   /// mid-dispatch. Coroutine frames are pinned indirectly through the
   /// FramePool record state (see FramePool::save).
-  void save(snapshot::Serializer& s) const {
+  void save(ser::Serializer& s) const {
     s.boolean(frozen_);
     current_packet_.save(s);
     em4_pending_.save(s);
@@ -191,8 +186,8 @@ class ThreadEngine {
   proc::OutputBufferUnit& obu_;
   EntryRegistry& registry_;
   trace::TraceSink* sink_;
-  fault::ReliableChannel* channel_ = nullptr; ///< null on fault-free runs
-  analysis::CheckContext* checker_ = nullptr; ///< null on unchecked runs
+  proc::ChannelHooks* channel_ = nullptr;  ///< null on fault-free runs
+  CheckHooks* checker_ = nullptr;          ///< null on unchecked runs
   bool frozen_ = false;  ///< PE outage in progress: no new dispatches
 
   proc::InputBufferUnit ibu_;

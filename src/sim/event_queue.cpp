@@ -31,79 +31,170 @@ void* EventFnTable::ctx_of(std::uint32_t id) const {
   return entries_[id - 1].ctx;
 }
 
+void EventQueue::insert(const Event& ev) {
+  // top() advances the cursor across event-free gaps; a push back into
+  // such a gap (run_until / paused runs — never the dispatch hot loop,
+  // where the cursor always sits at the last popped event's cycle) pulls
+  // the wheel back to the new event's cycle.
+  if (ev.time < cursor_) rehome(ev.time);
+  if (ev.time < cursor_ + kWheelBuckets) {
+    Bucket& b = wheel_[ev.time & (kWheelBuckets - 1)];
+    // Direct pushes arrive in seq order (seq is monotonic in push time),
+    // so append keeps the bucket sorted. Only far-heap migration can
+    // deliver an out-of-order seq, and it inserts at the right spot.
+    if (b.events.empty() || b.events.back().seq < ev.seq) {
+      b.events.push_back(ev);
+    } else {
+      const auto at = std::lower_bound(
+          b.events.begin() + static_cast<std::ptrdiff_t>(b.head),
+          b.events.end(), ev,
+          [](const Event& x, const Event& y) { return x.seq < y.seq; });
+      b.events.insert(at, ev);
+    }
+    ++wheel_records_;
+  } else {
+    far_.push_back(ev);
+    far_sift_up(far_.size() - 1);
+  }
+}
+
+void EventQueue::rehome(Cycle new_cursor) {
+  // Lowering the cursor shifts the wheel's window; records whose cycle
+  // no longer fits re-route (possibly to the far heap). All stored wheel
+  // records have time >= the old cursor > new_cursor, so the reinsertion
+  // cannot recurse. Cold path by construction.
+  std::vector<Event> pending;
+  pending.reserve(wheel_records_);
+  for (Bucket& b : wheel_) {
+    for (std::size_t i = b.head; i < b.events.size(); ++i)
+      pending.push_back(b.events[i]);
+    b.events.clear();
+    b.head = 0;
+  }
+  wheel_records_ = 0;
+  cursor_ = new_cursor;
+  for (const Event& ev : pending) insert(ev);
+}
+
 std::uint64_t EventQueue::push(Cycle time, EventFn fn, void* ctx,
                                std::uint64_t a, std::uint64_t b) {
   EMX_DCHECK(fn != nullptr, "event without handler");
   const std::uint64_t id = next_seq_++;
-  heap_.push_back(Event{time, id, fn, ctx, a, b});
-  sift_up(heap_.size() - 1);
+  // An empty queue lets the cursor jump straight to the new event's
+  // cycle — the wheel never scans across a gap no event occupies.
+  if (records_ == 0) cursor_ = time;
+  insert(Event{time, id, fn, ctx, a, b});
+  ++records_;
   return id;
 }
 
-Event EventQueue::pop_front() {
-  Event out = heap_.front();
-  heap_.front() = heap_.back();
-  heap_.pop_back();
-  if (!heap_.empty()) sift_down(0);
-  return out;
+void EventQueue::cancel(std::uint64_t id) {
+  const std::size_t w = static_cast<std::size_t>(id >> 6);
+  if (w >= tomb_bits_.size()) tomb_bits_.resize(w + 1, 0);
+  const std::uint64_t mask = std::uint64_t{1} << (id & 63u);
+  if ((tomb_bits_[w] & mask) != 0) return;  // double-cancel is a no-op
+  tomb_bits_[w] |= mask;
+  ++tomb_live_;
 }
 
-void EventQueue::drop_cancelled_front() {
-  while (!heap_.empty()) {
-    const auto it = cancelled_.find(heap_.front().seq);
-    if (it == cancelled_.end()) return;
-    cancelled_.erase(it);
-    (void)pop_front();
+void EventQueue::migrate_due() {
+  while (!far_.empty() && far_.front().time < cursor_ + kWheelBuckets) {
+    const Event ev = far_pop_front();
+    insert(ev);
+  }
+}
+
+Event& EventQueue::peek_live() {
+  EMX_DCHECK(!empty(), "peek into empty event queue");
+  for (;;) {
+    if (wheel_records_ == 0) {
+      // Nothing within the horizon: jump the cursor to the far heap's
+      // next due cycle instead of scanning empty buckets.
+      cursor_ = far_.front().time;
+      migrate_due();
+      continue;
+    }
+    Bucket& b = wheel_[cursor_ & (kWheelBuckets - 1)];
+    while (b.head < b.events.size()) {
+      Event& ev = b.events[b.head];
+      if (!tombstoned(ev.seq)) return ev;
+      // Cancelled: discard in place, never dispatched.
+      tomb_bits_[static_cast<std::size_t>(ev.seq >> 6)] &=
+          ~(std::uint64_t{1} << (ev.seq & 63u));
+      --tomb_live_;
+      --records_;
+      --wheel_records_;
+      ++b.head;
+    }
+    b.events.clear();
+    b.head = 0;
+    ++cursor_;
+    migrate_due();
   }
 }
 
 const Event& EventQueue::top() const {
-  // Cancelled records are lazily discarded in pop(); peeking must skip
-  // them without mutating, so scan from the heap head. The head is the
-  // earliest record; if it is cancelled the const_cast-free option is to
-  // let the caller pop — instead we keep top() exact by purging first.
-  auto* self = const_cast<EventQueue*>(this);
-  self->drop_cancelled_front();
-  EMX_DCHECK(!heap_.empty(), "top of empty event queue");
-  return heap_.front();
+  // The cursor advance only discards records that could never be
+  // observed (consumed buckets, tombstones), so logical const-ness holds
+  // even though the storage mutates.
+  return const_cast<EventQueue*>(this)->peek_live();
 }
 
 Event EventQueue::pop() {
-  drop_cancelled_front();
-  EMX_DCHECK(!heap_.empty(), "pop from empty event queue");
-  return pop_front();
+  Event& ev = peek_live();
+  const Event out = ev;
+  Bucket& b = wheel_[out.time & (kWheelBuckets - 1)];
+  ++b.head;
+  --records_;
+  --wheel_records_;
+  return out;
 }
 
 void EventQueue::clear() {
-  heap_.clear();
-  cancelled_.clear();
+  for (Bucket& b : wheel_) {
+    b.events.clear();
+    b.head = 0;
+  }
+  far_.clear();
+  cursor_ = 0;
+  records_ = 0;
+  wheel_records_ = 0;
+  tomb_bits_.clear();
+  tomb_live_ = 0;
   next_seq_ = 0;
 }
 
-void EventQueue::save(snapshot::Serializer& s, const EventFnTable* table) const {
+void EventQueue::save(ser::Serializer& s, const EventFnTable* table) const {
   s.u64(next_seq_);
-  s.u32(static_cast<std::uint32_t>(heap_.size()));
-  for (const Event& ev : heap_) {
-    s.u64(ev.time);
-    s.u64(ev.seq);
-    s.u32(table != nullptr ? table->id_of(ev.fn, ev.ctx) : 0);
-    s.u64(ev.a);
-    s.u64(ev.b);
+  // Canonical order: live records sorted by seq. seq values are unique,
+  // so the order is total and independent of storage layout.
+  std::vector<const Event*> live;
+  live.reserve(size());
+  for (const Bucket& b : wheel_)
+    for (std::size_t i = b.head; i < b.events.size(); ++i)
+      if (!tombstoned(b.events[i].seq)) live.push_back(&b.events[i]);
+  for (const Event& ev : far_)
+    if (!tombstoned(ev.seq)) live.push_back(&ev);
+  std::sort(live.begin(), live.end(),
+            [](const Event* a, const Event* b) { return a->seq < b->seq; });
+  s.u32(static_cast<std::uint32_t>(live.size()));
+  for (const Event* ev : live) {
+    s.u64(ev->time);
+    s.u64(ev->seq);
+    s.u32(table != nullptr ? table->id_of(ev->fn, ev->ctx) : 0);
+    s.u64(ev->a);
+    s.u64(ev->b);
   }
-  // unordered_set iteration order is not deterministic; sort before
-  // writing so identical queues always serialize identically.
-  std::vector<std::uint64_t> cancelled(cancelled_.begin(), cancelled_.end());
-  std::sort(cancelled.begin(), cancelled.end());
-  s.u32(static_cast<std::uint32_t>(cancelled.size()));
-  for (std::uint64_t id : cancelled) s.u64(id);
 }
 
-bool EventQueue::load(snapshot::Deserializer& d, const EventFnTable& table) {
+bool EventQueue::load(ser::Deserializer& d, const EventFnTable& table) {
   clear();
   next_seq_ = d.u64();
-  const std::uint32_t heap_count = d.u32();
-  heap_.reserve(heap_count);
-  for (std::uint32_t i = 0; i < heap_count; ++i) {
+  const std::uint32_t live_count = d.u32();
+  std::vector<Event> loaded;
+  loaded.reserve(live_count);
+  Cycle min_time = 0;
+  for (std::uint32_t i = 0; i < live_count; ++i) {
     Event ev;
     ev.time = d.u64();
     ev.seq = d.u64();
@@ -113,36 +204,51 @@ bool EventQueue::load(snapshot::Deserializer& d, const EventFnTable& table) {
     if (!d.ok() || fn_id == 0 || fn_id > table.count()) return false;
     ev.fn = table.fn_of(fn_id);
     ev.ctx = table.ctx_of(fn_id);
-    // Records are written in storage order, so appending rebuilds the
-    // exact same heap array — no re-heapify, identical tie-breaks.
-    heap_.push_back(ev);
+    if (loaded.empty() || ev.time < min_time) min_time = ev.time;
+    loaded.push_back(ev);
   }
-  const std::uint32_t cancel_count = d.u32();
-  for (std::uint32_t i = 0; i < cancel_count; ++i) cancelled_.insert(d.u64());
+  // Records arrive seq-sorted, not time-sorted: start the cursor at the
+  // earliest record's cycle, then route each through the normal insert
+  // path. Seq-sorted insertion keeps every bucket in seq order, and
+  // save() re-canonicalizes regardless — round-trips are byte-stable.
+  cursor_ = min_time;
+  for (const Event& ev : loaded) {
+    insert(ev);
+    ++records_;
+  }
   return d.ok();
 }
 
-void EventQueue::sift_up(std::size_t i) {
+void EventQueue::far_sift_up(std::size_t i) {
   while (i > 0) {
-    const std::size_t parent = (i - 1) / 2;
-    if (!later(heap_[parent], heap_[i])) break;
-    std::swap(heap_[parent], heap_[i]);
+    const std::size_t parent = (i - 1) / 4;
+    if (!later(far_[parent], far_[i])) break;
+    std::swap(far_[parent], far_[i]);
     i = parent;
   }
 }
 
-void EventQueue::sift_down(std::size_t i) {
-  const std::size_t n = heap_.size();
+void EventQueue::far_sift_down(std::size_t i) {
+  const std::size_t n = far_.size();
   for (;;) {
-    const std::size_t left = 2 * i + 1;
-    const std::size_t right = left + 1;
+    const std::size_t first_child = 4 * i + 1;
+    if (first_child >= n) return;
+    const std::size_t last_child = std::min(first_child + 4, n);
     std::size_t smallest = i;
-    if (left < n && later(heap_[smallest], heap_[left])) smallest = left;
-    if (right < n && later(heap_[smallest], heap_[right])) smallest = right;
+    for (std::size_t c = first_child; c < last_child; ++c)
+      if (later(far_[smallest], far_[c])) smallest = c;
     if (smallest == i) return;
-    std::swap(heap_[i], heap_[smallest]);
+    std::swap(far_[i], far_[smallest]);
     i = smallest;
   }
+}
+
+Event EventQueue::far_pop_front() {
+  Event out = far_.front();
+  far_.front() = far_.back();
+  far_.pop_back();
+  if (!far_.empty()) far_sift_down(0);
+  return out;
 }
 
 }  // namespace emx::sim

@@ -39,7 +39,7 @@ void SimContext::reset() {
   queue_.clear();
 }
 
-void SimContext::save(snapshot::Serializer& s, const EventFnTable* table) const {
+void SimContext::save(ser::Serializer& s, const EventFnTable* table) const {
   s.u64(now_);
   s.u64(processed_);
   s.u64(watchdog_window_);
@@ -47,7 +47,7 @@ void SimContext::save(snapshot::Serializer& s, const EventFnTable* table) const 
   queue_.save(s, table);
 }
 
-bool SimContext::load(snapshot::Deserializer& d, const EventFnTable& table) {
+bool SimContext::load(ser::Deserializer& d, const EventFnTable& table) {
   now_ = d.u64();
   processed_ = d.u64();
   watchdog_window_ = d.u64();

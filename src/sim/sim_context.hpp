@@ -5,6 +5,7 @@
 #include <cstdint>
 
 #include "common/assert.hpp"
+#include "common/component.hpp"
 #include "common/types.hpp"
 #include "sim/event_queue.hpp"
 
@@ -17,7 +18,9 @@ enum class StopReason {
   kPaused,    ///< reached a requested pause cycle with events still pending
 };
 
-class SimContext {
+/// The "sim" component: its snapshot section is the clock, watchdog
+/// ledger and event queue; it contributes the event count to the report.
+class SimContext final : public Component {
  public:
   /// Observer for events scheduled into the past (analysis runs only).
   /// When set, such an event is reported and clamped to `now` instead of
@@ -92,11 +95,15 @@ class SimContext {
   /// Serializes clock, counters, and the queue. Machine snapshots pass
   /// no fn table (see EventQueue::save); the queue payload still pins
   /// every pending time/seq/arg.
-  void save(snapshot::Serializer& s, const EventFnTable* table) const;
+  void save(ser::Serializer& s, const EventFnTable* table) const;
 
   /// Restores state saved with a table. Returns false on a malformed
   /// payload or unknown handler id.
-  bool load(snapshot::Deserializer& d, const EventFnTable& table);
+  bool load(ser::Deserializer& d, const EventFnTable& table);
+
+  // --- Component ---
+  const char* component_name() const override { return "sim"; }
+  void save_state(ser::Serializer& s) const override { save(s, nullptr); }
 
  private:
   void dispatch_one();

@@ -54,7 +54,12 @@ std::string SnapshotFile::decode(const std::uint8_t* data, std::size_t size) {
   // means adding a decode_vN *and* listing N in supported_versions().
   switch (version) {
     case 1:
-      return decode_v1(d);
+    case 2:
+      // Same container layout in both; what changed in v2 is the "sim"
+      // section's event-queue payload encoding. Consumers that rebuild
+      // state (resume/replay) must refuse version < 2; pure container
+      // reads (manifest extraction, section listing) work on either.
+      return decode_sections(d);
     default:
       return format_msg(
           "snapshot format version %llu is newer than this build "
@@ -63,7 +68,7 @@ std::string SnapshotFile::decode(const std::uint8_t* data, std::size_t size) {
   }
 }
 
-std::string SnapshotFile::decode_v1(Deserializer& d) {
+std::string SnapshotFile::decode_sections(Deserializer& d) {
   const std::uint32_t raw_kind = d.u32();
   if (raw_kind != static_cast<std::uint32_t>(FileKind::kCheckpoint) &&
       raw_kind != static_cast<std::uint32_t>(FileKind::kRecording))
@@ -120,6 +125,6 @@ std::string SnapshotFile::read_file(const std::string& path) {
   return err.empty() ? "" : "'" + path + "': " + err;
 }
 
-std::vector<std::uint32_t> SnapshotFile::supported_versions() { return {1}; }
+std::vector<std::uint32_t> SnapshotFile::supported_versions() { return {1, 2}; }
 
 }  // namespace emx::snapshot

@@ -27,12 +27,19 @@
 #include <string_view>
 #include <vector>
 
-#include "snapshot/serializer.hpp"
+#include "common/serializer.hpp"
 
 namespace emx::snapshot {
 
 inline constexpr std::uint32_t kMagic = 0x53584D45u;  // "EMXS" little-endian
-inline constexpr std::uint32_t kFormatVersion = 1;
+// v1: binary-heap EventQueue payload (pending events in heap-array
+//     order, cancelled events saved as explicit tombstone records).
+// v2: canonical EventQueue payload (live events sorted by sequence
+//     number, cancelled events dropped) — the container layout is
+//     unchanged, only the "sim" section's queue encoding differs, so the
+//     v1 *container* still decodes but v1 state sections no longer match
+//     a live machine and cannot be resumed or replayed against.
+inline constexpr std::uint32_t kFormatVersion = 2;
 
 enum class FileKind : std::uint32_t {
   kCheckpoint = 1,  ///< manifest + full per-component state sections
@@ -78,7 +85,7 @@ class SnapshotFile {
   static std::vector<std::uint32_t> supported_versions();
 
  private:
-  std::string decode_v1(Deserializer& d);
+  std::string decode_sections(Deserializer& d);
 };
 
 }  // namespace emx::snapshot

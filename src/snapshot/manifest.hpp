@@ -14,7 +14,7 @@
 #include <string>
 
 #include "core/config.hpp"
-#include "snapshot/serializer.hpp"
+#include "common/serializer.hpp"
 
 namespace emx::snapshot {
 

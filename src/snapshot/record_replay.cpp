@@ -3,7 +3,7 @@
 #include <cstdio>
 
 #include "common/assert.hpp"
-#include "snapshot/snapshot.hpp"
+#include "core/machine.hpp"
 
 namespace emx::snapshot {
 
@@ -12,18 +12,17 @@ Recorder::Recorder(RunManifest manifest, Cycle interval)
   EMX_CHECK(interval_ > 0, "recording interval must be positive");
 }
 
-void Recorder::frame(const Machine& machine, const trace::DigestSink* digest,
-                     Cycle cycle) {
-  const auto sections = component_sections(machine, digest);
+void Recorder::frame(const Machine& machine, Cycle cycle) {
+  const auto& components = machine.components().items();
   if (names_.empty()) {
-    for (const auto& sec : sections) names_.push_back(sec.first);
+    for (const Component* c : components) names_.push_back(c->component_name());
   }
   // The component set is a function of the machine config, which cannot
   // change mid-run; a mismatch here is a recorder bug, not bad input.
-  EMX_CHECK(sections.size() == names_.size(),
+  EMX_CHECK(components.size() == names_.size(),
             "component set changed between digest frames");
   frames_.u64(cycle);
-  for (const auto& sec : sections) frames_.u32(sec.second.crc());
+  for (const Component* c : components) frames_.u32(c->state_crc());
   ++frame_count_;
 }
 
@@ -94,9 +93,7 @@ std::string ReplayVerifier::open(const SnapshotFile& file) {
   return "";
 }
 
-std::string ReplayVerifier::frame(const Machine& machine,
-                                  const trace::DigestSink* digest,
-                                  Cycle cycle) {
+std::string ReplayVerifier::frame(const Machine& machine, Cycle cycle) {
   char buf[192];
   if (next_ >= frames_.size()) {
     std::snprintf(buf, sizeof buf,
@@ -116,23 +113,23 @@ std::string ReplayVerifier::frame(const Machine& machine,
     return buf;
   }
 
-  const auto sections = component_sections(machine, digest);
-  if (sections.size() != names_.size()) {
+  const auto& components = machine.components().items();
+  if (components.size() != names_.size()) {
     std::snprintf(buf, sizeof buf,
                   "replay diverged: recording digested %zu components but "
                   "the replay machine has %zu",
-                  names_.size(), sections.size());
+                  names_.size(), components.size());
     return buf;
   }
-  for (std::size_t c = 0; c < sections.size(); ++c) {
-    if (sections[c].first != names_[c]) {
+  for (std::size_t c = 0; c < components.size(); ++c) {
+    if (components[c]->component_name() != names_[c]) {
       std::snprintf(buf, sizeof buf,
                     "replay diverged: component %zu is '%s' in the recording "
                     "but '%s' in the replay",
-                    c, names_[c].c_str(), sections[c].first.c_str());
+                    c, names_[c].c_str(), components[c]->component_name());
       return buf;
     }
-    const std::uint32_t live = sections[c].second.crc();
+    const std::uint32_t live = components[c]->state_crc();
     if (live != expected.crcs[c]) {
       std::snprintf(buf, sizeof buf,
                     "replay diverged: %s digest mismatch between cycles %llu "

@@ -23,9 +23,6 @@
 
 namespace emx {
 class Machine;
-namespace trace {
-class DigestSink;
-}
 }  // namespace emx
 
 namespace emx::snapshot {
@@ -37,8 +34,7 @@ class Recorder {
   /// Appends one digest frame for the machine's current state. `cycle` is
   /// the schedule point (a multiple of interval(), or the end cycle for
   /// the final frame) — the replay side pauses at the same points.
-  void frame(const Machine& machine, const trace::DigestSink* digest,
-             Cycle cycle);
+  void frame(const Machine& machine, Cycle cycle);
 
   Cycle interval() const { return interval_; }
   std::uint32_t frame_count() const { return frame_count_; }
@@ -67,8 +63,7 @@ class ReplayVerifier {
   /// Digests the machine at a schedule point and compares against the
   /// next recorded frame. Returns "" on match; otherwise a divergence
   /// report naming the first divergent component and the cycle window.
-  std::string frame(const Machine& machine, const trace::DigestSink* digest,
-                    Cycle cycle);
+  std::string frame(const Machine& machine, Cycle cycle);
 
   /// After the replayed run completes: "" when every recorded frame was
   /// consumed, else what is missing (the replay ended early/late).

@@ -123,6 +123,14 @@ RunResult run(const RunOptions& opts) {
     if (!err.empty()) return fail(2, err);
     if (resume_file.kind != FileKind::kCheckpoint)
       return fail(2, opts.resume_path + ": not a checkpoint file");
+    if (resume_file.version < 2)
+      return fail(2, opts.resume_path + ": format v" +
+                         std::to_string(resume_file.version) +
+                         " checkpoint cannot be resumed by this build — "
+                         "its event-queue encoding predates the v2 "
+                         "canonical form, so byte-verification against a "
+                         "rebuilt machine can never pass. Re-capture the "
+                         "checkpoint with this build.");
     RunManifest saved;
     err = read_header(resume_file, saved, resume_cycle);
     if (!err.empty()) return fail(2, opts.resume_path + ": " + err);
@@ -140,6 +148,12 @@ RunResult run(const RunOptions& opts) {
     SnapshotFile rec;
     std::string err = rec.read_file(opts.replay_path);
     if (!err.empty()) return fail(2, err);
+    if (rec.version < 2 && rec.kind == FileKind::kRecording)
+      return fail(2, opts.replay_path + ": format v" +
+                         std::to_string(rec.version) +
+                         " recording cannot be replayed by this build — "
+                         "its digest frames were computed over the pre-v2 "
+                         "event-queue encoding. Re-record with this build.");
     err = replay.open(rec);
     if (!err.empty()) return fail(2, opts.replay_path + ": " + err);
     const std::string mismatch = replay.manifest().diff(m);
@@ -195,7 +209,7 @@ RunResult run(const RunOptions& opts) {
       // The fast-forward reached the checkpoint's cycle (or the run ended
       // first, e.g. resuming a crash dump): prove the rebuilt machine is
       // byte-identical to the saved one before going further.
-      const std::string divergent = verify(machine, &digest, resume_file);
+      const std::string divergent = verify(machine, resume_file);
       if (!divergent.empty())
         return fail(5, "resume verification failed: section " + divergent);
       resume_pending = false;
@@ -204,16 +218,16 @@ RunResult run(const RunOptions& opts) {
     if (completed) break;
 
     if (next_digest == here) {
-      if (recording) recorder.frame(machine, &digest, here);
+      if (recording) recorder.frame(machine, here);
       if (replaying) {
-        const std::string err = replay.frame(machine, &digest, here);
+        const std::string err = replay.frame(machine, here);
         if (!err.empty()) return fail(5, err);
       }
       next_digest += digest_interval;
     }
     if (next_checkpoint == here) {
       const std::string path = checkpoint_path(opts.checkpoint_dir, m.app, here);
-      const SnapshotFile ckpt = capture(machine, m, here, &digest);
+      const SnapshotFile ckpt = capture(machine, m, here);
       const std::string err = ckpt.write_file(path);
       if (!err.empty()) return fail(2, err);
       r.checkpoints_written.push_back(path);
@@ -224,12 +238,12 @@ RunResult run(const RunOptions& opts) {
   // --- completion: final digest frame, recording write-out, report ---
   r.end_cycle = machine.end_cycle();
   if (recording) {
-    recorder.frame(machine, &digest, r.end_cycle);
+    recorder.frame(machine, r.end_cycle);
     const std::string err = recorder.write(opts.record_path);
     if (!err.empty()) return fail(2, err);
   }
   if (replaying) {
-    std::string err = replay.frame(machine, &digest, r.end_cycle);
+    std::string err = replay.frame(machine, r.end_cycle);
     if (err.empty()) err = replay.finish(r.end_cycle);
     if (!err.empty()) return fail(5, err);
   }
@@ -258,7 +272,7 @@ RunResult run(const RunOptions& opts) {
   if ((r.exit_code == 3 || r.exit_code == 4) && !opts.checkpoint_dir.empty()) {
     const std::string path =
         opts.checkpoint_dir + "/crash-" + m.app + ".emxsnap";
-    const SnapshotFile dump = capture(machine, m, r.end_cycle, &digest);
+    const SnapshotFile dump = capture(machine, m, r.end_cycle);
     if (dump.write_file(path).empty()) r.crash_dump_path = path;
   }
   return r;

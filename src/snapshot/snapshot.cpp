@@ -6,36 +6,27 @@
 #include <vector>
 
 #include "core/machine.hpp"
-#include "trace/trace.hpp"
 
 namespace emx::snapshot {
 
 std::vector<std::pair<std::string, Serializer>> component_sections(
-    const Machine& machine, const trace::DigestSink* digest) {
+    const Machine& machine) {
+  // The registry's registration order is the section order; every
+  // stateful unit is in it (Machine asserts coverage at construction).
+  // Machine-level saves carry no event-fn table: event payloads + times
+  // still pin the queue state, and fn identity is re-established by
+  // replay.
   std::vector<std::pair<std::string, Serializer>> out;
-  const auto section = [&out](std::string name) -> Serializer& {
-    out.emplace_back(std::move(name), Serializer{});
-    return out.back().second;
-  };
-
-  // Machine-level saves carry no fn table: event payloads + times still
-  // pin the queue state, and fn identity is re-established by replay.
-  machine.sim().save(section("sim"), nullptr);
-  machine.streams().save(section("streams"));
-  machine.network().save_state(section("network"));
-  if (machine.fault_enabled()) machine.fault_domain().save(section("fault"));
-  if (machine.check_enabled()) machine.checker()->save(section("checker"));
-  if (digest != nullptr) digest->save(section("trace"));
-  for (ProcId p = 0; p < machine.config().proc_count; ++p) {
-    char name[16];
-    std::snprintf(name, sizeof name, "pe%u", p);
-    machine.pe(p).save(section(name));
+  out.reserve(machine.components().items().size());
+  for (const Component* c : machine.components().items()) {
+    out.emplace_back(c->component_name(), Serializer{});
+    c->save_state(out.back().second);
   }
   return out;
 }
 
 SnapshotFile capture(const Machine& machine, const RunManifest& manifest,
-                     Cycle cycle, const trace::DigestSink* digest) {
+                     Cycle cycle) {
   SnapshotFile file;
   file.kind = FileKind::kCheckpoint;
 
@@ -44,8 +35,7 @@ SnapshotFile capture(const Machine& machine, const RunManifest& manifest,
   header.u64(cycle);
   file.add("manifest", header);
 
-  for (auto& [name, s] : component_sections(machine, digest))
-    file.add(name, s);
+  for (auto& [name, s] : component_sections(machine)) file.add(name, s);
   return file;
 }
 
@@ -60,9 +50,8 @@ std::string read_header(const SnapshotFile& file, RunManifest& manifest,
   return "";
 }
 
-std::string verify(const Machine& machine, const trace::DigestSink* digest,
-                   const SnapshotFile& file) {
-  for (const auto& [name, live] : component_sections(machine, digest)) {
+std::string verify(const Machine& machine, const SnapshotFile& file) {
+  for (const auto& [name, live] : component_sections(machine)) {
     const Section* saved = file.find(name);
     if (saved == nullptr) return name + " (missing from snapshot)";
     if (live.data() == saved->payload) continue;

@@ -30,24 +30,22 @@
 
 namespace emx {
 class Machine;
-namespace trace {
-class DigestSink;
-}
 }  // namespace emx
 
 namespace emx::snapshot {
 
-/// Serializes every live component in capture order ("sim", "streams",
-/// "network", armed-only "fault"/"checker", "trace" when `digest` is
-/// non-null, then "pe0".."peN"). Shared by capture(), verify() and the
-/// record-replay digests so the three can never drift apart.
+/// Serializes every live component in the Machine's registry order
+/// ("sim", "streams", "network", armed-only "fault"/"checker", "trace"
+/// when the machine's sink is a DigestSink, then "pe0".."peN"). Shared by
+/// capture(), verify() and the record-replay digests so the three can
+/// never drift apart — and shared with the Machine's own crash dumps and
+/// stall diagnosis via the same registry.
 std::vector<std::pair<std::string, Serializer>> component_sections(
-    const Machine& machine, const trace::DigestSink* digest);
+    const Machine& machine);
 
 /// Serializes the machine (paused at `cycle`) into a checkpoint file.
-/// `digest` may be null (no trace section is written then).
 SnapshotFile capture(const Machine& machine, const RunManifest& manifest,
-                     Cycle cycle, const trace::DigestSink* digest);
+                     Cycle cycle);
 
 /// Extracts the manifest and checkpoint cycle. Returns "" on success,
 /// else a readable error (missing/corrupt manifest section).
@@ -58,7 +56,6 @@ std::string read_header(const SnapshotFile& file, RunManifest& manifest,
 /// state section in `file`. Returns "" when identical; otherwise the name
 /// of the first divergent section plus the first differing byte offset —
 /// the restore contract's proof obligation and its failure diagnosis.
-std::string verify(const Machine& machine, const trace::DigestSink* digest,
-                   const SnapshotFile& file);
+std::string verify(const Machine& machine, const SnapshotFile& file);
 
 }  // namespace emx::snapshot

@@ -7,8 +7,9 @@
 #include <string>
 #include <vector>
 
+#include "common/component.hpp"
 #include "common/types.hpp"
-#include "snapshot/serializer.hpp"
+#include "common/serializer.hpp"
 
 namespace emx::trace {
 
@@ -74,12 +75,18 @@ class VectorTraceSink final : public TraceSink {
 /// Folds every event into a running CRC (optionally forwarding to another
 /// sink). The snapshot subsystem uses it to pin the *entire* trace stream
 /// in a few bytes: two runs are trace-identical iff (count, crc) match.
-class DigestSink final : public TraceSink {
+/// The "trace" component (when installed as the machine's sink): its
+/// snapshot section pins the digest of every event emitted so far, so a
+/// resumed run must re-emit the identical trace prefix.
+class DigestSink final : public TraceSink, public Component {
  public:
   explicit DigestSink(TraceSink* next = nullptr) : next_(next) {}
 
   void on_event(const TraceEvent& event) override {
-    std::uint8_t buf[22];
+    // One contiguous buffer, one CRC call: identical digest to folding
+    // the fields separately (CRC-32 chains over concatenation), but the
+    // slice-by-8 kernel sees 30 bytes at once instead of 22 + 8.
+    std::uint8_t buf[30];
     std::size_t n = 0;
     auto put64 = [&](std::uint64_t v) {
       for (int i = 0; i < 8; ++i) buf[n++] = static_cast<std::uint8_t>(v >> (8 * i));
@@ -91,10 +98,8 @@ class DigestSink final : public TraceSink {
     put32(event.proc);
     put32(event.thread);
     buf[n++] = static_cast<std::uint8_t>(event.type);
+    put64(event.info);
     crc_ = snapshot::crc32(buf, n, crc_);
-    std::uint8_t info[8];
-    for (int i = 0; i < 8; ++i) info[i] = static_cast<std::uint8_t>(event.info >> (8 * i));
-    crc_ = snapshot::crc32(info, sizeof info, crc_);
     ++count_;
     if (next_ != nullptr) next_->on_event(event);
   }
@@ -106,6 +111,10 @@ class DigestSink final : public TraceSink {
     s.u64(count_);
     s.u32(crc_);
   }
+
+  // --- Component ---
+  const char* component_name() const override { return "trace"; }
+  void save_state(ser::Serializer& s) const override { save(s); }
 
  private:
   TraceSink* next_;

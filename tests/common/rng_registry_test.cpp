@@ -2,7 +2,7 @@
 
 #include <gtest/gtest.h>
 
-#include "snapshot/serializer.hpp"
+#include "common/serializer.hpp"
 
 namespace emx::rng {
 namespace {

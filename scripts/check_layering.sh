@@ -30,3 +30,38 @@ if [[ -n "$violations" ]]; then
   exit 1
 fi
 echo "layering OK: no core-layer file includes snapshot/, analysis/ or fault/ headers"
+
+# Workload plugins sit at the very top of src/: they may use the machine,
+# runtime and app helpers, but nothing below them may know they exist —
+# the registry is the only way in. The snapshot runner is the one
+# sanctioned consumer (it builds workloads from manifests).
+below_workloads="src/common src/sim src/network src/proc src/runtime \
+src/core src/apps src/model src/isa src/trace src/fault src/analysis \
+src/snapshot"
+wl_pattern='^[[:space:]]*#[[:space:]]*include[[:space:]]*"workloads/'
+violations=$(grep -rnE "$wl_pattern" $below_workloads \
+  | grep -v '^src/snapshot/runner\.cpp:' || true)
+if [[ -n "$violations" ]]; then
+  echo "layering violation: only the snapshot runner may include"
+  echo "workloads/ headers — everything else below src/workloads must"
+  echo "stay ignorant of the plugin layer:"
+  echo
+  echo "$violations"
+  echo
+  echo "Register the workload and reach it through workloads::Registry."
+  exit 1
+fi
+
+# And the plugins themselves must not reach sideways into the tooling
+# layers: a workload is built *by* the snapshot runner and observed *by*
+# analysis — depending on either would invert that relationship.
+wl_up_pattern='^[[:space:]]*#[[:space:]]*include[[:space:]]*"(snapshot|analysis|fault)/'
+violations=$(grep -rnE "$wl_up_pattern" src/workloads || true)
+if [[ -n "$violations" ]]; then
+  echo "layering violation: src/workloads must not include snapshot/,"
+  echo "analysis/ or fault/ headers:"
+  echo
+  echo "$violations"
+  exit 1
+fi
+echo "layering OK: workloads/ is included only by the snapshot runner and stays below the tooling layers"

@@ -91,6 +91,14 @@ std::string MachineReport::summary_text() const {
   return out;
 }
 
+std::string MachineReport::app_metrics_text() const {
+  std::string out;
+  for (const AppMetric& m : app_metrics) {
+    out += "  " + m.name + " = " + m.value + "\n";
+  }
+  return out;
+}
+
 double overlap_efficiency_percent(double comm_1, double comm_h) {
   if (comm_1 <= 0.0) return 0.0;
   return 100.0 * (comm_1 - comm_h) / comm_1;

@@ -60,6 +60,15 @@ struct MachineReport {
   bool watchdog_fired = false;
   std::string watchdog_diagnosis;
 
+  /// Per-application measurements (frontier sizes, remote-gather counts,
+  /// ...), folded in by the workload's contribute() after the run. Empty
+  /// for runs driven without a workload plugin.
+  struct AppMetric {
+    std::string name;   ///< dotted, app-prefixed: "bfs.levels"
+    std::string value;  ///< already formatted for display
+  };
+  std::vector<AppMetric> app_metrics;
+
   double seconds() const { return cycles_to_seconds(total_cycles, clock_hz); }
 
   // --- aggregates over processors ---
@@ -86,6 +95,10 @@ struct MachineReport {
   Shares shares() const;
 
   std::string summary_text() const;
+
+  /// "  bfs.levels = 7\n  ..." — one line per app metric, empty string
+  /// when no workload contributed any.
+  std::string app_metrics_text() const;
 };
 
 /// Overlap efficiency E = (Tcomm,1 - Tcomm,h) / Tcomm,1, in percent

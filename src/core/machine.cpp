@@ -211,6 +211,22 @@ proc::Emcy& Machine::pe(ProcId p) {
   return *pes_[p];
 }
 
+const Component* Machine::sealed_component(const std::string& name) const {
+  EMX_CHECK(components_.sealed(),
+            "sealed_component('" + name + "') before the registry sealed");
+  const Component* c = components_.find(name);
+  std::string known;
+  if (c == nullptr) {
+    for (const Component* item : components_.items()) {
+      if (!known.empty()) known += ", ";
+      known += item->component_name();
+    }
+  }
+  EMX_CHECK(c != nullptr, "no sealed component named '" + name +
+                              "' (known components: " + known + ")");
+  return c;
+}
+
 const proc::Emcy& Machine::pe(ProcId p) const {
   EMX_CHECK(p < pes_.size(), pe_range_message(p, pes_.size()));
   return *pes_[p];

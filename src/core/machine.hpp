@@ -47,6 +47,13 @@ class Machine {
   /// crash dumps, stall diagnosis and report aggregation all iterate
   /// this one list.
   const ComponentRegistry& components() const { return components_; }
+
+  /// The sealed component named `name`; panics (with the known names) if
+  /// the registry is not sealed yet or no such component exists. The
+  /// workload registry resolves each plugin's metrics component through
+  /// this at build time — a plugin naming a unit that never made it into
+  /// the sealed registry fails loudly instead of reporting into the void.
+  const Component* sealed_component(const std::string& name) const;
   sim::SimContext& sim() { return sim_; }
   const sim::SimContext& sim() const { return sim_; }
   net::Network& network() { return *network_; }

@@ -29,3 +29,8 @@
 #include "runtime/thread_api.hpp"    // coroutine thread bodies
 #include "trace/gantt.hpp"           // timeline rendering
 #include "trace/trace.hpp"           // event tracing
+#include "workloads/bfs.hpp"         // level-synchronous graph traversal
+#include "workloads/histsort.hpp"    // async-BSP bucketed integer sort
+#include "workloads/ptrchase.hpp"    // pointer-chasing latency streams
+#include "workloads/registry.hpp"    // workload plugin registry
+#include "workloads/spmv.hpp"        // CSR SpMV with remote gathers

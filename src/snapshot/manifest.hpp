@@ -20,7 +20,7 @@ namespace emx::snapshot {
 
 struct RunManifest {
   // --- workload ---
-  std::string app;  ///< sort | fft | fft-cyclic | jacobi
+  std::string app;  ///< a workloads::Registry name ("sort", "bfs", ...)
   std::uint64_t size_per_proc = 0;
   std::uint32_t threads = 0;
   std::uint32_t iterations = 0;  ///< jacobi sweeps

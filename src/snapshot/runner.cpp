@@ -2,75 +2,28 @@
 
 #include <cstdio>
 #include <filesystem>
-#include <functional>
 #include <memory>
 
-#include "apps/bitonic.hpp"
-#include "apps/fft.hpp"
-#include "apps/fft_cyclic.hpp"
-#include "apps/jacobi.hpp"
 #include "core/machine.hpp"
 #include "snapshot/record_replay.hpp"
 #include "snapshot/snapshot.hpp"
 #include "trace/trace.hpp"
+#include "workloads/registry.hpp"
 
 namespace emx::snapshot {
 
 namespace {
 
-/// Owns whichever application the manifest names; the app object must
-/// outlive the run (worker coroutines hold pointers into it).
-struct Workload {
-  std::unique_ptr<apps::BitonicSortApp> sort;
-  std::unique_ptr<apps::FftApp> fft;
-  std::unique_ptr<apps::CyclicFftApp> fft_cyclic;
-  std::unique_ptr<apps::JacobiApp> jacobi;
-  std::function<bool()> check_result;  ///< null when verification is moot
-};
-
-/// Builds + sets up the manifest's app. Returns "" or an error (exit 2).
-std::string build_workload(Machine& machine, const RunManifest& m,
-                           Workload& w) {
-  const std::uint64_t n = m.size_per_proc * machine.config().proc_count;
-  if (m.app == "sort") {
-    w.sort = std::make_unique<apps::BitonicSortApp>(
-        machine, apps::BitonicParams{.n = n,
-                                     .threads = m.threads,
-                                     .seed = m.seed,
-                                     .use_block_reads = m.block_reads});
-    w.sort->setup();
-    w.check_result = [app = w.sort.get()] { return app->verify(); };
-  } else if (m.app == "fft") {
-    w.fft = std::make_unique<apps::FftApp>(
-        machine, apps::FftParams{.n = n,
-                                 .threads = m.threads,
-                                 .seed = m.seed,
-                                 .include_local_phase = m.local_phase});
-    w.fft->setup();
-    if (m.local_phase)
-      w.check_result = [app = w.fft.get()] { return app->verify_error() < 1e-5; };
-  } else if (m.app == "fft-cyclic") {
-    w.fft_cyclic = std::make_unique<apps::CyclicFftApp>(
-        machine,
-        apps::CyclicFftParams{.n = n, .threads = m.threads, .seed = m.seed});
-    w.fft_cyclic->setup();
-    w.check_result = [app = w.fft_cyclic.get()] {
-      return app->verify_error() < 1e-5;
-    };
-  } else if (m.app == "jacobi") {
-    w.jacobi = std::make_unique<apps::JacobiApp>(
-        machine, apps::JacobiParams{.n = n,
-                                    .threads = m.threads,
-                                    .iterations = m.iterations,
-                                    .seed = m.seed});
-    w.jacobi->setup();
-    w.check_result = [app = w.jacobi.get()] {
-      return app->verify_error() < 1e-6;
-    };
-  } else {
-    return "unknown app in manifest: " + m.app;
-  }
-  return "";
+/// RunManifest -> the workload layer's driver-independent parameters.
+workloads::Params workload_params(const RunManifest& m) {
+  workloads::Params p;
+  p.size_per_proc = m.size_per_proc;
+  p.threads = m.threads;
+  p.iterations = m.iterations;
+  p.seed = m.seed;
+  p.block_reads = m.block_reads;
+  p.local_phase = m.local_phase;
+  return p;
 }
 
 std::string checkpoint_path(const std::string& dir, const std::string& app,
@@ -182,10 +135,11 @@ RunResult run(const RunOptions& opts) {
   // --- build the machine + workload from the manifest ---
   trace::DigestSink digest(opts.sink);
   Machine machine(m.config, &digest);
-  Workload workload;
+  std::unique_ptr<workloads::Workload> workload;
   {
-    const std::string err = build_workload(machine, m, workload);
-    if (!err.empty()) return fail(2, err);
+    std::string err;
+    workload = workloads::build(machine, m.app, workload_params(m), err);
+    if (workload == nullptr) return fail(2, err);
   }
   Recorder recorder(m, digest_interval > 0 ? digest_interval : 1);
 
@@ -249,14 +203,15 @@ RunResult run(const RunOptions& opts) {
   }
 
   r.report = machine.report();
+  workload->contribute(r.report);
   r.report_valid = true;
   r.trace_events = digest.count();
   r.trace_crc = digest.crc();
   // A watchdog-stopped run never quiesced; its result is undefined.
   if (opts.verify_result && !machine.watchdog_fired() &&
-      workload.check_result) {
+      workload->verifiable()) {
     r.result_checked = true;
-    r.result_ok = workload.check_result();
+    r.result_ok = workload->verify();
   }
 
   if (r.report.watchdog_fired) {

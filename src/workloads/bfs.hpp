@@ -1,0 +1,119 @@
+// Level-synchronous breadth-first search over a deterministic seeded
+// graph — the canonical irregular-traversal workload (the Emu Chick
+// suite's lead algorithm; PAPERS.md).
+//
+// The graph is a uniform-degree digraph: n vertices, `degree` random
+// out-edges each, block-distributed (vertex v lives on PE v / (n/P)).
+// Each level, every PE's h worker threads scan this PE's slice of the
+// current frontier and, for each edge, either visit the target locally
+// or fire a one-sided thread invocation at the owner — the EM-X idiom
+// for a remote atomic: the spawned visit thread does the
+// check-dist/set-dist/append-frontier sequence on the owner's EXU
+// without suspension, so no remote read-modify-write race exists.
+// Remote access is data-dependent and unpredictable: exactly the
+// pattern the paper's latency-tolerance claim is about and the regular
+// kernels (sort, FFT) never produce.
+//
+// Level synchronisation is asynchronous-BSP style: workers issue visits
+// without waiting (overlap), then a barrier, then one designated thread
+// drains the global in-flight visit counter, then a second barrier
+// publishes the swapped frontier. Deterministic by construction — the
+// simulator's event order is deterministic and every counter lives in
+// host-side app state rebuilt identically on resume-by-replay.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/machine.hpp"
+#include "workloads/workload.hpp"
+
+namespace emx::workloads {
+
+struct BfsParams {
+  std::uint64_t n = 8192;     ///< vertices (P | n)
+  std::uint32_t threads = 4;  ///< h, threads per PE
+  std::uint64_t seed = 0x5EED0005;
+  std::uint32_t degree = 8;   ///< out-edges per vertex
+  Word root = 0;              ///< search root (global vertex id)
+
+  // Instruction budgets (cycles).
+  Cycle frontier_cycles = 2;  ///< pop a frontier entry, compute row base
+  Cycle scan_cycles = 2;      ///< load edge target, compute owner
+  Cycle visit_cycles = 2;     ///< distance check at the owner
+  Cycle update_cycles = 2;    ///< distance store + frontier append
+};
+
+/// Distance value of an unreached vertex.
+inline constexpr Word kBfsUnreached = 0xFFFFFFFFu;
+
+class BfsApp final : public Workload {
+ public:
+  BfsApp(Machine& machine, BfsParams params);
+
+  /// Generates the graph, loads PE memories, spawns h workers per PE
+  /// and configures the barrier. Call once, before machine.run().
+  void setup();
+
+  const BfsParams& params() const { return params_; }
+
+  /// Gathers the distance array across PEs (valid after run()).
+  std::vector<Word> gather_dist() const;
+
+  /// Host-side reference BFS over the same adjacency.
+  std::vector<Word> host_reference() const;
+
+  bool verify() const override;
+  void contribute(MachineReport& report) const override;
+
+  std::uint32_t levels() const { return level_; }
+  std::uint64_t remote_visits() const { return remote_visits_; }
+
+  LocalAddr adj_addr(Word u_local, std::uint32_t edge) const;
+  LocalAddr dist_addr(Word v_local) const;
+  LocalAddr frontier_addr(std::uint32_t parity, std::uint64_t slot) const;
+
+ private:
+  friend rt::ThreadBody bfs_worker(BfsApp* app, rt::ThreadApi api,
+                                   Word thread_index);
+  friend rt::ThreadBody bfs_visit(BfsApp* app, rt::ThreadApi api,
+                                  Word v_local);
+
+  /// The atomic visit step, run on the owner PE with no suspension
+  /// between the distance check and the frontier append. Returns true
+  /// when the vertex was newly discovered.
+  bool visit(proc::Memory& mem, ProcId owner, Word v_local);
+
+  std::uint64_t per_proc_vertices() const;
+
+  /// Per-PE frontier fill counts (the frontier contents live in PE
+  /// memory; only the counts are host-side control state).
+  struct PerProc {
+    std::uint64_t cur = 0;
+    std::uint64_t next = 0;
+  };
+
+  Machine& machine_;
+  BfsParams params_;
+  std::vector<Word> adjacency_;  ///< host mirror: n * degree edge targets
+  std::vector<PerProc> state_;
+  std::uint64_t inflight_ = 0;   ///< visit invocations issued, not yet run
+  std::uint32_t level_ = 0;
+  std::uint32_t parity_ = 0;     ///< frontier ping-pong
+  std::uint64_t remote_visits_ = 0;
+  std::uint64_t edges_scanned_ = 0;
+  std::uint64_t reached_ = 1;    ///< discovered vertices (root included)
+  std::uint64_t peak_frontier_ = 0;
+  std::uint32_t worker_entry_ = 0;
+  std::uint32_t visit_entry_ = 0;
+  bool setup_done_ = false;
+};
+
+rt::ThreadBody bfs_worker(BfsApp* app, rt::ThreadApi api, Word thread_index);
+rt::ThreadBody bfs_visit(BfsApp* app, rt::ThreadApi api, Word v_local);
+
+/// Registers the "bfs" spec (called once by Registry::instance()).
+class Registry;
+void register_bfs_workload(Registry& registry);
+
+}  // namespace emx::workloads

@@ -1,0 +1,104 @@
+// Asynchronous-BSP bucketed integer sort with one-sided remote bucket
+// appends (after the LCI+OpenMP asynchronous BSP sorting study,
+// PAPERS.md).
+//
+// Each PE holds m random keys from a fixed range. The range is
+// partitioned evenly over the PEs; every key is appended to its owner
+// PE's bucket — remote keys by a one-sided thread invocation carrying
+// the key as the packet's argument word, fire-and-forget, fully
+// overlapped with the ongoing scan (the "asynchronous" in async-BSP:
+// no per-superstep send/receive coupling). A barrier plus an in-flight
+// drain ends the exchange; each PE then sorts its bucket locally.
+// Concatenating the buckets in PE order yields the globally sorted
+// sequence, compared bitwise against a host std::sort.
+//
+// The all-to-all scatter is the stress case for the reliable-transport
+// layer: under --fault-* every append rides the exactly-once channel,
+// and the drain cannot release the sort phase until every retransmitted
+// invocation has landed.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/machine.hpp"
+#include "workloads/workload.hpp"
+
+namespace emx::workloads {
+
+struct HistsortParams {
+  std::uint64_t n = 2048;     ///< keys total (P | n)
+  std::uint32_t threads = 4;  ///< h, threads per PE
+  std::uint64_t seed = 0x5EED0008;
+
+  // Instruction budgets (cycles).
+  Cycle scan_cycles = 2;    ///< key load + bucket-owner computation
+  Cycle append_cycles = 2;  ///< bucket slot claim + store
+  Cycle sort_cycles = 4;    ///< per key-comparison in the local sort
+};
+
+/// Keys are drawn from [0, kHistsortKeyRange); the bucket partition is
+/// dest = key * P / kHistsortKeyRange, monotone in the key.
+inline constexpr std::uint64_t kHistsortKeyRange = 1ull << 20;
+
+class HistsortApp final : public Workload {
+ public:
+  HistsortApp(Machine& machine, HistsortParams params);
+
+  void setup();
+
+  const HistsortParams& params() const { return params_; }
+
+  /// Bucket owner of `key`.
+  ProcId bucket_owner(Word key) const;
+
+  /// Concatenation of the per-PE buckets in PE order (valid after run()).
+  std::vector<Word> gather_sorted() const;
+
+  /// Host reference: all keys, std::sorted.
+  std::vector<Word> host_reference() const;
+
+  bool verify() const override;
+  void contribute(MachineReport& report) const override;
+
+  LocalAddr key_addr(std::uint64_t k) const;
+  LocalAddr bucket_addr(std::uint64_t slot) const;
+
+ private:
+  friend rt::ThreadBody histsort_worker(HistsortApp* app, rt::ThreadApi api,
+                                        Word thread_index);
+  friend rt::ThreadBody histsort_append(HistsortApp* app, rt::ThreadApi api,
+                                        Word key);
+
+  /// Claims the next bucket slot on `owner` and stores `key` — no
+  /// suspension, so slot claims cannot interleave.
+  void append(proc::Memory& mem, ProcId owner, Word key);
+
+  std::uint64_t per_proc_keys() const;
+
+  /// Host-side exchange bookkeeping per PE.
+  struct PerProc {
+    std::uint64_t expected = 0;  ///< exact bucket size, known at setup
+    std::uint64_t fill = 0;      ///< appends committed so far
+  };
+
+  Machine& machine_;
+  HistsortParams params_;
+  std::vector<Word> keys_;  ///< host mirror: all n keys, PE-major
+  std::vector<PerProc> state_;
+  std::uint64_t inflight_ = 0;  ///< remote appends issued, not yet landed
+  std::uint64_t local_appends_ = 0;
+  std::uint64_t remote_appends_ = 0;
+  std::uint32_t worker_entry_ = 0;
+  std::uint32_t append_entry_ = 0;
+  bool setup_done_ = false;
+};
+
+rt::ThreadBody histsort_worker(HistsortApp* app, rt::ThreadApi api,
+                               Word thread_index);
+rt::ThreadBody histsort_append(HistsortApp* app, rt::ThreadApi api, Word key);
+
+class Registry;
+void register_histsort_workload(Registry& registry);
+
+}  // namespace emx::workloads

@@ -1,0 +1,183 @@
+#include "workloads/ptrchase.hpp"
+
+#include "common/rng.hpp"
+#include "core/instrumentation.hpp"
+#include "runtime/barrier.hpp"
+#include "workloads/registry.hpp"
+
+namespace emx::workloads {
+
+namespace {
+constexpr LocalAddr kRingBase = rt::kReservedWords;
+}  // namespace
+
+PtrchaseApp::PtrchaseApp(Machine& machine, PtrchaseParams params)
+    : machine_(machine), params_(params) {
+  EMX_CHECK(params_.threads >= 1, "need at least one thread per PE");
+  const std::uint32_t P = machine_.config().proc_count;
+  EMX_CHECK(params_.n % P == 0, "blocked distribution requires P | n");
+  EMX_CHECK(params_.n >= 2, "need at least two ring nodes");
+  const std::uint64_t m = per_proc_nodes();
+  const std::uint64_t words = m + params_.threads;
+  EMX_CHECK(kRingBase + words <= machine_.config().memory_words,
+            "ring block does not fit in per-PE memory");
+  worker_entry_ = machine_.register_entry(
+      [this](rt::ThreadApi api, Word arg) -> rt::ThreadBody {
+        return ptrchase_worker(this, api, arg);
+      });
+}
+
+std::uint64_t PtrchaseApp::per_proc_nodes() const {
+  return params_.n / machine_.config().proc_count;
+}
+
+LocalAddr PtrchaseApp::ring_addr(Word node_local) const {
+  return kRingBase + static_cast<LocalAddr>(node_local);
+}
+
+LocalAddr PtrchaseApp::result_addr(std::uint32_t t) const {
+  return kRingBase + static_cast<LocalAddr>(per_proc_nodes() + t);
+}
+
+Word PtrchaseApp::start_node(ProcId pe, std::uint32_t t) const {
+  // Spread the P*h stream starts evenly around the node space so the
+  // chains interleave across PEs from hop one.
+  const std::uint64_t streams =
+      static_cast<std::uint64_t>(machine_.config().proc_count) *
+      params_.threads;
+  const std::uint64_t stream =
+      static_cast<std::uint64_t>(pe) * params_.threads + t;
+  return static_cast<Word>(stream * params_.n / streams);
+}
+
+void PtrchaseApp::setup() {
+  EMX_CHECK(!setup_done_, "setup() called twice");
+  setup_done_ = true;
+  const std::uint32_t P = machine_.config().proc_count;
+  const std::uint64_t m = per_proc_nodes();
+
+  // Sattolo's algorithm: a uniformly random single n-cycle, so every
+  // chase keeps moving and never parks in a short loop.
+  Rng& rng = machine_.streams().stream("workload.ptrchase", params_.seed);
+  std::vector<Word> perm(params_.n);
+  for (std::uint64_t i = 0; i < params_.n; ++i) {
+    perm[i] = static_cast<Word>(i);
+  }
+  for (std::uint64_t i = params_.n - 1; i > 0; --i) {
+    const std::uint64_t j = rng.bounded(i);
+    const Word tmp = perm[i];
+    perm[i] = perm[j];
+    perm[j] = tmp;
+  }
+  ring_.assign(params_.n, 0);
+  for (std::uint64_t i = 0; i < params_.n; ++i) {
+    ring_[perm[i]] = perm[(i + 1) % params_.n];
+  }
+
+  for (ProcId p = 0; p < P; ++p) {
+    auto& mem = machine_.memory(p);
+    for (std::uint64_t k = 0; k < m; ++k) {
+      mem.write(ring_addr(static_cast<Word>(k)),
+                ring_[static_cast<std::uint64_t>(p) * m + k]);
+    }
+    for (std::uint32_t t = 0; t < params_.threads; ++t) {
+      mem.write(result_addr(t), 0);
+    }
+  }
+
+  for (ProcId p = 0; p < P; ++p) {
+    for (std::uint32_t t = 0; t < params_.threads; ++t) {
+      machine_.spawn(p, worker_entry_, t);
+    }
+  }
+}
+
+rt::ThreadBody ptrchase_worker(PtrchaseApp* app, rt::ThreadApi api,
+                               Word thread_index) {
+  const auto t = static_cast<std::uint32_t>(thread_index);
+  const ProcId me = api.proc();
+  const std::uint64_t m = app->per_proc_nodes();
+  auto& mem = api.memory();
+
+  Word cur = app->start_node(me, t);
+  for (std::uint32_t hop = 0; hop < app->params_.hops; ++hop) {
+    co_await api.compute(app->params_.hop_cycles);
+    const auto owner = static_cast<ProcId>(cur / m);
+    const auto node_local = static_cast<Word>(cur % m);
+    if (owner == me) {
+      cur = mem.read(app->ring_addr(node_local));
+      ++app->local_hops_;
+    } else {
+      cur = co_await api.remote_read(
+          rt::GlobalAddr{owner, app->ring_addr(node_local)});
+      ++app->remote_hops_;
+    }
+  }
+  mem.write(app->result_addr(t), cur);
+  co_return;
+}
+
+std::vector<Word> PtrchaseApp::gather_finals() const {
+  const std::uint32_t P = machine_.config().proc_count;
+  std::vector<Word> out;
+  out.reserve(static_cast<std::uint64_t>(P) * params_.threads);
+  auto& machine = const_cast<Machine&>(machine_);
+  for (ProcId p = 0; p < P; ++p) {
+    auto& mem = machine.memory(p);
+    for (std::uint32_t t = 0; t < params_.threads; ++t) {
+      out.push_back(mem.read(result_addr(t)));
+    }
+  }
+  return out;
+}
+
+std::vector<Word> PtrchaseApp::host_reference() const {
+  const std::uint32_t P = machine_.config().proc_count;
+  std::vector<Word> out;
+  out.reserve(static_cast<std::uint64_t>(P) * params_.threads);
+  for (ProcId p = 0; p < P; ++p) {
+    for (std::uint32_t t = 0; t < params_.threads; ++t) {
+      Word cur = start_node(p, t);
+      for (std::uint32_t hop = 0; hop < params_.hops; ++hop) {
+        cur = ring_[cur];
+      }
+      out.push_back(cur);
+    }
+  }
+  return out;
+}
+
+bool PtrchaseApp::verify() const {
+  return gather_finals() == host_reference();
+}
+
+void PtrchaseApp::contribute(MachineReport& report) const {
+  report.app_metrics.push_back(
+      {"ptrchase.local_hops", std::to_string(local_hops_)});
+  report.app_metrics.push_back(
+      {"ptrchase.remote_hops", std::to_string(remote_hops_)});
+}
+
+void register_ptrchase_workload(Registry& registry) {
+  Spec spec;
+  spec.name = "ptrchase";
+  spec.description =
+      "independent pointer-chasing streams over a global ring (pure "
+      "latency-tolerance microbenchmark)";
+  spec.default_size_per_proc = 256;
+  spec.default_threads = 4;
+  spec.metrics_component = "sim";
+  spec.build = [](Machine& machine, const Params& params)
+      -> std::unique_ptr<Workload> {
+    PtrchaseParams pp;
+    pp.n = params.size_per_proc * machine.config().proc_count;
+    pp.threads = params.threads;
+    pp.seed = params.seed;
+    auto app = std::make_unique<PtrchaseApp>(machine, pp);
+    app->setup();
+    return app;
+  };
+  registry.add(std::move(spec));
+}
+
+}  // namespace emx::workloads

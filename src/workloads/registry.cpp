@@ -1,0 +1,78 @@
+#include "workloads/registry.hpp"
+
+#include "common/assert.hpp"
+#include "core/machine.hpp"
+#include "workloads/bfs.hpp"
+#include "workloads/histsort.hpp"
+#include "workloads/ptrchase.hpp"
+#include "workloads/spmv.hpp"
+
+namespace emx::workloads {
+
+void register_paper_workloads(Registry& registry);  // builtin.cpp
+
+Registry& Registry::instance() {
+  static Registry registry;
+  // One-time builtin registration by explicit call: the plugins live in
+  // a static library, so relying on their static initializers would let
+  // the linker drop any plugin no test happens to reference.
+  static const bool builtins_registered = [] {
+    register_paper_workloads(registry);
+    register_bfs_workload(registry);
+    register_spmv_workload(registry);
+    register_ptrchase_workload(registry);
+    register_histsort_workload(registry);
+    return true;
+  }();
+  (void)builtins_registered;
+  return registry;
+}
+
+void Registry::add(Spec spec) {
+  EMX_CHECK(!spec.name.empty(), "workload spec with an empty name");
+  EMX_CHECK(spec.build != nullptr,
+            "workload '" + spec.name + "' registered without a builder");
+  EMX_CHECK(find(spec.name) == nullptr,
+            "workload '" + spec.name + "' registered twice");
+  specs_.push_back(std::move(spec));
+}
+
+const Spec* Registry::find(const std::string& name) const {
+  for (const Spec& s : specs_) {
+    if (s.name == name) return &s;
+  }
+  return nullptr;
+}
+
+std::string Registry::name_list(const char* separator) const {
+  std::string out;
+  for (const Spec& s : specs_) {
+    if (!out.empty()) out += separator;
+    out += s.name;
+  }
+  return out;
+}
+
+Registrar::Registrar(Spec spec) { Registry::instance().add(std::move(spec)); }
+
+std::string unknown_app_message(const std::string& app) {
+  return "unknown app '" + app +
+         "' (known apps: " + Registry::instance().name_list() + ")";
+}
+
+std::unique_ptr<Workload> build(Machine& machine, const std::string& app,
+                                const Params& params, std::string& error) {
+  const Spec* spec = Registry::instance().find(app);
+  if (spec == nullptr) {
+    error = unknown_app_message(app);
+    return nullptr;
+  }
+  // Metrics-contribution tripwire: the component this workload reports
+  // against must exist in the machine's *sealed* registry. A plugin
+  // naming a unit registered after assert_covers() (or never) panics
+  // here, at build time, instead of silently reporting against nothing.
+  (void)machine.sealed_component(spec->metrics_component);
+  return spec->build(machine, params);
+}
+
+}  // namespace emx::workloads

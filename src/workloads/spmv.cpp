@@ -1,0 +1,228 @@
+#include "workloads/spmv.hpp"
+
+#include <bit>
+
+#include "apps/distribution.hpp"
+#include "common/rng.hpp"
+#include "core/instrumentation.hpp"
+#include "runtime/barrier.hpp"
+#include "workloads/registry.hpp"
+
+namespace emx::workloads {
+
+namespace {
+constexpr LocalAddr kBase = rt::kReservedWords;
+}  // namespace
+
+SpmvApp::SpmvApp(Machine& machine, SpmvParams params)
+    : machine_(machine), params_(params) {
+  EMX_CHECK(params_.threads >= 1, "need at least one thread per PE");
+  EMX_CHECK(params_.row_nnz >= 1, "need at least one nonzero per row");
+  const std::uint32_t P = machine_.config().proc_count;
+  EMX_CHECK(params_.n % P == 0, "blocked distribution requires P | n");
+  const std::uint64_t m = per_proc_rows();
+  // Layout: COL[m*nnz], VAL[m*nnz], X[m], Y[m].
+  const std::uint64_t words = m * (2ull * params_.row_nnz + 2);
+  EMX_CHECK(kBase + words <= machine_.config().memory_words,
+            "spmv block does not fit in per-PE memory");
+  worker_entry_ = machine_.register_entry(
+      [this](rt::ThreadApi api, Word arg) -> rt::ThreadBody {
+        return spmv_worker(this, api, arg);
+      });
+}
+
+std::uint64_t SpmvApp::per_proc_rows() const {
+  return params_.n / machine_.config().proc_count;
+}
+
+LocalAddr SpmvApp::col_addr(Word row_local, std::uint32_t j) const {
+  return kBase +
+         static_cast<LocalAddr>(static_cast<std::uint64_t>(row_local) *
+                                    params_.row_nnz +
+                                j);
+}
+
+LocalAddr SpmvApp::val_addr(Word row_local, std::uint32_t j) const {
+  const std::uint64_t m = per_proc_rows();
+  return kBase +
+         static_cast<LocalAddr>(m * params_.row_nnz +
+                                static_cast<std::uint64_t>(row_local) *
+                                    params_.row_nnz +
+                                j);
+}
+
+LocalAddr SpmvApp::x_addr(Word k_local) const {
+  const std::uint64_t m = per_proc_rows();
+  return kBase + static_cast<LocalAddr>(2 * m * params_.row_nnz + k_local);
+}
+
+LocalAddr SpmvApp::y_addr(Word row_local) const {
+  const std::uint64_t m = per_proc_rows();
+  return kBase + static_cast<LocalAddr>(2 * m * params_.row_nnz + m + row_local);
+}
+
+void SpmvApp::setup() {
+  EMX_CHECK(!setup_done_, "setup() called twice");
+  setup_done_ = true;
+  const std::uint32_t P = machine_.config().proc_count;
+  const std::uint64_t m = per_proc_rows();
+
+  // Integer-valued data keeps every f32 row sum exact (header comment),
+  // so verification is bitwise regardless of accumulation order.
+  Rng& rng = machine_.streams().stream("workload.spmv", params_.seed);
+  cols_.resize(params_.n * params_.row_nnz);
+  vals_.resize(params_.n * params_.row_nnz);
+  x_.resize(params_.n);
+  for (std::size_t i = 0; i < cols_.size(); ++i) {
+    cols_[i] = static_cast<Word>(rng.bounded(params_.n));
+    vals_[i] = static_cast<float>(1 + rng.bounded(16));
+  }
+  for (auto& v : x_) v = static_cast<float>(1 + rng.bounded(256));
+
+  const apps::BlockDist dist(params_.n, P);
+  for (ProcId p = 0; p < P; ++p) {
+    auto& mem = machine_.memory(p);
+    for (std::uint64_t k = 0; k < m; ++k) {
+      const std::uint64_t g = dist.global_index(p, k);
+      for (std::uint32_t j = 0; j < params_.row_nnz; ++j) {
+        mem.write(col_addr(static_cast<Word>(k), j),
+                  cols_[g * params_.row_nnz + j]);
+        mem.write_f32(val_addr(static_cast<Word>(k), j),
+                      vals_[g * params_.row_nnz + j]);
+      }
+      mem.write_f32(x_addr(static_cast<Word>(k)), x_[g]);
+      mem.write_f32(y_addr(static_cast<Word>(k)), 0.0f);
+    }
+  }
+
+  for (ProcId p = 0; p < P; ++p) {
+    for (std::uint32_t t = 0; t < params_.threads; ++t) {
+      machine_.spawn(p, worker_entry_, t);
+    }
+  }
+}
+
+rt::ThreadBody spmv_worker(SpmvApp* app, rt::ThreadApi api,
+                           Word thread_index) {
+  const auto t = static_cast<std::uint32_t>(thread_index);
+  const std::uint32_t h = app->params_.threads;
+  const ProcId me = api.proc();
+  const std::uint64_t m = app->per_proc_rows();
+  const std::uint32_t nnz = app->params_.row_nnz;
+  const apps::ThreadChunk chunk = apps::thread_chunk(m, h, t);
+  auto& mem = api.memory();
+
+  struct RemoteTerm {
+    float coeff;
+    rt::GlobalAddr addr;
+  };
+  std::vector<RemoteTerm> pending;
+  pending.reserve(nnz);
+
+  for (std::uint64_t r = chunk.lo; r < chunk.hi; ++r) {
+    const auto row = static_cast<Word>(r);
+    co_await api.overhead(app->params_.row_addr_cycles);
+    float acc = 0.0f;
+    pending.clear();
+    for (std::uint32_t j = 0; j < nnz; ++j) {
+      co_await api.compute(app->params_.gather_cycles);
+      const Word col = mem.read(app->col_addr(row, j));
+      const float coeff = mem.read_f32(app->val_addr(row, j));
+      const auto owner = static_cast<ProcId>(col / m);
+      const auto k_local = static_cast<Word>(col % m);
+      if (owner == me) {
+        acc += coeff * mem.read_f32(app->x_addr(k_local));
+        ++app->local_gathers_;
+      } else {
+        pending.push_back(
+            {coeff, rt::GlobalAddr{owner, app->x_addr(k_local)}});
+        ++app->remote_gathers_;
+      }
+    }
+
+    // Drain remote gathers pairwise through the Matching Unit: one
+    // suspension covers two reply packets (paper §2.2 direct matching).
+    std::size_t i = 0;
+    while (i + 1 < pending.size()) {
+      co_await api.overhead(app->params_.pair_addr_cycles);
+      const auto [w0, w1] = co_await api.remote_read_pair(
+          pending[i].addr, pending[i + 1].addr);
+      acc += pending[i].coeff * std::bit_cast<float>(w0);
+      acc += pending[i + 1].coeff * std::bit_cast<float>(w1);
+      ++app->pair_reads_;
+      i += 2;
+    }
+    if (i < pending.size()) {
+      co_await api.overhead(app->params_.pair_addr_cycles);
+      const Word w = co_await api.remote_read(pending[i].addr);
+      acc += pending[i].coeff * std::bit_cast<float>(w);
+    }
+
+    co_await api.compute(app->params_.mac_cycles * nnz);
+    mem.write_f32(app->y_addr(row), acc);
+  }
+  co_return;
+}
+
+std::vector<float> SpmvApp::gather_y() const {
+  const std::uint32_t P = machine_.config().proc_count;
+  const std::uint64_t m = per_proc_rows();
+  std::vector<float> out;
+  out.reserve(params_.n);
+  auto& machine = const_cast<Machine&>(machine_);
+  for (ProcId p = 0; p < P; ++p) {
+    auto& mem = machine.memory(p);
+    for (std::uint64_t k = 0; k < m; ++k) {
+      out.push_back(mem.read_f32(y_addr(static_cast<Word>(k))));
+    }
+  }
+  return out;
+}
+
+std::vector<float> SpmvApp::host_reference() const {
+  std::vector<float> y(params_.n, 0.0f);
+  for (std::uint64_t r = 0; r < params_.n; ++r) {
+    float acc = 0.0f;
+    for (std::uint32_t j = 0; j < params_.row_nnz; ++j) {
+      const std::uint64_t i = r * params_.row_nnz + j;
+      acc += vals_[i] * x_[cols_[i]];
+    }
+    y[r] = acc;
+  }
+  return y;
+}
+
+bool SpmvApp::verify() const { return gather_y() == host_reference(); }
+
+void SpmvApp::contribute(MachineReport& report) const {
+  report.app_metrics.push_back(
+      {"spmv.local_gathers", std::to_string(local_gathers_)});
+  report.app_metrics.push_back(
+      {"spmv.remote_gathers", std::to_string(remote_gathers_)});
+  report.app_metrics.push_back(
+      {"spmv.pair_reads", std::to_string(pair_reads_)});
+}
+
+void register_spmv_workload(Registry& registry) {
+  Spec spec;
+  spec.name = "spmv";
+  spec.description =
+      "CSR sparse matrix-vector multiply with pairwise-matched remote "
+      "row gathers";
+  spec.default_size_per_proc = 512;
+  spec.default_threads = 4;
+  spec.metrics_component = "sim";
+  spec.build = [](Machine& machine, const Params& params)
+      -> std::unique_ptr<Workload> {
+    SpmvParams sp;
+    sp.n = params.size_per_proc * machine.config().proc_count;
+    sp.threads = params.threads;
+    sp.seed = params.seed;
+    auto app = std::make_unique<SpmvApp>(machine, sp);
+    app->setup();
+    return app;
+  };
+  registry.add(std::move(spec));
+}
+
+}  // namespace emx::workloads

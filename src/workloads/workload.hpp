@@ -1,0 +1,56 @@
+// The workload plugin interface: one built application instance, bound
+// to a Machine, ready to run and verify.
+//
+// A workload plugin supplies three things through workloads::Spec
+// (registry.hpp): a builder that constructs the program over the
+// coroutine thread-library API, a verifier against a host reference, and
+// a metrics contribution folded into the MachineReport. The drivers
+// (emx_run, the snapshot runner, the benches) only ever talk to this
+// interface — adding an application touches src/workloads/ and nothing
+// in the core layers.
+#pragma once
+
+#include <cstdint>
+
+namespace emx {
+struct MachineReport;  // core/instrumentation.hpp — implementers' .cpps
+                       // include it; this header stays declaration-only.
+}
+
+namespace emx::workloads {
+
+/// The workload half of a RunManifest, decoupled from snapshot/ so the
+/// workloads layer depends only downward (core, apps, runtime). The
+/// snapshot runner converts RunManifest -> Params; fields a workload
+/// does not use are simply ignored by its builder.
+struct Params {
+  std::uint64_t size_per_proc = 1024;  ///< elements/points/vertices per PE
+  std::uint32_t threads = 4;           ///< h, fine-grain threads per PE
+  std::uint32_t iterations = 8;        ///< iterative apps (jacobi sweeps)
+  std::uint64_t seed = 1;              ///< workload RNG seed
+  bool block_reads = false;            ///< sort variant
+  bool local_phase = true;             ///< fft local iterations
+};
+
+/// A built application instance. The object owns the app's host-side
+/// state and must outlive Machine::run() (worker coroutines hold
+/// pointers into it).
+class Workload {
+ public:
+  virtual ~Workload() = default;
+
+  /// False when this configuration leaves nothing to check (e.g. the
+  /// FFT without its local phase computes no complete transform).
+  virtual bool verifiable() const { return true; }
+
+  /// Checks the application result against the host reference. Valid
+  /// after the machine ran; meaningless when !verifiable().
+  virtual bool verify() const = 0;
+
+  /// Folds per-application measurements (frontier sizes, remote-gather
+  /// counts, ...) into MachineReport::app_metrics. Valid after the
+  /// machine ran. Default: nothing to contribute.
+  virtual void contribute(MachineReport& report) const { (void)report; }
+};
+
+}  // namespace emx::workloads

@@ -1,0 +1,141 @@
+// The workload registry contract: one catalogue, deterministic order,
+// loud failure on every misuse (duplicate names, null builders, metrics
+// against unsealed components, unknown apps).
+#include <gtest/gtest.h>
+
+#include "core/machine.hpp"
+#include "workloads/registry.hpp"
+
+namespace emx::workloads {
+namespace {
+
+TEST(WorkloadRegistry, BuiltinsRegisteredInStableOrder) {
+  const auto& specs = Registry::instance().specs();
+  ASSERT_GE(specs.size(), 8u);
+  // Paper apps first (their registration order predates the registry and
+  // is frozen), then the irregular suite.
+  EXPECT_EQ(specs[0].name, "sort");
+  EXPECT_EQ(specs[1].name, "fft");
+  EXPECT_EQ(specs[2].name, "fft-cyclic");
+  EXPECT_EQ(specs[3].name, "jacobi");
+  EXPECT_EQ(specs[4].name, "bfs");
+  EXPECT_EQ(specs[5].name, "spmv");
+  EXPECT_EQ(specs[6].name, "ptrchase");
+  EXPECT_EQ(specs[7].name, "histsort");
+}
+
+TEST(WorkloadRegistry, EverySpecIsComplete) {
+  for (const Spec& spec : Registry::instance().specs()) {
+    EXPECT_FALSE(spec.description.empty()) << spec.name;
+    EXPECT_GT(spec.default_size_per_proc, 0u) << spec.name;
+    EXPECT_GT(spec.default_threads, 0u) << spec.name;
+    EXPECT_NE(spec.build, nullptr) << spec.name;
+    // Every builtin reports against the always-present simulation core.
+    EXPECT_EQ(spec.metrics_component, "sim") << spec.name;
+  }
+}
+
+TEST(WorkloadRegistry, IrregularSuiteDefaultSizes) {
+  EXPECT_EQ(Registry::instance().find("bfs")->default_size_per_proc, 512u);
+  EXPECT_EQ(Registry::instance().find("spmv")->default_size_per_proc, 512u);
+  EXPECT_EQ(Registry::instance().find("ptrchase")->default_size_per_proc,
+            256u);
+  EXPECT_EQ(Registry::instance().find("histsort")->default_size_per_proc,
+            512u);
+}
+
+TEST(WorkloadRegistry, FindUnknownReturnsNull) {
+  EXPECT_EQ(Registry::instance().find("bogus"), nullptr);
+  EXPECT_EQ(Registry::instance().find(""), nullptr);
+}
+
+TEST(WorkloadRegistry, NameListJoinsInOrder) {
+  const std::string list = Registry::instance().name_list(" | ");
+  EXPECT_NE(list.find("sort | fft | fft-cyclic | jacobi"), std::string::npos);
+  EXPECT_NE(list.find("bfs | spmv | ptrchase | histsort"), std::string::npos);
+}
+
+TEST(WorkloadRegistry, UnknownAppMessageNamesEveryApp) {
+  const std::string msg = unknown_app_message("bogus");
+  EXPECT_NE(msg.find("unknown app 'bogus'"), std::string::npos);
+  for (const Spec& spec : Registry::instance().specs()) {
+    EXPECT_NE(msg.find(spec.name), std::string::npos) << spec.name;
+  }
+}
+
+TEST(WorkloadRegistryDeathTest, DuplicateNamePanics) {
+  Registry local;
+  Spec spec;
+  spec.name = "dup";
+  spec.build = [](Machine&, const Params&) -> std::unique_ptr<Workload> {
+    return nullptr;
+  };
+  local.add(spec);
+  EXPECT_DEATH(local.add(spec), "registered twice");
+}
+
+TEST(WorkloadRegistryDeathTest, EmptyNamePanics) {
+  Registry local;
+  Spec spec;
+  spec.build = [](Machine&, const Params&) -> std::unique_ptr<Workload> {
+    return nullptr;
+  };
+  EXPECT_DEATH(local.add(spec), "empty name");
+}
+
+TEST(WorkloadRegistryDeathTest, NullBuilderPanics) {
+  Registry local;
+  Spec spec;
+  spec.name = "nobuild";
+  EXPECT_DEATH(local.add(spec), "without a builder");
+}
+
+TEST(WorkloadBuild, UnknownAppReturnsTheSharedMessage) {
+  MachineConfig cfg;
+  cfg.proc_count = 2;
+  Machine machine(cfg);
+  std::string error;
+  Params params;
+  EXPECT_EQ(build(machine, "bogus", params, error), nullptr);
+  EXPECT_EQ(error, unknown_app_message("bogus"));
+}
+
+TEST(WorkloadBuild, BuildsARunnableWorkload) {
+  MachineConfig cfg;
+  cfg.proc_count = 2;
+  Machine machine(cfg);
+  std::string error;
+  Params params;
+  params.size_per_proc = 32;
+  params.threads = 2;
+  params.seed = 7;
+  auto workload = build(machine, "bfs", params, error);
+  ASSERT_NE(workload, nullptr) << error;
+  machine.run();
+  EXPECT_TRUE(workload->verifiable());
+  EXPECT_TRUE(workload->verify());
+}
+
+// Satellite 6: a plugin whose metrics contribution names a component
+// that never made it into the sealed registry must fail at build time,
+// not silently report into the void.
+TEST(WorkloadBuildDeathTest, UnsealedMetricsComponentPanics) {
+  MachineConfig cfg;
+  cfg.proc_count = 2;
+  Machine machine(cfg);
+  EXPECT_DEATH((void)machine.sealed_component("not-a-component"),
+               "no sealed component named 'not-a-component'");
+}
+
+TEST(Machine, SealedComponentResolvesCoreUnits) {
+  MachineConfig cfg;
+  cfg.proc_count = 2;
+  Machine machine(cfg);
+  EXPECT_NE(machine.sealed_component("sim"), nullptr);
+  EXPECT_NE(machine.sealed_component("network"), nullptr);
+  EXPECT_NE(machine.sealed_component("pe0"), nullptr);
+  EXPECT_NE(machine.sealed_component("pe1"), nullptr);
+}
+
+}  // namespace
+}  // namespace emx::workloads

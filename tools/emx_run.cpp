@@ -37,6 +37,7 @@
 #include "common/cli.hpp"
 #include "common/table.hpp"
 #include "snapshot/runner.hpp"
+#include "workloads/registry.hpp"
 
 using namespace emx;
 
@@ -249,7 +250,11 @@ constexpr const char* kFaultFlags[] = {
 
 int main(int argc, char** argv) {
   CliFlags flags;
-  flags.define("app", "sort", "workload: sort | fft | fft-cyclic | jacobi")
+  flags.define("app", "sort",
+               "workload: " + workloads::Registry::instance().name_list())
+      .define("list-apps", "false",
+              "print every registered workload with its description and "
+              "default sizes, then exit")
       .define("procs", "16", "processor count (power of two except jacobi)")
       .define("size-per-proc", "1024", "elements/points/cells per PE")
       .define("threads", "4", "fine-grain threads per PE")
@@ -298,6 +303,16 @@ int main(int argc, char** argv) {
       .define("digest-every", "65536",
               "record-replay digest frame interval, cycles");
   flags.parse(argc, argv);
+
+  if (flags.boolean("list-apps")) {
+    for (const auto& spec : workloads::Registry::instance().specs()) {
+      std::printf("%-12s %s\n%-12s defaults: size-per-proc=%llu threads=%u\n",
+                  spec.name.c_str(), spec.description.c_str(), "",
+                  static_cast<unsigned long long>(spec.default_size_per_proc),
+                  spec.default_threads);
+    }
+    return 0;
+  }
 
   const std::string resume_path = flags.str("resume");
   const std::string replay_path = flags.str("replay");
@@ -364,12 +379,24 @@ int main(int argc, char** argv) {
     }
   } else {
     if (!apply_flags(flags, manifest, /*only_explicit=*/false)) return 2;
+    // Fresh runs left at the size defaults adopt the workload's own
+    // registered default sizes (resume/replay adopt the file's manifest
+    // instead, so this never rewrites a snapshot's recipe).
+    const workloads::Spec* spec =
+        workloads::Registry::instance().find(manifest.app);
+    if (spec != nullptr) {
+      if (!flags.explicitly_set("size-per-proc"))
+        manifest.size_per_proc = spec->default_size_per_proc;
+      if (!flags.explicitly_set("threads"))
+        manifest.threads = spec->default_threads;
+    }
   }
   if (!validate_fault_flags(manifest.config)) return 2;
-  if (manifest.app != "sort" && manifest.app != "fft" &&
-      manifest.app != "fft-cyclic" && manifest.app != "jacobi") {
-    std::fprintf(stderr, "unknown --app: %s\n%s", manifest.app.c_str(),
-                 flags.help_text(argv[0]).c_str());
+  if (workloads::Registry::instance().find(manifest.app) == nullptr) {
+    // Same diagnostic text the snapshot runner emits for a resumed
+    // manifest naming an unknown app — one message, both paths, exit 2.
+    std::fprintf(stderr, "emx_run: %s\n",
+                 workloads::unknown_app_message(manifest.app).c_str());
     return 2;
   }
 
@@ -401,6 +428,9 @@ int main(int argc, char** argv) {
                     : "not verified");
   }
   print_report(result.report, csv);
+  if (!result.report.app_metrics.empty() && !csv)
+    std::printf("app metrics:\n%s",
+                result.report.app_metrics_text().c_str());
   if (result.report.fault_enabled && !csv)
     std::fputs(result.report.fault.summary_text().c_str(), stdout);
   if (result.report.check_enabled && !csv)

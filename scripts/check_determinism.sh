@@ -1,0 +1,70 @@
+#!/usr/bin/env bash
+# Determinism lint: the simulator's contract is that a (manifest, seed)
+# pair replays byte-identically — snapshots are diffed across runs and
+# across checkpoint/restore. Three classes of construct silently break
+# that contract, and none of them is needed anywhere in src/:
+#
+#   1. wall-clock time   (std::chrono::system_clock / steady_clock::now,
+#                         time(), gettimeofday, clock_gettime)
+#   2. ambient randomness (rand(), srand(), std::random_device)
+#   3. iterating an unordered container while producing saved state —
+#      bucket order varies across libstdc++ versions and pointer layouts.
+#
+# Classes 1 and 2 are banned outright in src/. For class 3 a heuristic:
+# any file that BOTH holds an unordered container AND participates in
+# snapshotting (mentions save/save_state/snapshot) must also sort before
+# walking (mention std::sort/sorted) or carry an explicit
+# "determinism-ok:" comment explaining why bucket order cannot leak.
+set -uo pipefail
+cd "$(dirname "$0")/.."
+
+fail=0
+
+# grep -rn output is path:line:text — drop lines whose text is a comment
+# so prose about "time (cycles)" does not trip the code patterns.
+strip_comments() { grep -vE '^[^:]+:[0-9]+:[[:space:]]*(//|\*|;)' || true; }
+
+# --- class 1: wall-clock time -------------------------------------------
+clock_pattern='(system_clock|steady_clock|high_resolution_clock)::now|[^a-zA-Z_](time|gettimeofday|clock_gettime)[[:space:]]*\('
+hits=$(grep -rnE "$clock_pattern" src --include='*.hpp' --include='*.cpp' \
+  | strip_comments | grep -v 'determinism-ok:' || true)
+if [[ -n "$hits" ]]; then
+  echo "determinism lint: wall-clock time in src/ — simulated time is the"
+  echo "only clock a deterministic run may read:"
+  echo
+  echo "$hits"
+  echo
+  fail=1
+fi
+
+# --- class 2: ambient randomness ----------------------------------------
+rand_pattern='[^a-zA-Z_](rand|srand|random)[[:space:]]*\(|std::random_device'
+hits=$(grep -rnE "$rand_pattern" src --include='*.hpp' --include='*.cpp' \
+  | strip_comments | grep -v 'determinism-ok:' || true)
+if [[ -n "$hits" ]]; then
+  echo "determinism lint: ambient randomness in src/ — draw from the"
+  echo "seeded common/rng.hpp stream instead:"
+  echo
+  echo "$hits"
+  echo
+  fail=1
+fi
+
+# --- class 3: unordered iteration near saved state ----------------------
+for f in $(grep -rlE 'std::unordered_(map|set)' src --include='*.hpp' --include='*.cpp'); do
+  if grep -qE 'save|snapshot' "$f"; then
+    if ! grep -qE 'std::sort|sorted|determinism-ok:' "$f"; then
+      echo "determinism lint: $f holds an unordered container and touches"
+      echo "saved state, but neither sorts before walking nor carries a"
+      echo "'determinism-ok:' comment justifying the bucket-order use."
+      echo
+      fail=1
+    fi
+  fi
+done
+
+if [[ "$fail" -ne 0 ]]; then
+  echo "determinism lint FAILED"
+  exit 1
+fi
+echo "determinism lint OK: no wall-clock, no ambient randomness, unordered walks near saved state are sorted or annotated"

@@ -65,3 +65,33 @@ if [[ -n "$violations" ]]; then
   exit 1
 fi
 echo "layering OK: workloads/ is included only by the snapshot runner and stays below the tooling layers"
+
+# The static verifier reads isa::Program and nothing else: verify/ may
+# include only isa/ and common/ (besides its own headers). Anything more
+# would let "static" analysis grow runtime dependencies.
+v_down_pattern='^[[:space:]]*#[[:space:]]*include[[:space:]]*"(sim|network|proc|runtime|core|apps|model|trace|fault|analysis|snapshot|workloads)/'
+violations=$(grep -rnE "$v_down_pattern" src/verify || true)
+if [[ -n "$violations" ]]; then
+  echo "layering violation: src/verify may include only isa/, common/ and"
+  echo "its own headers — it analyses programs, it does not run them:"
+  echo
+  echo "$violations"
+  exit 1
+fi
+
+# And the core layers must not know the verifier exists; the snapshot
+# runner is the one sanctioned consumer (the --verify-static gate), plus
+# the tools that surface reports directly.
+v_up_pattern='^[[:space:]]*#[[:space:]]*include[[:space:]]*"verify/'
+violations=$(grep -rnE "$v_up_pattern" src \
+  | grep -v '^src/verify/' \
+  | grep -v '^src/snapshot/runner\.' || true)
+if [[ -n "$violations" ]]; then
+  echo "layering violation: inside src/ only the snapshot runner may"
+  echo "include verify/ headers — core layers must not depend on the"
+  echo "static verifier:"
+  echo
+  echo "$violations"
+  exit 1
+fi
+echo "layering OK: verify/ sees only isa/ + common/, and only the snapshot runner sees verify/"

@@ -232,6 +232,11 @@ const proc::Emcy& Machine::pe(ProcId p) const {
   return *pes_[p];
 }
 
+void Machine::note_isa_program(std::shared_ptr<const isa::Program> program) {
+  EMX_CHECK(program != nullptr, "note_isa_program: null program");
+  isa_programs_.push_back(std::move(program));
+}
+
 void Machine::configure_barrier(std::uint32_t participants_per_pe) {
   EMX_CHECK(participants_per_pe > 0, "barrier needs at least one participant");
   if (config_.barrier == BarrierTopology::kCentral) {

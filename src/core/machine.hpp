@@ -29,6 +29,10 @@
 #include "sim/sim_context.hpp"
 #include "trace/trace.hpp"
 
+namespace emx::isa {
+struct Program;
+}
+
 namespace emx {
 
 class Machine {
@@ -76,6 +80,17 @@ class Machine {
 
   /// Registers a spawnable thread entry; returns its entry id.
   std::uint32_t register_entry(rt::EntryFn fn) { return registry_.add(std::move(fn)); }
+
+  /// Records an ISA program registered on this machine
+  /// (isa::register_program calls this). The static verifier gates a run
+  /// by walking exactly this list — coroutine-native entries have no
+  /// instruction stream to analyse and are not recorded.
+  void note_isa_program(std::shared_ptr<const isa::Program> program);
+
+  /// Every recorded ISA program, in registration order.
+  const std::vector<std::shared_ptr<const isa::Program>>& isa_programs() const {
+    return isa_programs_;
+  }
 
   /// Sets the number of threads that join the iteration barrier on every
   /// PE. Must be called before any thread reaches the barrier.
@@ -138,6 +153,7 @@ class Machine {
   std::vector<MemProbe> mem_probes_;  ///< one per PE, checker runs only
   rng::StreamRegistry streams_;
   rt::EntryRegistry registry_;
+  std::vector<std::shared_ptr<const isa::Program>> isa_programs_;
   std::vector<std::unique_ptr<proc::Emcy>> pes_;
   /// Reliability channels, one per PE, constructed only when the fault
   /// plan is armed with recovery on. The PEs see them as ChannelHooks.

@@ -216,6 +216,7 @@ Program assemble(const std::string& source) {
         break;
     }
     program.code.push_back(instr);
+    program.lines.push_back(static_cast<std::uint32_t>(line_no));
   }
 
   for (const auto& fix : fixups) {

@@ -31,6 +31,15 @@ namespace emx::isa {
 
 struct Program {
   std::vector<Instruction> code;
+  /// Source line of each instruction (parallel to `code`); empty for
+  /// programs without source positions (CodeBuilder output, hand-built
+  /// aggregates). The static verifier threads these through its
+  /// diagnostics.
+  std::vector<std::uint32_t> lines;
+  /// Source line of instruction `i`, or 0 when unknown.
+  std::uint32_t line_of(std::size_t i) const {
+    return i < lines.size() ? lines[i] : 0;
+  }
   std::string listing() const;
 };
 

@@ -4,8 +4,10 @@
 
 namespace emx::isa {
 
-std::uint8_t CodeBuilder::reg(unsigned r) {
-  EMX_CHECK(r < kRegisterCount, "register out of range: r" + std::to_string(r));
+std::uint8_t CodeBuilder::reg(unsigned r) const {
+  EMX_CHECK(r < kRegisterCount,
+            "register out of range: r" + std::to_string(r) +
+                " (emitting instruction #" + std::to_string(code_.size()) + ")");
   return static_cast<std::uint8_t>(r);
 }
 
@@ -15,8 +17,13 @@ CodeBuilder::Label CodeBuilder::label() {
 }
 
 CodeBuilder& CodeBuilder::bind(Label l) {
-  EMX_CHECK(l.id < label_pos_.size(), "unknown label");
-  EMX_CHECK(label_pos_[l.id] < 0, "label bound twice");
+  EMX_CHECK(l.id < label_pos_.size(),
+            "unknown label #" + std::to_string(l.id) + " (only " +
+                std::to_string(label_pos_.size()) + " labels created)");
+  EMX_CHECK(label_pos_[l.id] < 0,
+            "label #" + std::to_string(l.id) + " bound twice: first at "
+                "instruction #" + std::to_string(label_pos_[l.id]) +
+                ", rebinding at #" + std::to_string(code_.size()));
   label_pos_[l.id] = static_cast<std::int32_t>(code_.size());
   return *this;
 }
@@ -28,7 +35,9 @@ CodeBuilder& CodeBuilder::emit3(Opcode op, unsigned rd, unsigned ra, unsigned rb
 
 CodeBuilder& CodeBuilder::emit_branch(Opcode op, unsigned ra, unsigned rb,
                                       Label target) {
-  EMX_CHECK(target.id < label_pos_.size(), "unknown label");
+  EMX_CHECK(target.id < label_pos_.size(),
+            "unknown label #" + std::to_string(target.id) +
+                " (emitting instruction #" + std::to_string(code_.size()) + ")");
   fixups_.push_back({code_.size(), target.id});
   code_.push_back(Instruction{op, 0, reg(ra), reg(rb), 0});
   return *this;
@@ -118,7 +127,9 @@ CodeBuilder& CodeBuilder::read(unsigned rd, unsigned ra) {
   return *this;
 }
 CodeBuilder& CodeBuilder::readb(unsigned ra, unsigned rb, std::int32_t words) {
-  EMX_CHECK(words >= 1, "block read needs at least one word");
+  EMX_CHECK(words >= 1,
+            "block read needs at least one word (got " + std::to_string(words) +
+                " at instruction #" + std::to_string(code_.size()) + ")");
   code_.push_back(Instruction{Opcode::kReadB, 0, reg(ra), reg(rb), words});
   return *this;
 }
@@ -129,6 +140,14 @@ CodeBuilder& CodeBuilder::write(unsigned ra, unsigned rb) {
 CodeBuilder& CodeBuilder::spawn(unsigned ra, unsigned rb, std::uint32_t entry) {
   code_.push_back(Instruction{Opcode::kSpawn, 0, reg(ra), reg(rb),
                               static_cast<std::int32_t>(entry)});
+  return *this;
+}
+CodeBuilder& CodeBuilder::fmark(unsigned ra, unsigned rb) {
+  code_.push_back(Instruction{Opcode::kFMark, 0, reg(ra), reg(rb), 0});
+  return *this;
+}
+CodeBuilder& CodeBuilder::fdrop(unsigned ra) {
+  code_.push_back(Instruction{Opcode::kFDrop, 0, reg(ra), 0, 0});
   return *this;
 }
 CodeBuilder& CodeBuilder::barrier() {
@@ -157,7 +176,9 @@ Program CodeBuilder::build() {
             "program must end in halt or an unconditional jump");
   for (const auto& fix : fixups_) {
     EMX_CHECK(label_pos_[fix.label] >= 0,
-              "label referenced but never bound");
+              "label #" + std::to_string(fix.label) +
+                  " referenced at instruction #" + std::to_string(fix.instr) +
+                  " but never bound");
     code_[fix.instr].imm = label_pos_[fix.label];
   }
   Program p;

@@ -71,6 +71,8 @@ class CodeBuilder {
   CodeBuilder& readb(unsigned ra, unsigned rb, std::int32_t words);
   CodeBuilder& write(unsigned ra, unsigned rb);
   CodeBuilder& spawn(unsigned ra, unsigned rb, std::uint32_t entry);
+  CodeBuilder& fmark(unsigned ra, unsigned rb);
+  CodeBuilder& fdrop(unsigned ra);
   CodeBuilder& barrier();
   CodeBuilder& yield();
   CodeBuilder& proc(unsigned rd);
@@ -85,7 +87,8 @@ class CodeBuilder {
  private:
   CodeBuilder& emit3(Opcode op, unsigned rd, unsigned ra, unsigned rb);
   CodeBuilder& emit_branch(Opcode op, unsigned ra, unsigned rb, Label target);
-  static std::uint8_t reg(unsigned r);
+  /// Range-checks `r`; the panic names the instruction being emitted.
+  std::uint8_t reg(unsigned r) const;
 
   std::vector<Instruction> code_;
   std::vector<std::int32_t> label_pos_;  ///< -1 = unbound

@@ -164,6 +164,7 @@ rt::ThreadBody interpret(const Program* program, InterpreterOptions options,
 std::uint32_t register_program(Machine& machine, Program program,
                                InterpreterOptions options) {
   auto shared = std::make_shared<Program>(std::move(program));
+  machine.note_isa_program(shared);
   return machine.register_entry(
       [shared, options](rt::ThreadApi api, Word arg) -> rt::ThreadBody {
         return interpret(shared.get(), options, api, arg);

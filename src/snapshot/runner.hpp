@@ -11,6 +11,7 @@
 // Exit-code mapping (RunResult::exit_code mirrors emx_run):
 //   0 completed + verified    1 wrong result        2 bad input/corrupt file
 //   3 checker findings        4 watchdog fired      5 snapshot/replay divergence
+//   6 static verification findings (--verify-static=error)
 #pragma once
 
 #include <string>
@@ -20,6 +21,7 @@
 #include "core/instrumentation.hpp"
 #include "snapshot/format.hpp"
 #include "snapshot/manifest.hpp"
+#include "verify/verifier.hpp"
 
 namespace emx::trace {
 class TraceSink;
@@ -50,6 +52,13 @@ struct RunOptions {
 
   /// Optional extra trace sink, chained behind the runner's DigestSink.
   trace::TraceSink* sink = nullptr;
+
+  /// Pre-run static verification of every ISA program the workload
+  /// build registered (Machine::isa_programs). kWarn prints findings to
+  /// stderr and runs anyway; kError stops before the first cycle with
+  /// exit code 6. Pure analysis either way: simulated cycles are
+  /// byte-identical across all three modes.
+  verify::GateMode verify_static = verify::GateMode::kWarn;
 };
 
 struct RunResult {

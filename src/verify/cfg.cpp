@@ -1,0 +1,108 @@
+#include "verify/cfg.hpp"
+
+#include "common/assert.hpp"
+
+namespace emx::verify {
+
+bool is_suspend_point(isa::Opcode op) {
+  switch (op) {
+    case isa::Opcode::kRead:
+    case isa::Opcode::kReadB:
+    case isa::Opcode::kWrite:
+    case isa::Opcode::kSpawn:
+    case isa::Opcode::kBarrier:
+    case isa::Opcode::kYield:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool is_branch(isa::Opcode op) {
+  switch (op) {
+    case isa::Opcode::kBeq:
+    case isa::Opcode::kBne:
+    case isa::Opcode::kBlt:
+    case isa::Opcode::kBge:
+    case isa::Opcode::kJmp:
+      return true;
+    default:
+      return false;
+  }
+}
+
+Cfg build_cfg(const isa::Program& program) {
+  const auto& code = program.code;
+  EMX_CHECK(!code.empty(), "cannot build a CFG for an empty program");
+  const std::uint32_t n = static_cast<std::uint32_t>(code.size());
+
+  const auto in_range = [n](std::int32_t imm) {
+    return imm >= 0 && static_cast<std::uint32_t>(imm) < n;
+  };
+
+  // Pass 1: leaders. Instruction 0, every in-range branch target, and
+  // the instruction after any block terminator (control transfer, halt,
+  // or suspend point — the resume site is a join point for dataflow).
+  std::vector<bool> leader(n, false);
+  leader[0] = true;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const isa::Instruction& in = code[i];
+    if (is_branch(in.op) && in_range(in.imm))
+      leader[static_cast<std::uint32_t>(in.imm)] = true;
+    const bool ends_block =
+        is_branch(in.op) || in.op == isa::Opcode::kHalt || is_suspend_point(in.op);
+    if (ends_block && i + 1 < n) leader[i + 1] = true;
+  }
+
+  Cfg cfg;
+  cfg.block_of.assign(n, kNoBlock);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    if (leader[i]) {
+      Block b;
+      b.first = i;
+      cfg.blocks.push_back(b);
+    }
+    cfg.block_of[i] = static_cast<std::uint32_t>(cfg.blocks.size() - 1);
+    cfg.blocks.back().last = i;
+  }
+
+  // Pass 2: edges. A conditional branch has a taken edge and (unless it
+  // is the last instruction) a fall-through; jmp only the taken edge;
+  // halt none; everything else falls through to the next instruction.
+  for (std::uint32_t bi = 0; bi < cfg.blocks.size(); ++bi) {
+    Block& b = cfg.blocks[bi];
+    const isa::Instruction& in = code[b.last];
+    const auto link = [&](std::uint32_t target_instr) {
+      b.succ.push_back(cfg.block_of[target_instr]);
+    };
+    if (in.op == isa::Opcode::kHalt) continue;
+    if (is_branch(in.op)) {
+      if (in_range(in.imm)) link(static_cast<std::uint32_t>(in.imm));
+      if (in.op == isa::Opcode::kJmp) continue;  // unconditional: no fall-through
+    }
+    if (b.last + 1 < n)
+      link(b.last + 1);
+    else
+      b.falls_off_end = true;
+  }
+  for (std::uint32_t bi = 0; bi < cfg.blocks.size(); ++bi)
+    for (std::uint32_t s : cfg.blocks[bi].succ) cfg.blocks[s].pred.push_back(bi);
+
+  // Reachability from the entry block.
+  cfg.reachable.assign(cfg.blocks.size(), false);
+  std::vector<std::uint32_t> stack{0};
+  cfg.reachable[0] = true;
+  while (!stack.empty()) {
+    const std::uint32_t b = stack.back();
+    stack.pop_back();
+    for (std::uint32_t s : cfg.blocks[b].succ) {
+      if (!cfg.reachable[s]) {
+        cfg.reachable[s] = true;
+        stack.push_back(s);
+      }
+    }
+  }
+  return cfg;
+}
+
+}  // namespace emx::verify

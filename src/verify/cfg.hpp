@@ -1,0 +1,55 @@
+// Basic-block control-flow graphs over EMC-Y programs.
+//
+// The static verifier's substrate: a Cfg partitions an isa::Program into
+// maximal straight-line blocks and records every control edge. Leaders
+// are instruction 0, every (in-range) branch target, and the instruction
+// after any control transfer or suspend point. Suspending operations
+// (the send classes, barrier, yield) terminate their block too, so the
+// edge to the following instruction *is* the resume edge — the dataflow
+// analyses key "live only after the resume" facts (a kRead destination)
+// off block boundaries instead of special-casing instructions.
+//
+// Out-of-range branch targets contribute no edge (the verifier reports
+// them separately); a block whose fall-through would leave the program
+// is marked falls_off_end.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "isa/assembler.hpp"
+
+namespace emx::verify {
+
+inline constexpr std::uint32_t kNoBlock = 0xffffffffu;
+
+/// True for instructions that can suspend the thread (the four send
+/// classes plus barrier and yield): every one ends its basic block, so
+/// the fall-through edge models the resume.
+bool is_suspend_point(isa::Opcode op);
+
+/// True for branch-class opcodes whose imm is an instruction index.
+bool is_branch(isa::Opcode op);
+
+struct Block {
+  std::uint32_t first = 0;  ///< index of the leader instruction
+  std::uint32_t last = 0;   ///< index of the final instruction (inclusive)
+  std::vector<std::uint32_t> succ;
+  std::vector<std::uint32_t> pred;
+  /// Execution can fall past the last instruction of the program from
+  /// this block (no halt / unconditional transfer in the way).
+  bool falls_off_end = false;
+};
+
+struct Cfg {
+  std::vector<Block> blocks;            ///< in instruction order; entry = 0
+  std::vector<std::uint32_t> block_of;  ///< instruction index -> block id
+  std::vector<bool> reachable;          ///< per block, from the entry
+
+  const Block& entry() const { return blocks.front(); }
+};
+
+/// Builds the CFG of `program`. The program must be non-empty.
+Cfg build_cfg(const isa::Program& program);
+
+}  // namespace emx::verify

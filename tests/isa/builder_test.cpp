@@ -128,5 +128,38 @@ TEST(CodeBuilder, Diagnostics) {
   }
 }
 
+// Every builder diagnostic must say *where*: the emitting instruction
+// index (and for labels, the bind positions), so a compiler backend can
+// map the panic straight back to its emission site.
+TEST(CodeBuilder, DiagnosticsCarryInstructionIndices) {
+  {
+    CodeBuilder b;
+    b.li(2, 1).li(3, 2);
+    // Third instruction (#2) names an out-of-range register.
+    EXPECT_DEATH(b.add(40, 2, 3),
+                 "register out of range: r40 \\(emitting instruction #2\\)");
+  }
+  {
+    CodeBuilder b;
+    const auto l = b.label();
+    b.li(2, 1).bind(l).halt();
+    EXPECT_DEATH(b.bind(l),
+                 "label #0 bound twice: first at instruction #1");
+  }
+  {
+    CodeBuilder b;
+    const auto l = b.label();
+    b.li(2, 1).li(3, 2).jmp(l).halt();
+    EXPECT_DEATH(b.build(),
+                 "label #0 referenced at instruction #2 but never bound");
+  }
+  {
+    CodeBuilder b;
+    b.li(2, 1);
+    EXPECT_DEATH(b.readb(2, 3, 0),
+                 "block read needs at least one word \\(got 0 at instruction #1\\)");
+  }
+}
+
 }  // namespace
 }  // namespace emx::isa

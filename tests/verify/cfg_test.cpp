@@ -1,0 +1,159 @@
+// Basic-block CFG construction: leaders, edges (including resume edges
+// after suspend points), fall-off-end marking and reachability.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "isa/builder.hpp"
+#include "verify/cfg.hpp"
+
+namespace emx::verify {
+namespace {
+
+isa::Instruction raw(isa::Opcode op, unsigned rd = 0, unsigned ra = 0,
+                     unsigned rb = 0, std::int32_t imm = 0) {
+  isa::Instruction i;
+  i.op = op;
+  i.rd = static_cast<std::uint8_t>(rd);
+  i.ra = static_cast<std::uint8_t>(ra);
+  i.rb = static_cast<std::uint8_t>(rb);
+  i.imm = imm;
+  return i;
+}
+
+TEST(Cfg, StraightLineIsOneBlock) {
+  isa::CodeBuilder b;
+  b.li(2, 1).li(3, 2).add(4, 2, 3).halt();
+  const Cfg cfg = build_cfg(b.build());
+  ASSERT_EQ(cfg.blocks.size(), 1u);
+  EXPECT_EQ(cfg.entry().first, 0u);
+  EXPECT_EQ(cfg.entry().last, 3u);
+  EXPECT_TRUE(cfg.entry().succ.empty());
+  EXPECT_FALSE(cfg.entry().falls_off_end);
+  EXPECT_TRUE(cfg.reachable[0]);
+}
+
+TEST(Cfg, SuspendPointEndsItsBlock) {
+  // yield suspends: the edge to the next instruction is the resume edge,
+  // so the yield must terminate its block.
+  isa::CodeBuilder b;
+  b.li(2, 1).yield().addi(2, 2, 1).halt();
+  const Cfg cfg = build_cfg(b.build());
+  ASSERT_EQ(cfg.blocks.size(), 2u);
+  EXPECT_EQ(cfg.blocks[0].last, 1u);  // ends at the yield
+  EXPECT_EQ(cfg.blocks[1].first, 2u);
+  ASSERT_EQ(cfg.blocks[0].succ.size(), 1u);
+  EXPECT_EQ(cfg.blocks[0].succ[0], 1u);
+  ASSERT_EQ(cfg.blocks[1].pred.size(), 1u);
+  EXPECT_EQ(cfg.blocks[1].pred[0], 0u);
+}
+
+TEST(Cfg, EverySendClassSuspends) {
+  using isa::Opcode;
+  for (Opcode op : {Opcode::kRead, Opcode::kReadB, Opcode::kWrite,
+                    Opcode::kSpawn, Opcode::kBarrier, Opcode::kYield}) {
+    EXPECT_TRUE(is_suspend_point(op)) << isa::to_string(op);
+  }
+  for (Opcode op : {Opcode::kAdd, Opcode::kLoad, Opcode::kStore,
+                    Opcode::kBeq, Opcode::kJmp, Opcode::kHalt,
+                    Opcode::kFMark, Opcode::kProc}) {
+    EXPECT_FALSE(is_suspend_point(op)) << isa::to_string(op);
+  }
+}
+
+TEST(Cfg, ConditionalBranchMakesADiamond) {
+  isa::CodeBuilder b;
+  auto join = b.label();
+  b.li(2, 1)
+      .beq(1, 0, join)  // 1
+      .li(3, 7)         // 2: fall-through arm
+      .bind(join)
+      .halt();  // 3
+  const Cfg cfg = build_cfg(b.build());
+  ASSERT_EQ(cfg.blocks.size(), 3u);
+  // Block 0 = [0,1]: taken edge to the join block and fall-through.
+  ASSERT_EQ(cfg.blocks[0].succ.size(), 2u);
+  const std::uint32_t join_block = cfg.block_of[3];
+  const std::uint32_t arm_block = cfg.block_of[2];
+  EXPECT_NE(join_block, arm_block);
+  EXPECT_NE(std::find(cfg.blocks[0].succ.begin(), cfg.blocks[0].succ.end(),
+                      join_block),
+            cfg.blocks[0].succ.end());
+  EXPECT_NE(std::find(cfg.blocks[0].succ.begin(), cfg.blocks[0].succ.end(),
+                      arm_block),
+            cfg.blocks[0].succ.end());
+  EXPECT_EQ(cfg.blocks[join_block].pred.size(), 2u);
+}
+
+TEST(Cfg, JmpHasOnlyTheTakenEdge) {
+  isa::CodeBuilder b;
+  auto end = b.label();
+  b.li(2, 5).jmp(end).addi(2, 2, 1).bind(end).halt();
+  const Cfg cfg = build_cfg(b.build());
+  const std::uint32_t jmp_block = cfg.block_of[1];
+  ASSERT_EQ(cfg.blocks[jmp_block].succ.size(), 1u);
+  EXPECT_EQ(cfg.blocks[jmp_block].succ[0], cfg.block_of[3]);
+  // The skipped instruction is its own, unreachable, block.
+  EXPECT_FALSE(cfg.reachable[cfg.block_of[2]]);
+  EXPECT_TRUE(cfg.reachable[cfg.block_of[3]]);
+}
+
+TEST(Cfg, LoopBackEdgeIsAnOrdinaryEdge) {
+  isa::CodeBuilder b;
+  auto loop = b.label();
+  b.li(2, 0)
+      .li(3, 4)
+      .bind(loop)
+      .addi(2, 2, 1)  // 2: loop header
+      .yield()        // 3
+      .blt(2, 3, loop)  // 4
+      .halt();          // 5
+  const Cfg cfg = build_cfg(b.build());
+  const std::uint32_t header = cfg.block_of[2];
+  const std::uint32_t latch = cfg.block_of[4];
+  const auto& succ = cfg.blocks[latch].succ;
+  EXPECT_NE(std::find(succ.begin(), succ.end(), header), succ.end());
+  for (std::size_t i = 0; i < cfg.blocks.size(); ++i) {
+    EXPECT_TRUE(cfg.reachable[i]) << "block " << i;
+  }
+}
+
+TEST(Cfg, BlockOfCoversEveryInstruction) {
+  isa::CodeBuilder b;
+  auto l = b.label();
+  b.li(2, 0).bind(l).addi(2, 2, 1).read(3, 2).blt(2, 3, l).halt();
+  const isa::Program p = b.build();
+  const Cfg cfg = build_cfg(p);
+  ASSERT_EQ(cfg.block_of.size(), p.code.size());
+  for (std::size_t i = 0; i < p.code.size(); ++i) {
+    const std::uint32_t blk = cfg.block_of[i];
+    ASSERT_NE(blk, kNoBlock) << "instr " << i;
+    EXPECT_GE(i, cfg.blocks[blk].first);
+    EXPECT_LE(i, cfg.blocks[blk].last);
+  }
+}
+
+TEST(Cfg, FallThroughPastTheEndIsMarked) {
+  // The builder refuses to emit such a program, so construct it by hand:
+  // a lone addi with nothing after it.
+  isa::Program p;
+  p.code.push_back(raw(isa::Opcode::kAddi, 2, 0, 0, 1));
+  const Cfg cfg = build_cfg(p);
+  ASSERT_EQ(cfg.blocks.size(), 1u);
+  EXPECT_TRUE(cfg.blocks[0].falls_off_end);
+  EXPECT_TRUE(cfg.blocks[0].succ.empty());
+}
+
+TEST(Cfg, OutOfRangeTargetContributesNoEdge) {
+  isa::Program p;
+  p.code.push_back(raw(isa::Opcode::kBeq, 0, 1, 0, 99));  // target #99
+  p.code.push_back(raw(isa::Opcode::kHalt));
+  const Cfg cfg = build_cfg(p);
+  const std::uint32_t branch_block = cfg.block_of[0];
+  // Only the fall-through edge; the bogus target adds nothing.
+  ASSERT_EQ(cfg.blocks[branch_block].succ.size(), 1u);
+  EXPECT_EQ(cfg.blocks[branch_block].succ[0], cfg.block_of[1]);
+}
+
+}  // namespace
+}  // namespace emx::verify

@@ -1,0 +1,115 @@
+// The pre-run gate: gate-mode parsing, the Machine-side ISA program
+// registry the gate walks, the runner wiring, and the clean-pass
+// contract over every registry workload.
+#include <gtest/gtest.h>
+
+#include "core/machine.hpp"
+#include "isa/interpreter.hpp"
+#include "snapshot/runner.hpp"
+#include "verify/verifier.hpp"
+#include "workloads/registry.hpp"
+
+namespace emx::verify {
+namespace {
+
+TEST(GateMode, ParsesTheThreeModes) {
+  GateMode mode = GateMode::kOff;
+  EXPECT_TRUE(parse_gate_mode("off", mode));
+  EXPECT_EQ(mode, GateMode::kOff);
+  EXPECT_TRUE(parse_gate_mode("warn", mode));
+  EXPECT_EQ(mode, GateMode::kWarn);
+  EXPECT_TRUE(parse_gate_mode("error", mode));
+  EXPECT_EQ(mode, GateMode::kError);
+}
+
+TEST(GateMode, RejectsEverythingElse) {
+  GateMode mode = GateMode::kWarn;
+  EXPECT_FALSE(parse_gate_mode("", mode));
+  EXPECT_FALSE(parse_gate_mode("on", mode));
+  EXPECT_FALSE(parse_gate_mode("Error", mode));
+  EXPECT_FALSE(parse_gate_mode("error ", mode));
+  // A failed parse must leave the mode untouched.
+  EXPECT_EQ(mode, GateMode::kWarn);
+}
+
+TEST(MachineIsaRegistry, RegisteredProgramsAreRecorded) {
+  MachineConfig cfg;
+  cfg.proc_count = 2;
+  Machine m(cfg);
+  EXPECT_TRUE(m.isa_programs().empty());
+  (void)isa::register_source(m, R"(
+      li   r2, 1
+      halt
+  )");
+  (void)isa::register_source(m, R"(
+      yield
+      halt
+  )");
+  ASSERT_EQ(m.isa_programs().size(), 2u);
+  EXPECT_EQ(m.isa_programs()[0]->code.size(), 2u);
+  // ...and the recorded programs are exactly what the verifier sees.
+  for (const auto& p : m.isa_programs()) {
+    EXPECT_TRUE(verify_program(*p).clean());
+  }
+}
+
+// The headline contract: every workload in the registry builds programs
+// the static verifier accepts. Today all eight are coroutine-native
+// (zero ISA programs — trivially clean); any future ISA-level workload
+// is automatically held to the same bar by this test.
+TEST(GateCleanPass, EveryRegistryWorkloadVerifiesClean) {
+  for (const workloads::Spec& spec : workloads::Registry::instance().specs()) {
+    MachineConfig cfg;
+    cfg.proc_count = 8;
+    Machine m(cfg);
+    workloads::Params params;
+    params.size_per_proc = spec.default_size_per_proc;
+    params.threads = spec.default_threads;
+    params.seed = 1;
+    std::string error;
+    auto workload = workloads::build(m, spec.name, params, error);
+    ASSERT_NE(workload, nullptr) << spec.name << ": " << error;
+    for (std::size_t i = 0; i < m.isa_programs().size(); ++i) {
+      const Report r = verify_program(*m.isa_programs()[i],
+                                      spec.name + " #" + std::to_string(i));
+      EXPECT_TRUE(r.clean()) << r.summary_text();
+    }
+  }
+}
+
+// End-to-end through the snapshot runner: the gate in error mode must
+// not disturb a clean run (and the run must still verify its result).
+TEST(GateRunner, ErrorModeIsTransparentForCleanWorkloads) {
+  snapshot::RunOptions opts;
+  opts.manifest.app = "sort";
+  opts.manifest.size_per_proc = 32;
+  opts.manifest.threads = 2;
+  opts.manifest.config.proc_count = 4;
+  opts.verify_static = GateMode::kError;
+  const snapshot::RunResult res = snapshot::run(opts);
+  EXPECT_EQ(res.exit_code, 0) << res.error;
+  EXPECT_TRUE(res.result_ok);
+}
+
+TEST(GateRunner, OffModeMatchesErrorModeCycleForCycle) {
+  auto run_with = [](GateMode mode) {
+    snapshot::RunOptions opts;
+    opts.manifest.app = "bfs";
+    opts.manifest.size_per_proc = 64;
+    opts.manifest.threads = 2;
+    opts.manifest.config.proc_count = 4;
+    opts.verify_static = mode;
+    return snapshot::run(opts);
+  };
+  const snapshot::RunResult off = run_with(GateMode::kOff);
+  const snapshot::RunResult err = run_with(GateMode::kError);
+  EXPECT_EQ(off.exit_code, 0);
+  EXPECT_EQ(err.exit_code, 0);
+  // Pure analysis: the gate may never perturb simulation.
+  EXPECT_EQ(off.end_cycle, err.end_cycle);
+  EXPECT_EQ(off.trace_events, err.trace_events);
+  EXPECT_EQ(off.trace_crc, err.trace_crc);
+}
+
+}  // namespace
+}  // namespace emx::verify

@@ -1,0 +1,306 @@
+// Golden-diagnostic tests: one deliberately buggy program per finding
+// kind, each yielding exactly the expected finding at the expected
+// instruction — plus clean programs that must stay clean. Mirrors the
+// dynamic memcheck_isa_test suite one layer earlier in the pipeline.
+#include <gtest/gtest.h>
+
+#include "isa/assembler.hpp"
+#include "isa/builder.hpp"
+#include "verify/verifier.hpp"
+
+namespace emx::verify {
+namespace {
+
+isa::Instruction raw(isa::Opcode op, unsigned rd = 0, unsigned ra = 0,
+                     unsigned rb = 0, std::int32_t imm = 0) {
+  isa::Instruction i;
+  i.op = op;
+  i.rd = static_cast<std::uint8_t>(rd);
+  i.ra = static_cast<std::uint8_t>(ra);
+  i.rb = static_cast<std::uint8_t>(rb);
+  i.imm = imm;
+  return i;
+}
+
+// --- use-before-def ------------------------------------------------------
+
+TEST(VerifyUseBeforeDef, DefinitionMissingOnOnePath) {
+  isa::CodeBuilder b;
+  auto skip = b.label();
+  b.li(2, 1)
+      .beq(1, 0, skip)
+      .li(4, 7)  // defines r4 on the not-taken path only
+      .bind(skip)
+      .add(5, 4, 2)  // 3: r4 undefined when the branch is taken
+      .halt();
+  const Report r = verify_program(b.build());
+  ASSERT_EQ(r.count(FindingKind::kUseBeforeDef), 1u);
+  const Finding& f = r.findings[0];
+  EXPECT_EQ(f.instr, 3u);
+  EXPECT_EQ(f.severity, Severity::kError);
+  EXPECT_NE(f.message.find("r4"), std::string::npos);
+}
+
+TEST(VerifyUseBeforeDef, DefinedOnAllPathsIsClean) {
+  isa::CodeBuilder b;
+  auto else_ = b.label();
+  auto join = b.label();
+  b.beq(1, 0, else_)
+      .li(4, 7)
+      .jmp(join)
+      .bind(else_)
+      .li(4, 9)
+      .bind(join)
+      .add(5, 4, 4)
+      .halt();
+  EXPECT_TRUE(verify_program(b.build()).clean());
+}
+
+TEST(VerifyUseBeforeDef, SpawnArgAndZeroArePredefined) {
+  // r0 and r1 (the spawn argument) are live on entry; nothing else is.
+  isa::CodeBuilder b;
+  b.add(2, 1, 0).halt();
+  EXPECT_TRUE(verify_program(b.build()).clean());
+}
+
+TEST(VerifyUseBeforeDef, ReadDestinationLiveOnlyAfterResume) {
+  // read defines its destination on the resume edge, so using it in the
+  // *same* straight-line program after the read is fine...
+  isa::CodeBuilder b;
+  b.li(2, 3).gaddr(3, 0, 2).read(4, 3).add(5, 4, 4).halt();
+  EXPECT_TRUE(verify_program(b.build()).clean());
+}
+
+TEST(VerifyReadIntoZero, ReplyIntoHardwiredZeroIsAnError) {
+  isa::CodeBuilder b;
+  b.li(2, 3).gaddr(3, 0, 2).read(0, 3).halt();
+  const Report r = verify_program(b.build());
+  ASSERT_EQ(r.count(FindingKind::kReadIntoZero), 1u);
+  EXPECT_EQ(r.findings[0].instr, 2u);
+  EXPECT_EQ(r.findings[0].severity, Severity::kError);
+}
+
+// --- frame-region balance ------------------------------------------------
+
+TEST(VerifyFrames, DropWithoutMarkIsAnUnderflow) {
+  isa::CodeBuilder b;
+  b.li(2, 100).fdrop(2).halt();
+  const Report r = verify_program(b.build());
+  ASSERT_EQ(r.count(FindingKind::kFrameUnderflow), 1u);
+  EXPECT_EQ(r.findings[0].instr, 1u);
+}
+
+TEST(VerifyFrames, PathSkippingTheDropLeaks) {
+  isa::CodeBuilder b;
+  auto done = b.label();
+  b.li(2, 100)
+      .li(3, 4)
+      .fmark(2, 3)
+      .beq(1, 0, done)  // skips the drop
+      .fdrop(2)
+      .bind(done)
+      .halt();
+  const Report r = verify_program(b.build());
+  EXPECT_EQ(r.count(FindingKind::kFramePathMismatch), 1u);
+  EXPECT_EQ(r.count(FindingKind::kFrameLeak), 1u);
+  EXPECT_GE(r.errors(), 2u);
+}
+
+TEST(VerifyFrames, BalancedDiamondIsClean) {
+  isa::CodeBuilder b;
+  auto else_ = b.label();
+  auto join = b.label();
+  b.li(2, 100)
+      .li(3, 4)
+      .beq(1, 0, else_)
+      .fmark(2, 3)
+      .fdrop(2)
+      .jmp(join)
+      .bind(else_)
+      .fmark(2, 3)
+      .fdrop(2)
+      .bind(join)
+      .halt();
+  EXPECT_TRUE(verify_program(b.build()).clean());
+}
+
+TEST(VerifyFrames, LoopChangingDepthPerIteration) {
+  // Each trip marks one region and never drops it: depth grows without
+  // bound, so the back edge sees a non-zero per-iteration delta.
+  isa::CodeBuilder b;
+  auto loop = b.label();
+  b.li(2, 100)
+      .li(3, 4)
+      .li(4, 0)
+      .bind(loop)
+      .fmark(2, 3)
+      .addi(4, 4, 1)
+      .yield()
+      .blt(4, 3, loop)
+      .halt();
+  const Report r = verify_program(b.build());
+  EXPECT_GE(r.count(FindingKind::kFramePathMismatch) +
+                r.count(FindingKind::kFrameLeak),
+            1u);
+  EXPECT_FALSE(r.clean());
+}
+
+// --- barrier-count consistency -------------------------------------------
+
+TEST(VerifyBarriers, PathSkippingTheBarrierMismatches) {
+  isa::CodeBuilder b;
+  auto skip = b.label();
+  auto loop = b.label();
+  b.li(2, 0)
+      .li(3, 4)
+      .bind(loop)
+      .beq(1, 0, skip)
+      .barrier()
+      .bind(skip)
+      .addi(2, 2, 1)
+      .blt(2, 3, loop)
+      .halt();
+  const Report r = verify_program(b.build());
+  ASSERT_GE(r.count(FindingKind::kBarrierPathMismatch), 1u);
+  EXPECT_EQ(r.findings[0].severity, Severity::kError);
+}
+
+TEST(VerifyBarriers, BarrierOnBothArmsIsClean) {
+  isa::CodeBuilder b;
+  auto else_ = b.label();
+  auto join = b.label();
+  b.beq(1, 0, else_)
+      .barrier()
+      .jmp(join)
+      .bind(else_)
+      .barrier()
+      .bind(join)
+      .halt();
+  EXPECT_TRUE(verify_program(b.build()).clean());
+}
+
+TEST(VerifyBarriers, SameCountEveryIterationIsClean) {
+  isa::CodeBuilder b;
+  auto loop = b.label();
+  b.li(2, 0).li(3, 4).bind(loop).barrier().addi(2, 2, 1).blt(2, 3, loop).halt();
+  EXPECT_TRUE(verify_program(b.build()).clean());
+}
+
+// --- structural lints ----------------------------------------------------
+
+TEST(VerifyStructure, UnreachableBlockIsAWarning) {
+  isa::CodeBuilder b;
+  auto end = b.label();
+  b.li(2, 5).jmp(end).addi(2, 2, 1).bind(end).halt();
+  const Report r = verify_program(b.build());
+  ASSERT_EQ(r.count(FindingKind::kUnreachableCode), 1u);
+  EXPECT_EQ(r.findings[0].severity, Severity::kWarning);
+  EXPECT_EQ(r.warnings(), 1u);
+  EXPECT_EQ(r.errors(), 0u);
+}
+
+TEST(VerifyStructure, FallOffEndIsAnError) {
+  isa::Program p;
+  p.code.push_back(raw(isa::Opcode::kLi, 2, 0, 0, 1));
+  p.code.push_back(raw(isa::Opcode::kAddi, 2, 2, 0, 1));
+  const Report r = verify_program(p);
+  ASSERT_EQ(r.count(FindingKind::kFallOffEnd), 1u);
+  EXPECT_EQ(r.findings.back().severity, Severity::kError);
+}
+
+TEST(VerifyStructure, BranchTargetOutsideTheProgram) {
+  isa::Program p;
+  p.code.push_back(raw(isa::Opcode::kBeq, 0, 1, 0, 99));
+  p.code.push_back(raw(isa::Opcode::kHalt));
+  const Report r = verify_program(p);
+  ASSERT_EQ(r.count(FindingKind::kBranchOutOfRange), 1u);
+  EXPECT_EQ(r.findings[0].instr, 0u);
+}
+
+TEST(VerifyStructure, NonPositiveBlockReadLength) {
+  isa::Program p;
+  p.code.push_back(raw(isa::Opcode::kLi, 2, 0, 0, 3));
+  p.code.push_back(raw(isa::Opcode::kGaddr, 3, 0, 2));
+  p.code.push_back(raw(isa::Opcode::kReadB, 0, 3, 4, 0));  // zero words
+  p.code.push_back(raw(isa::Opcode::kHalt));
+  const Report r = verify_program(p);
+  ASSERT_EQ(r.count(FindingKind::kBadBlockReadLength), 1u);
+  EXPECT_EQ(r.findings[0].instr, 2u);
+}
+
+TEST(VerifySpin, LoopWithoutSuspendPointWarns) {
+  isa::CodeBuilder b;
+  auto loop = b.label();
+  b.li(2, 0).bind(loop).addi(2, 2, 1).jmp(loop);
+  const Report r = verify_program(b.build());
+  ASSERT_EQ(r.count(FindingKind::kSpinWithoutSuspend), 1u);
+  EXPECT_EQ(r.findings[0].severity, Severity::kWarning);
+}
+
+TEST(VerifySpin, LoopWithAYieldIsClean) {
+  isa::CodeBuilder b;
+  auto loop = b.label();
+  b.li(2, 0).li(3, 9).bind(loop).addi(2, 2, 1).yield().blt(2, 3, loop).halt();
+  EXPECT_TRUE(verify_program(b.build()).clean());
+}
+
+// --- report plumbing -----------------------------------------------------
+
+TEST(VerifyReport, AssembledProgramsCarrySourceLines) {
+  const isa::Program p = isa::assemble(R"(
+      li   r2, 1
+      beq  r1, r0, skip
+      li   r4, 7
+  skip:
+      add  r5, r4, r2
+      halt
+  )");
+  ASSERT_EQ(p.lines.size(), p.code.size());
+  const Report r = verify_program(p, "inline.emx");
+  ASSERT_EQ(r.findings.size(), 1u);
+  EXPECT_EQ(r.findings[0].kind, FindingKind::kUseBeforeDef);
+  // The add sits on source line 6 of the raw string above (the string
+  // opens with a newline, so its first text line is line 2).
+  EXPECT_EQ(r.findings[0].line, 6u);
+  EXPECT_NE(r.findings[0].describe().find("(line 6)"), std::string::npos);
+  EXPECT_NE(r.summary_text().find("inline.emx"), std::string::npos);
+}
+
+TEST(VerifyReport, FindingsAreSortedByInstruction) {
+  // Two independent problems; the report must list them in program order.
+  isa::CodeBuilder b;
+  auto end = b.label();
+  b.li(2, 100)
+      .fdrop(2)  // 1: underflow
+      .jmp(end)
+      .addi(2, 2, 1)  // 3: unreachable
+      .bind(end)
+      .halt();
+  const Report r = verify_program(b.build());
+  ASSERT_GE(r.findings.size(), 2u);
+  for (std::size_t i = 1; i < r.findings.size(); ++i) {
+    EXPECT_LE(r.findings[i - 1].instr, r.findings[i].instr);
+  }
+}
+
+TEST(VerifyReport, DescribeNamesKindAndSeverity) {
+  isa::CodeBuilder b;
+  b.li(2, 100).fdrop(2).halt();
+  const Report r = verify_program(b.build());
+  ASSERT_EQ(r.findings.size(), 1u);
+  const std::string text = r.findings[0].describe();
+  EXPECT_NE(text.find("error"), std::string::npos);
+  EXPECT_NE(text.find("frame-underflow"), std::string::npos);
+  EXPECT_NE(text.find("#1"), std::string::npos);
+}
+
+TEST(VerifyReport, ToStringCoversEveryKind) {
+  for (std::size_t k = 0; k < kFindingKindCount; ++k) {
+    const char* name = to_string(static_cast<FindingKind>(k));
+    ASSERT_NE(name, nullptr);
+    EXPECT_GT(std::string(name).size(), 0u);
+  }
+}
+
+}  // namespace
+}  // namespace emx::verify

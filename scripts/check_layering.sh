@@ -95,3 +95,31 @@ if [[ -n "$violations" ]]; then
   exit 1
 fi
 echo "layering OK: verify/ sees only isa/ + common/, and only the snapshot runner sees verify/"
+
+# The job engine orchestrates emx_run *processes*; inside src/ it may
+# read recipes (snapshot/ manifests), registry defaults (workloads/) and
+# common/ utilities — never the machine layers, which would tempt it to
+# run cells in-process and lose the crash-isolation the fork/exec
+# boundary provides. And nothing in src/ may include jobs/: the engine
+# is a tools-facing layer, consumed only by emx_sweep.
+j_down_pattern='^[[:space:]]*#[[:space:]]*include[[:space:]]*"(sim|network|proc|runtime|core|apps|model|isa|trace|fault|analysis|verify)/'
+violations=$(grep -rnE "$j_down_pattern" src/jobs || true)
+if [[ -n "$violations" ]]; then
+  echo "layering violation: src/jobs may include only common/, snapshot/,"
+  echo "workloads/ and its own headers — cells run in worker processes,"
+  echo "never in the supervisor:"
+  echo
+  echo "$violations"
+  exit 1
+fi
+j_up_pattern='^[[:space:]]*#[[:space:]]*include[[:space:]]*"jobs/'
+violations=$(grep -rnE "$j_up_pattern" src \
+  | grep -v '^src/jobs/' || true)
+if [[ -n "$violations" ]]; then
+  echo "layering violation: nothing in src/ outside src/jobs may include"
+  echo "jobs/ headers — the job engine is consumed by tools only:"
+  echo
+  echo "$violations"
+  exit 1
+fi
+echo "layering OK: jobs/ sees only common/ + snapshot/ + workloads/, and src/ does not see jobs/"

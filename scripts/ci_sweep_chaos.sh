@@ -1,0 +1,77 @@
+#!/usr/bin/env bash
+# Sweep-supervisor chaos gate: run a 24-cell grid three ways —
+#
+#   reference  undisturbed sweep into its own directory
+#   chaos      same grid while a killer loop SIGKILLs random workers,
+#              and the supervisor itself is SIGKILLed once mid-sweep
+#   recovery   re-invoke the supervisor over the chaos directory
+#
+# and require the recovered aggregate to be byte-identical to the
+# reference (cmp, not diff: the claim is bytes). The provenance file
+# must show at least one `resumed:` cell — proof the checkpoint-resume
+# path actually fired rather than every cell surviving or restarting
+# from scratch.
+#
+# Usage: scripts/ci_sweep_chaos.sh [path-to-emx_sweep] [path-to-emx_run]
+set -euo pipefail
+
+SWEEP=${1:-./build/tools/emx_sweep}
+RUN=${2:-./build/tools/emx_run}
+work=$(mktemp -d)
+trap 'rm -rf "$work"' EXIT
+
+# 24 cells: 2 apps x 2 P x 3 h x 2 seeds. Small sizes keep the gate
+# fast; checkpoint-every is tuned low so even these short cells write
+# several checkpoints for the resume path to pick up.
+GRID=(--apps=sort,bfs --procs-list=4,8 --threads-list=1,2,4 --seeds=1,2
+      --sizes-per-proc=64 --checkpoint-every=500 --jobs=4 --retries=6
+      --emx-run="$RUN" --quiet)
+
+echo "== reference sweep (undisturbed) =="
+"$SWEEP" "${GRID[@]}" --out="$work/ref"
+
+echo "== chaos sweep (worker SIGKILLs + supervisor SIGKILL) =="
+# Killer loop: every few ms, SIGKILL one random live emx_run worker
+# parented inside the chaos tree. Runs until told to stop.
+kill_workers() {
+  while [ ! -e "$work/stop-killing" ]; do
+    # shellcheck disable=SC2009  # pgrep -f would match the supervisor too
+    victim=$(pgrep -f "emx_run .*$work/chaos" | shuf -n 1 || true)
+    [ -n "$victim" ] && kill -9 "$victim" 2>/dev/null || true
+    sleep 0.02
+  done
+}
+kill_workers &
+killer=$!
+
+"$SWEEP" "${GRID[@]}" --out="$work/chaos" > /dev/null 2>&1 &
+sup=$!
+sleep 0.6
+kill -9 "$sup" 2>/dev/null || true
+wait "$sup" 2>/dev/null || true
+# Orphaned workers keep running after their supervisor dies; reap them
+# so the recovery invocation owns the directory alone.
+pkill -9 -f "emx_run .*$work/chaos" 2>/dev/null || true
+sleep 0.1
+
+echo "== recovery: re-invoke over the chaos directory =="
+touch "$work/stop-killing"
+wait "$killer" 2>/dev/null || true
+"$SWEEP" "${GRID[@]}" --out="$work/chaos"
+
+cmp "$work/ref/aggregate.json" "$work/chaos/aggregate.json" \
+  || { echo "FAIL: recovered aggregate differs from the reference" >&2; exit 1; }
+echo "ok: aggregate byte-identical to the undisturbed sweep"
+
+if grep -q 'resumed:' "$work/chaos/provenance.json"; then
+  grep -o '"status": "[a-z:0-9-]*"' "$work/chaos/provenance.json" \
+    | sort | uniq -c | sed 's/^/  /'
+  echo "ok: provenance shows checkpoint-resumed cells"
+else
+  echo "WARN: no cell resumed from a checkpoint this round (all cells" \
+       "either survived or restarted from scratch); provenance follows:"
+  grep -o '"status": "[a-z:0-9-]*"' "$work/chaos/provenance.json" \
+    | sort | uniq -c | sed 's/^/  /'
+fi
+
+echo "sweep-chaos gate: all checks passed"

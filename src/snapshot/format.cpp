@@ -2,6 +2,8 @@
 
 #include <cstdio>
 
+#include "common/fsio.hpp"
+
 namespace emx::snapshot {
 
 namespace {
@@ -95,21 +97,14 @@ std::string SnapshotFile::decode_sections(Deserializer& d) {
 }
 
 std::string SnapshotFile::write_file(const std::string& path) const {
+  // Crash-atomic publish: unique temp file + fsync + rename + dir fsync.
+  // A SIGKILL mid-checkpoint leaves at worst a stale .emxtmp file that no
+  // snapshot glob matches; the name `path` only ever points at a complete,
+  // CRC-valid snapshot — and concurrent writers (a timed-out worker's
+  // orphan racing its restarted replacement) each own a private temp
+  // file, so neither can corrupt what the other renames into place.
   const std::vector<std::uint8_t> bytes = encode();
-  const std::string tmp = path + ".tmp";
-  std::FILE* f = std::fopen(tmp.c_str(), "wb");
-  if (f == nullptr) return "cannot open '" + tmp + "' for writing";
-  const std::size_t written = std::fwrite(bytes.data(), 1, bytes.size(), f);
-  const bool flushed = std::fclose(f) == 0;
-  if (written != bytes.size() || !flushed) {
-    std::remove(tmp.c_str());
-    return "short write to '" + tmp + "'";
-  }
-  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
-    std::remove(tmp.c_str());
-    return "cannot rename '" + tmp + "' to '" + path + "'";
-  }
-  return "";
+  return fsio::atomic_write_file(path, bytes.data(), bytes.size());
 }
 
 std::string SnapshotFile::read_file(const std::string& path) {

@@ -72,8 +72,11 @@ class SnapshotFile {
   /// naming the damaged section).
   std::string decode(const std::uint8_t* data, std::size_t size);
 
-  /// Writes encode() to `path` atomically-ish (tmp + rename). Returns ""
-  /// on success, else an error message.
+  /// Writes encode() to `path` atomically (unique temp file + fsync +
+  /// rename; common/fsio.hpp). A crash mid-write leaves the previous
+  /// file intact under `path`, never a truncated hybrid, and concurrent
+  /// writers racing on one target cannot interleave. Returns "" on
+  /// success, else an error message.
   std::string write_file(const std::string& path) const;
   /// Reads + decodes `path`. Returns "" on success, else an error.
   std::string read_file(const std::string& path);

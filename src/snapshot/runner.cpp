@@ -1,9 +1,10 @@
 #include "snapshot/runner.hpp"
 
 #include <cstdio>
-#include <filesystem>
 #include <memory>
 
+#include "common/fsio.hpp"
+#include "common/json.hpp"
 #include "core/machine.hpp"
 #include "snapshot/record_replay.hpp"
 #include "snapshot/snapshot.hpp"
@@ -121,15 +122,23 @@ RunResult run(const RunOptions& opts) {
   if ((recording || replaying) && digest_interval == 0)
     return fail(2, "--digest-every must be positive");
 
+  // --- prove every output path is creatable + writable up front: a bad
+  // --checkpoint-dir/--record/--result-json must be exit 2 before the
+  // first simulated cycle, not an error after hours were burned ---
   const bool checkpointing = opts.checkpoint_every > 0;
   if (checkpointing && opts.checkpoint_dir.empty())
     return fail(2, "--checkpoint-every needs --checkpoint-dir");
   if (!opts.checkpoint_dir.empty()) {
-    std::error_code ec;
-    std::filesystem::create_directories(opts.checkpoint_dir, ec);
-    if (ec)
-      return fail(2, "cannot create checkpoint dir " + opts.checkpoint_dir +
-                         ": " + ec.message());
+    const std::string err = fsio::ensure_writable_dir(opts.checkpoint_dir);
+    if (!err.empty()) return fail(2, "--checkpoint-dir: " + err);
+  }
+  if (!opts.record_path.empty()) {
+    const std::string err = fsio::probe_writable_file(opts.record_path);
+    if (!err.empty()) return fail(2, "--record: " + err);
+  }
+  if (!opts.result_json_path.empty()) {
+    const std::string err = fsio::probe_writable_file(opts.result_json_path);
+    if (!err.empty()) return fail(2, "--result-json: " + err);
   }
 
   // --- build the machine + workload from the manifest ---
@@ -255,7 +264,51 @@ RunResult run(const RunOptions& opts) {
     const SnapshotFile dump = capture(machine, m, r.end_cycle);
     if (dump.write_file(path).empty()) r.crash_dump_path = path;
   }
+
+  // Machine-readable result summary, published atomically so a reader
+  // (the sweep supervisor) never sees a torn file.
+  if (!opts.result_json_path.empty()) {
+    const std::string err =
+        fsio::atomic_write_file(opts.result_json_path, result_json(m, r) + "\n");
+    if (!err.empty()) {
+      r.exit_code = 2;
+      r.error = "--result-json: " + err;
+    }
+  }
   return r;
+}
+
+std::string result_json(const RunManifest& m, const RunResult& r) {
+  Serializer ser;
+  m.save(ser);
+  char hex[16];
+  std::snprintf(hex, sizeof hex, "%08x", ser.crc());
+
+  json::Value v = json::Value::object();
+  v.set("schema", json::Value::integer(1));
+  v.set("app", json::Value::string(m.app));
+  v.set("procs", json::Value::integer(m.config.proc_count));
+  v.set("size_per_proc",
+        json::Value::integer(static_cast<std::int64_t>(m.size_per_proc)));
+  v.set("threads", json::Value::integer(m.threads));
+  v.set("iterations", json::Value::integer(m.iterations));
+  v.set("seed", json::Value::integer(static_cast<std::int64_t>(m.seed)));
+  v.set("manifest_crc", json::Value::string(hex));
+  v.set("exit_code", json::Value::integer(r.exit_code));
+  v.set("cycles", json::Value::integer(static_cast<std::int64_t>(r.end_cycle)));
+  // null when verification did not run (--verify=false, watchdog stop).
+  v.set("verified", r.result_checked ? json::Value::boolean(r.result_ok)
+                                     : json::Value());
+  const MachineReport::Shares s = r.report.shares();
+  v.set("compute_pct", json::Value::real(s.compute));
+  v.set("overhead_pct", json::Value::real(s.overhead));
+  v.set("comm_pct", json::Value::real(s.comm));
+  v.set("switch_pct", json::Value::real(s.switching));
+  v.set("trace_events",
+        json::Value::integer(static_cast<std::int64_t>(r.trace_events)));
+  std::snprintf(hex, sizeof hex, "%08x", r.trace_crc);
+  v.set("trace_crc", json::Value::string(hex));
+  return v.dump();
 }
 
 }  // namespace emx::snapshot

@@ -50,6 +50,16 @@ struct RunOptions {
   std::string replay_path;
   Cycle digest_every = 65536;
 
+  /// When non-empty, a one-line machine-readable result summary is
+  /// written here (atomically) once the run completes: the manifest's
+  /// cell parameters, cycle count, verification verdict, breakdown
+  /// shares and trace digest. The content is deterministic — a resumed
+  /// run emits byte-identical JSON to an uninterrupted one — which is
+  /// what lets the sweep supervisor byte-compare aggregates as its
+  /// crash-convergence oracle. Like --checkpoint-dir and --record, the
+  /// path is probed up front so a typo is exit 2 before cycles burn.
+  std::string result_json_path;
+
   /// Optional extra trace sink, chained behind the runner's DigestSink.
   trace::TraceSink* sink = nullptr;
 
@@ -80,6 +90,11 @@ struct RunResult {
 };
 
 RunResult run(const RunOptions& opts);
+
+/// The one-line result-summary JSON described at result_json_path (also
+/// used by the supervisor's aggregate writer when re-serializing cached
+/// cells). Deterministic for a deterministic run.
+std::string result_json(const RunManifest& m, const RunResult& r);
 
 /// Reads `path`, checks it is `expected` kind, and extracts the manifest
 /// (and checkpoint cycle for checkpoints; recordings leave it 0). The

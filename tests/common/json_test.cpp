@@ -1,0 +1,107 @@
+// json::Value — the supervisor's wire format. Determinism of dump() and
+// honesty of parse() errors are what the sweep machinery leans on.
+#include "common/json.hpp"
+
+#include <gtest/gtest.h>
+
+namespace emx::json {
+namespace {
+
+Value parse_ok(const std::string& text) {
+  std::string err;
+  Value v = Value::parse(text, err);
+  EXPECT_EQ(err, "") << text;
+  return v;
+}
+
+std::string parse_err(const std::string& text) {
+  std::string err;
+  Value::parse(text, err);
+  EXPECT_NE(err, "") << text;
+  return err;
+}
+
+TEST(Json, ScalarRoundTrip) {
+  EXPECT_EQ(parse_ok("null").dump(), "null");
+  EXPECT_EQ(parse_ok("true").dump(), "true");
+  EXPECT_EQ(parse_ok("false").dump(), "false");
+  EXPECT_EQ(parse_ok("42").dump(), "42");
+  EXPECT_EQ(parse_ok("-7").dump(), "-7");
+  EXPECT_EQ(parse_ok("\"hi\"").dump(), "\"hi\"");
+}
+
+TEST(Json, IntegersStayIntegers) {
+  // Cycle counts must survive parse→dump exactly — no 1e+06 drift.
+  const Value v = parse_ok("{\"cycles\":472640}");
+  EXPECT_TRUE(v.find("cycles")->is_int());
+  EXPECT_EQ(v.dump(), "{\"cycles\":472640}");
+  EXPECT_EQ(parse_ok("9223372036854775807").as_int(), 9223372036854775807LL);
+}
+
+TEST(Json, DoublesRoundTrip) {
+  const Value v = parse_ok("{\"pct\":35.283076298701296}");
+  EXPECT_TRUE(v.find("pct")->is_number());
+  EXPECT_DOUBLE_EQ(v.find("pct")->as_double(), 35.283076298701296);
+  // Shortest round-trip form, deterministically.
+  EXPECT_EQ(parse_ok(v.dump()).find("pct")->as_double(),
+            v.find("pct")->as_double());
+}
+
+TEST(Json, ObjectsKeepInsertionOrder) {
+  Value v = Value::object();
+  v.set("zebra", Value::integer(1));
+  v.set("apple", Value::integer(2));
+  v.set("mango", Value::integer(3));
+  EXPECT_EQ(v.dump(), "{\"zebra\":1,\"apple\":2,\"mango\":3}");
+  v.set("apple", Value::integer(9));  // replaces in place, order kept
+  EXPECT_EQ(v.dump(), "{\"zebra\":1,\"apple\":9,\"mango\":3}");
+}
+
+TEST(Json, NestedRoundTripIsByteStable) {
+  const std::string text =
+      "{\"a\":[1,2,{\"b\":null}],\"c\":{\"d\":\"x\",\"e\":[true,false]}}";
+  EXPECT_EQ(parse_ok(text).dump(), text);
+  // dump→parse→dump is a fixed point — the property the aggregate
+  // byte-comparison rests on.
+  const Value v = parse_ok(text);
+  EXPECT_EQ(parse_ok(v.dump()).dump(), v.dump());
+}
+
+TEST(Json, PrettyPrint) {
+  Value v = Value::object();
+  v.set("k", Value::integer(1));
+  EXPECT_EQ(v.dump(2), "{\n  \"k\": 1\n}");
+}
+
+TEST(Json, StringEscapes) {
+  const Value v = parse_ok("\"a\\\"b\\\\c\\n\\t\\u0041\"");
+  EXPECT_EQ(v.as_string(), "a\"b\\c\n\tA");
+  EXPECT_EQ(escape("tab\there \"q\""), "tab\\there \\\"q\\\"");
+}
+
+TEST(Json, ErrorsNameTheByteOffset) {
+  EXPECT_NE(parse_err("{\"a\":}").find("byte"), std::string::npos);
+  parse_err("");
+  parse_err("{");
+  parse_err("[1,]");
+  parse_err("{\"a\":1,}");
+  parse_err("{\"a\" 1}");
+  parse_err("nul");
+  parse_err("\"unterminated");
+  parse_err("{\"a\":1} trailing");
+}
+
+TEST(Json, DepthLimitHolds) {
+  std::string deep;
+  for (int i = 0; i < 100; ++i) deep += "[";
+  parse_err(deep);  // must return, not crash
+}
+
+TEST(Json, FindOnMissingKeyIsNull) {
+  const Value v = parse_ok("{\"a\":1}");
+  EXPECT_EQ(v.find("b"), nullptr);
+  EXPECT_NE(v.find("a"), nullptr);
+}
+
+}  // namespace
+}  // namespace emx::json

@@ -307,7 +307,11 @@ int main(int argc, char** argv) {
               "recording file: re-run its manifest and diff state digests; "
               "first divergence exits 5")
       .define("digest-every", "65536",
-              "record-replay digest frame interval, cycles");
+              "record-replay digest frame interval, cycles")
+      .define("result-json", "",
+              "write a one-line machine-readable result summary here "
+              "(atomic publish; deterministic across resume — the sweep "
+              "supervisor's cache currency)");
   flags.parse(argc, argv);
 
   if (flags.boolean("list-apps")) {
@@ -422,6 +426,7 @@ int main(int argc, char** argv) {
   opts.record_path = record_path;
   opts.replay_path = replay_path;
   opts.digest_every = static_cast<Cycle>(flags.integer("digest-every"));
+  opts.result_json_path = flags.str("result-json");
 
   const bool csv = flags.str("report") == "csv";
   const snapshot::RunResult result = snapshot::run(opts);
@@ -459,5 +464,9 @@ int main(int argc, char** argv) {
     // outranks result/checker verdicts (there is no result to judge).
     std::fputs(result.report.watchdog_diagnosis.c_str(), stderr);
   }
+  // Late-stage errors (e.g. the result-json publish failed after the run
+  // completed) still carry a cause worth printing beside the report.
+  if (!result.error.empty())
+    std::fprintf(stderr, "emx_run: %s\n", result.error.c_str());
   return result.exit_code;
 }

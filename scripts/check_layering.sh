@@ -114,12 +114,42 @@ if [[ -n "$violations" ]]; then
 fi
 j_up_pattern='^[[:space:]]*#[[:space:]]*include[[:space:]]*"jobs/'
 violations=$(grep -rnE "$j_up_pattern" src \
-  | grep -v '^src/jobs/' || true)
+  | grep -v '^src/jobs/' \
+  | grep -v '^src/serve/' || true)
 if [[ -n "$violations" ]]; then
-  echo "layering violation: nothing in src/ outside src/jobs may include"
-  echo "jobs/ headers — the job engine is consumed by tools only:"
+  echo "layering violation: nothing in src/ outside src/jobs and"
+  echo "src/serve may include jobs/ headers — the job engine is consumed"
+  echo "by the serve daemon and the tools only:"
   echo
   echo "$violations"
   exit 1
 fi
-echo "layering OK: jobs/ sees only common/ + snapshot/ + workloads/, and src/ does not see jobs/"
+echo "layering OK: jobs/ sees only common/ + snapshot/ + workloads/, and only serve/ sees jobs/"
+
+# The serve daemon sits on top of the job engine: it may use jobs/
+# (pool, journal, cache, specs), snapshot/ (manifests, progress),
+# workloads/ (via specs) and common/ — never the machine layers, for
+# the same crash-isolation reason as jobs/. And nothing in src/ may
+# include serve/: the daemon layer is consumed only by emx_serve and
+# emx_client.
+s_down_pattern='^[[:space:]]*#[[:space:]]*include[[:space:]]*"(sim|network|proc|runtime|core|apps|model|isa|trace|fault|analysis|verify)/'
+violations=$(grep -rnE "$s_down_pattern" src/serve || true)
+if [[ -n "$violations" ]]; then
+  echo "layering violation: src/serve may include only common/, jobs/,"
+  echo "snapshot/, workloads/ and its own headers — simulations run in"
+  echo "worker processes, never in the daemon:"
+  echo
+  echo "$violations"
+  exit 1
+fi
+s_up_pattern='^[[:space:]]*#[[:space:]]*include[[:space:]]*"serve/'
+violations=$(grep -rnE "$s_up_pattern" src \
+  | grep -v '^src/serve/' || true)
+if [[ -n "$violations" ]]; then
+  echo "layering violation: nothing in src/ outside src/serve may include"
+  echo "serve/ headers — the daemon layer is consumed by tools only:"
+  echo
+  echo "$violations"
+  exit 1
+fi
+echo "layering OK: serve/ sees only common/ + jobs/ + snapshot/ + workloads/, and src/ does not see serve/"

@@ -113,6 +113,7 @@ bool parse_content(const std::string& path, const std::string& content,
         e.event = val.as_string();
       } else {
         e.fields.emplace_back(key, value_to_field(val));
+        e.raw_fields.emplace_back(key, val.dump());
       }
     }
     if (!saw_seq || e.event.empty()) {
@@ -221,6 +222,20 @@ bool Journal::load(const std::string& path, std::vector<JournalEntry>& out,
   read_all(path, content, exists);
   std::size_t good_prefix = 0;
   return parse_content(path, content, out, good_prefix, warning, err);
+}
+
+bool Journal::compact(const std::string& path,
+                      const std::vector<JournalEntry>& keep, std::string& err) {
+  std::string content;
+  std::uint64_t seq = 0;
+  for (const JournalEntry& e : keep)
+    content += format_line(seq++, e.event, e.raw_fields);
+  const std::string werr = fsio::atomic_write_file(path, content);
+  if (!werr.empty()) {
+    err = "journal compact: " + werr;
+    return false;
+  }
+  return true;
 }
 
 }  // namespace emx::jobs

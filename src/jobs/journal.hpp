@@ -35,10 +35,14 @@ namespace emx::jobs {
 
 /// One journal line, parsed. `fields` holds every member other than
 /// seq/event/crc, as raw strings (numbers included), insertion-ordered.
+/// `raw_fields` carries the same members JSON-encoded (strings keep
+/// their quotes) so an entry can be re-emitted verbatim — what
+/// compaction feeds back through format_line().
 struct JournalEntry {
   std::uint64_t seq = 0;
   std::string event;
   std::vector<std::pair<std::string, std::string>> fields;
+  std::vector<std::pair<std::string, std::string>> raw_fields;
 
   /// The named field, or "" when absent.
   std::string field(const std::string& key) const;
@@ -77,6 +81,15 @@ class Journal {
   /// the line and, when known, the job. A missing file loads as empty.
   static bool load(const std::string& path, std::vector<JournalEntry>& out,
                    std::string& warning, std::string& err);
+
+  /// Rewrites `path` to hold exactly `keep`, re-sequenced from 0 and
+  /// re-framed (each entry's raw_fields are re-emitted verbatim). The
+  /// rewrite is atomic — a crash mid-compaction leaves either the old
+  /// journal or the new one, never a blend — so the history a compacted
+  /// journal drops is only ever the history its survivors make
+  /// redundant. Call only once every job is terminal.
+  static bool compact(const std::string& path,
+                      const std::vector<JournalEntry>& keep, std::string& err);
 
  private:
   std::string path_;

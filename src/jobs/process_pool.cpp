@@ -113,6 +113,7 @@ std::size_t ProcessPool::poll(std::vector<ExitStatus>& out) {
     es.pid = c.pid;
     es.tag = c.tag;
     es.timed_out = c.killed_for_timeout;
+    es.preempted = c.killed_for_preempt;
     if (r < 0) {
       // ECHILD etc. — lost track of it; surface as a kill so the
       // supervisor retries rather than hanging forever.
@@ -129,6 +130,23 @@ std::size_t ProcessPool::poll(std::vector<ExitStatus>& out) {
     ++reaped;
   }
   return reaped;
+}
+
+bool ProcessPool::signal_child(std::uint64_t tag, int sig) {
+  for (const Child& c : children_) {
+    if (c.tag != tag) continue;
+    return ::kill(c.pid, sig) == 0;
+  }
+  return false;
+}
+
+bool ProcessPool::kill_child(std::uint64_t tag) {
+  for (Child& c : children_) {
+    if (c.tag != tag) continue;
+    c.killed_for_preempt = true;  // reaped by a later poll()
+    return ::kill(c.pid, SIGKILL) == 0;
+  }
+  return false;
 }
 
 void ProcessPool::kill_all() {

@@ -37,6 +37,7 @@ struct ExitStatus {
   int code = 0;            ///< exit code when !signaled
   int sig = 0;             ///< terminating signal when signaled
   bool timed_out = false;  ///< the pool SIGKILLed it at its deadline
+  bool preempted = false;  ///< the caller killed it via kill_child()
 };
 
 class ProcessPool {
@@ -63,12 +64,25 @@ class ProcessPool {
   /// SIGKILLs and reaps every child. Used on supervisor shutdown paths.
   void kill_all();
 
+  // --- preemption hooks (the emx_serve daemon's half of the story) ---
+
+  /// Sends `sig` to the child tagged `tag` (e.g. SIGUSR1 to request a
+  /// checkpoint-on-demand). Returns false when no such child is running.
+  bool signal_child(std::uint64_t tag, int sig);
+
+  /// SIGKILLs the child tagged `tag` on the caller's behalf; its
+  /// eventual ExitStatus carries `preempted = true` so the caller can
+  /// distinguish its own kill from a crash or a deadline kill. Returns
+  /// false when no such child is running.
+  bool kill_child(std::uint64_t tag);
+
  private:
   struct Child {
     pid_t pid = -1;
     std::uint64_t tag = 0;
     std::int64_t deadline_ms = 0;  ///< 0 = none
     bool killed_for_timeout = false;
+    bool killed_for_preempt = false;
   };
 
   Clock& clock_;

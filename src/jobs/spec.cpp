@@ -208,6 +208,11 @@ bool apply_base_knob(const std::string& key, const json::Value& v,
 
 }  // namespace
 
+bool apply_manifest_knob(const std::string& key, const json::Value& v,
+                         snapshot::RunManifest& m, std::string& err) {
+  return apply_base_knob(key, v, m, err);
+}
+
 std::string job_key(const snapshot::RunManifest& m) {
   char buf[160];
   std::snprintf(buf, sizeof buf, "%s-p%u-n%llu-h%u-s%llu-%s", m.app.c_str(),

@@ -16,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "common/json.hpp"
 #include "snapshot/manifest.hpp"
 
 namespace emx::jobs {
@@ -66,6 +67,14 @@ struct SweepSpec {
 
 /// The stable cell key for a manifest (see JobSpec::key).
 std::string job_key(const snapshot::RunManifest& m);
+
+/// Applies one named knob (the same vocabulary SweepSpec's "base"
+/// object accepts — network, barrier, read service, watchdog, fault
+/// plan, ...) to `m`. Exposed for the emx_serve protocol, whose "run"
+/// objects reuse the spec's knob names verbatim. Returns false with
+/// `err` on an unknown knob or an ill-typed value.
+bool apply_manifest_knob(const std::string& key, const json::Value& v,
+                         snapshot::RunManifest& m, std::string& err);
 
 /// emx_run argv tail reproducing `m` from a fresh default manifest —
 /// the flags the supervisor passes to a worker. Only fields expressible

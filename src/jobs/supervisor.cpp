@@ -14,6 +14,7 @@
 #include "common/serializer.hpp"
 #include "jobs/aggregate.hpp"
 #include "jobs/journal.hpp"
+#include "jobs/result_cache.hpp"
 
 namespace emx::jobs {
 
@@ -60,7 +61,6 @@ struct CellState {
   std::string dir;          ///< <out>/jobs/<key>
   std::string ck_dir;       ///< <out>/jobs/<key>/ck
   std::string result_path;  ///< <out>/jobs/<key>/result.json
-  std::string cache_path;   ///< <out>/cache/<key>.json
 };
 
 /// Everything the scheduling loop needs in one place.
@@ -69,6 +69,7 @@ struct Sweep {
   Clock& clock;
   Journal journal;
   ProcessPool pool;
+  ResultCache cache;
   std::vector<CellState> cells;
 
   Sweep(const SupervisorOptions& o, Clock& c)
@@ -192,18 +193,7 @@ bool schedule_retry(Sweep& sw, CellState& cell, const std::string& reason,
 /// the cache. Returns false only on journal/cache write errors.
 bool handle_worker_ok(Sweep& sw, CellState& cell, std::string& err) {
   std::string bytes;
-  std::string bad;
-  if (!read_file(cell.result_path, bytes)) {
-    bad = "no-result-file";
-  } else {
-    std::string perr;
-    const json::Value v = json::Value::parse(bytes, perr);
-    if (!perr.empty() || !v.is_object())
-      bad = "unparseable-result";
-    else if (const json::Value* ec = v.find("exit_code");
-             ec == nullptr || ec->as_int(-1) != 0)
-      bad = "result-reports-failure";
-  }
+  const std::string bad = audit_result(cell.result_path, bytes);
   if (!bad.empty()) {
     // Exit 0 with a broken result means the run cannot be trusted end to
     // end — retry from scratch rather than resume into the same state.
@@ -217,9 +207,9 @@ bool handle_worker_ok(Sweep& sw, CellState& cell, std::string& err) {
           "done",
           {{"job", jstr(cell.job.key)}, {"result_crc", jstr(crc)}}, err))
     return false;
-  const std::string werr = fsio::atomic_write_file(cell.cache_path, bytes);
+  const std::string werr = sw.cache.publish(cell.job.key, bytes);
   if (!werr.empty()) {
-    err = "cache publish: " + werr;
+    err = werr;
     return false;
   }
   std::error_code ec;
@@ -321,6 +311,17 @@ std::int64_t backoff_delay_ms(unsigned attempt, std::int64_t base,
   return std::min(delay, cap);
 }
 
+std::string audit_result(const std::string& result_path, std::string& bytes) {
+  if (!read_file(result_path, bytes)) return "no-result-file";
+  std::string perr;
+  const json::Value v = json::Value::parse(bytes, perr);
+  if (!perr.empty() || !v.is_object()) return "unparseable-result";
+  if (const json::Value* ec = v.find("exit_code");
+      ec == nullptr || ec->as_int(-1) != 0)
+    return "result-reports-failure";
+  return "";
+}
+
 std::string latest_checkpoint(const std::string& ck_dir,
                               const std::string& app) {
   const std::string prefix = app + "-c";
@@ -355,13 +356,15 @@ int run_sweep(const SupervisorOptions& opts, SweepOutcome& out,
     err = "worker binary '" + opts.emx_run + "' is not executable";
     return 2;
   }
-  for (const char* sub : {"", "/cache", "/jobs"}) {
+  for (const char* sub : {"", "/jobs"}) {
     const std::string derr = fsio::ensure_writable_dir(opts.out_dir + sub);
     if (!derr.empty()) {
       err = derr;
       return 2;
     }
   }
+  if (!sw.cache.open(opts.out_dir + "/cache", opts.cache_max_bytes, err))
+    return 2;
 
   // --- journal: load for replay, open for append, verify identity ---
   const std::string journal_path = opts.out_dir + "/journal.jsonl";
@@ -401,12 +404,15 @@ int run_sweep(const SupervisorOptions& opts, SweepOutcome& out,
     cell.dir = opts.out_dir + "/jobs/" + job.key;
     cell.ck_dir = cell.dir + "/ck";
     cell.result_path = cell.dir + "/result.json";
-    cell.cache_path = opts.out_dir + "/cache/" + job.key + ".json";
     cell.job = std::move(job);
+
+    // Every cell of this sweep is pinned for the sweep's lifetime, so
+    // the LRU cap can never evict a result this invocation references.
+    sw.cache.pin(cell.job.key);
 
     const auto it = done_crc.find(cell.job.key);
     std::string bytes;
-    if (it != done_crc.end() && read_file(cell.cache_path, bytes) &&
+    if (it != done_crc.end() && sw.cache.lookup(cell.job.key, bytes) &&
         crc_hex(ser::crc32(bytes.data(), bytes.size())) == it->second) {
       cell.state = CellState::kDone;
       cell.status = "cached";
@@ -477,6 +483,43 @@ int run_sweep(const SupervisorOptions& opts, SweepOutcome& out,
     return 2;
   if (!write_provenance(out.provenance_path, opts.spec, out.cells, err))
     return 2;
+
+  // --- compact the journal: every cell is now terminal, so the attempt
+  // history is redundant. Keep the sweep header plus one terminal
+  // record per cell; the rewrite is atomic, so a crash mid-compaction
+  // leaves either the full history or the compacted one — both replay
+  // to the same state. Failure to compact is a warning, not an error:
+  // the uncompacted journal is merely larger, never wrong.
+  {
+    std::vector<JournalEntry> keep;
+    JournalEntry header;
+    header.event = "sweep";
+    header.raw_fields = {{"name", jstr(opts.spec.name)},
+                         {"digest", jstr(digest)},
+                         {"cells", std::to_string(sw.cells.size())}};
+    keep.push_back(std::move(header));
+    for (const CellState& cell : sw.cells) {
+      JournalEntry e;
+      if (cell.state == CellState::kDone) {
+        e.event = "done";
+        const std::string crc = crc_hex(
+            ser::crc32(cell.result_bytes.data(), cell.result_bytes.size()));
+        e.raw_fields = {{"job", jstr(cell.job.key)},
+                        {"result_crc", jstr(crc)}};
+      } else {
+        e.event = "give-up";
+        std::string reason = cell.status;
+        if (reason.rfind("failed:", 0) == 0) reason = reason.substr(7);
+        e.raw_fields = {{"job", jstr(cell.job.key)},
+                        {"reason", jstr(reason)}};
+      }
+      keep.push_back(std::move(e));
+    }
+    std::string compact_err;
+    if (!Journal::compact(journal_path, keep, compact_err))
+      std::fprintf(stderr, "emx_sweep: warning: %s\n", compact_err.c_str());
+  }
+
   return out.failed == 0 ? 0 : 1;
 }
 

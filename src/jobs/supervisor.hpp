@@ -59,6 +59,7 @@ struct SupervisorOptions {
   std::int64_t backoff_ms = 250;     ///< first retry delay
   std::int64_t backoff_max_ms = 8000;
   std::uint64_t checkpoint_every = 100000;  ///< cycles; 0 disarms
+  std::uint64_t cache_max_bytes = 0;  ///< result-cache LRU cap; 0 = none
   bool keep_checkpoints = false;  ///< keep jobs/<key>/ck after success
   bool quiet = false;
   Clock* clock = nullptr;  ///< nullptr = real_clock()
@@ -111,5 +112,13 @@ std::int64_t backoff_delay_ms(unsigned attempt, std::int64_t base,
 /// ("crash-<app>.emxsnap") are never resume candidates.
 std::string latest_checkpoint(const std::string& ck_dir,
                               const std::string& app);
+
+/// The three-step result audit applied before a worker's exit-0 is
+/// believed: the file must exist, parse as a JSON object, and carry an
+/// embedded exit_code of 0. Returns "" with `bytes` filled on success,
+/// else the retryable reason token ("no-result-file" |
+/// "unparseable-result" | "result-reports-failure"). Shared with the
+/// emx_serve daemon, which applies the same policy per job.
+std::string audit_result(const std::string& result_path, std::string& bytes);
 
 }  // namespace emx::jobs

@@ -1,0 +1,151 @@
+#include "serve/protocol.hpp"
+
+namespace emx::serve {
+
+namespace {
+
+bool want_uint(const json::Value& v, std::uint64_t& onto, std::string& err,
+               const char* what) {
+  if (!v.is_int() || v.as_int() < 0) {
+    err = std::string(what) + " must be a non-negative integer";
+    return false;
+  }
+  onto = static_cast<std::uint64_t>(v.as_int());
+  return true;
+}
+
+}  // namespace
+
+bool parse_run(const json::Value& run, jobs::JobSpec& out, std::string& err) {
+  if (!run.is_object()) {
+    err = "run must be an object";
+    return false;
+  }
+  // Build a one-cell sweep so expansion, registry defaults, validation
+  // and the manifest-CRC key all come from the one proven code path.
+  jobs::SweepSpec spec;
+  spec.name = "serve";
+  spec.procs.clear();
+  spec.seeds.clear();
+  // emx_run flag parity (the same defaults emx_sweep's flag path sets),
+  // so a served run keys identically to the direct invocation.
+  spec.base.iterations = 8;
+  spec.base.seed = 1;
+  for (const auto& [key, v] : run.members()) {
+    std::uint64_t u = 0;
+    if (key == "app") {
+      if (!v.is_string() || v.as_string().empty()) {
+        err = "run.app must be a non-empty string";
+        return false;
+      }
+      spec.apps = {v.as_string()};
+    } else if (key == "procs") {
+      if (!want_uint(v, u, err, "run.procs")) return false;
+      spec.procs = {static_cast<std::uint32_t>(u)};
+    } else if (key == "threads") {
+      if (!want_uint(v, u, err, "run.threads")) return false;
+      spec.threads = {static_cast<std::uint32_t>(u)};
+    } else if (key == "size_per_proc") {
+      if (!want_uint(v, u, err, "run.size_per_proc")) return false;
+      spec.sizes_per_proc = {u};
+    } else if (key == "seed") {
+      if (!want_uint(v, u, err, "run.seed")) return false;
+      spec.seeds = {u};
+    } else {
+      if (!jobs::apply_manifest_knob(key, v, spec.base, err)) {
+        // The knob applier speaks sweep-spec ("base.x", "base knob");
+        // re-anchor the message to this protocol's field name.
+        if (err.rfind("base.", 0) == 0) err = "run." + err.substr(5);
+        if (err.rfind("unknown base knob", 0) == 0)
+          err = "unknown run knob" + err.substr(17);
+        return false;
+      }
+    }
+  }
+  if (spec.apps.empty()) {
+    err = "run.app is required";
+    return false;
+  }
+  if (spec.procs.empty()) spec.procs = {16};
+  if (spec.seeds.empty()) spec.seeds = {1};
+
+  std::vector<jobs::JobSpec> cells;
+  if (!spec.expand(cells, err)) return false;
+  out = std::move(cells.front());
+  return true;
+}
+
+bool parse_request(const std::string& line, Request& out, std::string& err) {
+  std::string perr;
+  const json::Value v = json::Value::parse(line, perr);
+  if (!perr.empty() || !v.is_object()) {
+    err = "request is not a JSON object" +
+          (perr.empty() ? "" : " (" + perr + ")");
+    return false;
+  }
+  const json::Value* op = v.find("op");
+  if (op == nullptr || !op->is_string()) {
+    err = "request needs a string \"op\"";
+    return false;
+  }
+  Request req;
+  const std::string& name = op->as_string();
+  if (name == "submit") {
+    req.op = Request::Op::kSubmit;
+    if (const json::Value* t = v.find("tenant"); t != nullptr) {
+      if (!t->is_string() || t->as_string().empty()) {
+        err = "tenant must be a non-empty string";
+        return false;
+      }
+      req.tenant = t->as_string();
+    }
+    if (const json::Value* p = v.find("priority"); p != nullptr) {
+      if (!p->is_int() || p->as_int() < kMinPriority ||
+          p->as_int() > kMaxPriority) {
+        err = "priority must be an integer in [" +
+              std::to_string(kMinPriority) + ", " +
+              std::to_string(kMaxPriority) + "]";
+        return false;
+      }
+      req.priority = static_cast<int>(p->as_int());
+    }
+    const json::Value* run = v.find("run");
+    if (run == nullptr) {
+      err = "submit needs a \"run\" object";
+      return false;
+    }
+    if (!parse_run(*run, req.job, err)) return false;
+    req.raw_run = run->dump();
+  } else if (name == "status" || name == "cancel" || name == "watch") {
+    req.op = name == "status"   ? Request::Op::kStatus
+             : name == "cancel" ? Request::Op::kCancel
+                                : Request::Op::kWatch;
+    const json::Value* id = v.find("id");
+    if (id == nullptr || !id->is_string() || id->as_string().empty()) {
+      err = name + " needs a string \"id\"";
+      return false;
+    }
+    req.id = id->as_string();
+  } else if (name == "list") {
+    req.op = Request::Op::kList;
+  } else if (name == "drain") {
+    req.op = Request::Op::kDrain;
+  } else {
+    err = "unknown op '" + name +
+          "' (want submit, status, list, cancel, watch, drain)";
+    return false;
+  }
+  out = std::move(req);
+  return true;
+}
+
+std::string error_line(const std::string& msg) {
+  json::Value v = json::Value::object();
+  v.set("ok", json::Value::boolean(false));
+  v.set("error", json::Value::string(msg));
+  return v.dump() + "\n";
+}
+
+std::string response_line(const json::Value& v) { return v.dump() + "\n"; }
+
+}  // namespace emx::serve

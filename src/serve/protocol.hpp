@@ -1,0 +1,64 @@
+// The emx_serve wire protocol: newline-delimited JSON over a Unix
+// socket.
+//
+// Every request is one JSON object on one line; every response is one
+// JSON object on one line (except `watch`, which streams one line per
+// progress record and ends with an "end" event). Keeping the framing
+// this dumb is deliberate: the daemon's durability story already rests
+// on line-oriented JSON (the journal), `nc`/scripts can speak it, and
+// a torn request is just an unparseable line answered with an error.
+//
+// Requests:
+//
+//   {"op":"submit","tenant":"t","priority":0..9,"run":{...}}
+//   {"op":"status","id":"j3"}
+//   {"op":"list"}
+//   {"op":"cancel","id":"j3"}
+//   {"op":"watch","id":"j3"}
+//   {"op":"drain"}
+//
+// The "run" object names the workload and its coordinates (`app`,
+// `procs`, `threads`, `size_per_proc`, `seed`) plus any manifest knob
+// from the sweep-spec "base" vocabulary (network, barrier, watchdog,
+// fault plan, ... — see docs/JOBS.md). It is expanded through the same
+// SweepSpec machinery emx_sweep uses, so a submitted run gets the same
+// manifest-CRC key as the equivalent sweep cell — which is exactly what
+// makes daemon results and sweep results dedupe against each other.
+#pragma once
+
+#include <string>
+
+#include "common/json.hpp"
+#include "jobs/spec.hpp"
+
+namespace emx::serve {
+
+constexpr int kMinPriority = 0;
+constexpr int kMaxPriority = 9;
+
+struct Request {
+  enum class Op { kSubmit, kStatus, kList, kCancel, kWatch, kDrain };
+  Op op = Op::kList;
+  std::string tenant = "default";  ///< submit
+  int priority = kMinPriority;     ///< submit; higher preempts lower
+  std::string id;                  ///< status / cancel / watch
+  jobs::JobSpec job;               ///< submit: expanded and keyed
+  std::string raw_run;             ///< submit: canonical run-object JSON
+};
+
+/// Parses one request line. Returns false with a client-facing `err`.
+bool parse_request(const std::string& line, Request& out, std::string& err);
+
+/// Expands one "run" object into a fully keyed JobSpec (registry
+/// defaults applied, manifest CRC computed). Shared between submit
+/// parsing and journal-replay recovery, so a daemon restarted over its
+/// journal re-derives exactly the key it journaled.
+bool parse_run(const json::Value& run, jobs::JobSpec& out, std::string& err);
+
+/// {"ok":false,"error":"..."} plus newline.
+std::string error_line(const std::string& msg);
+
+/// `v` dumped onto one line plus newline.
+std::string response_line(const json::Value& v);
+
+}  // namespace emx::serve

@@ -1,0 +1,41 @@
+// Pure scheduling policy for the emx_serve daemon: who runs next, who
+// gets preempted. No I/O, no clocks — just orderings over views of the
+// execution table, so every decision is unit-testable in isolation and
+// deterministic given the same inputs.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "serve/tenant.hpp"
+
+namespace emx::serve {
+
+/// What the policy needs to know about one execution (a deduplicated
+/// unit of work; several jobs may be attached to it).
+struct ExecView {
+  std::string key;
+  std::string tenant;
+  int priority = 0;       ///< effective: max over attached live jobs
+  std::uint64_t seq = 0;  ///< admission order (first submit wins)
+};
+
+constexpr std::size_t kNoPick = static_cast<std::size_t>(-1);
+
+/// Index into `queued` of the next execution to start, or kNoPick.
+/// Order: priority descending, then fair share (tenant with fewer
+/// running executions first), then admission order. Tenants already at
+/// `max_per_tenant` running executions are skipped (0 = no cap).
+std::size_t pick_next(const std::vector<ExecView>& queued,
+                      const TenantTable& tenants, unsigned max_per_tenant);
+
+/// Index into `running` of the execution to preempt so work of
+/// `priority` can run, or kNoPick when nothing running is strictly
+/// lower-priority. Picks the lowest effective priority; among equals,
+/// the youngest admission (least likely to have deep checkpoint state,
+/// and deterministic either way).
+std::size_t pick_victim(const std::vector<ExecView>& running, int priority);
+
+}  // namespace emx::serve

@@ -1,0 +1,19 @@
+#include "serve/tenant.hpp"
+
+namespace emx::serve {
+
+json::Value TenantTable::summary() const {
+  json::Value v = json::Value::object();
+  for (const auto& [tenant, s] : stats_) {
+    json::Value t = json::Value::object();
+    t.set("running", json::Value::integer(s.running));
+    t.set("submitted",
+          json::Value::integer(static_cast<std::int64_t>(s.submitted)));
+    t.set("finished",
+          json::Value::integer(static_cast<std::int64_t>(s.finished)));
+    v.set(tenant, std::move(t));
+  }
+  return v;
+}
+
+}  // namespace emx::serve

@@ -1,0 +1,50 @@
+// Per-tenant accounting for the emx_serve daemon.
+//
+// The daemon is multi-tenant in the smallest way that is still honest:
+// every submit names a tenant, the table counts what each tenant has
+// running and has ever submitted/finished, and the scheduler uses the
+// running counts for fair-share admission — among queued work of equal
+// priority, the tenant with the least running work goes first, so one
+// chatty tenant cannot starve the rest at its own priority level.
+// There is no authentication: a Unix socket's file permissions are the
+// access control, and the tenant string is a scheduling label.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "common/json.hpp"
+
+namespace emx::serve {
+
+class TenantTable {
+ public:
+  void on_submit(const std::string& tenant) { ++stats_[tenant].submitted; }
+  void on_start(const std::string& tenant) { ++stats_[tenant].running; }
+  void on_stop(const std::string& tenant) {
+    auto it = stats_.find(tenant);
+    if (it != stats_.end() && it->second.running > 0) --it->second.running;
+  }
+  void on_finish(const std::string& tenant) { ++stats_[tenant].finished; }
+
+  unsigned running(const std::string& tenant) const {
+    const auto it = stats_.find(tenant);
+    return it == stats_.end() ? 0 : it->second.running;
+  }
+
+  /// {"<tenant>":{"running":N,"submitted":N,"finished":N},...} for the
+  /// `list` response; tenants in name order (std::map) so the line is
+  /// deterministic.
+  json::Value summary() const;
+
+ private:
+  struct Stats {
+    unsigned running = 0;
+    std::uint64_t submitted = 0;
+    std::uint64_t finished = 0;
+  };
+  std::map<std::string, Stats> stats_;
+};
+
+}  // namespace emx::serve

@@ -1,0 +1,50 @@
+// CRC-framed run-progress records (`emx_run --progress-every`).
+//
+// A progress file is the run's heartbeat for outside observers: one
+// self-framed JSON line per interval, appended while the simulation is
+// paused at a schedule boundary, so a reader polling the file (the
+// emx_serve daemon's `watch`, a shell `tail -f`) sees how far a worker
+// has come without touching the worker itself.
+//
+// The framing is the same discipline as the jobs journal — CRC-32 of
+// every byte before the `,"crc":"` marker — because the reader and the
+// writer are different processes and the writer may be SIGKILLed (or
+// preempted) mid-append: parse() consumes only whole, checksummed
+// lines and leaves a torn tail for the next poll. Progress records are
+// pure observation: arming them never changes a single simulated cycle
+// (tested like the other pure observers).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace emx::snapshot {
+
+/// One heartbeat. `checkpoints` counts snapshots written so far this
+/// invocation; `done` marks the final record, appended at completion
+/// with the end-of-run cycle.
+struct ProgressRecord {
+  Cycle cycle = 0;
+  std::uint64_t live_threads = 0;
+  std::uint64_t checkpoints = 0;
+  bool done = false;
+};
+
+/// Formats one record as a CRC-framed line (terminating newline
+/// included): {"cycle":N,"live":N,"ckpts":N,"done":0|1,"crc":"xxxxxxxx"}
+std::string format_progress_line(const ProgressRecord& rec);
+
+/// Parses every complete, CRC-valid record out of `buf`, appending to
+/// `out`. Returns the byte count consumed — a torn or still-being-
+/// written tail is left unconsumed for the caller's next poll. A line
+/// whose CRC frame is intact but whose body is malformed sets `err`
+/// (broken writer, not a torn write) and stops there.
+std::size_t parse_progress(std::string_view buf,
+                           std::vector<ProgressRecord>& out,
+                           std::string& err);
+
+}  // namespace emx::snapshot

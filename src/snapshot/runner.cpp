@@ -1,11 +1,13 @@
 #include "snapshot/runner.hpp"
 
+#include <csignal>
 #include <cstdio>
 #include <memory>
 
 #include "common/fsio.hpp"
 #include "common/json.hpp"
 #include "core/machine.hpp"
+#include "snapshot/progress.hpp"
 #include "snapshot/record_replay.hpp"
 #include "snapshot/snapshot.hpp"
 #include "trace/trace.hpp"
@@ -33,6 +35,47 @@ std::string checkpoint_path(const std::string& dir, const std::string& app,
   std::snprintf(name, sizeof name, "%s-c%012llu.emxsnap", app.c_str(),
                 static_cast<unsigned long long>(cycle));
   return dir + "/" + name;
+}
+
+/// Pause granularity for checkpoint-on-signal: how many simulated
+/// cycles may elapse between a SIGUSR1 arriving and the checkpoint
+/// being written. Small enough that a preemptor waits milliseconds,
+/// large enough that the pause itself costs nothing measurable.
+constexpr Cycle kSignalPollCycles = 2048;
+
+volatile std::sig_atomic_t g_checkpoint_requested = 0;
+void on_checkpoint_signal(int) { g_checkpoint_requested = 1; }
+
+/// Installs the SIGUSR1 checkpoint-on-demand handler for the duration
+/// of one run() and restores the previous disposition on every exit
+/// path (run() has many).
+class SignalCheckpointGuard {
+ public:
+  explicit SignalCheckpointGuard(bool arm) : armed_(arm) {
+    if (!armed_) return;
+    g_checkpoint_requested = 0;
+    struct sigaction sa = {};
+    sa.sa_handler = on_checkpoint_signal;
+    sigemptyset(&sa.sa_mask);
+    sa.sa_flags = SA_RESTART;
+    ::sigaction(SIGUSR1, &sa, &old_);
+  }
+  ~SignalCheckpointGuard() {
+    if (armed_) ::sigaction(SIGUSR1, &old_, nullptr);
+  }
+  SignalCheckpointGuard(const SignalCheckpointGuard&) = delete;
+  SignalCheckpointGuard& operator=(const SignalCheckpointGuard&) = delete;
+
+ private:
+  bool armed_;
+  struct sigaction old_ = {};
+};
+
+std::uint64_t live_thread_count(Machine& machine) {
+  std::uint64_t total = 0;
+  for (ProcId p = 0; p < machine.config().proc_count; ++p)
+    total += machine.pe(p).engine().frames().live();
+  return total;
 }
 
 }  // namespace
@@ -140,6 +183,20 @@ RunResult run(const RunOptions& opts) {
     const std::string err = fsio::probe_writable_file(opts.result_json_path);
     if (!err.empty()) return fail(2, "--result-json: " + err);
   }
+  if (opts.progress_every > 0 && opts.progress_path.empty())
+    return fail(2, "--progress-every needs --progress-file");
+  if (opts.checkpoint_signal && opts.checkpoint_dir.empty())
+    return fail(2, "--checkpoint-on-signal needs --checkpoint-dir");
+  // Arm the handler before the (potentially long) machine build: a
+  // preemptor's SIGUSR1 landing in the setup window must latch a
+  // request for the first poll boundary, not kill the process.
+  SignalCheckpointGuard signal_guard(opts.checkpoint_signal);
+  if (!opts.progress_path.empty()) {
+    // Truncate atomically: every attempt rewrites the heartbeat from its
+    // own start, and a reader never sees a half-replaced file.
+    const std::string err = fsio::atomic_write_file(opts.progress_path, "");
+    if (!err.empty()) return fail(2, "--progress-file: " + err);
+  }
 
   // --- build the machine + workload from the manifest ---
   trace::DigestSink digest(opts.sink);
@@ -180,6 +237,8 @@ RunResult run(const RunOptions& opts) {
   // --- drive run_to() through the union of the pause schedules ---
   Cycle next_checkpoint = checkpointing ? opts.checkpoint_every : 0;
   Cycle next_digest = (recording || replaying) ? digest_interval : 0;
+  Cycle next_progress = opts.progress_every > 0 ? opts.progress_every : 0;
+  Cycle next_signal_poll = opts.checkpoint_signal ? kSignalPollCycles : 0;
   bool completed = false;
   while (!completed) {
     Cycle next = 0;  // 0 = run to completion
@@ -188,6 +247,8 @@ RunResult run(const RunOptions& opts) {
     };
     if (next_checkpoint > 0) consider(next_checkpoint);
     if (next_digest > 0) consider(next_digest);
+    if (next_progress > 0) consider(next_progress);
+    if (next_signal_poll > 0) consider(next_signal_poll);
     if (resume_pending) consider(resume_cycle);
 
     completed = !machine.run_to(next);
@@ -213,6 +274,7 @@ RunResult run(const RunOptions& opts) {
       }
       next_digest += digest_interval;
     }
+    bool checkpointed_here = false;
     if (next_checkpoint == here) {
       const std::string path = checkpoint_path(opts.checkpoint_dir, m.app, here);
       const SnapshotFile ckpt = capture(machine, m, here);
@@ -220,11 +282,47 @@ RunResult run(const RunOptions& opts) {
       if (!err.empty()) return fail(2, err);
       r.checkpoints_written.push_back(path);
       next_checkpoint += opts.checkpoint_every;
+      checkpointed_here = true;
+    }
+    if (opts.checkpoint_signal && g_checkpoint_requested != 0) {
+      // Checkpoint-on-demand (SIGUSR1): a preemptor asked for current
+      // state. Skip the write if this pause already produced one.
+      g_checkpoint_requested = 0;
+      if (!checkpointed_here) {
+        const std::string path =
+            checkpoint_path(opts.checkpoint_dir, m.app, here);
+        const SnapshotFile ckpt = capture(machine, m, here);
+        const std::string err = ckpt.write_file(path);
+        if (!err.empty()) return fail(2, err);
+        r.checkpoints_written.push_back(path);
+      }
+    }
+    if (next_signal_poll > 0)
+      while (next_signal_poll <= here) next_signal_poll += kSignalPollCycles;
+    if (next_progress == here) {
+      ProgressRecord rec;
+      rec.cycle = here;
+      rec.live_threads = live_thread_count(machine);
+      rec.checkpoints = r.checkpoints_written.size();
+      const std::string err = fsio::append_line_fsync(
+          opts.progress_path, format_progress_line(rec));
+      if (!err.empty()) return fail(2, "--progress-file: " + err);
+      next_progress += opts.progress_every;
     }
   }
 
   // --- completion: final digest frame, recording write-out, report ---
   r.end_cycle = machine.end_cycle();
+  if (opts.progress_every > 0) {
+    ProgressRecord rec;
+    rec.cycle = r.end_cycle;
+    rec.live_threads = live_thread_count(machine);
+    rec.checkpoints = r.checkpoints_written.size();
+    rec.done = true;
+    const std::string err = fsio::append_line_fsync(
+        opts.progress_path, format_progress_line(rec));
+    if (!err.empty()) return fail(2, "--progress-file: " + err);
+  }
   if (recording) {
     recorder.frame(machine, r.end_cycle);
     const std::string err = recorder.write(opts.record_path);

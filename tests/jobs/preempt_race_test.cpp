@@ -1,0 +1,190 @@
+// The preemption races the emx_serve daemon leans on, proven at the
+// ProcessPool + emx_run level: a kill_child() exit is distinguishable
+// from a crash and classified as resumable; a SIGKILL at any moment —
+// including racing a checkpoint write — leaves only intact snapshot
+// files, so the previous checkpoint always carries the resume.
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <signal.h>
+
+#include <gtest/gtest.h>
+
+#include "jobs/clock.hpp"
+#include "jobs/process_pool.hpp"
+#include "jobs/supervisor.hpp"
+#include "snapshot/format.hpp"
+#include "snapshot/runner.hpp"
+
+namespace emx::jobs {
+namespace {
+
+namespace fs = std::filesystem;
+
+class PreemptRaceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::path(::testing::TempDir()) / "preempt_race_test";
+    fs::remove_all(dir_);
+    fs::create_directories(dir_ / "ck");
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  /// argv for a long-enough sort run with checkpointing armed.
+  Command worker(const std::string& extra = "") {
+    Command cmd;
+    cmd.argv = {EMX_RUN_BIN,
+                "--app=sort",
+                "--procs=16",
+                "--size-per-proc=16384",
+                "--threads=4",
+                "--checkpoint-every=20000",
+                "--checkpoint-on-signal=true",
+                "--checkpoint-dir=" + (dir_ / "ck").string(),
+                "--result-json=" + (dir_ / "result.json").string()};
+    if (!extra.empty()) cmd.argv.push_back(extra);
+    cmd.stdout_path = (dir_ / "out.txt").string();
+    cmd.stderr_path = (dir_ / "err.txt").string();
+    return cmd;
+  }
+
+  /// Polls until the tagged child exits; returns its status.
+  ExitStatus reap(ProcessPool& pool, Clock& clock) {
+    std::vector<ExitStatus> exits;
+    while (exits.empty()) {
+      pool.poll(exits);
+      if (exits.empty()) clock.sleep_ms(2);
+    }
+    return exits.front();
+  }
+
+  static std::string slurp(const std::string& p) {
+    std::ifstream in(p, std::ios::binary);
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+  }
+
+  fs::path dir_;
+};
+
+TEST_F(PreemptRaceTest, KillChildIsPreemptedAndResumable) {
+  Clock& clock = real_clock();
+  ProcessPool pool(clock);
+  std::string err;
+  ASSERT_GT(pool.start(worker(), 7, 0, err), 0) << err;
+
+  // Wait for the first periodic checkpoint: proof the worker is past
+  // setup and its SIGUSR1 handler is armed (a signal into the exec
+  // window would just kill it).
+  std::string first;
+  for (int i = 0; i < 2000 && first.empty(); ++i) {
+    clock.sleep_ms(2);
+    first = latest_checkpoint((dir_ / "ck").string(), "sort");
+    std::vector<ExitStatus> exits;
+    ASSERT_EQ(pool.poll(exits), 0u) << "worker finished before preemption; "
+                                       "grow the workload";
+  }
+  ASSERT_FALSE(first.empty());
+
+  // Request a checkpoint-on-demand and wait for a *fresh* one to land,
+  // exactly as the daemon's preemption handshake does.
+  ASSERT_TRUE(pool.signal_child(7, SIGUSR1));
+  std::string ck = first;
+  for (int i = 0; i < 2000 && ck == first; ++i) {
+    clock.sleep_ms(2);
+    ck = latest_checkpoint((dir_ / "ck").string(), "sort");
+    std::vector<ExitStatus> exits;
+    ASSERT_EQ(pool.poll(exits), 0u) << "worker finished before preemption; "
+                                       "grow the workload";
+  }
+  ASSERT_NE(ck, first) << "no fresh checkpoint landed after SIGUSR1";
+
+  ASSERT_TRUE(pool.kill_child(7));
+  const ExitStatus es = reap(pool, clock);
+  EXPECT_EQ(es.tag, 7u);
+  EXPECT_TRUE(es.preempted) << "kill_child exits must be marked";
+  EXPECT_TRUE(es.signaled);
+  EXPECT_EQ(es.sig, SIGKILL);
+  EXPECT_FALSE(es.timed_out);
+  EXPECT_EQ(classify_exit(es), ExitClass::kRetryResume)
+      << "a preemption kill must be retryable, not permanent";
+
+  // The victim resumes from that checkpoint to a byte-identical result.
+  ASSERT_GT(pool.start(worker("--resume=" + ck), 8, 0, err), 0) << err;
+  const ExitStatus done = reap(pool, clock);
+  EXPECT_FALSE(done.signaled) << slurp((dir_ / "err.txt").string());
+  EXPECT_EQ(done.code, 0) << slurp((dir_ / "err.txt").string());
+
+  snapshot::RunOptions clean;
+  clean.manifest.app = "sort";
+  clean.manifest.config.proc_count = 16;
+  clean.manifest.size_per_proc = 16384;
+  clean.manifest.threads = 4;
+  clean.manifest.iterations = 8;
+  clean.manifest.seed = 1;
+  clean.result_json_path = (dir_ / "clean.json").string();
+  ASSERT_EQ(snapshot::run(clean).exit_code, 0);
+  EXPECT_EQ(slurp((dir_ / "result.json").string()),
+            slurp((dir_ / "clean.json").string()));
+}
+
+TEST_F(PreemptRaceTest, KillRacingTheCheckpointLeavesOnlyIntactSnapshots) {
+  // The daemon's worst case: SIGUSR1 then SIGKILL before the fresh
+  // checkpoint lands — the kill can race the checkpoint write itself.
+  // Atomic publication means every *.emxsnap that exists at all is
+  // whole, so resume always has an intact (if slightly older) anchor.
+  Clock& clock = real_clock();
+  ProcessPool pool(clock);
+  std::string err;
+  ASSERT_GT(pool.start(worker(), 9, 0, err), 0) << err;
+
+  // Let the periodic chain produce at least one checkpoint first.
+  std::string first;
+  for (int i = 0; i < 2000 && first.empty(); ++i) {
+    clock.sleep_ms(2);
+    first = latest_checkpoint((dir_ / "ck").string(), "sort");
+    std::vector<ExitStatus> exits;
+    ASSERT_EQ(pool.poll(exits), 0u) << "worker finished before a "
+                                       "checkpoint; grow the workload";
+  }
+  ASSERT_FALSE(first.empty());
+
+  // Fire the handshake and kill immediately — no grace.
+  ASSERT_TRUE(pool.signal_child(9, SIGUSR1));
+  ASSERT_TRUE(pool.kill_child(9));
+  const ExitStatus es = reap(pool, clock);
+  EXPECT_TRUE(es.preempted);
+
+  // Every snapshot present must parse whole; no torn files, and any
+  // atomic-write temp left behind is not a resume candidate.
+  std::size_t snaps = 0;
+  for (const auto& entry : fs::directory_iterator(dir_ / "ck")) {
+    const std::string name = entry.path().filename().string();
+    if (name.size() < 8 || name.substr(name.size() - 8) != ".emxsnap")
+      continue;
+    ++snaps;
+    snapshot::RunManifest m;
+    Cycle cycle = 0;
+    EXPECT_EQ(snapshot::load_manifest(entry.path().string(),
+                                      snapshot::FileKind::kCheckpoint, m,
+                                      cycle),
+              "")
+        << name << " is torn";
+  }
+  EXPECT_GE(snaps, 1u);
+
+  // And the newest intact one resumes to completion.
+  const std::string ck = latest_checkpoint((dir_ / "ck").string(), "sort");
+  ASSERT_FALSE(ck.empty());
+  ASSERT_GT(pool.start(worker("--resume=" + ck), 10, 0, err), 0) << err;
+  const ExitStatus done = reap(pool, clock);
+  EXPECT_FALSE(done.signaled) << slurp((dir_ / "err.txt").string());
+  EXPECT_EQ(done.code, 0) << slurp((dir_ / "err.txt").string());
+}
+
+}  // namespace
+}  // namespace emx::jobs

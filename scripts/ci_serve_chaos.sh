@@ -7,7 +7,10 @@
 # diff: the claim is bytes), and a post-drain resubmit must come back
 # `cached` — proof the dedup path against the result cache fires. A
 # `resumed:` provenance token shows the checkpoint-preemption/resume
-# path carried jobs across the kills.
+# path carried jobs across the kills. A final phase reruns part of the
+# batch under a daemon started with --engine=par and cmp's the result
+# bytes against the seq-engine results: the engine is an execution knob,
+# so serving under the parallel engine must not move a single byte.
 #
 # Usage: scripts/ci_serve_chaos.sh [emx_serve] [emx_client] [emx_run]
 set -euo pipefail
@@ -133,4 +136,38 @@ fi
 
 "$CLIENT" drain --socket="$SOCK" --wait=true > /dev/null
 wait "$daemon" 2>/dev/null || true
+
+echo "== phase 5: rerun under --engine=par, results must not move a byte =="
+# Fresh state directory (no cache carry-over: these jobs must actually
+# run under the parallel engine, not be answered from phase 1's cache).
+# Two recipes cover both engine paths: sort shards its PEs for real,
+# bfs declares window_safe=false and exercises the seq-pinning fallback.
+OUT2="$work/out-par"
+PAR_DAEMON=("$SERVE" --socket="$SOCK" --out="$OUT2" --jobs=2
+            --checkpoint-every=500 --engine=par --shards=2 --quiet=true)
+"${PAR_DAEMON[@]}" &
+daemon=$!
+wait_for_socket
+for i in 0 1; do
+  "$CLIENT" submit --socket="$SOCK" \
+    --app="${APPS[$i]}" --procs="${PROCS[$i]}" --threads=2 \
+    --size-per-proc="${SIZES[$i]}" --seed="${SEEDS[$i]}" > /dev/null
+done
+"$CLIENT" drain --socket="$SOCK" --wait=true > /dev/null
+wait "$daemon" \
+  || { echo "FAIL: par-engine daemon did not drain cleanly" >&2; exit 1; }
+"${PAR_DAEMON[@]}" &
+daemon=$!
+wait_for_socket
+for i in 0 1; do
+  id="j$((i + 1))"
+  "$CLIENT" result --socket="$SOCK" --id="$id" > "$work/par-$id.json" \
+    || { echo "FAIL: par-engine $id has no result" >&2; exit 1; }
+  cmp "$work/par-$id.json" "$work/ref-$id.json" \
+    || { echo "FAIL: $id result differs between engines" >&2; exit 1; }
+done
+"$CLIENT" drain --socket="$SOCK" --wait=true > /dev/null
+wait "$daemon" 2>/dev/null || true
+echo "ok: par-engine results byte-identical to the seq-engine runs"
+
 echo "serve-chaos gate: all checks passed"

@@ -1,0 +1,7 @@
+#include "sim/engine.hpp"
+
+namespace emx::sim {
+
+Engine::~Engine() = default;
+
+}  // namespace emx::sim

@@ -1,0 +1,87 @@
+// Execution engines: who runs the event loop.
+//
+// The Machine builds its components against this interface and never
+// against a loop. An Engine owns the SimContext(s) view: it hands each PE
+// the lane (context) and trace sink to build against, exposes the "sim"
+// component for the snapshot/report walks, and runs the event loop to a
+// stop reason. Two implementations:
+//
+//   SequentialEngine  the classic single-context loop — every PE shares
+//                     one SimContext; run() is SimContext::run_until_idle.
+//   ParallelEngine    (sim/parallel_engine.hpp) shards PEs across host
+//                     threads under conservative time windows with a
+//                     deterministic boundary merge; bit-identical cycles,
+//                     digests and snapshot bytes by construction.
+#pragma once
+
+#include <cstdint>
+
+#include "common/component.hpp"
+#include "common/types.hpp"
+#include "sim/sim_context.hpp"
+#include "trace/trace.hpp"
+
+namespace emx::sim {
+
+/// Which engine to run and how wide. Execution-only knobs: they are
+/// deliberately NOT part of RunManifest — results, digests, snapshot
+/// bytes and manifest CRCs are engine-independent, so a run may be
+/// captured under one engine and resumed under another.
+struct EngineSpec {
+  enum class Kind : std::uint8_t { kSequential, kParallel };
+  Kind kind = Kind::kSequential;
+  /// Parallel only: shard (host thread) count; 0 = one per host core,
+  /// clamped to the PE count either way.
+  std::uint32_t shards = 0;
+};
+
+class Engine {
+ public:
+  virtual ~Engine();
+
+  /// The simulation context PE `pe` schedules into.
+  virtual SimContext& lane(ProcId pe) = 0;
+
+  /// The trace sink PE `pe` emits into (the engine interposes per-lane
+  /// buffering in parallel mode; may be null when tracing is off).
+  virtual trace::TraceSink* pe_sink(ProcId pe) = 0;
+
+  /// The "sim" component for the registry walks. Its snapshot section is
+  /// byte-identical across engines.
+  virtual Component* sim_component() = 0;
+
+  /// Runs until idle, the event budget trips (panics), or — with
+  /// pause_at != 0 — the next event would land past pause_at.
+  virtual StopReason run(std::uint64_t max_events, Cycle pause_at) = 0;
+
+  virtual Cycle now() const = 0;
+  virtual std::uint64_t events_processed() const = 0;
+  virtual const char* name() const = 0;     ///< "seq" or "par"
+  virtual std::uint32_t threads() const = 0;  ///< host threads running lanes
+};
+
+/// The original single-threaded loop over one shared SimContext.
+class SequentialEngine final : public Engine {
+ public:
+  SequentialEngine(SimContext& sim, trace::TraceSink* sink)
+      : sim_(sim), sink_(sink) {}
+
+  SimContext& lane(ProcId) override { return sim_; }
+  trace::TraceSink* pe_sink(ProcId) override { return sink_; }
+  Component* sim_component() override { return &sim_; }
+  StopReason run(std::uint64_t max_events, Cycle pause_at) override {
+    return sim_.run_until_idle(max_events, pause_at);
+  }
+  Cycle now() const override { return sim_.now(); }
+  std::uint64_t events_processed() const override {
+    return sim_.events_processed();
+  }
+  const char* name() const override { return "seq"; }
+  std::uint32_t threads() const override { return 1; }
+
+ private:
+  SimContext& sim_;
+  trace::TraceSink* sink_;
+};
+
+}  // namespace emx::sim

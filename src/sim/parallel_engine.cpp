@@ -1,0 +1,255 @@
+#include "sim/parallel_engine.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+
+namespace emx::sim {
+
+namespace {
+
+std::uint32_t resolve_shard_count(std::uint32_t proc_count,
+                                  std::uint32_t shards) {
+  std::uint32_t n = shards;
+  if (n == 0) {
+    n = std::thread::hardware_concurrency();  // 0 when unknown
+    if (n == 0) n = 1;
+  }
+  if (n > proc_count) n = proc_count;
+  return n < 1 ? 1 : n;
+}
+
+}  // namespace
+
+ParallelEngine::ParallelEngine(std::uint32_t proc_count, std::uint32_t shards,
+                               trace::TraceSink* sink)
+    : sink_(sink), barrier_(resolve_shard_count(proc_count, shards)) {
+  EMX_CHECK(proc_count > 0, "need at least one processor");
+  const std::uint32_t count = resolve_shard_count(proc_count, shards);
+  lanes_.reserve(count);
+  for (std::uint32_t s = 0; s < count; ++s) {
+    lanes_.push_back(std::make_unique<Lane>());
+    lanes_.back()->ctx.share_seq_counter(&next_seq_);
+    lanes_.back()->sink.next = sink_;
+  }
+  // Contiguous balanced blocks: PE p -> shard p*S/P. Any partition is
+  // deterministically safe (the lookahead bounds every PE pair); blocks
+  // keep neighbouring PEs — which share barrier-tree traffic — together.
+  lane_by_pe_.resize(proc_count);
+  lane_index_by_pe_.resize(proc_count);
+  for (ProcId p = 0; p < proc_count; ++p) {
+    const auto s = static_cast<std::uint32_t>(
+        static_cast<std::uint64_t>(p) * count / proc_count);
+    lane_index_by_pe_[p] = s;
+    lane_by_pe_[p] = &lanes_[s]->ctx;
+  }
+}
+
+ParallelEngine::~ParallelEngine() {
+  if (threads_started_ && !workers_.empty()) {
+    cmd_ = Cmd::kExit;
+    barrier_.arrive_and_wait();
+    for (std::thread& t : workers_) t.join();
+  }
+}
+
+trace::TraceSink* ParallelEngine::pe_sink(ProcId pe) {
+  // No machine sink: skip the lane buffers too, so PEs see the same null
+  // (emit nothing) as under the sequential engine.
+  if (sink_ == nullptr) return nullptr;
+  return &lanes_[lane_index_by_pe_[pe]]->sink;
+}
+
+Cycle ParallelEngine::now() const {
+  Cycle t = 0;
+  for (const auto& l : lanes_) t = std::max(t, l->ctx.now());
+  return t;
+}
+
+std::uint64_t ParallelEngine::events_processed() const {
+  std::uint64_t n = 0;
+  for (const auto& l : lanes_) n += l->ctx.events_processed();
+  return n;
+}
+
+void ParallelEngine::start_threads() {
+  if (threads_started_) return;
+  threads_started_ = true;
+  workers_.reserve(lanes_.size() - 1);
+  for (std::uint32_t s = 1; s < lanes_.size(); ++s)
+    workers_.emplace_back([this, s] { worker_main(s); });
+}
+
+void ParallelEngine::worker_main(std::uint32_t lane) {
+  for (;;) {
+    barrier_.arrive_and_wait();  // window open (cmd_/horizon_ published)
+    if (cmd_ == Cmd::kExit) return;
+    run_lane(lane);
+    barrier_.arrive_and_wait();  // window closed; main thread merges
+  }
+}
+
+void ParallelEngine::run_lane(std::uint32_t lane) {
+  Lane& l = *lanes_[lane];
+  if (l.ctx.idle() || l.ctx.next_event_time() >= horizon_) return;
+  l.sink.log = &l.log;
+  l.ctx.begin_window_log(&l.log);
+  // horizon_ >= 2 always (lookahead >= 2), so horizon_ - 1 is a real
+  // pause cycle, never the run-to-completion sentinel 0.
+  l.ctx.run_until_idle(/*max_events=*/0, /*pause_at=*/horizon_ - 1);
+  l.ctx.end_window_log();
+  l.sink.log = nullptr;
+}
+
+StopReason ParallelEngine::run(std::uint64_t max_events, Cycle pause_at) {
+  EMX_CHECK(participant_ != nullptr,
+            "parallel engine run() without a window participant");
+  const Cycle lookahead = participant_->lookahead();
+  EMX_CHECK(lookahead >= 2, "window participant lookahead must be >= 2");
+  start_threads();
+  for (;;) {
+    // M = min next-event time across lanes; the window [M, M+L) is safe:
+    // no other lane's pending work can inject an effect into it.
+    bool any = false;
+    Cycle window_min = 0;
+    for (const auto& l : lanes_) {
+      if (l->ctx.idle()) continue;
+      const Cycle t = l->ctx.next_event_time();
+      if (!any || t < window_min) window_min = t;
+      any = true;
+    }
+    if (!any) return StopReason::kIdle;
+    if (pause_at != 0 && window_min > pause_at) return StopReason::kPaused;
+    Cycle horizon = window_min + lookahead;
+    // Never dispatch past a requested pause cycle, exactly like the
+    // sequential loop's pre-dispatch check.
+    if (pause_at != 0 && horizon > pause_at + 1) horizon = pause_at + 1;
+    horizon_ = horizon;
+    cmd_ = Cmd::kRunWindow;
+    barrier_.arrive_and_wait();  // publish the window to the workers
+    run_lane(0);                 // the main thread drives lane 0
+    barrier_.arrive_and_wait();  // wait for every lane to reach horizon
+    merge_window();
+    // The sequential loop checks the budget per dispatch; windowed
+    // execution can only check per boundary. Either way a runaway
+    // simulation dies with the same message.
+    if (max_events != 0 && events_processed() >= max_events)
+      EMX_CHECK(false, "simulation exceeded event budget (possible livelock)");
+  }
+}
+
+void ParallelEngine::BoundaryScheduler::schedule_delivery(
+    ProcId dst, Cycle time, EventFn fn, void* ctx, std::uint64_t a,
+    std::uint64_t b) {
+  const std::uint64_t seq = eng_.next_seq_++;
+  eng_.staged_out_.push_back(
+      StagedDelivery{eng_.lane_index_by_pe_[dst], Event{time, seq, fn, ctx, a, b}});
+}
+
+void ParallelEngine::merge_window() {
+  const std::size_t lane_count = lanes_.size();
+  for (auto& l : lanes_) {
+    l->finals.clear();
+    l->dispatch_cursor = 0;
+    l->action_begin = 0;
+    l->trace_begin = 0;
+  }
+  staged_out_.clear();
+
+  const auto resolved = [](const Lane& l, std::uint64_t seq) {
+    if ((seq & EventQueue::kProvisionalSeqBit) == 0) return seq;
+    // The dispatch that *pushed* this event ran earlier on the same lane
+    // (or pre-window), so its final seq is already assigned.
+    const auto index =
+        static_cast<std::size_t>(seq & ~EventQueue::kProvisionalSeqBit);
+    EMX_DCHECK(index < l.finals.size(), "dispatch of unresolved provisional seq");
+    return l.finals[index];
+  };
+
+  // Phase 1: replay the union of the per-lane dispatch journals in global
+  // (time, seq) order — the exact order the sequential engine would have
+  // dispatched. Each event push gets the next final seq; each staged
+  // injection applies its port/stat math (deliveries buffered); each
+  // dispatch's trace span flushes to the real sink.
+  for (;;) {
+    std::size_t best = lane_count;
+    Cycle best_time = 0;
+    std::uint64_t best_seq = 0;
+    for (std::size_t s = 0; s < lane_count; ++s) {
+      const Lane& l = *lanes_[s];
+      if (l.dispatch_cursor >= l.log.dispatches.size()) continue;
+      const WindowLog::Dispatch& d = l.log.dispatches[l.dispatch_cursor];
+      const std::uint64_t seq = resolved(l, d.seq);
+      if (best == lane_count || d.time < best_time ||
+          (d.time == best_time && seq < best_seq)) {
+        best = s;
+        best_time = d.time;
+        best_seq = seq;
+      }
+    }
+    if (best == lane_count) break;
+    Lane& l = *lanes_[best];
+    const WindowLog::Dispatch& d = l.log.dispatches[l.dispatch_cursor];
+    for (std::uint32_t i = l.action_begin; i < d.action_end; ++i) {
+      const WindowLog::Action& a = l.log.actions[i];
+      if (a.kind == WindowLog::Action::kPush)
+        l.finals.push_back(next_seq_++);
+      else
+        participant_->resolve_staged(static_cast<std::uint32_t>(best), a.aux,
+                                     boundary_);
+    }
+    l.action_begin = d.action_end;
+    if (sink_ != nullptr)
+      for (std::uint32_t i = l.trace_begin; i < d.trace_end; ++i)
+        sink_->on_event(l.log.traces[i]);
+    l.trace_begin = d.trace_end;
+    ++l.dispatch_cursor;
+  }
+
+  // Phase 2: rewrite the lanes' live provisional seqs to their finals.
+  // Order-preserving (the map is strictly increasing), so every bucket
+  // and heap invariant survives the rewrite in place.
+  for (auto& l : lanes_) l->ctx.finalize_window_seqs(l->finals);
+
+  // Phase 3: route the buffered deliveries — all seqs final now — into
+  // the destination PEs' lanes. Their times sit at or past the horizon by
+  // the lookahead guarantee, so they land strictly in each lane's future.
+  for (const StagedDelivery& sd : staged_out_)
+    lanes_[sd.lane]->ctx.insert_ready_event(sd.ev);
+  participant_->clear_staged();
+  for (auto& l : lanes_) l->log.clear();
+}
+
+void ParallelEngine::Facade::save_state(ser::Serializer& s) const {
+  // Byte-identical to SimContext::save(s, nullptr) under the sequential
+  // engine: clock (max lane clock = last dispatched time), dispatch
+  // count, watchdog window (the parallel engine requires it disarmed),
+  // last progress (notes carry nondecreasing times, so the max IS the
+  // latest), then the queue payload — global seq counter and every live
+  // record in seq order with fn ids 0.
+  s.u64(eng_.now());
+  s.u64(eng_.events_processed());
+  s.u64(0);
+  Cycle last_progress = 0;
+  for (const auto& l : eng_.lanes_)
+    last_progress = std::max(last_progress, l->ctx.last_progress());
+  s.u64(last_progress);
+  s.u64(eng_.next_seq_);
+  std::vector<Event> live;
+  for (const auto& l : eng_.lanes_)
+    l->ctx.for_each_live_event([&live](const Event& ev) { live.push_back(ev); });
+  std::sort(live.begin(), live.end(),
+            [](const Event& a, const Event& b) { return a.seq < b.seq; });
+  s.u32(static_cast<std::uint32_t>(live.size()));
+  for (const Event& ev : live) {
+    EMX_DCHECK((ev.seq & EventQueue::kProvisionalSeqBit) == 0,
+               "snapshot between windows saw a provisional seq");
+    s.u64(ev.time);
+    s.u64(ev.seq);
+    s.u32(0);
+    s.u64(ev.a);
+    s.u64(ev.b);
+  }
+}
+
+}  // namespace emx::sim

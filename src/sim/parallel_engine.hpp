@@ -1,0 +1,192 @@
+// Sharded deterministic engine: PEs partitioned across host threads,
+// event loops run in conservative time windows, merged at every boundary.
+//
+// Partition. PEs are split into S contiguous shards ("lanes"), one
+// SimContext per lane. Every event a PE schedules lands on its own lane
+// (thread wake-ups, OBU handoffs, DMA completions, memory replies are all
+// PE-local); the only cross-PE — and hence cross-lane — events are the
+// network model's packet deliveries, which go through the window protocol
+// in sim/window.hpp instead of being scheduled directly.
+//
+// Windows. Let M be the minimum next-event time over all lanes and L the
+// participant's lookahead (a cause on one PE cannot affect another PE
+// sooner than L cycles later — for the shuffle fabric, min hops + 1
+// cut-through cycles). Every event in [M, M + L) is then independent of
+// every other lane's events in that range, so all lanes may run
+// [M, M + L) concurrently with no synchronization. Injections made inside
+// a window are staged, not applied: their port/stat math reads shared
+// per-port timelines whose deterministic order is only known at the
+// boundary.
+//
+// Merge. At each boundary the engine replays the per-lane WindowLogs in
+// the exact global (time, seq) order the sequential engine would have
+// dispatched, in three phases: (1) an S-way merge walks the Dispatch rows,
+// assigning final sequence numbers to each event push, applying each
+// staged injection's port/stat math in canonical order (its delivery
+// events are buffered with final seqs), and flushing each dispatch's
+// trace span to the real sink; (2) each lane rewrites its live records'
+// provisional seqs to the assigned finals (an order-preserving map);
+// (3) the buffered deliveries are routed into the destination lanes. The
+// result: sequence numbers, trace order, statistics — including the
+// IEEE-754 accumulation order of the latency Welford stat — and queue
+// contents are bit-identical to the sequential engine at every boundary.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "sim/engine.hpp"
+#include "sim/window.hpp"
+
+namespace emx::sim {
+
+class ParallelEngine final : public Engine {
+ public:
+  /// `shards` = 0 picks one shard per host core; either way the count is
+  /// clamped to [1, proc_count]. The shard count never affects results,
+  /// only wall-clock.
+  ParallelEngine(std::uint32_t proc_count, std::uint32_t shards,
+                 trace::TraceSink* sink);
+  ~ParallelEngine() override;
+
+  ParallelEngine(const ParallelEngine&) = delete;
+  ParallelEngine& operator=(const ParallelEngine&) = delete;
+
+  // --- Engine ---
+  SimContext& lane(ProcId pe) override { return lanes_[lane_index_by_pe_[pe]]->ctx; }
+  trace::TraceSink* pe_sink(ProcId pe) override;
+  Component* sim_component() override { return &facade_; }
+  StopReason run(std::uint64_t max_events, Cycle pause_at) override;
+  Cycle now() const override;
+  std::uint64_t events_processed() const override;
+  const char* name() const override { return "par"; }
+  std::uint32_t threads() const override {
+    return static_cast<std::uint32_t>(lanes_.size());
+  }
+
+  /// The network model that stages cross-lane effects. Must be set before
+  /// run(); the Machine wires its fabric in.
+  void set_participant(WindowParticipant* participant) {
+    participant_ = participant;
+  }
+
+  /// Per-PE lane tables for the participant (indexed by ProcId).
+  SimContext* const* lane_table() const { return lane_by_pe_.data(); }
+  const std::uint32_t* lane_index_table() const {
+    return lane_index_by_pe_.data();
+  }
+  std::uint32_t lane_count() const {
+    return static_cast<std::uint32_t>(lanes_.size());
+  }
+
+ private:
+  /// Buffers window trace events into the lane's log; passes through to
+  /// the machine sink outside windows (host-side setup emissions).
+  class LaneSink final : public trace::TraceSink {
+   public:
+    void on_event(const trace::TraceEvent& ev) override {
+      if (log != nullptr)
+        log->note_trace(ev);
+      else if (next != nullptr)
+        next->on_event(ev);
+    }
+    WindowLog* log = nullptr;
+    trace::TraceSink* next = nullptr;
+  };
+
+  /// Generation-counter spin barrier. All waiting is on atomics with
+  /// acquire/release ordering (no mutex, no condvar): windows are short —
+  /// microseconds — and the release sequence through count_ makes every
+  /// pre-barrier write visible to every post-barrier read.
+  class SpinBarrier {
+   public:
+    explicit SpinBarrier(std::uint32_t parties) : parties_(parties) {}
+    void arrive_and_wait() {
+      const std::uint32_t gen = gen_.load(std::memory_order_acquire);
+      if (count_.fetch_add(1, std::memory_order_acq_rel) + 1 == parties_) {
+        count_.store(0, std::memory_order_relaxed);
+        gen_.store(gen + 1, std::memory_order_release);
+      } else {
+        while (gen_.load(std::memory_order_acquire) == gen)
+          std::this_thread::yield();
+      }
+    }
+
+   private:
+    const std::uint32_t parties_;
+    std::atomic<std::uint32_t> gen_{0};
+    std::atomic<std::uint32_t> count_{0};
+  };
+
+  struct Lane {
+    SimContext ctx;
+    WindowLog log;
+    LaneSink sink;
+    std::vector<std::uint64_t> finals;  ///< provisional index -> final seq
+    // merge cursors (phase 1)
+    std::uint32_t dispatch_cursor = 0;
+    std::uint32_t action_begin = 0;
+    std::uint32_t trace_begin = 0;
+  };
+
+  /// A staged packet delivery, resolved at the merge with its final seq,
+  /// waiting for phase 3 routing into the destination PE's lane.
+  struct StagedDelivery {
+    std::uint32_t lane = 0;
+    Event ev;
+  };
+
+  class BoundaryScheduler final : public StagedScheduler {
+   public:
+    explicit BoundaryScheduler(ParallelEngine& eng) : eng_(eng) {}
+    void schedule_delivery(ProcId dst, Cycle time, EventFn fn, void* ctx,
+                           std::uint64_t a, std::uint64_t b) override;
+
+   private:
+    ParallelEngine& eng_;
+  };
+
+  /// The "sim" component in parallel runs: serializes the same section
+  /// bytes the sequential SimContext would — clock, counters, then the
+  /// global seq counter and all lanes' live records in seq order.
+  class Facade final : public Component {
+   public:
+    explicit Facade(ParallelEngine& eng) : eng_(eng) {}
+    const char* component_name() const override { return "sim"; }
+    void save_state(ser::Serializer& s) const override;
+
+   private:
+    ParallelEngine& eng_;
+  };
+
+  enum class Cmd : std::uint8_t { kRunWindow, kExit };
+
+  void start_threads();
+  void worker_main(std::uint32_t lane);
+  void run_lane(std::uint32_t lane);
+  void merge_window();
+
+  std::vector<std::unique_ptr<Lane>> lanes_;
+  std::vector<SimContext*> lane_by_pe_;
+  std::vector<std::uint32_t> lane_index_by_pe_;
+  trace::TraceSink* sink_;
+  WindowParticipant* participant_ = nullptr;
+  Facade facade_{*this};
+  BoundaryScheduler boundary_{*this};
+
+  std::uint64_t next_seq_ = 0;  ///< the one global sequence counter
+  std::vector<StagedDelivery> staged_out_;
+
+  SpinBarrier barrier_;
+  std::vector<std::thread> workers_;
+  bool threads_started_ = false;
+  // Written by the main thread between barriers, read by workers after
+  // one: the barrier's ordering makes plain members race-free.
+  Cmd cmd_ = Cmd::kRunWindow;
+  Cycle horizon_ = 0;  ///< exclusive end of the current window
+};
+
+}  // namespace emx::sim

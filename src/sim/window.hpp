@@ -1,0 +1,124 @@
+// Window protocol between the parallel engine and the components it
+// drives — the dependency-inversion seam that keeps host threading
+// sim-internal (see scripts/check_layering.sh).
+//
+// The parallel engine runs each shard's lane (its own SimContext) through
+// a conservative time window, then merges the per-lane logs at the
+// boundary into the exact global (time, seq) dispatch order the
+// sequential engine would have produced. Three records make that merge
+// possible:
+//
+//   WindowLog       per-lane journal of what happened inside the window:
+//                   one Dispatch row per dispatched event plus the Actions
+//                   (event pushes, staged network injections) and trace
+//                   events it produced. Written single-threaded by the
+//                   lane that owns it; read single-threaded at the merge.
+//   WindowParticipant  implemented by the network model: exposes its
+//                   conservative lookahead and replays staged injections
+//                   in canonical order at the boundary.
+//   StagedScheduler passed back into resolve_staged(): the participant
+//                   schedules the staged packet's delivery event through
+//                   it so the engine can assign the final sequence number
+//                   and route the event to the destination lane.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+#include "sim/event_queue.hpp"
+#include "trace/trace.hpp"
+
+namespace emx::sim {
+
+/// Per-lane, per-window journal. During a window the lane appends an
+/// Action for every event push (provisional seq assignment) and every
+/// staged cross-boundary effect, buffers every trace event, and closes a
+/// Dispatch row after each dispatched event. The boundary merge replays
+/// Dispatch rows from all lanes in global (time, seq) order, turning each
+/// kPush into the next final sequence number and each kStaged into the
+/// participant's canonical side effects — reproducing exactly the state
+/// the sequential engine reaches by interleaving the same dispatches.
+struct WindowLog {
+  struct Action {
+    enum Kind : std::uint8_t { kPush, kStaged };
+    Kind kind = kPush;
+    std::uint32_t aux = 0;  ///< kStaged: index into the participant's staging
+  };
+
+  /// One dispatched event: its (time, seq) merge key plus the exclusive
+  /// end of its Action / trace spans (the start is the previous row's end).
+  struct Dispatch {
+    Cycle time = 0;
+    std::uint64_t seq = 0;  ///< provisional (bit 63 set) or pre-window final
+    std::uint32_t action_end = 0;
+    std::uint32_t trace_end = 0;
+  };
+
+  std::vector<Dispatch> dispatches;
+  std::vector<Action> actions;
+  std::vector<trace::TraceEvent> traces;
+  std::uint64_t prov_count = 0;  ///< provisional seqs handed out this window
+
+  /// Records an event push; returns the provisional index to embed in the
+  /// event's seq (below the provisional tag bit).
+  std::uint64_t note_push() {
+    actions.push_back(Action{Action::kPush, 0});
+    return prov_count++;
+  }
+
+  void note_staged(std::uint32_t staged_index) {
+    actions.push_back(Action{Action::kStaged, staged_index});
+  }
+
+  void note_trace(const trace::TraceEvent& ev) { traces.push_back(ev); }
+
+  void close_dispatch(Cycle time, std::uint64_t seq) {
+    dispatches.push_back(Dispatch{time, seq,
+                                  static_cast<std::uint32_t>(actions.size()),
+                                  static_cast<std::uint32_t>(traces.size())});
+  }
+
+  void clear() {
+    dispatches.clear();
+    actions.clear();
+    traces.clear();
+    prov_count = 0;
+  }
+};
+
+/// Handed to WindowParticipant::resolve_staged at the boundary merge: the
+/// participant schedules each staged packet's delivery through this so
+/// the engine assigns the final sequence number and routes the event to
+/// the lane that owns the destination PE.
+class StagedScheduler {
+ public:
+  virtual ~StagedScheduler() = default;
+  virtual void schedule_delivery(ProcId dst, Cycle time, EventFn fn, void* ctx,
+                                 std::uint64_t a, std::uint64_t b) = 0;
+};
+
+/// Implemented by the network model (the only component whose events
+/// cross PE — and therefore lane — boundaries). The engine never includes
+/// network headers; the Machine wires the concrete model in.
+class WindowParticipant {
+ public:
+  virtual ~WindowParticipant() = default;
+
+  /// Conservative lookahead L in cycles: a cause on one PE at time t can
+  /// affect a *different* PE no earlier than t + L, for every PE pair and
+  /// hence every possible lane partition. Windows of [M, M + L) are then
+  /// safe to run without cross-lane synchronization. Must be >= 2.
+  virtual Cycle lookahead() const = 0;
+
+  /// Replays staged injection `index` of `lane` with the port/stat math
+  /// the sequential engine would have run at injection time. Called at
+  /// the boundary merge in canonical global order, single-threaded.
+  virtual void resolve_staged(std::uint32_t lane, std::uint32_t index,
+                              StagedScheduler& sched) = 0;
+
+  /// Drops all consumed staged entries after a boundary merge.
+  virtual void clear_staged() = 0;
+};
+
+}  // namespace emx::sim

@@ -57,10 +57,13 @@ std::string SnapshotFile::decode(const std::uint8_t* data, std::size_t size) {
   switch (version) {
     case 1:
     case 2:
-      // Same container layout in both; what changed in v2 is the "sim"
-      // section's event-queue payload encoding. Consumers that rebuild
-      // state (resume/replay) must refuse version < 2; pure container
-      // reads (manifest extraction, section listing) work on either.
+    case 3:
+      // Same container layout in all three; what changed is section
+      // payload encodings — the "sim" event-queue payload in v2, the
+      // fast model's "network" in-flight packet payload in v3. Consumers
+      // that rebuild state (resume/replay) must refuse version <
+      // kFormatVersion; pure container reads (manifest extraction,
+      // section listing) work on any of them.
       return decode_sections(d);
     default:
       return format_msg(
@@ -120,6 +123,8 @@ std::string SnapshotFile::read_file(const std::string& path) {
   return err.empty() ? "" : "'" + path + "': " + err;
 }
 
-std::vector<std::uint32_t> SnapshotFile::supported_versions() { return {1, 2}; }
+std::vector<std::uint32_t> SnapshotFile::supported_versions() {
+  return {1, 2, 3};
+}
 
 }  // namespace emx::snapshot

@@ -39,7 +39,15 @@ inline constexpr std::uint32_t kMagic = 0x53584D45u;  // "EMXS" little-endian
 //     unchanged, only the "sim" section's queue encoding differs, so the
 //     v1 *container* still decodes but v1 state sections no longer match
 //     a live machine and cannot be resumed or replayed against.
-inline constexpr std::uint32_t kFormatVersion = 2;
+// v3: canonical "network" section for the fast model — in-flight packets
+//     as per-source self-loop FIFOs and per-destination fabric queues
+//     keyed by canonical injection id, replacing the v2 pool-slot
+//     encoding whose slot indices depended on allocation history. The
+//     encoding is engine-independent: sequential and parallel runs of
+//     the same manifest produce byte-identical sections. Container
+//     layout unchanged; v1/v2 containers still decode, their state
+//     sections no longer resume or replay.
+inline constexpr std::uint32_t kFormatVersion = 3;
 
 enum class FileKind : std::uint32_t {
   kCheckpoint = 1,  ///< manifest + full per-component state sections

@@ -25,6 +25,7 @@ PtrchaseApp::PtrchaseApp(Machine& machine, PtrchaseParams params)
       [this](rt::ThreadApi api, Word arg) -> rt::ThreadBody {
         return ptrchase_worker(this, api, arg);
       });
+  counters_.resize(P);
 }
 
 std::uint64_t PtrchaseApp::per_proc_nodes() const {
@@ -106,11 +107,11 @@ rt::ThreadBody ptrchase_worker(PtrchaseApp* app, rt::ThreadApi api,
     const auto node_local = static_cast<Word>(cur % m);
     if (owner == me) {
       cur = mem.read(app->ring_addr(node_local));
-      ++app->local_hops_;
+      ++app->counters_[me].local_hops;
     } else {
       cur = co_await api.remote_read(
           rt::GlobalAddr{owner, app->ring_addr(node_local)});
-      ++app->remote_hops_;
+      ++app->counters_[me].remote_hops;
     }
   }
   mem.write(app->result_addr(t), cur);
@@ -152,10 +153,15 @@ bool PtrchaseApp::verify() const {
 }
 
 void PtrchaseApp::contribute(MachineReport& report) const {
+  PeCounters total;
+  for (const PeCounters& c : counters_) {
+    total.local_hops += c.local_hops;
+    total.remote_hops += c.remote_hops;
+  }
   report.app_metrics.push_back(
-      {"ptrchase.local_hops", std::to_string(local_hops_)});
+      {"ptrchase.local_hops", std::to_string(total.local_hops)});
   report.app_metrics.push_back(
-      {"ptrchase.remote_hops", std::to_string(remote_hops_)});
+      {"ptrchase.remote_hops", std::to_string(total.remote_hops)});
 }
 
 void register_ptrchase_workload(Registry& registry) {

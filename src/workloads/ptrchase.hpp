@@ -61,8 +61,14 @@ class PtrchaseApp final : public Workload {
   Machine& machine_;
   PtrchaseParams params_;
   std::vector<Word> ring_;  ///< host mirror: node -> next node
-  std::uint64_t local_hops_ = 0;
-  std::uint64_t remote_hops_ = 0;
+  /// Metric counters, one cell per PE: a cell is only ever touched by
+  /// threads running on that PE, so the cells stay race-free when the
+  /// parallel engine runs PEs on different host threads.
+  struct PeCounters {
+    std::uint64_t local_hops = 0;
+    std::uint64_t remote_hops = 0;
+  };
+  std::vector<PeCounters> counters_;
   std::uint32_t worker_entry_ = 0;
   bool setup_done_ = false;
 };

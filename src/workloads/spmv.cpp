@@ -29,6 +29,7 @@ SpmvApp::SpmvApp(Machine& machine, SpmvParams params)
       [this](rt::ThreadApi api, Word arg) -> rt::ThreadBody {
         return spmv_worker(this, api, arg);
       });
+  counters_.resize(P);
 }
 
 std::uint64_t SpmvApp::per_proc_rows() const {
@@ -132,11 +133,11 @@ rt::ThreadBody spmv_worker(SpmvApp* app, rt::ThreadApi api,
       const auto k_local = static_cast<Word>(col % m);
       if (owner == me) {
         acc += coeff * mem.read_f32(app->x_addr(k_local));
-        ++app->local_gathers_;
+        ++app->counters_[me].local_gathers;
       } else {
         pending.push_back(
             {coeff, rt::GlobalAddr{owner, app->x_addr(k_local)}});
-        ++app->remote_gathers_;
+        ++app->counters_[me].remote_gathers;
       }
     }
 
@@ -149,7 +150,7 @@ rt::ThreadBody spmv_worker(SpmvApp* app, rt::ThreadApi api,
           pending[i].addr, pending[i + 1].addr);
       acc += pending[i].coeff * std::bit_cast<float>(w0);
       acc += pending[i + 1].coeff * std::bit_cast<float>(w1);
-      ++app->pair_reads_;
+      ++app->counters_[me].pair_reads;
       i += 2;
     }
     if (i < pending.size()) {
@@ -195,12 +196,18 @@ std::vector<float> SpmvApp::host_reference() const {
 bool SpmvApp::verify() const { return gather_y() == host_reference(); }
 
 void SpmvApp::contribute(MachineReport& report) const {
+  PeCounters total;
+  for (const PeCounters& c : counters_) {
+    total.local_gathers += c.local_gathers;
+    total.remote_gathers += c.remote_gathers;
+    total.pair_reads += c.pair_reads;
+  }
   report.app_metrics.push_back(
-      {"spmv.local_gathers", std::to_string(local_gathers_)});
+      {"spmv.local_gathers", std::to_string(total.local_gathers)});
   report.app_metrics.push_back(
-      {"spmv.remote_gathers", std::to_string(remote_gathers_)});
+      {"spmv.remote_gathers", std::to_string(total.remote_gathers)});
   report.app_metrics.push_back(
-      {"spmv.pair_reads", std::to_string(pair_reads_)});
+      {"spmv.pair_reads", std::to_string(total.pair_reads)});
 }
 
 void register_spmv_workload(Registry& registry) {

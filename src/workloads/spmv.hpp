@@ -70,9 +70,15 @@ class SpmvApp final : public Workload {
   std::vector<Word> cols_;    ///< host mirror: n * row_nnz column indices
   std::vector<float> vals_;   ///< host mirror: n * row_nnz values
   std::vector<float> x_;      ///< host mirror: the input vector
-  std::uint64_t local_gathers_ = 0;
-  std::uint64_t remote_gathers_ = 0;
-  std::uint64_t pair_reads_ = 0;
+  /// Metric counters, one cell per PE: a cell is only ever touched by
+  /// threads running on that PE, so the cells stay race-free when the
+  /// parallel engine runs PEs on different host threads.
+  struct PeCounters {
+    std::uint64_t local_gathers = 0;
+    std::uint64_t remote_gathers = 0;
+    std::uint64_t pair_reads = 0;
+  };
+  std::vector<PeCounters> counters_;
   std::uint32_t worker_entry_ = 0;
   bool setup_done_ = false;
 };

@@ -1,0 +1,175 @@
+// The parallel engine's contract: sharding PEs across host threads is
+// invisible in every observable. For each registered workload, a run
+// under --engine=par at 1, 2 and 4 shards must match the sequential
+// engine bit for bit — final cycle, trace digest, result summary JSON,
+// and the bytes of every checkpoint written along the way.
+//
+// Configurations the parallel engine does not support (detailed network,
+// armed checkers, fault plans, watchdog) silently fall back to the
+// sequential loop; those runs must also stay identical, which holds by
+// construction but guards the gating logic itself.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "analysis/check_config.hpp"
+#include "core/machine.hpp"
+#include "snapshot/runner.hpp"
+
+namespace emx::snapshot {
+namespace {
+
+RunManifest tiny(const std::string& app) {
+  RunManifest m;
+  m.app = app;
+  m.size_per_proc = 64;
+  m.threads = 2;
+  m.seed = 1;
+  m.config.proc_count = 4;
+  return m;
+}
+
+RunResult run_with(const RunManifest& m, sim::EngineSpec engine,
+                   const std::string& checkpoint_dir = "") {
+  RunOptions opts;
+  opts.manifest = m;
+  opts.engine = engine;
+  if (!checkpoint_dir.empty()) {
+    opts.checkpoint_every = 2000;
+    opts.checkpoint_dir = checkpoint_dir;
+    std::filesystem::remove_all(checkpoint_dir);
+  }
+  return run(opts);
+}
+
+std::vector<std::uint8_t> file_bytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::vector<std::uint8_t>(std::istreambuf_iterator<char>(in),
+                                   std::istreambuf_iterator<char>());
+}
+
+/// The full observable surface two engine choices must agree on.
+void expect_identical(const RunManifest& m, const RunResult& seq,
+                      const RunResult& par, const std::string& label) {
+  EXPECT_EQ(seq.exit_code, par.exit_code) << label;
+  EXPECT_EQ(seq.end_cycle, par.end_cycle) << label;
+  EXPECT_EQ(seq.trace_events, par.trace_events) << label;
+  EXPECT_EQ(seq.trace_crc, par.trace_crc) << label;
+  EXPECT_EQ(seq.result_ok, par.result_ok) << label;
+  EXPECT_EQ(seq.report.events_processed, par.report.events_processed)
+      << label;
+  // result_json covers the breakdown shares and network stats — the
+  // merge-order statistics replay down to IEEE double bit patterns.
+  EXPECT_EQ(result_json(m, seq), result_json(m, par)) << label;
+}
+
+sim::EngineSpec par_spec(std::uint32_t shards) {
+  return {sim::EngineSpec::Kind::kParallel, shards};
+}
+
+class ParallelDeterminism : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(ParallelDeterminism, ShardCountsMatchSequentialBitForBit) {
+  const RunManifest m = tiny(GetParam());
+  const RunResult seq = run_with(m, {});
+  ASSERT_EQ(seq.exit_code, 0) << seq.error;
+  ASSERT_TRUE(seq.result_ok);
+  for (std::uint32_t shards : {1u, 2u, 4u}) {
+    const RunResult par = run_with(m, par_spec(shards));
+    expect_identical(m, seq, par,
+                     std::string(GetParam()) + " shards=" +
+                         std::to_string(shards));
+  }
+}
+
+TEST_P(ParallelDeterminism, CheckpointBytesAreEngineIndependent) {
+  const RunManifest m = tiny(GetParam());
+  const std::string seq_dir =
+      ::testing::TempDir() + "emx_pd_seq_" + GetParam();
+  const std::string par_dir =
+      ::testing::TempDir() + "emx_pd_par_" + GetParam();
+  const RunResult seq = run_with(m, {}, seq_dir);
+  const RunResult par = run_with(m, par_spec(4), par_dir);
+  ASSERT_EQ(seq.exit_code, 0) << seq.error;
+  ASSERT_EQ(par.exit_code, 0) << par.error;
+  ASSERT_EQ(seq.checkpoints_written.size(), par.checkpoints_written.size());
+  for (std::size_t i = 0; i < seq.checkpoints_written.size(); ++i) {
+    EXPECT_EQ(file_bytes(seq.checkpoints_written[i]),
+              file_bytes(par.checkpoints_written[i]))
+        << seq.checkpoints_written[i];
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllApps, ParallelDeterminism,
+                         ::testing::Values("sort", "fft", "fft-cyclic",
+                                           "jacobi", "bfs", "spmv",
+                                           "ptrchase", "histsort"),
+                         [](const auto& info) {
+                           std::string name = info.param;
+                           for (char& c : name)
+                             if (c == '-') c = '_';
+                           return name;
+                         });
+
+TEST(ParallelFallback, ArmedCheckersStayIdenticalAcrossEngineFlags) {
+  // Checkers pin the run to the sequential loop; asking for par must
+  // neither crash nor perturb a single observable.
+  RunManifest m = tiny("sort");
+  m.config.check = analysis::CheckConfig::parse("all");
+  const RunResult seq = run_with(m, {});
+  const RunResult par = run_with(m, par_spec(4));
+  ASSERT_EQ(seq.exit_code, 0) << seq.error;
+  expect_identical(m, seq, par, "checkers armed");
+}
+
+TEST(ParallelFallback, ActiveFaultPlanStaysIdenticalAcrossEngineFlags) {
+  RunManifest m = tiny("sort");
+  m.config.fault.drop_rate = 0.01;
+  m.config.fault.jitter_max_cycles = 8;
+  const RunResult seq = run_with(m, {});
+  const RunResult par = run_with(m, par_spec(4));
+  ASSERT_EQ(seq.exit_code, 0) << seq.error;
+  expect_identical(m, seq, par, "fault plan active");
+}
+
+TEST(ParallelFallback, GatingSelectsTheRightEngine) {
+  const sim::EngineSpec par4 = {sim::EngineSpec::Kind::kParallel, 4};
+  {
+    MachineConfig cfg;
+    cfg.proc_count = 4;
+    Machine machine(cfg, nullptr, par4);
+    EXPECT_STREQ(machine.engine_name(), "par");
+    EXPECT_EQ(machine.engine_threads(), 4u);
+  }
+  {
+    // Detailed network: no window participant, falls back.
+    MachineConfig cfg;
+    cfg.proc_count = 4;
+    cfg.network = NetworkModel::kDetailed;
+    Machine machine(cfg, nullptr, par4);
+    EXPECT_STREQ(machine.engine_name(), "seq");
+  }
+  {
+    // Watchdog wants a global progress view; falls back.
+    MachineConfig cfg;
+    cfg.proc_count = 4;
+    cfg.watchdog_cycles = 1000;
+    Machine machine(cfg, nullptr, par4);
+    EXPECT_STREQ(machine.engine_name(), "seq");
+  }
+  {
+    // Shard count is clamped to the PE count.
+    MachineConfig cfg;
+    cfg.proc_count = 2;
+    Machine machine(cfg, nullptr, par4);
+    EXPECT_STREQ(machine.engine_name(), "par");
+    EXPECT_EQ(machine.engine_threads(), 2u);
+  }
+}
+
+}  // namespace
+}  // namespace emx::snapshot

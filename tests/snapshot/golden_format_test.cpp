@@ -11,6 +11,11 @@
 // can no longer be byte-verified against a rebuilt machine, so resume
 // and replay refuse it up front with a readable error instead of dying
 // with a late verification failure.
+//
+// v2 -> v3 (parallel engine): the fast network's "network" section moved
+// to the canonical per-source/per-destination queue encoding so that
+// sequential and parallel runs serialize identically. Same policy: v2
+// containers decode, v2 resume/replay are refused up front.
 #include <gtest/gtest.h>
 
 #include <algorithm>
@@ -32,6 +37,10 @@ const char* golden_v1_path() {
 
 const char* golden_v2_path() {
   return EMX_TEST_DATA_DIR "/snapshot/golden/tiny_v2.emxsnap";
+}
+
+const char* golden_v3_path() {
+  return EMX_TEST_DATA_DIR "/snapshot/golden/tiny_v3.emxsnap";
 }
 
 TEST(GoldenFormat, EveryHistoricalVersionHasALoader) {
@@ -104,21 +113,74 @@ TEST(GoldenFormat, CheckedInV2SnapshotDecodes) {
   EXPECT_NE(file.find("pe0"), nullptr);
 }
 
-TEST(GoldenFormat, GoldenV2SnapshotResumesAndVerifies) {
+TEST(GoldenFormat, V2ResumeRefusedWithReadableError) {
+  // v3 re-encoded the fast network's in-flight packets; a v2 state
+  // section no longer matches a live machine, so resume must refuse it
+  // up front exactly as it refuses v1.
+  RunManifest m;
+  Cycle cycle = 0;
+  ASSERT_EQ(load_manifest(golden_v2_path(), FileKind::kCheckpoint, m, cycle),
+            "");
+
+  RunOptions opts;
+  opts.manifest = m;
+  opts.resume_path = golden_v2_path();
+  const RunResult r = run(opts);
+  EXPECT_EQ(r.exit_code, 2) << r.error;
+  EXPECT_NE(r.error.find("format v2"), std::string::npos) << r.error;
+  EXPECT_NE(r.error.find("Re-capture"), std::string::npos) << r.error;
+}
+
+TEST(GoldenFormat, CheckedInV3SnapshotDecodes) {
+  SnapshotFile file;
+  ASSERT_EQ(file.read_file(golden_v3_path()), "")
+      << "the checked-in v3 golden snapshot no longer decodes";
+  EXPECT_EQ(file.version, 3u);
+  EXPECT_EQ(file.kind, FileKind::kCheckpoint);
+  ASSERT_NE(file.find("manifest"), nullptr);
+  EXPECT_NE(file.find("sim"), nullptr);
+  EXPECT_NE(file.find("streams"), nullptr);
+  EXPECT_NE(file.find("network"), nullptr);
+  EXPECT_NE(file.find("pe0"), nullptr);
+}
+
+TEST(GoldenFormat, GoldenV3SnapshotResumesAndVerifies) {
   // The strongest compatibility statement for the current version: the
   // checked-in bytes still drive a full resume, and the byte-verification
   // at the checkpoint cycle still passes against today's encodings.
   RunManifest m;
   Cycle cycle = 0;
-  ASSERT_EQ(load_manifest(golden_v2_path(), FileKind::kCheckpoint, m, cycle),
+  ASSERT_EQ(load_manifest(golden_v3_path(), FileKind::kCheckpoint, m, cycle),
             "");
   EXPECT_EQ(m.app, "sort");
+  EXPECT_EQ(m.size_per_proc, 16u);
+  EXPECT_EQ(m.threads, 2u);
   EXPECT_EQ(m.config.proc_count, 4u);
   EXPECT_GT(cycle, 0u);
 
   RunOptions opts;
   opts.manifest = m;
-  opts.resume_path = golden_v2_path();
+  opts.resume_path = golden_v3_path();
+  const RunResult r = run(opts);
+  EXPECT_EQ(r.exit_code, 0) << r.error;
+  EXPECT_TRUE(r.result_checked);
+  EXPECT_TRUE(r.result_ok);
+}
+
+TEST(GoldenFormat, GoldenV3ResumesUnderTheParallelEngine) {
+  // Engine independence of the format: a checkpoint captured under one
+  // engine byte-verifies and resumes under the other. The v3 golden was
+  // captured sequentially; resume it sharded.
+  RunManifest m;
+  Cycle cycle = 0;
+  ASSERT_EQ(load_manifest(golden_v3_path(), FileKind::kCheckpoint, m, cycle),
+            "");
+
+  RunOptions opts;
+  opts.manifest = m;
+  opts.resume_path = golden_v3_path();
+  opts.engine.kind = sim::EngineSpec::Kind::kParallel;
+  opts.engine.shards = 2;
   const RunResult r = run(opts);
   EXPECT_EQ(r.exit_code, 0) << r.error;
   EXPECT_TRUE(r.result_checked);
